@@ -1,0 +1,70 @@
+//! Barrier micro-benchmark — the paper's §III-B claim: a custom software
+//! barrier beats the pthreads (futex-based `std::sync::Barrier`) one by a
+//! large factor, which matters because the 3.5-D executor barriers once
+//! per streamed Z plane.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use threefive_sync::{SpinBarrier, TournamentBarrier};
+
+const EPISODES: usize = 200;
+
+fn bench_barriers(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(2, |c| c.get().max(2));
+    let mut group = c.benchmark_group("barrier_episode");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("spin", threads), |b| {
+        b.iter(|| {
+            let barrier = Arc::new(SpinBarrier::new(threads));
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        for _ in 0..EPISODES {
+                            barrier.wait();
+                        }
+                    });
+                }
+            });
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("tournament", threads), |b| {
+        b.iter(|| {
+            let barrier = Arc::new(TournamentBarrier::new(threads));
+            std::thread::scope(|s| {
+                for tid in 0..threads {
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        let mut w = barrier.waiter(tid);
+                        for _ in 0..EPISODES {
+                            w.wait();
+                        }
+                    });
+                }
+            });
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("std_futex", threads), |b| {
+        b.iter(|| {
+            let barrier = Arc::new(std::sync::Barrier::new(threads));
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        for _ in 0..EPISODES {
+                            barrier.wait();
+                        }
+                    });
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablations of the 3.5-D design choices called out in DESIGN.md:
+//!
+//! * **tile aspect ratio** — equal-area tiles from X-elongated (friendly
+//!   to unit-stride rows and hardware prefetch) to Y-elongated;
+//! * **spatial vs temporal emphasis** — same buffer budget spent on a
+//!   bigger tile with small dim_T vs a smaller tile with big dim_T.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threefive_core::exec::{blocked35d_sweep, Blocking35};
+use threefive_core::SevenPoint;
+use threefive_grid::{Dim3, DoubleGrid, Grid3};
+
+fn grids(n: usize) -> DoubleGrid<f32> {
+    DoubleGrid::from_initial(Grid3::from_fn(Dim3::cube(n), |x, y, z| {
+        ((x * 13 + y * 7 + z * 3) % 17) as f32 * 0.1
+    }))
+}
+
+fn bench_tile_aspect(c: &mut Criterion) {
+    let kernel = SevenPoint::<f32>::heat(0.125);
+    let n = 96usize;
+    let steps = 4usize;
+    let mut group = c.benchmark_group("tile_aspect_ratio");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n * n * steps) as u64));
+    // Equal-area (≈ 1024-cell) tiles at different aspect ratios.
+    for (tx, ty) in [(96usize, 12usize), (64, 16), (32, 32), (16, 64), (12, 96)] {
+        group.bench_with_input(
+            BenchmarkId::new("tile", format!("{tx}x{ty}")),
+            &(tx, ty),
+            |b, &(tx, ty)| {
+                b.iter_batched(
+                    || grids(n),
+                    |mut g| blocked35d_sweep(&kernel, &mut g, steps, Blocking35::new(tx, ty, 2)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_space_time_budget(c: &mut Criterion) {
+    let kernel = SevenPoint::<f32>::heat(0.125);
+    let n = 96usize;
+    let steps = 8usize;
+    let mut group = c.benchmark_group("space_time_budget");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n * n * steps) as u64));
+    // Same approximate buffer budget (Eq. 1): tile² · dim_T ≈ const.
+    for (tile, dim_t) in [(88usize, 1usize), (64, 2), (48, 4), (32, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("budget", format!("t{tile}_k{dim_t}")),
+            &(tile, dim_t),
+            |b, &(tile, dim_t)| {
+                b.iter_batched(
+                    || grids(n),
+                    |mut g| {
+                        blocked35d_sweep(&kernel, &mut g, steps, Blocking35::new(tile, tile, dim_t))
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tile_aspect, bench_space_time_budget);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the LBM executor ladder (backbone of
+//! Figures 4(a) and 5(a)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threefive_grid::Dim3;
+use threefive_lbm::scenarios::lid_driven_cavity;
+use threefive_lbm::{lbm35d_sweep, lbm_naive_sweep, lbm_temporal_sweep, LbmBlocking, LbmMode};
+
+fn bench_lbm_ladder(c: &mut Criterion) {
+    let n = 48usize;
+    let steps = 3usize;
+    let mut group = c.benchmark_group("lbm_cpu_ladder");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n * n * steps) as u64));
+
+    group.bench_function(BenchmarkId::new("scalar_no_blocking", n), |b| {
+        b.iter_batched(
+            || lid_driven_cavity::<f32>(Dim3::cube(n), 1.2, 0.05),
+            |mut lat| lbm_naive_sweep(&mut lat, steps, LbmMode::Scalar, None),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("simd_no_blocking", n), |b| {
+        b.iter_batched(
+            || lid_driven_cavity::<f32>(Dim3::cube(n), 1.2, 0.05),
+            |mut lat| lbm_naive_sweep(&mut lat, steps, LbmMode::Simd, None),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("temporal_only", n), |b| {
+        b.iter_batched(
+            || lid_driven_cavity::<f32>(Dim3::cube(n), 1.2, 0.05),
+            |mut lat| lbm_temporal_sweep(&mut lat, steps, 3, None),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("blocked_35d", n), |b| {
+        b.iter_batched(
+            || lid_driven_cavity::<f32>(Dim3::cube(n), 1.2, 0.05),
+            |mut lat| lbm35d_sweep(&mut lat, steps, LbmBlocking::new(32, 32, 3), None),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Ablation: SP vs DP cost per site (the paper's "DP is half of SP").
+fn bench_precision(c: &mut Criterion) {
+    let n = 40usize;
+    let steps = 3usize;
+    let mut group = c.benchmark_group("lbm_precision");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n * n * steps) as u64));
+    group.bench_function("sp_f32", |b| {
+        b.iter_batched(
+            || lid_driven_cavity::<f32>(Dim3::cube(n), 1.2, 0.05),
+            |mut lat| lbm35d_sweep(&mut lat, steps, LbmBlocking::new(n, n, 3), None),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("dp_f64", |b| {
+        b.iter_batched(
+            || lid_driven_cavity::<f64>(Dim3::cube(n), 1.2, 0.05),
+            |mut lat| lbm35d_sweep(&mut lat, steps, LbmBlocking::new(n, n, 3), None),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lbm_ladder, bench_precision);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Thread-scaling bench for the parallel 3.5-D executor (the paper's
+//! §VII-A "parallel scalability of around 3.6X on 4 cores" claim) plus the
+//! SIMD-width ablation via kernel choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threefive_core::exec::{parallel35d_sweep, Blocking35};
+use threefive_core::SevenPoint;
+use threefive_grid::{Dim3, DoubleGrid, Grid3};
+use threefive_sync::ThreadTeam;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let n = 96usize;
+    let steps = 2usize;
+    let kernel = SevenPoint::<f32>::heat(0.125);
+    let max_threads = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut group = c.benchmark_group("parallel35d_threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n * n * steps) as u64));
+    for threads in [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= max_threads.max(2))
+    {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            let team = ThreadTeam::new(t);
+            b.iter_batched(
+                || {
+                    DoubleGrid::from_initial(Grid3::from_fn(Dim3::cube(n), |x, y, z| {
+                        ((x + y + z) % 9) as f32 * 0.2
+                    }))
+                },
+                |mut g| parallel35d_sweep(&kernel, &mut g, steps, Blocking35::new(n, n, 2), &team),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// SP (4-lane) vs DP (2-lane) 3.5-D sweep: the paper's observation that
+/// DP halves both compute and bandwidth, halving throughput.
+fn bench_precision_scaling(c: &mut Criterion) {
+    let n = 80usize;
+    let steps = 2usize;
+    let mut group = c.benchmark_group("parallel35d_precision");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n * n * steps) as u64));
+    let team = ThreadTeam::new(1);
+    group.bench_function("sp_f32", |b| {
+        let kernel = SevenPoint::<f32>::heat(0.125);
+        b.iter_batched(
+            || {
+                DoubleGrid::from_initial(Grid3::from_fn(Dim3::cube(n), |x, y, z| {
+                    ((x ^ y ^ z) % 7) as f32
+                }))
+            },
+            |mut g| parallel35d_sweep(&kernel, &mut g, steps, Blocking35::new(n, n, 2), &team),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("dp_f64", |b| {
+        let kernel = SevenPoint::<f64>::heat(0.125);
+        b.iter_batched(
+            || {
+                DoubleGrid::from_initial(Grid3::from_fn(Dim3::cube(n), |x, y, z| {
+                    ((x ^ y ^ z) % 7) as f64
+                }))
+            },
+            |mut g| parallel35d_sweep(&kernel, &mut g, steps, Blocking35::new(n, n, 2), &team),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_precision_scaling);
+criterion_main!(benches);

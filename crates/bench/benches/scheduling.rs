@@ -1,0 +1,47 @@
+//! Scheduling ablation (paper §II/§V-D): the paper's cooperative
+//! within-tile parallelization (all threads on every tile, one barrier per
+//! Z step) versus tile-level parallelism (each thread owns whole tiles,
+//! no barriers, but one ring working-set *per thread*).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threefive_core::exec::{parallel35d_sweep, tile_parallel35d_sweep, Blocking35};
+use threefive_core::SevenPoint;
+use threefive_grid::{Dim3, DoubleGrid, Grid3};
+use threefive_sync::ThreadTeam;
+
+fn grids(n: usize) -> DoubleGrid<f32> {
+    DoubleGrid::from_initial(Grid3::from_fn(Dim3::cube(n), |x, y, z| {
+        ((x * 13 + y * 7 + z * 3) % 17) as f32 * 0.1
+    }))
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let kernel = SevenPoint::<f32>::heat(0.125);
+    let n = 96usize;
+    let steps = 4usize;
+    let threads = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let team = ThreadTeam::new(threads);
+    let b = Blocking35::new(32, 32, 2);
+
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n * n * steps) as u64));
+    group.bench_function(BenchmarkId::new("row_cooperative", threads), |bch| {
+        bch.iter_batched(
+            || grids(n),
+            |mut g| parallel35d_sweep(&kernel, &mut g, steps, b, &team),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("tile_queue", threads), |bch| {
+        bch.iter_batched(
+            || grids(n),
+            |mut g| tile_parallel35d_sweep(&kernel, &mut g, steps, b, &team),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

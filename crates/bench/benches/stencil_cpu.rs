@@ -1,0 +1,93 @@
+//! Criterion benches for the CPU 7-point-stencil executor ladder
+//! (the measured backbone of Figure 4(b)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use threefive_core::exec::{
+    blocked25d_sweep, blocked35d_sweep, blocked3d_sweep, blocked4d_sweep, reference_sweep,
+    simd_sweep, Blocking35,
+};
+use threefive_core::SevenPoint;
+use threefive_grid::{Dim3, DoubleGrid, Grid3};
+
+fn grids(n: usize) -> DoubleGrid<f32> {
+    DoubleGrid::from_initial(Grid3::from_fn(Dim3::cube(n), |x, y, z| {
+        ((x * 13 + y * 7 + z * 3) % 17) as f32 * 0.1
+    }))
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    let kernel = SevenPoint::<f32>::heat(0.125);
+    let n = 96usize;
+    let steps = 2usize;
+    let mut group = c.benchmark_group("stencil_cpu_ladder");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n * n * steps) as u64));
+
+    group.bench_function(BenchmarkId::new("scalar_reference", n), |b| {
+        b.iter_batched(
+            || grids(n),
+            |mut g| reference_sweep(&kernel, &mut g, steps),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("simd_no_blocking", n), |b| {
+        b.iter_batched(
+            || grids(n),
+            |mut g| simd_sweep(&kernel, &mut g, steps),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("blocked_3d", n), |b| {
+        b.iter_batched(
+            || grids(n),
+            |mut g| blocked3d_sweep(&kernel, &mut g, steps, 32),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("blocked_25d", n), |b| {
+        b.iter_batched(
+            || grids(n),
+            |mut g| blocked25d_sweep(&kernel, &mut g, steps, 96, 96),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("blocked_4d", n), |b| {
+        b.iter_batched(
+            || grids(n),
+            |mut g| blocked4d_sweep(&kernel, &mut g, steps, 32, 2),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("blocked_35d", n), |b| {
+        b.iter_batched(
+            || grids(n),
+            |mut g| blocked35d_sweep(&kernel, &mut g, steps, Blocking35::new(96, 96, 2)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Ablation: how the temporal factor dim_T trades recomputation against
+/// bandwidth (DESIGN.md §"quality gates": larger dim_T ⇒ larger κ).
+fn bench_dim_t_ablation(c: &mut Criterion) {
+    let kernel = SevenPoint::<f32>::heat(0.125);
+    let n = 96usize;
+    let steps = 4usize;
+    let mut group = c.benchmark_group("stencil_dim_t_ablation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n * n * n * steps) as u64));
+    for dim_t in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("dim_t", dim_t), &dim_t, |b, &dt| {
+            b.iter_batched(
+                || grids(n),
+                |mut g| blocked35d_sweep(&kernel, &mut g, steps, Blocking35::new(96, 96, dt)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ladder, bench_dim_t_ablation);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Regenerates the paper's analytic parameter tables: the §V-A κ
+//! comparison (3-D vs 2.5-D blocking), the §VI blocking-parameter choices
+//! for every kernel × machine × precision, and the §VI 4-D overhead
+//! comparison.
+//!
+//! ```text
+//! cargo run -p threefive-bench --bin analysis
+//! ```
+
+use threefive_core::planner::{
+    dim_25d_max, dim_3d_max, dim_4d_max, kappa_25d, kappa_35d, kappa_3d, kappa_4d, plan_35d,
+};
+use threefive_machine::{core_i7, gtx285, lbm_traffic, seven_point_traffic, Precision};
+
+fn main() {
+    println!("== §V-A: 3-D vs 2.5-D spatial overestimation (same cache budget) ==\n");
+    println!(
+        "{:>10} {:>8} {:>8} {:>10} {:>8} {:>10}",
+        "R/dim3D", "dim3D", "κ 3D", "dim2.5D", "κ 2.5D", "reduction"
+    );
+    let budget = 1_000_000usize; // 𝒞/ℰ giving dim3D = 100
+    for r in [10usize, 20] {
+        let d3 = dim_3d_max(budget, 1);
+        let k3 = kappa_3d(r, d3, d3, d3);
+        let d25 = dim_25d_max(budget, 1, r);
+        let k25 = kappa_25d(r, d25, d25);
+        println!(
+            "{:>9}% {:>8} {:>8.2} {:>10} {:>8.2} {:>9.1}x",
+            r,
+            d3,
+            k3,
+            d25,
+            k25,
+            k3 / k25
+        );
+    }
+
+    println!("\n== §VI: 3.5-D blocking parameters (planner output) ==\n");
+    println!(
+        "{:34} {:>6} {:>8} {:>8} {:>10}",
+        "kernel @ machine", "dim_T", "dim_XY", "kappa", "buffer KB"
+    );
+    let cases = [
+        (
+            "7-point SP @ Core i7",
+            seven_point_traffic(),
+            core_i7(),
+            Precision::Sp,
+            None,
+        ),
+        (
+            "7-point DP @ Core i7",
+            seven_point_traffic(),
+            core_i7(),
+            Precision::Dp,
+            None,
+        ),
+        // The paper evaluates LBM's Eq. 3 at γ/Γ ≈ 2.9 (§VI-B).
+        (
+            "LBM SP @ Core i7",
+            lbm_traffic(),
+            core_i7(),
+            Precision::Sp,
+            Some(2.9),
+        ),
+        (
+            "LBM DP @ Core i7",
+            lbm_traffic(),
+            core_i7(),
+            Precision::Dp,
+            Some(2.97),
+        ),
+    ];
+    for (name, k, m, p, ratio_override) in cases {
+        let gamma = ratio_override.map_or(k.gamma(p), |r| r * m.big_gamma(p));
+        match plan_35d(
+            gamma,
+            m.big_gamma(p),
+            m.fast_storage_bytes,
+            k.elem_bytes(p),
+            k.radius,
+        ) {
+            Ok(plan) => println!(
+                "{:34} {:>6} {:>8} {:>8.3} {:>10.0}",
+                name,
+                plan.dim_t,
+                plan.dim_xy,
+                plan.kappa,
+                plan.buffer_bytes as f64 / 1024.0
+            ),
+            Err(e) => println!("{name:34} -> {e}"),
+        }
+    }
+    // GPU 7-point: warp-constrained dims (§VI-A GPU).
+    println!(
+        "{:34} {:>6} {:>8} {:>8.3} {:>10}",
+        "7-point SP @ GTX 285 (warp dims)",
+        2,
+        32,
+        kappa_35d(1, 2, 32, 32),
+        "regs"
+    );
+    // GPU LBM: infeasible on 16 KB shared memory (§VI-B).
+    let gpu = gtx285();
+    match plan_35d(
+        lbm_traffic().gamma(Precision::Sp),
+        gpu.usable_gamma(Precision::Sp),
+        gpu.fast_storage_bytes,
+        2 * lbm_traffic().elem_bytes(Precision::Sp), // double-buffered lattice
+        1,
+    ) {
+        Ok(p) => println!("LBM SP @ GTX 285: unexpectedly feasible: {p:?}"),
+        Err(e) => println!("{:34} -> {e}", "LBM SP @ GTX 285"),
+    }
+
+    println!("\n== §VI: 4-D blocking overhead vs 3.5-D ==\n");
+    println!(
+        "{:24} {:>8} {:>8} {:>10} {:>10}",
+        "kernel", "dim 4D", "κ 4D", "κ 3.5D", "paper 4D"
+    );
+    let c = core_i7().fast_storage_bytes;
+    let rows = [
+        ("7-point SP", 4usize, 2usize, 360usize, 1.18),
+        ("7-point DP", 8, 2, 256, 1.21),
+        ("LBM SP", 80, 3, 64, 2.03),
+        ("LBM DP", 160, 3, 44, 2.71),
+    ];
+    for (name, e, dim_t, d35, paper) in rows {
+        let d4 = dim_4d_max(c, e);
+        let k4 = kappa_4d(1, dim_t, d4, d4, d4);
+        let k35 = kappa_35d(1, dim_t, d35, d35);
+        println!(
+            "{:24} {:>8} {:>8.2} {:>10.2} {:>10.2}",
+            name, d4, k4, k35, paper
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Dumps every figure's model rows as CSV files under `results/`, ready
+//! for plotting (gnuplot, matplotlib, spreadsheets).
+//!
+//! ```text
+//! cargo run -p threefive-bench --bin dump [-- <outdir>]
+//! ```
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use threefive_machine::figures::{
+    comparisons, fig4a_rows, fig4b_rows, fig4c_rows, fig5a_rows, fig5b_rows, FigRow,
+};
+use threefive_machine::Bound;
+
+fn main() -> std::io::Result<()> {
+    let outdir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    fs::create_dir_all(&outdir)?;
+
+    let figures: [(&str, Vec<FigRow>); 5] = [
+        ("fig4a_lbm_cpu", fig4a_rows()),
+        ("fig4b_7pt_cpu", fig4b_rows()),
+        ("fig4c_7pt_gpu", fig4c_rows()),
+        ("fig5a_lbm_breakdown", fig5a_rows()),
+        ("fig5b_gpu_breakdown", fig5b_rows()),
+    ];
+    for (name, rows) in figures {
+        let path = Path::new(&outdir).join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "group,variant,model_mups,bound")?;
+        for r in &rows {
+            writeln!(
+                f,
+                "{},{},{:.1},{}",
+                r.group,
+                r.variant,
+                r.mups,
+                match r.bound {
+                    Bound::Compute => "compute",
+                    Bound::Bandwidth => "bandwidth",
+                }
+            )?;
+        }
+        println!("wrote {} ({} rows)", path.display(), rows.len());
+    }
+
+    let path = Path::new(&outdir).join("comparisons.csv");
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "comparison,paper_speedup,model_speedup")?;
+    for c in comparisons() {
+        writeln!(
+            f,
+            "\"{}\",{:.2},{:.2}",
+            c.what, c.paper_speedup, c.model_speedup
+        )?;
+    }
+    println!("wrote {}", path.display());
+    Ok(())
+}

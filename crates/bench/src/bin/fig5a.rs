@@ -1,0 +1,46 @@
+//! Regenerates **Figure 5(a)**: the LBM CPU optimization breakdown —
+//! parallel scalar → +SIMD → +spatial → 4-D → 3.5-D → +ILP.
+//!
+//! ```text
+//! cargo run --release -p threefive-bench --bin fig5a
+//! ```
+
+use threefive_bench::{full_run, host_threads, measure_lbm, print_header, print_row};
+use threefive_machine::figures::fig5a_rows;
+use threefive_sync::ThreadTeam;
+
+fn main() {
+    let model = fig5a_rows();
+    let team = ThreadTeam::new(host_threads());
+    let n = if full_run() { 256 } else { 96 };
+    let steps = if full_run() { 3 } else { 6 };
+    print_header(&format!(
+        "Figure 5(a): LBM SP optimization breakdown (model: 256^3; host: {n}^3, MLUPS)"
+    ));
+
+    // Host ladder: the executors we can actually toggle. The paper's
+    // "+spatial" bar is a no-op for LBM (no spatial reuse), and "+ILP" is
+    // a compiler-level knob here, so those rows show model numbers only.
+    let host_ladder: [(&str, Option<&'static str>); 6] = [
+        ("parallel scalar, no blocking", Some("scalar no-blocking")),
+        ("+ SIMD (4-wide SSE)", Some("simd no-blocking")),
+        ("+ spatial blocking", None),
+        ("4D blocking", None),
+        ("3.5D blocking", Some("3.5D blocking")),
+        ("+ ILP (unroll, prefetch)", None),
+    ];
+    for (model_label, host_variant) in host_ladder {
+        let model_mups = model
+            .iter()
+            .find(|r| r.variant == model_label)
+            .map(|r| r.mups);
+        let host = host_variant.map(|v| measure_lbm::<f32>(v, n, steps, 64, 3, Some(&team)).mups);
+        print_row("SP", model_label, model_mups, host);
+    }
+    println!(
+        "\npaper bars: 52 -> 87 -> 87 -> 94 -> 157 -> 171 MLUPS. Shape to check: \
+         SIMD alone is capped by bandwidth; spatial blocking buys nothing \
+         (no reuse); 4-D's overestimation eats most of its gain; 3.5-D \
+         delivers ~2X."
+    );
+}

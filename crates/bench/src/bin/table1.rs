@@ -1,0 +1,84 @@
+//! Regenerates **Table I** (peak bandwidth, peak compute, bytes/op) and
+//! the §IV kernel bytes/op analysis.
+//!
+//! ```text
+//! cargo run -p threefive-bench --bin table1
+//! ```
+
+use threefive_machine::{
+    core_i7, gtx285, lbm_traffic, seven_point_traffic, twenty_seven_point_traffic, Machine,
+    Precision,
+};
+
+fn main() {
+    println!("== Table I: peak bandwidth, peak compute, bytes/op ==\n");
+    println!(
+        "{:28} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "platform", "BW GB/s", "SP Gops", "DP Gops", "B/op SP", "B/op DP"
+    );
+    for m in [core_i7(), gtx285()] {
+        println!(
+            "{:28} {:>8.0} {:>9.0} {:>9.0} {:>9.2} {:>9.2}",
+            m.name,
+            m.peak_bw_gbs,
+            m.peak_gops_sp,
+            m.peak_gops_dp,
+            m.big_gamma(Precision::Sp),
+            m.big_gamma(Precision::Dp),
+        );
+    }
+    println!(
+        "\nGTX 285 usable bytes/op (no SFU, few madds — §III-E): SP {:.2}, DP {:.2}",
+        gtx285().usable_gamma(Precision::Sp),
+        gtx285().usable_gamma(Precision::Dp),
+    );
+
+    println!("\n== §IV kernel analysis: ops/update and bytes/op ==\n");
+    println!(
+        "{:20} {:>10} {:>12} {:>10} {:>10}",
+        "kernel", "ops/update", "blocked B SP", "gamma SP", "gamma DP"
+    );
+    for k in [
+        seven_point_traffic(),
+        twenty_seven_point_traffic(),
+        lbm_traffic(),
+    ] {
+        println!(
+            "{:20} {:>10} {:>12.0} {:>10.2} {:>10.2}",
+            k.name,
+            k.ops_per_update,
+            k.blocked_bytes_per_update(Precision::Sp),
+            k.gamma(Precision::Sp),
+            k.gamma(Precision::Dp),
+        );
+    }
+
+    println!("\n== bandwidth- vs compute-bound matrix (γ > Γ ⇒ bandwidth bound) ==\n");
+    let verdict = |m: &Machine, gamma: f64, p: Precision| {
+        if gamma > m.big_gamma(p) {
+            "bandwidth"
+        } else {
+            "compute"
+        }
+    };
+    println!(
+        "{:20} {:>14} {:>14} {:>14} {:>14}",
+        "kernel", "i7 SP", "i7 DP", "GTX285 SP", "GTX285 DP"
+    );
+    for k in [
+        seven_point_traffic(),
+        twenty_seven_point_traffic(),
+        lbm_traffic(),
+    ] {
+        let cpu = core_i7();
+        let gpu = gtx285();
+        println!(
+            "{:20} {:>14} {:>14} {:>14} {:>14}",
+            k.name,
+            verdict(&cpu, k.gamma(Precision::Sp), Precision::Sp),
+            verdict(&cpu, k.gamma(Precision::Dp), Precision::Dp),
+            verdict(&gpu, k.gamma(Precision::Sp), Precision::Sp),
+            verdict(&gpu, k.gamma(Precision::Dp), Precision::Dp),
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's §VIII discussion, quantified: as the machine
+//! bytes-per-op ratio Γ keeps falling (compute grows faster than
+//! bandwidth — Westmere and beyond), 3.5-D blocking needs ever larger
+//! temporal factors and proportionally larger caches. Also checks the
+//! §VIII Fermi prediction: 48 KB of shared memory makes LBM SP blocking
+//! feasible where the GTX 285's 16 KB could not.
+//!
+//! ```text
+//! cargo run -p threefive-bench --bin trend
+//! ```
+
+use threefive_core::planner::{kappa_35d, plan_35d, plan_35d_forced};
+use threefive_machine::{fermi, gtx285, lbm_traffic, seven_point_traffic, Precision};
+
+fn main() {
+    println!("\n== §VIII: the falling-Γ trend (7-point SP, 𝒞 = 4 MB) ==\n");
+    println!(
+        "{:>10} {:>7} {:>8} {:>8} {:>12} {:>14}",
+        "Γ (B/op)", "dim_T", "dim_XY", "kappa", "buffer MB", "eff. γ vs Γ"
+    );
+    let k = seven_point_traffic();
+    let gamma = k.gamma(Precision::Sp); // 0.5
+    for big_gamma in [0.29, 0.20, 0.15, 0.10, 0.07, 0.05] {
+        match plan_35d(gamma, big_gamma, 4 << 20, 4, 1) {
+            Ok(p) => println!(
+                "{:>10.2} {:>7} {:>8} {:>8.3} {:>12.2} {:>8.3} ≤ {:>4.2}",
+                big_gamma,
+                p.dim_t,
+                p.dim_xy,
+                p.kappa,
+                p.buffer_bytes as f64 / (1 << 20) as f64,
+                p.effective_gamma,
+                big_gamma,
+            ),
+            Err(e) => println!("{big_gamma:>10.2}  -> {e}"),
+        }
+    }
+    println!(
+        "\ndim_T grows as ⌈γ/Γ⌉ while the tile shrinks as 1/√dim_T — κ rises, \
+         so future machines need proportionally larger caches (the paper's \
+         closing argument)."
+    );
+
+    println!("\n== §VIII: LBM SP blocking across GPU generations (dim_T = 2) ==\n");
+    let lbm = lbm_traffic();
+    for m in [gtx285(), fermi()] {
+        // §VI-B asks the minimum question: does even dim_T = 2 fit?
+        let result = plan_35d_forced(
+            lbm.gamma(Precision::Sp),
+            2,
+            m.fast_storage_bytes,
+            2 * lbm.elem_bytes(Precision::Sp), // double-buffered lattice
+            1,
+        );
+        match result {
+            Ok(p) => println!(
+                "{:32} feasible: dim_T = {}, tile = {}, kappa = {:.2} (bw gain {:.2}x)",
+                m.name,
+                p.dim_t,
+                p.dim_xy,
+                p.kappa,
+                p.dim_t as f64 / p.kappa
+            ),
+            Err(e) => println!("{:32} {e}", m.name),
+        }
+    }
+    println!(
+        "\nGTX 285's 16 KB cannot block LBM even at dim_T = 2 (§VI-B); a \
+         Fermi-class cache crosses the threshold — the §VIII prediction."
+    );
+
+    println!("\n== deeper temporal blocking is not free: κ at fixed tile ==\n");
+    println!("{:>7} {:>10} {:>10}", "dim_T", "κ (64²)", "κ (360²)");
+    for dim_t in 1..=8 {
+        println!(
+            "{:>7} {:>10.2} {:>10.2}",
+            dim_t,
+            kappa_35d(1, dim_t, 64, 64),
+            kappa_35d(1, dim_t, 360, 360)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared measurement helpers for the figure binaries and benches.
+//!
+//! Every figure binary prints two kinds of rows side by side:
+//!
+//! * **model** — the roofline prediction for the paper's machine
+//!   (`threefive_machine::figures`), which reproduces the published bars;
+//! * **host** — wall-clock measurements of the real executors on the
+//!   machine running the benchmark (different absolute numbers, same
+//!   qualitative story).
+//!
+//! Grid sizes default to a laptop-friendly subset; set `THREEFIVE_FULL=1`
+//! to run the paper's full 64³/256³/512³ sweep.
+
+use std::time::Instant;
+
+use threefive_core::exec::{
+    blocked25d_sweep, blocked35d_sweep, blocked4d_sweep, parallel35d_sweep, reference_sweep,
+    simd_sweep, temporal_sweep, Blocking35,
+};
+use threefive_core::{SevenPoint, StencilKernel};
+use threefive_grid::{Dim3, DoubleGrid, Grid3, Real};
+use threefive_lbm::{lbm35d_sweep, lbm_naive_sweep, lbm_temporal_sweep, LbmBlocking, LbmMode};
+use threefive_sync::ThreadTeam;
+
+/// Whether to run the paper's full grid sizes.
+pub fn full_run() -> bool {
+    std::env::var("THREEFIVE_FULL").is_ok_and(|v| v != "0")
+}
+
+/// Grid edges to measure: {64, 128} by default, {64, 256, 512} with
+/// `THREEFIVE_FULL=1` (the paper's sizes).
+pub fn grid_edges() -> Vec<usize> {
+    if full_run() {
+        vec![64, 256, 512]
+    } else {
+        vec![64, 128]
+    }
+}
+
+/// Host thread count.
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |c| c.get())
+}
+
+/// A measured throughput sample.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Variant label.
+    pub label: &'static str,
+    /// Million updates per second.
+    pub mups: f64,
+}
+
+/// Times `steps` sweeps of the 7-point stencil under the given variant.
+pub fn measure_seven_point<T: Real>(
+    variant: &'static str,
+    dim: Dim3,
+    steps: usize,
+    tile: usize,
+    dim_t: usize,
+    team: Option<&ThreadTeam>,
+) -> Sample
+where
+    SevenPoint<T>: StencilKernel<T>,
+{
+    let kernel = SevenPoint::<T>::heat(T::from_f64(0.125));
+    let initial = Grid3::<T>::from_fn(dim, |x, y, z| {
+        T::from_f64(((x * 13 + y * 7 + z * 3) % 17) as f64 * 0.1)
+    });
+    let mut grids = DoubleGrid::from_initial(initial);
+    let tile = tile.min(dim.nx);
+    let t0 = Instant::now();
+    match variant {
+        "scalar" => {
+            reference_sweep(&kernel, &mut grids, steps);
+        }
+        "simd no-blocking" => {
+            simd_sweep(&kernel, &mut grids, steps);
+        }
+        "spatial only" => {
+            blocked25d_sweep(&kernel, &mut grids, steps, tile, tile);
+        }
+        "temporal only" => {
+            temporal_sweep(&kernel, &mut grids, steps, dim_t);
+        }
+        "4D blocking" => {
+            blocked4d_sweep(&kernel, &mut grids, steps, tile.min(48), dim_t);
+        }
+        "3.5D blocking" => match team {
+            Some(team) => {
+                parallel35d_sweep(
+                    &kernel,
+                    &mut grids,
+                    steps,
+                    Blocking35::new(tile, tile, dim_t),
+                    team,
+                );
+            }
+            None => {
+                blocked35d_sweep(
+                    &kernel,
+                    &mut grids,
+                    steps,
+                    Blocking35::new(tile, tile, dim_t),
+                );
+            }
+        },
+        other => panic!("unknown stencil variant {other}"),
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    Sample {
+        label: variant,
+        mups: (dim.len() * steps) as f64 / secs / 1e6,
+    }
+}
+
+/// Times `steps` LBM sweeps under the given variant on a lid-driven
+/// cavity of edge `n`.
+pub fn measure_lbm<T: Real>(
+    variant: &'static str,
+    n: usize,
+    steps: usize,
+    tile: usize,
+    dim_t: usize,
+    team: Option<&ThreadTeam>,
+) -> Sample {
+    let dim = Dim3::cube(n);
+    let mut lat =
+        threefive_lbm::scenarios::lid_driven_cavity::<T>(dim, T::from_f64(1.2), T::from_f64(0.05));
+    let tile = tile.min(n);
+    let t0 = Instant::now();
+    match variant {
+        "scalar no-blocking" => {
+            lbm_naive_sweep(&mut lat, steps, LbmMode::Scalar, team);
+        }
+        "simd no-blocking" => {
+            lbm_naive_sweep(&mut lat, steps, LbmMode::Simd, team);
+        }
+        "temporal only" => {
+            lbm_temporal_sweep(&mut lat, steps, dim_t, team);
+        }
+        "3.5D blocking" => {
+            lbm35d_sweep(&mut lat, steps, LbmBlocking::new(tile, tile, dim_t), team);
+        }
+        other => panic!("unknown LBM variant {other}"),
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    Sample {
+        label: variant,
+        mups: (dim.len() * steps) as f64 / secs / 1e6,
+    }
+}
+
+/// Prints one figure row.
+pub fn print_row(group: &str, label: &str, model_mups: Option<f64>, host_mups: Option<f64>) {
+    let model = model_mups.map_or("      -".into(), |m| format!("{m:7.0}"));
+    let host = host_mups.map_or("      -".into(), |m| format!("{m:7.1}"));
+    println!("{group:12} {label:28} {model:>9} {host:>9}");
+}
+
+/// Prints the standard figure header.
+pub fn print_header(title: &str) {
+    println!("\n== {title} ==");
+    println!(
+        "{:12} {:28} {:>9} {:>9}",
+        "group", "variant", "model", "host"
+    );
+    println!("{}", "-".repeat(62));
+}

@@ -1,0 +1,303 @@
+//! Set-associative, write-allocate, write-back LRU cache model.
+
+/// Whether an access reads or writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store (write-allocate: a missing line is fetched first).
+    Write,
+    /// Streaming (non-temporal) store: bypasses the cache entirely,
+    /// writing the line to DRAM without a fill — the paper's §IV-A1
+    /// "streaming stores" optimization.
+    StreamingWrite,
+}
+
+/// Aggregate counters of a simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Line fills from DRAM (read misses + write-allocate fills).
+    pub fills: u64,
+    /// Dirty lines written back to DRAM on eviction or flush.
+    pub write_backs: u64,
+    /// Lines written straight to DRAM by streaming stores.
+    pub streamed_lines: u64,
+}
+
+impl CacheStats {
+    /// Bytes read from DRAM.
+    pub fn dram_read_bytes(&self, line: usize) -> u64 {
+        self.fills * line as u64
+    }
+
+    /// Bytes written to DRAM.
+    pub fn dram_write_bytes(&self, line: usize) -> u64 {
+        (self.write_backs + self.streamed_lines) * line as u64
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self, line: usize) -> u64 {
+        self.dram_read_bytes(line) + self.dram_write_bytes(line)
+    }
+
+    /// Hit fraction.
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / self.accesses as f64
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic timestamp of the most recent touch (true LRU).
+    last_use: u64,
+}
+
+/// A single-level set-associative LRU cache.
+pub struct CacheSim {
+    line_bytes: usize,
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+    /// Write-combining buffer: the line currently absorbing streaming
+    /// stores. Consecutive streaming writes to one line merge into a
+    /// single DRAM transaction, as on real hardware.
+    wc_line: Option<u64>,
+}
+
+impl CacheSim {
+    /// Builds a cache of `capacity_bytes` with `line_bytes` lines and
+    /// `ways`-way associativity.
+    ///
+    /// # Panics
+    /// Panics unless `capacity_bytes` divides evenly into `ways` ways of
+    /// power-of-two-sized sets.
+    pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(ways >= 1);
+        let total_lines = capacity_bytes / line_bytes;
+        assert!(
+            total_lines >= ways && total_lines.is_multiple_of(ways),
+            "capacity must hold a whole number of sets"
+        );
+        let sets = total_lines / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            line_bytes,
+            sets,
+            ways,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    last_use: 0,
+                };
+                total_lines
+            ],
+            clock: 0,
+            stats: CacheStats::default(),
+            wc_line: None,
+        }
+    }
+
+    /// An LLC-like default: 64-byte lines, 16-way.
+    pub fn llc(capacity_bytes: usize) -> Self {
+        Self::new(capacity_bytes, 64, 16)
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Simulates one access at byte address `addr`.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        if kind == AccessKind::StreamingWrite {
+            // Non-temporal store: goes straight to DRAM through a
+            // write-combining buffer, so consecutive stores to one line
+            // cost one line transaction.
+            let line = addr / self.line_bytes as u64;
+            if self.wc_line != Some(line) {
+                self.stats.streamed_lines += 1;
+                self.wc_line = Some(line);
+            }
+            return;
+        }
+        let line_addr = addr / self.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.ways;
+        let set_lines = &mut self.lines[base..base + self.ways];
+
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            self.stats.hits += 1;
+            line.last_use = self.clock;
+            if kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            return;
+        }
+
+        // Miss: fill (write-allocate), evicting the LRU way.
+        self.stats.fills += 1;
+        let victim = set_lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            .expect("ways >= 1");
+        if victim.valid && victim.dirty {
+            self.stats.write_backs += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            last_use: self.clock,
+        };
+    }
+
+    /// Flushes all dirty lines (end-of-run accounting).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            if l.valid && l.dirty {
+                self.stats.write_backs += 1;
+                l.dirty = false;
+            }
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits_after_first_fill() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        c.access(0, AccessKind::Read);
+        c.access(8, AccessKind::Read); // same line
+        c.access(0, AccessKind::Read);
+        let s = c.stats();
+        assert_eq!(s.fills, 1);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = CacheSim::new(1024, 64, 2); // 16 lines
+                                                // Touch 32 distinct lines twice: second pass must miss everywhere
+                                                // (LRU with a 2x working set).
+        for pass in 0..2 {
+            for i in 0..32u64 {
+                c.access(i * 64, AccessKind::Read);
+            }
+            if pass == 0 {
+                assert_eq!(c.stats().fills, 32);
+            }
+        }
+        assert_eq!(c.stats().fills, 64);
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_is_fully_reused() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        for _ in 0..4 {
+            for i in 0..16u64 {
+                c.access(i * 64, AccessKind::Read);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.fills, 16);
+        assert_eq!(s.hits, 3 * 16);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_a_write_back() {
+        let mut c = CacheSim::new(128, 64, 1); // 2 sets, direct mapped
+        c.access(0, AccessKind::Write); // set 0, dirty
+        c.access(128, AccessKind::Read); // set 0 again → evicts dirty line
+        let s = c.stats();
+        assert_eq!(s.write_backs, 1);
+        assert_eq!(s.fills, 2);
+    }
+
+    #[test]
+    fn flush_writes_back_remaining_dirty_lines() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        for i in 0..8u64 {
+            c.access(i * 64, AccessKind::Write);
+        }
+        c.flush();
+        assert_eq!(c.stats().write_backs, 8);
+        // Flushing twice adds nothing.
+        c.flush();
+        assert_eq!(c.stats().write_backs, 8);
+    }
+
+    #[test]
+    fn streaming_stores_bypass_the_cache() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        for i in 0..100u64 {
+            c.access(i * 64, AccessKind::StreamingWrite);
+        }
+        let s = c.stats();
+        assert_eq!(s.fills, 0);
+        assert_eq!(s.streamed_lines, 100);
+        assert_eq!(s.dram_write_bytes(64), 6400);
+        assert_eq!(s.dram_read_bytes(64), 0);
+    }
+
+    #[test]
+    fn associativity_conflicts_evict_within_one_set() {
+        // Direct-mapped: two addresses mapping to the same set conflict
+        // even though capacity would hold both.
+        let mut c = CacheSim::new(256, 64, 1); // 4 sets
+        let a = 0u64;
+        let b = 4 * 64; // same set as a
+        for _ in 0..4 {
+            c.access(a, AccessKind::Read);
+            c.access(b, AccessKind::Read);
+        }
+        assert_eq!(c.stats().hits, 0, "direct-mapped ping-pong never hits");
+        // 2-way associativity resolves the conflict.
+        let mut c2 = CacheSim::new(256, 64, 2);
+        for _ in 0..4 {
+            c2.access(a, AccessKind::Read);
+            c2.access(b, AccessKind::Read);
+        }
+        assert_eq!(c2.stats().fills, 2);
+        assert_eq!(c2.stats().hits, 6);
+    }
+
+    #[test]
+    fn lru_is_exact_within_a_set() {
+        let mut c = CacheSim::new(256, 64, 4); // 1 set of 4 ways... 4 lines
+                                               // Touch lines 0,1,2,3, re-touch 0, then add 4: victim must be 1.
+        for i in [0u64, 1, 2, 3, 0, 4] {
+            c.access(i * 64, AccessKind::Read); // 1 set → same set
+        }
+        c.access(0, AccessKind::Read);
+        assert_eq!(c.stats().fills, 5); // 0..4 fills, final 0 hits
+        c.access(64, AccessKind::Read); // line 1 was evicted → fill again
+        assert_eq!(c.stats().fills, 6);
+    }
+}

@@ -1,0 +1,25 @@
+//! # threefive-cachesim — empirical validation of the cache-capacity math
+//!
+//! The planner's equations rest on two claims the paper states but cannot
+//! measure directly:
+//!
+//! 1. **Eq. 1 (residency):** as long as
+//!    `ℰ·(2R+2)·dim_T·dimX·dimY ≤ 𝒞`, the 3.5-D working set stays
+//!    cache-resident, so DRAM sees each grid point once per `dim_T` steps
+//!    (scaled by the ghost factor κ);
+//! 2. **streaming:** the no-blocking sweep re-reads the whole grid from
+//!    DRAM every time step once three XY slabs stop fitting.
+//!
+//! This crate checks both with machinery instead of algebra: a
+//! set-associative write-back LRU [`CacheSim`] and [`trace`] generators
+//! that replay the executors' exact access patterns (same loop structure,
+//! same ring addressing) through it, counting real line fills and
+//! write-backs.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod cache;
+pub mod trace;
+
+pub use cache::{AccessKind, CacheSim, CacheStats};

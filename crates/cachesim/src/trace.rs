@@ -1,0 +1,474 @@
+//! Address-trace generators for the 7-point-stencil executors.
+//!
+//! Each generator replays the memory-access pattern of the corresponding
+//! executor — same loop nests, same ring addressing, same ghost shrinking
+//! — against a [`CacheSim`], so the DRAM traffic of every blocking scheme
+//! can be *measured* instead of asserted. Radius is fixed at 1 (the
+//! paper's kernels) and one address space is laid out as:
+//!
+//! ```text
+//! [ src grid | dst grid | ring buffers ... ]
+//! ```
+
+use threefive_grid::Dim3;
+
+use crate::{AccessKind, CacheSim, CacheStats};
+
+/// Convenience bundle: final counters plus the ideal (one-load-one-store)
+/// traffic for comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceResult {
+    /// Simulated cache counters (after flushing dirty lines).
+    pub stats: CacheStats,
+    /// Points committed (interior × steps).
+    pub committed: u64,
+    /// Cache line size used.
+    pub line_bytes: usize,
+}
+
+impl TraceResult {
+    /// Measured DRAM bytes per committed point.
+    pub fn dram_bytes_per_point(&self) -> f64 {
+        self.stats.dram_bytes(self.line_bytes) as f64 / self.committed as f64
+    }
+}
+
+struct Layout {
+    dim: Dim3,
+    elem: u64,
+    src_base: u64,
+    dst_base: u64,
+    ring_base: u64,
+}
+
+impl Layout {
+    fn new(dim: Dim3, elem: usize) -> Self {
+        let grid_bytes = dim.len() as u64 * elem as u64;
+        Self {
+            dim,
+            elem: elem as u64,
+            src_base: 0,
+            dst_base: grid_bytes.next_multiple_of(4096),
+            ring_base: (2 * grid_bytes).next_multiple_of(4096) + 4096,
+        }
+    }
+
+    #[inline]
+    fn src(&self, x: usize, y: usize, z: usize) -> u64 {
+        self.src_base + self.dim.idx(x, y, z) as u64 * self.elem
+    }
+
+    #[inline]
+    fn dst(&self, x: usize, y: usize, z: usize) -> u64 {
+        self.dst_base + self.dim.idx(x, y, z) as u64 * self.elem
+    }
+
+    fn swap(&mut self) {
+        std::mem::swap(&mut self.src_base, &mut self.dst_base);
+    }
+}
+
+/// Emits the 7 reads + 1 write of one stencil application.
+#[inline]
+fn stencil_access(l: &Layout, c: &mut CacheSim, x: usize, y: usize, z: usize, wr: AccessKind) {
+    c.access(l.src(x, y, z), AccessKind::Read);
+    c.access(l.src(x - 1, y, z), AccessKind::Read);
+    c.access(l.src(x + 1, y, z), AccessKind::Read);
+    c.access(l.src(x, y - 1, z), AccessKind::Read);
+    c.access(l.src(x, y + 1, z), AccessKind::Read);
+    c.access(l.src(x, y, z - 1), AccessKind::Read);
+    c.access(l.src(x, y, z + 1), AccessKind::Read);
+    c.access(l.dst(x, y, z), wr);
+}
+
+/// No-blocking sweep trace: plain `z, y, x` interior loop each step.
+///
+/// `streaming_stores` selects non-temporal writes (paper §IV-A1).
+pub fn naive_sweep_trace(
+    dim: Dim3,
+    elem: usize,
+    steps: usize,
+    streaming_stores: bool,
+    cache: &mut CacheSim,
+) -> TraceResult {
+    let mut l = Layout::new(dim, elem);
+    let wr = if streaming_stores {
+        AccessKind::StreamingWrite
+    } else {
+        AccessKind::Write
+    };
+    let interior = dim.interior_region(1);
+    for _ in 0..steps {
+        for z in interior.zs() {
+            for y in interior.ys() {
+                for x in interior.xs() {
+                    stencil_access(&l, cache, x, y, z, wr);
+                }
+            }
+        }
+        l.swap();
+    }
+    cache.flush();
+    TraceResult {
+        stats: cache.stats(),
+        committed: interior.len() as u64 * steps as u64,
+        line_bytes: cache.line_bytes(),
+    }
+}
+
+/// 3.5-D pipeline trace (serial; radius 1): XY tiles of `tile × tile`
+/// with `dim_t` time levels. Level 1 reads the source grid, intermediate
+/// levels read/write per-level rings of `3R+1 = 4` sub-planes (allocated
+/// after the grids), the last level writes the destination.
+pub fn blocked35d_trace(
+    dim: Dim3,
+    elem: usize,
+    steps: usize,
+    tile: usize,
+    dim_t: usize,
+    streaming_stores: bool,
+    cache: &mut CacheSim,
+) -> TraceResult {
+    assert!(tile > 0 && dim_t > 0);
+    let mut l = Layout::new(dim, elem);
+    let wr = if streaming_stores {
+        AccessKind::StreamingWrite
+    } else {
+        AccessKind::Write
+    };
+    let interior = dim.interior_region(1);
+    let r = 1usize;
+    let slots = 4usize;
+
+    let mut remaining = steps;
+    while remaining > 0 {
+        let chunk = remaining.min(dim_t);
+        let mut oy = 0usize;
+        while oy < dim.ny {
+            let oy1 = (oy + tile).min(dim.ny);
+            let mut ox = 0usize;
+            while ox < dim.nx {
+                let ox1 = (ox + tile).min(dim.nx);
+                trace_tile(&l, cache, chunk, r, slots, ox, ox1, oy, oy1, wr);
+                ox = ox1;
+            }
+            oy = oy1;
+        }
+        l.swap();
+        remaining -= chunk;
+    }
+    cache.flush();
+    TraceResult {
+        stats: cache.stats(),
+        committed: interior.len() as u64 * steps as u64,
+        line_bytes: cache.line_bytes(),
+    }
+}
+
+/// Temporal-only blocking trace: tile = whole plane.
+pub fn temporal_trace(
+    dim: Dim3,
+    elem: usize,
+    steps: usize,
+    dim_t: usize,
+    streaming_stores: bool,
+    cache: &mut CacheSim,
+) -> TraceResult {
+    blocked35d_trace(
+        dim,
+        elem,
+        steps,
+        dim.nx.max(dim.ny),
+        dim_t,
+        streaming_stores,
+        cache,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn trace_tile(
+    l: &Layout,
+    cache: &mut CacheSim,
+    c: usize,
+    r: usize,
+    slots: usize,
+    ox0: usize,
+    ox1: usize,
+    oy0: usize,
+    oy1: usize,
+    wr: AccessKind,
+) {
+    let dim = l.dim;
+    let h = r * c;
+    let gx0 = ox0.saturating_sub(h);
+    let gx1 = (ox1 + h).min(dim.nx);
+    let gy0 = oy0.saturating_sub(h);
+    let gy1 = (oy1 + h).min(dim.ny);
+    let (lx, ly) = (gx1 - gx0, gy1 - gy0);
+    let plane = (lx * ly) as u64;
+
+    // Ring t (1-based level, stored for levels 1..c) lives at:
+    let ring_addr = |level: usize, z: usize, xl: usize, yl: usize| -> u64 {
+        l.ring_base
+            + ((level - 1) as u64 * slots as u64 * plane
+                + (z % slots) as u64 * plane
+                + (yl * lx + xl) as u64)
+                * l.elem
+    };
+
+    let compute_x = |t: usize| -> (usize, usize) {
+        let lo = if gx0 == 0 { r } else { gx0 + r * t };
+        let hi = if gx1 == dim.nx {
+            dim.nx - r
+        } else {
+            gx1.saturating_sub(r * t)
+        };
+        (lo, hi.max(lo))
+    };
+    let compute_y = |t: usize| -> (usize, usize) {
+        let lo = if gy0 == 0 { r } else { gy0 + r * t };
+        let hi = if gy1 == dim.ny {
+            dim.ny - r
+        } else {
+            gy1.saturating_sub(r * t)
+        };
+        (lo, hi.max(lo))
+    };
+    let (cx0, cx1) = compute_x(c);
+    let (cy0, cy1) = compute_y(c);
+    if cx0 >= cx1 || cy0 >= cy1 {
+        return;
+    }
+
+    for s in 0..dim.nz + 2 * r * (c - 1) {
+        for t in 1..=c {
+            let lag = 2 * r * (t - 1);
+            if s < lag {
+                continue;
+            }
+            let z = s - lag;
+            if z >= dim.nz {
+                continue;
+            }
+            let z_boundary = z < r || z >= dim.nz - r;
+            if z_boundary {
+                if t < c {
+                    // Copy the Dirichlet plane into the ring.
+                    for yl in 0..ly {
+                        for xl in 0..lx {
+                            cache.access(l.src(gx0 + xl, gy0 + yl, z), AccessKind::Read);
+                            cache.access(ring_addr(t, z, xl, yl), AccessKind::Write);
+                        }
+                    }
+                }
+                continue;
+            }
+            let (x0, x1) = compute_x(t);
+            let (y0, y1) = compute_y(t);
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    if t == 1 {
+                        // Level 1 reads the source grid.
+                        for (dx, dy, dz) in NEIGHBORS {
+                            cache.access(
+                                l.src(
+                                    (x as i64 + dx) as usize,
+                                    (y as i64 + dy) as usize,
+                                    (z as i64 + dz) as usize,
+                                ),
+                                AccessKind::Read,
+                            );
+                        }
+                    } else {
+                        // Deeper levels read the previous level's ring.
+                        for (dx, dy, dz) in NEIGHBORS {
+                            cache.access(
+                                ring_addr(
+                                    t - 1,
+                                    (z as i64 + dz) as usize,
+                                    (x as i64 + dx) as usize - gx0,
+                                    (y as i64 + dy) as usize - gy0,
+                                ),
+                                AccessKind::Read,
+                            );
+                        }
+                    }
+                    if t == c {
+                        cache.access(l.dst(x, y, z), wr);
+                    } else {
+                        cache.access(ring_addr(t, z, x - gx0, y - gy0), AccessKind::Write);
+                    }
+                }
+            }
+            // Dirichlet rims into the ring (Y faces; X rim cells).
+            if t < c {
+                for yl in 0..ly {
+                    let y = gy0 + yl;
+                    if y < r || y >= dim.ny - r {
+                        for xl in 0..lx {
+                            cache.access(l.src(gx0 + xl, y, z), AccessKind::Read);
+                            cache.access(ring_addr(t, z, xl, yl), AccessKind::Write);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+const NEIGHBORS: [(i64, i64, i64); 7] = [
+    (0, 0, 0),
+    (-1, 0, 0),
+    (1, 0, 0),
+    (0, -1, 0),
+    (0, 1, 0),
+    (0, 0, -1),
+    (0, 0, 1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threefive_core::planner::kappa_35d;
+
+    const E: usize = 4; // f32
+
+    /// One grid slab in bytes.
+    fn slab_bytes(n: usize) -> usize {
+        n * n * E
+    }
+
+    #[test]
+    fn naive_with_fitting_slabs_loads_each_point_once_per_step() {
+        // Cache holds several slabs: the z-direction reuse works and each
+        // point is fetched ~once per step (plus write-allocate).
+        let n = 32usize;
+        let dim = Dim3::cube(n);
+        let mut cache = CacheSim::llc(8 * slab_bytes(n));
+        let res = naive_sweep_trace(dim, E, 2, true, &mut cache);
+        let ideal_reads = (dim.len() * 2 * E) as f64; // one fill per point/step
+        let measured = res.stats.dram_read_bytes(64) as f64;
+        assert!(
+            measured < 1.4 * ideal_reads,
+            "reads {measured} vs ideal {ideal_reads}"
+        );
+    }
+
+    #[test]
+    fn naive_with_tiny_cache_refetches_neighboring_slabs() {
+        // Cache far smaller than one slab: the three-plane reuse dies and
+        // each point streams in ~3x per step (for z-1, z, z+1).
+        let n = 64usize;
+        let dim = Dim3::cube(n);
+        let mut cache = CacheSim::llc(slab_bytes(n) / 4);
+        let res = naive_sweep_trace(dim, E, 1, true, &mut cache);
+        let per_point_reads = res.stats.dram_read_bytes(64) as f64 / dim.len() as f64;
+        assert!(
+            per_point_reads > 2.0 * E as f64,
+            "expected z-reuse to fail: {per_point_reads} B/pt"
+        );
+    }
+
+    #[test]
+    fn blocked35d_reduces_dram_traffic_by_dim_t_over_kappa() {
+        // The headline claim (Eq. 1 + §V-E), measured: with rings resident,
+        // dim_T steps cost one read+write of the (ghost-expanded) grid.
+        let n = 48usize;
+        let tile = 24usize;
+        let dim_t = 2usize;
+        let dim = Dim3::cube(n);
+        // Cache sized to hold the rings comfortably but NOT the grid:
+        // ring footprint = (dim_t-1) rings x 4 planes x (tile+4)^2 x 4B.
+        let ring_bytes = (dim_t - 1) * 4 * (tile + 2 * dim_t) * (tile + 2 * dim_t) * E;
+        let mut cache = CacheSim::llc((8 * ring_bytes).next_power_of_two());
+        let res35 = blocked35d_trace(dim, E, dim_t, tile, dim_t, true, &mut cache);
+
+        let mut cache_n = CacheSim::llc((8 * ring_bytes).next_power_of_two());
+        let res_naive = naive_sweep_trace(dim, E, dim_t, true, &mut cache_n);
+
+        let ratio = res_naive.stats.dram_bytes(64) as f64 / res35.stats.dram_bytes(64) as f64;
+        let kappa = kappa_35d(1, dim_t, tile + 2 * dim_t, tile + 2 * dim_t);
+        let predicted = dim_t as f64 / kappa;
+        assert!(
+            ratio > 0.7 * predicted && ratio < 1.5 * predicted,
+            "measured traffic ratio {ratio:.2}, predicted dim_T/kappa = {predicted:.2}"
+        );
+        assert!(ratio > 1.2, "3.5-D must actually reduce traffic: {ratio}");
+    }
+
+    #[test]
+    fn equation_one_violation_degrades_the_gain() {
+        // Same pipeline twice: once with the rings resident (Eq. 1 holds)
+        // and once with a cache an order of magnitude smaller than the
+        // rings. The measured traffic gain over the identically-cached
+        // naive sweep must drop substantially in the violated case.
+        let n = 48usize;
+        let tile = 48usize; // whole-plane tiles → big rings
+        let dim_t = 3usize;
+        let dim = Dim3::cube(n);
+        let ring_bytes = (dim_t - 1) * 4 * n * n * E;
+
+        let gain_with = |cache_bytes: usize| -> f64 {
+            let mut cb = CacheSim::llc(cache_bytes);
+            let blocked = blocked35d_trace(dim, E, dim_t, tile, dim_t, true, &mut cb);
+            let mut cn = CacheSim::llc(cache_bytes);
+            let naive = naive_sweep_trace(dim, E, dim_t, true, &mut cn);
+            naive.stats.dram_bytes(64) as f64 / blocked.stats.dram_bytes(64) as f64
+        };
+        let resident = gain_with((4 * ring_bytes).next_power_of_two());
+        let violated = gain_with((ring_bytes / 16).next_power_of_two());
+        assert!(
+            resident > 2.0,
+            "resident rings must gain ~dim_T: {resident}"
+        );
+        assert!(
+            violated < 0.75 * resident,
+            "violating Eq. 1 must cost most of the gain: {violated} vs {resident}"
+        );
+    }
+
+    #[test]
+    fn temporal_only_works_exactly_when_plane_rings_fit() {
+        // The Figure 4(a) crossover, measured in the cache simulator.
+        let dim_t = 3usize;
+        let fit_n = 24usize; // rings: 2 levels x 4 planes x 24² x 4 B ≈ 18 KB
+        let nofit_n = 96usize; // rings ≈ 295 KB
+        let cache_bytes = 64 << 10;
+
+        let mut c1 = CacheSim::llc(cache_bytes);
+        let fit = temporal_trace(Dim3::cube(fit_n), E, dim_t, dim_t, true, &mut c1);
+        let mut c2 = CacheSim::llc(cache_bytes);
+        let fit_naive = naive_sweep_trace(Dim3::cube(fit_n), E, dim_t, true, &mut c2);
+        let gain_small = fit_naive.stats.dram_bytes(64) as f64 / fit.stats.dram_bytes(64) as f64;
+
+        let mut c3 = CacheSim::llc(cache_bytes);
+        let nofit = temporal_trace(Dim3::cube(nofit_n), E, dim_t, dim_t, true, &mut c3);
+        let mut c4 = CacheSim::llc(cache_bytes);
+        let nofit_naive = naive_sweep_trace(Dim3::cube(nofit_n), E, dim_t, true, &mut c4);
+        let gain_large =
+            nofit_naive.stats.dram_bytes(64) as f64 / nofit.stats.dram_bytes(64) as f64;
+
+        assert!(
+            gain_small > 1.4,
+            "temporal-only must help when rings fit: {gain_small}"
+        );
+        assert!(
+            gain_large < gain_small * 0.75,
+            "and fade when they don't: small {gain_small} vs large {gain_large}"
+        );
+    }
+
+    #[test]
+    fn write_allocate_vs_streaming_store_traffic() {
+        // §IV-A1: streaming stores eliminate the write-allocate fetch.
+        let dim = Dim3::cube(32);
+        let mut a = CacheSim::llc(1 << 20);
+        let with_ws = naive_sweep_trace(dim, E, 1, false, &mut a);
+        let mut b = CacheSim::llc(1 << 20);
+        let with_ss = naive_sweep_trace(dim, E, 1, true, &mut b);
+        assert!(
+            with_ws.stats.dram_read_bytes(64) > with_ss.stats.dram_read_bytes(64),
+            "write-allocate must add read traffic"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! The executor ladder (paper §V, §VI-A).
+//!
+//! Every function here advances a Jacobi [`DoubleGrid`](threefive_grid::DoubleGrid) by `steps` time
+//! steps under Dirichlet boundaries and leaves the result in `grids.src()`.
+//! All executors compute **identical results** (bit-exact, because kernels
+//! fix their association order); they differ only in traversal order,
+//! buffering, temporal blocking and parallelism — which is exactly what
+//! the paper's figures compare.
+//!
+//! | Executor | Paper label |
+//! |---|---|
+//! | [`reference_sweep`] | no-blocking, scalar |
+//! | [`simd_sweep`] | no-blocking (+SIMD) |
+//! | [`blocked3d_sweep`] | 3-D spatial blocking |
+//! | [`blocked25d_sweep`] | spatial-only (2.5-D) blocking |
+//! | [`temporal_sweep`] | temporal-only blocking |
+//! | [`blocked4d_sweep`] | 4-D (3-D space + time) blocking |
+//! | [`blocked35d_sweep`] | 3.5-D blocking, serial |
+//! | [`parallel35d_sweep`] | 3.5-D blocking, parallel |
+
+mod blocked25d;
+mod blocked3d;
+mod blocked4d;
+mod periodic;
+mod pipeline35;
+mod reference;
+mod tile_parallel;
+
+pub use blocked25d::blocked25d_sweep;
+pub use blocked3d::blocked3d_sweep;
+pub use blocked4d::blocked4d_sweep;
+pub use periodic::{periodic35d_sweep, reference_sweep_periodic, wrap_extend};
+pub use pipeline35::{blocked35d_sweep, parallel35d_sweep, temporal_sweep, Blocking35};
+pub use reference::{reference_sweep, simd_sweep};
+pub use tile_parallel::tile_parallel35d_sweep;
+
+use threefive_grid::{Dim3, Real};
+
+/// Validates that a grid is large enough for radius-`r` sweeps to have an
+/// interior; returns `false` for degenerate grids where every sweep is a
+/// no-op (the executors then return immediately, by construction agreeing
+/// with the reference).
+pub(crate) fn has_interior(dim: Dim3, r: usize) -> bool {
+    !dim.interior_region(r).is_empty()
+}
+
+/// Bytes of one grid point for modeled-traffic purposes.
+pub(crate) fn elem_bytes<T: Real>() -> u64 {
+    T::BYTES as u64
+}

@@ -1,0 +1,696 @@
+//! The 3.5-D blocking pipeline (paper §V-C, §V-E) — serial and parallel.
+//!
+//! # Structure
+//!
+//! The XY plane is covered by non-overlapping *owned* tiles of
+//! `dim_x × dim_y`. Each tile's footprint is expanded by `R·dim_T` into a
+//! *loaded* region. For every chunk of `dim_T` time steps the tile streams
+//! through Z once: time level `t′ = 1` reads the source grid (time `T`),
+//! levels `1 < t′ < dim_T` read/write in-cache plane rings, and level
+//! `dim_T` writes the destination grid (time `T + dim_T`) — so DRAM sees
+//! each point once per `dim_T` steps.
+//!
+//! Levels are staggered along Z by `2R` planes (the paper's
+//! `z_s = z + 2R(dim_T − t″)` schedule): at outer step `s`, level `t′`
+//! processes plane `z = s − 2R(t′−1)`. The extra `R` of lag (beyond the
+//! `R` strictly required by the data dependence) is what lets **all**
+//! levels execute concurrently in one barrier-separated step, giving
+//! `dim_T`-fold more parallelism than one-level-at-a-time schemes (§V-C).
+//!
+//! # Ring capacity
+//!
+//! The paper stores `2R+2` sub-planes per time level. With the `2R` lag a
+//! level's ring must simultaneously retain the producer's current plane
+//! `z` and the consumer's read window `[z−3R, z−R]`, i.e. `3R+1` distinct
+//! planes — which equals `2R+2` at the paper's `R = 1` but exceeds it for
+//! `R ≥ 2`. We allocate `max(2R+2, 3R+1)` slots so the pipeline is correct
+//! for every radius; the planner's capacity formula (Eq. 1) keeps the
+//! paper's `2R+2` since both kernels studied have `R = 1`.
+//!
+//! # Parallelization (§V-D)
+//!
+//! Within a tile, every thread owns a fixed band of Y rows of **every**
+//! sub-plane at **every** time level (the flexible load-balancing scheme),
+//! performing identical DRAM traffic and flops; one barrier separates
+//! consecutive outer steps. The serial executor is the same code run by a
+//! one-member team.
+
+use std::ops::Range;
+
+use threefive_grid::partition::even_range;
+use threefive_grid::{Dim3, DoubleGrid, Grid3, PlaneRing, Real};
+use threefive_sync::{SharedSlice, SpinBarrier, ThreadTeam};
+
+use crate::exec::{elem_bytes, has_interior};
+use crate::kernel::StencilKernel;
+use crate::stats::SweepStats;
+
+/// 3.5-D blocking parameters: owned XY tile dims and temporal factor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Blocking35 {
+    /// Owned tile extent along X.
+    pub dim_x: usize,
+    /// Owned tile extent along Y.
+    pub dim_y: usize,
+    /// Temporal blocking factor `dim_T`.
+    pub dim_t: usize,
+}
+
+impl Blocking35 {
+    /// Creates blocking parameters.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero.
+    pub fn new(dim_x: usize, dim_y: usize, dim_t: usize) -> Self {
+        assert!(
+            dim_x > 0 && dim_y > 0 && dim_t > 0,
+            "Blocking35: zero parameter"
+        );
+        Self {
+            dim_x,
+            dim_y,
+            dim_t,
+        }
+    }
+}
+
+/// Serial 3.5-D blocked sweep. Result ends in `grids.src()`; bit-exact
+/// with [`reference_sweep`](crate::exec::reference_sweep).
+pub fn blocked35d_sweep<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    steps: usize,
+    b: Blocking35,
+) -> SweepStats {
+    let team = ThreadTeam::new(1);
+    parallel35d_sweep(kernel, grids, steps, b, &team)
+}
+
+/// Temporal-only blocking (Habich-style, §VII-B "only temporal blocking"):
+/// the tile is the whole XY plane, so there is no ghost overestimation —
+/// but the plane rings only fit in cache for small grids.
+pub fn temporal_sweep<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    steps: usize,
+    dim_t: usize,
+) -> SweepStats {
+    let d = grids.dim();
+    blocked35d_sweep(kernel, grids, steps, Blocking35::new(d.nx, d.ny, dim_t))
+}
+
+/// Parallel 3.5-D blocked sweep over a persistent [`ThreadTeam`].
+///
+/// Result ends in `grids.src()`; bit-exact with
+/// [`reference_sweep`](crate::exec::reference_sweep) for every team size.
+pub fn parallel35d_sweep<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    steps: usize,
+    b: Blocking35,
+    team: &ThreadTeam,
+) -> SweepStats {
+    let dim = grids.dim();
+    let r = kernel.radius();
+    if !has_interior(dim, r) {
+        return SweepStats::default();
+    }
+    let barrier = SpinBarrier::new(team.threads());
+    let mut stats = SweepStats::default();
+    let mut remaining = steps;
+    while remaining > 0 {
+        let chunk = remaining.min(b.dim_t);
+        let (src, dst) = grids.pair_mut();
+        let dst_dim = dim;
+        let dst_view = SharedSlice::new(dst.as_mut_slice());
+        let mut oy = 0usize;
+        while oy < dim.ny {
+            let oy1 = (oy + b.dim_y).min(dim.ny);
+            let mut ox = 0usize;
+            while ox < dim.nx {
+                let ox1 = (ox + b.dim_x).min(dim.nx);
+                let geom = TileGeom::new(dim, r, chunk, ox, ox1, oy, oy1);
+                if geom.has_commit() {
+                    tile_pipeline(kernel, src, &dst_view, dst_dim, &geom, team, &barrier);
+                    stats = stats + geom.stats::<T>();
+                }
+                ox = ox1;
+            }
+            oy = oy1;
+        }
+        grids.swap();
+        remaining -= chunk;
+    }
+    stats
+}
+
+/// Geometry of one tile × chunk: owned/loaded regions and per-level
+/// compute ranges.
+pub(crate) struct TileGeom {
+    dim: Dim3,
+    r: usize,
+    c: usize,
+    gx0: usize,
+    gx1: usize,
+    gy0: usize,
+    gy1: usize,
+}
+
+impl TileGeom {
+    fn new(dim: Dim3, r: usize, c: usize, ox0: usize, ox1: usize, oy0: usize, oy1: usize) -> Self {
+        let h = r * c;
+        Self {
+            dim,
+            r,
+            c,
+            gx0: ox0.saturating_sub(h),
+            gx1: (ox1 + h).min(dim.nx),
+            gy0: oy0.saturating_sub(h),
+            gy1: (oy1 + h).min(dim.ny),
+        }
+    }
+
+    fn lx(&self) -> usize {
+        self.gx1 - self.gx0
+    }
+    fn ly(&self) -> usize {
+        self.gy1 - self.gy0
+    }
+
+    /// Global X compute range for level `t` (1-based): shrinks by `R` per
+    /// level from loaded edges, except at grid faces where the Dirichlet
+    /// rim is fixed at `R`.
+    fn compute_x(&self, t: usize) -> Range<usize> {
+        let lo = if self.gx0 == 0 {
+            self.r
+        } else {
+            self.gx0 + self.r * t
+        };
+        let hi = if self.gx1 == self.dim.nx {
+            self.dim.nx - self.r
+        } else {
+            self.gx1.saturating_sub(self.r * t)
+        };
+        lo..hi.max(lo)
+    }
+
+    /// Global Y compute range for level `t`.
+    fn compute_y(&self, t: usize) -> Range<usize> {
+        let lo = if self.gy0 == 0 {
+            self.r
+        } else {
+            self.gy0 + self.r * t
+        };
+        let hi = if self.gy1 == self.dim.ny {
+            self.dim.ny - self.r
+        } else {
+            self.gy1.saturating_sub(self.r * t)
+        };
+        lo..hi.max(lo)
+    }
+
+    /// Whether the final level commits anything (owned ∩ interior).
+    pub(crate) fn has_commit(&self) -> bool {
+        !self.compute_x(self.c).is_empty() && !self.compute_y(self.c).is_empty()
+    }
+
+    /// Interior Z planes.
+    fn interior_z(&self) -> Range<usize> {
+        self.r..self.dim.nz - self.r
+    }
+
+    /// Analytic work/traffic accounting for this tile × chunk.
+    pub(crate) fn stats<T: Real>(&self) -> SweepStats {
+        let nz_int = self.interior_z().len() as u64;
+        let mut updates = 0u64;
+        for t in 1..=self.c {
+            updates += (self.compute_x(t).len() * self.compute_y(t).len()) as u64 * nz_int;
+        }
+        let commit = (self.compute_x(self.c).len() * self.compute_y(self.c).len()) as u64 * nz_int;
+        let e = elem_bytes::<T>();
+        SweepStats {
+            stencil_updates: updates,
+            committed_points: commit * self.c as u64,
+            // Level 1 streams the loaded footprint in once per chunk; the
+            // committed region streams out (with write-allocate).
+            dram_bytes_read: (self.lx() * self.ly() * self.dim.nz) as u64 * e + commit * e,
+            dram_bytes_written: commit * e,
+        }
+    }
+}
+
+/// Builds the tile geometry (used by the scheduling-ablation executor).
+pub(crate) fn tile_geometry(
+    dim: Dim3,
+    r: usize,
+    c: usize,
+    ox0: usize,
+    ox1: usize,
+    oy0: usize,
+    oy1: usize,
+) -> TileGeom {
+    TileGeom::new(dim, r, c, ox0, ox1, oy0, oy1)
+}
+
+/// Runs one tile's pipeline entirely on the calling thread (no barriers) —
+/// the building block of the tile-level-parallel scheduling ablation.
+pub(crate) fn tile_pipeline_serial<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    src: &Grid3<T>,
+    dst_view: &SharedSlice<'_, T>,
+    dst_dim: Dim3,
+    geom: &TileGeom,
+) {
+    if !geom.has_commit() {
+        return;
+    }
+    let (r, c) = (geom.r, geom.c);
+    let (lx, ly) = (geom.lx(), geom.ly());
+    let slots = (2 * r + 2).max(3 * r + 1);
+    let mut rings: Vec<PlaneRing<T>> = (1..c).map(|_| PlaneRing::new(slots, lx * ly)).collect();
+    let ring_views: Vec<RingView<'_, T>> =
+        rings.iter_mut().map(|rg| RingView::new(rg, lx)).collect();
+    let my_rows = 0..ly;
+    let mut planes_buf: Vec<&[T]> = Vec::with_capacity(2 * r + 1);
+    let outer_steps = geom.dim.nz + 2 * r * (c - 1);
+    for s in 0..outer_steps {
+        for t in 1..=c {
+            let lag = 2 * r * (t - 1);
+            if s < lag {
+                continue;
+            }
+            let z = s - lag;
+            if z < geom.dim.nz {
+                process_level(
+                    kernel,
+                    src,
+                    dst_view,
+                    dst_dim,
+                    geom,
+                    &ring_views,
+                    t,
+                    z,
+                    &my_rows,
+                    &mut planes_buf,
+                );
+            }
+        }
+        planes_buf.clear();
+    }
+}
+
+/// View over one time level's plane ring shared across the team.
+struct RingView<'a, T> {
+    view: SharedSlice<'a, T>,
+    slots: usize,
+    plane_len: usize,
+    lx: usize,
+}
+
+impl<'a, T: Real> RingView<'a, T> {
+    fn new(ring: &'a mut PlaneRing<T>, lx: usize) -> Self {
+        let slots = ring.slots();
+        let plane_len = ring.plane_len();
+        Self {
+            view: SharedSlice::new(ring.as_mut_slice()),
+            slots,
+            plane_len,
+            lx,
+        }
+    }
+
+    fn base(&self, z: usize) -> usize {
+        (z % self.slots) * self.plane_len
+    }
+
+    /// Shared read of the plane stored for global Z index `z`.
+    ///
+    /// # Safety
+    /// No thread may be writing this plane concurrently (guaranteed by the
+    /// pipeline's slot-disjointness and per-step barriers).
+    unsafe fn plane(&self, z: usize) -> &[T] {
+        // SAFETY: forwarded contract.
+        unsafe { self.view.slice(self.base(z), self.plane_len) }
+    }
+
+    /// Mutable access to local columns `[x0, x1)` of local row `row` of the
+    /// plane for `z`.
+    ///
+    /// # Safety
+    /// The caller must own this row range exclusively for the current step
+    /// (guaranteed by the per-thread row partition).
+    // Interior mutability through SharedSlice; exclusivity is the contract.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row_mut(&self, z: usize, row: usize, x0: usize, x1: usize) -> &mut [T] {
+        // SAFETY: forwarded contract.
+        unsafe {
+            self.view
+                .slice_mut(self.base(z) + row * self.lx + x0, x1 - x0)
+        }
+    }
+}
+
+/// Runs the full pipeline for one tile × chunk on the team.
+fn tile_pipeline<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    src: &Grid3<T>,
+    dst_view: &SharedSlice<T>,
+    dst_dim: Dim3,
+    geom: &TileGeom,
+    team: &ThreadTeam,
+    barrier: &SpinBarrier,
+) {
+    let (r, c) = (geom.r, geom.c);
+    let (lx, ly) = (geom.lx(), geom.ly());
+    // max(2R+2, 3R+1) slots: see module docs.
+    let slots = (2 * r + 2).max(3 * r + 1);
+    let mut rings: Vec<PlaneRing<T>> = (1..c).map(|_| PlaneRing::new(slots, lx * ly)).collect();
+    let ring_views: Vec<RingView<'_, T>> =
+        rings.iter_mut().map(|rg| RingView::new(rg, lx)).collect();
+
+    let n_threads = team.threads();
+    let outer_steps = geom.dim.nz + 2 * r * (c - 1);
+
+    team.run(|tid| {
+        // The flexible load-balancing scheme: this thread owns a fixed band
+        // of local rows at every level and plane.
+        let my_rows = even_range(ly, n_threads, tid);
+        let mut planes_buf: Vec<&[T]> = Vec::with_capacity(2 * r + 1);
+        for s in 0..outer_steps {
+            for t in 1..=c {
+                let lag = 2 * r * (t - 1);
+                if s < lag {
+                    continue;
+                }
+                let z = s - lag;
+                if z < geom.dim.nz {
+                    process_level(
+                        kernel,
+                        src,
+                        dst_view,
+                        dst_dim,
+                        geom,
+                        &ring_views,
+                        t,
+                        z,
+                        &my_rows,
+                        &mut planes_buf,
+                    );
+                }
+            }
+            planes_buf.clear();
+            barrier.wait();
+        }
+    });
+}
+
+/// Executes level `t`'s work for global plane `z`, restricted to this
+/// thread's local rows.
+#[allow(clippy::too_many_arguments)]
+fn process_level<'a, T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    src: &'a Grid3<T>,
+    dst_view: &SharedSlice<T>,
+    dst_dim: Dim3,
+    geom: &TileGeom,
+    rings: &'a [RingView<'a, T>],
+    t: usize,
+    z: usize,
+    my_rows: &Range<usize>,
+    planes_buf: &mut Vec<&'a [T]>,
+) {
+    let (r, c) = (geom.r, geom.c);
+    let dim = geom.dim;
+    let is_final = t == c;
+    let z_boundary = z < r || z >= dim.nz - r;
+
+    if z_boundary {
+        if !is_final {
+            // Dirichlet Z plane: intermediate levels must hold it so the
+            // next level's reads see boundary values; the final level's
+            // destination grid already carries them.
+            for row in my_rows.clone() {
+                let y = geom.gy0 + row;
+                // SAFETY: this thread owns `row` of every ring plane.
+                let dst = unsafe { rings[t - 1].row_mut(z, row, 0, geom.lx()) };
+                dst.copy_from_slice(&src.row(y, z)[geom.gx0..geom.gx1]);
+            }
+        }
+        return;
+    }
+
+    let xs = geom.compute_x(t);
+    let ys = geom.compute_y(t);
+
+    // Stencil rows this thread owns.
+    let row_lo = ys.start.max(geom.gy0 + my_rows.start);
+    let row_hi = ys.end.min(geom.gy0 + my_rows.end);
+
+    if row_lo < row_hi && !xs.is_empty() {
+        planes_buf.clear();
+        if t == 1 {
+            // Level 1 reads the source grid directly (global stride).
+            for zz in z - r..=z + r {
+                planes_buf.push(src.plane(zz));
+            }
+        } else {
+            // Deeper levels read the previous level's ring (local stride).
+            for zz in z - r..=z + r {
+                // SAFETY: those planes were completed at earlier outer
+                // steps (barrier-separated) and their slots are disjoint
+                // from any plane written in this step.
+                planes_buf.push(unsafe { rings[t - 2].plane(zz) });
+            }
+        }
+        let (nx, x_off, y_off) = if t == 1 {
+            (dim.nx, 0usize, 0usize)
+        } else {
+            (geom.lx(), geom.gx0, geom.gy0)
+        };
+
+        for y in row_lo..row_hi {
+            let out: &mut [T] = if is_final {
+                // SAFETY: this thread owns row `y` of the destination.
+                unsafe { dst_view.slice_mut(dst_dim.idx(xs.start, y, z), xs.len()) }
+            } else {
+                // SAFETY: this thread owns this local row of the ring.
+                unsafe {
+                    rings[t - 1].row_mut(z, y - geom.gy0, xs.start - geom.gx0, xs.end - geom.gx0)
+                }
+            };
+            kernel.apply_row(
+                planes_buf,
+                nx,
+                y - y_off,
+                xs.start - x_off..xs.end - x_off,
+                out,
+            );
+
+            if !is_final {
+                // Dirichlet X rim inside the loaded footprint, so deeper
+                // levels read correct boundary values.
+                if geom.gx0 == 0 && r > 0 {
+                    // SAFETY: same row ownership as above.
+                    let rim = unsafe { rings[t - 1].row_mut(z, y - geom.gy0, 0, r) };
+                    rim.copy_from_slice(&src.row(y, z)[0..r]);
+                }
+                if geom.gx1 == dim.nx && r > 0 {
+                    let lx = geom.lx();
+                    // SAFETY: same row ownership as above.
+                    let rim = unsafe { rings[t - 1].row_mut(z, y - geom.gy0, lx - r, lx) };
+                    rim.copy_from_slice(&src.row(y, z)[dim.nx - r..dim.nx]);
+                }
+            }
+        }
+    }
+
+    if !is_final {
+        // Dirichlet Y rows (grid faces) inside the loaded footprint.
+        for row in my_rows.clone() {
+            let y = geom.gy0 + row;
+            if y < r || y >= dim.ny - r {
+                // SAFETY: this thread owns `row` of every ring plane.
+                let dst = unsafe { rings[t - 1].row_mut(z, row, 0, geom.lx()) };
+                dst.copy_from_slice(&src.row(y, z)[geom.gx0..geom.gx1]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::reference_sweep;
+    use crate::kernel::{GenericStar, SevenPoint, TwentySevenPoint};
+    use crate::planner::kappa_35d;
+
+    fn init<T: Real>(d: Dim3) -> DoubleGrid<T> {
+        DoubleGrid::from_initial(Grid3::from_fn(d, |x, y, z| {
+            T::from_f64((((x * 17 + y * 23 + z * 29) % 31) as f64) * 0.125 - 1.5)
+        }))
+    }
+
+    #[test]
+    fn serial_matches_reference_across_tilings() {
+        let d = Dim3::new(14, 12, 10);
+        let k = SevenPoint::new(0.3f32, 0.1);
+        for steps in [1usize, 2, 3, 4, 6] {
+            let mut want = init::<f32>(d);
+            reference_sweep(&k, &mut want, steps);
+            for (tx, ty, dt) in [
+                (6usize, 6usize, 2usize),
+                (14, 12, 2),
+                (5, 7, 3),
+                (4, 4, 1),
+                (14, 12, 4),
+                (3, 3, 2),
+            ] {
+                let mut got = init::<f32>(d);
+                blocked35d_sweep(&k, &mut got, steps, Blocking35::new(tx, ty, dt));
+                assert_eq!(
+                    got.src().as_slice(),
+                    want.src().as_slice(),
+                    "steps={steps} tile={tx}x{ty} dimT={dt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_matches_reference_f64_27pt() {
+        let d = Dim3::cube(11);
+        let k = TwentySevenPoint::<f64>::smoothing();
+        let mut want = init::<f64>(d);
+        reference_sweep(&k, &mut want, 4);
+        let mut got = init::<f64>(d);
+        blocked35d_sweep(&k, &mut got, 4, Blocking35::new(5, 6, 2));
+        assert_eq!(got.src().as_slice(), want.src().as_slice());
+    }
+
+    #[test]
+    fn serial_matches_reference_radius_two() {
+        // R = 2 exercises the 3R+1 ring-capacity generalization.
+        let d = Dim3::cube(16);
+        let k = GenericStar::<f64>::smoothing(2);
+        for steps in [2usize, 4, 5] {
+            let mut want = init::<f64>(d);
+            reference_sweep(&k, &mut want, steps);
+            let mut got = init::<f64>(d);
+            blocked35d_sweep(&k, &mut got, steps, Blocking35::new(7, 9, 2));
+            assert_eq!(got.src().as_slice(), want.src().as_slice(), "steps={steps}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_reference_for_every_team_size() {
+        let d = Dim3::new(13, 11, 9);
+        let k = SevenPoint::new(0.3f32, 0.1);
+        let mut want = init::<f32>(d);
+        reference_sweep(&k, &mut want, 4);
+        for threads in [1usize, 2, 3, 4, 7] {
+            let team = ThreadTeam::new(threads);
+            let mut got = init::<f32>(d);
+            parallel35d_sweep(&k, &mut got, 4, Blocking35::new(6, 5, 2), &team);
+            assert_eq!(
+                got.src().as_slice(),
+                want.src().as_slice(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_with_partial_rows() {
+        // More threads than tile rows: the partition degrades gracefully
+        // (some members idle), results stay exact.
+        let d = Dim3::cube(8);
+        let k = SevenPoint::new(0.25f64, 0.125);
+        let mut want = init::<f64>(d);
+        reference_sweep(&k, &mut want, 3);
+        let team = ThreadTeam::new(6);
+        let mut got = init::<f64>(d);
+        parallel35d_sweep(&k, &mut got, 3, Blocking35::new(4, 2, 3), &team);
+        assert_eq!(got.src().as_slice(), want.src().as_slice());
+    }
+
+    #[test]
+    fn temporal_only_is_ghost_free() {
+        let d = Dim3::cube(12);
+        let k = SevenPoint::new(0.3f32, 0.1);
+        let mut want = init::<f32>(d);
+        reference_sweep(&k, &mut want, 4);
+        let mut got = init::<f32>(d);
+        let stats = temporal_sweep(&k, &mut got, 4, 2);
+        assert_eq!(got.src().as_slice(), want.src().as_slice());
+        // Whole-plane tiles ⇒ every level computes the full interior ⇒ no
+        // recompute overestimation.
+        assert!((stats.overestimation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_and_recompute_track_kappa_35d() {
+        let (tx, dt, r) = (16usize, 2usize, 1usize);
+        let d = Dim3::new(tx * 3, tx * 3, 12);
+        let k = SevenPoint::new(0.3f64, 0.1);
+        let mut g = init::<f64>(d);
+        let stats = blocked35d_sweep(&k, &mut g, dt, Blocking35::new(tx, tx, dt));
+        let loaded = tx + 2 * r * dt;
+        let kappa = kappa_35d(r, dt, loaded, loaded);
+
+        // Bandwidth: loaded footprints per chunk vs one-load-per-point.
+        let e = 8u64;
+        let commit_bytes = stats.committed_points / dt as u64 * e;
+        let measured_kappa =
+            (stats.dram_bytes_read - commit_bytes) as f64 / (d.len() as u64 * e) as f64;
+        assert!(
+            measured_kappa <= kappa * 1.0001 && measured_kappa > 0.6 * kappa,
+            "traffic {measured_kappa} vs kappa {kappa}"
+        );
+
+        // Compute: ghost recomputation is visible but bounded by κ.
+        let over = stats.overestimation();
+        assert!(
+            over > 1.02 && over <= kappa,
+            "recompute {over} vs kappa {kappa}"
+        );
+    }
+
+    #[test]
+    fn dram_traffic_reduces_by_dim_t() {
+        // The headline claim: 3.5-D traffic ≈ (no-blocking traffic) × κ/dimT.
+        let d = Dim3::cube(24);
+        let k = SevenPoint::new(0.3f32, 0.1);
+        let steps = 4usize;
+        let mut a = init::<f32>(d);
+        let naive = reference_sweep(&k, &mut a, steps);
+        let mut b = init::<f32>(d);
+        let blocked = blocked35d_sweep(&k, &mut b, steps, Blocking35::new(12, 12, 2));
+        let ratio = naive.dram_bytes() as f64 / blocked.dram_bytes() as f64;
+        // dimT = 2 with modest κ: expect between 1.4X and 2X reduction.
+        assert!(ratio > 1.4 && ratio <= 2.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_interior_grid_is_no_op() {
+        let d = Dim3::new(5, 2, 5);
+        let k = SevenPoint::new(0.3f32, 0.1);
+        let mut g = init::<f32>(d);
+        let before = g.src().clone();
+        let stats = blocked35d_sweep(&k, &mut g, 3, Blocking35::new(4, 4, 2));
+        assert_eq!(g.src().as_slice(), before.as_slice());
+        assert_eq!(stats, SweepStats::default());
+    }
+
+    #[test]
+    fn steps_not_multiple_of_dim_t() {
+        let d = Dim3::cube(10);
+        let k = SevenPoint::new(0.3f64, 0.1);
+        for steps in 1..=7 {
+            let mut want = init::<f64>(d);
+            reference_sweep(&k, &mut want, steps);
+            let mut got = init::<f64>(d);
+            blocked35d_sweep(&k, &mut got, steps, Blocking35::new(5, 5, 3));
+            assert_eq!(got.src().as_slice(), want.src().as_slice(), "steps={steps}");
+        }
+    }
+}

@@ -1,0 +1,644 @@
+//! Stencil kernels (paper §IV).
+//!
+//! A kernel knows its radius, its per-point operation counts (the paper
+//! counts arithmetic *and* memory instructions as "ops"), and how to apply
+//! itself — pointwise for the reference sweep and row-wise for the blocked
+//! executors, which hand it a stack of `2R+1` XY planes.
+//!
+//! # Determinism
+//!
+//! Every kernel evaluates its floating-point expression in one documented
+//! association order, identical in `apply_point`, the scalar tail of
+//! `apply_row` and each SIMD lane. Executors may therefore be compared
+//! **bit-exactly** against the reference sweep.
+
+use std::ops::Range;
+
+use threefive_grid::{Grid3, Real};
+use threefive_simd::{vector_prefix_len, NativeF32, NativeF64, Packed, SimdReal};
+
+/// Per-grid-point operation counts, following the paper's convention that
+/// one "op" is one executed instruction — arithmetic or memory (§III-E).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCount {
+    /// Floating-point multiplications.
+    pub mul: usize,
+    /// Floating-point additions.
+    pub add: usize,
+    /// Loads from the source grid.
+    pub loads: usize,
+    /// Stores to the destination grid.
+    pub stores: usize,
+}
+
+impl OpCount {
+    /// Total ops per point (the denominator of bytes/op).
+    pub const fn total(&self) -> usize {
+        self.mul + self.add + self.loads + self.stores
+    }
+
+    /// Floating-point operations only.
+    pub const fn flops(&self) -> usize {
+        self.mul + self.add
+    }
+}
+
+/// A Jacobi-type stencil computable on XY-plane stacks.
+pub trait StencilKernel<T: Real>: Send + Sync {
+    /// Stencil radius `R` in the L∞ norm: the kernel may read any point
+    /// within `±R` along each axis.
+    fn radius(&self) -> usize;
+
+    /// Per-point operation counts (paper §IV).
+    fn ops(&self) -> OpCount;
+
+    /// Reference application at one interior point of `src`.
+    fn apply_point(&self, src: &Grid3<T>, x: usize, y: usize, z: usize) -> T;
+
+    /// Row application on a plane stack.
+    ///
+    /// `planes` holds `2R+1` XY planes of width `nx` (ordered by Z offset
+    /// `-R ..= +R`, index `R` is the center plane); `y` is the row within
+    /// those planes, and `out[i]` receives the stencil value at
+    /// `x = xs.start + i`. All accessed coordinates must be in bounds:
+    /// `xs.start >= R`, `xs.end + R <= nx`, `R <= y < ny - R`.
+    ///
+    /// # Panics
+    /// Panics if `planes.len() != 2R+1` or `out.len() != xs.len()`.
+    fn apply_row(&self, planes: &[&[T]], nx: usize, y: usize, xs: Range<usize>, out: &mut [T]);
+}
+
+// ---------------------------------------------------------------------------
+// 7-point stencil
+// ---------------------------------------------------------------------------
+
+/// The 7-point stencil (paper §IV-A1):
+///
+/// ```text
+/// B(x,y,z) = α·A(x,y,z) + β·(A(x±1,y,z) + A(x,y±1,z) + A(x,y,z±1))
+/// ```
+///
+/// 16 ops/point: 2 mul, 6 add, 7 loads, 1 store. Association order:
+/// `sum = ((((xm + xp) + ym) + yp) + zm) + zp`, `out = α·c + β·sum`.
+#[derive(Clone, Copy, Debug)]
+pub struct SevenPoint<T> {
+    /// Center weight α.
+    pub alpha: T,
+    /// Neighbor weight β.
+    pub beta: T,
+}
+
+impl<T: Real> SevenPoint<T> {
+    /// Creates the kernel with weights `alpha`, `beta`.
+    pub fn new(alpha: T, beta: T) -> Self {
+        Self { alpha, beta }
+    }
+
+    /// The heat-equation-style instance `α = 1 - 6λ`, `β = λ` which keeps
+    /// grid values bounded for `0 < λ ≤ 1/6` (used by examples and tests).
+    pub fn heat(lambda: T) -> Self {
+        let six = T::from_f64(6.0);
+        Self {
+            alpha: T::ONE - six * lambda,
+            beta: lambda,
+        }
+    }
+}
+
+/// Shared row body for the 7-point kernel, generic over the lane type so
+/// the SSE and portable builds use identical code.
+#[inline(always)]
+fn seven_row<V: SimdReal>(
+    alpha: V::Scalar,
+    beta: V::Scalar,
+    planes: &[&[V::Scalar]],
+    nx: usize,
+    y: usize,
+    xs: Range<usize>,
+    out: &mut [V::Scalar],
+) {
+    assert_eq!(planes.len(), 3, "SevenPoint: need exactly 3 planes");
+    assert_eq!(out.len(), xs.len(), "SevenPoint: out/xs length mismatch");
+    let (zm, c, zp) = (planes[0], planes[1], planes[2]);
+    let row = y * nx;
+    let row_n = (y - 1) * nx;
+    let row_s = (y + 1) * nx;
+    let va = V::splat(alpha);
+    let vb = V::splat(beta);
+    let x0 = xs.start;
+    let main = vector_prefix_len::<V>(xs.len());
+    let mut i = 0;
+    while i < main {
+        let x = x0 + i;
+        let xm = V::loadu(&c[row + x - 1..]);
+        let xp = V::loadu(&c[row + x + 1..]);
+        let ym = V::loadu(&c[row_n + x..]);
+        let yp = V::loadu(&c[row_s + x..]);
+        let vzm = V::loadu(&zm[row + x..]);
+        let vzp = V::loadu(&zp[row + x..]);
+        let sum = ((((xm + xp) + ym) + yp) + vzm) + vzp;
+        let ctr = V::loadu(&c[row + x..]);
+        (va * ctr + vb * sum).storeu(&mut out[i..]);
+        i += V::LANES;
+    }
+    while i < xs.len() {
+        let x = x0 + i;
+        let sum = ((((c[row + x - 1] + c[row + x + 1]) + c[row_n + x]) + c[row_s + x])
+            + zm[row + x])
+            + zp[row + x];
+        out[i] = alpha * c[row + x] + beta * sum;
+        i += 1;
+    }
+}
+
+/// AVX2-compiled instantiation of the shared row body: eight f32 lanes per
+/// iteration, 256-bit loads/stores. Per-lane operation order is identical
+/// to the SSE and scalar paths, so results stay bit-exact — only the
+/// number of lanes processed per instruction changes (the paper's
+/// "scales near-linearly with the SIMD width").
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn seven_row_avx2(
+    alpha: f32,
+    beta: f32,
+    planes: &[&[f32]],
+    nx: usize,
+    y: usize,
+    xs: Range<usize>,
+    out: &mut [f32],
+) {
+    // Inside this target-feature scope LLVM widens the 8-lane `Packed`
+    // loops to 256-bit AVX instructions.
+    seven_row::<threefive_simd::F32x8>(alpha, beta, planes, nx, y, xs, out);
+}
+
+/// Whether the AVX2 fast path is available (memoized feature detection).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+impl StencilKernel<f32> for SevenPoint<f32> {
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn ops(&self) -> OpCount {
+        OpCount {
+            mul: 2,
+            add: 6,
+            loads: 7,
+            stores: 1,
+        }
+    }
+
+    #[inline]
+    fn apply_point(&self, src: &Grid3<f32>, x: usize, y: usize, z: usize) -> f32 {
+        let sum = ((((src.get(x - 1, y, z) + src.get(x + 1, y, z)) + src.get(x, y - 1, z))
+            + src.get(x, y + 1, z))
+            + src.get(x, y, z - 1))
+            + src.get(x, y, z + 1);
+        self.alpha * src.get(x, y, z) + self.beta * sum
+    }
+
+    #[inline]
+    fn apply_row(&self, planes: &[&[f32]], nx: usize, y: usize, xs: Range<usize>, out: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if avx2_available() {
+            // SAFETY: feature presence just checked.
+            unsafe { seven_row_avx2(self.alpha, self.beta, planes, nx, y, xs, out) };
+            return;
+        }
+        seven_row::<NativeF32>(self.alpha, self.beta, planes, nx, y, xs, out);
+    }
+}
+
+impl StencilKernel<f64> for SevenPoint<f64> {
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn ops(&self) -> OpCount {
+        OpCount {
+            mul: 2,
+            add: 6,
+            loads: 7,
+            stores: 1,
+        }
+    }
+
+    #[inline]
+    fn apply_point(&self, src: &Grid3<f64>, x: usize, y: usize, z: usize) -> f64 {
+        let sum = ((((src.get(x - 1, y, z) + src.get(x + 1, y, z)) + src.get(x, y - 1, z))
+            + src.get(x, y + 1, z))
+            + src.get(x, y, z - 1))
+            + src.get(x, y, z + 1);
+        self.alpha * src.get(x, y, z) + self.beta * sum
+    }
+
+    #[inline]
+    fn apply_row(&self, planes: &[&[f64]], nx: usize, y: usize, xs: Range<usize>, out: &mut [f64]) {
+        seven_row::<NativeF64>(self.alpha, self.beta, planes, nx, y, xs, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 27-point stencil
+// ---------------------------------------------------------------------------
+
+/// The 27-point stencil (paper §IV-A2): all points of the 3×3×3 cube, with
+/// separate weights for the center, the 6 face neighbors, the 12 edge
+/// neighbors and the 8 corner neighbors.
+///
+/// 58 ops/point: 4 mul, 26 add, 27 loads, 1 store. Association order: each
+/// of the three neighbor classes is summed in `(dz, dy, dx)` lexicographic
+/// order, then `out = ((α·c + β·faces) + γ·edges) + δ·corners`.
+#[derive(Clone, Copy, Debug)]
+pub struct TwentySevenPoint<T> {
+    /// Center weight α.
+    pub center: T,
+    /// Face-neighbor weight β (Manhattan distance 1).
+    pub face: T,
+    /// Edge-neighbor weight γ (Manhattan distance 2).
+    pub edge: T,
+    /// Corner-neighbor weight δ (Manhattan distance 3).
+    pub corner: T,
+}
+
+impl<T: Real> TwentySevenPoint<T> {
+    /// Creates the kernel with the four class weights.
+    pub fn new(center: T, face: T, edge: T, corner: T) -> Self {
+        Self {
+            center,
+            face,
+            edge,
+            corner,
+        }
+    }
+
+    /// A smoothing instance whose 27 weights sum to 1.
+    pub fn smoothing() -> Self {
+        Self {
+            center: T::from_f64(0.5),
+            face: T::from_f64(0.25 / 6.0),
+            edge: T::from_f64(0.15 / 12.0),
+            corner: T::from_f64(0.10 / 8.0),
+        }
+    }
+
+    /// Sums one neighbor class at `(x, y)` given three rows per plane.
+    /// `class` selects by Manhattan distance of `(dx, dy, dz)`: 1 = face,
+    /// 2 = edge, 3 = corner.
+    #[inline(always)]
+    fn class_sum(planes: &[&[T]], nx: usize, y: usize, x: usize, class: u32) -> T {
+        let mut acc = T::ZERO;
+        for (pz, plane) in planes.iter().enumerate() {
+            let dz = pz as i32 - 1;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    let dist = dz.unsigned_abs() + dy.unsigned_abs() + dx.unsigned_abs();
+                    if dist == class {
+                        let yy = (y as i32 + dy) as usize;
+                        let xx = (x as i32 + dx) as usize;
+                        acc += plane[yy * nx + xx];
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Vectorized 27-point row body: lane groups accumulate each neighbor
+/// class over taps visited in the exact `(dz, dy, dx)` lexicographic order
+/// of [`TwentySevenPoint::class_sum`], then combine with the class
+/// weights — so each lane's result is bit-identical to the scalar path.
+#[inline(always)]
+fn twenty_seven_row<V: SimdReal>(
+    k: &TwentySevenPoint<V::Scalar>,
+    planes: &[&[V::Scalar]],
+    nx: usize,
+    y: usize,
+    xs: Range<usize>,
+    out: &mut [V::Scalar],
+) {
+    let x0 = xs.start;
+    let len = xs.len();
+    let main = vector_prefix_len::<V>(len);
+
+    #[inline(always)]
+    fn class_sum_v<V: SimdReal>(
+        planes: &[&[V::Scalar]],
+        nx: usize,
+        y: usize,
+        x: usize,
+        class: u32,
+    ) -> V {
+        let mut acc = V::zero();
+        for (pz, plane) in planes.iter().enumerate() {
+            let dz = pz as i32 - 1;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    let dist = dz.unsigned_abs() + dy.unsigned_abs() + dx.unsigned_abs();
+                    if dist == class {
+                        let yy = (y as i32 + dy) as usize;
+                        let xx = (x as i32 + dx) as usize;
+                        acc = acc + V::loadu(&plane[yy * nx + xx..]);
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    let wc = V::splat(k.center);
+    let wf = V::splat(k.face);
+    let we = V::splat(k.edge);
+    let wd = V::splat(k.corner);
+    let mut i = 0;
+    while i < main {
+        let x = x0 + i;
+        let faces = class_sum_v::<V>(planes, nx, y, x, 1);
+        let edges = class_sum_v::<V>(planes, nx, y, x, 2);
+        let corners = class_sum_v::<V>(planes, nx, y, x, 3);
+        let c = V::loadu(&planes[1][y * nx + x..]);
+        (((wc * c + wf * faces) + we * edges) + wd * corners).storeu(&mut out[i..]);
+        i += V::LANES;
+    }
+    while i < len {
+        let x = x0 + i;
+        let faces = TwentySevenPoint::class_sum(planes, nx, y, x, 1);
+        let edges = TwentySevenPoint::class_sum(planes, nx, y, x, 2);
+        let corners = TwentySevenPoint::class_sum(planes, nx, y, x, 3);
+        let c = planes[1][y * nx + x];
+        out[i] = ((k.center * c + k.face * faces) + k.edge * edges) + k.corner * corners;
+        i += 1;
+    }
+}
+
+impl<T: Real> StencilKernel<T> for TwentySevenPoint<T> {
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn ops(&self) -> OpCount {
+        OpCount {
+            mul: 4,
+            add: 26,
+            loads: 27,
+            stores: 1,
+        }
+    }
+
+    fn apply_point(&self, src: &Grid3<T>, x: usize, y: usize, z: usize) -> T {
+        let planes = [src.plane(z - 1), src.plane(z), src.plane(z + 1)];
+        let nx = src.dim().nx;
+        let faces = Self::class_sum(&planes, nx, y, x, 1);
+        let edges = Self::class_sum(&planes, nx, y, x, 2);
+        let corners = Self::class_sum(&planes, nx, y, x, 3);
+        ((self.center * src.get(x, y, z) + self.face * faces) + self.edge * edges)
+            + self.corner * corners
+    }
+
+    fn apply_row(&self, planes: &[&[T]], nx: usize, y: usize, xs: Range<usize>, out: &mut [T]) {
+        assert_eq!(planes.len(), 3, "TwentySevenPoint: need exactly 3 planes");
+        assert_eq!(
+            out.len(),
+            xs.len(),
+            "TwentySevenPoint: out/xs length mismatch"
+        );
+        // Dispatch by element width, as in the LBM row kernels: the 4- and
+        // 2-lane bodies compile to packed SSE and accumulate taps in the
+        // same (dz, dy, dx) order as `class_sum`, keeping results bit-exact
+        // with `apply_point`.
+        match T::BYTES {
+            4 => twenty_seven_row::<Packed<T, 4>>(self, planes, nx, y, xs, out),
+            _ => twenty_seven_row::<Packed<T, 2>>(self, planes, nx, y, xs, out),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic star stencil (arbitrary radius)
+// ---------------------------------------------------------------------------
+
+/// An axis-aligned star stencil of arbitrary radius `R`:
+///
+/// ```text
+/// B(p) = w[0]·A(p) + Σ_{d=1..R} w[d]·(six axis neighbors at distance d)
+/// ```
+///
+/// The paper's kernels both have `R = 1`; this kernel exercises the
+/// blocking machinery (ring sizing, ghost shrinking, pipeline lag) at
+/// larger radii, where the generalizations are easy to get wrong.
+#[derive(Clone, Debug)]
+pub struct GenericStar<T> {
+    weights: Vec<T>,
+}
+
+impl<T: Real> GenericStar<T> {
+    /// Creates the kernel from weights `w[0..=R]` (`w[0]` = center).
+    ///
+    /// # Panics
+    /// Panics if `weights.len() < 2` (radius would be zero).
+    pub fn new(weights: Vec<T>) -> Self {
+        assert!(weights.len() >= 2, "GenericStar: need center + >=1 ring");
+        Self { weights }
+    }
+
+    /// A bounded smoothing instance of radius `r` (weights sum to 1).
+    pub fn smoothing(r: usize) -> Self {
+        assert!(r >= 1);
+        let ring = T::from_f64(0.5 / (6.0 * r as f64));
+        let mut w = vec![ring; r + 1];
+        w[0] = T::from_f64(0.5);
+        Self::new(w)
+    }
+}
+
+impl<T: Real> StencilKernel<T> for GenericStar<T> {
+    fn radius(&self) -> usize {
+        self.weights.len() - 1
+    }
+
+    fn ops(&self) -> OpCount {
+        let r = self.radius();
+        OpCount {
+            mul: r + 1,
+            add: 6 * r,
+            loads: 6 * r + 1,
+            stores: 1,
+        }
+    }
+
+    fn apply_point(&self, src: &Grid3<T>, x: usize, y: usize, z: usize) -> T {
+        let mut acc = self.weights[0] * src.get(x, y, z);
+        for d in 1..=self.radius() {
+            let w = self.weights[d];
+            let ring = ((((src.get(x - d, y, z) + src.get(x + d, y, z)) + src.get(x, y - d, z))
+                + src.get(x, y + d, z))
+                + src.get(x, y, z - d))
+                + src.get(x, y, z + d);
+            acc += w * ring;
+        }
+        acc
+    }
+
+    fn apply_row(&self, planes: &[&[T]], nx: usize, y: usize, xs: Range<usize>, out: &mut [T]) {
+        let r = self.radius();
+        assert_eq!(planes.len(), 2 * r + 1, "GenericStar: plane count != 2R+1");
+        assert_eq!(out.len(), xs.len(), "GenericStar: out/xs length mismatch");
+        let center = planes[r];
+        for (i, x) in xs.enumerate() {
+            let mut acc = self.weights[0] * center[y * nx + x];
+            for d in 1..=r {
+                let w = self.weights[d];
+                let ring = ((((center[y * nx + x - d] + center[y * nx + x + d])
+                    + center[(y - d) * nx + x])
+                    + center[(y + d) * nx + x])
+                    + planes[r - d][y * nx + x])
+                    + planes[r + d][y * nx + x];
+                acc += w * ring;
+            }
+            out[i] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threefive_grid::Dim3;
+
+    fn test_grid<T: Real>(d: Dim3) -> Grid3<T> {
+        Grid3::from_fn(d, |x, y, z| {
+            T::from_f64(((x * 31 + y * 17 + z * 7) % 23) as f64 * 0.25 - 2.0)
+        })
+    }
+
+    /// apply_row must agree bit-exactly with apply_point for every kernel.
+    fn row_matches_point<T: Real, K: StencilKernel<T>>(k: &K, d: Dim3) {
+        let g = test_grid::<T>(d);
+        let r = k.radius();
+        let nx = d.nx;
+        for z in r..d.nz - r {
+            let planes: Vec<&[T]> = (z - r..=z + r).map(|zz| g.plane(zz)).collect();
+            for y in r..d.ny - r {
+                let mut out = vec![T::ZERO; nx - 2 * r];
+                k.apply_row(&planes, nx, y, r..nx - r, &mut out);
+                for (i, x) in (r..nx - r).enumerate() {
+                    let expect = k.apply_point(&g, x, y, z);
+                    assert!(
+                        out[i] == expect,
+                        "kernel row/point mismatch at ({x},{y},{z}): {} vs {}",
+                        out[i],
+                        expect
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seven_point_row_matches_point_f32() {
+        row_matches_point::<f32, _>(&SevenPoint::new(0.4f32, 0.1), Dim3::new(13, 7, 5));
+    }
+
+    #[test]
+    fn seven_point_row_matches_point_f64() {
+        row_matches_point::<f64, _>(&SevenPoint::new(0.4f64, 0.1), Dim3::new(10, 6, 4));
+    }
+
+    #[test]
+    fn twenty_seven_point_row_matches_point() {
+        row_matches_point::<f32, _>(&TwentySevenPoint::<f32>::smoothing(), Dim3::new(9, 6, 5));
+        row_matches_point::<f64, _>(&TwentySevenPoint::<f64>::smoothing(), Dim3::new(9, 6, 5));
+    }
+
+    #[test]
+    fn generic_star_row_matches_point() {
+        for r in 1..=3 {
+            let k = GenericStar::<f64>::smoothing(r);
+            let n = 4 * r + 3;
+            row_matches_point::<f64, _>(&k, Dim3::new(n, n, n));
+        }
+    }
+
+    #[test]
+    fn generic_star_radius_one_matches_seven_point() {
+        let d = Dim3::cube(6);
+        let g = test_grid::<f64>(d);
+        let seven = SevenPoint::new(0.5f64, 0.25);
+        let star = GenericStar::new(vec![0.5f64, 0.25]);
+        for (x, y, z) in d.interior_region(1).points() {
+            // Same association order → bit-exact agreement.
+            assert_eq!(
+                seven.apply_point(&g, x, y, z),
+                star.apply_point(&g, x, y, z)
+            );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_path_is_bit_exact_with_sse_path() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return; // nothing to compare on this host
+        }
+        let d = Dim3::new(37, 9, 5); // odd width exercises the scalar tail
+        let g = test_grid::<f32>(d);
+        let planes = [g.plane(1), g.plane(2), g.plane(3)];
+        let mut avx = vec![0.0f32; d.nx - 2];
+        // SAFETY: feature detected above.
+        unsafe { seven_row_avx2(0.37, 0.09, &planes, d.nx, 4, 1..d.nx - 1, &mut avx) };
+        let mut sse = vec![0.0f32; d.nx - 2];
+        seven_row::<NativeF32>(0.37, 0.09, &planes, d.nx, 4, 1..d.nx - 1, &mut sse);
+        assert_eq!(avx, sse);
+    }
+
+    #[test]
+    fn op_counts_match_paper() {
+        // §IV-A1: 16 ops = 2 mul + 6 add + 7 loads + 1 store.
+        let seven = SevenPoint::new(1.0f32, 1.0);
+        assert_eq!(seven.ops().total(), 16);
+        assert_eq!(seven.ops().flops(), 8);
+        // §IV-A2: 58 ops = 4 mul + 26 add + 27 loads + 1 store.
+        let twenty7 = TwentySevenPoint::<f32>::smoothing();
+        assert_eq!(twenty7.ops().total(), 58);
+        assert_eq!(twenty7.ops().flops(), 30);
+    }
+
+    #[test]
+    fn heat_instance_conserves_on_uniform_field() {
+        // α + 6β = 1 ⇒ a uniform field is a fixed point.
+        let k = SevenPoint::<f64>::heat(0.125);
+        let d = Dim3::cube(5);
+        let g = Grid3::splat(d, 3.0);
+        for (x, y, z) in d.interior_region(1).points() {
+            assert!((k.apply_point(&g, x, y, z) - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn smoothing_27_is_convex_on_uniform_field() {
+        let k = TwentySevenPoint::<f64>::smoothing();
+        let d = Dim3::cube(4);
+        let g = Grid3::splat(d, 2.0);
+        assert!((k.apply_point(&g, 1, 1, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "need exactly 3 planes")]
+    fn seven_point_rejects_wrong_plane_count() {
+        let k = SevenPoint::new(1.0f32, 1.0);
+        let plane = vec![0.0f32; 16];
+        let mut out = vec![0.0f32; 2];
+        k.apply_row(&[&plane, &plane], 4, 1, 1..3, &mut out);
+    }
+}

@@ -1,0 +1,51 @@
+//! # threefive-core — 3.5-D blocking for stencil computations
+//!
+//! Implementation of the central contribution of Nguyen, Satish, Chhugani,
+//! Kim, Dubey, *"3.5-D Blocking Optimization for Stencil Computations on
+//! Modern CPUs and GPUs"* (SC 2010): 2.5-D spatial blocking (block XY,
+//! stream Z) combined with 1-D temporal blocking, a planner that chooses
+//! the blocking parameters from machine and kernel byte/op ratios, and a
+//! thread-parallel executor in which **every** thread works on **every**
+//! time level of **every** XY sub-plane.
+//!
+//! ## Module map
+//!
+//! * [`kernel`] — the [`kernel::StencilKernel`] trait and
+//!   the paper's kernels: 7-point, 27-point, and a generic star stencil of
+//!   arbitrary radius used to exercise the machinery at `R > 1`.
+//! * [`planner`] — Eqs. 1–4 and all overestimation (κ) formulas for 3-D,
+//!   2.5-D, 4-D and 3.5-D blocking.
+//! * [`exec`] — the executor ladder, every rung verified against the
+//!   reference sweep:
+//!   1. [`exec::reference_sweep`] — scalar ground truth;
+//!   2. [`exec::simd_sweep`] — DLP only (no blocking);
+//!   3. [`exec::blocked3d_sweep`] — classic 3-D spatial blocking;
+//!   4. [`exec::blocked25d_sweep`] — 2.5-D spatial blocking (§V-A3);
+//!   5. [`exec::temporal_sweep`] — temporal-only blocking (Habich-style);
+//!   6. [`exec::blocked4d_sweep`] — 4-D (3-D space + time) baseline;
+//!   7. [`exec::blocked35d_sweep`] — serial 3.5-D pipeline (§V-E);
+//!   8. [`exec::parallel35d_sweep`] — the full parallel 3.5-D executor.
+//! * [`stats`] — analytic DRAM-traffic/op accounting per executor, used by
+//!   the machine-model figures.
+//!
+//! ## Boundary semantics
+//!
+//! All executors implement Jacobi sweeps with **Dirichlet (time-invariant)
+//! boundaries**: grid points within distance `R` of any face keep their
+//! initial values forever, matching the paper's "z₀ (boundary condition)
+//! does not change with time".
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod kernel;
+pub mod planner;
+pub mod solve;
+pub mod stats;
+pub mod verify;
+
+pub use kernel::{GenericStar, OpCount, SevenPoint, StencilKernel, TwentySevenPoint};
+pub use planner::{plan_35d, plan_35d_forced, plan_35d_optimal, Plan35D, PlanError};
+pub use solve::{solve_steady, SteadyState};
+pub use verify::{verify_executor, Divergence};

@@ -1,0 +1,157 @@
+//! Iterate-to-steady-state driver.
+//!
+//! Stencil sweeps in production often run "until converged" rather than a
+//! fixed step count; this driver wraps the 3.5-D executor with a residual
+//! check so boundary-value problems (Laplace/Poisson via Jacobi) can be
+//! solved directly. The residual is checked every `dim_T`-aligned batch,
+//! so temporal blocking keeps its full benefit between checks.
+
+use threefive_grid::{DoubleGrid, Real};
+use threefive_sync::ThreadTeam;
+
+use crate::exec::{parallel35d_sweep, Blocking35};
+use crate::kernel::StencilKernel;
+
+/// Outcome of [`solve_steady`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SteadyState {
+    /// Time steps executed.
+    pub steps: usize,
+    /// Final residual: max |Δ| per point over the last batch, scaled by
+    /// the batch length (an estimate of the per-step change).
+    pub residual: f64,
+    /// Whether `residual <= tol` was reached before `max_steps`.
+    pub converged: bool,
+}
+
+/// Advances `grids` in batches of `check_every` steps with the parallel
+/// 3.5-D executor until the per-step change drops to `tol` (L∞ over the
+/// whole grid) or `max_steps` is exhausted.
+///
+/// # Panics
+/// Panics if `check_every == 0`.
+pub fn solve_steady<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    blocking: Blocking35,
+    team: Option<&ThreadTeam>,
+    tol: f64,
+    max_steps: usize,
+    check_every: usize,
+) -> SteadyState {
+    assert!(
+        check_every > 0,
+        "solve_steady: check_every must be positive"
+    );
+    let fallback;
+    let team = match team {
+        Some(t) => t,
+        None => {
+            fallback = ThreadTeam::new(1);
+            &fallback
+        }
+    };
+    let dim = grids.dim();
+    let full = dim.full_region();
+    let mut snapshot = grids.src().clone();
+    let mut steps = 0usize;
+    let mut last_delta = f64::INFINITY;
+    while steps < max_steps {
+        let batch = check_every.min(max_steps - steps);
+        parallel35d_sweep(kernel, grids, batch, blocking, team);
+        steps += batch;
+        last_delta = grids.src().max_abs_diff(&snapshot, &full) / batch as f64;
+        if last_delta <= tol {
+            return SteadyState {
+                steps,
+                residual: last_delta,
+                converged: true,
+            };
+        }
+        snapshot.copy_from(grids.src());
+    }
+    SteadyState {
+        steps,
+        residual: last_delta,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SevenPoint;
+    use threefive_grid::{Dim3, Grid3};
+
+    /// Boundary ramp in Y, zero interior: the Jacobi iteration must relax
+    /// to the exact linear ramp (the unique harmonic function matching
+    /// the boundary).
+    fn ramp_problem(n: usize) -> (DoubleGrid<f64>, Grid3<f64>) {
+        let d = Dim3::cube(n);
+        let ramp = |y: usize| y as f64 / (n - 1) as f64 * 100.0;
+        let init = Grid3::from_fn(d, |x, y, z| {
+            if d.is_interior(x, y, z, 1) {
+                0.0
+            } else {
+                ramp(y)
+            }
+        });
+        let exact = Grid3::from_fn(d, |_, y, _| ramp(y));
+        (DoubleGrid::from_initial(init), exact)
+    }
+
+    #[test]
+    fn laplace_relaxes_to_the_linear_ramp() {
+        let n = 12;
+        let (mut grids, exact) = ramp_problem(n);
+        let k = SevenPoint::<f64>::heat(1.0 / 6.0); // pure-neighbor Jacobi
+        let out = solve_steady(
+            &k,
+            &mut grids,
+            Blocking35::new(n, n, 2),
+            None,
+            1e-10,
+            20_000,
+            50,
+        );
+        assert!(out.converged, "residual {}", out.residual);
+        let err = grids.src().max_abs_diff(&exact, &exact.dim().full_region());
+        assert!(err < 1e-6, "max deviation from analytic ramp: {err}");
+    }
+
+    #[test]
+    fn max_steps_bound_is_respected() {
+        let (mut grids, _) = ramp_problem(10);
+        let k = SevenPoint::<f64>::heat(1.0 / 6.0);
+        let out = solve_steady(
+            &k,
+            &mut grids,
+            Blocking35::new(10, 10, 2),
+            None,
+            1e-30, // unreachable tolerance
+            64,
+            10,
+        );
+        assert!(!out.converged);
+        assert_eq!(out.steps, 64);
+    }
+
+    #[test]
+    fn already_steady_field_converges_immediately() {
+        let d = Dim3::cube(8);
+        let mut grids = DoubleGrid::from_initial(Grid3::splat(d, 5.0));
+        let k = SevenPoint::<f64>::heat(0.125);
+        let out = solve_steady(
+            &k,
+            &mut grids,
+            Blocking35::new(8, 8, 2),
+            None,
+            1e-12,
+            100,
+            4,
+        );
+        assert!(out.converged);
+        assert_eq!(out.steps, 4);
+        assert!(out.residual < 1e-14);
+    }
+}

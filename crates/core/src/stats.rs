@@ -1,0 +1,94 @@
+//! Analytic per-sweep accounting.
+//!
+//! Executors report how much work they did and how much DRAM traffic their
+//! blocking scheme implies. The traffic numbers are *modeled* (derived from
+//! the same loop bounds the executor ran, assuming each plane/block load
+//! misses cache), not measured with hardware counters; tests use them to
+//! check that the measured overestimation of the implementations matches
+//! the planner's κ formulas.
+
+use std::ops::Add;
+
+/// Work and modeled-traffic counters for one sweep call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Stencil evaluations performed, including ghost-zone recomputation.
+    pub stencil_updates: u64,
+    /// Grid points whose final-time value was committed to the destination
+    /// grid (interior points × time steps).
+    pub committed_points: u64,
+    /// Modeled bytes read from DRAM.
+    pub dram_bytes_read: u64,
+    /// Modeled bytes written to DRAM.
+    pub dram_bytes_written: u64,
+}
+
+impl SweepStats {
+    /// Measured compute overestimation: stencil evaluations per committed
+    /// point, the empirical counterpart of the planner's κ.
+    ///
+    /// Returns `NaN` when nothing was committed.
+    pub fn overestimation(&self) -> f64 {
+        self.stencil_updates as f64 / self.committed_points as f64
+    }
+
+    /// Total modeled DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_bytes_read + self.dram_bytes_written
+    }
+}
+
+impl Add for SweepStats {
+    type Output = Self;
+    fn add(self, o: Self) -> Self {
+        Self {
+            stencil_updates: self.stencil_updates + o.stencil_updates,
+            committed_points: self.committed_points + o.committed_points,
+            dram_bytes_read: self.dram_bytes_read + o.dram_bytes_read,
+            dram_bytes_written: self.dram_bytes_written + o.dram_bytes_written,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overestimation_is_updates_per_committed_point() {
+        let s = SweepStats {
+            stencil_updates: 120,
+            committed_points: 100,
+            dram_bytes_read: 800,
+            dram_bytes_written: 400,
+        };
+        assert!((s.overestimation() - 1.2).abs() < 1e-12);
+        assert_eq!(s.dram_bytes(), 1200);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let a = SweepStats {
+            stencil_updates: 1,
+            committed_points: 2,
+            dram_bytes_read: 3,
+            dram_bytes_written: 4,
+        };
+        let b = SweepStats {
+            stencil_updates: 10,
+            committed_points: 20,
+            dram_bytes_read: 30,
+            dram_bytes_written: 40,
+        };
+        let c = a + b;
+        assert_eq!(c.stencil_updates, 11);
+        assert_eq!(c.committed_points, 22);
+        assert_eq!(c.dram_bytes_read, 33);
+        assert_eq!(c.dram_bytes_written, 44);
+    }
+
+    #[test]
+    fn empty_stats_overestimation_is_nan() {
+        assert!(SweepStats::default().overestimation().is_nan());
+    }
+}

@@ -1,0 +1,399 @@
+//! The SIMT execution framework: devices, blocks, phases, counters.
+//!
+//! A kernel runs one [`BlockCtx`] per thread block. Inside a block the
+//! kernel issues *phases*: a phase executes the thread body for every
+//! thread id in order and ends with an implicit `__syncthreads()`. Any
+//! value a thread writes (shared memory, global memory) is visible to
+//! other threads **only in later phases**, which is exactly the CUDA
+//! barrier contract — code that would race on real hardware reads stale
+//! data here too, so functional results validate the synchronization
+//! structure, not just the arithmetic.
+
+use crate::mem::{warp_transactions, GmemBuffer, SEGMENT_BYTES};
+
+/// Device model: the execution resources the kernels are checked against.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Warp width (logical SIMD width).
+    pub warp: usize,
+    /// Shared memory per SM in bytes.
+    pub smem_bytes: usize,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: usize,
+    /// Maximum threads per block.
+    pub max_threads: usize,
+}
+
+impl Device {
+    /// The GTX 285 of the paper: 30 SMs, 32-wide warps, 16 KB shared
+    /// memory and 16 K registers per SM (§III-D, §VI).
+    pub fn gtx285() -> Self {
+        Self {
+            sms: 30,
+            warp: 32,
+            smem_bytes: 16 << 10,
+            regs_per_sm: 16 << 10,
+            max_threads: 512,
+        }
+    }
+
+    /// How many blocks of the given shape can be resident on one SM —
+    /// the occupancy limit from shared memory, registers, and a hardware
+    /// cap of 8 blocks/SM. Latency hiding needs at least 2; the paper's
+    /// kernels are sized so the budget allows it.
+    pub fn blocks_per_sm(
+        &self,
+        threads: usize,
+        smem_bytes_used: usize,
+        regs_per_thread: usize,
+    ) -> usize {
+        let by_threads = (self.max_threads * 2).checked_div(threads).unwrap_or(8);
+        let by_smem = self.smem_bytes.checked_div(smem_bytes_used).unwrap_or(8);
+        let by_regs = self
+            .regs_per_sm
+            .checked_div(threads * regs_per_thread)
+            .unwrap_or(8);
+        by_threads.min(by_smem).min(by_regs).min(8)
+    }
+}
+
+/// Aggregated execution counters of a kernel launch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KernelStats {
+    /// Per-thread instructions summed over all threads (arithmetic,
+    /// memory and overhead ops in the paper's counting convention).
+    pub thread_ops: f64,
+    /// Coalesced global-memory read transactions (64-byte segments).
+    pub gmem_read_tx: u64,
+    /// Coalesced global-memory write transactions.
+    pub gmem_write_tx: u64,
+    /// Shared-memory scalar accesses.
+    pub smem_accesses: u64,
+    /// Barrier (phase) count.
+    pub syncs: u64,
+    /// Thread blocks executed.
+    pub blocks: u64,
+    /// Grid points whose final value was committed.
+    pub committed: u64,
+}
+
+impl KernelStats {
+    /// DRAM bytes moved (both directions).
+    pub fn gmem_bytes(&self) -> u64 {
+        (self.gmem_read_tx + self.gmem_write_tx) * SEGMENT_BYTES
+    }
+
+    /// Merges another launch's counters into this one.
+    pub fn merge(&mut self, o: &KernelStats) {
+        self.thread_ops += o.thread_ops;
+        self.gmem_read_tx += o.gmem_read_tx;
+        self.gmem_write_tx += o.gmem_write_tx;
+        self.smem_accesses += o.smem_accesses;
+        self.syncs += o.syncs;
+        self.blocks += o.blocks;
+        self.committed += o.committed;
+    }
+}
+
+/// One thread block in flight.
+pub struct BlockCtx<'a> {
+    device: &'a Device,
+    threads: usize,
+    smem: Vec<f32>,
+    read_addrs: Vec<Vec<u64>>,
+    write_addrs: Vec<Vec<u64>>,
+    stats: KernelStats,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// Starts a block of `threads` threads with `smem_len` shared floats.
+    ///
+    /// # Panics
+    /// Panics if the block exceeds the device's thread, shared-memory or
+    /// register budgets (`regs_per_thread` is the kernel's declared
+    /// per-thread register use).
+    pub fn new(
+        device: &'a Device,
+        threads: usize,
+        smem_len: usize,
+        regs_per_thread: usize,
+    ) -> Self {
+        assert!(
+            threads <= device.max_threads,
+            "block of {threads} threads exceeds device limit {}",
+            device.max_threads
+        );
+        assert!(
+            smem_len * 4 <= device.smem_bytes,
+            "shared memory request {} B exceeds the device's {} B",
+            smem_len * 4,
+            device.smem_bytes
+        );
+        assert!(
+            threads * regs_per_thread <= device.regs_per_sm,
+            "register demand {}x{regs_per_thread} exceeds the SM's {}",
+            threads,
+            device.regs_per_sm
+        );
+        Self {
+            device,
+            threads,
+            smem: vec![0.0; smem_len],
+            read_addrs: vec![Vec::new(); threads],
+            write_addrs: vec![Vec::new(); threads],
+            stats: KernelStats {
+                blocks: 1,
+                ..KernelStats::default()
+            },
+        }
+    }
+
+    /// Number of threads in the block.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one phase: the body executes for every thread id in order,
+    /// then an implicit barrier ends the phase (coalescing is resolved and
+    /// the sync is counted).
+    pub fn phase(&mut self, mut body: impl FnMut(usize, &mut ThreadScope<'_>)) {
+        for v in &mut self.read_addrs {
+            v.clear();
+        }
+        for v in &mut self.write_addrs {
+            v.clear();
+        }
+        let mut ops_acc = 0.0f64;
+        let mut smem_acc = 0u64;
+        for tid in 0..self.threads {
+            let mut scope = ThreadScope {
+                smem: &mut self.smem,
+                reads: &mut self.read_addrs[tid],
+                writes: &mut self.write_addrs[tid],
+                ops: 0.0,
+                smem_accesses: 0,
+            };
+            body(tid, &mut scope);
+            ops_acc += scope.ops;
+            smem_acc += scope.smem_accesses;
+        }
+        self.stats.thread_ops += ops_acc;
+        self.stats.smem_accesses += smem_acc;
+        self.resolve_coalescing();
+        self.stats.syncs += 1;
+    }
+
+    /// Groups the phase's per-thread access streams into warp-wide sites
+    /// and charges segment transactions.
+    fn resolve_coalescing(&mut self) {
+        let warp = self.device.warp;
+        for (streams, tx_out) in [
+            (&self.read_addrs, &mut self.stats.gmem_read_tx),
+            (&self.write_addrs, &mut self.stats.gmem_write_tx),
+        ] {
+            let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
+            let mut lane_addrs = vec![None; warp];
+            for site in 0..max_len {
+                for warp_base in (0..self.threads).step_by(warp) {
+                    let lanes = warp.min(self.threads - warp_base);
+                    for (lane, slot) in lane_addrs.iter_mut().take(lanes).enumerate() {
+                        *slot = streams[warp_base + lane].get(site).copied();
+                    }
+                    for slot in lane_addrs.iter_mut().skip(lanes) {
+                        *slot = None;
+                    }
+                    *tx_out += warp_transactions(&lane_addrs);
+                }
+            }
+        }
+    }
+
+    /// Counts `n` committed grid-point updates.
+    pub fn commit(&mut self, n: u64) {
+        self.stats.committed += n;
+    }
+
+    /// Finishes the block, returning its counters.
+    pub fn finish(self) -> KernelStats {
+        self.stats
+    }
+}
+
+/// Per-thread view inside a phase.
+pub struct ThreadScope<'a> {
+    smem: &'a mut Vec<f32>,
+    reads: &'a mut Vec<u64>,
+    writes: &'a mut Vec<u64>,
+    ops: f64,
+    smem_accesses: u64,
+}
+
+impl ThreadScope<'_> {
+    /// Global-memory read (counted, coalescing-tracked).
+    #[inline]
+    pub fn gmem_read(&mut self, buf: &GmemBuffer, idx: usize) -> f32 {
+        self.reads.push(buf.addr(idx));
+        self.ops += 1.0;
+        buf.read(idx)
+    }
+
+    /// Global-memory write (counted, coalescing-tracked).
+    #[inline]
+    pub fn gmem_write(&mut self, buf: &GmemBuffer, idx: usize, v: f32) {
+        self.writes.push(buf.addr(idx));
+        self.ops += 1.0;
+        buf.write(idx, v);
+    }
+
+    /// Shared-memory read (an LDS instruction: counted as one op).
+    #[inline]
+    pub fn smem_read(&mut self, idx: usize) -> f32 {
+        self.smem_accesses += 1;
+        self.ops += 1.0;
+        self.smem[idx]
+    }
+
+    /// Shared-memory write (counted as one op). Visible to other threads
+    /// from the next phase.
+    #[inline]
+    pub fn smem_write(&mut self, idx: usize, v: f32) {
+        self.smem_accesses += 1;
+        self.ops += 1.0;
+        self.smem[idx] = v;
+    }
+
+    /// Counts `n` arithmetic/overhead instructions.
+    #[inline]
+    pub fn ops(&mut self, n: f64) {
+        self.ops += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_barrier_publishes_smem_between_phases() {
+        let dev = Device::gtx285();
+        let mut ctx = BlockCtx::new(&dev, 64, 64, 8);
+        ctx.phase(|tid, t| {
+            t.smem_write(tid, tid as f32);
+        });
+        let mut sum = 0.0f32;
+        ctx.phase(|tid, t| {
+            // Every thread reads a value written by a *different* thread
+            // in the previous phase.
+            let peer = (tid + 17) % 64;
+            let v = t.smem_read(peer);
+            assert_eq!(v, peer as f32);
+            if tid == 0 {
+                sum = v;
+            }
+        });
+        let stats = ctx.finish();
+        assert_eq!(stats.syncs, 2);
+        assert_eq!(stats.smem_accesses, 128);
+        assert_eq!(sum, 17.0);
+    }
+
+    #[test]
+    fn coalescing_charges_per_warp_site() {
+        let dev = Device::gtx285();
+        let buf = GmemBuffer::new(0, vec![1.0; 4096]);
+        let mut ctx = BlockCtx::new(&dev, 64, 0, 8);
+        // Site 1: contiguous (2 warps × 2 segments); site 2: strided.
+        ctx.phase(|tid, t| {
+            let _ = t.gmem_read(&buf, tid);
+            let _ = t.gmem_read(&buf, tid * 32);
+        });
+        let stats = ctx.finish();
+        // Contiguous: each 32-lane warp covers 128 B = 2 segments → 4.
+        // Strided: 32 lanes × 128 B apart → 32 tx per warp → 64.
+        assert_eq!(stats.gmem_read_tx, 4 + 64);
+        assert_eq!(stats.thread_ops, 128.0);
+    }
+
+    #[test]
+    fn write_coalescing_counted_separately() {
+        let dev = Device::gtx285();
+        let buf = GmemBuffer::new(0, vec![0.0; 1024]);
+        let mut ctx = BlockCtx::new(&dev, 32, 0, 8);
+        ctx.phase(|tid, t| {
+            t.gmem_write(&buf, tid, tid as f32);
+        });
+        let stats = ctx.finish();
+        assert_eq!(stats.gmem_write_tx, 2);
+        assert_eq!(stats.gmem_read_tx, 0);
+        assert_eq!(buf.read(31), 31.0);
+    }
+
+    #[test]
+    fn divergent_threads_produce_partial_warp_traffic() {
+        let dev = Device::gtx285();
+        let buf = GmemBuffer::new(0, vec![0.0; 1024]);
+        let mut ctx = BlockCtx::new(&dev, 32, 0, 8);
+        ctx.phase(|tid, t| {
+            if tid < 8 {
+                let _ = t.gmem_read(&buf, tid);
+            }
+        });
+        let stats = ctx.finish();
+        assert_eq!(stats.gmem_read_tx, 1); // 8 lanes in one segment
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory request")]
+    fn smem_budget_enforced() {
+        let dev = Device::gtx285();
+        let _ = BlockCtx::new(&dev, 32, (16 << 10) / 4 + 1, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "register demand")]
+    fn register_budget_enforced() {
+        let dev = Device::gtx285();
+        let _ = BlockCtx::new(&dev, 512, 0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn thread_budget_enforced() {
+        let dev = Device::gtx285();
+        let _ = BlockCtx::new(&dev, 1024, 0, 1);
+    }
+
+    #[test]
+    fn occupancy_limits_apply_in_turn() {
+        let dev = Device::gtx285();
+        // Unconstrained small block: capped by the hardware limit of 8.
+        assert_eq!(dev.blocks_per_sm(64, 0, 8), 8);
+        // The paper's 3.5-D tile: 384 threads, ~3 KB smem, 16 regs —
+        // 2 blocks fit, enough for latency hiding.
+        assert_eq!(dev.blocks_per_sm(384, 3 << 10, 16), 2);
+        // Shared memory as the binding constraint.
+        assert_eq!(dev.blocks_per_sm(64, 9 << 10, 8), 1);
+        // Registers as the binding constraint.
+        assert_eq!(dev.blocks_per_sm(512, 0, 32), 1);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = KernelStats {
+            thread_ops: 10.0,
+            gmem_read_tx: 1,
+            gmem_write_tx: 2,
+            smem_accesses: 3,
+            syncs: 4,
+            blocks: 1,
+            committed: 5,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.thread_ops, 20.0);
+        assert_eq!(a.gmem_bytes(), (2 + 4) * 64);
+        assert_eq!(a.committed, 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! # threefive-gpu-sim — a SIMT simulator for the paper's GPU kernels
+//!
+//! The paper's GPU results (Figures 4(c) and 5(b)) were measured on an
+//! NVIDIA GTX 285 we do not have. This crate substitutes a **functional +
+//! performance simulator** faithful to the execution features the paper's
+//! analysis depends on:
+//!
+//! * **SIMT blocks** — kernels run as thread blocks with shared memory and
+//!   `__syncthreads()`-style phase barriers ([`exec::BlockCtx`]);
+//! * **coalescing** — every global-memory access is grouped per 32-lane
+//!   warp and charged in 64-byte DRAM segments, so the traffic cost of
+//!   misaligned ghost loads is measured, not assumed ([`mem`]);
+//! * **instruction counting** — kernels report arithmetic and per-thread
+//!   overhead ops, giving the compute side of the roofline;
+//! * **capacity checks** — shared-memory and register budgets are enforced
+//!   against the device model (the same constraint that makes LBM SP
+//!   blocking infeasible on 16 KB, §VI-B).
+//!
+//! Three 7-point-stencil kernels mirror the paper's ladder:
+//! [`kernels::naive_sweep`] (all taps from DRAM),
+//! [`kernels::spatial_sweep`] (shared-memory 2-D tile marching Z, after
+//! Micikevicius \[15\]), and [`kernels::pipelined35_sweep`] (the paper's
+//! register-pipelined 3.5-D kernel, §VI-A). All three are verified
+//! bit-exact against the CPU reference executor, and
+//! [`timing::throughput`] converts their counters into MUPS using the
+//! GTX 285 machine model.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod kernels;
+pub mod mem;
+pub mod timing;
+
+pub use exec::{BlockCtx, Device, KernelStats};
+pub use mem::GmemBuffer;

@@ -1,0 +1,148 @@
+//! Global-memory buffers with coalescing-aware transaction accounting.
+//!
+//! GTX-200-class GPUs service a warp's loads in aligned DRAM segments;
+//! the model here charges one 64-byte transaction per distinct aligned
+//! 64-byte segment touched by a warp at one access site (§VI-A: "global
+//! memory accesses are optimized for the case that every thread in a warp
+//! loads 4/8 bytes of a contiguous region").
+
+use std::cell::{Cell, RefCell};
+
+/// DRAM transaction segment size in bytes.
+pub const SEGMENT_BYTES: u64 = 64;
+
+/// A global-memory buffer of `f32` values with access accounting.
+///
+/// Each buffer gets a distinct virtual base address (segment-aligned) so
+/// accesses to different buffers never coalesce together.
+pub struct GmemBuffer {
+    base: u64,
+    data: RefCell<Vec<f32>>,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+}
+
+impl GmemBuffer {
+    /// Wraps `data` as device memory at the given virtual `base` (will be
+    /// rounded up to a segment boundary).
+    pub fn new(base: u64, data: Vec<f32>) -> Self {
+        Self {
+            base: base.next_multiple_of(SEGMENT_BYTES),
+            data: RefCell::new(data),
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Virtual byte address of element `idx`.
+    #[inline]
+    pub fn addr(&self, idx: usize) -> u64 {
+        self.base + (idx as u64) * 4
+    }
+
+    /// Reads element `idx` (counts one scalar read).
+    #[inline]
+    pub fn read(&self, idx: usize) -> f32 {
+        self.reads.set(self.reads.get() + 1);
+        self.data.borrow()[idx]
+    }
+
+    /// Writes element `idx` (counts one scalar write).
+    #[inline]
+    pub fn write(&self, idx: usize, v: f32) {
+        self.writes.set(self.writes.get() + 1);
+        self.data.borrow_mut()[idx] = v;
+    }
+
+    /// Scalar reads performed so far.
+    pub fn scalar_reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Scalar writes performed so far.
+    pub fn scalar_writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Consumes the buffer and returns the contents.
+    pub fn into_inner(self) -> Vec<f32> {
+        self.data.into_inner()
+    }
+
+    /// Copies the contents out.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data.borrow().clone()
+    }
+}
+
+/// Counts the DRAM transactions needed to service one warp-wide access
+/// site: the number of distinct aligned 64-byte segments among the lanes'
+/// addresses. `None` entries are inactive lanes (divergence / bounds).
+pub fn warp_transactions(addrs: &[Option<u64>]) -> u64 {
+    let mut segs: Vec<u64> = addrs.iter().flatten().map(|a| a / SEGMENT_BYTES).collect();
+    segs.sort_unstable();
+    segs.dedup();
+    segs.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_warp_access_is_two_segments() {
+        // 32 lanes × 4 B = 128 B = 2 aligned 64-B segments.
+        let addrs: Vec<Option<u64>> = (0..32).map(|i| Some(i * 4)).collect();
+        assert_eq!(warp_transactions(&addrs), 2);
+    }
+
+    #[test]
+    fn offset_by_one_element_costs_an_extra_segment() {
+        // The paper's unaligned ghost loads: one more transaction.
+        let addrs: Vec<Option<u64>> = (0..32).map(|i| Some(60 + i * 4)).collect();
+        assert_eq!(warp_transactions(&addrs), 3);
+    }
+
+    #[test]
+    fn strided_access_explodes_transactions() {
+        // One segment per lane: the uncoalesced worst case.
+        let addrs: Vec<Option<u64>> = (0..32).map(|i| Some(i * 256)).collect();
+        assert_eq!(warp_transactions(&addrs), 32);
+    }
+
+    #[test]
+    fn inactive_lanes_cost_nothing() {
+        let addrs: Vec<Option<u64>> = (0..32)
+            .map(|i| if i < 8 { Some(i * 4) } else { None })
+            .collect();
+        assert_eq!(warp_transactions(&addrs), 1);
+        assert_eq!(warp_transactions(&[None; 32]), 0);
+    }
+
+    #[test]
+    fn same_segment_lanes_coalesce() {
+        let addrs: Vec<Option<u64>> = (0..32).map(|_| Some(128)).collect();
+        assert_eq!(warp_transactions(&addrs), 1);
+    }
+
+    #[test]
+    fn buffer_reads_and_writes_round_trip() {
+        let b = GmemBuffer::new(1000, vec![0.0; 8]);
+        b.write(3, 2.5);
+        assert_eq!(b.read(3), 2.5);
+        assert_eq!(b.scalar_reads(), 1);
+        assert_eq!(b.scalar_writes(), 1);
+        // Base is segment aligned.
+        assert_eq!(b.addr(0) % SEGMENT_BYTES, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Cache-line aligned heap storage.
+//!
+//! SIMD stencil kernels want row starts aligned so the common-case loads
+//! and the occasional streaming stores hit aligned addresses; `Vec<T>` only
+//! guarantees `align_of::<T>()`. `AlignedVec` allocates with 64-byte
+//! alignment and otherwise behaves like a fixed-capacity boxed slice.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+use crate::CACHE_LINE;
+
+/// A heap buffer of `T` with 64-byte (cache line) aligned base address.
+///
+/// The length is fixed at construction; elements are zero-initialised.
+/// `T` must not need drop glue (grids hold plain scalars and flags).
+pub struct AlignedVec<T: Copy> {
+    ptr: NonNull<T>,
+    len: usize,
+}
+
+// SAFETY: `AlignedVec` uniquely owns its allocation; `T: Copy + Send/Sync`
+// bounds on the public constructors make shared/sent access sound exactly
+// as for `Vec<T>`.
+unsafe impl<T: Copy + Send> Send for AlignedVec<T> {}
+unsafe impl<T: Copy + Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy> AlignedVec<T> {
+    /// Allocates a zero-initialised buffer of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if the byte size overflows `isize` or allocation fails.
+    pub fn zeroed(len: usize) -> Self {
+        assert!(
+            std::mem::size_of::<T>() > 0,
+            "zero-sized elements unsupported"
+        );
+        if len == 0 {
+            return Self {
+                ptr: NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let align = CACHE_LINE.max(std::mem::align_of::<T>());
+        let layout = Layout::array::<T>(len)
+            .and_then(|l| l.align_to(align))
+            .expect("AlignedVec: layout overflow");
+        // SAFETY: layout has non-zero size (len > 0, sizeof(T) > 0).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout)
+        };
+        Self { ptr, len }
+    }
+
+    /// Allocates a buffer of `len` copies of `value`.
+    pub fn splat(len: usize, value: T) -> Self {
+        let mut v = Self::zeroed(len);
+        v.fill(value);
+        v
+    }
+
+    /// Builds a buffer from a slice, copying its contents.
+    pub fn from_slice(src: &[T]) -> Self {
+        let mut v = Self::zeroed(src.len());
+        v.copy_from_slice(src);
+        v
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base pointer (64-byte aligned when non-empty).
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr.as_ptr()
+    }
+
+    /// Mutable base pointer (64-byte aligned when non-empty).
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr.as_ptr()
+    }
+}
+
+impl<T: Copy> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        // SAFETY: `ptr` is valid for `len` initialised elements.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        // SAFETY: `ptr` is valid for `len` initialised elements and we have
+        // unique access through `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T: Copy> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let align = CACHE_LINE.max(std::mem::align_of::<T>());
+        let layout = Layout::array::<T>(self.len)
+            .and_then(|l| l.align_to(align))
+            .expect("AlignedVec: layout overflow");
+        // SAFETY: allocated in `zeroed` with this exact layout.
+        unsafe { dealloc(self.ptr.as_ptr().cast(), layout) };
+    }
+}
+
+impl<T: Copy> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self)
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedVec")
+            .field("len", &self.len)
+            .field("data", &&self[..self.len.min(8)])
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_pointer_is_cache_line_aligned() {
+        for len in [1usize, 3, 64, 1000, 4097] {
+            let v = AlignedVec::<f32>::zeroed(len);
+            assert_eq!(v.as_ptr() as usize % CACHE_LINE, 0, "len={len}");
+            assert_eq!(v.len(), len);
+        }
+    }
+
+    #[test]
+    fn zeroed_is_all_zero() {
+        let v = AlignedVec::<f64>::zeroed(513);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn splat_fills_every_element() {
+        let v = AlignedVec::<f32>::splat(100, 2.5);
+        assert!(v.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let src: Vec<u32> = (0..777).collect();
+        let v = AlignedVec::from_slice(&src);
+        assert_eq!(&v[..], &src[..]);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedVec::<f32>::splat(16, 1.0);
+        let b = a.clone();
+        a[0] = 9.0;
+        assert_eq!(b[0], 1.0);
+        assert_eq!(a[0], 9.0);
+    }
+
+    #[test]
+    fn empty_buffer_is_usable() {
+        let v = AlignedVec::<f64>::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(&v[..], &[] as &[f64]);
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v = AlignedVec::<u8>::zeroed(64);
+        v[63] = 7;
+        assert_eq!(v[63], 7);
+        assert_eq!(v[0], 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Grid extents.
+
+use std::fmt;
+
+/// Extents of a 3-D grid. X is the fastest-varying (unit-stride) axis,
+/// then Y, then Z — the layout the paper assumes throughout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Extent along the unit-stride X axis (𝒩ₓ).
+    pub nx: usize,
+    /// Extent along Y (𝒩ᵧ).
+    pub ny: usize,
+    /// Extent along the streamed Z axis (𝒩_z).
+    pub nz: usize,
+}
+
+impl Dim3 {
+    /// Creates extents `nx × ny × nz`.
+    pub const fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self { nx, ny, nz }
+    }
+
+    /// Cubic extents `n × n × n` (the paper's 64³/256³/512³ datasets).
+    pub const fn cube(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Total number of grid points.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Whether the grid has no points.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Points in one XY plane (the streaming granule of 2.5-D blocking).
+    #[inline]
+    pub const fn plane_len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Linear index of `(x, y, z)`; X fastest.
+    #[inline(always)]
+    pub const fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.ny + y) * self.nx + x
+    }
+
+    /// Inverse of [`Dim3::idx`].
+    #[inline]
+    pub const fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let x = idx % self.nx;
+        let y = (idx / self.nx) % self.ny;
+        let z = idx / (self.nx * self.ny);
+        (x, y, z)
+    }
+
+    /// Whether `(x, y, z)` lies strictly inside the grid, at distance at
+    /// least `r` from every face — i.e. a point whose radius-`r` stencil
+    /// is fully supported.
+    #[inline]
+    pub const fn is_interior(&self, x: usize, y: usize, z: usize, r: usize) -> bool {
+        x >= r && x + r < self.nx && y >= r && y + r < self.ny && z >= r && z + r < self.nz
+    }
+
+    /// The full region `[0,nx)×[0,ny)×[0,nz)`.
+    pub const fn full_region(&self) -> crate::Region3 {
+        crate::Region3::new(0, self.nx, 0, self.ny, 0, self.nz)
+    }
+
+    /// The interior region at stencil radius `r` (empty if the grid is too
+    /// small to have any interior).
+    pub fn interior_region(&self, r: usize) -> crate::Region3 {
+        crate::Region3::new(
+            r.min(self.nx),
+            self.nx.saturating_sub(r).max(r.min(self.nx)),
+            r.min(self.ny),
+            self.ny.saturating_sub(r).max(r.min(self.ny)),
+            r.min(self.nz),
+            self.nz.saturating_sub(r).max(r.min(self.nz)),
+        )
+    }
+}
+
+impl fmt::Debug for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.nx, self.ny, self.nz)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.nx, self.ny, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_is_x_fastest() {
+        let d = Dim3::new(4, 3, 2);
+        assert_eq!(d.idx(0, 0, 0), 0);
+        assert_eq!(d.idx(1, 0, 0), 1);
+        assert_eq!(d.idx(0, 1, 0), 4);
+        assert_eq!(d.idx(0, 0, 1), 12);
+        assert_eq!(d.idx(3, 2, 1), 23);
+        assert_eq!(d.len(), 24);
+    }
+
+    #[test]
+    fn coords_inverts_idx() {
+        let d = Dim3::new(5, 7, 3);
+        for i in 0..d.len() {
+            let (x, y, z) = d.coords(i);
+            assert_eq!(d.idx(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn interior_excludes_faces() {
+        let d = Dim3::cube(4);
+        assert!(!d.is_interior(0, 2, 2, 1));
+        assert!(!d.is_interior(3, 2, 2, 1));
+        assert!(d.is_interior(1, 1, 1, 1));
+        assert!(d.is_interior(2, 2, 2, 1));
+        assert!(!d.is_interior(2, 2, 2, 2));
+    }
+
+    #[test]
+    fn interior_region_matches_pointwise_predicate() {
+        let d = Dim3::new(6, 5, 7);
+        for r in 0..4 {
+            let reg = d.interior_region(r);
+            let mut count = 0usize;
+            for z in 0..d.nz {
+                for y in 0..d.ny {
+                    for x in 0..d.nx {
+                        if d.is_interior(x, y, z, r) {
+                            count += 1;
+                            assert!(reg.contains(x, y, z), "r={r} ({x},{y},{z})");
+                        }
+                    }
+                }
+            }
+            assert_eq!(count, reg.len(), "r={r}");
+        }
+    }
+
+    #[test]
+    fn interior_region_is_empty_when_radius_swallows_grid() {
+        let d = Dim3::cube(4);
+        assert_eq!(d.interior_region(2).len(), 0);
+        assert_eq!(d.interior_region(9).len(), 0);
+    }
+
+    #[test]
+    fn cube_and_plane_len() {
+        let d = Dim3::cube(64);
+        assert_eq!(d.len(), 64 * 64 * 64);
+        assert_eq!(d.plane_len(), 64 * 64);
+    }
+}

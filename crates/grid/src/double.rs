@@ -1,0 +1,117 @@
+//! Jacobi-style read/write grid pair.
+
+use crate::{Dim3, Grid3, Real};
+
+/// A pair of grids for Jacobi-type sweeps: one read, one written, swapped
+/// between time steps (paper §IV: "the roles of the grids are swapped").
+#[derive(Clone, Debug)]
+pub struct DoubleGrid<T: Real> {
+    grids: [Grid3<T>; 2],
+    src_is_zero: bool,
+}
+
+impl<T: Real> DoubleGrid<T> {
+    /// Creates a pair of zero grids.
+    pub fn zeros(dim: Dim3) -> Self {
+        Self {
+            grids: [Grid3::zeros(dim), Grid3::zeros(dim)],
+            src_is_zero: true,
+        }
+    }
+
+    /// Creates a pair whose source grid is `initial`; the destination starts
+    /// as a copy so that boundary (never-written) cells carry the correct
+    /// Dirichlet values after a sweep.
+    pub fn from_initial(initial: Grid3<T>) -> Self {
+        let dst = initial.clone();
+        Self {
+            grids: [initial, dst],
+            src_is_zero: true,
+        }
+    }
+
+    /// Grid extents.
+    pub fn dim(&self) -> Dim3 {
+        self.grids[0].dim()
+    }
+
+    /// The grid read in the current time step.
+    #[inline]
+    pub fn src(&self) -> &Grid3<T> {
+        &self.grids[if self.src_is_zero { 0 } else { 1 }]
+    }
+
+    /// The grid written in the current time step.
+    #[inline]
+    pub fn dst(&self) -> &Grid3<T> {
+        &self.grids[if self.src_is_zero { 1 } else { 0 }]
+    }
+
+    /// Mutable destination grid.
+    #[inline]
+    pub fn dst_mut(&mut self) -> &mut Grid3<T> {
+        &mut self.grids[if self.src_is_zero { 1 } else { 0 }]
+    }
+
+    /// Both grids at once: `(source, destination)`, destination mutable.
+    #[inline]
+    pub fn pair_mut(&mut self) -> (&Grid3<T>, &mut Grid3<T>) {
+        let (a, b) = self.grids.split_at_mut(1);
+        if self.src_is_zero {
+            (&a[0], &mut b[0])
+        } else {
+            (&b[0], &mut a[0])
+        }
+    }
+
+    /// Swaps source and destination (O(1), no copy).
+    #[inline]
+    pub fn swap(&mut self) {
+        self.src_is_zero = !self.src_is_zero;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_exchanges_roles_without_copying() {
+        let d = Dim3::cube(3);
+        let mut dg = DoubleGrid::<f64>::zeros(d);
+        dg.dst_mut().set(1, 1, 1, 42.0);
+        assert_eq!(dg.src().get(1, 1, 1), 0.0);
+        dg.swap();
+        assert_eq!(dg.src().get(1, 1, 1), 42.0);
+        assert_eq!(dg.dst().get(1, 1, 1), 0.0);
+        dg.swap();
+        assert_eq!(dg.src().get(1, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn from_initial_copies_boundary_into_destination() {
+        let d = Dim3::cube(4);
+        let init = Grid3::<f32>::from_fn(d, |x, y, z| (x + y + z) as f32);
+        let dg = DoubleGrid::from_initial(init.clone());
+        // Destination starts as a copy: boundary cells that a sweep never
+        // writes will still hold their Dirichlet values after swap.
+        assert_eq!(dg.dst().as_slice(), init.as_slice());
+    }
+
+    #[test]
+    fn pair_mut_yields_distinct_grids() {
+        let d = Dim3::cube(2);
+        let mut dg = DoubleGrid::<f64>::zeros(d);
+        {
+            let (src, dst) = dg.pair_mut();
+            assert_eq!(src.get(0, 0, 0), 0.0);
+            dst.set(0, 0, 0, 7.0);
+        }
+        assert_eq!(dg.dst().get(0, 0, 0), 7.0);
+        assert_eq!(dg.src().get(0, 0, 0), 0.0);
+        dg.swap();
+        let (src, dst) = dg.pair_mut();
+        assert_eq!(src.get(0, 0, 0), 7.0);
+        assert_eq!(dst.get(0, 0, 0), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Grid substrate for the `threefive` 3.5-D blocking library.
+//!
+//! This crate provides the storage and geometry layer every other crate
+//! builds on:
+//!
+//! * [`Dim3`] / [`Region3`] — grid geometry with the X axis fastest-varying,
+//!   matching the layout assumed throughout Nguyen et al. (SC 2010).
+//! * [`AlignedVec`] — cache-line (64-byte) aligned heap storage, so SIMD
+//!   kernels can use aligned loads/stores on row starts.
+//! * [`Grid3`] — a dense 3-D scalar grid (row-major, X fastest).
+//! * [`DoubleGrid`] — the Jacobi-style read/write grid pair with O(1) swap.
+//! * [`SoaGrid`] — structure-of-arrays storage for multi-component lattices
+//!   (e.g. the 19 distribution functions of D3Q19 LBM) plus a flag array.
+//! * [`PlaneRing`] — the ring buffer of XY sub-planes at the heart of
+//!   2.5-D streaming and the 3.5-D temporal pipeline.
+//! * [`partition`] — the paper's flexible load-balancing scheme: split rows
+//!   (or any index range) evenly across threads so every thread performs
+//!   the same amount of DRAM traffic and compute.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod aligned;
+mod dim;
+mod double;
+mod grid3;
+pub mod partition;
+mod plane;
+mod real;
+mod region;
+mod soa;
+
+pub use aligned::AlignedVec;
+pub use dim::Dim3;
+pub use double::DoubleGrid;
+pub use grid3::Grid3;
+pub use plane::PlaneRing;
+pub use real::Real;
+pub use region::Region3;
+pub use soa::{CellFlags, CellKind, SoaGrid};
+
+/// Cache-line size (bytes) assumed for alignment and traffic accounting.
+pub const CACHE_LINE: usize = 64;

@@ -1,0 +1,181 @@
+//! The paper's flexible load-balancing scheme (§V-D).
+//!
+//! Each XY sub-plane is divided among **all** `T` threads — by rows when
+//! there are enough rows, and by partial rows otherwise ("In case
+//! `dimY < T`, each thread gets partial rows"). Every thread then performs
+//! the same amount of external memory read/write and the same number of
+//! stencil operations, which is what decouples the temporal factor `dim_T`
+//! from the core count.
+//!
+//! The uniform mechanism here partitions the *flattened cell index space*
+//! `[0, ny·nx)` evenly and re-exposes each thread's share as row segments
+//! `(y, x-range)` so kernels still run unit-stride inner loops.
+
+use std::ops::Range;
+
+/// Splits `0..n` into `parts` contiguous ranges whose lengths differ by at
+/// most one (first `n % parts` ranges get the extra element).
+///
+/// # Panics
+/// Panics if `parts == 0`.
+pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    (0..parts).map(|k| even_range(n, parts, k)).collect()
+}
+
+/// The `k`-th range of [`even_ranges`]`(n, parts)` without allocating.
+///
+/// # Panics
+/// Panics if `parts == 0` or `k >= parts`.
+pub fn even_range(n: usize, parts: usize, k: usize) -> Range<usize> {
+    assert!(parts > 0, "even_range: parts must be positive");
+    assert!(k < parts, "even_range: part index out of range");
+    let base = n / parts;
+    let extra = n % parts;
+    let start = k * base + k.min(extra);
+    let len = base + usize::from(k < extra);
+    start..start + len
+}
+
+/// One thread's share of an XY sub-plane: a run of cells inside row `y`,
+/// covering local X indices `xs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowSegment {
+    /// Row (local Y index within the sub-plane).
+    pub y: usize,
+    /// Local X index range within that row.
+    pub xs: Range<usize>,
+}
+
+/// Decomposes a flattened cell range of an `nx`-wide plane into row
+/// segments, preserving order.
+///
+/// `cells` indexes the plane in layout order (`idx = y * nx + x`).
+pub fn row_segments(cells: Range<usize>, nx: usize) -> Vec<RowSegment> {
+    assert!(nx > 0, "row_segments: nx must be positive");
+    let mut out = Vec::new();
+    let mut i = cells.start;
+    while i < cells.end {
+        let y = i / nx;
+        let x0 = i % nx;
+        let row_end = (y + 1) * nx;
+        let end = row_end.min(cells.end);
+        out.push(RowSegment {
+            y,
+            xs: x0..x0 + (end - i),
+        });
+        i = end;
+    }
+    out
+}
+
+/// The row segments assigned to thread `k` of `parts` for an `nx × ny`
+/// sub-plane — the complete load-balancing scheme in one call.
+pub fn plane_share(nx: usize, ny: usize, parts: usize, k: usize) -> Vec<RowSegment> {
+    row_segments(even_range(nx * ny, parts, k), nx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_ranges_cover_exactly_once_and_balance() {
+        for n in [0usize, 1, 7, 16, 100, 101] {
+            for parts in [1usize, 2, 3, 4, 7, 16] {
+                let rs = even_ranges(n, parts);
+                assert_eq!(rs.len(), parts);
+                // Coverage: concatenation is 0..n.
+                let mut next = 0;
+                for r in &rs {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                // Balance: sizes differ by at most 1.
+                let min = rs.iter().map(|r| r.len()).min().unwrap();
+                let max = rs.iter().map(|r| r.len()).max().unwrap();
+                assert!(max - min <= 1, "n={n} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_range_matches_materialised_ranges() {
+        let rs = even_ranges(23, 5);
+        for (k, r) in rs.iter().enumerate() {
+            assert_eq!(&even_range(23, 5, k), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parts must be positive")]
+    fn zero_parts_panics() {
+        even_range(10, 0, 0);
+    }
+
+    #[test]
+    fn row_segments_split_at_row_boundaries() {
+        // Plane 4 wide; cells 2..9 span rows 0,1,2 partially.
+        let segs = row_segments(2..9, 4);
+        assert_eq!(
+            segs,
+            vec![
+                RowSegment { y: 0, xs: 2..4 },
+                RowSegment { y: 1, xs: 0..4 },
+                RowSegment { y: 2, xs: 0..1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn row_segments_full_rows_stay_whole() {
+        let segs = row_segments(4..12, 4);
+        assert_eq!(
+            segs,
+            vec![RowSegment { y: 1, xs: 0..4 }, RowSegment { y: 2, xs: 0..4 },]
+        );
+    }
+
+    #[test]
+    fn plane_share_partitions_whole_plane() {
+        // Paper example: dimY = 360 rows over 4 threads → 90 whole rows each.
+        let shares: Vec<_> = (0..4).map(|k| plane_share(360, 360, 4, k)).collect();
+        for share in &shares {
+            assert_eq!(share.len(), 90);
+            assert!(share.iter().all(|s| s.xs == (0..360)));
+        }
+
+        // dimY < T: partial rows appear, every cell covered exactly once.
+        let nx = 8;
+        let ny = 3;
+        let parts = 5;
+        let mut seen = vec![0u8; nx * ny];
+        for k in 0..parts {
+            for seg in plane_share(nx, ny, parts, k) {
+                for x in seg.xs.clone() {
+                    seen[seg.y * nx + x] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn plane_share_is_balanced_in_cells() {
+        let nx = 13;
+        let ny = 7;
+        let parts = 4;
+        let cells: Vec<usize> = (0..parts)
+            .map(|k| {
+                plane_share(nx, ny, parts, k)
+                    .iter()
+                    .map(|s| s.xs.len())
+                    .sum()
+            })
+            .collect();
+        let min = *cells.iter().min().unwrap();
+        let max = *cells.iter().max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(cells.iter().sum::<usize>(), nx * ny);
+    }
+}

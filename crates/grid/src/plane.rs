@@ -1,0 +1,176 @@
+//! Ring buffer of XY sub-planes.
+//!
+//! 2.5-D blocking keeps `2R+1` XY sub-planes resident while streaming Z;
+//! the 3.5-D temporal pipeline keeps one ring of `2R+2` sub-planes per
+//! time level (the extra plane decouples producer and consumer levels so
+//! every level advances in the same outer Z step — paper §V-C). A global
+//! plane index `z` maps to slot `z % slots`, exactly the paper's
+//! `Buffer[z_s % (2R+2)]` addressing.
+
+use crate::{AlignedVec, Real};
+
+/// A ring of `slots` XY sub-planes, each `plane_len` elements, in one
+/// contiguous 64-byte-aligned allocation.
+#[derive(Clone, Debug)]
+pub struct PlaneRing<T: Real> {
+    plane_len: usize,
+    slots: usize,
+    data: AlignedVec<T>,
+}
+
+impl<T: Real> PlaneRing<T> {
+    /// Creates a zeroed ring.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0` or `plane_len == 0`.
+    pub fn new(slots: usize, plane_len: usize) -> Self {
+        assert!(slots > 0, "PlaneRing: need at least one slot");
+        assert!(plane_len > 0, "PlaneRing: plane_len must be positive");
+        Self {
+            plane_len,
+            slots,
+            data: AlignedVec::zeroed(slots * plane_len),
+        }
+    }
+
+    /// Number of slots (distinct resident planes).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Elements per plane.
+    #[inline]
+    pub fn plane_len(&self) -> usize {
+        self.plane_len
+    }
+
+    /// Total footprint in bytes (what must fit in 𝒞 along with the other
+    /// time levels).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.slots * self.plane_len * T::BYTES
+    }
+
+    /// Slot index for global plane `z`.
+    #[inline(always)]
+    pub fn slot_of(&self, z: usize) -> usize {
+        z % self.slots
+    }
+
+    /// The plane stored for global index `z` (i.e. slot `z % slots`).
+    #[inline]
+    pub fn plane(&self, z: usize) -> &[T] {
+        let s = self.slot_of(z) * self.plane_len;
+        &self.data[s..s + self.plane_len]
+    }
+
+    /// Mutable plane for global index `z`.
+    #[inline]
+    pub fn plane_mut(&mut self, z: usize) -> &mut [T] {
+        let s = self.slot_of(z) * self.plane_len;
+        &mut self.data[s..s + self.plane_len]
+    }
+
+    /// Raw base pointer of the plane for global index `z`.
+    ///
+    /// Used by the parallel executor, where multiple threads write disjoint
+    /// row ranges of the same plane; the caller is responsible for
+    /// disjointness.
+    #[inline]
+    pub fn plane_ptr(&self, z: usize) -> *const T {
+        self.plane(z).as_ptr()
+    }
+
+    /// Element range of the slot for global plane `z` within
+    /// [`PlaneRing::as_mut_slice`]'s backing storage.
+    #[inline]
+    pub fn plane_range(&self, z: usize) -> std::ops::Range<usize> {
+        let s = self.slot_of(z) * self.plane_len;
+        s..s + self.plane_len
+    }
+
+    /// The whole backing storage (all slots, slot-major), for callers that
+    /// need to share the ring across threads writing disjoint rows.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copies `src` into the slot for global plane `z`.
+    ///
+    /// # Panics
+    /// Panics if `src.len() != plane_len`.
+    pub fn load_plane(&mut self, z: usize, src: &[T]) {
+        self.plane_mut(z).copy_from_slice(src);
+    }
+
+    /// Fills every slot with `value` (mostly for tests).
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_addressing_is_modular() {
+        let ring = PlaneRing::<f32>::new(4, 6);
+        assert_eq!(ring.slot_of(0), 0);
+        assert_eq!(ring.slot_of(3), 3);
+        assert_eq!(ring.slot_of(4), 0);
+        assert_eq!(ring.slot_of(11), 3);
+    }
+
+    #[test]
+    fn planes_with_same_slot_alias() {
+        let mut ring = PlaneRing::<f64>::new(4, 3);
+        ring.plane_mut(2).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(ring.plane(6), &[1.0, 2.0, 3.0]); // 6 % 4 == 2
+        ring.plane_mut(6)[0] = 9.0;
+        assert_eq!(ring.plane(2)[0], 9.0);
+    }
+
+    #[test]
+    fn distinct_slots_do_not_alias() {
+        let mut ring = PlaneRing::<f32>::new(3, 2);
+        for z in 0..3 {
+            let v = z as f32;
+            ring.plane_mut(z).copy_from_slice(&[v, v]);
+        }
+        for z in 0..3 {
+            assert_eq!(ring.plane(z), &[z as f32, z as f32]);
+        }
+    }
+
+    #[test]
+    fn ring_capacity_matches_35d_requirement() {
+        // Paper: dim_T time levels × (2R+2) sub-planes each.
+        let r = 1usize;
+        let dim_t = 3usize;
+        let dim_x = 8usize;
+        let dim_y = 8usize;
+        let rings: Vec<_> = (0..dim_t)
+            .map(|_| PlaneRing::<f32>::new(2 * r + 2, dim_x * dim_y))
+            .collect();
+        let total: usize = rings.iter().map(|r| r.bytes()).sum();
+        assert_eq!(total, 4 * dim_t * (2 * r + 2) * dim_x * dim_y);
+    }
+
+    #[test]
+    fn load_plane_copies() {
+        let mut ring = PlaneRing::<f64>::new(2, 4);
+        ring.load_plane(5, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ring.plane(5), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ring.plane(4), &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_plane_rejects_wrong_length() {
+        let mut ring = PlaneRing::<f32>::new(2, 4);
+        ring.load_plane(0, &[1.0, 2.0]);
+    }
+}

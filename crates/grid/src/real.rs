@@ -1,0 +1,146 @@
+//! Scalar element abstraction.
+//!
+//! Stencil and lattice kernels are generic over the floating-point type so
+//! that the single-precision and double-precision variants of every
+//! experiment in the paper share one implementation. The trait deliberately
+//! exposes only what the kernels need, plus the element size `BYTES` used by
+//! the planner (ℰ in the paper's equations).
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A real scalar usable as a grid element: `f32` or `f64`.
+pub trait Real:
+    Copy
+    + Default
+    + Debug
+    + Display
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Sum
+    + 'static
+{
+    /// Size of one element in bytes (ℰ for scalar grids).
+    const BYTES: usize;
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (exact for representable constants).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Fused (or contracted) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// IEEE-754 maximum of two values.
+    fn max(self, other: Self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+
+    /// Relative-or-absolute closeness test used by verification helpers.
+    ///
+    /// Returns `true` when `|self - other| <= tol * max(1, |self|, |other|)`.
+    fn close_to(self, other: Self, tol: f64) -> bool {
+        let a = self.to_f64();
+        let b = other.to_f64();
+        let scale = 1.0_f64.max(a.abs()).max(b.abs());
+        (a - b).abs() <= tol * scale
+    }
+}
+
+macro_rules! impl_real {
+    ($t:ty, $bytes:expr) => {
+        impl Real for $t {
+            const BYTES: usize = $bytes;
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                // `f32::mul_add` maps to an fma instruction where available;
+                // kernels that must match non-fma references use `a * b + c`
+                // explicitly instead of this method.
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32, 4);
+impl_real!(f64, 8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_type_sizes() {
+        assert_eq!(<f32 as Real>::BYTES, std::mem::size_of::<f32>());
+        assert_eq!(<f64 as Real>::BYTES, std::mem::size_of::<f64>());
+    }
+
+    #[test]
+    fn conversion_round_trips_small_integers() {
+        for i in -100..=100 {
+            let v = i as f64;
+            assert_eq!(f32::from_f64(v).to_f64(), v);
+            assert_eq!(f64::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_expression_for_exact_inputs() {
+        let x: f64 = 3.0;
+        assert_eq!(x.mul_add(2.0, 1.0), 7.0);
+        let y: f32 = 1.5;
+        assert_eq!(Real::mul_add(y, 4.0, 2.0), 8.0);
+    }
+
+    #[test]
+    fn close_to_is_relative_for_large_magnitudes() {
+        let a: f64 = 1.0e12;
+        let b = a * (1.0 + 1.0e-13);
+        assert!(a.close_to(b, 1e-12));
+        assert!(!a.close_to(a * 1.001, 1e-12));
+    }
+
+    #[test]
+    fn close_to_is_absolute_near_zero() {
+        let a: f32 = 0.0;
+        assert!(a.close_to(1.0e-9, 1e-8));
+        assert!(!a.close_to(1.0e-3, 1e-8));
+    }
+}

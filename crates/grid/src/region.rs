@@ -1,0 +1,205 @@
+//! Axis-aligned sub-regions of a grid.
+
+use std::fmt;
+use std::ops::Range;
+
+/// A half-open axis-aligned box `[x0,x1) × [y0,y1) × [z0,z1)`.
+///
+/// Used for tile interiors, ghost extents and verification regions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region3 {
+    /// Inclusive X start.
+    pub x0: usize,
+    /// Exclusive X end.
+    pub x1: usize,
+    /// Inclusive Y start.
+    pub y0: usize,
+    /// Exclusive Y end.
+    pub y1: usize,
+    /// Inclusive Z start.
+    pub z0: usize,
+    /// Exclusive Z end.
+    pub z1: usize,
+}
+
+impl Region3 {
+    /// Creates a region; empty ranges are normalised to `start == end`.
+    pub const fn new(x0: usize, x1: usize, y0: usize, y1: usize, z0: usize, z1: usize) -> Self {
+        Self {
+            x0,
+            x1: if x1 < x0 { x0 } else { x1 },
+            y0,
+            y1: if y1 < y0 { y0 } else { y1 },
+            z0,
+            z1: if z1 < z0 { z0 } else { z1 },
+        }
+    }
+
+    /// Extent along X.
+    #[inline]
+    pub const fn nx(&self) -> usize {
+        self.x1 - self.x0
+    }
+    /// Extent along Y.
+    #[inline]
+    pub const fn ny(&self) -> usize {
+        self.y1 - self.y0
+    }
+    /// Extent along Z.
+    #[inline]
+    pub const fn nz(&self) -> usize {
+        self.z1 - self.z0
+    }
+
+    /// Number of points in the region.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.nx() * self.ny() * self.nz()
+    }
+
+    /// Whether the region contains no points.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// X range.
+    #[inline]
+    pub const fn xs(&self) -> Range<usize> {
+        self.x0..self.x1
+    }
+    /// Y range.
+    #[inline]
+    pub const fn ys(&self) -> Range<usize> {
+        self.y0..self.y1
+    }
+    /// Z range.
+    #[inline]
+    pub const fn zs(&self) -> Range<usize> {
+        self.z0..self.z1
+    }
+
+    /// Point membership.
+    #[inline]
+    pub const fn contains(&self, x: usize, y: usize, z: usize) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1 && z >= self.z0 && z < self.z1
+    }
+
+    /// Shrinks the region by `m` on every face (clamping to empty).
+    pub const fn shrink(&self, m: usize) -> Self {
+        Self::new(
+            self.x0 + m,
+            self.x1.saturating_sub(m),
+            self.y0 + m,
+            self.y1.saturating_sub(m),
+            self.z0 + m,
+            self.z1.saturating_sub(m),
+        )
+    }
+
+    /// Shrinks only in X and Y — the shape of the correct interior of an XY
+    /// tile after `dim_T` time steps of radius-R blocking (`m = R·dim_T`).
+    pub const fn shrink_xy(&self, m: usize) -> Self {
+        Self::new(
+            self.x0 + m,
+            self.x1.saturating_sub(m),
+            self.y0 + m,
+            self.y1.saturating_sub(m),
+            self.z0,
+            self.z1,
+        )
+    }
+
+    /// Intersection of two regions.
+    pub fn intersect(&self, o: &Self) -> Self {
+        Self::new(
+            self.x0.max(o.x0),
+            self.x1.min(o.x1),
+            self.y0.max(o.y0),
+            self.y1.min(o.y1),
+            self.z0.max(o.z0),
+            self.z1.min(o.z1),
+        )
+    }
+
+    /// Iterates points in layout order (z, then y, then x).
+    pub fn points(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let r = *self;
+        r.zs()
+            .flat_map(move |z| r.ys().flat_map(move |y| r.xs().map(move |x| (x, y, z))))
+    }
+}
+
+impl fmt::Debug for Region3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{},{})x[{},{})x[{},{})",
+            self.x0, self.x1, self.y0, self.y1, self.z0, self.z1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_contains_agree() {
+        let r = Region3::new(1, 4, 2, 5, 0, 2);
+        assert_eq!(r.len(), 3 * 3 * 2);
+        assert!(r.contains(1, 2, 0));
+        assert!(r.contains(3, 4, 1));
+        assert!(!r.contains(4, 2, 0));
+        assert!(!r.contains(1, 5, 0));
+        assert!(!r.contains(1, 2, 2));
+    }
+
+    #[test]
+    fn degenerate_ranges_normalise_to_empty() {
+        let r = Region3::new(5, 3, 0, 2, 0, 2);
+        assert!(r.is_empty());
+        assert_eq!(r.nx(), 0);
+    }
+
+    #[test]
+    fn shrink_clamps_to_empty() {
+        let r = Region3::new(0, 4, 0, 4, 0, 4);
+        assert_eq!(r.shrink(1), Region3::new(1, 3, 1, 3, 1, 3));
+        assert!(r.shrink(2).is_empty());
+        assert!(r.shrink(100).is_empty());
+    }
+
+    #[test]
+    fn shrink_xy_preserves_z() {
+        let r = Region3::new(0, 10, 0, 10, 3, 7);
+        let s = r.shrink_xy(2);
+        assert_eq!(s, Region3::new(2, 8, 2, 8, 3, 7));
+    }
+
+    #[test]
+    fn intersect_is_commutative_and_bounded() {
+        let a = Region3::new(0, 5, 0, 5, 0, 5);
+        let b = Region3::new(3, 8, 2, 4, 1, 9);
+        let i = a.intersect(&b);
+        assert_eq!(i, b.intersect(&a));
+        assert_eq!(i, Region3::new(3, 5, 2, 4, 1, 5));
+        let disjoint = Region3::new(9, 12, 0, 1, 0, 1);
+        assert!(a.intersect(&disjoint).is_empty());
+    }
+
+    #[test]
+    fn points_visits_each_point_once_in_layout_order() {
+        let r = Region3::new(1, 3, 0, 2, 4, 6);
+        let pts: Vec<_> = r.points().collect();
+        assert_eq!(pts.len(), r.len());
+        assert_eq!(pts[0], (1, 0, 4));
+        assert_eq!(pts[1], (2, 0, 4));
+        assert_eq!(pts[2], (1, 1, 4));
+        assert_eq!(*pts.last().unwrap(), (2, 1, 5));
+        let mut sorted = pts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pts.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the grid substrate.
+
+use proptest::prelude::*;
+use threefive_grid::partition::{even_range, even_ranges, plane_share, row_segments};
+use threefive_grid::{Dim3, Grid3, PlaneRing, Region3};
+
+proptest! {
+    /// idx/coords form a bijection over the whole grid.
+    #[test]
+    fn idx_coords_bijection(nx in 1usize..20, ny in 1usize..20, nz in 1usize..20) {
+        let d = Dim3::new(nx, ny, nz);
+        for i in 0..d.len() {
+            let (x, y, z) = d.coords(i);
+            prop_assert!(x < nx && y < ny && z < nz);
+            prop_assert_eq!(d.idx(x, y, z), i);
+        }
+    }
+
+    /// even_ranges always partitions 0..n exactly, with sizes within 1.
+    #[test]
+    fn even_ranges_partition(n in 0usize..10_000, parts in 1usize..64) {
+        let rs = even_ranges(n, parts);
+        let mut next = 0usize;
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        for r in &rs {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+            min = min.min(r.len());
+            max = max.max(r.len());
+        }
+        prop_assert_eq!(next, n);
+        prop_assert!(max - min <= 1);
+    }
+
+    /// even_range agrees with materialised even_ranges for every k.
+    #[test]
+    fn even_range_consistent(n in 0usize..5_000, parts in 1usize..32) {
+        let rs = even_ranges(n, parts);
+        for (k, r) in rs.iter().enumerate() {
+            prop_assert_eq!(&even_range(n, parts, k), r);
+        }
+    }
+
+    /// plane_share covers every cell of the plane exactly once across
+    /// threads, even when rows < threads (the paper's partial-row case).
+    #[test]
+    fn plane_share_exact_cover(nx in 1usize..40, ny in 1usize..40, parts in 1usize..17) {
+        let mut seen = vec![0u32; nx * ny];
+        for k in 0..parts {
+            for seg in plane_share(nx, ny, parts, k) {
+                prop_assert!(seg.y < ny);
+                prop_assert!(seg.xs.end <= nx);
+                for x in seg.xs.clone() {
+                    seen[seg.y * nx + x] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// row_segments reconstructs exactly the cells of its input range.
+    #[test]
+    fn row_segments_reconstruct(nx in 1usize..30, start in 0usize..600, len in 0usize..600) {
+        let total = nx * 25;
+        let start = start.min(total);
+        let end = (start + len).min(total);
+        let segs = row_segments(start..end, nx);
+        let cells: Vec<usize> = segs
+            .iter()
+            .flat_map(|s| s.xs.clone().map(move |x| s.y * nx + x))
+            .collect();
+        let expect: Vec<usize> = (start..end).collect();
+        prop_assert_eq!(cells, expect);
+    }
+
+    /// Region intersection is contained in both operands and its length
+    /// matches pointwise membership counting.
+    #[test]
+    fn region_intersection_sound(
+        a in (0usize..8, 0usize..8, 0usize..8, 0usize..8, 0usize..8, 0usize..8),
+        b in (0usize..8, 0usize..8, 0usize..8, 0usize..8, 0usize..8, 0usize..8),
+    ) {
+        let ra = Region3::new(a.0, a.1, a.2, a.3, a.4, a.5);
+        let rb = Region3::new(b.0, b.1, b.2, b.3, b.4, b.5);
+        let ri = ra.intersect(&rb);
+        let mut count = 0usize;
+        for z in 0..8 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    let inside = ra.contains(x, y, z) && rb.contains(x, y, z);
+                    prop_assert_eq!(inside, ri.contains(x, y, z));
+                    count += usize::from(inside);
+                }
+            }
+        }
+        prop_assert_eq!(count, ri.len());
+    }
+
+    /// PlaneRing modular addressing: planes alias iff indices are congruent
+    /// modulo the slot count.
+    #[test]
+    fn ring_aliasing(slots in 1usize..8, plane_len in 1usize..32, writes in 1usize..30) {
+        let mut ring = PlaneRing::<f64>::new(slots, plane_len);
+        // Write planes 0..writes in order; slot holds the last write mapped
+        // to it.
+        for z in 0..writes {
+            let v = z as f64;
+            ring.plane_mut(z).fill(v);
+        }
+        for z in 0..writes {
+            let last_for_slot = (0..writes).rev().find(|w| w % slots == z % slots).unwrap();
+            prop_assert!(ring.plane(z).iter().all(|&v| v == last_for_slot as f64));
+        }
+    }
+
+    /// Grid3 fill_region then read-back matches region membership.
+    #[test]
+    fn fill_region_membership(
+        n in 2usize..8,
+        r in (0usize..8, 0usize..8, 0usize..8, 0usize..8, 0usize..8, 0usize..8),
+    ) {
+        let d = Dim3::cube(n);
+        let reg = Region3::new(
+            r.0.min(n), r.1.min(n), r.2.min(n), r.3.min(n), r.4.min(n), r.5.min(n),
+        );
+        let mut g = Grid3::<f32>::zeros(d);
+        g.fill_region(&reg, 3.0);
+        for (x, y, z) in d.full_region().points() {
+            let expect = if reg.contains(x, y, z) { 3.0 } else { 0.0 };
+            prop_assert_eq!(g.get(x, y, z), expect);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The D3Q19 velocity set and the BGK collision operator.
+//!
+//! The collision kernel is generic over [`SimdReal`] and evaluates every
+//! floating-point expression in one fixed association order, so the scalar
+//! path (`Packed<T, 1>`), the SSE path and the wide portable path produce
+//! **bit-identical** results lane for lane — the property the executor
+//! equivalence tests rely on.
+
+use threefive_grid::Real;
+use threefive_simd::SimdReal;
+
+/// Number of discrete velocities.
+pub const Q: usize = 19;
+
+/// The D3Q19 velocity set: rest, 6 axis vectors, 12 face diagonals.
+/// Index 0 is rest; `C[i]` and `C[OPP[i]]` are antiparallel.
+pub const C: [(i32, i32, i32); Q] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (-1, 0, 0),
+    (0, 1, 0),
+    (0, -1, 0),
+    (0, 0, 1),
+    (0, 0, -1),
+    (1, 1, 0),
+    (-1, -1, 0),
+    (1, -1, 0),
+    (-1, 1, 0),
+    (1, 0, 1),
+    (-1, 0, -1),
+    (1, 0, -1),
+    (-1, 0, 1),
+    (0, 1, 1),
+    (0, -1, -1),
+    (0, 1, -1),
+    (0, -1, 1),
+];
+
+/// Index of the antiparallel velocity: `C[OPP[i]] == -C[i]`.
+pub const OPP: [usize; Q] = [
+    0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17,
+];
+
+/// Lattice weights: 1/3 rest, 1/18 axis, 1/36 diagonal.
+pub const W: [f64; Q] = [
+    1.0 / 3.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// Operation count per lattice-site update in the paper's convention
+/// (§IV-B): ~220 flops + 20 loads (19 distributions + flag) + 19 stores.
+pub const OPS_PER_SITE: usize = 259;
+
+/// Bytes/op of the LBM kernel: SP = 0.88, DP = 1.75 (§IV-B, assuming
+/// write-allocate traffic for the 19 stores).
+pub fn bytes_per_op(elem_bytes: usize) -> f64 {
+    // 19 reads + flag ≈ 20 elem reads; 19 writes counted twice
+    // (write-allocate fetch + write-back) ⇒ 57 element transfers.
+    (57 * elem_bytes) as f64 / OPS_PER_SITE as f64
+}
+
+/// The equilibrium distribution for direction `i`:
+/// `w_i · ρ · (1 + 3(c_i·u) + 4.5(c_i·u)² − 1.5 u²)`.
+///
+/// Generic over the lane type; association order is fixed.
+#[inline(always)]
+pub fn equilibrium<V: SimdReal>(i: usize, rho: V, ux: V, uy: V, uz: V, usq15: V) -> V {
+    let s = V::Scalar::from_f64;
+    let (cx, cy, cz) = C[i];
+    let mut cu = V::zero();
+    // Build c·u without multiplying by zero components, in x, y, z order —
+    // the same additions every lane and every implementation performs.
+    if cx != 0 {
+        let t = ux * V::splat(s(cx as f64));
+        cu = cu + t;
+    }
+    if cy != 0 {
+        let t = uy * V::splat(s(cy as f64));
+        cu = cu + t;
+    }
+    if cz != 0 {
+        let t = uz * V::splat(s(cz as f64));
+        cu = cu + t;
+    }
+    let three_cu = V::splat(s(3.0)) * cu;
+    let cu2 = V::splat(s(4.5)) * (cu * cu);
+    let poly = ((V::splat(s(1.0)) + three_cu) + cu2) - usq15;
+    (V::splat(s(W[i])) * rho) * poly
+}
+
+/// In-place BGK collision of a site's 19 incoming distributions:
+/// `g_i ← g_i + ω (g_i^eq − g_i)`.
+///
+/// Returns `(ρ, u_x, u_y, u_z)` of the pre-collision state (useful for
+/// observables). All sums run in fixed index order.
+#[inline(always)]
+pub fn collide<V: SimdReal>(g: &mut [V; Q], omega: V::Scalar) -> (V, V, V, V) {
+    let s = V::Scalar::from_f64;
+    let mut rho = V::zero();
+    for gi in g.iter() {
+        rho = rho + *gi;
+    }
+    let mut mx = V::zero();
+    let mut my = V::zero();
+    let mut mz = V::zero();
+    for (i, gi) in g.iter().enumerate() {
+        let (cx, cy, cz) = C[i];
+        if cx != 0 {
+            mx = mx + *gi * V::splat(s(cx as f64));
+        }
+        if cy != 0 {
+            my = my + *gi * V::splat(s(cy as f64));
+        }
+        if cz != 0 {
+            mz = mz + *gi * V::splat(s(cz as f64));
+        }
+    }
+    let inv_rho = V::splat(s(1.0)) / rho;
+    let ux = mx * inv_rho;
+    let uy = my * inv_rho;
+    let uz = mz * inv_rho;
+    let usq15 = V::splat(s(1.5)) * (((ux * ux) + (uy * uy)) + (uz * uz));
+    let om = V::splat(omega);
+    for (i, gi) in g.iter_mut().enumerate() {
+        let eq = equilibrium::<V>(i, rho, ux, uy, uz, usq15);
+        *gi = *gi + om * (eq - *gi);
+    }
+    (rho, ux, uy, uz)
+}
+
+/// Scalar equilibrium state for initialisation: the 19 distributions of a
+/// site at density `rho` and velocity `u`.
+pub fn equilibrium_site<T: Real>(rho: T, u: [T; 3]) -> [T; Q] {
+    use threefive_simd::Packed;
+    type V1<T> = Packed<T, 1>;
+    let usq15 = V1::splat(T::from_f64(1.5))
+        * (((V1::splat(u[0]) * V1::splat(u[0])) + (V1::splat(u[1]) * V1::splat(u[1])))
+            + (V1::splat(u[2]) * V1::splat(u[2])));
+    let mut out = [T::ZERO; Q];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = equilibrium::<V1<T>>(
+            i,
+            V1::splat(rho),
+            V1::splat(u[0]),
+            V1::splat(u[1]),
+            V1::splat(u[2]),
+            usq15,
+        )
+        .lane(0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threefive_simd::Packed;
+
+    type V1 = Packed<f64, 1>;
+
+    #[test]
+    fn velocity_set_is_symmetric() {
+        for i in 0..Q {
+            let (cx, cy, cz) = C[i];
+            let (ox, oy, oz) = C[OPP[i]];
+            assert_eq!((ox, oy, oz), (-cx, -cy, -cz), "i={i}");
+            assert_eq!(OPP[OPP[i]], i);
+        }
+        // 1 rest + 6 axis + 12 diagonal.
+        assert_eq!(C.iter().filter(|c| **c == (0, 0, 0)).count(), 1);
+        let axis = C
+            .iter()
+            .filter(|(x, y, z)| x.abs() + y.abs() + z.abs() == 1)
+            .count();
+        let diag = C
+            .iter()
+            .filter(|(x, y, z)| x.abs() + y.abs() + z.abs() == 2)
+            .count();
+        assert_eq!(axis, 6);
+        assert_eq!(diag, 12);
+    }
+
+    #[test]
+    fn weights_are_normalised_and_isotropic() {
+        let sum: f64 = W.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-15);
+        // Second moment isotropy: Σ w_i c_iα c_iβ = (1/3) δ_αβ.
+        for a in 0..3 {
+            for b in 0..3 {
+                let m: f64 = (0..Q)
+                    .map(|i| {
+                        let c = [C[i].0 as f64, C[i].1 as f64, C[i].2 as f64];
+                        W[i] * c[a] * c[b]
+                    })
+                    .sum();
+                let expect = if a == b { 1.0 / 3.0 } else { 0.0 };
+                assert!((m - expect).abs() < 1e-15, "a={a} b={b} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_moments_recover_rho_and_u() {
+        let rho = 1.1f64;
+        let u = [0.05f64, -0.02, 0.01];
+        let f = equilibrium_site(rho, u);
+        let got_rho: f64 = f.iter().sum();
+        assert!((got_rho - rho).abs() < 1e-12);
+        for axis in 0..3 {
+            let mom: f64 = (0..Q)
+                .map(|i| {
+                    let c = [C[i].0 as f64, C[i].1 as f64, C[i].2 as f64];
+                    f[i] * c[axis]
+                })
+                .sum();
+            assert!((mom - rho * u[axis]).abs() < 1e-12, "axis {axis}");
+        }
+    }
+
+    #[test]
+    fn equilibrium_is_collision_fixed_point() {
+        let mut g: [V1; Q] =
+            std::array::from_fn(|i| V1::splat(equilibrium_site(1.0f64, [0.08, 0.03, -0.06])[i]));
+        let before: Vec<f64> = g.iter().map(|v| v.lane(0)).collect();
+        collide::<V1>(&mut g, 1.25);
+        for (i, b) in before.iter().enumerate() {
+            assert!((g[i].lane(0) - b).abs() < 1e-14, "i={i}");
+        }
+    }
+
+    #[test]
+    fn collision_conserves_mass_and_momentum() {
+        // Random-ish positive distributions.
+        let mut g: [V1; Q] =
+            std::array::from_fn(|i| V1::splat(W[i] * (1.0 + 0.3 * ((i * 7 % 5) as f64 - 2.0))));
+        let mass_before: f64 = g.iter().map(|v| v.lane(0)).sum();
+        let mom_before: [f64; 3] = {
+            let mut m = [0.0; 3];
+            for (i, v) in g.iter().enumerate() {
+                m[0] += v.lane(0) * C[i].0 as f64;
+                m[1] += v.lane(0) * C[i].1 as f64;
+                m[2] += v.lane(0) * C[i].2 as f64;
+            }
+            m
+        };
+        collide::<V1>(&mut g, 1.6);
+        let mass_after: f64 = g.iter().map(|v| v.lane(0)).sum();
+        assert!((mass_after - mass_before).abs() < 1e-14);
+        let mut mom_after = [0.0; 3];
+        for (i, v) in g.iter().enumerate() {
+            mom_after[0] += v.lane(0) * C[i].0 as f64;
+            mom_after[1] += v.lane(0) * C[i].1 as f64;
+            mom_after[2] += v.lane(0) * C[i].2 as f64;
+        }
+        for a in 0..3 {
+            assert!((mom_after[a] - mom_before[a]).abs() < 1e-14, "axis {a}");
+        }
+    }
+
+    #[test]
+    fn simd_collision_matches_scalar_bit_for_bit() {
+        use threefive_simd::NativeF32;
+        const L: usize = 4;
+        // Four sites with distinct states.
+        let site_states: Vec<[f32; Q]> = (0..L)
+            .map(|s| {
+                let u = [0.02 * s as f32, -0.01 * s as f32, 0.005];
+                equilibrium_site(1.0 + 0.05 * s as f32, u)
+            })
+            .collect();
+        // Perturb away from equilibrium so collision does something.
+        let perturbed: Vec<[f32; Q]> = site_states
+            .iter()
+            .map(|f| std::array::from_fn(|i| f[i] * (1.0 + 0.1 * ((i % 3) as f32 - 1.0))))
+            .collect();
+
+        // SIMD: lane s = site s.
+        let mut gv: [NativeF32; Q] = std::array::from_fn(|i| {
+            NativeF32::loadu(&[
+                perturbed[0][i],
+                perturbed[1][i],
+                perturbed[2][i],
+                perturbed[3][i],
+            ])
+        });
+        collide::<NativeF32>(&mut gv, 1.3f32);
+
+        // Scalar: one lane at a time.
+        for (s, site) in perturbed.iter().enumerate() {
+            let mut g1: [Packed<f32, 1>; Q] = std::array::from_fn(|i| Packed::splat(site[i]));
+            collide::<Packed<f32, 1>>(&mut g1, 1.3f32);
+            for i in 0..Q {
+                assert_eq!(gv[i].lane(s), g1[i].lane(0), "site {s} dir {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_per_op_matches_paper() {
+        assert!(
+            (bytes_per_op(4) - 0.88).abs() < 0.001,
+            "{}",
+            bytes_per_op(4)
+        );
+        assert!((bytes_per_op(8) - 1.76).abs() < 0.01, "{}", bytes_per_op(8));
+    }
+}

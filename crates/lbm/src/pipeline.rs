@@ -1,0 +1,500 @@
+//! 3.5-D blocking for the lattice Boltzmann method (paper §VI-B).
+//!
+//! Same pipeline structure as the stencil executor
+//! (`threefive_core::exec::parallel35d_sweep`): XY tiles stream through Z;
+//! time level 1 pulls from the source lattice, intermediate levels live in
+//! tile-local plane rings (19 distribution planes per ring slot), the last
+//! level writes the destination lattice. Every thread owns a band of rows
+//! of every sub-plane at every level, with one barrier per outer Z step.
+//!
+//! Differences from the scalar-stencil pipeline, both induced by the
+//! lattice's flag semantics:
+//!
+//! * valid ranges extend to the grid faces (face sites are non-fluid by
+//!   construction and are *copied* from the time-invariant source, which
+//!   doubles as the Dirichlet rim);
+//! * every committed cell is written each chunk (there is no pre-
+//!   initialized destination), so Z-boundary planes are copied into the
+//!   destination too.
+//!
+//! D3Q19 propagation has L∞ radius 1, so `R = 1` throughout; rings carry
+//! `max(2R+2, 3R+1) = 4` sub-planes per level, matching the paper.
+
+use threefive_grid::partition::even_range;
+use threefive_grid::{Dim3, PlaneRing, Real, SoaGrid};
+use threefive_sync::{SharedSlice, SpinBarrier, ThreadTeam};
+
+use crate::model::Q;
+use crate::step::{row_update, PullSource};
+use crate::Lattice;
+
+/// Propagation radius of D3Q19 (L∞ norm).
+const R: usize = 1;
+
+/// 3.5-D blocking parameters for the lattice executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LbmBlocking {
+    /// Owned tile extent along X.
+    pub dim_x: usize,
+    /// Owned tile extent along Y.
+    pub dim_y: usize,
+    /// Temporal blocking factor.
+    pub dim_t: usize,
+}
+
+impl LbmBlocking {
+    /// Creates blocking parameters.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero.
+    pub fn new(dim_x: usize, dim_y: usize, dim_t: usize) -> Self {
+        assert!(
+            dim_x > 0 && dim_y > 0 && dim_t > 0,
+            "LbmBlocking: zero parameter"
+        );
+        Self {
+            dim_x,
+            dim_y,
+            dim_t,
+        }
+    }
+}
+
+/// Temporal-only blocking: tile = the whole XY plane (paper's
+/// "only temporal blocking" bars, which help only when the plane rings fit
+/// in cache).
+pub fn lbm_temporal_sweep<T: Real>(
+    lat: &mut Lattice<T>,
+    steps: usize,
+    dim_t: usize,
+    team: Option<&ThreadTeam>,
+) -> u64 {
+    let d = lat.dim();
+    lbm35d_sweep(lat, steps, LbmBlocking::new(d.nx, d.ny, dim_t), team)
+}
+
+/// Advances the lattice `steps` time steps with 3.5-D blocking.
+///
+/// Bit-exact with [`lbm_naive_sweep`](crate::lbm_naive_sweep) in SIMD mode
+/// for every tiling, temporal factor and team size. Returns the number of
+/// site updates.
+pub fn lbm35d_sweep<T: Real>(
+    lat: &mut Lattice<T>,
+    steps: usize,
+    b: LbmBlocking,
+    team: Option<&ThreadTeam>,
+) -> u64 {
+    let fallback;
+    let team = match team {
+        Some(t) => t,
+        None => {
+            fallback = ThreadTeam::new(1);
+            &fallback
+        }
+    };
+    let dim = lat.dim();
+    let omega = lat.omega;
+    let barrier = SpinBarrier::new(team.threads());
+    let mut remaining = steps;
+    while remaining > 0 {
+        let chunk = remaining.min(b.dim_t);
+        let (flags, simple, src, dst) = lat.split_step();
+        let dst_views: Vec<SharedSlice<'_, T>> =
+            dst.comps_mut().into_iter().map(SharedSlice::new).collect();
+        let mut oy = 0usize;
+        while oy < dim.ny {
+            let oy1 = (oy + b.dim_y).min(dim.ny);
+            let mut ox = 0usize;
+            while ox < dim.nx {
+                let ox1 = (ox + b.dim_x).min(dim.nx);
+                let geom = LGeom::new(dim, chunk, ox, ox1, oy, oy1);
+                tile_pipeline(src, &dst_views, flags, simple, omega, &geom, team, &barrier);
+                ox = ox1;
+            }
+            oy = oy1;
+        }
+        lat.swap();
+        remaining -= chunk;
+    }
+    dim.len() as u64 * steps as u64
+}
+
+/// Tile geometry with the lattice's face-extended valid ranges.
+struct LGeom {
+    dim: Dim3,
+    c: usize,
+    gx0: usize,
+    gx1: usize,
+    gy0: usize,
+    gy1: usize,
+}
+
+impl LGeom {
+    fn new(dim: Dim3, c: usize, ox0: usize, ox1: usize, oy0: usize, oy1: usize) -> Self {
+        let h = R * c;
+        Self {
+            dim,
+            c,
+            gx0: ox0.saturating_sub(h),
+            gx1: (ox1 + h).min(dim.nx),
+            gy0: oy0.saturating_sub(h),
+            gy1: (oy1 + h).min(dim.ny),
+        }
+    }
+
+    fn lx(&self) -> usize {
+        self.gx1 - self.gx0
+    }
+    fn ly(&self) -> usize {
+        self.gy1 - self.gy0
+    }
+
+    /// Valid X range at level `t`: shrink `R·t` from tile-interior sides,
+    /// extend to the face at grid faces (face sites are copied, not
+    /// computed, by the row routine).
+    fn valid_x(&self, t: usize) -> std::ops::Range<usize> {
+        let lo = if self.gx0 == 0 { 0 } else { self.gx0 + R * t };
+        let hi = if self.gx1 == self.dim.nx {
+            self.dim.nx
+        } else {
+            self.gx1.saturating_sub(R * t)
+        };
+        lo..hi.max(lo)
+    }
+
+    /// Valid Y range at level `t`.
+    fn valid_y(&self, t: usize) -> std::ops::Range<usize> {
+        let lo = if self.gy0 == 0 { 0 } else { self.gy0 + R * t };
+        let hi = if self.gy1 == self.dim.ny {
+            self.dim.ny
+        } else {
+            self.gy1.saturating_sub(R * t)
+        };
+        lo..hi.max(lo)
+    }
+}
+
+/// Shared view of one intermediate level's ring: each slot stores 19
+/// component planes of `lx × ly`, component-major.
+struct RingView<'a, T> {
+    view: SharedSlice<'a, T>,
+    slots: usize,
+    lx: usize,
+    gx0: usize,
+    gy0: usize,
+}
+
+impl<'a, T: Real> RingView<'a, T> {
+    fn new(ring: &'a mut PlaneRing<T>, geom: &LGeom) -> Self {
+        let slots = ring.slots();
+        Self {
+            view: SharedSlice::new(ring.as_mut_slice()),
+            slots,
+            lx: geom.lx(),
+            gx0: geom.gx0,
+            gy0: geom.gy0,
+        }
+    }
+
+    #[inline]
+    fn base(&self, z: usize, q: usize, plane_area: usize) -> usize {
+        ((z % self.slots) * Q + q) * plane_area
+    }
+
+    #[inline]
+    fn plane_area(&self) -> usize {
+        self.view.len() / (self.slots * Q)
+    }
+
+    /// Mutable row segment (global coords) of component `q`, plane `z`.
+    ///
+    /// # Safety
+    /// The calling thread must own row `y` for this step.
+    #[inline]
+    // Interior mutability through SharedSlice; exclusivity is the contract.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row_mut(&self, q: usize, z: usize, y: usize, x0: usize, len: usize) -> &mut [T] {
+        let off = self.base(z, q, self.plane_area()) + (y - self.gy0) * self.lx + (x0 - self.gx0);
+        // SAFETY: forwarded contract; bounds checked by SharedSlice.
+        unsafe { self.view.slice_mut(off, len) }
+    }
+}
+
+/// Pull source backed by a ring (global-coordinate adapter).
+struct RingSrc<'b, 'a, T> {
+    rv: &'b RingView<'a, T>,
+}
+
+impl<T: Real> PullSource<T> for RingSrc<'_, '_, T> {
+    #[inline(always)]
+    fn row(&self, q: usize, x0: usize, y: usize, z: usize, len: usize) -> &[T] {
+        let rv = self.rv;
+        let off = rv.base(z, q, rv.plane_area()) + (y - rv.gy0) * rv.lx + (x0 - rv.gx0);
+        // SAFETY: the pipeline only reads planes completed in earlier
+        // barrier-separated steps, and ring slots written this step are
+        // disjoint from slots read this step.
+        unsafe { rv.view.slice(off, len) }
+    }
+}
+
+/// Runs the pipeline for one tile × chunk on the team.
+#[allow(clippy::too_many_arguments)]
+fn tile_pipeline<T: Real>(
+    src: &SoaGrid<T>,
+    dst_views: &[SharedSlice<'_, T>],
+    flags: &threefive_grid::CellFlags,
+    simple: &[u8],
+    omega: T,
+    geom: &LGeom,
+    team: &ThreadTeam,
+    barrier: &SpinBarrier,
+) {
+    let c = geom.c;
+    let (lx, ly) = (geom.lx(), geom.ly());
+    let slots = (2 * R + 2).max(3 * R + 1);
+    let mut rings: Vec<PlaneRing<T>> = (1..c).map(|_| PlaneRing::new(slots, Q * lx * ly)).collect();
+    let ring_views: Vec<RingView<'_, T>> =
+        rings.iter_mut().map(|rg| RingView::new(rg, geom)).collect();
+
+    let dim = geom.dim;
+    let n_threads = team.threads();
+    let outer_steps = dim.nz + 2 * R * (c - 1);
+
+    team.run(|tid| {
+        let my_rows = even_range(ly, n_threads, tid);
+        let mut out_rows: Vec<&mut [T]> = Vec::with_capacity(Q);
+        for s in 0..outer_steps {
+            for t in 1..=c {
+                let lag = 2 * R * (t - 1);
+                if s < lag {
+                    continue;
+                }
+                let z = s - lag;
+                if z >= dim.nz {
+                    continue;
+                }
+                let is_final = t == c;
+                let z_boundary = z < R || z >= dim.nz - R;
+
+                if z_boundary {
+                    // Non-fluid planes: propagate the time-invariant source
+                    // values to wherever the consumer will read them.
+                    if !is_final {
+                        for row in my_rows.clone() {
+                            let y = geom.gy0 + row;
+                            for q in 0..Q {
+                                // SAFETY: this thread owns `row`.
+                                let dst =
+                                    unsafe { ring_views[t - 1].row_mut(q, z, y, geom.gx0, lx) };
+                                let i = dim.idx(geom.gx0, y, z);
+                                dst.copy_from_slice(&src.comp(q)[i..i + lx]);
+                            }
+                        }
+                    } else {
+                        let xs = geom.valid_x(c);
+                        if xs.is_empty() {
+                            continue;
+                        }
+                        for row in my_rows.clone() {
+                            let y = geom.gy0 + row;
+                            if !geom.valid_y(c).contains(&y) {
+                                continue;
+                            }
+                            for (q, view) in dst_views.iter().enumerate() {
+                                let i = dim.idx(xs.start, y, z);
+                                // SAFETY: this thread owns row `y` of the
+                                // destination for this tile's X range.
+                                let dst = unsafe { view.slice_mut(i, xs.len()) };
+                                dst.copy_from_slice(&src.comp(q)[i..i + xs.len()]);
+                            }
+                        }
+                    }
+                    continue;
+                }
+
+                let xs = geom.valid_x(t);
+                let ys = geom.valid_y(t);
+                if xs.is_empty() {
+                    continue;
+                }
+                let row_lo = ys.start.max(geom.gy0 + my_rows.start);
+                let row_hi = ys.end.min(geom.gy0 + my_rows.end);
+                for y in row_lo..row_hi {
+                    out_rows.clear();
+                    if is_final {
+                        for view in dst_views {
+                            let i = dim.idx(xs.start, y, z);
+                            // SAFETY: this thread owns row `y` of the
+                            // destination for this tile's X range.
+                            out_rows.push(unsafe { view.slice_mut(i, xs.len()) });
+                        }
+                    } else {
+                        for q in 0..Q {
+                            // SAFETY: this thread owns row `y`.
+                            out_rows.push(unsafe {
+                                ring_views[t - 1].row_mut(q, z, y, xs.start, xs.len())
+                            });
+                        }
+                    }
+                    if t == 1 {
+                        row_update(
+                            &src,
+                            src,
+                            flags,
+                            simple,
+                            omega,
+                            y,
+                            z,
+                            xs.clone(),
+                            &mut out_rows,
+                            true,
+                        );
+                    } else {
+                        let rsrc = RingSrc {
+                            rv: &ring_views[t - 2],
+                        };
+                        row_update(
+                            &rsrc,
+                            src,
+                            flags,
+                            simple,
+                            omega,
+                            y,
+                            z,
+                            xs.clone(),
+                            &mut out_rows,
+                            true,
+                        );
+                    }
+                }
+            }
+            barrier.wait();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use crate::step::{lbm_naive_sweep, LbmMode};
+
+    fn assert_lattices_equal<T: Real>(a: &Lattice<T>, b: &Lattice<T>, what: &str) {
+        for q in 0..Q {
+            assert_eq!(a.src().comp(q), b.src().comp(q), "{what}: comp {q}");
+        }
+    }
+
+    fn perturb<T: Real>(lat: &mut Lattice<T>) {
+        let d = lat.dim();
+        for z in 1..d.nz - 1 {
+            for y in 1..d.ny - 1 {
+                for x in 1..d.nx - 1 {
+                    if lat.flags().get(x, y, z) != threefive_grid::CellKind::Fluid {
+                        continue;
+                    }
+                    let rho =
+                        T::from_f64(1.0 + 0.02 * (((x * 3 + y * 5 + z * 7) % 9) as f64 - 4.0));
+                    let u = [
+                        T::from_f64(0.008 * ((x % 3) as f64 - 1.0)),
+                        T::from_f64(0.008 * ((y % 3) as f64 - 1.0)),
+                        T::from_f64(0.008 * ((z % 3) as f64 - 1.0)),
+                    ];
+                    lat.set_equilibrium(x, y, z, rho, u);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_tilings() {
+        let d = Dim3::new(13, 11, 9);
+        let mut want = scenarios::closed_box::<f32>(d, 1.3);
+        perturb(&mut want);
+        lbm_naive_sweep(&mut want, 4, LbmMode::Simd, None);
+        for (tx, ty, dt) in [
+            (6usize, 5usize, 2usize),
+            (13, 11, 2),
+            (4, 4, 3),
+            (13, 11, 1),
+            (5, 11, 4),
+        ] {
+            let mut got = scenarios::closed_box::<f32>(d, 1.3);
+            perturb(&mut got);
+            lbm35d_sweep(&mut got, 4, LbmBlocking::new(tx, ty, dt), None);
+            assert_lattices_equal(&want, &got, &format!("tile {tx}x{ty} dimT={dt}"));
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_f64_cavity() {
+        let d = Dim3::cube(10);
+        let mut want = scenarios::lid_driven_cavity::<f64>(d, 1.1, 0.08);
+        lbm_naive_sweep(&mut want, 5, LbmMode::Simd, None);
+        let mut got = scenarios::lid_driven_cavity::<f64>(d, 1.1, 0.08);
+        lbm35d_sweep(&mut got, 5, LbmBlocking::new(5, 4, 3), None);
+        assert_lattices_equal(&want, &got, "cavity");
+    }
+
+    #[test]
+    fn blocked_matches_naive_with_interior_obstacle() {
+        // A sphere in the channel exercises bounce-back inside tiles and
+        // across tile seams.
+        let d = Dim3::new(18, 10, 10);
+        let mut want = scenarios::channel_with_sphere::<f32>(d, 1.0, 0.04, 2.5);
+        lbm_naive_sweep(&mut want, 4, LbmMode::Simd, None);
+        let mut got = scenarios::channel_with_sphere::<f32>(d, 1.0, 0.04, 2.5);
+        lbm35d_sweep(&mut got, 4, LbmBlocking::new(7, 6, 2), None);
+        assert_lattices_equal(&want, &got, "channel");
+    }
+
+    #[test]
+    fn parallel_blocked_matches_for_every_team_size() {
+        let d = Dim3::cube(9);
+        let mut want = scenarios::lid_driven_cavity::<f32>(d, 1.2, 0.06);
+        lbm_naive_sweep(&mut want, 3, LbmMode::Simd, None);
+        for threads in [1usize, 2, 4, 5] {
+            let team = ThreadTeam::new(threads);
+            let mut got = scenarios::lid_driven_cavity::<f32>(d, 1.2, 0.06);
+            lbm35d_sweep(&mut got, 3, LbmBlocking::new(4, 4, 3), Some(&team));
+            assert_lattices_equal(&want, &got, &format!("threads {threads}"));
+        }
+    }
+
+    #[test]
+    fn temporal_only_matches_naive() {
+        let d = Dim3::cube(8);
+        let mut want = scenarios::closed_box::<f64>(d, 1.5);
+        perturb(&mut want);
+        lbm_naive_sweep(&mut want, 6, LbmMode::Simd, None);
+        let mut got = scenarios::closed_box::<f64>(d, 1.5);
+        perturb(&mut got);
+        lbm_temporal_sweep(&mut got, 6, 3, None);
+        assert_lattices_equal(&want, &got, "temporal-only");
+    }
+
+    #[test]
+    fn steps_not_multiple_of_dim_t() {
+        let d = Dim3::cube(8);
+        for steps in 1..=5 {
+            let mut want = scenarios::closed_box::<f32>(d, 1.2);
+            perturb(&mut want);
+            lbm_naive_sweep(&mut want, steps, LbmMode::Simd, None);
+            let mut got = scenarios::closed_box::<f32>(d, 1.2);
+            perturb(&mut got);
+            lbm35d_sweep(&mut got, steps, LbmBlocking::new(4, 3, 3), None);
+            assert_lattices_equal(&want, &got, &format!("steps {steps}"));
+        }
+    }
+
+    #[test]
+    fn blocked_conserves_mass() {
+        let d = Dim3::cube(10);
+        let mut lat = scenarios::closed_box::<f64>(d, 1.4);
+        perturb(&mut lat);
+        let before = lat.fluid_mass();
+        lbm35d_sweep(&mut lat, 12, LbmBlocking::new(5, 5, 3), None);
+        let after = lat.fluid_mass();
+        assert!((after - before).abs() / before < 1e-12);
+    }
+}

@@ -1,0 +1,356 @@
+//! The fused stream–collide ("pull") update and the no-blocking executors.
+//!
+//! One row update is shared by every LBM executor in this crate: the naive
+//! scalar sweep, the SIMD sweep, the team-parallel sweep, and both 3.5-D
+//! pipeline paths. All of them therefore produce bit-identical lattices.
+
+use std::ops::Range;
+
+use threefive_grid::{CellFlags, CellKind, Real, SoaGrid};
+use threefive_simd::{NativeF32, NativeF64, Packed, SimdReal};
+use threefive_sync::{SharedSlice, ThreadTeam};
+
+use crate::model::{collide, C, OPP, Q};
+use crate::Lattice;
+
+/// Update flavor for the no-blocking executors (the first two bars of the
+/// paper's Figure 5(a)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LbmMode {
+    /// Scalar pull–collide at every site.
+    Scalar,
+    /// SIMD pull–collide on runs of "simple" sites (fluid, no obstacle
+    /// neighbor), scalar elsewhere.
+    Simd,
+}
+
+/// Where a level's pull reads come from: the global source lattice or a
+/// tile-local plane ring. Implementations return rows in **global**
+/// coordinates.
+pub(crate) trait PullSource<T: Real> {
+    /// Slice of component `q` covering global `x ∈ [x0, x0+len)` of row
+    /// `(y, z)`.
+    fn row(&self, q: usize, x0: usize, y: usize, z: usize, len: usize) -> &[T];
+
+    /// Single value of component `q` at a global site.
+    #[inline(always)]
+    fn at(&self, q: usize, x: usize, y: usize, z: usize) -> T {
+        self.row(q, x, y, z, 1)[0]
+    }
+}
+
+impl<T: Real> PullSource<T> for &SoaGrid<T> {
+    #[inline(always)]
+    fn row(&self, q: usize, x0: usize, y: usize, z: usize, len: usize) -> &[T] {
+        let i = self.dim().idx(x0, y, z);
+        &self.comp(q)[i..i + len]
+    }
+}
+
+/// Computes one row of destination values: for each global `x ∈ xs` of row
+/// `(y, z)`, either pull the 19 neighbor distributions from `src` and
+/// collide (fluid sites), or copy the site's values from `fixed_src` (the
+/// time-invariant global source lattice) for obstacle/fixed sites.
+///
+/// `out[q][i]` receives component `q` at `x = xs.start + i`.
+///
+/// Generic over the SIMD width; `use_simd = false` forces the scalar path
+/// (the ladder's baseline bar).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pull_collide_row<T, V, S>(
+    src: &S,
+    fixed_src: &SoaGrid<T>,
+    flags: &CellFlags,
+    simple: &[u8],
+    omega: T,
+    y: usize,
+    z: usize,
+    xs: Range<usize>,
+    out: &mut [&mut [T]],
+    use_simd: bool,
+) where
+    T: Real,
+    V: SimdReal<Scalar = T>,
+    S: PullSource<T>,
+{
+    debug_assert_eq!(out.len(), Q);
+    let dim = fixed_src.dim();
+    let row_base = dim.idx(0, y, z);
+    let mut x = xs.start;
+    while x < xs.end {
+        let rel = x - xs.start;
+        // SIMD run: V::LANES consecutive simple sites.
+        if use_simd
+            && x + V::LANES <= xs.end
+            && simple[row_base + x..row_base + x + V::LANES]
+                .iter()
+                .all(|&m| m == 1)
+        {
+            let mut g: [V; Q] = [V::zero(); Q];
+            for (i, gi) in g.iter_mut().enumerate() {
+                let (cx, cy, cz) = C[i];
+                let sx = (x as i64 - cx as i64) as usize;
+                let sy = (y as i64 - cy as i64) as usize;
+                let sz = (z as i64 - cz as i64) as usize;
+                *gi = V::loadu(src.row(i, sx, sy, sz, V::LANES));
+            }
+            collide::<V>(&mut g, omega);
+            for (i, gi) in g.iter().enumerate() {
+                gi.storeu(&mut out[i][rel..]);
+            }
+            x += V::LANES;
+            continue;
+        }
+
+        // Scalar site.
+        match flags.get(x, y, z) {
+            CellKind::Fluid => {
+                type V1<T> = Packed<T, 1>;
+                let mut g: [V1<T>; Q] = [V1::zero(); Q];
+                for (i, gi) in g.iter_mut().enumerate() {
+                    let (cx, cy, cz) = C[i];
+                    let sx = (x as i64 - cx as i64) as usize;
+                    let sy = (y as i64 - cy as i64) as usize;
+                    let sz = (z as i64 - cz as i64) as usize;
+                    *gi = if flags.get(sx, sy, sz) == CellKind::Obstacle {
+                        // Full-way bounce-back: the population that would
+                        // stream in from the wall is the opposite one
+                        // leaving this site last step.
+                        V1::splat(src.at(OPP[i], x, y, z))
+                    } else {
+                        V1::splat(src.at(i, sx, sy, sz))
+                    };
+                }
+                collide::<V1<T>>(&mut g, omega);
+                for (i, gi) in g.iter().enumerate() {
+                    out[i][rel] = gi.lane(0);
+                }
+            }
+            _ => {
+                // Obstacle and fixed sites keep their (time-invariant)
+                // source values.
+                for (i, o) in out.iter_mut().enumerate() {
+                    o[rel] = fixed_src.get(i, x, y, z);
+                }
+            }
+        }
+        x += 1;
+    }
+}
+
+/// Advances the lattice `steps` time steps with the no-blocking pull
+/// executor. Pass a [`ThreadTeam`] to parallelize over lattice rows (the
+/// paper's base "parallelized scalar code"); `None` runs inline.
+///
+/// Returns the number of site updates performed.
+pub fn lbm_naive_sweep<T: Real>(
+    lat: &mut Lattice<T>,
+    steps: usize,
+    mode: LbmMode,
+    team: Option<&ThreadTeam>,
+) -> u64 {
+    let fallback;
+    let team = match team {
+        Some(t) => t,
+        None => {
+            fallback = ThreadTeam::new(1);
+            &fallback
+        }
+    };
+    let dim = lat.dim();
+    let omega = lat.omega;
+    let use_simd = mode == LbmMode::Simd;
+    for _ in 0..steps {
+        let (flags, simple_mask, src, dst) = lat.split_step();
+        let views: Vec<SharedSlice<'_, T>> =
+            dst.comps_mut().into_iter().map(SharedSlice::new).collect();
+        let n_threads = team.threads();
+        team.run(|tid| {
+            let rows = threefive_grid::partition::even_range(dim.ny * dim.nz, n_threads, tid);
+            let mut out_rows: Vec<&mut [T]> = Vec::with_capacity(Q);
+            for row in rows {
+                let (y, z) = (row % dim.ny, row / dim.ny);
+                let base = dim.idx(0, y, z);
+                out_rows.clear();
+                for v in &views {
+                    // SAFETY: each thread owns disjoint (y, z) rows.
+                    out_rows.push(unsafe { v.slice_mut(base, dim.nx) });
+                }
+                row_update(
+                    &src,
+                    src,
+                    flags,
+                    simple_mask,
+                    omega,
+                    y,
+                    z,
+                    0..dim.nx,
+                    &mut out_rows,
+                    use_simd,
+                );
+            }
+        });
+        lat.swap();
+    }
+    dim.len() as u64 * steps as u64
+}
+
+/// Width-dispatching row update shared by the executors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn row_update<T: Real, S: PullSource<T>>(
+    src: &S,
+    fixed_src: &SoaGrid<T>,
+    flags: &CellFlags,
+    simple: &[u8],
+    omega: T,
+    y: usize,
+    z: usize,
+    xs: Range<usize>,
+    out: &mut [&mut [T]],
+    use_simd: bool,
+) {
+    match T::BYTES {
+        4 => pull_collide_row::<T, WidthOf4<T>, S>(
+            src, fixed_src, flags, simple, omega, y, z, xs, out, use_simd,
+        ),
+        _ => pull_collide_row::<T, WidthOf2<T>, S>(
+            src, fixed_src, flags, simple, omega, y, z, xs, out, use_simd,
+        ),
+    }
+}
+
+/// 4-lane vector for a generic `T` (matches `NativeF32` for `f32`).
+type WidthOf4<T> = Packed<T, 4>;
+/// 2-lane vector for a generic `T` (matches `NativeF64` for `f64`).
+type WidthOf2<T> = Packed<T, 2>;
+
+// The LBM kernels use the portable `Packed` vectors, which compile to the
+// same packed SSE instructions at opt-level 3 and stay bit-exact with the
+// scalar `Packed<T, 1>` path lane for lane by construction. The widths
+// match the paper's SSE layout (4 SP / 2 DP lanes):
+const _: () = assert!(NativeF32::LANES == WidthOf4::<f32>::LANES);
+const _: () = assert!(NativeF64::LANES == WidthOf2::<f64>::LANES);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use threefive_grid::Dim3;
+
+    fn perturb<T: Real>(lat: &mut Lattice<T>) {
+        // Kick the interior away from equilibrium deterministically.
+        let d = lat.dim();
+        for z in 1..d.nz - 1 {
+            for y in 1..d.ny - 1 {
+                for x in 1..d.nx - 1 {
+                    let rho =
+                        T::from_f64(1.0 + 0.02 * (((x * 3 + y * 5 + z * 7) % 9) as f64 - 4.0));
+                    let u = [
+                        T::from_f64(0.01 * ((x % 3) as f64 - 1.0)),
+                        T::from_f64(0.01 * ((y % 3) as f64 - 1.0)),
+                        T::from_f64(0.01 * ((z % 3) as f64 - 1.0)),
+                    ];
+                    lat.set_equilibrium(x, y, z, rho, u);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_sweep_is_bit_exact_with_scalar_f32() {
+        let d = Dim3::new(14, 9, 8);
+        let mut a = scenarios::closed_box::<f32>(d, 1.3);
+        let mut b = scenarios::closed_box::<f32>(d, 1.3);
+        perturb(&mut a);
+        perturb(&mut b);
+        lbm_naive_sweep(&mut a, 5, LbmMode::Scalar, None);
+        lbm_naive_sweep(&mut b, 5, LbmMode::Simd, None);
+        for q in 0..Q {
+            assert_eq!(a.src().comp(q), b.src().comp(q), "comp {q}");
+        }
+    }
+
+    #[test]
+    fn simd_sweep_is_bit_exact_with_scalar_f64() {
+        let d = Dim3::cube(9);
+        let mut a = scenarios::lid_driven_cavity::<f64>(d, 1.2, 0.05);
+        let mut b = scenarios::lid_driven_cavity::<f64>(d, 1.2, 0.05);
+        lbm_naive_sweep(&mut a, 4, LbmMode::Scalar, None);
+        lbm_naive_sweep(&mut b, 4, LbmMode::Simd, None);
+        for q in 0..Q {
+            assert_eq!(a.src().comp(q), b.src().comp(q), "comp {q}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_exact_with_serial() {
+        let d = Dim3::new(10, 8, 7);
+        let mut want = scenarios::closed_box::<f32>(d, 1.1);
+        perturb(&mut want);
+        lbm_naive_sweep(&mut want, 3, LbmMode::Simd, None);
+        for threads in [2usize, 3, 5] {
+            let team = ThreadTeam::new(threads);
+            let mut got = scenarios::closed_box::<f32>(d, 1.1);
+            perturb(&mut got);
+            lbm_naive_sweep(&mut got, 3, LbmMode::Simd, Some(&team));
+            for q in 0..Q {
+                assert_eq!(
+                    want.src().comp(q),
+                    got.src().comp(q),
+                    "threads {threads} comp {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_box_conserves_mass() {
+        let d = Dim3::cube(10);
+        let mut lat = scenarios::closed_box::<f64>(d, 1.4);
+        perturb(&mut lat);
+        let before = lat.fluid_mass();
+        lbm_naive_sweep(&mut lat, 20, LbmMode::Simd, None);
+        let after = lat.fluid_mass();
+        assert!(
+            (after - before).abs() / before < 1e-12,
+            "mass drifted: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn quiescent_box_stays_quiescent() {
+        let d = Dim3::cube(8);
+        let mut lat = scenarios::closed_box::<f64>(d, 1.0);
+        lbm_naive_sweep(&mut lat, 10, LbmMode::Scalar, None);
+        let m = lat.macroscopic(4, 4, 4);
+        assert!((m.rho.to_f64() - 1.0).abs() < 1e-12);
+        for c in m.u {
+            assert!(c.abs().to_f64() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cavity_flow_develops_circulation() {
+        let d = Dim3::cube(12);
+        let mut lat = scenarios::lid_driven_cavity::<f64>(d, 1.0, 0.1);
+        lbm_naive_sweep(&mut lat, 60, LbmMode::Simd, None);
+        // Fluid just below the lid is dragged in +x.
+        let near_lid = lat.macroscopic(6, d.ny - 3, 6);
+        assert!(near_lid.u[0] > 1e-4, "u_x near lid = {}", near_lid.u[0]);
+        // Return flow near the floor runs in −x.
+        let near_floor = lat.macroscopic(6, 2, 6);
+        assert!(
+            near_floor.u[0] < 0.0,
+            "u_x near floor = {}",
+            near_floor.u[0]
+        );
+    }
+
+    #[test]
+    fn update_count_is_sites_times_steps() {
+        let d = Dim3::cube(6);
+        let mut lat = scenarios::closed_box::<f32>(d, 1.0);
+        let n = lbm_naive_sweep(&mut lat, 7, LbmMode::Scalar, None);
+        assert_eq!(n, 216 * 7);
+    }
+}

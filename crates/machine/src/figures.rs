@@ -1,0 +1,570 @@
+//! Row generators for every figure of the paper's evaluation (§VII).
+//!
+//! Each function returns the model-predicted bars of one figure; the bench
+//! binaries print them next to numbers measured on the host. Scenario
+//! construction mirrors the paper's own reasoning: blocking parameters and
+//! κ come from the planner (Eqs. 1–4), traffic from §IV, efficiencies from
+//! the calibration in [`crate::roofline`].
+
+use threefive_core::planner::{dim_4d_max, kappa_35d, kappa_4d, plan_35d};
+
+use crate::roofline::{
+    predict, Bound, Prediction, Scenario, CPU_ALU_EFF, GPU_35D_BW_EFF, GPU_ALU_EFF,
+    GPU_ALU_EFF_TUNED, GPU_TILE_BW_EFF,
+};
+use crate::{core_i7, gtx285, lbm_traffic, seven_point_traffic, Machine, Precision};
+
+/// One predicted bar of a figure.
+#[derive(Clone, Debug)]
+pub struct FigRow {
+    /// Bar group, e.g. "SP 256^3".
+    pub group: String,
+    /// Variant label, e.g. "3.5D blocking".
+    pub variant: &'static str,
+    /// Predicted million updates per second.
+    pub mups: f64,
+    /// Binding resource.
+    pub bound: Bound,
+}
+
+impl FigRow {
+    fn from_pred(group: String, p: Prediction) -> Self {
+        Self {
+            group,
+            variant: p.label,
+            mups: p.mups,
+            bound: p.bound,
+        }
+    }
+}
+
+/// Grid sizes the paper evaluates.
+pub const GRID_SIZES: [usize; 3] = [64, 256, 512];
+
+/// LBM bandwidth efficiency on the CPU: the paper measures 20.5 GB/s of
+/// the 22 GB/s achievable for the 39-stream LBM access pattern.
+const LBM_BW_EFF: f64 = 20.5 / 22.0;
+
+fn seven_point_plan(m: &Machine, p: Precision) -> (usize, f64) {
+    let k = seven_point_traffic();
+    let plan = plan_35d(
+        k.gamma(p),
+        m.big_gamma(p),
+        m.fast_storage_bytes,
+        k.elem_bytes(p),
+        k.radius,
+    )
+    .expect("7-point is bandwidth bound on the CPU in both precisions");
+    (plan.dim_t, plan.kappa)
+}
+
+/// Figure 4(b): 7-point stencil on the CPU — no-blocking, spatial-only
+/// (2.5-D), and 3.5-D blocking, for SP/DP × {64³, 256³, 512³}.
+pub fn fig4b_rows() -> Vec<FigRow> {
+    let m = core_i7();
+    let k = seven_point_traffic();
+    let mut rows = Vec::new();
+    for p in [Precision::Sp, Precision::Dp] {
+        let (dim_t, kappa) = seven_point_plan(&m, p);
+        for n in GRID_SIZES {
+            let group = format!("{} {n}^3", p.label());
+            // Whether both grids fit in the LLC (64³ does): then nothing
+            // is bandwidth bound and blocking only adds overhead.
+            let in_cache = 2 * n * n * n * p.elem_bytes() <= 2 * m.fast_storage_bytes;
+            let base_bytes = if in_cache {
+                0.0
+            } else {
+                k.blocked_bytes_per_update(p)
+            };
+            let variants = [
+                Scenario {
+                    label: "no blocking",
+                    bytes_per_update: base_bytes,
+                    ops_per_update: k.ops_per_update as f64,
+                    alu_eff: CPU_ALU_EFF,
+                    bw_eff: 1.0,
+                },
+                Scenario {
+                    label: "spatial only (2.5D)",
+                    bytes_per_update: base_bytes, // 3 slabs fit the LLC anyway (§VII-A)
+                    ops_per_update: k.ops_per_update as f64,
+                    alu_eff: CPU_ALU_EFF,
+                    bw_eff: 1.0,
+                },
+                Scenario {
+                    label: "3.5D blocking",
+                    bytes_per_update: base_bytes * kappa / dim_t as f64,
+                    ops_per_update: k.ops_per_update as f64 * kappa,
+                    alu_eff: CPU_ALU_EFF,
+                    bw_eff: 1.0,
+                },
+            ];
+            for s in variants {
+                rows.push(FigRow::from_pred(group.clone(), predict(&m, p, &s)));
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 4(a): LBM on the CPU — no-blocking, temporal-only, 3.5-D, for
+/// SP/DP × {64³, 256³, 512³}.
+pub fn fig4a_rows() -> Vec<FigRow> {
+    let m = core_i7();
+    let k = lbm_traffic();
+    let mut rows = Vec::new();
+    for p in [Precision::Sp, Precision::Dp] {
+        let plan = plan_35d(
+            k.gamma(p).min(2.9 * m.big_gamma(p)), // paper's quoted dimT ≥ 2.9
+            m.big_gamma(p),
+            m.fast_storage_bytes,
+            k.elem_bytes(p),
+            k.radius,
+        )
+        .expect("LBM is bandwidth bound on the CPU");
+        for n in GRID_SIZES {
+            let group = format!("{} {n}^3", p.label());
+            let bytes = k.blocked_bytes_per_update(p);
+            // Temporal-only keeps dim_T rings of *full* XY planes; they fit
+            // in cache only for small grids (§VII-B).
+            let ring_bytes = plan.dim_t * 4 * n * n * k.elem_bytes(p);
+            let temporal_fits = ring_bytes <= m.fast_storage_bytes;
+            let temporal_gain = if temporal_fits {
+                plan.dim_t as f64
+            } else {
+                1.0
+            };
+            let variants = [
+                Scenario {
+                    label: "no blocking",
+                    bytes_per_update: bytes,
+                    ops_per_update: k.ops_per_update as f64,
+                    alu_eff: CPU_ALU_EFF,
+                    bw_eff: LBM_BW_EFF,
+                },
+                Scenario {
+                    label: "temporal only",
+                    bytes_per_update: bytes / temporal_gain,
+                    ops_per_update: k.ops_per_update as f64,
+                    alu_eff: CPU_ALU_EFF,
+                    bw_eff: LBM_BW_EFF,
+                },
+                Scenario {
+                    label: "3.5D blocking",
+                    bytes_per_update: bytes * plan.kappa / plan.dim_t as f64,
+                    ops_per_update: k.ops_per_update as f64 * plan.kappa,
+                    alu_eff: CPU_ALU_EFF,
+                    bw_eff: LBM_BW_EFF,
+                },
+            ];
+            for s in variants {
+                rows.push(FigRow::from_pred(group.clone(), predict(&m, p, &s)));
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 4(c): 7-point stencil on the GPU — no-blocking, spatial
+/// (shared-memory) blocking, 3.5-D (register-pipelined), SP/DP.
+///
+/// DP notes (§VII-A): the DP unit executes madd, so the stencil's 8 flops
+/// map to ~8 issue slots and spatial blocking alone is compute bound —
+/// temporal blocking is skipped, exactly as the paper does.
+pub fn fig4c_rows() -> Vec<FigRow> {
+    let m = gtx285();
+    let k = seven_point_traffic();
+    let mut rows = Vec::new();
+    // SP: dimT = 2, dimX = 32 (warp), κ = 1.31 (§VI-A GPU).
+    let kappa_sp = kappa_35d(1, 2, 32, 32);
+    for n in GRID_SIZES {
+        let group = format!("SP {n}^3");
+        let variants = [
+            // Naive: every stencil tap reads DRAM (no cache): 7 reads + 1
+            // write per update.
+            Scenario {
+                label: "no blocking",
+                bytes_per_update: 8.0 * 4.0,
+                ops_per_update: k.ops_per_update as f64,
+                alu_eff: GPU_ALU_EFF,
+                bw_eff: 0.8,
+            },
+            // Shared-memory spatial blocking: ~13% overestimation (§VII-C).
+            Scenario {
+                label: "spatial (shared mem)",
+                bytes_per_update: 8.0 * 1.13,
+                ops_per_update: k.ops_per_update as f64,
+                alu_eff: GPU_ALU_EFF,
+                bw_eff: GPU_TILE_BW_EFF,
+            },
+            // The register-pipelined 3.5-D kernel loads full warp-wide
+            // coalesced rows (dimX = 32), sustaining better DRAM bursts
+            // than the ghost-fragmented 2-D tiles.
+            Scenario {
+                label: "3.5D blocking",
+                bytes_per_update: 8.0 * kappa_sp / 2.0,
+                ops_per_update: k.ops_per_update as f64 * kappa_sp,
+                alu_eff: GPU_ALU_EFF_TUNED,
+                bw_eff: GPU_35D_BW_EFF,
+            },
+        ];
+        for s in variants {
+            rows.push(FigRow::from_pred(
+                group.clone(),
+                predict(&m, Precision::Sp, &s),
+            ));
+        }
+    }
+    for n in GRID_SIZES {
+        let group = format!("DP {n}^3");
+        // The DP unit fuses multiply-add: the 16-op update spends ~8 issue
+        // slots of the single DP pipe per update.
+        let dp_ops = 8.0;
+        let variants = [
+            Scenario {
+                label: "no blocking",
+                bytes_per_update: 8.0 * 8.0,
+                ops_per_update: dp_ops,
+                alu_eff: GPU_ALU_EFF,
+                bw_eff: 0.8,
+            },
+            Scenario {
+                label: "spatial (shared mem)",
+                bytes_per_update: 16.0 * 1.13,
+                ops_per_update: dp_ops,
+                alu_eff: GPU_ALU_EFF,
+                bw_eff: GPU_TILE_BW_EFF,
+            },
+            // Paper: "we have not used any temporal blocking since the
+            // spatial blocking is close to compute bound" — same scenario.
+            Scenario {
+                label: "3.5D (== spatial, compute bound)",
+                bytes_per_update: 16.0 * 1.13,
+                ops_per_update: dp_ops,
+                alu_eff: GPU_ALU_EFF,
+                bw_eff: GPU_TILE_BW_EFF,
+            },
+        ];
+        for s in variants {
+            rows.push(FigRow::from_pred(
+                group.clone(),
+                predict(&m, Precision::Dp, &s),
+            ));
+        }
+    }
+    rows
+}
+
+/// Figure 5(a): LBM CPU SP optimization breakdown at 256³.
+pub fn fig5a_rows() -> Vec<FigRow> {
+    let m = core_i7();
+    let k = lbm_traffic();
+    let p = Precision::Sp;
+    let bytes = k.blocked_bytes_per_update(p);
+    let ops = k.ops_per_update as f64;
+    let simd = m.simd_width_sp as f64;
+    let kappa35 = kappa_35d(1, 3, 64 + 6, 64 + 6);
+    // 4-D blocking: cubic blocks double-buffered in 𝒞; κ on loaded dims.
+    let d4 = dim_4d_max(m.fast_storage_bytes, k.elem_bytes(p));
+    let kappa4 = kappa_4d(1, 3, d4, d4, d4);
+    let ladder = [
+        Scenario {
+            label: "parallel scalar, no blocking",
+            bytes_per_update: bytes,
+            ops_per_update: ops * simd, // scalar: no SIMD division of issue slots
+            alu_eff: CPU_ALU_EFF,
+            bw_eff: LBM_BW_EFF,
+        },
+        Scenario {
+            label: "+ SIMD (4-wide SSE)",
+            bytes_per_update: bytes,
+            ops_per_update: ops,
+            alu_eff: CPU_ALU_EFF,
+            bw_eff: LBM_BW_EFF,
+        },
+        Scenario {
+            label: "+ spatial blocking",
+            bytes_per_update: bytes, // no spatial reuse in LBM (§VII-C)
+            ops_per_update: ops,
+            alu_eff: CPU_ALU_EFF,
+            bw_eff: LBM_BW_EFF,
+        },
+        Scenario {
+            label: "4D blocking",
+            bytes_per_update: bytes * kappa4 / 3.0,
+            ops_per_update: ops * kappa4,
+            alu_eff: CPU_ALU_EFF,
+            bw_eff: LBM_BW_EFF,
+        },
+        Scenario {
+            label: "3.5D blocking",
+            bytes_per_update: bytes * kappa35 / 3.0,
+            ops_per_update: ops * kappa35,
+            alu_eff: CPU_ALU_EFF,
+            bw_eff: LBM_BW_EFF,
+        },
+        Scenario {
+            label: "+ ILP (unroll, prefetch)",
+            bytes_per_update: bytes * kappa35 / 3.0,
+            ops_per_update: ops * kappa35,
+            alu_eff: CPU_ALU_EFF * 1.09, // the paper's 171/157 ILP gain
+            bw_eff: LBM_BW_EFF,
+        },
+    ];
+    ladder
+        .into_iter()
+        .map(|s| FigRow::from_pred("SP 256^3".into(), predict(&m, p, &s)))
+        .collect()
+}
+
+/// Figure 5(b): GPU 7-point SP optimization breakdown.
+pub fn fig5b_rows() -> Vec<FigRow> {
+    let m = gtx285();
+    let k = seven_point_traffic();
+    let p = Precision::Sp;
+    let ops = k.ops_per_update as f64;
+    let kappa35 = kappa_35d(1, 2, 32, 32);
+    // 4-D on the GPU blocks in shared memory + registers (~80 KB): small
+    // cubes, heavy overestimation (§VII-C: only 5% over spatial).
+    let d4 = dim_4d_max(80 << 10, 4);
+    let kappa4_bw = kappa_4d(1, 2, d4, d4, d4);
+    let ladder = [
+        Scenario {
+            label: "naive (global memory)",
+            bytes_per_update: 8.0 * 4.0,
+            ops_per_update: ops,
+            alu_eff: GPU_ALU_EFF,
+            bw_eff: 0.8,
+        },
+        Scenario {
+            label: "spatial (shared mem)",
+            bytes_per_update: 8.0 * 1.13,
+            ops_per_update: ops,
+            alu_eff: GPU_ALU_EFF,
+            bw_eff: GPU_TILE_BW_EFF,
+        },
+        Scenario {
+            label: "4D blocking",
+            bytes_per_update: 8.0 * kappa4_bw / 2.0,
+            ops_per_update: ops * 1.4, // mean recompute of the shrinking cubes
+            alu_eff: GPU_ALU_EFF,
+            bw_eff: GPU_TILE_BW_EFF,
+        },
+        Scenario {
+            label: "3.5D blocking",
+            bytes_per_update: 8.0 * kappa35 / 2.0,
+            ops_per_update: ops * kappa35,
+            alu_eff: GPU_ALU_EFF,
+            bw_eff: GPU_35D_BW_EFF,
+        },
+        Scenario {
+            label: "+ loop unrolling",
+            bytes_per_update: 8.0 * kappa35 / 2.0,
+            ops_per_update: ops * kappa35,
+            alu_eff: (GPU_ALU_EFF + GPU_ALU_EFF_TUNED) / 2.0,
+            bw_eff: GPU_35D_BW_EFF,
+        },
+        Scenario {
+            label: "+ multi-update per thread",
+            bytes_per_update: 8.0 * kappa35 / 2.0,
+            ops_per_update: ops * kappa35,
+            alu_eff: GPU_ALU_EFF_TUNED,
+            bw_eff: GPU_35D_BW_EFF,
+        },
+    ];
+    ladder
+        .into_iter()
+        .map(|s| FigRow::from_pred("SP".into(), predict(&m, p, &s)))
+        .collect()
+}
+
+/// §VII-D comparison: our predicted speedups vs the paper's reported ones.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// What is being compared.
+    pub what: &'static str,
+    /// Speedup predicted by the model (3.5-D vs best unblocked).
+    pub model_speedup: f64,
+    /// Speedup the paper reports.
+    pub paper_speedup: f64,
+}
+
+/// The headline speedups of §VII-D.
+pub fn comparisons() -> Vec<Comparison> {
+    let pick = |rows: &[FigRow], group: &str, variant: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.group == group && r.variant == variant)
+            .map(|r| r.mups)
+            .expect("row present")
+    };
+    let b = fig4b_rows();
+    let a = fig4a_rows();
+    let c = fig4c_rows();
+    vec![
+        Comparison {
+            what: "7-point SP on CPU: 3.5D vs no blocking (512^3)",
+            model_speedup: pick(&b, "SP 512^3", "3.5D blocking")
+                / pick(&b, "SP 512^3", "no blocking"),
+            paper_speedup: 1.5,
+        },
+        Comparison {
+            what: "7-point DP on CPU: 3.5D vs no blocking (512^3)",
+            model_speedup: pick(&b, "DP 512^3", "3.5D blocking")
+                / pick(&b, "DP 512^3", "no blocking"),
+            paper_speedup: 1.5,
+        },
+        Comparison {
+            what: "LBM SP on CPU: 3.5D vs no blocking (256^3)",
+            model_speedup: pick(&a, "SP 256^3", "3.5D blocking")
+                / pick(&a, "SP 256^3", "no blocking"),
+            paper_speedup: 2.1,
+        },
+        Comparison {
+            what: "LBM DP on CPU: 3.5D vs no blocking (256^3)",
+            model_speedup: pick(&a, "DP 256^3", "3.5D blocking")
+                / pick(&a, "DP 256^3", "no blocking"),
+            paper_speedup: 2.0,
+        },
+        Comparison {
+            what: "7-point SP on GPU: 3.5D vs spatial (512^3)",
+            model_speedup: pick(&c, "SP 512^3", "3.5D blocking")
+                / pick(&c, "SP 512^3", "spatial (shared mem)"),
+            paper_speedup: 1.8,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(rows: &[FigRow], group: &str, variant: &str) -> FigRow {
+        rows.iter()
+            .find(|r| r.group == group && r.variant == variant)
+            .unwrap_or_else(|| panic!("missing {group}/{variant}"))
+            .clone()
+    }
+
+    #[test]
+    fn fig4b_shape_matches_paper() {
+        let rows = fig4b_rows();
+        // Large SP grids: no-blocking is bandwidth bound near 2,600 MUPS,
+        // 3.5-D is compute bound near 3,900 — a ~1.4-1.5X win.
+        let nb = get(&rows, "SP 512^3", "no blocking");
+        let b35 = get(&rows, "SP 512^3", "3.5D blocking");
+        assert_eq!(nb.bound, Bound::Bandwidth);
+        assert_eq!(b35.bound, Bound::Compute);
+        assert!((nb.mups - 2600.0).abs() / 2600.0 < 0.10, "{}", nb.mups);
+        assert!((b35.mups - 3900.0).abs() / 3900.0 < 0.05, "{}", b35.mups);
+        let speedup = b35.mups / nb.mups;
+        assert!((1.3..=1.6).contains(&speedup), "{speedup}");
+        // Small grid fits in cache: blocking does NOT help (slightly hurts).
+        let nb64 = get(&rows, "SP 64^3", "no blocking");
+        let b64 = get(&rows, "SP 64^3", "3.5D blocking");
+        assert_eq!(nb64.bound, Bound::Compute);
+        assert!(b64.mups <= nb64.mups);
+        // DP halves everything.
+        let nb_dp = get(&rows, "DP 512^3", "no blocking");
+        assert!((nb_dp.mups - nb.mups / 2.0).abs() / nb.mups < 0.05);
+    }
+
+    #[test]
+    fn fig4a_shape_matches_paper() {
+        let rows = fig4a_rows();
+        // No-blocking SP ≈ 87-90 MLUPS, bandwidth bound.
+        let nb = get(&rows, "SP 256^3", "no blocking");
+        assert_eq!(nb.bound, Bound::Bandwidth);
+        assert!((85.0..=95.0).contains(&nb.mups), "{}", nb.mups);
+        // Temporal-only helps ONLY at 64³ (rings fit in cache).
+        let t64 = get(&rows, "SP 64^3", "temporal only");
+        let nb64 = get(&rows, "SP 64^3", "no blocking");
+        assert!(t64.mups > 1.5 * nb64.mups);
+        let t256 = get(&rows, "SP 256^3", "temporal only");
+        assert!(
+            (t256.mups - nb.mups).abs() < 1.0,
+            "{} vs {}",
+            t256.mups,
+            nb.mups
+        );
+        // 3.5-D speedup ≈ 2.1-2.3X for SP, ≈ 2X for DP.
+        let b35 = get(&rows, "SP 256^3", "3.5D blocking");
+        let s = b35.mups / nb.mups;
+        assert!((1.9..=2.4).contains(&s), "{s}");
+        let nb_dp = get(&rows, "DP 256^3", "no blocking");
+        let b35_dp = get(&rows, "DP 256^3", "3.5D blocking");
+        let s_dp = b35_dp.mups / nb_dp.mups;
+        assert!((1.8..=2.2).contains(&s_dp), "{s_dp}");
+    }
+
+    #[test]
+    fn fig4c_shape_matches_paper() {
+        let rows = fig4c_rows();
+        // SP: naive ~3,300; spatial ~9,234 (2.8X); 3.5-D ~17,100 (1.8X).
+        let nb = get(&rows, "SP 512^3", "no blocking");
+        let sp = get(&rows, "SP 512^3", "spatial (shared mem)");
+        let b35 = get(&rows, "SP 512^3", "3.5D blocking");
+        assert!((nb.mups - 3300.0).abs() / 3300.0 < 0.06, "{}", nb.mups);
+        assert!((sp.mups - 9234.0).abs() / 9234.0 < 0.06, "{}", sp.mups);
+        assert!((b35.mups - 17100.0).abs() / 17100.0 < 0.06, "{}", b35.mups);
+        let spatial_gain = sp.mups / nb.mups;
+        assert!((2.5..=3.1).contains(&spatial_gain), "{spatial_gain}");
+        let temporal_gain = b35.mups / sp.mups;
+        assert!((1.6..=2.0).contains(&temporal_gain), "{temporal_gain}");
+        // DP: spatial already compute bound; no temporal benefit; ~4,600.
+        let sp_dp = get(&rows, "DP 512^3", "spatial (shared mem)");
+        let b35_dp = get(&rows, "DP 512^3", "3.5D (== spatial, compute bound)");
+        assert_eq!(sp_dp.bound, Bound::Compute);
+        assert_eq!(sp_dp.mups, b35_dp.mups);
+        assert!(
+            (sp_dp.mups - 4600.0).abs() / 4600.0 < 0.10,
+            "{}",
+            sp_dp.mups
+        );
+    }
+
+    #[test]
+    fn fig5a_ladder_shape() {
+        let rows = fig5a_rows();
+        let mups: Vec<f64> = rows.iter().map(|r| r.mups).collect();
+        // Ladder: scalar < SIMD == spatial < 4D < 3.5D < +ILP.
+        assert!(mups[0] < mups[1], "scalar < simd");
+        assert!((mups[1] - mups[2]).abs() < 1.0, "spatial no change");
+        assert!(mups[2] < mups[3], "4D beats spatial");
+        assert!(mups[3] < mups[4], "3.5D beats 4D");
+        assert!(mups[4] < mups[5], "ILP on top");
+        // SIMD alone does not give 4X (bandwidth wall): < 2X.
+        assert!(mups[1] / mups[0] < 2.0, "{}", mups[1] / mups[0]);
+        // End-to-end gain ≈ paper's 171/52 ≈ 3.3X.
+        let total = mups[5] / mups[0];
+        assert!((2.7..=4.1).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn fig5b_ladder_shape() {
+        let rows = fig5b_rows();
+        let mups: Vec<f64> = rows.iter().map(|r| r.mups).collect();
+        for w in mups.windows(2) {
+            assert!(w[0] < w[1], "ladder must increase: {mups:?}");
+        }
+        // 4D is only a small gain over spatial (paper: ~5%).
+        let gain_4d = mups[2] / mups[1];
+        assert!((1.0..=1.25).contains(&gain_4d), "{gain_4d}");
+        // Naive → final ≈ 5.2X (17,115 / 3,300).
+        let total = mups[5] / mups[0];
+        assert!((4.4..=5.8).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn comparisons_land_near_paper() {
+        for c in comparisons() {
+            let rel = (c.model_speedup - c.paper_speedup).abs() / c.paper_speedup;
+            assert!(
+                rel < 0.25,
+                "{}: model {:.2} vs paper {:.2}",
+                c.what,
+                c.model_speedup,
+                c.paper_speedup
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # threefive-machine — machine models and the roofline predictor
+//!
+//! The paper evaluates on two 2010 machines we do not have: a 4-core Intel
+//! Core i7 (Nehalem) and an NVIDIA GTX 285. This crate reproduces the
+//! *reported* performance landscape analytically:
+//!
+//! * [`Machine`] — peak/achievable bandwidth, peak SP/DP compute and fast
+//!   storage for both platforms (Table I), plus a way to describe the
+//!   host we actually run on;
+//! * [`KernelTraffic`] — per-update bytes and ops of the paper's kernels
+//!   (§IV), yielding the bytes/op ratios γ the planner consumes;
+//! * [`roofline`] — `performance = min(compute limit, bandwidth limit)`
+//!   with per-variant byte/op multipliers derived from the planner's κ
+//!   formulas and two calibrated efficiency constants (documented in
+//!   [`roofline::CPU_ALU_EFF`] etc.);
+//! * [`figures`] — the row generators for Figures 4(a–c) and 5(a–b); each
+//!   bench binary just prints these rows next to the measured numbers.
+//!
+//! The claim is *shape*, not absolute cycle accuracy: which variant wins,
+//! by roughly what factor, and where blocking stops helping (small grids,
+//! tiny shared memories, already-compute-bound kernels).
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod figures;
+mod kernels;
+mod models;
+pub mod roofline;
+
+pub use kernels::{lbm_traffic, seven_point_traffic, twenty_seven_point_traffic, KernelTraffic};
+pub use models::{core_i7, fermi, gtx285, host_cpu, Machine, Precision};
+pub use roofline::{predict, Bound, Prediction, Scenario};

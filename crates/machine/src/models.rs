@@ -1,0 +1,212 @@
+//! The evaluated machines (paper §III, Table I).
+
+/// Floating-point precision of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Single precision (`f32`).
+    Sp,
+    /// Double precision (`f64`).
+    Dp,
+}
+
+impl Precision {
+    /// Bytes of one scalar grid element.
+    pub const fn elem_bytes(self) -> usize {
+        match self {
+            Precision::Sp => 4,
+            Precision::Dp => 8,
+        }
+    }
+
+    /// Short label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Precision::Sp => "SP",
+            Precision::Dp => "DP",
+        }
+    }
+}
+
+/// A machine model: the handful of numbers the paper's analysis needs.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Display name.
+    pub name: &'static str,
+    /// Peak DRAM bandwidth in GB/s (Table I).
+    pub peak_bw_gbs: f64,
+    /// Achievable (measured) bandwidth in GB/s — "usually about 20-25% off
+    /// from peak" (§III-E): 22 on Core i7, 131 on GTX 285.
+    pub achieved_bw_gbs: f64,
+    /// Peak compute in Gops, single precision (Table I).
+    pub peak_gops_sp: f64,
+    /// Peak compute in Gops, double precision.
+    pub peak_gops_dp: f64,
+    /// Compute usable by stencil code, SP — on the GPU only a third of
+    /// peak (no SFU, few madds, §III-E); equals peak on the CPU.
+    pub usable_gops_sp: f64,
+    /// Usable compute, DP — half of GPU peak.
+    pub usable_gops_dp: f64,
+    /// Fast storage budget 𝒞 for the blocking planner: half the 8 MB LLC
+    /// on the CPU (§VI-A), the 16 KB shared memory on the GPU (§VI-B).
+    pub fast_storage_bytes: usize,
+    /// Core/SM count.
+    pub cores: usize,
+    /// SIMD lanes per instruction in SP (4 for SSE, 32 for a warp).
+    pub simd_width_sp: usize,
+}
+
+impl Machine {
+    /// Peak bytes/op Γ from Table I (peak BW / peak compute).
+    pub fn big_gamma(&self, p: Precision) -> f64 {
+        match p {
+            Precision::Sp => self.peak_bw_gbs / self.peak_gops_sp,
+            Precision::Dp => self.peak_bw_gbs / self.peak_gops_dp,
+        }
+    }
+
+    /// Bytes/op against the compute actually usable by stencil kernels —
+    /// 0.43 SP / 3.44 DP on the GTX 285 (§III-E).
+    pub fn usable_gamma(&self, p: Precision) -> f64 {
+        match p {
+            Precision::Sp => self.peak_bw_gbs / self.usable_gops_sp,
+            Precision::Dp => self.peak_bw_gbs / self.usable_gops_dp,
+        }
+    }
+
+    /// Usable compute in Gops for the given precision.
+    pub fn usable_gops(&self, p: Precision) -> f64 {
+        match p {
+            Precision::Sp => self.usable_gops_sp,
+            Precision::Dp => self.usable_gops_dp,
+        }
+    }
+}
+
+/// The quad-core 3.2 GHz Intel Core i7 of Table I.
+pub fn core_i7() -> Machine {
+    Machine {
+        name: "Core i7 (Nehalem, 4C/3.2GHz)",
+        peak_bw_gbs: 30.0,
+        achieved_bw_gbs: 22.0,
+        peak_gops_sp: 102.0,
+        peak_gops_dp: 51.0,
+        usable_gops_sp: 102.0,
+        usable_gops_dp: 51.0,
+        fast_storage_bytes: 4 << 20, // half of the 8 MB LLC
+        cores: 4,
+        simd_width_sp: 4,
+    }
+}
+
+/// The NVIDIA GTX 285 of Table I.
+pub fn gtx285() -> Machine {
+    Machine {
+        name: "GTX 285 (30 SMs/1.55GHz)",
+        peak_bw_gbs: 159.0,
+        achieved_bw_gbs: 131.0,
+        peak_gops_sp: 1116.0,
+        peak_gops_dp: 93.0,
+        // Stencils get a third of SP peak (no SFU, few madds) and half of
+        // DP peak (§III-E).
+        usable_gops_sp: 1116.0 / 3.0,
+        usable_gops_dp: 93.0 / 2.0,
+        fast_storage_bytes: 16 << 10, // 16 KB shared memory per SM
+        cores: 30,
+        simd_width_sp: 32,
+    }
+}
+
+/// The Fermi-generation GPU the paper's §VIII anticipates: ~1.5x the
+/// GTX 285's usable SP compute, slightly lower bandwidth, and crucially a
+/// **48 KB** shared-memory configuration — the capacity jump the paper
+/// predicts will make LBM SP blocking profitable ("kernels like LBM SP
+/// should benefit from our blocking algorithm").
+pub fn fermi() -> Machine {
+    Machine {
+        name: "Fermi-class GPU (C2050-like)",
+        peak_bw_gbs: 144.0,
+        achieved_bw_gbs: 115.0,
+        peak_gops_sp: 1030.0,
+        peak_gops_dp: 515.0,
+        usable_gops_sp: 1030.0 / 2.0, // madd usable, no SFU inflation
+        usable_gops_dp: 515.0 / 2.0,
+        // Fermi adds a real cache hierarchy: 48 KB shared/L1 per SM plus a
+        // 768 KB unified L2 — the L2 is the blocking-capacity jump §VIII
+        // anticipates.
+        fast_storage_bytes: 768 << 10,
+        cores: 14,
+        simd_width_sp: 32,
+    }
+}
+
+/// A model of the machine the benchmarks actually run on, built from
+/// caller-measured numbers (see the bench crate's calibration helper).
+pub fn host_cpu(achieved_bw_gbs: f64, gops_sp: f64, llc_bytes: usize, cores: usize) -> Machine {
+    Machine {
+        name: "host CPU",
+        peak_bw_gbs: achieved_bw_gbs * 1.25,
+        achieved_bw_gbs,
+        peak_gops_sp: gops_sp,
+        peak_gops_dp: gops_sp / 2.0,
+        usable_gops_sp: gops_sp,
+        usable_gops_dp: gops_sp / 2.0,
+        fast_storage_bytes: llc_bytes / 2,
+        cores,
+        simd_width_sp: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_bytes_per_op() {
+        // Table I: Core i7 0.29 SP / 0.59 DP; GTX 285 0.14 SP / 1.7 DP.
+        let cpu = core_i7();
+        assert!((cpu.big_gamma(Precision::Sp) - 0.29).abs() < 0.005);
+        assert!((cpu.big_gamma(Precision::Dp) - 0.59).abs() < 0.005);
+        let gpu = gtx285();
+        assert!((gpu.big_gamma(Precision::Sp) - 0.14).abs() < 0.005);
+        assert!((gpu.big_gamma(Precision::Dp) - 1.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn gpu_usable_bytes_per_op_matches_section_3e() {
+        // §III-E: "the actual bytes/op about 0.43 for SP and 3.44 for DP".
+        let gpu = gtx285();
+        assert!((gpu.usable_gamma(Precision::Sp) - 0.43).abs() < 0.01);
+        assert!((gpu.usable_gamma(Precision::Dp) - 3.42).abs() < 0.03);
+    }
+
+    #[test]
+    fn achieved_bandwidth_is_20_25_percent_off_peak() {
+        for m in [core_i7(), gtx285()] {
+            let off = 1.0 - m.achieved_bw_gbs / m.peak_bw_gbs;
+            assert!((0.15..=0.30).contains(&off), "{}: {off}", m.name);
+        }
+    }
+
+    #[test]
+    fn precision_helpers() {
+        assert_eq!(Precision::Sp.elem_bytes(), 4);
+        assert_eq!(Precision::Dp.elem_bytes(), 8);
+        assert_eq!(Precision::Sp.label(), "SP");
+    }
+
+    #[test]
+    fn fermi_has_the_capacity_jump_section_8_expects() {
+        let f = fermi();
+        let g = gtx285();
+        assert_eq!(f.fast_storage_bytes, 48 * g.fast_storage_bytes);
+        // DP compute density rises dramatically (the §VIII DP discussion).
+        assert!(f.peak_gops_dp > 5.0 * g.peak_gops_dp);
+    }
+
+    #[test]
+    fn host_model_is_self_consistent() {
+        let h = host_cpu(10.0, 50.0, 8 << 20, 1);
+        assert!(h.achieved_bw_gbs < h.peak_bw_gbs);
+        assert_eq!(h.fast_storage_bytes, 4 << 20);
+    }
+}

@@ -1,0 +1,68 @@
+//! SIMD abstraction for the `threefive` stencil kernels.
+//!
+//! The paper exploits data-level parallelism by processing 4 SP (or 2 DP)
+//! grid elements per SSE instruction (§VI-A). This crate provides:
+//!
+//! * [`SimdReal`] — the lane-vector trait the kernels are generic over;
+//! * [`Packed<T, N>`](Packed) — a portable `[T; N]` implementation whose
+//!   `#[inline(always)]` lane loops autovectorize on any target;
+//! * [`F32x4`] / [`F64x2`] — genuine SSE2 intrinsic implementations on
+//!   x86-64 (SSE2 is part of the x86-64 baseline, so no runtime detection
+//!   is needed);
+//! * convenience aliases [`NativeF32`] / [`NativeF64`] picking the best
+//!   implementation for the build target.
+//!
+//! # Determinism contract
+//!
+//! Every implementation performs `+`, `-`, `*`, `/` as IEEE-754 operations
+//! in lane order, and `mul_add` is **documented as fused-or-not per type**:
+//! `Packed` uses the scalar `mul_add` (fused where the target has FMA), the
+//! SSE2 types use separate multiply and add (SSE2 has no FMA). Kernels that
+//! must be bit-identical across scalar and SIMD paths therefore avoid
+//! `mul_add` and use explicit `a * b + c`, which is bit-exact across all
+//! implementations.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod packed;
+#[cfg(target_arch = "x86_64")]
+mod sse;
+mod traits;
+
+pub use packed::Packed;
+pub use traits::{vector_prefix_len, SimdReal};
+
+#[cfg(target_arch = "x86_64")]
+pub use sse::{F32x4, F64x2};
+
+/// Portable 8-lane single-precision vector (autovectorized).
+pub type F32x8 = Packed<f32, 8>;
+/// Portable 4-lane double-precision vector (autovectorized).
+pub type F64x4 = Packed<f64, 4>;
+
+/// Best 4-lane SP vector for the build target.
+#[cfg(target_arch = "x86_64")]
+pub type NativeF32 = F32x4;
+/// Best 4-lane SP vector for the build target.
+#[cfg(not(target_arch = "x86_64"))]
+pub type NativeF32 = Packed<f32, 4>;
+
+/// Best 2-lane DP vector for the build target.
+#[cfg(target_arch = "x86_64")]
+pub type NativeF64 = F64x2;
+/// Best 2-lane DP vector for the build target.
+#[cfg(not(target_arch = "x86_64"))]
+pub type NativeF64 = Packed<f64, 2>;
+
+/// Description of the SIMD backing selected for this build, for reports.
+pub fn backend_name() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        "sse2 (x86-64 baseline) + autovectorized wide types"
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "portable autovectorized"
+    }
+}

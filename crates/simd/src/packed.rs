@@ -1,0 +1,179 @@
+//! Portable array-backed vector type.
+//!
+//! `Packed<T, N>` keeps the lane loop in `#[inline(always)]` bodies over a
+//! fixed-size array; at `opt-level=3` LLVM reliably turns these into packed
+//! vector instructions for N ∈ {2, 4, 8}. It is also the reference
+//! implementation the intrinsic types are tested against.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use threefive_grid::Real;
+
+use crate::SimdReal;
+
+/// `N` lanes of `T` with element-wise arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C)]
+pub struct Packed<T: Real, const N: usize>(pub [T; N]);
+
+impl<T: Real, const N: usize> Packed<T, N> {
+    /// Builds a vector from an array of lanes.
+    #[inline(always)]
+    pub const fn from_array(a: [T; N]) -> Self {
+        Self(a)
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    pub const fn to_array(self) -> [T; N] {
+        self.0
+    }
+
+    #[inline(always)]
+    fn zip(self, o: Self, f: impl Fn(T, T) -> T) -> Self {
+        let mut out = self.0;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(self.0[i], o.0[i]);
+        }
+        Self(out)
+    }
+}
+
+macro_rules! packed_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl<T: Real, const N: usize> $trait for Packed<T, N> {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                self.zip(rhs, |a, b| a $op b)
+            }
+        }
+    };
+}
+
+packed_binop!(Add, add, +);
+packed_binop!(Sub, sub, -);
+packed_binop!(Mul, mul, *);
+packed_binop!(Div, div, /);
+
+impl<T: Real, const N: usize> Neg for Packed<T, N> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        let mut out = self.0;
+        for v in &mut out {
+            *v = -*v;
+        }
+        Self(out)
+    }
+}
+
+impl<T: Real, const N: usize> SimdReal for Packed<T, N> {
+    type Scalar = T;
+    const LANES: usize = N;
+
+    #[inline(always)]
+    fn splat(v: T) -> Self {
+        Self([v; N])
+    }
+
+    #[inline(always)]
+    fn loadu(src: &[T]) -> Self {
+        assert!(src.len() >= N, "Packed::loadu: slice too short");
+        let mut out = [T::ZERO; N];
+        out.copy_from_slice(&src[..N]);
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn storeu(self, dst: &mut [T]) {
+        assert!(dst.len() >= N, "Packed::storeu: slice too short");
+        dst[..N].copy_from_slice(&self.0);
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        let mut out = self.0;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.0[i].mul_add(a.0[i], b.0[i]);
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn reduce_sum(self) -> T {
+        // Fold the lanes themselves (no zero seed): `+0.0 + -0.0` is
+        // `+0.0`, so seeding would diverge from a pure left-to-right sum
+        // on signed zeros.
+        let mut acc = self.0[0];
+        for v in &self.0[1..] {
+            acc += *v;
+        }
+        acc
+    }
+
+    #[inline(always)]
+    fn lane(self, i: usize) -> T {
+        self.0[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type V = Packed<f32, 4>;
+    type W = Packed<f64, 8>;
+
+    #[test]
+    fn arithmetic_is_lanewise() {
+        let a = V::from_array([1.0, 2.0, 3.0, 4.0]);
+        let b = V::from_array([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!((a + b).to_array(), [11.0, 22.0, 33.0, 44.0]);
+        assert_eq!((b - a).to_array(), [9.0, 18.0, 27.0, 36.0]);
+        assert_eq!((a * b).to_array(), [10.0, 40.0, 90.0, 160.0]);
+        assert_eq!((b / a).to_array(), [10.0; 4]);
+        assert_eq!((-a).to_array(), [-1.0, -2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn loadu_storeu_any_offset() {
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        for off in 0..4 {
+            let v = W::loadu(&data[off..]);
+            let mut out = [0.0f64; 9];
+            v.storeu(&mut out[1..]);
+            assert_eq!(&out[1..9], &data[off..off + 8]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice too short")]
+    fn loadu_rejects_short_slice() {
+        let _ = V::loadu(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn splat_and_reduce() {
+        let v = V::splat(2.5);
+        assert_eq!(v.to_array(), [2.5; 4]);
+        assert_eq!(v.reduce_sum(), 10.0);
+        assert_eq!(v.lane(3), 2.5);
+    }
+
+    #[test]
+    fn zero_is_additive_identity() {
+        let a = V::from_array([1.0, -2.0, 3.5, 0.25]);
+        assert_eq!((a + V::zero()).to_array(), a.to_array());
+    }
+
+    #[test]
+    fn mul_add_matches_scalar_mul_add() {
+        let a = V::from_array([1.5, 2.5, 3.5, 4.5]);
+        let b = V::from_array([2.0, 3.0, 4.0, 5.0]);
+        let c = V::from_array([0.5, 0.5, 0.5, 0.5]);
+        let r = a.mul_add(b, c).to_array();
+        for (i, &ri) in r.iter().enumerate() {
+            assert_eq!(ri, a.0[i].mul_add(b.0[i], c.0[i]));
+        }
+    }
+}

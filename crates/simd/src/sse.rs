@@ -1,0 +1,237 @@
+//! SSE2 intrinsic vector types.
+//!
+//! SSE2 is part of the x86-64 baseline ABI, so these intrinsics are always
+//! available on this architecture and the wrappers need no runtime feature
+//! detection. They mirror the paper's CPU implementation, which processes
+//! 4 SP / 2 DP grid elements per SSE instruction. Unaligned variants are
+//! used for loads/stores because stencil shifts (`x ± 1`) are inherently
+//! unaligned (§VI-A: "we did require unaligned load/store instructions").
+
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::*;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::SimdReal;
+
+/// Four `f32` lanes in an `%xmm` register (SSE2).
+#[derive(Clone, Copy, Debug)]
+#[repr(transparent)]
+pub struct F32x4(__m128);
+
+/// Two `f64` lanes in an `%xmm` register (SSE2).
+#[derive(Clone, Copy, Debug)]
+#[repr(transparent)]
+pub struct F64x2(__m128d);
+
+macro_rules! binop {
+    ($ty:ident, $trait:ident, $method:ident, $intr:ident) => {
+        impl $trait for $ty {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                // SAFETY: SSE2 is unconditionally available on x86-64.
+                Self(unsafe { $intr(self.0, rhs.0) })
+            }
+        }
+    };
+}
+
+binop!(F32x4, Add, add, _mm_add_ps);
+binop!(F32x4, Sub, sub, _mm_sub_ps);
+binop!(F32x4, Mul, mul, _mm_mul_ps);
+binop!(F32x4, Div, div, _mm_div_ps);
+binop!(F64x2, Add, add, _mm_add_pd);
+binop!(F64x2, Sub, sub, _mm_sub_pd);
+binop!(F64x2, Mul, mul, _mm_mul_pd);
+binop!(F64x2, Div, div, _mm_div_pd);
+
+impl Neg for F32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self::splat(0.0) - self
+    }
+}
+
+impl Neg for F64x2 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self::splat(0.0) - self
+    }
+}
+
+impl SimdReal for F32x4 {
+    type Scalar = f32;
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        // SAFETY: SSE2 baseline.
+        Self(unsafe { _mm_set1_ps(v) })
+    }
+
+    #[inline(always)]
+    fn loadu(src: &[f32]) -> Self {
+        assert!(src.len() >= 4, "F32x4::loadu: slice too short");
+        // SAFETY: bounds asserted above; unaligned load allows any address.
+        Self(unsafe { _mm_loadu_ps(src.as_ptr()) })
+    }
+
+    #[inline(always)]
+    fn storeu(self, dst: &mut [f32]) {
+        assert!(dst.len() >= 4, "F32x4::storeu: slice too short");
+        // SAFETY: bounds asserted above; unaligned store allows any address.
+        unsafe { _mm_storeu_ps(dst.as_mut_ptr(), self.0) }
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // SSE2 has no fused op; matches scalar mul-then-add bit for bit.
+        self * a + b
+    }
+
+    #[inline(always)]
+    fn reduce_sum(self) -> f32 {
+        let a: [f32; 4] = self.into();
+        ((a[0] + a[1]) + a[2]) + a[3]
+    }
+
+    #[inline(always)]
+    fn lane(self, i: usize) -> f32 {
+        let a: [f32; 4] = self.into();
+        a[i]
+    }
+}
+
+impl SimdReal for F64x2 {
+    type Scalar = f64;
+    const LANES: usize = 2;
+
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        // SAFETY: SSE2 baseline.
+        Self(unsafe { _mm_set1_pd(v) })
+    }
+
+    #[inline(always)]
+    fn loadu(src: &[f64]) -> Self {
+        assert!(src.len() >= 2, "F64x2::loadu: slice too short");
+        // SAFETY: bounds asserted above; unaligned load allows any address.
+        Self(unsafe { _mm_loadu_pd(src.as_ptr()) })
+    }
+
+    #[inline(always)]
+    fn storeu(self, dst: &mut [f64]) {
+        assert!(dst.len() >= 2, "F64x2::storeu: slice too short");
+        // SAFETY: bounds asserted above; unaligned store allows any address.
+        unsafe { _mm_storeu_pd(dst.as_mut_ptr(), self.0) }
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+
+    #[inline(always)]
+    fn reduce_sum(self) -> f64 {
+        let a: [f64; 2] = self.into();
+        a[0] + a[1]
+    }
+
+    #[inline(always)]
+    fn lane(self, i: usize) -> f64 {
+        let a: [f64; 2] = self.into();
+        a[i]
+    }
+}
+
+impl From<F32x4> for [f32; 4] {
+    #[inline(always)]
+    fn from(v: F32x4) -> Self {
+        // SAFETY: __m128 and [f32; 4] have identical size and layout.
+        unsafe { std::mem::transmute(v.0) }
+    }
+}
+
+impl From<F64x2> for [f64; 2] {
+    #[inline(always)]
+    fn from(v: F64x2) -> Self {
+        // SAFETY: __m128d and [f64; 2] have identical size and layout.
+        unsafe { std::mem::transmute(v.0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packed;
+
+    fn arr4(v: F32x4) -> [f32; 4] {
+        v.into()
+    }
+
+    #[test]
+    fn sse_matches_packed_reference_f32() {
+        let xs = [1.5f32, -2.25, 3.0, 0.125];
+        let ys = [4.0f32, 0.5, -1.0, 8.0];
+        let a = F32x4::loadu(&xs);
+        let b = F32x4::loadu(&ys);
+        let pa = Packed::<f32, 4>::loadu(&xs);
+        let pb = Packed::<f32, 4>::loadu(&ys);
+        assert_eq!(arr4(a + b), (pa + pb).to_array());
+        assert_eq!(arr4(a - b), (pa - pb).to_array());
+        assert_eq!(arr4(a * b), (pa * pb).to_array());
+        assert_eq!(arr4(a / b), (pa / pb).to_array());
+        assert_eq!(arr4(-a), (-pa).to_array());
+    }
+
+    #[test]
+    fn sse_matches_packed_reference_f64() {
+        let xs = [1.5f64, -2.25];
+        let ys = [4.0f64, 0.5];
+        let a = F64x2::loadu(&xs);
+        let b = F64x2::loadu(&ys);
+        let r: [f64; 2] = (a * b + a / b - b).into();
+        let pa = Packed::<f64, 2>::loadu(&xs);
+        let pb = Packed::<f64, 2>::loadu(&ys);
+        assert_eq!(r, (pa * pb + pa / pb - pb).to_array());
+    }
+
+    #[test]
+    fn unaligned_load_store_round_trip() {
+        let data: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        for off in 0..5 {
+            let v = F32x4::loadu(&data[off..]);
+            let mut out = [0.0f32; 7];
+            v.storeu(&mut out[3..]);
+            assert_eq!(&out[3..7], &data[off..off + 4]);
+        }
+    }
+
+    #[test]
+    fn mul_add_is_unfused_mul_then_add() {
+        // A case where fma and mul+add differ in the last bit: verify the
+        // SSE2 wrapper matches the *unfused* result (determinism contract).
+        let a = 1.0f32 + f32::EPSILON;
+        let unfused = a * a + (-1.0f32);
+        let v = F32x4::splat(a).mul_add(F32x4::splat(a), F32x4::splat(-1.0));
+        assert_eq!(v.lane(0), unfused);
+    }
+
+    #[test]
+    fn reduce_sum_order_is_left_to_right() {
+        let v = F32x4::loadu(&[1e8, 1.0, -1e8, 1.0]);
+        // ((1e8 + 1) + -1e8) + 1 = 1 in f32 (1e8+1 rounds to 1e8).
+        assert_eq!(v.reduce_sum(), 1.0);
+    }
+
+    #[test]
+    fn splat_and_lane() {
+        let v = F64x2::splat(3.25);
+        assert_eq!(v.lane(0), 3.25);
+        assert_eq!(v.lane(1), 3.25);
+        assert_eq!(v.reduce_sum(), 6.5);
+    }
+}

@@ -1,0 +1,88 @@
+//! The lane-vector trait stencil kernels are generic over.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use threefive_grid::Real;
+
+/// A short vector of [`Real`] lanes with element-wise arithmetic.
+///
+/// Implementations guarantee:
+/// * `LANES` is a power of two;
+/// * arithmetic is IEEE-754 per lane, identical to scalar ops on the same
+///   operands (`mul_add` excepted — see the crate docs);
+/// * `loadu`/`storeu` accept any alignment.
+pub trait SimdReal:
+    Copy
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + 'static
+{
+    /// Scalar lane type.
+    type Scalar: Real;
+    /// Lane count.
+    const LANES: usize;
+
+    /// Broadcasts one scalar into every lane.
+    fn splat(v: Self::Scalar) -> Self;
+
+    /// Loads `LANES` values from the front of `src` (any alignment).
+    ///
+    /// # Panics
+    /// Panics if `src.len() < LANES`.
+    fn loadu(src: &[Self::Scalar]) -> Self;
+
+    /// Stores the lanes to the front of `dst` (any alignment).
+    ///
+    /// # Panics
+    /// Panics if `dst.len() < LANES`.
+    fn storeu(self, dst: &mut [Self::Scalar]);
+
+    /// `self * a + b`. May or may not be fused; see the crate docs.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+
+    /// Horizontal sum of the lanes (left-to-right order).
+    fn reduce_sum(self) -> Self::Scalar;
+
+    /// Extracts lane `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= LANES`.
+    fn lane(self, i: usize) -> Self::Scalar;
+
+    /// All-zero vector.
+    fn zero() -> Self {
+        Self::splat(Self::Scalar::ZERO)
+    }
+}
+
+/// Length of the vectorizable prefix of a loop of `len` iterations: the
+/// largest multiple of `V::LANES` not exceeding `len`. Indices
+/// `[0, prefix)` are processed `LANES` at a time, `[prefix, len)` by the
+/// scalar tail.
+#[inline(always)]
+pub fn vector_prefix_len<V: SimdReal>(len: usize) -> usize {
+    len - len % V::LANES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packed;
+
+    #[test]
+    fn vector_prefix_is_largest_lane_multiple() {
+        type V = Packed<f32, 4>;
+        assert_eq!(vector_prefix_len::<V>(0), 0);
+        assert_eq!(vector_prefix_len::<V>(3), 0);
+        assert_eq!(vector_prefix_len::<V>(4), 4);
+        assert_eq!(vector_prefix_len::<V>(7), 4);
+        assert_eq!(vector_prefix_len::<V>(8), 8);
+        assert_eq!(vector_prefix_len::<V>(9), 8);
+        type W = Packed<f64, 2>;
+        assert_eq!(vector_prefix_len::<W>(5), 4);
+    }
+}

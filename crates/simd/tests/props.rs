@@ -1,0 +1,112 @@
+//! Property-based tests: every SIMD implementation must be bit-exact
+//! with scalar IEEE-754 arithmetic lane for lane — the foundation of the
+//! repository's executor-equivalence guarantees.
+
+use proptest::prelude::*;
+use threefive_simd::{Packed, SimdReal};
+
+#[cfg(target_arch = "x86_64")]
+use threefive_simd::{F32x4, F64x2};
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Values spanning many magnitudes, no NaN/inf (bit-compare friendly).
+    prop_oneof![
+        -1.0e6f32..1.0e6f32,
+        -1.0f32..1.0f32,
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(1.5e-20f32),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn packed_ops_match_scalar_lanewise(
+        a in prop::array::uniform4(finite_f32()),
+        b in prop::array::uniform4(finite_f32()),
+    ) {
+        let va = Packed::<f32, 4>::from_array(a);
+        let vb = Packed::<f32, 4>::from_array(b);
+        for i in 0..4 {
+            prop_assert_eq!((va + vb).lane(i).to_bits(), (a[i] + b[i]).to_bits());
+            prop_assert_eq!((va - vb).lane(i).to_bits(), (a[i] - b[i]).to_bits());
+            prop_assert_eq!((va * vb).lane(i).to_bits(), (a[i] * b[i]).to_bits());
+            prop_assert_eq!((-va).lane(i).to_bits(), (-a[i]).to_bits());
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse_ops_match_packed_bitwise(
+        a in prop::array::uniform4(finite_f32()),
+        b in prop::array::uniform4(finite_f32()),
+    ) {
+        let sa = F32x4::loadu(&a);
+        let sb = F32x4::loadu(&b);
+        let pa = Packed::<f32, 4>::from_array(a);
+        let pb = Packed::<f32, 4>::from_array(b);
+        for i in 0..4 {
+            prop_assert_eq!((sa + sb).lane(i).to_bits(), (pa + pb).lane(i).to_bits());
+            prop_assert_eq!((sa - sb).lane(i).to_bits(), (pa - pb).lane(i).to_bits());
+            prop_assert_eq!((sa * sb).lane(i).to_bits(), (pa * pb).lane(i).to_bits());
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse_division_matches_scalar(
+        a in prop::array::uniform2(-1.0e6f64..1.0e6f64),
+        b in prop::array::uniform2(prop_oneof![0.5f64..100.0, -100.0f64..-0.5]),
+    ) {
+        let sa = F64x2::loadu(&a);
+        let sb = F64x2::loadu(&b);
+        for i in 0..2 {
+            prop_assert_eq!((sa / sb).lane(i).to_bits(), (a[i] / b[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn loadu_storeu_round_trip_any_offset(
+        data in prop::collection::vec(finite_f32(), 16..64),
+        off in 0usize..8,
+    ) {
+        let off = off.min(data.len() - 8);
+        let v = Packed::<f32, 8>::loadu(&data[off..]);
+        let mut out = vec![0.0f32; 8];
+        v.storeu(&mut out);
+        for i in 0..8 {
+            prop_assert_eq!(out[i].to_bits(), data[off + i].to_bits());
+        }
+    }
+
+    /// The stencil expression evaluated via SIMD equals the scalar one
+    /// bit-for-bit when the association order is preserved.
+    #[test]
+    fn stencil_expression_simd_scalar_equivalence(
+        vals in prop::array::uniform32(finite_f32()),
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+    ) {
+        type V = Packed<f32, 4>;
+        // Seven "rows" of 4 lanes.
+        let rows: Vec<V> = vals.chunks(4).take(7).map(V::loadu).collect();
+        let (c, xm, xp, ym, yp, zm, zp) =
+            (rows[0], rows[1], rows[2], rows[3], rows[4], rows[5], rows[6]);
+        let sum = ((((xm + xp) + ym) + yp) + zm) + zp;
+        let out = V::splat(alpha) * c + V::splat(beta) * sum;
+        for i in 0..4 {
+            let s = ((((vals[4 + i] + vals[8 + i]) + vals[12 + i]) + vals[16 + i])
+                + vals[20 + i])
+                + vals[24 + i];
+            let want = alpha * vals[i] + beta * s;
+            prop_assert_eq!(out.lane(i).to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn reduce_sum_is_left_to_right(v in prop::array::uniform4(finite_f32())) {
+        let p = Packed::<f32, 4>::from_array(v);
+        let want = ((v[0] + v[1]) + v[2]) + v[3];
+        prop_assert_eq!(p.reduce_sum().to_bits(), want.to_bits());
+    }
+}

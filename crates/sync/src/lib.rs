@@ -1,0 +1,32 @@
+//! Thread-level-parallelism substrate for the 3.5-D executor.
+//!
+//! The paper's parallel 3.5-D algorithm barriers **once per streamed Z
+//! plane** across all threads (§V-E), so barrier latency is on the critical
+//! path; the authors implement "our own barrier that is 50X faster than
+//! pthreads barrier" (§III-B). This crate provides:
+//!
+//! * [`SpinBarrier`] — a centralized sense-reversing spin barrier (one
+//!   atomic counter + one generation word, local spinning on the
+//!   generation);
+//! * [`TournamentBarrier`] — a fan-in-2 tree barrier in the style of
+//!   Mellor-Crummey & Scott \[33\], whose per-round contention is O(1)
+//!   per cache line;
+//! * [`ThreadTeam`] — a pool of persistent workers that repeatedly execute
+//!   borrowed closures (`run(|tid| …)`), so the executor pays thread spawn
+//!   cost once per run, not once per time step;
+//! * [`SharedSlice`] — the unsafe-but-audited escape hatch that lets team
+//!   members write disjoint regions of one buffer in parallel, as the row
+//!   partitioning guarantees.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod barrier;
+mod shared;
+mod team;
+mod tournament;
+
+pub use barrier::SpinBarrier;
+pub use shared::SharedSlice;
+pub use team::ThreadTeam;
+pub use tournament::{TournamentBarrier, TournamentWaiter};

@@ -1,0 +1,159 @@
+//! Disjoint shared mutation of one slice by many team members.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A view of a mutable slice that may be mutated concurrently by several
+/// threads **on provably disjoint index ranges**.
+///
+/// The 3.5-D executor partitions every XY sub-plane into per-thread row
+/// segments (`threefive_grid::partition::plane_share` guarantees exact,
+/// non-overlapping coverage) and hands each team member the same
+/// `SharedSlice`; members only touch their own segments. The disjointness
+/// proof lives at the call site, which is why the accessors are `unsafe`.
+pub struct SharedSlice<'a, T> {
+    ptr: *const UnsafeCell<T>,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: sending/sharing the view is safe; actual aliasing discipline is
+// deferred to the unsafe accessors.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a uniquely borrowed slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        let len = slice.len();
+        Self {
+            // Cast through UnsafeCell to make later shared mutation defined.
+            ptr: slice.as_mut_ptr() as *const UnsafeCell<T>,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Slice length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to `indices [start, start+len)`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no other thread accesses any index in
+    /// the range for the lifetime of the returned slice, and the range must
+    /// be in bounds (checked by assertion).
+    // `&mut` from `&self` is this type's entire purpose: mutation goes
+    // through `UnsafeCell`, and exclusivity is the documented contract.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(
+            start.checked_add(len).is_some_and(|e| e <= self.len),
+            "SharedSlice::slice_mut out of bounds"
+        );
+        // SAFETY: in-bounds by the assertion; exclusivity is the caller's
+        // contract.
+        unsafe { std::slice::from_raw_parts_mut((*self.ptr.add(start)).get(), len) }
+    }
+
+    /// Shared read of `indices [start, start+len)`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no thread *writes* any index in the
+    /// range for the lifetime of the returned slice (concurrent readers are
+    /// fine); the range must be in bounds (checked by assertion).
+    #[inline]
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &[T] {
+        assert!(
+            start.checked_add(len).is_some_and(|e| e <= self.len),
+            "SharedSlice::slice out of bounds"
+        );
+        // SAFETY: in-bounds by the assertion; absence of concurrent writers
+        // is the caller's contract.
+        unsafe { std::slice::from_raw_parts((*self.ptr.add(start)).get(), len) }
+    }
+
+    /// Shared read of index `i`.
+    ///
+    /// # Safety
+    /// No other thread may be concurrently *writing* index `i`.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        assert!(i < self.len, "SharedSlice::read out of bounds");
+        // SAFETY: in-bounds; no concurrent writer per the caller's contract.
+        unsafe { *(*self.ptr.add(i)).get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadTeam;
+    use threefive_grid::partition::even_range;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let n = 10_000usize;
+        let threads = 4usize;
+        let mut data = vec![0u64; n];
+        {
+            let view = SharedSlice::new(&mut data);
+            let team = ThreadTeam::new(threads);
+            team.run(|tid| {
+                let r = even_range(n, threads, tid);
+                // SAFETY: even_range yields disjoint ranges per tid.
+                let chunk = unsafe { view.slice_mut(r.start, r.len()) };
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (r.start + k) as u64 * 3;
+                }
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn read_sees_prior_writes() {
+        let mut data = vec![1.5f64, 2.5, 3.5];
+        let view = SharedSlice::new(&mut data);
+        // SAFETY: no concurrent writers in this test.
+        unsafe {
+            assert_eq!(view.read(0), 1.5);
+            assert_eq!(view.read(2), 3.5);
+        }
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_mut_bounds_checked() {
+        let mut data = vec![0u8; 4];
+        let view = SharedSlice::new(&mut data);
+        // SAFETY: single-threaded; bounds violation should panic first.
+        let _ = unsafe { view.slice_mut(2, 3) };
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_mut_overflow_checked() {
+        let mut data = vec![0u8; 4];
+        let view = SharedSlice::new(&mut data);
+        // SAFETY: single-threaded; overflow should panic first.
+        let _ = unsafe { view.slice_mut(usize::MAX, 2) };
+    }
+}

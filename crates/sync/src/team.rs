@@ -1,0 +1,276 @@
+//! Persistent worker team.
+//!
+//! The 3.5-D executor runs one parallel region per XY tile, with thousands
+//! of barrier-separated phases inside. Spawning OS threads per region would
+//! dwarf the work, so a [`ThreadTeam`] keeps `n - 1` workers parked in a
+//! spin-then-yield loop and re-dispatches borrowed closures to them; the
+//! calling thread participates as member 0. Closure lifetime is safe
+//! because `run` does not return until every member has finished (the same
+//! argument that makes `std::thread::scope` sound).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Trampoline that downcasts the erased data pointer back to the concrete
+/// closure type and invokes it.
+///
+/// # Safety
+/// `data` must point to a live `F` for the duration of the call.
+unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), tid: usize) {
+    // SAFETY: caller guarantees `data` points to a live `F`.
+    let f = unsafe { &*(data as *const F) };
+    f(tid);
+}
+
+struct TeamShared {
+    n: usize,
+    /// Generation counter; bumped (Release) after `job` is written.
+    go: AtomicUsize,
+    /// Current job: erased closure pointer and its trampoline, valid for
+    /// generation `go`. INVARIANT: only dereferenced between the `go` bump
+    /// that published them and the matching `done` count, during which the
+    /// closure is kept alive by the blocked `run` caller.
+    job: [AtomicUsize; 2],
+    /// Number of workers that finished the current generation.
+    done: AtomicUsize,
+    /// Set when the team is dropped.
+    shutdown: AtomicBool,
+    /// Set if any member's closure panicked in the current generation.
+    poisoned: AtomicBool,
+}
+
+/// A fixed-size pool of persistent worker threads executing borrowed
+/// closures.
+///
+/// ```
+/// use threefive_sync::ThreadTeam;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let team = ThreadTeam::new(4);
+/// let sum = AtomicUsize::new(0);
+/// team.run(|tid| { sum.fetch_add(tid, Ordering::Relaxed); });
+/// assert_eq!(sum.into_inner(), 0 + 1 + 2 + 3);
+/// ```
+pub struct ThreadTeam {
+    shared: Arc<TeamShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadTeam {
+    /// Creates a team of `n` members total (`n - 1` spawned workers plus
+    /// the caller of [`ThreadTeam::run`]).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "ThreadTeam: need at least one member");
+        let shared = Arc::new(TeamShared {
+            n,
+            go: AtomicUsize::new(0),
+            job: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            done: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+        });
+        let handles = (1..n)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("threefive-worker-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("ThreadTeam: failed to spawn worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Total team size (including the caller).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Executes `f(tid)` on every member, `tid ∈ 0..threads()`, blocking
+    /// until all members have finished. The caller runs `tid == 0`.
+    ///
+    /// # Panics
+    /// Propagates a panic if any member's closure panicked.
+    pub fn run<F: Fn(usize) + Sync>(&self, f: F) {
+        let sh = &*self.shared;
+        // Erase the closure: workers only use the pointer while we block
+        // below, so `f` outlives every dereference.
+        sh.poisoned.store(false, Ordering::Relaxed);
+        sh.done.store(0, Ordering::Relaxed);
+        sh.job[0].store(&f as *const F as usize, Ordering::Relaxed);
+        sh.job[1].store(
+            trampoline::<F> as unsafe fn(*const (), usize) as usize,
+            Ordering::Relaxed,
+        );
+        // Release-publish the job to workers.
+        sh.go.fetch_add(1, Ordering::Release);
+
+        // The caller is member 0.
+        let caller_panic = catch_unwind(AssertUnwindSafe(|| f(0))).is_err();
+
+        // Wait for the n-1 workers (spin, then yield when oversubscribed).
+        let mut spins = 0u32;
+        while sh.done.load(Ordering::Acquire) < sh.n - 1 {
+            spins += 1;
+            if spins < 1 << 12 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if caller_panic || sh.poisoned.load(Ordering::Relaxed) {
+            panic!("ThreadTeam: a team member panicked");
+        }
+    }
+}
+
+impl Drop for ThreadTeam {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Wake workers so they observe the shutdown flag.
+        self.shared.go.fetch_add(1, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &TeamShared, tid: usize) {
+    let mut seen = 0usize;
+    loop {
+        // Spin briefly, then yield: tight work loops stay hot, idle teams
+        // don't burn a core forever.
+        let mut spins = 0u32;
+        loop {
+            let g = sh.go.load(Ordering::Acquire);
+            if g != seen {
+                seen = g;
+                break;
+            }
+            spins += 1;
+            if spins < 10_000 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if sh.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let data = sh.job[0].load(Ordering::Relaxed) as *const ();
+        let call: unsafe fn(*const (), usize) =
+            // SAFETY: the slot holds a `trampoline::<F>` function pointer
+            // written by `run` for this generation.
+            unsafe { std::mem::transmute(sh.job[1].load(Ordering::Relaxed)) };
+        // SAFETY: the `run` caller keeps the closure alive until `done`
+        // reaches n-1, which happens only after this call returns.
+        if catch_unwind(AssertUnwindSafe(|| unsafe { call(data, tid) })).is_err() {
+            sh.poisoned.store(true, Ordering::Relaxed);
+        }
+        sh.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpinBarrier;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_tid_exactly_once() {
+        let team = ThreadTeam::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        team.run(|tid| {
+            hits[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn reusable_across_many_runs() {
+        let team = ThreadTeam::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..500 {
+            team.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.into_inner(), 1500);
+    }
+
+    #[test]
+    fn closure_borrows_locals_mutably_via_sync_cells() {
+        let team = ThreadTeam::new(4);
+        let data: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        team.run(|tid| {
+            for (i, cell) in data.iter().enumerate() {
+                if i % 4 == tid {
+                    cell.store(i * 10, Ordering::Relaxed);
+                }
+            }
+        });
+        for (i, cell) in data.iter().enumerate() {
+            assert_eq!(cell.load(Ordering::Relaxed), i * 10);
+        }
+    }
+
+    #[test]
+    fn members_synchronize_with_barrier_inside_run() {
+        let team = ThreadTeam::new(4);
+        let barrier = SpinBarrier::new(4);
+        let phase = AtomicUsize::new(0);
+        team.run(|_| {
+            for p in 1..=50 {
+                barrier.wait();
+                let cur = phase.load(Ordering::Relaxed);
+                assert!(cur == p - 1 || cur == p);
+                barrier.wait();
+                if barrier.wait() {
+                    phase.store(p, Ordering::Relaxed);
+                }
+                barrier.wait();
+            }
+        });
+        assert_eq!(phase.into_inner(), 50);
+    }
+
+    #[test]
+    fn single_member_team_runs_inline() {
+        let team = ThreadTeam::new(1);
+        let mut hit = false;
+        let hit_cell = std::sync::Mutex::new(&mut hit);
+        team.run(|tid| {
+            assert_eq!(tid, 0);
+            **hit_cell.lock().unwrap() = true;
+        });
+        assert!(hit);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let team = ThreadTeam::new(2);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            team.run(|tid| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // Team still usable afterwards.
+        let ok = AtomicUsize::new(0);
+        team.run(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.into_inner(), 2);
+    }
+}

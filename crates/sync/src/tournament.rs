@@ -1,0 +1,192 @@
+//! Tournament (tree) barrier after Mellor-Crummey & Scott \[33\].
+//!
+//! Each episode runs a static single-elimination tournament: in round `r`,
+//! the thread whose `r`-th index bit is 0 waits for its partner
+//! (`tid | 1<<r`), the partner announces arrival and blocks on a private
+//! release flag. The champion (thread 0) then wakes its defeated partners
+//! in reverse order and each woken thread does the same for its own
+//! sub-bracket. Every flag is written by exactly one thread and spun on by
+//! exactly one thread, so there is no contended cache line — the property
+//! that makes tree barriers scale where centralized counters saturate.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Spins on `cond`, yielding after a bounded number of iterations so
+/// oversubscribed configurations still make progress.
+#[inline]
+fn spin_until(cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        spins += 1;
+        if spins < 1 << 12 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// A tree barrier for a fixed set of `n` threads with per-thread handles.
+pub struct TournamentBarrier {
+    n: usize,
+    rounds: u32,
+    arrive: Vec<CachePadded<AtomicUsize>>,
+    release: Vec<CachePadded<AtomicUsize>>,
+}
+
+impl TournamentBarrier {
+    /// Creates a barrier for `n` threads.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "TournamentBarrier: need at least one thread");
+        let rounds = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)
+        Self {
+            n,
+            rounds,
+            arrive: (0..n)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+            release: (0..n)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Number of participating threads.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.n
+    }
+
+    /// Creates the per-thread handle for thread `tid`.
+    ///
+    /// Exactly one handle per `tid` may be used; each participating thread
+    /// must call [`TournamentWaiter::wait`] once per episode.
+    ///
+    /// # Panics
+    /// Panics if `tid >= n`.
+    pub fn waiter(&self, tid: usize) -> TournamentWaiter<'_> {
+        assert!(tid < self.n, "TournamentBarrier: tid out of range");
+        TournamentWaiter {
+            barrier: self,
+            tid,
+            epoch: 0,
+        }
+    }
+}
+
+/// Per-thread handle to a [`TournamentBarrier`] (owns the episode counter).
+pub struct TournamentWaiter<'a> {
+    barrier: &'a TournamentBarrier,
+    tid: usize,
+    epoch: usize,
+}
+
+impl TournamentWaiter<'_> {
+    /// Thread index this handle represents.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Blocks until all threads have called `wait` for this episode.
+    ///
+    /// Returns `true` for the champion (thread 0).
+    pub fn wait(&mut self) -> bool {
+        self.epoch += 1;
+        let e = self.epoch;
+        let b = self.barrier;
+        let tid = self.tid;
+
+        // Ascend: win rounds until losing (or becoming champion).
+        let mut won_rounds = 0u32;
+        while won_rounds < b.rounds {
+            let bit = 1usize << won_rounds;
+            if tid & bit == 0 {
+                let partner = tid | bit;
+                if partner < b.n {
+                    spin_until(|| b.arrive[partner].load(Ordering::Acquire) >= e);
+                }
+                won_rounds += 1;
+            } else {
+                // Loser of this round: announce and block.
+                b.arrive[tid].store(e, Ordering::Release);
+                spin_until(|| b.release[tid].load(Ordering::Acquire) >= e);
+                break;
+            }
+        }
+
+        // Descend: wake the partners defeated on the way up, in reverse.
+        for r in (0..won_rounds).rev() {
+            let partner = tid | (1usize << r);
+            if partner < b.n {
+                b.release[partner].store(e, Ordering::Release);
+            }
+        }
+        tid == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn exercise(n: usize, rounds: usize) {
+        let barrier = Arc::new(TournamentBarrier::new(n));
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for tid in 0..n {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    let mut w = barrier.waiter(tid);
+                    for round in 0..rounds {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        let leader = w.wait();
+                        assert_eq!(leader, tid == 0);
+                        // All n increments of this round must be visible.
+                        assert_eq!(counter.load(Ordering::Relaxed), (round + 1) * n);
+                        w.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), rounds * n);
+    }
+
+    #[test]
+    fn synchronizes_various_thread_counts() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8] {
+            exercise(n, 50);
+        }
+    }
+
+    #[test]
+    fn single_thread_is_champion() {
+        let b = TournamentBarrier::new(1);
+        let mut w = b.waiter(0);
+        assert!(w.wait());
+        assert!(w.wait());
+    }
+
+    #[test]
+    #[should_panic(expected = "tid out of range")]
+    fn waiter_bounds_checked() {
+        let b = TournamentBarrier::new(2);
+        let _ = b.waiter(2);
+    }
+
+    #[test]
+    fn rounds_is_ceil_log2() {
+        assert_eq!(TournamentBarrier::new(1).rounds, 0);
+        assert_eq!(TournamentBarrier::new(2).rounds, 1);
+        assert_eq!(TournamentBarrier::new(3).rounds, 2);
+        assert_eq!(TournamentBarrier::new(4).rounds, 2);
+        assert_eq!(TournamentBarrier::new(5).rounds, 3);
+        assert_eq!(TournamentBarrier::new(8).rounds, 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Stress and failure-injection tests for the synchronization substrate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use threefive_sync::{SharedSlice, SpinBarrier, ThreadTeam, TournamentBarrier};
+
+#[test]
+fn spin_barrier_many_threads_many_episodes() {
+    const T: usize = 8;
+    const EPISODES: usize = 500;
+    let barrier = Arc::new(SpinBarrier::new(T));
+    let counter = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..T {
+            let barrier = Arc::clone(&barrier);
+            let counter = Arc::clone(&counter);
+            s.spawn(move || {
+                for e in 1..=EPISODES {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    barrier.wait();
+                    // After the barrier every increment of this episode is
+                    // visible; before the next one, none of the next's.
+                    let seen = counter.load(Ordering::Relaxed);
+                    assert!(seen >= e * T && seen <= e * T + T, "episode {e}: {seen}");
+                    barrier.wait();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), T * EPISODES);
+}
+
+#[test]
+fn mixed_barrier_kinds_interoperate_in_one_team() {
+    // The executor uses SpinBarrier inside ThreadTeam::run; the tournament
+    // barrier must compose the same way.
+    const T: usize = 4;
+    let team = ThreadTeam::new(T);
+    let spin = SpinBarrier::new(T);
+    let tournament = TournamentBarrier::new(T);
+    let log = Vec::from_iter((0..T * 3).map(|_| AtomicUsize::new(0)));
+    team.run(|tid| {
+        let mut w = tournament.waiter(tid);
+        log[tid].store(1, Ordering::Relaxed);
+        spin.wait();
+        assert!(log.iter().take(T).all(|c| c.load(Ordering::Relaxed) == 1));
+        log[T + tid].store(2, Ordering::Relaxed);
+        w.wait();
+        assert!(log
+            .iter()
+            .skip(T)
+            .take(T)
+            .all(|c| c.load(Ordering::Relaxed) == 2));
+        log[2 * T + tid].store(3, Ordering::Relaxed);
+        spin.wait();
+        assert!(log
+            .iter()
+            .skip(2 * T)
+            .all(|c| c.load(Ordering::Relaxed) == 3));
+    });
+}
+
+#[test]
+fn team_survives_thousands_of_tiny_runs() {
+    let team = ThreadTeam::new(4);
+    let total = AtomicUsize::new(0);
+    for _ in 0..2000 {
+        team.run(|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(total.into_inner(), 8000);
+}
+
+#[test]
+fn team_panic_recovery_under_repeated_failures() {
+    let team = ThreadTeam::new(3);
+    for round in 0..20 {
+        let failing = round % 3;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            team.run(|tid| {
+                if tid == failing {
+                    panic!("injected failure {round}");
+                }
+            });
+        }));
+        assert!(result.is_err(), "round {round} should propagate the panic");
+        // The team must stay functional after every failure.
+        let ok = AtomicUsize::new(0);
+        team.run(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.into_inner(), 3, "round {round}");
+    }
+}
+
+#[test]
+fn shared_slice_full_checkerboard_write() {
+    // Interleaved (non-contiguous) disjoint ownership: even indices to
+    // thread 0, odd to thread 1 — stresses aliasing assumptions harder
+    // than block partitions.
+    let n = 4096usize;
+    let mut data = vec![0u32; n];
+    {
+        let view = SharedSlice::new(&mut data);
+        let team = ThreadTeam::new(2);
+        team.run(|tid| {
+            for i in (tid..n).step_by(2) {
+                // SAFETY: parity partition is disjoint.
+                unsafe {
+                    *view.slice_mut(i, 1).first_mut().unwrap() = (i * 3 + tid) as u32;
+                }
+            }
+        });
+    }
+    for (i, &v) in data.iter().enumerate() {
+        assert_eq!(v, (i * 3 + i % 2) as u32);
+    }
+}
+
+#[test]
+fn barrier_heavy_team_workload_like_the_pipeline() {
+    // Shape of the 3.5-D executor: many barrier-separated phases over a
+    // shared buffer, each thread writing its row band every phase.
+    const T: usize = 4;
+    const PHASES: usize = 300;
+    let team = ThreadTeam::new(T);
+    let barrier = SpinBarrier::new(T);
+    let mut buf = vec![0u64; 64];
+    let view = SharedSlice::new(&mut buf);
+    team.run(|tid| {
+        let rows = threefive_grid_rows(64, T, tid);
+        for phase in 1..=PHASES {
+            // SAFETY: row bands are disjoint per thread.
+            let mine = unsafe { view.slice_mut(rows.0, rows.1 - rows.0) };
+            for v in mine.iter_mut() {
+                *v += phase as u64;
+            }
+            barrier.wait();
+            // All rows must now be at the same phase sum.
+            let expect = (phase * (phase + 1) / 2) as u64;
+            // SAFETY: no writers during the read phase.
+            let all = unsafe { view.slice(0, 64) };
+            assert!(all.iter().all(|&v| v == expect), "phase {phase}");
+            barrier.wait();
+        }
+    });
+}
+
+/// Minimal stand-in for the grid crate's partitioner (avoids a dev-dep
+/// cycle): contiguous even split.
+fn threefive_grid_rows(n: usize, parts: usize, k: usize) -> (usize, usize) {
+    let base = n / parts;
+    let extra = n % parts;
+    let start = k * base + k.min(extra);
+    (start, start + base + usize::from(k < extra))
+}

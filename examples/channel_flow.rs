@@ -1,0 +1,72 @@
+//! Channel flow past a sphere — LBM with interior bounce-back obstacles,
+//! the kind of complex-geometry flow LBM is used for in practice
+//! (paper §I: "capable of modeling complex flow problems").
+//!
+//! Fluid enters at a fixed inlet velocity, flows around a solid sphere,
+//! and leaves through a fixed outlet. The example verifies that the wake
+//! behind the sphere is slower than the free stream and that the blocked
+//! executor matches the naive one exactly.
+//!
+//! ```text
+//! cargo run --release --example channel_flow
+//! ```
+
+use threefive::lbm::scenarios;
+use threefive::prelude::*;
+
+fn main() {
+    let dim = Dim3::new(96, 32, 32);
+    let u_in = 0.05f64;
+    let r_obs = 6.0;
+    let mut lat = scenarios::channel_with_sphere::<f64>(dim, 1.1, u_in, r_obs);
+    let mut check = scenarios::channel_with_sphere::<f64>(dim, 1.1, u_in, r_obs);
+
+    let steps = 240usize;
+    let blocking = LbmBlocking::new(32, 16, 3);
+    println!("channel {dim}, sphere r = {r_obs} at x = nx/3, u_in = {u_in}; {steps} steps\n");
+    lbm35d_sweep(&mut lat, steps, blocking, None);
+    lbm_naive_sweep(&mut check, steps, LbmMode::Simd, None);
+    for q in 0..19 {
+        assert_eq!(
+            lat.src().comp(q),
+            check.src().comp(q),
+            "3.5D and naive executors must agree bit-exactly"
+        );
+    }
+
+    // Probe the centerline: upstream, beside, and behind the sphere.
+    let (cy, cz) = (dim.ny / 2, dim.nz / 2);
+    let sphere_x = dim.nx / 3;
+    println!("centerline u_x profile (y = z = center):");
+    let mut upstream = 0.0;
+    let mut wake = 0.0;
+    for x in (4..dim.nx - 4).step_by(4) {
+        if lat.flags().get(x, cy, cz) != CellKind::Fluid {
+            println!("  x = {x:3}: [sphere]");
+            continue;
+        }
+        let u = lat.macroscopic(x, cy, cz).u[0];
+        let bar = "=".repeat((u.max(0.0) / u_in * 30.0) as usize);
+        println!("  x = {x:3}: {u:+.4} {bar}");
+        if x == 16 {
+            upstream = u;
+        }
+        if x == sphere_x + 10 {
+            wake = u;
+        }
+    }
+    assert!(
+        upstream > 0.6 * u_in,
+        "upstream flow must approach u_in: {upstream}"
+    );
+    assert!(
+        wake < upstream,
+        "wake ({wake}) must be slower than the upstream flow ({upstream})"
+    );
+
+    // Flow must divert around the sphere: faster beside it than in the wake.
+    let beside = lat.macroscopic(sphere_x, cy + (r_obs as usize) + 3, cz).u[0];
+    println!("\nupstream {upstream:+.4}, beside sphere {beside:+.4}, wake {wake:+.4}");
+    assert!(beside > wake, "bypass flow must exceed the wake");
+    println!("wake deficit and bypass acceleration observed ✓");
+}

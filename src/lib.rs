@@ -1,0 +1,82 @@
+//! # threefive — 3.5-D blocking for stencil computations
+//!
+//! A Rust reproduction of Nguyen, Satish, Chhugani, Kim, Dubey,
+//! *"3.5-D Blocking Optimization for Stencil Computations on Modern CPUs
+//! and GPUs"* (SC 2010): 2.5-D spatial blocking (block XY, stream Z)
+//! combined with 1-D temporal blocking, turning bandwidth-bound stencil
+//! sweeps into compute-bound ones.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! * [`grid`] — aligned 3-D grids, geometry, SoA lattices, partitioning;
+//! * [`simd`] — the lane-vector abstraction behind the SIMD kernels;
+//! * [`sync`] — spin barriers and the persistent thread team;
+//! * [`core`] — stencil kernels, the blocking planner (Eqs. 1–4 of the
+//!   paper) and the executor ladder up to the parallel 3.5-D pipeline;
+//! * [`lbm`] — D3Q19 lattice Boltzmann with the same executor ladder;
+//! * [`machine`] — machine models (Table I) and the roofline predictor;
+//! * [`gpu`] — the SIMT simulator running the paper's GPU kernels.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use threefive::prelude::*;
+//!
+//! // A 64³ heat-diffusion problem.
+//! let dim = Dim3::cube(64);
+//! let kernel = SevenPoint::<f32>::heat(0.1);
+//! let initial = Grid3::from_fn(dim, |x, y, z| {
+//!     if (x, y, z) == (32, 32, 32) { 100.0 } else { 0.0 }
+//! });
+//!
+//! // Plan the blocking from kernel and machine byte/op ratios.
+//! let machine = core_i7();
+//! let traffic = seven_point_traffic();
+//! let plan = plan_35d(
+//!     traffic.gamma(Precision::Sp),
+//!     machine.big_gamma(Precision::Sp),
+//!     machine.fast_storage_bytes,
+//!     4,
+//!     1,
+//! )
+//! .unwrap();
+//!
+//! // Run 8 time steps with the parallel 3.5-D executor.
+//! let team = ThreadTeam::new(2);
+//! let mut grids = DoubleGrid::from_initial(initial);
+//! let blocking = Blocking35::new(plan.dim_xy.min(64), plan.dim_xy.min(64), plan.dim_t);
+//! parallel35d_sweep(&kernel, &mut grids, 8, blocking, &team);
+//! assert!(grids.src().get(32, 32, 32) < 100.0); // heat spread out
+//! ```
+
+pub use threefive_cachesim as cachesim;
+pub use threefive_core as core;
+pub use threefive_gpu_sim as gpu;
+pub use threefive_grid as grid;
+pub use threefive_lbm as lbm;
+pub use threefive_machine as machine;
+pub use threefive_simd as simd;
+pub use threefive_sync as sync;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use threefive_core::exec::{
+        blocked25d_sweep, blocked35d_sweep, blocked3d_sweep, blocked4d_sweep, parallel35d_sweep,
+        periodic35d_sweep, reference_sweep, reference_sweep_periodic, simd_sweep, temporal_sweep,
+        tile_parallel35d_sweep, Blocking35,
+    };
+    pub use threefive_core::{
+        plan_35d, plan_35d_forced, plan_35d_optimal, solve_steady, verify_executor, GenericStar,
+        Plan35D, PlanError, SevenPoint, SteadyState, StencilKernel, TwentySevenPoint,
+    };
+    pub use threefive_grid::{
+        CellFlags, CellKind, Dim3, DoubleGrid, Grid3, Real, Region3, SoaGrid,
+    };
+    pub use threefive_lbm::{
+        lbm35d_sweep, lbm_naive_sweep, lbm_temporal_sweep, Lattice, LbmBlocking, LbmMode,
+    };
+    pub use threefive_machine::{
+        core_i7, gtx285, lbm_traffic, seven_point_traffic, Machine, Precision,
+    };
+    pub use threefive_sync::{SpinBarrier, ThreadTeam};
+}

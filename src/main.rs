@@ -1,0 +1,362 @@
+//! `threefive` — command-line driver for the 3.5-D blocking library.
+//!
+//! ```text
+//! threefive plan  --kernel 7pt --machine i7 --precision sp
+//! threefive run   --variant 35d --n 128 --steps 8 --threads 4
+//! threefive lbm   --scenario cavity --variant 35d --n 48 --steps 120
+//! threefive gpu   --n 96 --steps 2
+//! threefive info
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use threefive::gpu::kernels::{
+    naive_sweep as gpu_naive, pipelined35_sweep, spatial_sweep, Pipe35Config, SevenPointGpu,
+};
+use threefive::gpu::timing::throughput_gtx285;
+use threefive::gpu::Device;
+use threefive::lbm::scenarios;
+use threefive::machine::fermi;
+use threefive::machine::roofline::{GPU_ALU_EFF, GPU_ALU_EFF_TUNED};
+use threefive::machine::twenty_seven_point_traffic;
+use threefive::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_opts(rest);
+    match cmd.as_str() {
+        "plan" => cmd_plan(&opts),
+        "run" => cmd_run(&opts),
+        "lbm" => cmd_lbm(&opts),
+        "gpu" => cmd_gpu(&opts),
+        "info" => cmd_info(),
+        "help" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "threefive — 3.5-D blocking for stencil computations (SC 2010 reproduction)
+
+USAGE:
+  threefive plan  --kernel 7pt|27pt|lbm --machine i7|gtx285|fermi
+                  [--precision sp|dp] [--cache BYTES]
+  threefive run   --variant ref|simd|25d|3d|4d|temporal|35d|tile35
+                  [--n 128] [--steps 8] [--tile T] [--dimt K] [--threads N]
+                  [--precision sp|dp]
+  threefive lbm   --scenario box|cavity|channel
+                  --variant scalar|simd|temporal|35d
+                  [--n 48] [--steps 60] [--tile T] [--dimt K] [--threads N]
+  threefive gpu   [--n 96] [--steps 2]
+  threefive info"
+    );
+}
+
+fn parse_opts(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let val = it.next().cloned().unwrap_or_else(|| "true".into());
+            map.insert(key.to_string(), val);
+        }
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    opts.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn getstr<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> String {
+    opts.get(key)
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn machine_by_name(name: &str) -> Machine {
+    match name {
+        "i7" | "corei7" => core_i7(),
+        "gtx285" | "gpu" => gtx285(),
+        "fermi" => fermi(),
+        other => {
+            eprintln!("unknown machine {other}; using Core i7");
+            core_i7()
+        }
+    }
+}
+
+fn cmd_plan(opts: &HashMap<String, String>) -> ExitCode {
+    let machine = machine_by_name(&getstr(opts, "machine", "i7"));
+    let precision = if getstr(opts, "precision", "sp") == "dp" {
+        Precision::Dp
+    } else {
+        Precision::Sp
+    };
+    let kernel = getstr(opts, "kernel", "7pt");
+    let traffic = match kernel.as_str() {
+        "7pt" => seven_point_traffic(),
+        "27pt" => twenty_seven_point_traffic(),
+        "lbm" => lbm_traffic(),
+        other => {
+            eprintln!("unknown kernel {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache = get(opts, "cache", machine.fast_storage_bytes);
+    println!(
+        "planning {} ({}) on {} with 𝒞 = {} KB",
+        traffic.name,
+        precision.label(),
+        machine.name,
+        cache / 1024
+    );
+    println!(
+        "  γ = {:.3} B/op, Γ = {:.3} B/op",
+        traffic.gamma(precision),
+        machine.big_gamma(precision)
+    );
+    match plan_35d(
+        traffic.gamma(precision),
+        machine.big_gamma(precision),
+        cache,
+        traffic.elem_bytes(precision),
+        traffic.radius,
+    ) {
+        Ok(p) => {
+            println!(
+                "  dim_T = {}, tile = {}x{}, κ = {:.3}",
+                p.dim_t, p.dim_xy, p.dim_xy, p.kappa
+            );
+            println!(
+                "  buffers: {:.2} MB; effective γ after blocking: {:.3} (target ≤ {:.3})",
+                p.buffer_bytes as f64 / (1 << 20) as f64,
+                p.effective_gamma,
+                machine.big_gamma(precision)
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("  {e}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_run(opts: &HashMap<String, String>) -> ExitCode {
+    let n: usize = get(opts, "n", 128);
+    let steps: usize = get(opts, "steps", 8);
+    let tile: usize = get(opts, "tile", n.min(360));
+    let dim_t: usize = get(opts, "dimt", 2);
+    let threads: usize = get(
+        opts,
+        "threads",
+        std::thread::available_parallelism().map_or(1, |c| c.get()),
+    );
+    let variant = getstr(opts, "variant", "35d");
+    let dp = getstr(opts, "precision", "sp") == "dp";
+    if dp {
+        run_stencil::<f64>(n, steps, tile, dim_t, threads, &variant)
+    } else {
+        run_stencil::<f32>(n, steps, tile, dim_t, threads, &variant)
+    }
+}
+
+fn run_stencil<T: Real>(
+    n: usize,
+    steps: usize,
+    tile: usize,
+    dim_t: usize,
+    threads: usize,
+    variant: &str,
+) -> ExitCode
+where
+    SevenPoint<T>: StencilKernel<T>,
+{
+    let dim = Dim3::cube(n);
+    let kernel = SevenPoint::<T>::heat(T::from_f64(0.125));
+    let mut grids = DoubleGrid::from_initial(Grid3::from_fn(dim, |x, y, z| {
+        T::from_f64(((x * 13 + y * 7 + z * 3) % 17) as f64 * 0.1)
+    }));
+    let team = ThreadTeam::new(threads);
+    let t0 = Instant::now();
+    let stats = match variant {
+        "ref" => reference_sweep(&kernel, &mut grids, steps),
+        "simd" => simd_sweep(&kernel, &mut grids, steps),
+        "25d" => blocked25d_sweep(&kernel, &mut grids, steps, tile, tile),
+        "3d" => blocked3d_sweep(&kernel, &mut grids, steps, tile.min(64)),
+        "4d" => blocked4d_sweep(&kernel, &mut grids, steps, tile.min(48), dim_t),
+        "temporal" => temporal_sweep(&kernel, &mut grids, steps, dim_t),
+        "35d" => parallel35d_sweep(
+            &kernel,
+            &mut grids,
+            steps,
+            Blocking35::new(tile.min(n), tile.min(n), dim_t),
+            &team,
+        ),
+        "tile35" => tile_parallel35d_sweep(
+            &kernel,
+            &mut grids,
+            steps,
+            Blocking35::new(tile.min(n), tile.min(n), dim_t),
+            &team,
+        ),
+        other => {
+            eprintln!("unknown variant {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "7-point {} on {dim}, {steps} steps, variant {variant}, {threads} threads",
+        if T::BYTES == 4 { "SP" } else { "DP" }
+    );
+    println!(
+        "  {secs:.3} s, {:.1} Mupdates/s, recompute overhead {:.3}, modeled DRAM {:.1} MB",
+        (dim.len() * steps) as f64 / secs / 1e6,
+        stats.overestimation(),
+        stats.dram_bytes() as f64 / (1 << 20) as f64
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_lbm(opts: &HashMap<String, String>) -> ExitCode {
+    let n: usize = get(opts, "n", 48);
+    let steps: usize = get(opts, "steps", 60);
+    let tile: usize = get(opts, "tile", 32.min(n));
+    let dim_t: usize = get(opts, "dimt", 3);
+    let threads: usize = get(
+        opts,
+        "threads",
+        std::thread::available_parallelism().map_or(1, |c| c.get()),
+    );
+    let dim = Dim3::cube(n);
+    let scenario = getstr(opts, "scenario", "cavity");
+    let mut lat: Lattice<f64> = match scenario.as_str() {
+        "box" => scenarios::closed_box(dim, 1.2),
+        "cavity" => scenarios::lid_driven_cavity(dim, 1.2, 0.08),
+        "channel" => scenarios::channel_with_sphere(dim, 1.1, 0.05, n as f64 / 8.0),
+        other => {
+            eprintln!("unknown scenario {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let team = ThreadTeam::new(threads);
+    let variant = getstr(opts, "variant", "35d");
+    let t0 = Instant::now();
+    match variant.as_str() {
+        "scalar" => lbm_naive_sweep(&mut lat, steps, LbmMode::Scalar, Some(&team)),
+        "simd" => lbm_naive_sweep(&mut lat, steps, LbmMode::Simd, Some(&team)),
+        "temporal" => lbm_temporal_sweep(&mut lat, steps, dim_t, Some(&team)),
+        "35d" => lbm35d_sweep(
+            &mut lat,
+            steps,
+            LbmBlocking::new(tile, tile, dim_t),
+            Some(&team),
+        ),
+        other => {
+            eprintln!("unknown variant {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    let probe = lat.macroscopic(n / 2, n / 2, n / 2);
+    println!("D3Q19 LBM {scenario} on {dim}, {steps} steps, variant {variant}");
+    println!(
+        "  {secs:.3} s, {:.2} MLUPS; center: rho = {:.4}, u = ({:+.4}, {:+.4}, {:+.4})",
+        (dim.len() * steps) as f64 / secs / 1e6,
+        probe.rho.to_f64(),
+        probe.u[0].to_f64(),
+        probe.u[1].to_f64(),
+        probe.u[2].to_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_gpu(opts: &HashMap<String, String>) -> ExitCode {
+    let n: usize = get(opts, "n", 96);
+    let steps: usize = get(opts, "steps", 2);
+    let dim = Dim3::new(n, n / 2, 24);
+    let dev = Device::gtx285();
+    let k = SevenPointGpu {
+        alpha: 0.4,
+        beta: 0.1,
+    };
+    let grid = Grid3::from_fn(dim, |x, y, z| ((x + 2 * y + 3 * z) % 11) as f32 * 0.2);
+    println!("simulated GTX 285, {dim}, {steps} steps");
+    let (_, s) = gpu_naive(&dev, k, &grid, steps);
+    let t = throughput_gtx285(&s, GPU_ALU_EFF);
+    println!(
+        "  naive:   {:>8.0} MUPS ({} read tx)",
+        t.mups, s.gmem_read_tx
+    );
+    let (_, s) = spatial_sweep(&dev, k, &grid, steps);
+    let t = throughput_gtx285(&s, GPU_ALU_EFF);
+    println!(
+        "  spatial: {:>8.0} MUPS ({} read tx)",
+        t.mups, s.gmem_read_tx
+    );
+    let (_, s) = pipelined35_sweep(
+        &dev,
+        k,
+        &grid,
+        steps,
+        Pipe35Config {
+            ty_loaded: 12,
+            overhead_per_update: 1.0,
+        },
+    );
+    let t = throughput_gtx285(&s, GPU_ALU_EFF_TUNED);
+    println!(
+        "  3.5D:    {:>8.0} MUPS ({} read tx)",
+        t.mups, s.gmem_read_tx
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_info() -> ExitCode {
+    println!("machine models (Table I + §VIII):\n");
+    for m in [core_i7(), gtx285(), fermi()] {
+        println!(
+            "  {:30} {:>5.0} GB/s peak ({:>5.0} achieved), {:>6.0}/{:>5.0} Gops SP/DP, 𝒞 = {} KB",
+            m.name,
+            m.peak_bw_gbs,
+            m.achieved_bw_gbs,
+            m.peak_gops_sp,
+            m.peak_gops_dp,
+            m.fast_storage_bytes / 1024
+        );
+    }
+    println!("\nkernels (§IV):\n");
+    for k in [
+        seven_point_traffic(),
+        twenty_seven_point_traffic(),
+        lbm_traffic(),
+    ] {
+        println!(
+            "  {:20} {:>4} ops/update, γ = {:.2}/{:.2} B/op (SP/DP), R = {}",
+            k.name,
+            k.ops_per_update,
+            k.gamma(Precision::Sp),
+            k.gamma(Precision::Dp),
+            k.radius
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration: every stencil executor, every kernel shape,
+//! bit-exact against the scalar reference — the repository's core
+//! correctness contract.
+
+use threefive::prelude::*;
+
+fn initial<T: Real>(dim: Dim3) -> Grid3<T> {
+    Grid3::from_fn(dim, |x, y, z| {
+        T::from_f64((((x * 29 + y * 13 + z * 5) % 37) as f64) * 0.0625 - 1.0)
+    })
+}
+
+fn run_all_f32(dim: Dim3, steps: usize, tile: usize, dim_t: usize) {
+    let kernel = SevenPoint::<f32>::new(0.35, 0.105);
+    let mut want = DoubleGrid::from_initial(initial::<f32>(dim));
+    reference_sweep(&kernel, &mut want, steps);
+
+    let mk = || DoubleGrid::from_initial(initial::<f32>(dim));
+    let team = ThreadTeam::new(3);
+
+    let mut g = mk();
+    simd_sweep(&kernel, &mut g, steps);
+    assert_eq!(g.src().as_slice(), want.src().as_slice(), "simd");
+
+    let mut g = mk();
+    blocked3d_sweep(&kernel, &mut g, steps, tile.min(16));
+    assert_eq!(g.src().as_slice(), want.src().as_slice(), "3d");
+
+    let mut g = mk();
+    blocked25d_sweep(&kernel, &mut g, steps, tile, tile);
+    assert_eq!(g.src().as_slice(), want.src().as_slice(), "2.5d");
+
+    let mut g = mk();
+    temporal_sweep(&kernel, &mut g, steps, dim_t);
+    assert_eq!(g.src().as_slice(), want.src().as_slice(), "temporal");
+
+    let mut g = mk();
+    blocked4d_sweep(&kernel, &mut g, steps, tile.min(12), dim_t);
+    assert_eq!(g.src().as_slice(), want.src().as_slice(), "4d");
+
+    let mut g = mk();
+    blocked35d_sweep(&kernel, &mut g, steps, Blocking35::new(tile, tile, dim_t));
+    assert_eq!(g.src().as_slice(), want.src().as_slice(), "3.5d serial");
+
+    let mut g = mk();
+    parallel35d_sweep(
+        &kernel,
+        &mut g,
+        steps,
+        Blocking35::new(tile, tile, dim_t),
+        &team,
+    );
+    assert_eq!(g.src().as_slice(), want.src().as_slice(), "3.5d parallel");
+}
+
+#[test]
+fn full_ladder_small_cube() {
+    run_all_f32(Dim3::cube(16), 4, 8, 2);
+}
+
+#[test]
+fn full_ladder_anisotropic_grid() {
+    run_all_f32(Dim3::new(23, 11, 17), 3, 7, 3);
+}
+
+#[test]
+fn full_ladder_tile_larger_than_grid() {
+    run_all_f32(Dim3::cube(12), 5, 64, 2);
+}
+
+#[test]
+fn full_ladder_deep_temporal_blocking() {
+    run_all_f32(Dim3::cube(20), 8, 10, 4);
+}
+
+#[test]
+fn ladder_f64_27_point() {
+    let dim = Dim3::cube(12);
+    let steps = 3;
+    let kernel = TwentySevenPoint::<f64>::smoothing();
+    let mut want = DoubleGrid::from_initial(initial::<f64>(dim));
+    reference_sweep(&kernel, &mut want, steps);
+
+    let mut g = DoubleGrid::from_initial(initial::<f64>(dim));
+    blocked35d_sweep(&kernel, &mut g, steps, Blocking35::new(6, 5, 2));
+    assert_eq!(g.src().as_slice(), want.src().as_slice());
+
+    let team = ThreadTeam::new(4);
+    let mut g = DoubleGrid::from_initial(initial::<f64>(dim));
+    parallel35d_sweep(&kernel, &mut g, steps, Blocking35::new(6, 5, 2), &team);
+    assert_eq!(g.src().as_slice(), want.src().as_slice());
+}
+
+#[test]
+fn ladder_radius_two_star() {
+    let dim = Dim3::cube(18);
+    let steps = 4;
+    let kernel = GenericStar::<f32>::smoothing(2);
+    let mut want = DoubleGrid::from_initial(initial::<f32>(dim));
+    reference_sweep(&kernel, &mut want, steps);
+
+    let mut g = DoubleGrid::from_initial(initial::<f32>(dim));
+    blocked35d_sweep(&kernel, &mut g, steps, Blocking35::new(9, 8, 2));
+    assert_eq!(g.src().as_slice(), want.src().as_slice(), "3.5d r=2");
+
+    let team = ThreadTeam::new(2);
+    let mut g = DoubleGrid::from_initial(initial::<f32>(dim));
+    parallel35d_sweep(&kernel, &mut g, steps, Blocking35::new(9, 8, 2), &team);
+    assert_eq!(g.src().as_slice(), want.src().as_slice(), "parallel r=2");
+}
+
+#[test]
+fn planner_parameters_drive_executor_directly() {
+    // End-to-end: plan from machine+kernel ratios, execute with the plan.
+    let machine = core_i7();
+    let traffic = seven_point_traffic();
+    let plan = plan_35d(
+        traffic.gamma(Precision::Sp),
+        machine.big_gamma(Precision::Sp),
+        machine.fast_storage_bytes,
+        4,
+        1,
+    )
+    .unwrap();
+    let dim = Dim3::cube(24);
+    let kernel = SevenPoint::<f32>::heat(0.125);
+    let mut want = DoubleGrid::from_initial(initial::<f32>(dim));
+    reference_sweep(&kernel, &mut want, plan.dim_t * 2);
+    let mut g = DoubleGrid::from_initial(initial::<f32>(dim));
+    let blocking = Blocking35::new(plan.dim_xy.min(dim.nx), plan.dim_xy.min(dim.ny), plan.dim_t);
+    blocked35d_sweep(&kernel, &mut g, plan.dim_t * 2, blocking);
+    assert_eq!(g.src().as_slice(), want.src().as_slice());
+}
+
+#[test]
+fn dirichlet_boundary_is_immutable_through_deep_sweeps() {
+    let dim = Dim3::cube(14);
+    let init = initial::<f32>(dim);
+    let mut g = DoubleGrid::from_initial(init.clone());
+    let kernel = SevenPoint::<f32>::heat(0.1);
+    blocked35d_sweep(&kernel, &mut g, 9, Blocking35::new(7, 7, 3));
+    for (x, y, z) in dim.full_region().points() {
+        if !dim.is_interior(x, y, z, 1) {
+            assert_eq!(
+                g.src().get(x, y, z),
+                init.get(x, y, z),
+                "boundary changed at ({x},{y},{z})"
+            );
+        }
+    }
+}

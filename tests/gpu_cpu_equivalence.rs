@@ -1,0 +1,106 @@
+//! GPU-simulator ↔ CPU cross-validation: the SIMT kernels must agree
+//! bit-exactly with the CPU executor ladder (which itself agrees with the
+//! scalar reference), closing the loop across all three implementations.
+
+use threefive::gpu::kernels::{
+    naive_sweep, pipelined35_sweep, spatial_sweep, Pipe35Config, SevenPointGpu,
+};
+use threefive::gpu::Device;
+use threefive::prelude::*;
+
+const K: SevenPointGpu = SevenPointGpu {
+    alpha: 0.4,
+    beta: 0.1,
+};
+
+fn initial(dim: Dim3) -> Grid3<f32> {
+    Grid3::from_fn(dim, |x, y, z| ((x * 11 + y * 5 + z * 3) % 19) as f32 * 0.15)
+}
+
+fn cpu_35d(dim: Dim3, steps: usize) -> Grid3<f32> {
+    let kernel = SevenPoint::new(K.alpha, K.beta);
+    let mut g = DoubleGrid::from_initial(initial(dim));
+    let team = ThreadTeam::new(2);
+    parallel35d_sweep(&kernel, &mut g, steps, Blocking35::new(16, 16, 2), &team);
+    g.src().clone()
+}
+
+#[test]
+fn gpu_pipeline_equals_cpu_parallel_pipeline() {
+    // The strongest cross-check: two completely different 3.5-D
+    // implementations (CPU plane rings + thread team vs GPU register
+    // pipeline + SIMT phases) produce identical bits.
+    let dim = Dim3::new(40, 28, 14);
+    let dev = Device::gtx285();
+    for steps in [2usize, 4] {
+        let want = cpu_35d(dim, steps);
+        let (got, _) = pipelined35_sweep(&dev, K, &initial(dim), steps, Pipe35Config::default());
+        assert_eq!(got.as_slice(), want.as_slice(), "steps={steps}");
+    }
+}
+
+#[test]
+fn all_three_gpu_kernels_agree_with_each_other() {
+    let dim = Dim3::new(37, 23, 11);
+    let dev = Device::gtx285();
+    let g = initial(dim);
+    let steps = 2;
+    let (a, _) = naive_sweep(&dev, K, &g, steps);
+    let (b, _) = spatial_sweep(&dev, K, &g, steps);
+    let (c, _) = pipelined35_sweep(&dev, K, &g, steps, Pipe35Config::default());
+    assert_eq!(a.as_slice(), b.as_slice());
+    assert_eq!(b.as_slice(), c.as_slice());
+}
+
+#[test]
+fn gpu_tile_rows_parameter_does_not_change_results() {
+    let dim = Dim3::new(44, 30, 10);
+    let dev = Device::gtx285();
+    let g = initial(dim);
+    let base = {
+        let (out, _) = pipelined35_sweep(&dev, K, &g, 2, Pipe35Config::default());
+        out
+    };
+    for ty in [6usize, 8, 16] {
+        let cfg = Pipe35Config {
+            ty_loaded: ty,
+            overhead_per_update: 6.0,
+        };
+        let (out, _) = pipelined35_sweep(&dev, K, &g, 2, cfg);
+        assert_eq!(out.as_slice(), base.as_slice(), "ty_loaded={ty}");
+    }
+}
+
+#[test]
+fn gpu_traffic_ordering_matches_the_paper() {
+    // Reads per committed point must strictly decrease down the ladder.
+    let dim = Dim3::new(96, 64, 20);
+    let dev = Device::gtx285();
+    let g = initial(dim);
+    let (_, n) = naive_sweep(&dev, K, &g, 2);
+    let (_, s) = spatial_sweep(&dev, K, &g, 2);
+    let (_, p) = pipelined35_sweep(&dev, K, &g, 2, Pipe35Config::default());
+    let per_point = |st: &threefive::gpu::KernelStats| st.gmem_bytes() as f64 / st.committed as f64;
+    assert!(
+        per_point(&n) > per_point(&s) && per_point(&s) > per_point(&p),
+        "bytes/update must fall down the ladder: {} {} {}",
+        per_point(&n),
+        per_point(&s),
+        per_point(&p)
+    );
+}
+
+#[test]
+fn shared_memory_budget_matches_paper_constraint() {
+    // The 16 KB shared memory fits the 7-point pipeline easily but is the
+    // reason LBM SP cannot be blocked (§VI-B): 19 components would need
+    // 19x the exchange space of the scalar stencil.
+    let dev = Device::gtx285();
+    let scalar_exchange = 2 * 32 * 12 * 4; // two f32 exchange planes
+    assert!(scalar_exchange <= dev.smem_bytes);
+    let lbm_exchange = scalar_exchange * 19;
+    assert!(
+        lbm_exchange > dev.smem_bytes,
+        "LBM exchange planes must exceed 16 KB ({lbm_exchange} B)"
+    );
+}

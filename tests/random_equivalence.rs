@@ -1,0 +1,143 @@
+//! Property-based cross-crate equivalence: random grids, tilings,
+//! temporal factors, team sizes and kernels — the 3.5-D pipeline must
+//! always equal the reference bit for bit.
+
+use proptest::prelude::*;
+use threefive::lbm::scenarios;
+use threefive::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_stencil_pipeline_equivalence(
+        nx in 5usize..20,
+        ny in 5usize..20,
+        nz in 5usize..16,
+        tile_x in 2usize..24,
+        tile_y in 2usize..24,
+        dim_t in 1usize..5,
+        steps in 1usize..7,
+        threads in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let dim = Dim3::new(nx, ny, nz);
+        let kernel = SevenPoint::<f32>::new(0.3, 0.1);
+        let init = Grid3::from_fn(dim, |x, y, z| {
+            let h = x
+                .wrapping_mul(0x9E37)
+                .wrapping_add(y.wrapping_mul(0x79B9))
+                .wrapping_add(z.wrapping_mul(0x85EB))
+                .wrapping_add(seed as usize);
+            ((h % 97) as f32) * 0.02 - 1.0
+        });
+        let mut want = DoubleGrid::from_initial(init.clone());
+        reference_sweep(&kernel, &mut want, steps);
+
+        let mut got = DoubleGrid::from_initial(init.clone());
+        blocked35d_sweep(&kernel, &mut got, steps, Blocking35::new(tile_x, tile_y, dim_t));
+        prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
+
+        let team = ThreadTeam::new(threads);
+        let mut got = DoubleGrid::from_initial(init);
+        parallel35d_sweep(&kernel, &mut got, steps, Blocking35::new(tile_x, tile_y, dim_t), &team);
+        prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
+    }
+
+    #[test]
+    fn random_lbm_pipeline_equivalence(
+        n in 6usize..13,
+        tile in 3usize..14,
+        dim_t in 1usize..5,
+        steps in 1usize..6,
+        lid in 0u8..2,
+    ) {
+        let dim = Dim3::cube(n);
+        let build = || -> Lattice<f32> {
+            if lid == 0 {
+                scenarios::closed_box(dim, 1.25)
+            } else {
+                scenarios::lid_driven_cavity(dim, 1.25, 0.05)
+            }
+        };
+        let mut want = build();
+        lbm_naive_sweep(&mut want, steps, LbmMode::Simd, None);
+        let mut got = build();
+        lbm35d_sweep(&mut got, steps, LbmBlocking::new(tile, tile, dim_t), None);
+        for q in 0..19 {
+            prop_assert_eq!(want.src().comp(q), got.src().comp(q));
+        }
+    }
+
+    #[test]
+    fn random_4d_blocking_equivalence(
+        n in 5usize..14,
+        block in 2usize..10,
+        dim_t in 1usize..4,
+        steps in 1usize..6,
+    ) {
+        let dim = Dim3::cube(n);
+        let kernel = SevenPoint::<f64>::new(0.25, 0.125);
+        let init = Grid3::from_fn(dim, |x, y, z| ((x * 7 + y * 11 + z * 13) % 23) as f64 * 0.1);
+        let mut want = DoubleGrid::from_initial(init.clone());
+        reference_sweep(&kernel, &mut want, steps);
+        let mut got = DoubleGrid::from_initial(init);
+        blocked4d_sweep(&kernel, &mut got, steps, block, dim_t);
+        prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Periodic pipeline vs modular-indexing reference across random
+    /// shapes, tilings and temporal factors.
+    #[test]
+    fn random_periodic_pipeline_equivalence(
+        nx in 4usize..14,
+        ny in 4usize..14,
+        nz in 4usize..12,
+        tile in 2usize..16,
+        dim_t in 1usize..4,
+        steps in 1usize..5,
+        threads in 1usize..4,
+    ) {
+        let dim = Dim3::new(nx, ny, nz);
+        let kernel = SevenPoint::<f32>::new(0.3, 0.1);
+        let init = Grid3::from_fn(dim, |x, y, z| {
+            ((x * 7 + y * 13 + z * 31) % 19) as f32 * 0.11 - 1.0
+        });
+        let mut want = DoubleGrid::from_initial(init.clone());
+        reference_sweep_periodic(&kernel, &mut want, steps);
+        let team = ThreadTeam::new(threads);
+        let mut got = DoubleGrid::from_initial(init);
+        periodic35d_sweep(
+            &kernel,
+            &mut got,
+            steps,
+            Blocking35::new(tile, tile, dim_t),
+            Some(&team),
+        );
+        prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
+    }
+
+    /// The tile-queue scheduling matches the reference for random inputs.
+    #[test]
+    fn random_tile_parallel_equivalence(
+        n in 5usize..15,
+        tile in 2usize..12,
+        dim_t in 1usize..4,
+        steps in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        let dim = Dim3::cube(n);
+        let kernel = SevenPoint::<f64>::new(0.25, 0.12);
+        let init = Grid3::from_fn(dim, |x, y, z| ((x * 3 + y * 5 + z * 7) % 11) as f64 * 0.2);
+        let mut want = DoubleGrid::from_initial(init.clone());
+        reference_sweep(&kernel, &mut want, steps);
+        let team = ThreadTeam::new(threads);
+        let mut got = DoubleGrid::from_initial(init);
+        tile_parallel35d_sweep(&kernel, &mut got, steps, Blocking35::new(tile, tile, dim_t), &team);
+        prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
+    }
+}
