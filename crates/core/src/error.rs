@@ -1,0 +1,133 @@
+//! Typed errors for the fault-tolerant executor entry points.
+
+use std::fmt;
+
+use threefive_sync::SyncError;
+
+use crate::planner::PlanError;
+
+/// Failures surfaced by the `try_`-returning executor entry points
+/// ([`crate::exec::try_parallel35d_sweep`], [`crate::solve::try_solve_steady`],
+/// [`crate::exec::Blocking35::try_new`]).
+///
+/// The panicking wrappers (`parallel35d_sweep`, `solve_steady`,
+/// `Blocking35::new`) keep their historical behavior by unwrapping these;
+/// robust callers — the facade's fallback ladder in particular — match on
+/// the variants to decide whether to degrade to a simpler executor or to
+/// abort.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// A blocking parameter was zero; the 3.5-D geometry is undefined.
+    InvalidBlocking {
+        /// Requested owned-tile extent along X.
+        dim_x: usize,
+        /// Requested owned-tile extent along Y.
+        dim_y: usize,
+        /// Requested temporal factor.
+        dim_t: usize,
+    },
+    /// `check_every == 0` was passed to the steady-state driver, which
+    /// would never test the residual.
+    ZeroCheckInterval,
+    /// The planner rejected the configuration (compute-bound already, or
+    /// the cache cannot hold the minimum working set).
+    Plan(PlanError),
+    /// The parallel substrate failed: a team member panicked, a barrier
+    /// was poisoned, or a watchdog deadline elapsed. The grid contents are
+    /// unspecified after this error (a partially-committed chunk); callers
+    /// that need the pre-call state must snapshot it first, as the
+    /// facade's fallback ladder does.
+    Sync(SyncError),
+    /// A grid value was NaN or infinite.
+    NonFinite {
+        /// Coordinate `(x, y, z)` of the first non-finite value in
+        /// row-major (z-outermost) scan order.
+        at: (usize, usize, usize),
+        /// The offending value, widened to `f64`.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidBlocking {
+                dim_x,
+                dim_y,
+                dim_t,
+            } => write!(
+                f,
+                "invalid 3.5-D blocking {dim_x}x{dim_y} dimT={dim_t}: \
+                 every parameter must be positive"
+            ),
+            ExecError::ZeroCheckInterval => {
+                write!(f, "solve_steady: check_every must be positive")
+            }
+            ExecError::Plan(e) => write!(f, "planner rejected configuration: {e}"),
+            ExecError::Sync(e) => write!(f, "parallel execution failed: {e}"),
+            ExecError::NonFinite { at, value } => write!(
+                f,
+                "non-finite value {value} at {at:?}; grid is numerically corrupt"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Plan(e) => Some(e),
+            ExecError::Sync(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for ExecError {
+    fn from(e: PlanError) -> Self {
+        ExecError::Plan(e)
+    }
+}
+
+impl From<SyncError> for ExecError {
+    fn from(e: SyncError) -> Self {
+        ExecError::Sync(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ExecError::InvalidBlocking {
+            dim_x: 0,
+            dim_y: 4,
+            dim_t: 2,
+        };
+        assert!(e.to_string().contains("0x4"));
+        let e = ExecError::NonFinite {
+            at: (1, 2, 3),
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("(1, 2, 3)"));
+        assert!(ExecError::ZeroCheckInterval
+            .to_string()
+            .contains("check_every"));
+    }
+
+    #[test]
+    fn sources_chain_through_wrappers() {
+        let e: ExecError = SyncError::BarrierPoisoned.into();
+        assert!(e.source().is_some());
+        let e: ExecError = PlanError::AlreadyComputeBound {
+            gamma: 1.0,
+            big_gamma: 2.0,
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(ExecError::ZeroCheckInterval.source().is_none());
+    }
+}

@@ -36,12 +36,16 @@
 //! one-member team.
 
 use std::ops::Range;
+use std::sync::Mutex;
+use std::time::Duration;
 
 use threefive_grid::partition::even_range;
 use threefive_grid::{Dim3, DoubleGrid, Grid3, PlaneRing, Real};
-use threefive_sync::{SharedSlice, SpinBarrier, ThreadTeam};
+use threefive_sync::{SharedSlice, SpinBarrier, SyncError, ThreadTeam};
 
+use crate::error::ExecError;
 use crate::exec::{elem_bytes, has_interior};
+use crate::faults;
 use crate::kernel::StencilKernel;
 use crate::stats::SweepStats;
 
@@ -60,17 +64,30 @@ impl Blocking35 {
     /// Creates blocking parameters.
     ///
     /// # Panics
-    /// Panics if any parameter is zero.
+    /// Panics if any parameter is zero; see
+    /// [`try_new`](Blocking35::try_new) for the non-panicking variant.
     pub fn new(dim_x: usize, dim_y: usize, dim_t: usize) -> Self {
-        assert!(
-            dim_x > 0 && dim_y > 0 && dim_t > 0,
-            "Blocking35: zero parameter"
-        );
-        Self {
+        match Self::try_new(dim_x, dim_y, dim_t) {
+            Ok(b) => b,
+            Err(_) => panic!("Blocking35: zero parameter"),
+        }
+    }
+
+    /// Creates blocking parameters, rejecting zero extents with
+    /// [`ExecError::InvalidBlocking`] instead of panicking.
+    pub fn try_new(dim_x: usize, dim_y: usize, dim_t: usize) -> Result<Self, ExecError> {
+        if dim_x == 0 || dim_y == 0 || dim_t == 0 {
+            return Err(ExecError::InvalidBlocking {
+                dim_x,
+                dim_y,
+                dim_t,
+            });
+        }
+        Ok(Self {
             dim_x,
             dim_y,
             dim_t,
-        }
+        })
     }
 }
 
@@ -103,6 +120,10 @@ pub fn temporal_sweep<T: Real, K: StencilKernel<T>>(
 ///
 /// Result ends in `grids.src()`; bit-exact with
 /// [`reference_sweep`](crate::exec::reference_sweep) for every team size.
+///
+/// # Panics
+/// Panics if a team member panics mid-sweep; see
+/// [`try_parallel35d_sweep`] for the non-panicking, watchdogged variant.
 pub fn parallel35d_sweep<T: Real, K: StencilKernel<T>>(
     kernel: &K,
     grids: &mut DoubleGrid<T>,
@@ -110,10 +131,47 @@ pub fn parallel35d_sweep<T: Real, K: StencilKernel<T>>(
     b: Blocking35,
     team: &ThreadTeam,
 ) -> SweepStats {
+    match try_parallel35d_sweep(kernel, grids, steps, b, team, None) {
+        Ok(stats) => stats,
+        Err(e) => panic!("parallel35d_sweep: {e}"),
+    }
+}
+
+/// Fault-tolerant parallel 3.5-D blocked sweep.
+///
+/// Behaves like [`parallel35d_sweep`], but failures inside the parallel
+/// region surface as [`ExecError`] instead of panics or hangs:
+///
+/// * a member **panic** poisons the per-Z-step barrier (via an RAII guard)
+///   so the remaining members drain at their next barrier episode instead
+///   of spinning forever, and the call returns
+///   [`SyncError::TeamPanicked`] wrapped in [`ExecError::Sync`];
+/// * with `deadline: Some(d)`, a member **stall** longer than `d` trips
+///   the barrier watchdog: the waiting members poison the barrier and
+///   drain, and the call returns [`SyncError::BarrierTimeout`]. The call
+///   itself still joins the stalled member (the closure borrows the
+///   caller's grids, so abandoning it would be unsound); the deadline
+///   bounds how long *healthy* members are held hostage, and the facade's
+///   ladder runs retries on a fresh team;
+/// * `deadline: None` disables the watchdog (benchmark configuration) —
+///   panic poisoning stays active.
+///
+/// On `Err` the grid contents are unspecified (a chunk may be partially
+/// committed); callers that need rollback must snapshot first, as
+/// [`run_plan`](../../threefive/fn.run_plan.html) does.
+pub fn try_parallel35d_sweep<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    steps: usize,
+    b: Blocking35,
+    team: &ThreadTeam,
+    deadline: Option<Duration>,
+) -> Result<SweepStats, ExecError> {
+    Blocking35::try_new(b.dim_x, b.dim_y, b.dim_t)?;
     let dim = grids.dim();
     let r = kernel.radius();
     if !has_interior(dim, r) {
-        return SweepStats::default();
+        return Ok(SweepStats::default());
     }
     let barrier = SpinBarrier::new(team.threads());
     let mut stats = SweepStats::default();
@@ -131,7 +189,9 @@ pub fn parallel35d_sweep<T: Real, K: StencilKernel<T>>(
                 let ox1 = (ox + b.dim_x).min(dim.nx);
                 let geom = TileGeom::new(dim, r, chunk, ox, ox1, oy, oy1);
                 if geom.has_commit() {
-                    tile_pipeline(kernel, src, &dst_view, dst_dim, &geom, team, &barrier);
+                    tile_pipeline(
+                        kernel, src, &dst_view, dst_dim, &geom, team, &barrier, deadline,
+                    )?;
                     stats = stats + geom.stats::<T>();
                 }
                 ox = ox1;
@@ -141,7 +201,7 @@ pub fn parallel35d_sweep<T: Real, K: StencilKernel<T>>(
         grids.swap();
         remaining -= chunk;
     }
-    stats
+    Ok(stats)
 }
 
 /// Geometry of one tile × chunk: owned/loaded regions and per-level
@@ -350,7 +410,30 @@ impl<'a, T: Real> RingView<'a, T> {
     }
 }
 
+/// Poisons the barrier if dropped while armed — i.e. during the unwind of
+/// a panicking team member — so the surviving members drain at their next
+/// [`SpinBarrier::checked_wait`] episode instead of spinning forever on an
+/// arrival that will never come.
+struct PoisonOnPanic<'a> {
+    barrier: &'a SpinBarrier,
+    armed: bool,
+}
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.barrier.poison();
+        }
+    }
+}
+
 /// Runs the full pipeline for one tile × chunk on the team.
+///
+/// Failure paths: a member panic surfaces as
+/// [`SyncError::TeamPanicked`]; a poisoned/timed-out barrier surfaces as
+/// the first [`SyncError`] any member observed. Either way every member
+/// has finished (drained cooperatively) before this returns.
+#[allow(clippy::too_many_arguments)]
 fn tile_pipeline<T: Real, K: StencilKernel<T>>(
     kernel: &K,
     src: &Grid3<T>,
@@ -359,7 +442,8 @@ fn tile_pipeline<T: Real, K: StencilKernel<T>>(
     geom: &TileGeom,
     team: &ThreadTeam,
     barrier: &SpinBarrier,
-) {
+    deadline: Option<Duration>,
+) -> Result<(), ExecError> {
     let (r, c) = (geom.r, geom.c);
     let (lx, ly) = (geom.lx(), geom.ly());
     // max(2R+2, 3R+1) slots: see module docs.
@@ -370,13 +454,19 @@ fn tile_pipeline<T: Real, K: StencilKernel<T>>(
 
     let n_threads = team.threads();
     let outer_steps = geom.dim.nz + 2 * r * (c - 1);
+    let first_err: Mutex<Option<SyncError>> = Mutex::new(None);
 
-    team.run(|tid| {
+    let run_res = team.try_run(|tid| {
+        let mut guard = PoisonOnPanic {
+            barrier,
+            armed: true,
+        };
         // The flexible load-balancing scheme: this thread owns a fixed band
         // of local rows at every level and plane.
         let my_rows = even_range(ly, n_threads, tid);
         let mut planes_buf: Vec<&[T]> = Vec::with_capacity(2 * r + 1);
         for s in 0..outer_steps {
+            faults::fault_point(tid, s);
             for t in 1..=c {
                 let lag = 2 * r * (t - 1);
                 if s < lag {
@@ -399,9 +489,21 @@ fn tile_pipeline<T: Real, K: StencilKernel<T>>(
                 }
             }
             planes_buf.clear();
-            barrier.wait();
+            if let Err(e) = barrier.checked_wait(deadline) {
+                // Cooperative exit: the barrier is poisoned (by a panicked
+                // peer's guard or by a timeout), so every member breaks
+                // out here and the generation drains in bounded time.
+                first_err.lock().unwrap().get_or_insert(e);
+                break;
+            }
         }
+        guard.armed = false;
     });
+    run_res.map_err(ExecError::from)?;
+    match first_err.into_inner().unwrap() {
+        Some(e) => Err(e.into()),
+        None => Ok(()),
+    }
 }
 
 /// Executes level `t`'s work for global plane `z`, restricted to this

@@ -1,0 +1,214 @@
+//! Runtime fault-injection harness for the fault-tolerance test suite.
+//!
+//! Production configurations never arm a fault, and the only cost they pay
+//! is one relaxed atomic load per (member × outer step) inside the
+//! parallel pipeline — noise next to a barrier episode. Tests arm a
+//! [`FaultPlan`] through [`inject`], which returns an RAII [`FaultGuard`]
+//! so a failing test cannot leak an armed fault into the next one.
+//!
+//! Faults fire **at most once** per arming: the first team member whose
+//! `(tid, outer_step)` matches claims the fault with a compare-exchange
+//! and then panics or stalls. This models the paper-relevant failure
+//! modes of the 3.5-D executor — a worker dying mid-pipeline and a worker
+//! wedging while its peers spin at the per-Z-step barrier — without any
+//! test-only compilation of the executor itself.
+//!
+//! [`corrupt_plane`] covers the third failure class (numerical
+//! corruption): it poisons a Z plane with NaNs so the
+//! [`check_finite`](crate::verify::check_finite) guard has something to
+//! find.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use threefive_grid::{Grid3, Real};
+
+/// What the armed fault does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The matching team member panics (message `"injected fault"`).
+    Panic,
+    /// The matching team member sleeps for this long before continuing —
+    /// long enough to trip a watchdog deadline, short enough that the
+    /// member eventually drains and the team heals.
+    Stall(Duration),
+}
+
+/// A single scheduled fault: member `tid`, pipeline outer step `step`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Team member that should fail (caller is `tid == 0`).
+    pub tid: usize,
+    /// Pipeline outer step (Z-step index within a tile × chunk) at which
+    /// the fault fires.
+    pub step: usize,
+    /// Failure mode.
+    pub kind: FaultKind,
+}
+
+// Armed state. `STATE` is the fast-path gate: DISARMED means `fault_point`
+// returns after one relaxed load. ARMED → FIRED transitions through a
+// compare-exchange so exactly one matching member fires.
+const DISARMED: u8 = 0;
+const ARMED: u8 = 1;
+const FIRED: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(DISARMED);
+static FAULT_TID: AtomicUsize = AtomicUsize::new(0);
+static FAULT_STEP: AtomicUsize = AtomicUsize::new(0);
+/// 0 = panic; otherwise stall milliseconds.
+static FAULT_STALL_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Arms `plan` process-wide and returns a guard that disarms it on drop.
+///
+/// Only one fault can be armed at a time; arming while armed panics (the
+/// harness is for single-threaded test orchestration, not concurrent
+/// fuzzing).
+pub fn inject(plan: FaultPlan) -> FaultGuard {
+    FAULT_TID.store(plan.tid, Ordering::Relaxed);
+    FAULT_STEP.store(plan.step, Ordering::Relaxed);
+    FAULT_STALL_MS.store(
+        match plan.kind {
+            FaultKind::Panic => 0,
+            FaultKind::Stall(d) => d.as_millis().max(1) as u64,
+        },
+        Ordering::Relaxed,
+    );
+    // Release: publish the plan fields before the armed flag.
+    let prev = STATE.swap(ARMED, Ordering::Release);
+    assert_ne!(prev, ARMED, "faults::inject: a fault is already armed");
+    FaultGuard { _priv: () }
+}
+
+/// Disarms the fault when dropped (whether or not it fired).
+#[must_use = "dropping the guard immediately disarms the fault"]
+pub struct FaultGuard {
+    _priv: (),
+}
+
+impl FaultGuard {
+    /// Whether the armed fault has fired.
+    pub fn fired(&self) -> bool {
+        STATE.load(Ordering::Acquire) == FIRED
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        STATE.store(DISARMED, Ordering::Release);
+    }
+}
+
+/// Test point called by the parallel pipeline once per member per outer
+/// step. Disarmed cost: one relaxed load.
+#[inline]
+pub fn fault_point(tid: usize, step: usize) {
+    if STATE.load(Ordering::Relaxed) != ARMED {
+        return;
+    }
+    fault_point_slow(tid, step);
+}
+
+#[cold]
+fn fault_point_slow(tid: usize, step: usize) {
+    if FAULT_TID.load(Ordering::Relaxed) != tid || FAULT_STEP.load(Ordering::Relaxed) != step {
+        return;
+    }
+    // Claim the fault: exactly one member fires even if several match
+    // (e.g. the same step of a later tile).
+    if STATE
+        .compare_exchange(ARMED, FIRED, Ordering::AcqRel, Ordering::Relaxed)
+        .is_err()
+    {
+        return;
+    }
+    let stall_ms = FAULT_STALL_MS.load(Ordering::Relaxed);
+    if stall_ms == 0 {
+        panic!("injected fault");
+    }
+    std::thread::sleep(Duration::from_millis(stall_ms));
+}
+
+/// Overwrites plane `z` of `grid` with NaNs — numerical-corruption
+/// injection for exercising [`check_finite`](crate::verify::check_finite).
+///
+/// # Panics
+/// Panics if `z` is out of range.
+pub fn corrupt_plane<T: Real>(grid: &mut Grid3<T>, z: usize) {
+    let nan = T::from_f64(f64::NAN);
+    for v in grid.plane_mut(z) {
+        *v = nan;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threefive_grid::Dim3;
+
+    // The global harness state is process-wide, so these tests serialize
+    // through a mutex rather than relying on `--test-threads=1`.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disarmed_fault_point_is_inert() {
+        let _l = LOCK.lock().unwrap();
+        for tid in 0..4 {
+            for step in 0..4 {
+                fault_point(tid, step); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn fires_once_at_the_matching_point_only() {
+        let _l = LOCK.lock().unwrap();
+        let guard = inject(FaultPlan {
+            tid: 2,
+            step: 3,
+            kind: FaultKind::Panic,
+        });
+        fault_point(2, 2); // wrong step
+        fault_point(1, 3); // wrong tid
+        assert!(!guard.fired());
+        let caught = std::panic::catch_unwind(|| fault_point(2, 3));
+        assert!(caught.is_err());
+        assert!(guard.fired());
+        fault_point(2, 3); // already fired: inert
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        let _l = LOCK.lock().unwrap();
+        {
+            let _g = inject(FaultPlan {
+                tid: 0,
+                step: 0,
+                kind: FaultKind::Stall(Duration::from_millis(1)),
+            });
+        }
+        fault_point(0, 0); // disarmed again: inert
+    }
+
+    #[test]
+    fn stall_fault_delays_instead_of_panicking() {
+        let _l = LOCK.lock().unwrap();
+        let guard = inject(FaultPlan {
+            tid: 1,
+            step: 0,
+            kind: FaultKind::Stall(Duration::from_millis(20)),
+        });
+        let t0 = std::time::Instant::now();
+        fault_point(1, 0);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert!(guard.fired());
+    }
+
+    #[test]
+    fn corrupt_plane_writes_nans() {
+        let mut g = Grid3::<f32>::splat(Dim3::cube(4), 1.0);
+        corrupt_plane(&mut g, 2);
+        assert!(g.plane(2).iter().all(|v| v.is_nan()));
+        assert!(g.plane(1).iter().all(|v| *v == 1.0));
+    }
+}

@@ -38,14 +38,17 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod kernel;
 pub mod planner;
 pub mod solve;
 pub mod stats;
 pub mod verify;
 
+pub use error::ExecError;
 pub use kernel::{GenericStar, OpCount, SevenPoint, StencilKernel, TwentySevenPoint};
 pub use planner::{plan_35d, plan_35d_forced, plan_35d_optimal, Plan35D, PlanError};
-pub use solve::{solve_steady, SteadyState};
-pub use verify::{verify_executor, Divergence};
+pub use solve::{solve_steady, try_solve_steady, SteadyState};
+pub use verify::{check_finite, verify_executor, Divergence};

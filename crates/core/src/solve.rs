@@ -6,10 +6,13 @@
 //! solved directly. The residual is checked every `dim_T`-aligned batch,
 //! so temporal blocking keeps its full benefit between checks.
 
+use std::time::Duration;
+
 use threefive_grid::{DoubleGrid, Real};
 use threefive_sync::ThreadTeam;
 
-use crate::exec::{parallel35d_sweep, Blocking35};
+use crate::error::ExecError;
+use crate::exec::{try_parallel35d_sweep, Blocking35};
 use crate::kernel::StencilKernel;
 
 /// Outcome of [`solve_steady`].
@@ -29,7 +32,8 @@ pub struct SteadyState {
 /// whole grid) or `max_steps` is exhausted.
 ///
 /// # Panics
-/// Panics if `check_every == 0`.
+/// Panics if `check_every == 0` or if the parallel substrate fails; see
+/// [`try_solve_steady`] for the non-panicking variant.
 pub fn solve_steady<T: Real, K: StencilKernel<T>>(
     kernel: &K,
     grids: &mut DoubleGrid<T>,
@@ -39,10 +43,54 @@ pub fn solve_steady<T: Real, K: StencilKernel<T>>(
     max_steps: usize,
     check_every: usize,
 ) -> SteadyState {
-    assert!(
-        check_every > 0,
-        "solve_steady: check_every must be positive"
-    );
+    match try_solve_steady(
+        kernel,
+        grids,
+        blocking,
+        team,
+        tol,
+        max_steps,
+        check_every,
+        None,
+    ) {
+        Ok(out) => out,
+        Err(ExecError::ZeroCheckInterval) => {
+            panic!("solve_steady: check_every must be positive")
+        }
+        Err(e) => panic!("solve_steady: {e}"),
+    }
+}
+
+/// Fault-tolerant [`solve_steady`]: invalid arguments and executor
+/// failures surface as [`ExecError`] instead of panics.
+///
+/// `deadline`, when set, bounds how long each batch's barrier episodes may
+/// wait on a stalled member (see [`try_parallel35d_sweep`]).
+/// With `max_steps == 0` the driver returns immediately (zero steps, not
+/// converged) without touching — or snapshotting — the grid.
+#[allow(clippy::too_many_arguments)]
+pub fn try_solve_steady<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    blocking: Blocking35,
+    team: Option<&ThreadTeam>,
+    tol: f64,
+    max_steps: usize,
+    check_every: usize,
+    deadline: Option<Duration>,
+) -> Result<SteadyState, ExecError> {
+    if check_every == 0 {
+        return Err(ExecError::ZeroCheckInterval);
+    }
+    if max_steps == 0 {
+        // Early out before the full-grid snapshot clone below: a zero-step
+        // solve is a cheap no-op, not an O(grid) allocation.
+        return Ok(SteadyState {
+            steps: 0,
+            residual: f64::INFINITY,
+            converged: false,
+        });
+    }
     let fallback;
     let team = match team {
         Some(t) => t,
@@ -58,23 +106,23 @@ pub fn solve_steady<T: Real, K: StencilKernel<T>>(
     let mut last_delta = f64::INFINITY;
     while steps < max_steps {
         let batch = check_every.min(max_steps - steps);
-        parallel35d_sweep(kernel, grids, batch, blocking, team);
+        try_parallel35d_sweep(kernel, grids, batch, blocking, team, deadline)?;
         steps += batch;
         last_delta = grids.src().max_abs_diff(&snapshot, &full) / batch as f64;
         if last_delta <= tol {
-            return SteadyState {
+            return Ok(SteadyState {
                 steps,
                 residual: last_delta,
                 converged: true,
-            };
+            });
         }
         snapshot.copy_from(grids.src());
     }
-    SteadyState {
+    Ok(SteadyState {
         steps,
         residual: last_delta,
         converged: false,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -134,6 +182,45 @@ mod tests {
         );
         assert!(!out.converged);
         assert_eq!(out.steps, 64);
+    }
+
+    #[test]
+    fn zero_check_interval_is_a_typed_error() {
+        let (mut grids, _) = ramp_problem(8);
+        let k = SevenPoint::<f64>::heat(1.0 / 6.0);
+        let err = try_solve_steady(
+            &k,
+            &mut grids,
+            Blocking35::new(8, 8, 2),
+            None,
+            1e-6,
+            100,
+            0,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::ZeroCheckInterval);
+    }
+
+    #[test]
+    fn zero_max_steps_returns_without_work() {
+        let (mut grids, _) = ramp_problem(8);
+        let before = grids.src().clone();
+        let k = SevenPoint::<f64>::heat(1.0 / 6.0);
+        let out = try_solve_steady(
+            &k,
+            &mut grids,
+            Blocking35::new(8, 8, 2),
+            None,
+            1e-6,
+            0,
+            10,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.steps, 0);
+        assert!(!out.converged);
+        assert_eq!(grids.src().as_slice(), before.as_slice());
     }
 
     #[test]

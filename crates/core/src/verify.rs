@@ -9,6 +9,7 @@ use std::fmt;
 
 use threefive_grid::{Dim3, DoubleGrid, Grid3, Real};
 
+use crate::error::ExecError;
 use crate::exec::reference_sweep;
 use crate::kernel::StencilKernel;
 
@@ -53,6 +54,32 @@ pub fn verification_grid<T: Real>(dim: Dim3, seed: u64) -> Grid3<T> {
         h ^= h >> 33;
         T::from_f64(((h >> 17) % 1024) as f64 / 512.0 - 1.0)
     })
+}
+
+/// Checks every grid point for NaN/±∞ and reports the **first** offending
+/// coordinate in row-major (z-outermost) scan order.
+///
+/// Jacobi sweeps are contractions, so non-finite values never arise from
+/// healthy execution — they indicate corrupted input, a broken custom
+/// kernel, or memory damage from a fault mid-sweep. The facade's
+/// [`run_plan`](../../threefive/fn.run_plan.html) runs this guard after
+/// each ladder rung so corruption triggers a downgrade instead of
+/// propagating silently.
+pub fn check_finite<T: Real>(grid: &Grid3<T>) -> Result<(), ExecError> {
+    let dim = grid.dim();
+    for z in 0..dim.nz {
+        let plane = grid.plane(z);
+        // Scan the cheap way (slice order == x-then-y order) and only
+        // reconstruct coordinates on failure.
+        if let Some(i) = plane.iter().position(|v| !v.to_f64().is_finite()) {
+            let (x, y) = (i % dim.nx, i / dim.nx);
+            return Err(ExecError::NonFinite {
+                at: (x, y, z),
+                value: plane[i].to_f64(),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Runs `executor` against the scalar reference over a battery of grid
@@ -132,6 +159,27 @@ mod tests {
         assert!(err.expected != err.got);
         let msg = err.to_string();
         assert!(msg.contains("diverged"), "{msg}");
+    }
+
+    #[test]
+    fn check_finite_accepts_healthy_grids() {
+        let g = verification_grid::<f32>(Dim3::cube(7), 3);
+        check_finite(&g).unwrap();
+    }
+
+    #[test]
+    fn check_finite_reports_first_bad_coordinate() {
+        let d = Dim3::new(5, 4, 3);
+        let mut g = Grid3::<f64>::splat(d, 1.0);
+        g.set(3, 2, 1, f64::NAN);
+        g.set(4, 3, 2, f64::INFINITY); // later in scan order
+        match check_finite(&g).unwrap_err() {
+            ExecError::NonFinite { at, value } => {
+                assert_eq!(at, (3, 2, 1));
+                assert!(value.is_nan());
+            }
+            other => panic!("wrong error: {other}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Centralized sense-reversing spin barrier.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::SyncError;
 
 /// A spin barrier for a fixed set of `n` threads.
 ///
@@ -14,10 +17,31 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// syscall; waiting burns CPU, which is the right trade-off for the 3.5-D
 /// executor where the barrier separates back-to-back compute phases
 /// microseconds apart.
+///
+/// # Fault tolerance
+///
+/// The barrier only works when **every** participant reaches **every**
+/// episode; a panicked or wedged participant would otherwise spin the
+/// healthy ones forever. Two escape hatches break that:
+///
+/// * [`poison`](SpinBarrier::poison) — marks the barrier dead and bumps
+///   the generation so current spinners drain; participants using
+///   [`checked_wait`](SpinBarrier::checked_wait) observe the poison and
+///   return [`SyncError::BarrierPoisoned`]. The parallel executor poisons
+///   from a panic guard so one panicking worker releases the whole team.
+/// * a **deadline** on `checked_wait` — a participant that waits longer
+///   than the deadline poisons the barrier itself and returns
+///   [`SyncError::BarrierTimeout`], so a silent stall (rather than a
+///   panic) also drains every healthy thread in bounded time.
+///
+/// The zero-cost [`wait`](SpinBarrier::wait) fast path is unchanged and
+/// unaware of poisoning; mix it with the checked API only when no fault
+/// can occur between the plain waits.
 pub struct SpinBarrier {
     n: usize,
     count: AtomicUsize,
     generation: AtomicUsize,
+    poisoned: AtomicBool,
 }
 
 impl SpinBarrier {
@@ -31,6 +55,7 @@ impl SpinBarrier {
             n,
             count: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -72,6 +97,85 @@ impl SpinBarrier {
             }
             false
         }
+    }
+
+    /// Fault-aware barrier wait: like [`wait`](SpinBarrier::wait) but
+    /// drains with an error instead of spinning forever when the barrier
+    /// is poisoned or the optional `deadline` elapses.
+    ///
+    /// On timeout the waiter poisons the barrier before returning, so all
+    /// other checked waiters (current and future) drain promptly too.
+    /// After any `Err`, the episode count is unreliable; the barrier must
+    /// be [`reset`](SpinBarrier::reset) before reuse.
+    pub fn checked_wait(&self, deadline: Option<Duration>) -> Result<bool, SyncError> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(SyncError::BarrierPoisoned);
+        }
+        let start = deadline.map(|_| Instant::now());
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            // Release even when poisoned (so spinners drain), but report
+            // the poison to the leader as well.
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(SyncError::BarrierPoisoned);
+            }
+            Ok(true)
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return Err(SyncError::BarrierPoisoned);
+                }
+                spins += 1;
+                if spins < 1 << 12 {
+                    std::hint::spin_loop();
+                } else {
+                    // Deadline checks piggyback on the slow (yielding)
+                    // path: the first 4096 spins stay syscall- and
+                    // clock-free, matching the fast path's latency.
+                    if let (Some(d), Some(t0)) = (deadline, start) {
+                        if t0.elapsed() > d {
+                            self.poison();
+                            return Err(SyncError::BarrierTimeout { deadline: d });
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(SyncError::BarrierPoisoned);
+            }
+            Ok(false)
+        }
+    }
+
+    /// Marks the barrier dead and bumps the generation so current
+    /// spinners drain. Checked waiters observe the poison and return
+    /// [`SyncError::BarrierPoisoned`]; the executor's panic guard calls
+    /// this so one dying worker cannot strand the rest of the team.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        // Release current spinners; with the poison flag set they report
+        // the error rather than treating this as a completed episode.
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Whether the barrier has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Re-arms a poisoned barrier for reuse.
+    ///
+    /// The caller must guarantee no thread is currently waiting on (or
+    /// about to arrive at) the barrier — e.g. after `ThreadTeam::run`
+    /// has returned, all members have drained by construction.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.poisoned.store(false, Ordering::Release);
     }
 }
 
@@ -148,5 +252,93 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = SpinBarrier::new(0);
+    }
+
+    #[test]
+    fn checked_wait_matches_wait_when_healthy() {
+        const T: usize = 4;
+        const ROUNDS: usize = 50;
+        let barrier = Arc::new(SpinBarrier::new(T));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..T {
+                let barrier = Arc::clone(&barrier);
+                let leaders = Arc::clone(&leaders);
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        if barrier
+                            .checked_wait(Some(Duration::from_secs(5)))
+                            .expect("healthy barrier")
+                        {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), ROUNDS);
+    }
+
+    #[test]
+    fn missing_participant_times_out_and_poisons() {
+        // 3 participants, only 2 arrive: both must drain with an error in
+        // bounded time — the permanent-hang scenario this API removes.
+        let barrier = Arc::new(SpinBarrier::new(3));
+        let deadline = Duration::from_millis(50);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            let errs: Vec<_> = (0..2)
+                .map(|_| {
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || barrier.checked_wait(Some(deadline)).unwrap_err())
+                })
+                .collect();
+            for h in errs {
+                let e = h.join().unwrap();
+                assert!(
+                    matches!(
+                        e,
+                        SyncError::BarrierTimeout { .. } | SyncError::BarrierPoisoned
+                    ),
+                    "{e:?}"
+                );
+            }
+        });
+        assert!(t0.elapsed() < Duration::from_secs(5), "drained promptly");
+        assert!(barrier.is_poisoned());
+        // Future waiters drain immediately.
+        assert_eq!(
+            barrier.checked_wait(None).unwrap_err(),
+            SyncError::BarrierPoisoned
+        );
+        // Reset re-arms the barrier.
+        barrier.reset();
+        assert!(!barrier.is_poisoned());
+    }
+
+    #[test]
+    fn poison_drains_spinners() {
+        let barrier = Arc::new(SpinBarrier::new(2));
+        std::thread::scope(|s| {
+            let waiter = {
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || barrier.checked_wait(None))
+            };
+            // Give the waiter time to start spinning, then poison instead
+            // of arriving (models a panicking partner).
+            std::thread::sleep(Duration::from_millis(10));
+            barrier.poison();
+            assert_eq!(waiter.join().unwrap(), Err(SyncError::BarrierPoisoned));
+        });
+    }
+
+    #[test]
+    fn reset_after_poison_restores_service() {
+        let b = SpinBarrier::new(1);
+        b.poison();
+        assert!(b.checked_wait(None).is_err());
+        b.reset();
+        assert_eq!(b.checked_wait(None), Ok(true));
+        assert!(b.wait());
     }
 }

@@ -1,0 +1,72 @@
+//! Typed errors for the synchronization substrate.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Failures surfaced by the fault-tolerant barrier/team entry points.
+///
+/// The panicking fast paths ([`crate::SpinBarrier::wait`],
+/// [`crate::ThreadTeam::run`]) never construct these; the `try_`/checked
+/// variants return them so callers (the executor fallback ladder) can
+/// degrade instead of hanging or unwinding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncError {
+    /// The barrier was poisoned: a participant panicked or timed out, so
+    /// the episode count can no longer be trusted. All checked waiters
+    /// drain with this error until [`crate::SpinBarrier::reset`].
+    BarrierPoisoned,
+    /// A checked wait exceeded its deadline. The waiter poisons the
+    /// barrier on the way out so every other participant drains too.
+    BarrierTimeout {
+        /// Configured deadline that was exceeded.
+        deadline: Duration,
+    },
+    /// A team member's closure panicked during the given generation; all
+    /// members finished, the team stays usable.
+    TeamPanicked {
+        /// Team generation (run index) in which the panic occurred.
+        generation: usize,
+    },
+    /// The watchdog deadline elapsed with at least one member still
+    /// running. `tid` names the first straggler; the team is quarantined
+    /// until that member finishes.
+    TeamStalled {
+        /// First member that had not finished at the deadline.
+        tid: usize,
+        /// Team generation (run index) that stalled.
+        phase: usize,
+    },
+    /// A run was attempted while an earlier stalled generation has still
+    /// not drained; the call returns immediately instead of queueing.
+    TeamQuarantined {
+        /// The stalled generation the team is waiting out.
+        phase: usize,
+    },
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::BarrierPoisoned => {
+                write!(f, "barrier poisoned by a panicked or timed-out participant")
+            }
+            SyncError::BarrierTimeout { deadline } => {
+                write!(f, "barrier wait exceeded deadline of {deadline:?}")
+            }
+            SyncError::TeamPanicked { generation } => {
+                write!(f, "a team member panicked in generation {generation}")
+            }
+            SyncError::TeamStalled { tid, phase } => {
+                write!(f, "team member {tid} stalled in generation {phase}")
+            }
+            SyncError::TeamQuarantined { phase } => {
+                write!(
+                    f,
+                    "team quarantined: generation {phase} has not drained yet"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}

@@ -22,11 +22,15 @@
 #![warn(missing_docs)]
 
 mod barrier;
+mod error;
+mod pad;
 mod shared;
 mod team;
 mod tournament;
 
 pub use barrier::SpinBarrier;
+pub use error::SyncError;
+pub use pad::CachePadded;
 pub use shared::SharedSlice;
 pub use team::ThreadTeam;
 pub use tournament::{TournamentBarrier, TournamentWaiter};

@@ -7,11 +7,46 @@
 //! calling thread participates as member 0. Closure lifetime is safe
 //! because `run` does not return until every member has finished (the same
 //! argument that makes `std::thread::scope` sound).
+//!
+//! # Failure model
+//!
+//! * A member's closure **panics** — the panic is caught in the worker,
+//!   the generation still drains (every member bumps `done`), and the
+//!   failure surfaces as [`SyncError::TeamPanicked`] from
+//!   [`ThreadTeam::try_run`] (or a propagated panic from
+//!   [`ThreadTeam::run`]). The team stays usable.
+//! * A member **stalls** — with borrowed closures this cannot be abandoned
+//!   soundly (returning early would let the stalled member touch freed
+//!   caller data), so `run`/`try_run` wait indefinitely; workloads with
+//!   internal barriers get bounded-time draining from
+//!   [`SpinBarrier::checked_wait`](crate::SpinBarrier::checked_wait)
+//!   instead, which turns a stall into a cooperative early exit.
+//!   For `'static` jobs, [`ThreadTeam::try_run_for`] adds a true watchdog:
+//!   after the deadline it returns [`SyncError::TeamStalled`] and
+//!   **quarantines** the team — further runs are refused (fast `Err`)
+//!   until the straggler drains, after which the team re-arms itself.
+//!   The job is reference-counted so the straggler can finish safely at
+//!   any later time.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::pad::CachePadded;
+use crate::SyncError;
+
+/// Sentinel stored in the trampoline slot when the current generation's
+/// job lives in `TeamShared::static_job` instead of the raw pointer pair.
+/// `usize::MAX` is never a valid function pointer on supported targets.
+const STATIC_JOB: usize = usize::MAX;
+
+/// Reference-counted erased job used by the watchdogged (`'static`) path.
+type SharedJob = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// Quarantine slot value meaning "no stalled generation outstanding".
+const NO_QUARANTINE: usize = usize::MAX;
 
 /// Trampoline that downcasts the erased data pointer back to the concrete
 /// closure type and invokes it.
@@ -33,16 +68,31 @@ struct TeamShared {
     /// that published them and the matching `done` count, during which the
     /// closure is kept alive by the blocked `run` caller.
     job: [AtomicUsize; 2],
+    /// Reference-counted job slot for watchdogged (`'static`) runs. Kept
+    /// populated while a stalled generation is quarantined so a straggler
+    /// that has not yet fetched the job still finds it.
+    static_job: Mutex<Option<SharedJob>>,
     /// Number of workers that finished the current generation.
     done: AtomicUsize,
+    /// Per-worker generation high-water mark (`progress[tid - 1]` holds
+    /// the last generation worker `tid` finished) — lets the watchdog name
+    /// the straggler and lets `Drop` decide whether joining is safe.
+    progress: Vec<CachePadded<AtomicUsize>>,
     /// Set when the team is dropped.
     shutdown: AtomicBool,
     /// Set if any member's closure panicked in the current generation.
     poisoned: AtomicBool,
+    /// Generation that stalled past its watchdog deadline, or
+    /// `NO_QUARANTINE`. While set, new runs are refused.
+    quarantined: AtomicUsize,
 }
 
 /// A fixed-size pool of persistent worker threads executing borrowed
 /// closures.
+///
+/// `run`/`try_run` must not be called concurrently from multiple threads;
+/// the team is a SPMD executor with a single dispatching caller (member 0),
+/// not a general task pool.
 ///
 /// ```
 /// use threefive_sync::ThreadTeam;
@@ -70,9 +120,14 @@ impl ThreadTeam {
             n,
             go: AtomicUsize::new(0),
             job: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            static_job: Mutex::new(None),
             done: AtomicUsize::new(0),
+            progress: (1..n)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
             shutdown: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
+            quarantined: AtomicUsize::new(NO_QUARANTINE),
         });
         let handles = (1..n)
             .map(|tid| {
@@ -96,25 +151,43 @@ impl ThreadTeam {
     /// until all members have finished. The caller runs `tid == 0`.
     ///
     /// # Panics
-    /// Propagates a panic if any member's closure panicked.
+    /// Propagates a panic if any member's closure panicked, and panics if
+    /// the team is quarantined by an earlier stalled generation that has
+    /// still not drained (see [`ThreadTeam::try_run_for`]).
     pub fn run<F: Fn(usize) + Sync>(&self, f: F) {
+        if let Err(e) = self.try_run(f) {
+            match e {
+                SyncError::TeamPanicked { .. } => panic!("ThreadTeam: a team member panicked"),
+                other => panic!("ThreadTeam: {other}"),
+            }
+        }
+    }
+
+    /// Non-panicking [`ThreadTeam::run`]: a member panic drains the
+    /// generation and surfaces as [`SyncError::TeamPanicked`]; the team
+    /// remains usable afterwards.
+    ///
+    /// There is no deadline on this path: the closure is *borrowed*, so
+    /// abandoning a stalled member would let it touch freed caller data.
+    /// Workloads needing bounded-time stall recovery either run their
+    /// internal barriers through
+    /// [`SpinBarrier::checked_wait`](crate::SpinBarrier::checked_wait)
+    /// (cooperative draining, as the 3.5-D executor does) or use the
+    /// `'static` watchdog path [`ThreadTeam::try_run_for`].
+    pub fn try_run<F: Fn(usize) + Sync>(&self, f: F) -> Result<(), SyncError> {
         let sh = &*self.shared;
+        self.heal()?;
         // Erase the closure: workers only use the pointer while we block
         // below, so `f` outlives every dereference.
-        sh.poisoned.store(false, Ordering::Relaxed);
-        sh.done.store(0, Ordering::Relaxed);
-        sh.job[0].store(&f as *const F as usize, Ordering::Relaxed);
-        sh.job[1].store(
-            trampoline::<F> as unsafe fn(*const (), usize) as usize,
-            Ordering::Relaxed,
-        );
-        // Release-publish the job to workers.
-        sh.go.fetch_add(1, Ordering::Release);
+        let data = &f as *const F as usize;
+        let tramp = trampoline::<F> as unsafe fn(*const (), usize) as usize;
+        let gen = self.publish(data, tramp);
 
         // The caller is member 0.
         let caller_panic = catch_unwind(AssertUnwindSafe(|| f(0))).is_err();
 
         // Wait for the n-1 workers (spin, then yield when oversubscribed).
+        // No deadline: see the method docs for why this must not abandon.
         let mut spins = 0u32;
         while sh.done.load(Ordering::Acquire) < sh.n - 1 {
             spins += 1;
@@ -124,9 +197,111 @@ impl ThreadTeam {
                 std::thread::yield_now();
             }
         }
+        // The Acquire reads above ordered every worker's `poisoned` store
+        // (Relaxed, but sequenced before its Release `done` increment)
+        // before this load.
         if caller_panic || sh.poisoned.load(Ordering::Relaxed) {
-            panic!("ThreadTeam: a team member panicked");
+            return Err(SyncError::TeamPanicked { generation: gen });
         }
+        Ok(())
+    }
+
+    /// Watchdogged run for `'static` jobs: executes `f(tid)` on every
+    /// member like [`ThreadTeam::try_run`], but if any spawned worker has
+    /// not finished within `deadline` (measured from dispatch), returns
+    /// [`SyncError::TeamStalled`] naming the first straggler and
+    /// **quarantines** the team.
+    ///
+    /// While quarantined, every `run`/`try_run`/`try_run_for` call fails
+    /// fast with [`SyncError::TeamQuarantined`] instead of dispatching on
+    /// top of the stalled generation (which could otherwise mis-count
+    /// `done` and free a live closure). The quarantine lifts automatically
+    /// — the next call re-arms the team — once the straggler finishes.
+    /// The `Arc` keeps the job alive however late that is, which is what
+    /// makes the early return sound (and why this path requires
+    /// `'static`).
+    ///
+    /// The deadline also covers the caller's own `f(0)`, but a stall *in*
+    /// `f(0)` blocks the calling thread itself; the watchdog can only
+    /// detect worker stalls.
+    pub fn try_run_for<F>(&self, f: Arc<F>, deadline: Duration) -> Result<(), SyncError>
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let sh = &*self.shared;
+        self.heal()?;
+        *sh.static_job.lock().unwrap() = Some(f.clone() as SharedJob);
+        let start = Instant::now();
+        let gen = self.publish(0, STATIC_JOB);
+
+        let caller_panic = catch_unwind(AssertUnwindSafe(|| f(0))).is_err();
+
+        let mut spins = 0u32;
+        while sh.done.load(Ordering::Acquire) < sh.n - 1 {
+            spins += 1;
+            if spins < 1 << 12 {
+                std::hint::spin_loop();
+            } else {
+                if start.elapsed() > deadline {
+                    sh.quarantined.store(gen, Ordering::Release);
+                    let tid = (1..sh.n)
+                        .find(|&t| sh.progress[t - 1].load(Ordering::Acquire) < gen)
+                        .unwrap_or(0);
+                    return Err(SyncError::TeamStalled { tid, phase: gen });
+                }
+                std::thread::yield_now();
+            }
+        }
+        // Healthy drain: drop the job slot so the closure's captures free
+        // deterministically.
+        *sh.static_job.lock().unwrap() = None;
+        if caller_panic || sh.poisoned.load(Ordering::Relaxed) {
+            return Err(SyncError::TeamPanicked { generation: gen });
+        }
+        Ok(())
+    }
+
+    /// Whether an earlier stalled generation is still quarantining the
+    /// team (a subsequent run would fail fast).
+    pub fn is_quarantined(&self) -> bool {
+        let sh = &*self.shared;
+        sh.quarantined.load(Ordering::Acquire) != NO_QUARANTINE
+            && sh.done.load(Ordering::Acquire) < sh.n - 1
+    }
+
+    /// Gate + re-arm: refuse to dispatch while a stalled generation has
+    /// not drained; clear the quarantine once it has.
+    fn heal(&self) -> Result<(), SyncError> {
+        let sh = &*self.shared;
+        let q = sh.quarantined.load(Ordering::Acquire);
+        if q == NO_QUARANTINE {
+            return Ok(());
+        }
+        if sh.done.load(Ordering::Acquire) < sh.n - 1 {
+            return Err(SyncError::TeamQuarantined { phase: q });
+        }
+        // Straggler drained: release the retained job and re-arm.
+        *sh.static_job.lock().unwrap() = None;
+        sh.quarantined.store(NO_QUARANTINE, Ordering::Release);
+        Ok(())
+    }
+
+    /// Publishes a job and returns its generation number.
+    ///
+    /// The `poisoned`/`done` re-arm and the job stores are `Relaxed`: they
+    /// are sequenced before the `Release` bump of `go`, and workers read
+    /// them only after their `Acquire` load of `go` observes the bump, so
+    /// the bump publishes all of them atomically. The previous generation
+    /// cannot race these resets because callers reach `publish` only after
+    /// that generation fully drained (`done == n - 1`, enforced by the
+    /// wait loops and the quarantine gate).
+    fn publish(&self, data: usize, tramp: usize) -> usize {
+        let sh = &*self.shared;
+        sh.poisoned.store(false, Ordering::Relaxed);
+        sh.done.store(0, Ordering::Relaxed);
+        sh.job[0].store(data, Ordering::Relaxed);
+        sh.job[1].store(tramp, Ordering::Relaxed);
+        sh.go.fetch_add(1, Ordering::Release) + 1
     }
 }
 
@@ -135,6 +310,15 @@ impl Drop for ThreadTeam {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         // Wake workers so they observe the shutdown flag.
         self.shared.go.fetch_add(1, Ordering::Release);
+        if self.is_quarantined() {
+            // A stalled worker may never exit; joining would trade a
+            // recovered hang for a hang in Drop. Detach instead: healthy
+            // workers exit on their own, the straggler (if it ever
+            // finishes) sees `shutdown` and exits too, and the shared
+            // state plus the `'static` job stay alive via their `Arc`s.
+            self.handles.clear();
+            return;
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -163,16 +347,35 @@ fn worker_loop(sh: &TeamShared, tid: usize) {
         if sh.shutdown.load(Ordering::Relaxed) {
             return;
         }
-        let data = sh.job[0].load(Ordering::Relaxed) as *const ();
-        let call: unsafe fn(*const (), usize) =
-            // SAFETY: the slot holds a `trampoline::<F>` function pointer
-            // written by `run` for this generation.
-            unsafe { std::mem::transmute(sh.job[1].load(Ordering::Relaxed)) };
-        // SAFETY: the `run` caller keeps the closure alive until `done`
-        // reaches n-1, which happens only after this call returns.
-        if catch_unwind(AssertUnwindSafe(|| unsafe { call(data, tid) })).is_err() {
+        let tramp = sh.job[1].load(Ordering::Relaxed);
+        let panicked = if tramp == STATIC_JOB {
+            // Watchdogged generation: clone the refcounted job so it stays
+            // alive for the whole call even if the caller times out and
+            // returns meanwhile.
+            let job = sh.static_job.lock().unwrap().clone();
+            match job {
+                Some(f) => catch_unwind(AssertUnwindSafe(|| f(tid))).is_err(),
+                // Slot already cleared: the generation was healed/shut
+                // down before this (very late) worker woke; skip the work
+                // but still drain the generation.
+                None => false,
+            }
+        } else {
+            let data = sh.job[0].load(Ordering::Relaxed) as *const ();
+            let call: unsafe fn(*const (), usize) =
+                // SAFETY: the slot holds a `trampoline::<F>` function pointer
+                // written by `run` for this generation.
+                unsafe { std::mem::transmute(tramp) };
+            // SAFETY: the `run` caller keeps the closure alive until `done`
+            // reaches n-1, which happens only after this call returns.
+            catch_unwind(AssertUnwindSafe(|| unsafe { call(data, tid) })).is_err()
+        };
+        if panicked {
             sh.poisoned.store(true, Ordering::Relaxed);
         }
+        // Progress before `done`: once the caller's Acquire load of `done`
+        // observes the full count, every progress store is visible too.
+        sh.progress[tid - 1].store(seen, Ordering::Release);
         sh.done.fetch_add(1, Ordering::Release);
     }
 }
@@ -272,5 +475,115 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_run_reports_member_panic_as_error() {
+        let team = ThreadTeam::new(3);
+        let err = team
+            .try_run(|tid| {
+                if tid == 2 {
+                    panic!("injected");
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SyncError::TeamPanicked { .. }), "{err:?}");
+        // And a healthy follow-up run succeeds.
+        let ok = AtomicUsize::new(0);
+        team.try_run(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(ok.into_inner(), 3);
+    }
+
+    #[test]
+    fn try_run_reports_caller_panic_as_error() {
+        let team = ThreadTeam::new(2);
+        let err = team
+            .try_run(|tid| {
+                if tid == 0 {
+                    panic!("caller boom");
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SyncError::TeamPanicked { .. }));
+    }
+
+    #[test]
+    fn watchdog_flags_stall_and_team_rearms() {
+        let team = ThreadTeam::new(2);
+        let release = Arc::new(AtomicBool::new(false));
+        let stalling = {
+            let release = Arc::clone(&release);
+            Arc::new(move |tid: usize| {
+                if tid == 1 {
+                    while !release.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let err = team
+            .try_run_for(stalling, Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err, SyncError::TeamStalled { tid: 1, phase: 1 });
+        // While the straggler runs, further dispatches fail fast.
+        assert!(team.is_quarantined());
+        let err = team.try_run(|_| {}).unwrap_err();
+        assert!(matches!(err, SyncError::TeamQuarantined { phase: 1 }));
+        // Let the straggler drain; the team must heal and be reusable.
+        release.store(true, Ordering::Release);
+        let healed = std::iter::repeat_with(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            !team.is_quarantined()
+        })
+        .take(400)
+        .any(|h| h);
+        assert!(healed, "straggler should drain the quarantine");
+        let ok = AtomicUsize::new(0);
+        team.run(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.into_inner(), 2);
+    }
+
+    #[test]
+    fn watchdog_passes_healthy_static_jobs() {
+        let team = ThreadTeam::new(4);
+        let sum = Arc::new(AtomicUsize::new(0));
+        let job = {
+            let sum = Arc::clone(&sum);
+            Arc::new(move |tid: usize| {
+                sum.fetch_add(tid + 1, Ordering::Relaxed);
+            })
+        };
+        for _ in 0..50 {
+            team.try_run_for(Arc::clone(&job), Duration::from_secs(5))
+                .unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 50 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn quarantined_team_drop_does_not_hang() {
+        let release = Arc::new(AtomicBool::new(false));
+        {
+            let team = ThreadTeam::new(2);
+            let release = Arc::clone(&release);
+            let job = Arc::new(move |tid: usize| {
+                if tid == 1 {
+                    while !release.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let err = team
+                .try_run_for(job, Duration::from_millis(20))
+                .unwrap_err();
+            assert!(matches!(err, SyncError::TeamStalled { .. }));
+            // Dropping while quarantined must detach, not join-hang.
+        }
+        release.store(true, Ordering::Release);
     }
 }

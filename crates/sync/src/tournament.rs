@@ -9,8 +9,9 @@
 //! exactly one thread, so there is no contended cache line — the property
 //! that makes tree barriers scale where centralized counters saturate.
 
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pad::CachePadded;
 
 /// Spins on `cond`, yielding after a bounded number of iterations so
 /// oversubscribed configurations still make progress.

@@ -1,9 +1,10 @@
 //! Stress and failure-injection tests for the synchronization substrate.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use threefive_sync::{SharedSlice, SpinBarrier, ThreadTeam, TournamentBarrier};
+use threefive_sync::{SharedSlice, SpinBarrier, SyncError, ThreadTeam, TournamentBarrier};
 
 #[test]
 fn spin_barrier_many_threads_many_episodes() {
@@ -93,6 +94,155 @@ fn team_panic_recovery_under_repeated_failures() {
         });
         assert_eq!(ok.into_inner(), 3, "round {round}");
     }
+}
+
+#[test]
+fn try_run_panic_recovery_cycles() {
+    // The typed-error twin of the panic-recovery test: repeated injected
+    // panics through `try_run` must come back as `TeamPanicked` every
+    // time, with a healthy run in between each failure.
+    let team = ThreadTeam::new(4);
+    for round in 0..25 {
+        let failing = round % 4;
+        let err = team
+            .try_run(|tid| {
+                if tid == failing {
+                    panic!("injected failure {round}");
+                }
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, SyncError::TeamPanicked { .. }),
+            "round {round}: {err:?}"
+        );
+        let ok = AtomicUsize::new(0);
+        team.try_run(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(ok.into_inner(), 4, "round {round}");
+    }
+}
+
+#[test]
+fn oversubscribed_team_double_the_cores() {
+    // 2× the hardware threads: members must yield rather than livelock,
+    // both in the team dispatch loop and inside barrier episodes.
+    let cores = std::thread::available_parallelism().map_or(4, |c| c.get());
+    let n = 2 * cores;
+    let team = ThreadTeam::new(n);
+    let barrier = SpinBarrier::new(n);
+    let counter = AtomicUsize::new(0);
+    const EPISODES: usize = 50;
+    let t0 = Instant::now();
+    team.run(|_| {
+        for e in 1..=EPISODES {
+            counter.fetch_add(1, Ordering::Relaxed);
+            barrier.wait();
+            let seen = counter.load(Ordering::Relaxed);
+            assert!(seen >= e * n && seen <= e * n + n, "episode {e}: {seen}");
+            barrier.wait();
+        }
+    });
+    assert_eq!(counter.into_inner(), n * EPISODES);
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "oversubscription must degrade, not livelock"
+    );
+}
+
+#[test]
+fn oversubscribed_team_survives_panics() {
+    let cores = std::thread::available_parallelism().map_or(4, |c| c.get());
+    let n = 2 * cores;
+    let team = ThreadTeam::new(n);
+    let err = team
+        .try_run(|tid| {
+            if tid == n - 1 {
+                panic!("last member dies");
+            }
+        })
+        .unwrap_err();
+    assert!(matches!(err, SyncError::TeamPanicked { .. }));
+    let ok = AtomicUsize::new(0);
+    team.run(|_| {
+        ok.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(ok.into_inner(), n);
+}
+
+#[test]
+fn watchdog_timeout_never_hangs_permanently() {
+    // A member that stalls far past the deadline: the caller must get
+    // `TeamStalled` at ~deadline (not at stall length), quarantine must
+    // refuse further dispatch, and the team must heal once the straggler
+    // drains — the "no permanent hang" guarantee end to end.
+    let team = ThreadTeam::new(4);
+    let release = Arc::new(AtomicBool::new(false));
+    let stall = {
+        let release = Arc::clone(&release);
+        Arc::new(move |tid: usize| {
+            if tid == 3 {
+                while !release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+    let t0 = Instant::now();
+    let err = team
+        .try_run_for(stall, Duration::from_millis(50))
+        .unwrap_err();
+    assert_eq!(err, SyncError::TeamStalled { tid: 3, phase: 1 });
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "watchdog returned at the deadline, not at stall length"
+    );
+    // Quarantined: fail fast, not hang.
+    let t1 = Instant::now();
+    assert!(team.try_run(|_| {}).is_err());
+    assert!(t1.elapsed() < Duration::from_secs(5));
+    // Heal and prove reuse.
+    release.store(true, Ordering::Release);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while team.is_quarantined() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let ok = AtomicUsize::new(0);
+    team.run(|_| {
+        ok.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(ok.into_inner(), 4);
+}
+
+#[test]
+fn barrier_timeout_with_oversubscription_drains_all() {
+    // Missing participant + more waiters than cores: every checked waiter
+    // must drain with an error in bounded time.
+    let cores = std::thread::available_parallelism().map_or(4, |c| c.get());
+    let waiters = 2 * cores;
+    let barrier = Arc::new(SpinBarrier::new(waiters + 1)); // one never arrives
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..waiters)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier
+                        .checked_wait(Some(Duration::from_millis(100)))
+                        .unwrap_err()
+                })
+            })
+            .collect();
+        for h in handles {
+            let e = h.join().unwrap();
+            assert!(matches!(
+                e,
+                SyncError::BarrierTimeout { .. } | SyncError::BarrierPoisoned
+            ));
+        }
+    });
+    assert!(t0.elapsed() < Duration::from_secs(30), "bounded drain");
 }
 
 #[test]

@@ -1,0 +1,142 @@
+//! Demonstrates the fault-tolerant execution layer: the [`run_plan`]
+//! executor ladder degrading under injected faults, the watchdog deadline,
+//! and the typed-error API.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use std::time::Duration;
+
+use threefive::core::exec::reference_sweep;
+use threefive::core::faults::{self, FaultKind, FaultPlan};
+use threefive::core::verify::verification_grid;
+use threefive::prelude::*;
+
+fn problem(n: usize) -> DoubleGrid<f32> {
+    DoubleGrid::from_initial(verification_grid(Dim3::cube(n), 7))
+}
+
+fn main() {
+    let n = 24;
+    let steps = 4;
+    let kernel = SevenPoint::new(0.3f32, 0.1);
+    let plan = Ok(Plan35D {
+        radius: 1,
+        dim_t: 2,
+        dim_xy: 8,
+        kappa: 1.5,
+        buffer_bytes: 0,
+        effective_gamma: 0.1,
+    });
+    let opts = RunOptions {
+        threads: 4,
+        deadline: Some(Duration::from_secs(5)),
+        ..RunOptions::default()
+    };
+
+    // Ground truth for the bit-identical guarantee.
+    let mut truth = problem(n);
+    reference_sweep(&kernel, &mut truth, steps);
+
+    // 1. Healthy run: the fastest rung serves the request.
+    let mut grids = problem(n);
+    let report = run_plan(&kernel, &mut grids, steps, plan, &opts).unwrap();
+    println!(
+        "[healthy]    rung = {}, downgrades = {}, bit-identical = {}",
+        report.rung,
+        report.downgrades.len(),
+        grids.src().as_slice() == truth.src().as_slice()
+    );
+
+    // 2. Injected worker panic mid-sweep: the parallel rung fails with a
+    // typed error, the driver rolls back and downgrades one rung.
+    let mut grids = problem(n);
+    let report = {
+        let _fault = faults::inject(FaultPlan {
+            tid: 1,
+            step: 2,
+            kind: FaultKind::Panic,
+        });
+        run_plan(&kernel, &mut grids, steps, plan, &opts).unwrap()
+    };
+    println!(
+        "[panic]      rung = {}, downgrades = {:?}, bit-identical = {}",
+        report.rung,
+        report
+            .downgrades
+            .iter()
+            .map(|d| format!("{} ({})", d.from, d.reason))
+            .collect::<Vec<_>>(),
+        grids.src().as_slice() == truth.src().as_slice()
+    );
+
+    // 3. Injected stall: the watchdog deadline turns an infinite spin into
+    // a bounded, typed failure.
+    let mut grids = problem(n);
+    let report = {
+        let _fault = faults::inject(FaultPlan {
+            tid: 2,
+            step: 1,
+            kind: FaultKind::Stall(Duration::from_millis(300)),
+        });
+        let opts = RunOptions {
+            deadline: Some(Duration::from_millis(50)),
+            ..opts.clone()
+        };
+        run_plan(&kernel, &mut grids, steps, plan, &opts).unwrap()
+    };
+    println!(
+        "[stall]      rung = {}, downgrades = {}, bit-identical = {}",
+        report.rung,
+        report.downgrades.len(),
+        grids.src().as_slice() == truth.src().as_slice()
+    );
+
+    // 4. Planner rejection (compute-bound kernel): both 3.5-D rungs are
+    // skipped and 2.5-D spatial blocking serves the request.
+    let mut grids = problem(n);
+    let report = run_plan(
+        &kernel,
+        &mut grids,
+        steps,
+        Err(PlanError::AlreadyComputeBound {
+            gamma: 0.2,
+            big_gamma: 0.3,
+        }),
+        &opts,
+    )
+    .unwrap();
+    println!(
+        "[no plan]    rung = {}, downgrades = {}, bit-identical = {}",
+        report.rung,
+        report.downgrades.len(),
+        grids.src().as_slice() == truth.src().as_slice()
+    );
+
+    // 5. Corrupt (NaN) input: rejected up front with the first offending
+    // coordinate instead of walking the ladder.
+    let mut bad = problem(n).src().clone();
+    faults::corrupt_plane(&mut bad, 3);
+    let mut grids = DoubleGrid::from_initial(bad);
+    match run_plan(&kernel, &mut grids, steps, plan, &opts) {
+        Err(ExecError::NonFinite { at, value }) => {
+            println!("[nan input]  rejected: value {value} at {at:?}")
+        }
+        other => println!("[nan input]  unexpected: {other:?}"),
+    }
+
+    // 6. Typed-error API: invalid arguments are `Err`, not panics.
+    let err = try_solve_steady(
+        &kernel,
+        &mut problem(n),
+        Blocking35::new(8, 8, 2),
+        None,
+        1e-6,
+        100,
+        0, // check_every == 0
+        None,
+    )
+    .unwrap_err();
+    println!("[steady]     check_every = 0 -> {err}");
+}

@@ -49,6 +49,10 @@
 //! assert!(grids.src().get(32, 32, 32) < 100.0); // heat spread out
 //! ```
 
+pub mod run;
+
+pub use run::{run_plan, Downgrade, RunOptions, RunReport, Rung};
+
 pub use threefive_cachesim as cachesim;
 pub use threefive_core as core;
 pub use threefive_gpu_sim as gpu;
@@ -60,14 +64,17 @@ pub use threefive_sync as sync;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::run::{run_plan, RunOptions, RunReport, Rung};
+    pub use threefive_core::exec::try_parallel35d_sweep;
     pub use threefive_core::exec::{
         blocked25d_sweep, blocked35d_sweep, blocked3d_sweep, blocked4d_sweep, parallel35d_sweep,
         periodic35d_sweep, reference_sweep, reference_sweep_periodic, simd_sweep, temporal_sweep,
         tile_parallel35d_sweep, Blocking35,
     };
     pub use threefive_core::{
-        plan_35d, plan_35d_forced, plan_35d_optimal, solve_steady, verify_executor, GenericStar,
-        Plan35D, PlanError, SevenPoint, SteadyState, StencilKernel, TwentySevenPoint,
+        check_finite, plan_35d, plan_35d_forced, plan_35d_optimal, solve_steady, try_solve_steady,
+        verify_executor, ExecError, GenericStar, Plan35D, PlanError, SevenPoint, SteadyState,
+        StencilKernel, TwentySevenPoint,
     };
     pub use threefive_grid::{
         CellFlags, CellKind, Dim3, DoubleGrid, Grid3, Real, Region3, SoaGrid,
@@ -78,5 +85,5 @@ pub mod prelude {
     pub use threefive_machine::{
         core_i7, gtx285, lbm_traffic, seven_point_traffic, Machine, Precision,
     };
-    pub use threefive_sync::{SpinBarrier, ThreadTeam};
+    pub use threefive_sync::{SpinBarrier, SyncError, ThreadTeam};
 }

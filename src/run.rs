@@ -1,0 +1,242 @@
+//! Graceful-degradation driver: plan → parallel 3.5-D → fallbacks.
+//!
+//! The executor ladder (paper §VI-A) is ordered by performance; this
+//! module walks it in reverse on *failure*. [`run_plan`] tries the fastest
+//! applicable rung and degrades — parallel 3.5-D → serial 3.5-D → 2.5-D
+//! spatial blocking → scalar reference — whenever the planner rejects the
+//! configuration ([`PlanError`]) or a run fails at execution time (member
+//! panic, watchdog timeout, non-finite output). Every executor in the
+//! ladder is bit-exact with the reference sweep, and the driver snapshots
+//! the source grid before each attempt and rolls back before retrying, so
+//! **the result is bit-identical no matter which rung finally serves the
+//! request**; only throughput degrades.
+//!
+//! Failures never escape as panics or hangs: worker panics poison the
+//! per-Z-step barrier and drain the team (see
+//! [`try_parallel35d_sweep`]), stalls are bounded by the watchdog
+//! `deadline` (on by default here, unlike the raw executor API used by
+//! the benchmarks), and numerical corruption is caught by the
+//! [`check_finite`] guard after every attempt.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use threefive_core::exec::{blocked25d_sweep, reference_sweep, try_parallel35d_sweep, Blocking35};
+use threefive_core::stats::SweepStats;
+use threefive_core::verify::check_finite;
+use threefive_core::{ExecError, Plan35D, PlanError, StencilKernel};
+use threefive_grid::{DoubleGrid, Grid3, Real};
+use threefive_sync::{SyncError, ThreadTeam};
+
+/// One rung of the executor ladder, fastest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rung {
+    /// Parallel 3.5-D pipeline on a thread team.
+    Parallel35D,
+    /// Serial 3.5-D pipeline (one-member team).
+    Serial35D,
+    /// 2.5-D spatial blocking, no temporal blocking.
+    Blocked25D,
+    /// Scalar reference sweep — always applicable.
+    Reference,
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rung::Parallel35D => "parallel 3.5-D",
+            Rung::Serial35D => "serial 3.5-D",
+            Rung::Blocked25D => "2.5-D spatial",
+            Rung::Reference => "scalar reference",
+        })
+    }
+}
+
+/// Record of one abandoned rung: which executor was given up on and why.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Downgrade {
+    /// The rung that failed or was rejected.
+    pub from: Rung,
+    /// Why it could not serve the request.
+    pub reason: ExecError,
+}
+
+/// Outcome of a successful [`run_plan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// The rung that produced the final grid contents.
+    pub rung: Rung,
+    /// Modeled work/traffic accounting from that rung.
+    pub stats: SweepStats,
+    /// Every downgrade taken on the way, in order. Empty means the first
+    /// applicable rung succeeded.
+    pub downgrades: Vec<Downgrade>,
+}
+
+/// Knobs for [`run_plan`].
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Team size for the parallel rung.
+    pub threads: usize,
+    /// Watchdog deadline for barrier episodes of the parallel rung —
+    /// **on by default** here (the raw executor API defaults to off so
+    /// benchmarks pay no timing overhead). `None` disables it.
+    pub deadline: Option<Duration>,
+    /// Run the NaN/∞ guard on the result of every rung (and on the input).
+    pub verify_finite: bool,
+    /// Log downgrades to stderr as they happen.
+    pub log: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, |c| c.get()),
+            deadline: Some(Duration::from_secs(10)),
+            verify_finite: true,
+            log: true,
+        }
+    }
+}
+
+/// Runs `steps` Jacobi time steps under the given 3.5-D `plan`, degrading
+/// down the executor ladder on any failure.
+///
+/// `plan` is the planner's verdict, passed through so a
+/// [`PlanError`] (kernel already compute-bound, cache too small) skips
+/// both 3.5-D rungs and lands on 2.5-D spatial blocking — the paper's own
+/// prescription for those regimes. Execution-time failures (member panic,
+/// watchdog timeout, non-finite values) roll the grid back to the
+/// pre-attempt snapshot and retry one rung down, so the final contents are
+/// bit-identical to [`reference_sweep`] regardless of the serving rung.
+///
+/// Returns the serving rung, its stats, and the downgrade trail. `Err` is
+/// reserved for unrecoverable states: non-finite *input*, or a reference
+/// sweep that itself produced non-finite values (a broken kernel).
+pub fn run_plan<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    steps: usize,
+    plan: Result<Plan35D, PlanError>,
+    opts: &RunOptions,
+) -> Result<RunReport, ExecError> {
+    if opts.verify_finite {
+        // Corrupt input would fail every rung; reject it up front with the
+        // offending coordinate instead of walking the whole ladder.
+        check_finite(grids.src())?;
+    }
+    let dim = grids.dim();
+    let snapshot = grids.src().clone();
+    let mut downgrades: Vec<Downgrade> = Vec::new();
+    let mut downgrade = |from: Rung, reason: ExecError, log: bool| {
+        if log {
+            eprintln!("threefive: {from} executor failed ({reason}); downgrading");
+        }
+        downgrades.push(Downgrade { from, reason });
+    };
+
+    let blocking = match plan {
+        Ok(p) => Some(Blocking35::new(
+            p.dim_xy.clamp(1, dim.nx.max(1)),
+            p.dim_xy.clamp(1, dim.ny.max(1)),
+            p.dim_t.max(1),
+        )),
+        Err(e) => {
+            // Planner rejection disqualifies both temporal-blocking rungs.
+            downgrade(Rung::Parallel35D, ExecError::Plan(e), opts.log);
+            downgrade(Rung::Serial35D, ExecError::Plan(e), opts.log);
+            None
+        }
+    };
+
+    if let Some(b) = blocking {
+        for (rung, threads, deadline) in [
+            (Rung::Parallel35D, opts.threads.max(1), opts.deadline),
+            (Rung::Serial35D, 1, None),
+        ] {
+            let team = ThreadTeam::new(threads);
+            match try_parallel35d_sweep(kernel, grids, steps, b, &team, deadline) {
+                Ok(stats) => match finite_ok(grids, opts) {
+                    Ok(()) => {
+                        return Ok(RunReport {
+                            rung,
+                            stats,
+                            downgrades,
+                        })
+                    }
+                    Err(e) => {
+                        downgrade(rung, e, opts.log);
+                        restore(grids, &snapshot);
+                    }
+                },
+                Err(e) => {
+                    downgrade(rung, e, opts.log);
+                    restore(grids, &snapshot);
+                }
+            }
+        }
+    }
+
+    // 2.5-D spatial blocking: no thread team, no temporal blocking. Tile
+    // edges come from the plan when there is one; otherwise fall back to
+    // whole-plane tiles (always valid, degenerate-but-correct blocking).
+    let (tx, ty) = match plan {
+        Ok(p) => (
+            p.dim_xy.clamp(1, dim.nx.max(1)),
+            p.dim_xy.clamp(1, dim.ny.max(1)),
+        ),
+        Err(_) => (dim.nx.max(1), dim.ny.max(1)),
+    };
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        blocked25d_sweep(kernel, grids, steps, tx, ty)
+    }));
+    match attempt {
+        Ok(stats) => match finite_ok(grids, opts) {
+            Ok(()) => {
+                return Ok(RunReport {
+                    rung: Rung::Blocked25D,
+                    stats,
+                    downgrades,
+                })
+            }
+            Err(e) => {
+                downgrade(Rung::Blocked25D, e, opts.log);
+                restore(grids, &snapshot);
+            }
+        },
+        Err(_) => {
+            downgrade(
+                Rung::Blocked25D,
+                ExecError::Sync(SyncError::TeamPanicked { generation: 0 }),
+                opts.log,
+            );
+            restore(grids, &snapshot);
+        }
+    }
+
+    // Last rung: the scalar reference. If even this produces non-finite
+    // values the kernel itself is numerically broken — that is not
+    // recoverable by falling further, so it surfaces as `Err`.
+    let stats = reference_sweep(kernel, grids, steps);
+    finite_ok(grids, opts)?;
+    Ok(RunReport {
+        rung: Rung::Reference,
+        stats,
+        downgrades,
+    })
+}
+
+fn finite_ok<T: Real>(grids: &DoubleGrid<T>, opts: &RunOptions) -> Result<(), ExecError> {
+    if opts.verify_finite {
+        check_finite(grids.src())
+    } else {
+        Ok(())
+    }
+}
+
+/// Rolls both buffers back to the pre-attempt state so the next rung sees
+/// exactly the input the failed rung saw (the bit-identical guarantee).
+fn restore<T: Real>(grids: &mut DoubleGrid<T>, snapshot: &Grid3<T>) {
+    *grids = DoubleGrid::from_initial(snapshot.clone());
+}

@@ -1,0 +1,313 @@
+//! End-to-end fault-tolerance suite: injected worker panics, stalls, and
+//! numerical corruption must surface as typed errors in bounded time —
+//! never as hangs — and the executors must stay usable afterwards.
+//!
+//! The fault harness ([`threefive::core::faults`]) is process-global, so
+//! every test in this binary serializes through one mutex; the injected
+//! fault of one test must not be claimed by the sweep of another.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use threefive::core::exec::{reference_sweep, try_parallel35d_sweep, Blocking35};
+use threefive::core::faults::{self, FaultKind, FaultPlan};
+use threefive::core::verify::verification_grid;
+use threefive::core::{ExecError, PlanError, SevenPoint};
+use threefive::grid::{Dim3, DoubleGrid};
+use threefive::sync::{SyncError, ThreadTeam};
+use threefive::{run_plan, RunOptions, Rung};
+
+static HARNESS: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    // A poisoned mutex just means an earlier test failed; the harness
+    // state itself is disarmed by FaultGuard's drop during that unwind.
+    HARNESS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn problem(n: usize) -> DoubleGrid<f32> {
+    DoubleGrid::from_initial(verification_grid(Dim3::cube(n), 42))
+}
+
+fn reference_result(n: usize, steps: usize) -> DoubleGrid<f32> {
+    let k = SevenPoint::new(0.3f32, 0.1);
+    let mut g = problem(n);
+    reference_sweep(&k, &mut g, steps);
+    g
+}
+
+/// An injected worker panic must surface as `Err(TeamPanicked)` — with no
+/// deadlock — and the same team must produce bit-exact results right after.
+#[test]
+fn injected_panic_surfaces_as_error_and_team_recovers() {
+    let _h = serial();
+    let k = SevenPoint::new(0.3f32, 0.1);
+    let team = ThreadTeam::new(4);
+    let b = Blocking35::new(6, 6, 2);
+
+    let t0 = Instant::now();
+    let err = {
+        let _fault = faults::inject(FaultPlan {
+            tid: 1,
+            step: 2,
+            kind: FaultKind::Panic,
+        });
+        let mut g = problem(12);
+        try_parallel35d_sweep(&k, &mut g, 4, b, &team, Some(Duration::from_secs(5))).unwrap_err()
+    };
+    assert!(
+        matches!(err, ExecError::Sync(SyncError::TeamPanicked { .. })),
+        "wrong error: {err:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "panic must drain well within the watchdog deadline"
+    );
+
+    // Same team, fault disarmed: bit-exact results.
+    let mut g = problem(12);
+    try_parallel35d_sweep(&k, &mut g, 4, b, &team, Some(Duration::from_secs(5))).unwrap();
+    assert_eq!(g.src().as_slice(), reference_result(12, 4).src().as_slice());
+}
+
+/// A stalled worker must trip the barrier watchdog: healthy members drain
+/// with `BarrierTimeout` instead of spinning forever, and once the
+/// straggler's sleep ends the team is reusable.
+#[test]
+fn injected_stall_trips_watchdog_without_hanging() {
+    let _h = serial();
+    let k = SevenPoint::new(0.3f32, 0.1);
+    let team = ThreadTeam::new(3);
+    let b = Blocking35::new(6, 6, 2);
+
+    let t0 = Instant::now();
+    let err = {
+        let _fault = faults::inject(FaultPlan {
+            tid: 2,
+            step: 1,
+            kind: FaultKind::Stall(Duration::from_millis(400)),
+        });
+        let mut g = problem(12);
+        try_parallel35d_sweep(&k, &mut g, 4, b, &team, Some(Duration::from_millis(50))).unwrap_err()
+    };
+    assert!(
+        matches!(
+            err,
+            ExecError::Sync(SyncError::BarrierTimeout { .. } | SyncError::BarrierPoisoned)
+        ),
+        "wrong error: {err:?}"
+    );
+    // Bounded by the stall length (the borrowed closure must drain), far
+    // under "forever".
+    assert!(t0.elapsed() < Duration::from_secs(10), "no deadlock");
+
+    let mut g = problem(12);
+    try_parallel35d_sweep(&k, &mut g, 4, b, &team, Some(Duration::from_secs(5))).unwrap();
+    assert_eq!(g.src().as_slice(), reference_result(12, 4).src().as_slice());
+}
+
+/// The caller (member 0) panicking is also caught and typed.
+#[test]
+fn injected_caller_panic_is_reported() {
+    let _h = serial();
+    let k = SevenPoint::new(0.3f32, 0.1);
+    let team = ThreadTeam::new(2);
+    let _fault = faults::inject(FaultPlan {
+        tid: 0,
+        step: 0,
+        kind: FaultKind::Panic,
+    });
+    let mut g = problem(10);
+    let err = try_parallel35d_sweep(
+        &k,
+        &mut g,
+        2,
+        Blocking35::new(5, 5, 2),
+        &team,
+        Some(Duration::from_secs(5)),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        ExecError::Sync(SyncError::TeamPanicked { .. })
+    ));
+}
+
+/// Non-finite input is rejected up front with the first offending
+/// coordinate, before any executor runs.
+#[test]
+fn nan_input_is_rejected_with_coordinates() {
+    let _h = serial();
+    let k = SevenPoint::new(0.3f32, 0.1);
+    let mut g = problem(10);
+    let initial = g.src().clone();
+    {
+        let (src_dirty, _) = {
+            // Corrupt one plane of the source grid.
+            let mut corrupted = initial.clone();
+            faults::corrupt_plane(&mut corrupted, 3);
+            (corrupted, ())
+        };
+        g = DoubleGrid::from_initial(src_dirty);
+    }
+    let machine = threefive::machine::core_i7();
+    let traffic = threefive::machine::seven_point_traffic();
+    let plan = threefive::core::plan_35d(
+        traffic.gamma(threefive::machine::Precision::Sp),
+        machine.big_gamma(threefive::machine::Precision::Sp),
+        machine.fast_storage_bytes,
+        4,
+        1,
+    );
+    let opts = RunOptions {
+        threads: 2,
+        log: false,
+        ..RunOptions::default()
+    };
+    let err = run_plan(&k, &mut g, 2, plan, &opts).unwrap_err();
+    match err {
+        ExecError::NonFinite { at, value } => {
+            assert_eq!(at.2, 3, "first bad coordinate must be on plane z=3");
+            assert!(value.is_nan());
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+/// Planner rejection walks the ladder to 2.5-D blocking, and the result is
+/// bit-identical to the reference sweep.
+#[test]
+fn plan_rejection_falls_back_bit_identically() {
+    let _h = serial();
+    let k = SevenPoint::new(0.3f32, 0.1);
+    let mut g = problem(12);
+    let opts = RunOptions {
+        threads: 2,
+        log: false,
+        ..RunOptions::default()
+    };
+    let report = run_plan(
+        &k,
+        &mut g,
+        3,
+        Err(PlanError::AlreadyComputeBound {
+            gamma: 0.2,
+            big_gamma: 0.3,
+        }),
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(report.rung, Rung::Blocked25D);
+    assert_eq!(report.downgrades.len(), 2, "both 3.5-D rungs skipped");
+    assert_eq!(g.src().as_slice(), reference_result(12, 3).src().as_slice());
+}
+
+/// A fault during the parallel rung downgrades to the serial rung; the
+/// rollback keeps the final grid bit-identical to the reference.
+#[test]
+fn runtime_fault_downgrades_and_stays_bit_identical() {
+    let _h = serial();
+    let k = SevenPoint::new(0.3f32, 0.1);
+    let mut g = problem(12);
+    let plan = Ok(threefive::core::Plan35D {
+        radius: 1,
+        dim_t: 2,
+        dim_xy: 6,
+        kappa: 1.5,
+        buffer_bytes: 0,
+        effective_gamma: 0.1,
+    });
+    let opts = RunOptions {
+        threads: 3,
+        deadline: Some(Duration::from_secs(5)),
+        verify_finite: true,
+        log: false,
+    };
+    let report = {
+        // tid 1 only exists on the parallel rung (serial teams have just
+        // the caller), so exactly the first rung fails.
+        let _fault = faults::inject(FaultPlan {
+            tid: 1,
+            step: 2,
+            kind: FaultKind::Panic,
+        });
+        run_plan(&k, &mut g, 3, plan, &opts).unwrap()
+    };
+    assert_eq!(report.rung, Rung::Serial35D, "one downgrade taken");
+    assert_eq!(report.downgrades.len(), 1);
+    assert_eq!(report.downgrades[0].from, Rung::Parallel35D);
+    assert!(matches!(
+        report.downgrades[0].reason,
+        ExecError::Sync(SyncError::TeamPanicked { .. })
+    ));
+    assert_eq!(g.src().as_slice(), reference_result(12, 3).src().as_slice());
+}
+
+/// Healthy path: the first rung serves the request, no downgrades, still
+/// bit-identical.
+#[test]
+fn healthy_run_uses_parallel_rung() {
+    let _h = serial();
+    let k = SevenPoint::new(0.3f32, 0.1);
+    let mut g = problem(12);
+    let plan = Ok(threefive::core::Plan35D {
+        radius: 1,
+        dim_t: 2,
+        dim_xy: 6,
+        kappa: 1.5,
+        buffer_bytes: 0,
+        effective_gamma: 0.1,
+    });
+    let opts = RunOptions {
+        threads: 4,
+        log: false,
+        ..RunOptions::default()
+    };
+    let report = run_plan(&k, &mut g, 4, plan, &opts).unwrap();
+    assert_eq!(report.rung, Rung::Parallel35D);
+    assert!(report.downgrades.is_empty());
+    assert_eq!(g.src().as_slice(), reference_result(12, 4).src().as_slice());
+}
+
+/// `solve_steady`'s typed variant: zero check interval is an error, not a
+/// panic, and an injected fault surfaces through it too.
+#[test]
+fn try_solve_steady_propagates_typed_errors() {
+    let _h = serial();
+    let k = SevenPoint::<f32>::heat(1.0 / 6.0);
+    let mut g = problem(10);
+    let err = threefive::core::try_solve_steady(
+        &k,
+        &mut g,
+        Blocking35::new(10, 10, 2),
+        None,
+        1e-6,
+        100,
+        0,
+        None,
+    )
+    .unwrap_err();
+    assert_eq!(err, ExecError::ZeroCheckInterval);
+
+    let team = ThreadTeam::new(3);
+    let _fault = faults::inject(FaultPlan {
+        tid: 2,
+        step: 1,
+        kind: FaultKind::Panic,
+    });
+    let err = threefive::core::try_solve_steady(
+        &k,
+        &mut g,
+        Blocking35::new(10, 10, 2),
+        Some(&team),
+        1e-6,
+        100,
+        10,
+        Some(Duration::from_secs(5)),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        ExecError::Sync(SyncError::TeamPanicked { .. })
+    ));
+}
