@@ -6,7 +6,7 @@
 //! cargo run --release -p threefive-bench --bin compare
 //! ```
 
-use threefive_bench::{full_run, host_threads, measure_lbm, measure_seven_point};
+use threefive_bench::{full_run, host_threads, measure_lbm, measure_seven_point, BenchConfig};
 use threefive_grid::Dim3;
 use threefive_machine::figures::comparisons;
 use threefive_sync::ThreadTeam;
@@ -20,32 +20,69 @@ fn main() {
     println!("{}", "-".repeat(78));
 
     let team = ThreadTeam::new(host_threads());
+    let cfg = BenchConfig::quick();
     let n = if full_run() { 512 } else { 128 };
     let nl = if full_run() { 256 } else { 96 };
 
     // Host ratios for the comparisons we can measure directly.
     let host_7pt_sp = {
-        let base =
-            measure_seven_point::<f32>("simd no-blocking", Dim3::cube(n), 4, 360, 2, Some(&team));
-        let b35 =
-            measure_seven_point::<f32>("3.5D blocking", Dim3::cube(n), 4, 360, 2, Some(&team));
+        let base = measure_seven_point::<f32>(
+            &cfg,
+            "simd no-blocking",
+            Dim3::cube(n),
+            4,
+            360,
+            2,
+            Some(&team),
+        )
+        .expect("valid blocking");
+        let b35 = measure_seven_point::<f32>(
+            &cfg,
+            "3.5D blocking",
+            Dim3::cube(n),
+            4,
+            360,
+            2,
+            Some(&team),
+        )
+        .expect("valid blocking");
         b35.mups / base.mups
     };
     let host_7pt_dp = {
-        let base =
-            measure_seven_point::<f64>("simd no-blocking", Dim3::cube(n), 4, 256, 2, Some(&team));
-        let b35 =
-            measure_seven_point::<f64>("3.5D blocking", Dim3::cube(n), 4, 256, 2, Some(&team));
+        let base = measure_seven_point::<f64>(
+            &cfg,
+            "simd no-blocking",
+            Dim3::cube(n),
+            4,
+            256,
+            2,
+            Some(&team),
+        )
+        .expect("valid blocking");
+        let b35 = measure_seven_point::<f64>(
+            &cfg,
+            "3.5D blocking",
+            Dim3::cube(n),
+            4,
+            256,
+            2,
+            Some(&team),
+        )
+        .expect("valid blocking");
         b35.mups / base.mups
     };
     let host_lbm_sp = {
-        let base = measure_lbm::<f32>("simd no-blocking", nl, 3, 64, 3, Some(&team));
-        let b35 = measure_lbm::<f32>("3.5D blocking", nl, 3, 64, 3, Some(&team));
+        let base = measure_lbm::<f32>(&cfg, "simd no-blocking", nl, 3, 64, 3, Some(&team))
+            .expect("valid blocking");
+        let b35 = measure_lbm::<f32>(&cfg, "3.5D blocking", nl, 3, 64, 3, Some(&team))
+            .expect("valid blocking");
         b35.mups / base.mups
     };
     let host_lbm_dp = {
-        let base = measure_lbm::<f64>("simd no-blocking", nl, 3, 44, 3, Some(&team));
-        let b35 = measure_lbm::<f64>("3.5D blocking", nl, 3, 44, 3, Some(&team));
+        let base = measure_lbm::<f64>(&cfg, "simd no-blocking", nl, 3, 44, 3, Some(&team))
+            .expect("valid blocking");
+        let b35 = measure_lbm::<f64>(&cfg, "3.5D blocking", nl, 3, 44, 3, Some(&team))
+            .expect("valid blocking");
         b35.mups / base.mups
     };
 

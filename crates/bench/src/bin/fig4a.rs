@@ -7,13 +7,16 @@
 //! THREEFIVE_FULL=1 cargo run --release -p threefive-bench --bin fig4a
 //! ```
 
-use threefive_bench::{grid_edges, host_threads, measure_lbm, print_header, print_row};
+use threefive_bench::{
+    grid_edges, host_threads, measure_lbm, print_header, print_row, BenchConfig,
+};
 use threefive_machine::figures::fig4a_rows;
 use threefive_sync::ThreadTeam;
 
 fn main() {
     let model = fig4a_rows();
     let team = ThreadTeam::new(host_threads());
+    let cfg = BenchConfig::quick();
     print_header("Figure 4(a): D3Q19 LBM on CPU (MLUPS)");
     for (prec, is_sp) in [("SP", true), ("DP", false)] {
         for n in grid_edges() {
@@ -29,10 +32,11 @@ fn main() {
             ] {
                 let tile = if is_sp { 64 } else { 44 };
                 let host = if is_sp {
-                    measure_lbm::<f32>(variant, n, steps, tile, dim_t, Some(&team))
+                    measure_lbm::<f32>(&cfg, variant, n, steps, tile, dim_t, Some(&team))
                 } else {
-                    measure_lbm::<f64>(variant, n, steps, tile, dim_t, Some(&team))
-                };
+                    measure_lbm::<f64>(&cfg, variant, n, steps, tile, dim_t, Some(&team))
+                }
+                .expect("valid blocking");
                 // The model ladder labels differ slightly (no scalar bar in
                 // Fig 4a); match where possible.
                 let model_label = match variant {

@@ -6,13 +6,16 @@
 //! THREEFIVE_FULL=1 cargo run --release -p threefive-bench --bin fig4b
 //! ```
 
-use threefive_bench::{grid_edges, host_threads, measure_seven_point, print_header, print_row};
+use threefive_bench::{
+    grid_edges, host_threads, measure_seven_point, print_header, print_row, BenchConfig,
+};
 use threefive_machine::figures::fig4b_rows;
 use threefive_sync::ThreadTeam;
 
 fn main() {
     let model = fig4b_rows();
     let team = ThreadTeam::new(host_threads());
+    let cfg = BenchConfig::quick();
     print_header("Figure 4(b): 7-point stencil on CPU (MUPS)");
     for (prec, is_sp) in [("SP", true), ("DP", false)] {
         let (tile, dim_t) = if is_sp { (360, 2) } else { (256, 2) };
@@ -26,6 +29,7 @@ fn main() {
             ] {
                 let host = if is_sp {
                     measure_seven_point::<f32>(
+                        &cfg,
                         variant,
                         threefive_grid::Dim3::cube(n),
                         steps,
@@ -35,6 +39,7 @@ fn main() {
                     )
                 } else {
                     measure_seven_point::<f64>(
+                        &cfg,
                         variant,
                         threefive_grid::Dim3::cube(n),
                         steps,
@@ -42,7 +47,8 @@ fn main() {
                         dim_t,
                         Some(&team),
                     )
-                };
+                }
+                .expect("valid blocking");
                 let model_mups = model_label.and_then(|ml| {
                     let mg = group.replace("128", "256");
                     model

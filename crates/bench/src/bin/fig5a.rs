@@ -5,13 +5,14 @@
 //! cargo run --release -p threefive-bench --bin fig5a
 //! ```
 
-use threefive_bench::{full_run, host_threads, measure_lbm, print_header, print_row};
+use threefive_bench::{full_run, host_threads, measure_lbm, print_header, print_row, BenchConfig};
 use threefive_machine::figures::fig5a_rows;
 use threefive_sync::ThreadTeam;
 
 fn main() {
     let model = fig5a_rows();
     let team = ThreadTeam::new(host_threads());
+    let cfg = BenchConfig::quick();
     let n = if full_run() { 256 } else { 96 };
     let steps = if full_run() { 3 } else { 6 };
     print_header(&format!(
@@ -34,7 +35,11 @@ fn main() {
             .iter()
             .find(|r| r.variant == model_label)
             .map(|r| r.mups);
-        let host = host_variant.map(|v| measure_lbm::<f32>(v, n, steps, 64, 3, Some(&team)).mups);
+        let host = host_variant.map(|v| {
+            measure_lbm::<f32>(&cfg, v, n, steps, 64, 3, Some(&team))
+                .expect("valid blocking")
+                .mups
+        });
         print_row("SP", model_label, model_mups, host);
     }
     println!(

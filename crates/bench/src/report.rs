@@ -1,0 +1,363 @@
+//! Schema-versioned machine-readable BENCH output.
+//!
+//! `threefive bench` writes one `BENCH_stencil.json` and one
+//! `BENCH_lbm.json` per run so the performance trajectory can be recorded
+//! across PRs and diffed by CI. The schema is hand-validated (no serde):
+//! [`BenchReport::from_json`] is the single source of truth for what a
+//! well-formed report contains, used both by the round-trip tests and by
+//! `threefive bench --validate`.
+
+use crate::json::Json;
+
+/// Version stamped into every report; bump on breaking schema changes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Best-effort description of the measuring host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Logical CPUs available to the process.
+    pub available_threads: usize,
+    /// CPU model string from `/proc/cpuinfo`, or `"unknown"`.
+    pub cpu: String,
+}
+
+impl HostInfo {
+    /// Detects the current host.
+    pub fn detect() -> Self {
+        let cpu = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split(':').nth(1))
+                    .map(|s| s.trim().to_string())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        Self {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            available_threads: std::thread::available_parallelism().map_or(1, |c| c.get()),
+            cpu,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("os".into(), Json::str(&*self.os)),
+            ("arch".into(), Json::str(&*self.arch)),
+            (
+                "available_threads".into(),
+                Json::Num(self.available_threads as f64),
+            ),
+            ("cpu".into(), Json::str(&*self.cpu)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            os: req_str(v, "os")?,
+            arch: req_str(v, "arch")?,
+            available_threads: req_u64(v, "available_threads")? as usize,
+            cpu: req_str(v, "cpu")?,
+        })
+    }
+}
+
+/// One measured (variant × precision × grid) row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Variant label (e.g. `"3.5D blocking"`).
+    pub variant: String,
+    /// `"sp"` or `"dp"`.
+    pub precision: String,
+    /// Grid extents `[nx, ny, nz]`.
+    pub grid: [usize; 3],
+    /// Time steps per repetition.
+    pub steps: usize,
+    /// Team size used.
+    pub threads: usize,
+    /// Untimed warmup repetitions (first-touch exclusion).
+    pub warmup: usize,
+    /// Timed repetitions.
+    pub reps: usize,
+    /// Median wall-clock seconds over the timed repetitions.
+    pub median_secs: f64,
+    /// Fastest repetition.
+    pub min_secs: f64,
+    /// Slowest repetition.
+    pub max_secs: f64,
+    /// Median million interior-point updates per second.
+    pub mups: f64,
+    /// Interior updates per repetition (the MUPS numerator).
+    pub interior_updates: u64,
+    /// Modeled DRAM traffic per repetition, bytes.
+    pub modeled_dram_bytes: u64,
+    /// Measured κ (stencil: updates per committed point; LBM: modeled).
+    pub kappa: f64,
+    /// Fraction of in-region time spent at barriers (instrumented
+    /// variants only).
+    pub barrier_share: Option<f64>,
+}
+
+impl BenchEntry {
+    /// Relative spread of the timed repetitions: `(max − min) / median`.
+    pub fn spread(&self) -> f64 {
+        if self.median_secs > 0.0 {
+            (self.max_secs - self.min_secs) / self.median_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("variant".into(), Json::str(&*self.variant)),
+            ("precision".into(), Json::str(&*self.precision)),
+            (
+                "grid".into(),
+                Json::Arr(self.grid.iter().map(|&g| Json::Num(g as f64)).collect()),
+            ),
+            ("steps".into(), Json::Num(self.steps as f64)),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("warmup".into(), Json::Num(self.warmup as f64)),
+            ("reps".into(), Json::Num(self.reps as f64)),
+            ("median_secs".into(), Json::num(self.median_secs)),
+            ("min_secs".into(), Json::num(self.min_secs)),
+            ("max_secs".into(), Json::num(self.max_secs)),
+            ("mups".into(), Json::num(self.mups)),
+            (
+                "interior_updates".into(),
+                Json::Num(self.interior_updates as f64),
+            ),
+            (
+                "modeled_dram_bytes".into(),
+                Json::Num(self.modeled_dram_bytes as f64),
+            ),
+            ("kappa".into(), Json::num(self.kappa)),
+            (
+                "barrier_share".into(),
+                match self.barrier_share {
+                    Some(s) => Json::num(s),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let grid_arr = v
+            .get("grid")
+            .and_then(Json::as_arr)
+            .ok_or("entry missing 'grid' array")?;
+        if grid_arr.len() != 3 {
+            return Err(format!(
+                "'grid' must have 3 extents, got {}",
+                grid_arr.len()
+            ));
+        }
+        let mut grid = [0usize; 3];
+        for (slot, g) in grid.iter_mut().zip(grid_arr) {
+            *slot = g.as_u64().ok_or("'grid' extent must be an integer")? as usize;
+        }
+        Ok(Self {
+            variant: req_str(v, "variant")?,
+            precision: req_str(v, "precision")?,
+            grid,
+            steps: req_u64(v, "steps")? as usize,
+            threads: req_u64(v, "threads")? as usize,
+            warmup: req_u64(v, "warmup")? as usize,
+            reps: req_u64(v, "reps")? as usize,
+            median_secs: req_f64(v, "median_secs")?,
+            min_secs: req_f64(v, "min_secs")?,
+            max_secs: req_f64(v, "max_secs")?,
+            mups: req_f64(v, "mups")?,
+            interior_updates: req_u64(v, "interior_updates")?,
+            modeled_dram_bytes: req_u64(v, "modeled_dram_bytes")?,
+            kappa: opt_f64(v, "kappa").unwrap_or(f64::NAN),
+            barrier_share: opt_f64(v, "barrier_share"),
+        })
+    }
+}
+
+/// A full BENCH report: schema version, workload kind, host, entries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Always [`BENCH_SCHEMA_VERSION`] when produced by this build.
+    pub schema_version: u64,
+    /// `"stencil"` or `"lbm"`.
+    pub kind: String,
+    /// The measuring host.
+    pub host: HostInfo,
+    /// One row per measured variant configuration.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// An empty report for `kind` on the current host.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Self {
+            schema_version: BENCH_SCHEMA_VERSION,
+            kind: kind.into(),
+            host: HostInfo::detect(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Serializes to the JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("kind".into(), Json::str(&*self.kind)),
+            ("host".into(), self.host.to_json()),
+            (
+                "entries".into(),
+                Json::Arr(self.entries.iter().map(BenchEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Serializes to pretty-printed JSON text (trailing newline included).
+    pub fn to_json_string(&self) -> String {
+        format!("{}\n", self.to_json())
+    }
+
+    /// Deserializes and schema-checks a JSON tree.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let version = req_u64(v, "schema_version")?;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION})"
+            ));
+        }
+        let kind = req_str(v, "kind")?;
+        if kind != "stencil" && kind != "lbm" {
+            return Err(format!("unknown report kind '{kind}'"));
+        }
+        let host = HostInfo::from_json(v.get("host").ok_or("missing 'host' object")?)?;
+        let entries = v
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'entries' array")?
+            .iter()
+            .map(BenchEntry::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            schema_version: version,
+            kind,
+            host,
+            entries,
+        })
+    }
+
+    /// Parses and schema-checks JSON text — the `--validate` entry point.
+    pub fn validate_str(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&v)
+    }
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+/// `null` (how the writer encodes NaN/absent) reads back as `None`.
+fn opt_f64(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> BenchEntry {
+        BenchEntry {
+            variant: "3.5D blocking".into(),
+            precision: "sp".into(),
+            grid: [64, 64, 64],
+            steps: 4,
+            threads: 8,
+            warmup: 1,
+            reps: 3,
+            median_secs: 0.01,
+            min_secs: 0.009,
+            max_secs: 0.012,
+            mups: 95.3,
+            interior_updates: 953312,
+            modeled_dram_bytes: 123456,
+            kappa: 1.18,
+            barrier_share: Some(0.07),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json_text() {
+        let mut r = BenchReport::new("stencil");
+        r.entries.push(sample_entry());
+        let mut e2 = sample_entry();
+        e2.variant = "scalar".into();
+        e2.barrier_share = None;
+        e2.kappa = f64::NAN; // writer maps to null, reader to NaN
+        r.entries.push(e2);
+
+        let text = r.to_json_string();
+        let back = BenchReport::validate_str(&text).expect("schema-valid");
+        assert_eq!(back.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(back.kind, "stencil");
+        assert_eq!(back.entries[0], r.entries[0]);
+        assert_eq!(back.entries[1].barrier_share, None);
+        assert!(back.entries[1].kappa.is_nan());
+        assert_eq!(back.host, r.host);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut r = BenchReport::new("lbm");
+        r.schema_version = BENCH_SCHEMA_VERSION + 1;
+        let err = BenchReport::validate_str(&r.to_json_string()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        assert!(BenchReport::validate_str("{}").is_err());
+        assert!(BenchReport::validate_str("not json").is_err());
+        let no_entries = r#"{"schema_version": 1, "kind": "stencil",
+            "host": {"os":"l","arch":"x","available_threads":1,"cpu":"c"}}"#;
+        let err = BenchReport::validate_str(no_entries).unwrap_err();
+        assert!(err.contains("entries"), "{err}");
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let r = BenchReport::new("gpu-sim");
+        assert!(BenchReport::validate_str(&r.to_json_string()).is_err());
+    }
+
+    #[test]
+    fn spread_is_relative_to_median() {
+        let e = sample_entry();
+        assert!((e.spread() - 0.3).abs() < 1e-12);
+    }
+}

@@ -41,7 +41,7 @@ use std::time::Duration;
 
 use threefive_grid::partition::even_range;
 use threefive_grid::{Dim3, DoubleGrid, Grid3, PlaneRing, Real};
-use threefive_sync::{SharedSlice, SpinBarrier, SyncError, ThreadTeam};
+use threefive_sync::{Instrument, SharedSlice, SpinBarrier, SyncError, ThreadTeam};
 
 use crate::error::ExecError;
 use crate::exec::{elem_bytes, has_interior};
@@ -167,6 +167,34 @@ pub fn try_parallel35d_sweep<T: Real, K: StencilKernel<T>>(
     team: &ThreadTeam,
     deadline: Option<Duration>,
 ) -> Result<SweepStats, ExecError> {
+    try_parallel35d_sweep_instrumented(
+        kernel,
+        grids,
+        steps,
+        b,
+        team,
+        deadline,
+        &Instrument::disabled(),
+    )
+}
+
+/// [`try_parallel35d_sweep`] with per-thread compute/barrier-wait timing.
+///
+/// Each team member accumulates nanoseconds of compute (between barriers)
+/// and barrier wait into `instr`; snapshot with
+/// [`Instrument::timing`] after the call. A disabled handle
+/// ([`Instrument::disabled`]) never reads the clock, so the hot loop is
+/// identical to the uninstrumented sweep — this is the entry point the
+/// benchmark harness uses to report barrier-wait share.
+pub fn try_parallel35d_sweep_instrumented<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    steps: usize,
+    b: Blocking35,
+    team: &ThreadTeam,
+    deadline: Option<Duration>,
+    instr: &Instrument,
+) -> Result<SweepStats, ExecError> {
     Blocking35::try_new(b.dim_x, b.dim_y, b.dim_t)?;
     let dim = grids.dim();
     let r = kernel.radius();
@@ -190,7 +218,7 @@ pub fn try_parallel35d_sweep<T: Real, K: StencilKernel<T>>(
                 let geom = TileGeom::new(dim, r, chunk, ox, ox1, oy, oy1);
                 if geom.has_commit() {
                     tile_pipeline(
-                        kernel, src, &dst_view, dst_dim, &geom, team, &barrier, deadline,
+                        kernel, src, &dst_view, dst_dim, &geom, team, &barrier, deadline, instr,
                     )?;
                     stats = stats + geom.stats::<T>();
                 }
@@ -443,6 +471,7 @@ fn tile_pipeline<T: Real, K: StencilKernel<T>>(
     team: &ThreadTeam,
     barrier: &SpinBarrier,
     deadline: Option<Duration>,
+    instr: &Instrument,
 ) -> Result<(), ExecError> {
     let (r, c) = (geom.r, geom.c);
     let (lx, ly) = (geom.lx(), geom.ly());
@@ -465,6 +494,9 @@ fn tile_pipeline<T: Real, K: StencilKernel<T>>(
         // of local rows at every level and plane.
         let my_rows = even_range(ly, n_threads, tid);
         let mut planes_buf: Vec<&[T]> = Vec::with_capacity(2 * r + 1);
+        // `None` when instrumentation is disabled: the loop then performs
+        // no clock reads at all (the zero-cost contract).
+        let mut compute_start = instr.now();
         for s in 0..outer_steps {
             faults::fault_point(tid, s);
             for t in 1..=c {
@@ -489,7 +521,12 @@ fn tile_pipeline<T: Real, K: StencilKernel<T>>(
                 }
             }
             planes_buf.clear();
-            if let Err(e) = barrier.checked_wait(deadline) {
+            if let Some(t0) = compute_start {
+                instr.add_compute_ns(tid, t0.elapsed().as_nanos() as u64);
+            }
+            let wait = barrier.checked_wait_instrumented(deadline, instr, tid);
+            compute_start = instr.now();
+            if let Err(e) = wait {
                 // Cooperative exit: the barrier is poisoned (by a panicked
                 // peer's guard or by a timeout), so every member breaks
                 // out here and the generation drains in bounded time.
@@ -781,6 +818,56 @@ mod tests {
         let stats = blocked35d_sweep(&k, &mut g, 3, Blocking35::new(4, 4, 2));
         assert_eq!(g.src().as_slice(), before.as_slice());
         assert_eq!(stats, SweepStats::default());
+    }
+
+    #[test]
+    fn instrumented_sweep_is_bit_exact_and_records_timing() {
+        let d = Dim3::cube(12);
+        let k = SevenPoint::new(0.3f32, 0.1);
+        let mut want = init::<f32>(d);
+        reference_sweep(&k, &mut want, 4);
+        let team = ThreadTeam::new(3);
+        let instr = Instrument::enabled(team.threads());
+        let mut got = init::<f32>(d);
+        let stats = try_parallel35d_sweep_instrumented(
+            &k,
+            &mut got,
+            4,
+            Blocking35::new(6, 6, 2),
+            &team,
+            None,
+            &instr,
+        )
+        .unwrap();
+        assert_eq!(got.src().as_slice(), want.src().as_slice());
+        assert!(stats.committed_points > 0);
+        let timing = instr.timing();
+        assert_eq!(timing.per_thread.len(), 3);
+        // Every member passed through barriers and compute regions.
+        assert!(timing.total_compute_ns() > 0);
+        let share = timing.barrier_share();
+        assert!((0.0..=1.0).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn disabled_instrument_collects_nothing() {
+        let d = Dim3::cube(8);
+        let k = SevenPoint::new(0.3f32, 0.1);
+        let team = ThreadTeam::new(2);
+        let instr = Instrument::disabled();
+        let mut g = init::<f32>(d);
+        try_parallel35d_sweep_instrumented(
+            &k,
+            &mut g,
+            2,
+            Blocking35::new(4, 4, 2),
+            &team,
+            None,
+            &instr,
+        )
+        .unwrap();
+        assert!(instr.timing().per_thread.is_empty());
+        assert_eq!(instr.timing().barrier_share(), 0.0);
     }
 
     #[test]

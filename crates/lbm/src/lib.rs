@@ -30,5 +30,7 @@ mod step;
 
 pub use lattice::{Lattice, Macroscopic};
 pub use periodic::{lbm_periodic_reference, lbm_periodic_sweep, periodic_lattice};
-pub use pipeline::{lbm35d_sweep, lbm_temporal_sweep, LbmBlocking};
+pub use pipeline::{
+    lbm35d_sweep, lbm35d_sweep_instrumented, lbm_temporal_sweep, LbmBlocking, LbmError,
+};
 pub use step::{lbm_naive_sweep, LbmMode};

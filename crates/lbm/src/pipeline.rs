@@ -20,9 +20,11 @@
 //! D3Q19 propagation has L∞ radius 1, so `R = 1` throughout; rings carry
 //! `max(2R+2, 3R+1) = 4` sub-planes per level, matching the paper.
 
+use std::fmt;
+
 use threefive_grid::partition::even_range;
 use threefive_grid::{Dim3, PlaneRing, Real, SoaGrid};
-use threefive_sync::{SharedSlice, SpinBarrier, ThreadTeam};
+use threefive_sync::{Instrument, SharedSlice, SpinBarrier, ThreadTeam};
 
 use crate::model::Q;
 use crate::step::{row_update, PullSource};
@@ -46,19 +48,65 @@ impl LbmBlocking {
     /// Creates blocking parameters.
     ///
     /// # Panics
-    /// Panics if any parameter is zero.
+    /// Panics if any parameter is zero; see
+    /// [`try_new`](LbmBlocking::try_new) for the non-panicking variant.
     pub fn new(dim_x: usize, dim_y: usize, dim_t: usize) -> Self {
-        assert!(
-            dim_x > 0 && dim_y > 0 && dim_t > 0,
-            "LbmBlocking: zero parameter"
-        );
-        Self {
+        match Self::try_new(dim_x, dim_y, dim_t) {
+            Ok(b) => b,
+            Err(_) => panic!("LbmBlocking: zero parameter"),
+        }
+    }
+
+    /// Creates blocking parameters, rejecting zero extents with a typed
+    /// error instead of panicking — the CLI and bench entry points route
+    /// through this so user input cannot reach the `assert!`.
+    pub fn try_new(dim_x: usize, dim_y: usize, dim_t: usize) -> Result<Self, LbmError> {
+        if dim_x == 0 || dim_y == 0 || dim_t == 0 {
+            return Err(LbmError::InvalidBlocking {
+                dim_x,
+                dim_y,
+                dim_t,
+            });
+        }
+        Ok(Self {
             dim_x,
             dim_y,
             dim_t,
+        })
+    }
+}
+
+/// Typed errors for the lattice executors' fallible entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LbmError {
+    /// A blocking parameter was zero; the 3.5-D geometry is undefined.
+    InvalidBlocking {
+        /// Requested owned-tile extent along X.
+        dim_x: usize,
+        /// Requested owned-tile extent along Y.
+        dim_y: usize,
+        /// Requested temporal factor.
+        dim_t: usize,
+    },
+}
+
+impl fmt::Display for LbmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LbmError::InvalidBlocking {
+                dim_x,
+                dim_y,
+                dim_t,
+            } => write!(
+                f,
+                "invalid LBM 3.5-D blocking {dim_x}x{dim_y} dimT={dim_t}: \
+                 every parameter must be positive"
+            ),
         }
     }
 }
+
+impl std::error::Error for LbmError {}
 
 /// Temporal-only blocking: tile = the whole XY plane (paper's
 /// "only temporal blocking" bars, which help only when the plane rings fit
@@ -84,6 +132,22 @@ pub fn lbm35d_sweep<T: Real>(
     b: LbmBlocking,
     team: Option<&ThreadTeam>,
 ) -> u64 {
+    lbm35d_sweep_instrumented(lat, steps, b, team, &Instrument::disabled())
+}
+
+/// [`lbm35d_sweep`] with per-thread compute/barrier-wait timing.
+///
+/// Identical results and (with a disabled handle) identical hot loop; an
+/// enabled [`Instrument`] accumulates each team member's nanoseconds of
+/// compute vs. barrier wait, which the benchmark harness reports as the
+/// barrier-wait share.
+pub fn lbm35d_sweep_instrumented<T: Real>(
+    lat: &mut Lattice<T>,
+    steps: usize,
+    b: LbmBlocking,
+    team: Option<&ThreadTeam>,
+    instr: &Instrument,
+) -> u64 {
     let fallback;
     let team = match team {
         Some(t) => t,
@@ -108,7 +172,9 @@ pub fn lbm35d_sweep<T: Real>(
             while ox < dim.nx {
                 let ox1 = (ox + b.dim_x).min(dim.nx);
                 let geom = LGeom::new(dim, chunk, ox, ox1, oy, oy1);
-                tile_pipeline(src, &dst_views, flags, simple, omega, &geom, team, &barrier);
+                tile_pipeline(
+                    src, &dst_views, flags, simple, omega, &geom, team, &barrier, instr,
+                );
                 ox = ox1;
             }
             oy = oy1;
@@ -248,6 +314,7 @@ fn tile_pipeline<T: Real>(
     geom: &LGeom,
     team: &ThreadTeam,
     barrier: &SpinBarrier,
+    instr: &Instrument,
 ) {
     let c = geom.c;
     let (lx, ly) = (geom.lx(), geom.ly());
@@ -263,6 +330,8 @@ fn tile_pipeline<T: Real>(
     team.run(|tid| {
         let my_rows = even_range(ly, n_threads, tid);
         let mut out_rows: Vec<&mut [T]> = Vec::with_capacity(Q);
+        // `None` when instrumentation is disabled: no clock reads at all.
+        let mut compute_start = instr.now();
         for s in 0..outer_steps {
             for t in 1..=c {
                 let lag = 2 * R * (t - 1);
@@ -368,7 +437,15 @@ fn tile_pipeline<T: Real>(
                     }
                 }
             }
+            if let Some(t0) = compute_start {
+                instr.add_compute_ns(tid, t0.elapsed().as_nanos() as u64);
+            }
+            let t1 = instr.now();
             barrier.wait();
+            if let Some(t1) = t1 {
+                instr.add_barrier_ns(tid, t1.elapsed().as_nanos() as u64);
+            }
+            compute_start = instr.now();
         }
     });
 }

@@ -1,0 +1,200 @@
+//! Per-thread compute/barrier-wait timing, zero-cost when disabled.
+//!
+//! The 3.5-D executors barrier once per streamed Z plane, so the share of
+//! wall-clock time a thread spends *waiting* at the barrier (rather than
+//! computing) is the direct measurement of load imbalance and barrier
+//! latency — the quantity Wittmann/Hager/Wellein report for shared-cache
+//! temporal blocking. An [`Instrument`] is handed to the instrumented
+//! sweep entry points; each team member accumulates two nanosecond
+//! counters (compute, barrier wait) into its own cache-padded slot, and
+//! [`Instrument::timing`] snapshots them into a [`SweepTiming`].
+//!
+//! A disabled handle ([`Instrument::disabled`]) carries no slots: every
+//! record call reduces to one predictable branch on a `bool`, and no
+//! clock is ever read — the hot loop of `parallel35d_sweep` stays
+//! bit-for-bit on the fast path it had before instrumentation existed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::CachePadded;
+
+/// One thread's timing slot: nanoseconds computing vs. waiting.
+#[derive(Debug, Default)]
+struct Slot {
+    compute_ns: AtomicU64,
+    barrier_ns: AtomicU64,
+}
+
+/// Handle enabling (or not) per-thread compute/barrier-wait timing.
+///
+/// Cloneless by design: the executors borrow it, the harness owns it.
+#[derive(Debug)]
+pub struct Instrument {
+    /// `None` ⇒ disabled: no slots, no clock reads, no atomics.
+    slots: Option<Vec<CachePadded<Slot>>>,
+}
+
+impl Instrument {
+    /// A disabled handle: all recording calls are no-ops.
+    pub const fn disabled() -> Self {
+        Self { slots: None }
+    }
+
+    /// An enabled handle with one padded slot per team member.
+    pub fn enabled(threads: usize) -> Self {
+        Self {
+            slots: Some((0..threads).map(|_| CachePadded::default()).collect()),
+        }
+    }
+
+    /// Whether timing is being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.slots.is_some()
+    }
+
+    /// Reads the clock iff enabled — the only way the executors obtain
+    /// timestamps, so a disabled handle provably never syscalls.
+    #[inline]
+    pub fn now(&self) -> Option<Instant> {
+        if self.slots.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Adds `ns` of compute time to thread `tid`'s slot.
+    ///
+    /// No-op when disabled or `tid` is out of range (a smaller team than
+    /// the handle was sized for is fine; the extra slots read zero).
+    #[inline]
+    pub fn add_compute_ns(&self, tid: usize, ns: u64) {
+        if let Some(slot) = self.slots.as_ref().and_then(|s| s.get(tid)) {
+            slot.compute_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `ns` of barrier-wait time to thread `tid`'s slot.
+    #[inline]
+    pub fn add_barrier_ns(&self, tid: usize, ns: u64) {
+        if let Some(slot) = self.slots.as_ref().and_then(|s| s.get(tid)) {
+            slot.barrier_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshots the accumulated counters.
+    pub fn timing(&self) -> SweepTiming {
+        SweepTiming {
+            per_thread: self
+                .slots
+                .as_deref()
+                .unwrap_or(&[])
+                .iter()
+                .map(|s| ThreadTiming {
+                    compute_ns: s.compute_ns.load(Ordering::Relaxed),
+                    barrier_ns: s.barrier_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes the counters (between benchmark repetitions).
+    pub fn reset(&self) {
+        for s in self.slots.as_deref().unwrap_or(&[]) {
+            s.compute_ns.store(0, Ordering::Relaxed);
+            s.barrier_ns.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-thread timing of one (or several accumulated) instrumented sweeps.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepTiming {
+    /// One entry per team member, indexed by `tid`.
+    pub per_thread: Vec<ThreadTiming>,
+}
+
+/// One thread's split of wall-clock time inside the parallel region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadTiming {
+    /// Nanoseconds spent in stencil/LBM computation (between barriers).
+    pub compute_ns: u64,
+    /// Nanoseconds spent waiting at the per-Z-step barrier.
+    pub barrier_ns: u64,
+}
+
+impl SweepTiming {
+    /// Total compute nanoseconds across the team.
+    pub fn total_compute_ns(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.compute_ns).sum()
+    }
+
+    /// Total barrier-wait nanoseconds across the team.
+    pub fn total_barrier_ns(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.barrier_ns).sum()
+    }
+
+    /// Fraction of in-region time spent waiting at barriers, in `[0, 1]`.
+    ///
+    /// Returns 0 when nothing was recorded (disabled handle, or a serial
+    /// run whose single member never waits).
+    pub fn barrier_share(&self) -> f64 {
+        let c = self.total_compute_ns();
+        let b = self.total_barrier_ns();
+        if c + b == 0 {
+            0.0
+        } else {
+            b as f64 / (c + b) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let i = Instrument::disabled();
+        assert!(!i.is_enabled());
+        assert!(i.now().is_none());
+        i.add_compute_ns(0, 100);
+        i.add_barrier_ns(0, 100);
+        let t = i.timing();
+        assert!(t.per_thread.is_empty());
+        assert_eq!(t.barrier_share(), 0.0);
+    }
+
+    #[test]
+    fn enabled_handle_accumulates_per_thread() {
+        let i = Instrument::enabled(2);
+        assert!(i.is_enabled());
+        assert!(i.now().is_some());
+        i.add_compute_ns(0, 300);
+        i.add_barrier_ns(0, 100);
+        i.add_compute_ns(1, 100);
+        i.add_barrier_ns(1, 300);
+        i.add_compute_ns(7, 999); // out of range: ignored
+        let t = i.timing();
+        assert_eq!(t.per_thread.len(), 2);
+        assert_eq!(t.total_compute_ns(), 400);
+        assert_eq!(t.total_barrier_ns(), 400);
+        assert!((t.barrier_share() - 0.5).abs() < 1e-12);
+        i.reset();
+        assert_eq!(i.timing().total_compute_ns(), 0);
+    }
+
+    #[test]
+    fn barrier_share_is_zero_without_samples() {
+        assert_eq!(SweepTiming::default().barrier_share(), 0.0);
+        let t = SweepTiming {
+            per_thread: vec![ThreadTiming {
+                compute_ns: 10,
+                barrier_ns: 0,
+            }],
+        };
+        assert_eq!(t.barrier_share(), 0.0);
+    }
+}

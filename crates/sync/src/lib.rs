@@ -16,13 +16,17 @@
 //!   cost once per run, not once per time step;
 //! * [`SharedSlice`] — the unsafe-but-audited escape hatch that lets team
 //!   members write disjoint regions of one buffer in parallel, as the row
-//!   partitioning guarantees.
+//!   partitioning guarantees;
+//! * [`Instrument`] / [`SweepTiming`] — zero-cost-when-disabled per-thread
+//!   compute vs. barrier-wait timing, the observability layer the
+//!   benchmark harness reports through.
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod barrier;
 mod error;
+mod instrument;
 mod pad;
 mod shared;
 mod team;
@@ -30,6 +34,7 @@ mod tournament;
 
 pub use barrier::SpinBarrier;
 pub use error::SyncError;
+pub use instrument::{Instrument, SweepTiming, ThreadTiming};
 pub use pad::CachePadded;
 pub use shared::SharedSlice;
 pub use team::ThreadTeam;

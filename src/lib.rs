@@ -15,7 +15,10 @@
 //!   paper) and the executor ladder up to the parallel 3.5-D pipeline;
 //! * [`lbm`] — D3Q19 lattice Boltzmann with the same executor ladder;
 //! * [`machine`] — machine models (Table I) and the roofline predictor;
-//! * [`gpu`] — the SIMT simulator running the paper's GPU kernels.
+//! * [`gpu`] — the SIMT simulator running the paper's GPU kernels;
+//! * [`mod@bench`] — the measurement harness (warmup + repetitions, median
+//!   reporting) and the schema-versioned `BENCH_*.json` report format
+//!   behind `threefive bench`.
 //!
 //! ## Quickstart
 //!
@@ -49,10 +52,12 @@
 //! assert!(grids.src().get(32, 32, 32) < 100.0); // heat spread out
 //! ```
 
+pub mod cli;
 pub mod run;
 
 pub use run::{run_plan, Downgrade, RunOptions, RunReport, Rung};
 
+pub use threefive_bench as bench;
 pub use threefive_cachesim as cachesim;
 pub use threefive_core as core;
 pub use threefive_gpu_sim as gpu;

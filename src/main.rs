@@ -4,24 +4,82 @@
 //! threefive plan  --kernel 7pt --machine i7 --precision sp
 //! threefive run   --variant 35d --n 128 --steps 8 --threads 4
 //! threefive lbm   --scenario cavity --variant 35d --n 48 --steps 120
+//! threefive bench --n 64 --steps 4 --out .
+//! threefive bench --validate BENCH_stencil.json
 //! threefive gpu   --n 96 --steps 2
 //! threefive info
 //! ```
+//!
+//! All user input is validated: unparseable option values and invalid
+//! blocking parameters (e.g. `--dimt 0`) are reported as errors with a
+//! nonzero exit status, never silently defaulted or panicked on.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use threefive::bench::report::{BenchEntry, BenchReport};
+use threefive::bench::{
+    measure_lbm, measure_seven_point, BenchConfig, Measurement, LBM_VARIANTS, STENCIL_VARIANTS,
+};
+use threefive::cli::{self, CliError};
 use threefive::gpu::kernels::{
     naive_sweep as gpu_naive, pipelined35_sweep, spatial_sweep, Pipe35Config, SevenPointGpu,
 };
 use threefive::gpu::timing::throughput_gtx285;
 use threefive::gpu::Device;
-use threefive::lbm::scenarios;
+use threefive::lbm::{lbm_temporal_sweep, scenarios, LbmError};
 use threefive::machine::fermi;
 use threefive::machine::roofline::{GPU_ALU_EFF, GPU_ALU_EFF_TUNED};
 use threefive::machine::twenty_seven_point_traffic;
 use threefive::prelude::*;
+
+type Opts = HashMap<String, String>;
+
+/// Anything a subcommand can fail with. Every variant prints as
+/// `error: ...` and exits nonzero.
+#[derive(Debug)]
+enum CmdError {
+    Cli(CliError),
+    Exec(ExecError),
+    Lbm(LbmError),
+    Io(std::io::Error),
+    Msg(String),
+}
+
+impl fmt::Display for CmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmdError::Cli(e) => write!(f, "{e}"),
+            CmdError::Exec(e) => write!(f, "{e}"),
+            CmdError::Lbm(e) => write!(f, "{e}"),
+            CmdError::Io(e) => write!(f, "{e}"),
+            CmdError::Msg(m) => f.write_str(m),
+        }
+    }
+}
+
+impl From<CliError> for CmdError {
+    fn from(e: CliError) -> Self {
+        CmdError::Cli(e)
+    }
+}
+impl From<ExecError> for CmdError {
+    fn from(e: ExecError) -> Self {
+        CmdError::Exec(e)
+    }
+}
+impl From<LbmError> for CmdError {
+    fn from(e: LbmError) -> Self {
+        CmdError::Lbm(e)
+    }
+}
+impl From<std::io::Error> for CmdError {
+    fn from(e: std::io::Error) -> Self {
+        CmdError::Io(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,20 +87,28 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    let opts = parse_opts(rest);
-    match cmd.as_str() {
+    let opts = cli::parse_opts(rest);
+    let result = match cmd.as_str() {
         "plan" => cmd_plan(&opts),
         "run" => cmd_run(&opts),
         "lbm" => cmd_lbm(&opts),
+        "bench" => cmd_bench(&opts),
         "gpu" => cmd_gpu(&opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
             usage();
-            ExitCode::SUCCESS
+            return ExitCode::SUCCESS;
         }
         other => {
             eprintln!("unknown command: {other}\n");
             usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -57,69 +123,57 @@ USAGE:
                   [--precision sp|dp] [--cache BYTES]
   threefive run   --variant ref|simd|25d|3d|4d|temporal|35d|tile35
                   [--n 128] [--steps 8] [--tile T] [--dimt K] [--threads N]
-                  [--precision sp|dp]
+                  [--reps R] [--warmup W] [--precision sp|dp]
   threefive lbm   --scenario box|cavity|channel
                   --variant scalar|simd|temporal|35d
                   [--n 48] [--steps 60] [--tile T] [--dimt K] [--threads N]
+  threefive bench [--n 64] [--steps 4] [--reps 3] [--warmup 1]
+                  [--tile T] [--dimt K] [--threads N]
+                  [--precision sp|dp|both] [--out DIR]
+  threefive bench --validate FILE
   threefive gpu   [--n 96] [--steps 2]
   threefive info"
     );
 }
 
-fn parse_opts(args: &[String]) -> HashMap<String, String> {
-    let mut map = HashMap::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if let Some(key) = a.strip_prefix("--") {
-            let val = it.next().cloned().unwrap_or_else(|| "true".into());
-            map.insert(key.to_string(), val);
-        }
-    }
-    map
+fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |c| c.get())
 }
 
-fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
-    opts.get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn getstr<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> String {
-    opts.get(key)
-        .cloned()
-        .unwrap_or_else(|| default.to_string())
-}
-
-fn machine_by_name(name: &str) -> Machine {
+fn machine_by_name(name: &str) -> Result<Machine, CmdError> {
     match name {
-        "i7" | "corei7" => core_i7(),
-        "gtx285" | "gpu" => gtx285(),
-        "fermi" => fermi(),
-        other => {
-            eprintln!("unknown machine {other}; using Core i7");
-            core_i7()
-        }
+        "i7" | "corei7" => Ok(core_i7()),
+        "gtx285" | "gpu" => Ok(gtx285()),
+        "fermi" => Ok(fermi()),
+        other => Err(CmdError::Msg(format!(
+            "unknown machine '{other}' (expected i7, gtx285 or fermi)"
+        ))),
     }
 }
 
-fn cmd_plan(opts: &HashMap<String, String>) -> ExitCode {
-    let machine = machine_by_name(&getstr(opts, "machine", "i7"));
-    let precision = if getstr(opts, "precision", "sp") == "dp" {
-        Precision::Dp
-    } else {
-        Precision::Sp
+fn cmd_plan(opts: &Opts) -> Result<(), CmdError> {
+    let machine = machine_by_name(&cli::getstr(opts, "machine", "i7"))?;
+    let precision = match cli::getstr(opts, "precision", "sp").as_str() {
+        "sp" => Precision::Sp,
+        "dp" => Precision::Dp,
+        other => {
+            return Err(CmdError::Msg(format!(
+                "unknown precision '{other}' (expected sp or dp)"
+            )))
+        }
     };
-    let kernel = getstr(opts, "kernel", "7pt");
+    let kernel = cli::getstr(opts, "kernel", "7pt");
     let traffic = match kernel.as_str() {
         "7pt" => seven_point_traffic(),
         "27pt" => twenty_seven_point_traffic(),
         "lbm" => lbm_traffic(),
         other => {
-            eprintln!("unknown kernel {other}");
-            return ExitCode::FAILURE;
+            return Err(CmdError::Msg(format!(
+                "unknown kernel '{other}' (expected 7pt, 27pt or lbm)"
+            )))
         }
     };
-    let cache = get(opts, "cache", machine.fast_storage_bytes);
+    let cache = cli::get(opts, "cache", machine.fast_storage_bytes)?;
     println!(
         "planning {} ({}) on {} with 𝒞 = {} KB",
         traffic.name,
@@ -150,148 +204,291 @@ fn cmd_plan(opts: &HashMap<String, String>) -> ExitCode {
                 p.effective_gamma,
                 machine.big_gamma(precision)
             );
-            ExitCode::SUCCESS
         }
-        Err(e) => {
-            println!("  {e}");
-            ExitCode::SUCCESS
-        }
+        // "does not fit" is an informative planner answer, not a failure.
+        Err(e) => println!("  {e}"),
     }
+    Ok(())
 }
 
-fn cmd_run(opts: &HashMap<String, String>) -> ExitCode {
-    let n: usize = get(opts, "n", 128);
-    let steps: usize = get(opts, "steps", 8);
-    let tile: usize = get(opts, "tile", n.min(360));
-    let dim_t: usize = get(opts, "dimt", 2);
-    let threads: usize = get(
-        opts,
-        "threads",
-        std::thread::available_parallelism().map_or(1, |c| c.get()),
-    );
-    let variant = getstr(opts, "variant", "35d");
-    let dp = getstr(opts, "precision", "sp") == "dp";
-    if dp {
-        run_stencil::<f64>(n, steps, tile, dim_t, threads, &variant)
-    } else {
-        run_stencil::<f32>(n, steps, tile, dim_t, threads, &variant)
-    }
-}
-
-fn run_stencil<T: Real>(
-    n: usize,
-    steps: usize,
-    tile: usize,
-    dim_t: usize,
-    threads: usize,
-    variant: &str,
-) -> ExitCode
-where
-    SevenPoint<T>: StencilKernel<T>,
-{
-    let dim = Dim3::cube(n);
-    let kernel = SevenPoint::<T>::heat(T::from_f64(0.125));
-    let mut grids = DoubleGrid::from_initial(Grid3::from_fn(dim, |x, y, z| {
-        T::from_f64(((x * 13 + y * 7 + z * 3) % 17) as f64 * 0.1)
-    }));
-    let team = ThreadTeam::new(threads);
-    let t0 = Instant::now();
-    let stats = match variant {
-        "ref" => reference_sweep(&kernel, &mut grids, steps),
-        "simd" => simd_sweep(&kernel, &mut grids, steps),
-        "25d" => blocked25d_sweep(&kernel, &mut grids, steps, tile, tile),
-        "3d" => blocked3d_sweep(&kernel, &mut grids, steps, tile.min(64)),
-        "4d" => blocked4d_sweep(&kernel, &mut grids, steps, tile.min(48), dim_t),
-        "temporal" => temporal_sweep(&kernel, &mut grids, steps, dim_t),
-        "35d" => parallel35d_sweep(
-            &kernel,
-            &mut grids,
-            steps,
-            Blocking35::new(tile.min(n), tile.min(n), dim_t),
-            &team,
-        ),
-        "tile35" => tile_parallel35d_sweep(
-            &kernel,
-            &mut grids,
-            steps,
-            Blocking35::new(tile.min(n), tile.min(n), dim_t),
-            &team,
-        ),
+/// Maps a `run` CLI variant name to the bench harness's ladder label.
+fn stencil_label(variant: &str) -> Result<&'static str, CmdError> {
+    Ok(match variant {
+        "ref" => "scalar",
+        "simd" => "simd no-blocking",
+        "25d" => "spatial only",
+        "3d" => "3D blocking",
+        "4d" => "4D blocking",
+        "temporal" => "temporal only",
+        "35d" => "3.5D blocking",
+        "tile35" => "tile 3.5D",
         other => {
-            eprintln!("unknown variant {other}");
-            return ExitCode::FAILURE;
+            return Err(CmdError::Msg(format!(
+            "unknown variant '{other}' (expected ref, simd, 25d, 3d, 4d, temporal, 35d or tile35)"
+        )))
         }
+    })
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), CmdError> {
+    let n: usize = cli::get(opts, "n", 128)?;
+    let steps: usize = cli::get(opts, "steps", 8)?;
+    let tile: usize = cli::get(opts, "tile", n.min(360))?;
+    let dim_t: usize = cli::get(opts, "dimt", 2)?;
+    let threads: usize = cli::get(opts, "threads", host_threads())?;
+    let cfg = BenchConfig {
+        warmup: cli::get(opts, "warmup", 1)?,
+        reps: cli::get(opts, "reps", 1)?,
     };
-    let secs = t0.elapsed().as_secs_f64();
+    let variant = cli::getstr(opts, "variant", "35d");
+    let label = stencil_label(&variant)?;
+    let dp = cli::getstr(opts, "precision", "sp") == "dp";
+    let dim = Dim3::cube(n);
+    let team = ThreadTeam::new(threads);
+    // Blocking parameters come straight from the user; the harness routes
+    // them through `Blocking35::try_new`, so `--dimt 0` is a diagnosed
+    // error, not a panic.
+    let m = if dp {
+        measure_seven_point::<f64>(&cfg, label, dim, steps, tile, dim_t, Some(&team))?
+    } else {
+        measure_seven_point::<f32>(&cfg, label, dim, steps, tile, dim_t, Some(&team))?
+    };
     println!(
         "7-point {} on {dim}, {steps} steps, variant {variant}, {threads} threads",
-        if T::BYTES == 4 { "SP" } else { "DP" }
+        if dp { "DP" } else { "SP" }
     );
     println!(
-        "  {secs:.3} s, {:.1} Mupdates/s, recompute overhead {:.3}, modeled DRAM {:.1} MB",
-        (dim.len() * steps) as f64 / secs / 1e6,
-        stats.overestimation(),
-        stats.dram_bytes() as f64 / (1 << 20) as f64
+        "  {:.3} s median ({} timed rep(s) after {} warmup), {:.1} interior Mupdates/s",
+        m.median_secs(),
+        m.secs.len(),
+        cfg.warmup,
+        m.mups
     );
-    ExitCode::SUCCESS
+    print!(
+        "  recompute overhead κ {:.3}, modeled DRAM {:.1} MB",
+        m.kappa,
+        m.stats.dram_bytes() as f64 / (1 << 20) as f64
+    );
+    match m.barrier_share {
+        Some(s) => println!(", barrier-wait share {:.1}%", s * 100.0),
+        None => println!(),
+    }
+    Ok(())
 }
 
-fn cmd_lbm(opts: &HashMap<String, String>) -> ExitCode {
-    let n: usize = get(opts, "n", 48);
-    let steps: usize = get(opts, "steps", 60);
-    let tile: usize = get(opts, "tile", 32.min(n));
-    let dim_t: usize = get(opts, "dimt", 3);
-    let threads: usize = get(
-        opts,
-        "threads",
-        std::thread::available_parallelism().map_or(1, |c| c.get()),
-    );
+fn cmd_lbm(opts: &Opts) -> Result<(), CmdError> {
+    let n: usize = cli::get(opts, "n", 48)?;
+    let steps: usize = cli::get(opts, "steps", 60)?;
+    let tile: usize = cli::get(opts, "tile", 32.min(n))?;
+    let dim_t: usize = cli::get(opts, "dimt", 3)?;
+    let threads: usize = cli::get(opts, "threads", host_threads())?;
     let dim = Dim3::cube(n);
-    let scenario = getstr(opts, "scenario", "cavity");
+    let scenario = cli::getstr(opts, "scenario", "cavity");
     let mut lat: Lattice<f64> = match scenario.as_str() {
         "box" => scenarios::closed_box(dim, 1.2),
         "cavity" => scenarios::lid_driven_cavity(dim, 1.2, 0.08),
         "channel" => scenarios::channel_with_sphere(dim, 1.1, 0.05, n as f64 / 8.0),
         other => {
-            eprintln!("unknown scenario {other}");
-            return ExitCode::FAILURE;
+            return Err(CmdError::Msg(format!(
+                "unknown scenario '{other}' (expected box, cavity or channel)"
+            )))
         }
     };
     let team = ThreadTeam::new(threads);
-    let variant = getstr(opts, "variant", "35d");
-    let t0 = Instant::now();
-    match variant.as_str() {
-        "scalar" => lbm_naive_sweep(&mut lat, steps, LbmMode::Scalar, Some(&team)),
-        "simd" => lbm_naive_sweep(&mut lat, steps, LbmMode::Simd, Some(&team)),
-        "temporal" => lbm_temporal_sweep(&mut lat, steps, dim_t, Some(&team)),
-        "35d" => lbm35d_sweep(
-            &mut lat,
-            steps,
-            LbmBlocking::new(tile, tile, dim_t),
-            Some(&team),
-        ),
+    let variant = cli::getstr(opts, "variant", "35d");
+    // Validate user-supplied blocking before any executor can panic.
+    let blocking = match variant.as_str() {
+        "scalar" | "simd" => None,
+        "temporal" => Some(LbmBlocking::try_new(n.max(1), n.max(1), dim_t)?),
+        "35d" => Some(LbmBlocking::try_new(tile, tile, dim_t)?),
         other => {
-            eprintln!("unknown variant {other}");
-            return ExitCode::FAILURE;
+            return Err(CmdError::Msg(format!(
+                "unknown variant '{other}' (expected scalar, simd, temporal or 35d)"
+            )))
         }
     };
+    let sweep = |lat: &mut Lattice<f64>, s: usize| match variant.as_str() {
+        "scalar" => {
+            lbm_naive_sweep(lat, s, LbmMode::Scalar, Some(&team));
+        }
+        "simd" => {
+            lbm_naive_sweep(lat, s, LbmMode::Simd, Some(&team));
+        }
+        "temporal" => {
+            lbm_temporal_sweep(lat, s, dim_t, Some(&team));
+        }
+        "35d" => {
+            lbm35d_sweep(lat, s, blocking.expect("validated above"), Some(&team));
+        }
+        _ => unreachable!("validated above"),
+    };
+    // The first step is run untimed: it absorbs the first-touch page
+    // faults on the never-written destination buffer without changing the
+    // physics (the state still advances exactly `steps` steps).
+    let timed_steps = if steps > 1 {
+        sweep(&mut lat, 1);
+        steps - 1
+    } else {
+        steps
+    };
+    let t0 = Instant::now();
+    if timed_steps > 0 {
+        sweep(&mut lat, timed_steps);
+    }
     let secs = t0.elapsed().as_secs_f64();
+    // MLUPS over interior sites only — the bounce-back rim is not a
+    // lattice update — and over the timed steps only.
+    let interior_updates = dim.interior_region(1).len() as f64 * timed_steps as f64;
+    let mlups = if secs > 0.0 {
+        interior_updates / secs / 1e6
+    } else {
+        0.0
+    };
     let probe = lat.macroscopic(n / 2, n / 2, n / 2);
     println!("D3Q19 LBM {scenario} on {dim}, {steps} steps, variant {variant}");
     println!(
-        "  {secs:.3} s, {:.2} MLUPS; center: rho = {:.4}, u = ({:+.4}, {:+.4}, {:+.4})",
-        (dim.len() * steps) as f64 / secs / 1e6,
+        "  {secs:.3} s over {timed_steps} timed step(s), {mlups:.2} interior MLUPS; \
+         center: rho = {:.4}, u = ({:+.4}, {:+.4}, {:+.4})",
         probe.rho.to_f64(),
         probe.u[0].to_f64(),
         probe.u[1].to_f64(),
         probe.u[2].to_f64()
     );
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_gpu(opts: &HashMap<String, String>) -> ExitCode {
-    let n: usize = get(opts, "n", 96);
-    let steps: usize = get(opts, "steps", 2);
+fn bench_entry(
+    m: &Measurement,
+    precision: &str,
+    grid: [usize; 3],
+    steps: usize,
+    threads: usize,
+    cfg: &BenchConfig,
+) -> BenchEntry {
+    BenchEntry {
+        variant: m.label.to_string(),
+        precision: precision.to_string(),
+        grid,
+        steps,
+        threads,
+        warmup: cfg.warmup,
+        reps: cfg.reps.max(1),
+        median_secs: m.median_secs(),
+        min_secs: m.min_secs(),
+        max_secs: m.max_secs(),
+        mups: m.mups,
+        interior_updates: m.interior_updates,
+        modeled_dram_bytes: m.stats.dram_bytes(),
+        kappa: m.kappa,
+        barrier_share: m.barrier_share,
+    }
+}
+
+fn print_bench_entry(e: &BenchEntry) {
+    let barrier = e
+        .barrier_share
+        .map_or("     -".to_string(), |s| format!("{:5.1}%", s * 100.0));
+    println!(
+        "  {:4} {:20} {:>9.3} ms {:>8.1} MUPS  κ {:>5.3}  barrier {barrier}",
+        e.precision,
+        e.variant,
+        e.median_secs * 1e3,
+        e.mups,
+        e.kappa
+    );
+}
+
+fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
+    if let Some(path) = opts.get("validate") {
+        let text = std::fs::read_to_string(path)?;
+        let report = BenchReport::validate_str(&text)
+            .map_err(|e| CmdError::Msg(format!("{path}: invalid BENCH report: {e}")))?;
+        println!(
+            "{path}: valid BENCH report (kind = {}, schema v{}, {} entries)",
+            report.kind,
+            report.schema_version,
+            report.entries.len()
+        );
+        return Ok(());
+    }
+
+    let n: usize = cli::get(opts, "n", 64)?;
+    let steps: usize = cli::get(opts, "steps", 4)?;
+    let tile: usize = cli::get(opts, "tile", n.min(360))?;
+    let dim_t: usize = cli::get(opts, "dimt", 2)?;
+    let threads: usize = cli::get(opts, "threads", host_threads())?;
+    let cfg = BenchConfig {
+        warmup: cli::get(opts, "warmup", 1)?,
+        reps: cli::get(opts, "reps", 3)?,
+    };
+    let precisions: &[&str] = match cli::getstr(opts, "precision", "sp").as_str() {
+        "sp" => &["sp"],
+        "dp" => &["dp"],
+        "both" => &["sp", "dp"],
+        other => {
+            return Err(CmdError::Msg(format!(
+                "unknown precision '{other}' (expected sp, dp or both)"
+            )))
+        }
+    };
+    let out_dir = std::path::PathBuf::from(cli::getstr(opts, "out", "."));
+    let dim = Dim3::cube(n);
+    let grid = [dim.nx, dim.ny, dim.nz];
+    let team = ThreadTeam::new(threads);
+
+    println!(
+        "bench: {n}^3, {steps} steps, {} warmup + {} timed rep(s), {threads} threads, \
+         tile {tile}, dim_T {dim_t}",
+        cfg.warmup,
+        cfg.reps.max(1)
+    );
+
+    let mut stencil = BenchReport::new("stencil");
+    println!("\n7-point stencil:");
+    for &prec in precisions {
+        for &variant in STENCIL_VARIANTS {
+            let m = if prec == "dp" {
+                measure_seven_point::<f64>(&cfg, variant, dim, steps, tile, dim_t, Some(&team))?
+            } else {
+                measure_seven_point::<f32>(&cfg, variant, dim, steps, tile, dim_t, Some(&team))?
+            };
+            let e = bench_entry(&m, prec, grid, steps, threads, &cfg);
+            print_bench_entry(&e);
+            stencil.entries.push(e);
+        }
+    }
+
+    let mut lbm = BenchReport::new("lbm");
+    println!("\nD3Q19 LBM (lid-driven cavity):");
+    for &prec in precisions {
+        for &variant in LBM_VARIANTS {
+            let m = if prec == "dp" {
+                measure_lbm::<f64>(&cfg, variant, n, steps, tile, dim_t, Some(&team))?
+            } else {
+                measure_lbm::<f32>(&cfg, variant, n, steps, tile, dim_t, Some(&team))?
+            };
+            let e = bench_entry(&m, prec, grid, steps, threads, &cfg);
+            print_bench_entry(&e);
+            lbm.entries.push(e);
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir)?;
+    for (name, report) in [("BENCH_stencil.json", &stencil), ("BENCH_lbm.json", &lbm)] {
+        let path = out_dir.join(name);
+        std::fs::write(&path, report.to_json_string())?;
+        println!(
+            "wrote {} ({} entries)",
+            path.display(),
+            report.entries.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gpu(opts: &Opts) -> Result<(), CmdError> {
+    let n: usize = cli::get(opts, "n", 96)?;
+    let steps: usize = cli::get(opts, "steps", 2)?;
     let dim = Dim3::new(n, n / 2, 24);
     let dev = Device::gtx285();
     let k = SevenPointGpu {
@@ -327,10 +524,10 @@ fn cmd_gpu(opts: &HashMap<String, String>) -> ExitCode {
         "  3.5D:    {:>8.0} MUPS ({} read tx)",
         t.mups, s.gmem_read_tx
     );
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_info() -> ExitCode {
+fn cmd_info() -> Result<(), CmdError> {
     println!("machine models (Table I + §VIII):\n");
     for m in [core_i7(), gtx285(), fermi()] {
         println!(
@@ -358,5 +555,5 @@ fn cmd_info() -> ExitCode {
             k.radius
         );
     }
-    ExitCode::SUCCESS
+    Ok(())
 }

@@ -1,0 +1,145 @@
+//! End-to-end tests of the `threefive` binary: option parsing, error
+//! exits, and the `bench` subcommand's machine-readable output.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use threefive::bench::report::{BenchReport, BENCH_SCHEMA_VERSION};
+
+fn threefive(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_threefive"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("threefive_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn run_with_zero_dimt_exits_cleanly_with_typed_error() {
+    let out = threefive(&["run", "--n", "16", "--steps", "1", "--dimt", "0"]);
+    assert!(!out.status.success(), "must exit nonzero");
+    let err = stderr(&out);
+    assert!(
+        err.contains("dimT=0") || err.contains("dim_t"),
+        "names the bad parameter: {err}"
+    );
+    assert!(!err.contains("panicked"), "no panic backtrace: {err}");
+}
+
+#[test]
+fn lbm_with_zero_dimt_exits_cleanly_with_typed_error() {
+    let out = threefive(&["lbm", "--n", "12", "--steps", "1", "--dimt", "0"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(!err.contains("panicked"), "no panic backtrace: {err}");
+}
+
+#[test]
+fn unparseable_value_names_the_flag_and_exits_nonzero() {
+    let out = threefive(&["run", "--n", "abc"]);
+    assert!(!out.status.success(), "must not silently default --n");
+    let err = stderr(&out);
+    assert!(err.contains("--n") && err.contains("abc"), "{err}");
+}
+
+#[test]
+fn valueless_flag_does_not_swallow_the_next_option() {
+    // Before the parser fix, `--verbose` consumed `--n` and the run
+    // silently used the 128³ default.
+    let out = threefive(&["run", "--verbose", "--n", "24", "--steps", "1"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("24x24x24"),
+        "the --n value must take effect: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn run_reports_interior_mups_with_warmup() {
+    let out = threefive(&["run", "--n", "20", "--steps", "2", "--variant", "35d"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("interior Mupdates/s"), "{text}");
+    assert!(text.contains("after 1 warmup"), "{text}");
+    assert!(text.contains("barrier-wait share"), "{text}");
+}
+
+#[test]
+fn bench_writes_schema_versioned_reports_that_validate() {
+    let dir = scratch_dir("bench_out");
+    let out = threefive(&[
+        "bench",
+        "--n",
+        "16",
+        "--steps",
+        "2",
+        "--reps",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    for (name, kind, expect_variants) in [
+        ("BENCH_stencil.json", "stencil", 8usize),
+        ("BENCH_lbm.json", "lbm", 4usize),
+    ] {
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path).expect("report written");
+        let report = BenchReport::validate_str(&text).expect("schema-valid");
+        assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(report.kind, kind);
+        assert_eq!(report.entries.len(), expect_variants);
+        for e in &report.entries {
+            assert_eq!(e.grid, [16, 16, 16]);
+            assert_eq!(e.steps, 2);
+            assert!(e.mups > 0.0, "{}: positive MUPS", e.variant);
+            assert!(e.median_secs > 0.0);
+            assert!(e.modeled_dram_bytes > 0);
+            // MUPS is defined over interior updates, never dim³.
+            let implied = e.interior_updates as f64 / e.median_secs / 1e6;
+            assert!(
+                (e.mups - implied).abs() < 1e-6 * implied.max(1.0),
+                "{}: mups {} vs interior-implied {}",
+                e.variant,
+                e.mups,
+                implied
+            );
+        }
+
+        // The binary's own validator accepts what it wrote.
+        let out = threefive(&["bench", "--validate", path.to_str().unwrap()]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        assert!(stdout(&out).contains("valid BENCH report"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_validate_rejects_garbage() {
+    let dir = scratch_dir("bench_bad");
+    let path = dir.join("BENCH_bad.json");
+    std::fs::write(&path, "{\"schema_version\": 999}").unwrap();
+    let out = threefive(&["bench", "--validate", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("invalid BENCH report"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
