@@ -1,0 +1,241 @@
+//! The BENCH regression gate: diff two reports, fail on slowdowns.
+//!
+//! CI keeps a committed baseline report (`results/`) and compares every
+//! build's fresh report against it. Entries are matched on the full
+//! configuration key (variant × precision × grid × steps × threads); a
+//! matched pair regresses when the current MUPS falls below
+//! `min_mups_ratio × baseline` or the barrier-wait share grows by more
+//! than `max_barrier_share_increase` (absolute). Baseline entries with no
+//! counterpart in the current report fail the gate too — losing coverage
+//! silently is itself a regression.
+//!
+//! The default ratio is deliberately generous: baseline and current may
+//! run on different CI hosts, so the gate is a tripwire for collapses
+//! (an executor falling off its fast path, a barrier storm), not a
+//! ±5% performance lock.
+
+use crate::report::{BenchEntry, BenchReport};
+
+/// Thresholds for [`gate_reports`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateThresholds {
+    /// Minimum allowed `current.mups / baseline.mups` per entry.
+    pub min_mups_ratio: f64,
+    /// Maximum allowed absolute increase of `barrier_share`.
+    pub max_barrier_share_increase: f64,
+}
+
+impl Default for GateThresholds {
+    fn default() -> Self {
+        Self {
+            // Half the baseline throughput: loose enough for noisy shared
+            // CI runners, tight enough to catch a variant that silently
+            // fell back to the scalar path.
+            min_mups_ratio: 0.5,
+            max_barrier_share_increase: 0.25,
+        }
+    }
+}
+
+/// Outcome for one matched (or unmatched) baseline entry.
+#[derive(Clone, Debug)]
+pub struct GateFinding {
+    /// Human-readable configuration key.
+    pub key: String,
+    /// Baseline MUPS.
+    pub baseline_mups: f64,
+    /// Current MUPS, when the entry was matched.
+    pub current_mups: Option<f64>,
+    /// `current / baseline` throughput ratio, when matched.
+    pub ratio: Option<f64>,
+    /// Why the entry failed the gate; `None` when it passed.
+    pub failure: Option<String>,
+}
+
+/// The gate verdict over a whole report pair.
+#[derive(Clone, Debug, Default)]
+pub struct GateOutcome {
+    /// One finding per baseline entry, in baseline order.
+    pub findings: Vec<GateFinding>,
+}
+
+impl GateOutcome {
+    /// Whether every baseline entry passed.
+    pub fn passed(&self) -> bool {
+        self.findings.iter().all(|f| f.failure.is_none())
+    }
+
+    /// The findings that failed.
+    pub fn failures(&self) -> impl Iterator<Item = &GateFinding> {
+        self.findings.iter().filter(|f| f.failure.is_some())
+    }
+}
+
+fn entry_key(kind: &str, e: &BenchEntry) -> String {
+    format!(
+        "{kind} {} {} {}x{}x{} steps={} threads={}",
+        e.variant, e.precision, e.grid[0], e.grid[1], e.grid[2], e.steps, e.threads
+    )
+}
+
+fn same_config(a: &BenchEntry, b: &BenchEntry) -> bool {
+    a.variant == b.variant
+        && a.precision == b.precision
+        && a.grid == b.grid
+        && a.steps == b.steps
+        && a.threads == b.threads
+}
+
+/// Diffs `current` against `baseline` under `t`.
+///
+/// Returns an error (not a finding) when the reports are not comparable
+/// at all — different workload kinds.
+pub fn gate_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    t: &GateThresholds,
+) -> Result<GateOutcome, String> {
+    if baseline.kind != current.kind {
+        return Err(format!(
+            "cannot gate a '{}' report against a '{}' baseline",
+            current.kind, baseline.kind
+        ));
+    }
+    let mut out = GateOutcome::default();
+    for base in &baseline.entries {
+        let key = entry_key(&baseline.kind, base);
+        let Some(cur) = current.entries.iter().find(|c| same_config(base, c)) else {
+            out.findings.push(GateFinding {
+                key,
+                baseline_mups: base.mups,
+                current_mups: None,
+                ratio: None,
+                failure: Some("entry missing from current report".into()),
+            });
+            continue;
+        };
+        let ratio = if base.mups > 0.0 {
+            cur.mups / base.mups
+        } else {
+            1.0
+        };
+        let mut failure = None;
+        if ratio < t.min_mups_ratio {
+            failure = Some(format!(
+                "MUPS ratio {ratio:.3} below threshold {:.3} ({:.1} -> {:.1})",
+                t.min_mups_ratio, base.mups, cur.mups
+            ));
+        } else if let (Some(b), Some(c)) = (base.barrier_share, cur.barrier_share) {
+            let grew = c - b;
+            if grew > t.max_barrier_share_increase {
+                failure = Some(format!(
+                    "barrier share grew by {grew:.3} (> {:.3}): {b:.3} -> {c:.3}",
+                    t.max_barrier_share_increase
+                ));
+            }
+        }
+        out.findings.push(GateFinding {
+            key,
+            baseline_mups: base.mups,
+            current_mups: Some(cur.mups),
+            ratio: Some(ratio),
+            failure,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(variant: &str, mups: f64, barrier_share: Option<f64>) -> BenchEntry {
+        BenchEntry {
+            variant: variant.into(),
+            precision: "sp".into(),
+            grid: [64, 64, 64],
+            steps: 4,
+            threads: 2,
+            warmup: 1,
+            reps: 1,
+            median_secs: 0.01,
+            min_secs: 0.01,
+            max_secs: 0.01,
+            mups,
+            interior_updates: 1_000_000,
+            modeled_dram_bytes: 1,
+            kappa: 1.0,
+            barrier_share,
+            telemetry: None,
+        }
+    }
+
+    fn report(entries: Vec<BenchEntry>) -> BenchReport {
+        let mut r = BenchReport::new("stencil");
+        r.entries = entries;
+        r
+    }
+
+    #[test]
+    fn matching_reports_pass() {
+        let base = report(vec![entry("scalar", 100.0, None)]);
+        let cur = report(vec![entry("scalar", 98.0, None)]);
+        let out = gate_reports(&base, &cur, &GateThresholds::default()).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.findings.len(), 1);
+        assert!((out.findings[0].ratio.unwrap() - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_collapse_fails() {
+        let base = report(vec![entry("3.5D blocking", 100.0, Some(0.05))]);
+        let cur = report(vec![entry("3.5D blocking", 40.0, Some(0.05))]);
+        let out = gate_reports(&base, &cur, &GateThresholds::default()).unwrap();
+        assert!(!out.passed());
+        let f = out.failures().next().unwrap();
+        assert!(f.failure.as_ref().unwrap().contains("MUPS ratio"));
+    }
+
+    #[test]
+    fn barrier_share_growth_fails() {
+        let base = report(vec![entry("3.5D blocking", 100.0, Some(0.05))]);
+        let cur = report(vec![entry("3.5D blocking", 95.0, Some(0.60))]);
+        let out = gate_reports(&base, &cur, &GateThresholds::default()).unwrap();
+        assert!(!out.passed());
+        assert!(out
+            .failures()
+            .next()
+            .unwrap()
+            .failure
+            .as_ref()
+            .unwrap()
+            .contains("barrier share"));
+    }
+
+    #[test]
+    fn missing_entry_fails_and_extra_entries_are_ignored() {
+        let base = report(vec![entry("scalar", 100.0, None)]);
+        let cur = report(vec![entry("tile 3.5D", 500.0, None)]);
+        let out = gate_reports(&base, &cur, &GateThresholds::default()).unwrap();
+        assert!(!out.passed());
+        assert!(out
+            .failures()
+            .next()
+            .unwrap()
+            .failure
+            .as_ref()
+            .unwrap()
+            .contains("missing"));
+        // Reversed: baseline fully covered → pass, extras ignored.
+        let out = gate_reports(&cur, &cur, &GateThresholds::default()).unwrap();
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        let mut lbm = report(vec![]);
+        lbm.kind = "lbm".into();
+        let stencil = report(vec![]);
+        assert!(gate_reports(&lbm, &stencil, &GateThresholds::default()).is_err());
+    }
+}

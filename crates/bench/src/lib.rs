@@ -41,9 +41,12 @@ use threefive_core::stats::SweepStats;
 use threefive_core::{ExecError, SevenPoint, StencilKernel};
 use threefive_grid::{Dim3, DoubleGrid, Grid3, Real};
 use threefive_lbm::{lbm35d_sweep_instrumented, lbm_naive_sweep, LbmBlocking, LbmError, LbmMode};
-use threefive_sync::{Instrument, ThreadTeam};
+use threefive_sync::{Instrument, ThreadTeam, WaitHistogram};
 
+pub mod counters;
+pub mod gate;
 pub mod json;
+pub mod perfetto;
 pub mod report;
 
 /// Whether to run the paper's full grid sizes.
@@ -164,18 +167,25 @@ pub struct Measurement {
     /// Barrier-wait share of the last timed repetition (instrumented
     /// parallel variants only).
     pub barrier_share: Option<f64>,
+    /// Barrier-wait histogram of the last timed repetition (instrumented
+    /// parallel variants only).
+    pub barrier_hist: Option<WaitHistogram>,
     /// Median million interior updates per second.
     pub mups: f64,
 }
 
 impl Measurement {
-    fn from_parts(
+    /// Assembles a measurement from raw parts, deriving the median MUPS.
+    /// Public so callers that time a sweep themselves (e.g. the `trace`
+    /// subcommand) can feed the telemetry builders in [`crate::counters`].
+    pub fn from_parts(
         label: &'static str,
         secs: Vec<f64>,
         interior_updates: u64,
         stats: SweepStats,
         kappa: f64,
         barrier_share: Option<f64>,
+        barrier_hist: Option<WaitHistogram>,
     ) -> Self {
         let med = median(&secs);
         Self {
@@ -184,8 +194,25 @@ impl Measurement {
             stats,
             kappa,
             barrier_share,
+            barrier_hist,
             mups: interior_updates as f64 / med / 1e6,
             secs,
+        }
+    }
+
+    /// A fabricated measurement for unit tests: one 1-second repetition
+    /// at the given MUPS, default stats, κ = 1, no instrumentation.
+    #[cfg(test)]
+    pub(crate) fn synthetic(label: &'static str, mups: f64) -> Self {
+        Self {
+            label,
+            secs: vec![1.0],
+            interior_updates: (mups * 1e6) as u64,
+            stats: SweepStats::default(),
+            kappa: 1.0,
+            barrier_share: None,
+            barrier_hist: None,
+            mups,
         }
     }
 
@@ -327,7 +354,9 @@ where
 
     let stats = *stats_per_rep.last().expect("at least one repetition");
     let interior = dim.interior_region(r).len() as u64 * steps as u64;
-    let barrier_share = instrumented.then(|| instr.timing().barrier_share());
+    let timing = instr.timing();
+    let barrier_share = instrumented.then(|| timing.barrier_share());
+    let barrier_hist = instrumented.then_some(timing.wait_hist);
     Ok(Measurement::from_parts(
         variant,
         secs,
@@ -335,6 +364,7 @@ where
         stats,
         stats.overestimation(),
         barrier_share,
+        barrier_hist,
     ))
 }
 
@@ -414,7 +444,9 @@ pub fn measure_lbm<T: Real>(
         None => 1.0,
     };
     let interior = dim.interior_region(R).len() as u64 * steps as u64;
-    let barrier_share = instrumented.then(|| instr.timing().barrier_share());
+    let timing = instr.timing();
+    let barrier_share = instrumented.then(|| timing.barrier_share());
+    let barrier_hist = instrumented.then_some(timing.wait_hist);
     Ok(Measurement::from_parts(
         variant,
         secs,
@@ -422,6 +454,7 @@ pub fn measure_lbm<T: Real>(
         stats,
         kappa,
         barrier_share,
+        barrier_hist,
     ))
 }
 

@@ -6,11 +6,20 @@
 //! [`BenchReport::from_json`] is the single source of truth for what a
 //! well-formed report contains, used both by the round-trip tests and by
 //! `threefive bench --validate`.
+//!
+//! **Schema v2** adds a per-entry `telemetry` section (roofline
+//! attainment, κ model vs measured, modeled vs cachesim DRAM bytes,
+//! barrier-wait histogram — see [`crate::counters`]) and tightens
+//! validation: `kappa`, `barrier_share` and `telemetry` must be *present*
+//! in every entry (`null` is fine, absence is not), so a truncated or
+//! hand-edited report fails `--validate` with the field named instead of
+//! silently reading back as NaN.
 
+use crate::counters::Telemetry;
 use crate::json::Json;
 
 /// Version stamped into every report; bump on breaking schema changes.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Best-effort description of the measuring host.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -101,6 +110,9 @@ pub struct BenchEntry {
     /// Fraction of in-region time spent at barriers (instrumented
     /// variants only).
     pub barrier_share: Option<f64>,
+    /// Model-vs-measured telemetry (schema v2; `null` when the run did
+    /// not compute it).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl BenchEntry {
@@ -145,6 +157,13 @@ impl BenchEntry {
                     None => Json::Null,
                 },
             ),
+            (
+                "telemetry".into(),
+                match &self.telemetry {
+                    Some(t) => t.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -177,8 +196,18 @@ impl BenchEntry {
             mups: req_f64(v, "mups")?,
             interior_updates: req_u64(v, "interior_updates")?,
             modeled_dram_bytes: req_u64(v, "modeled_dram_bytes")?,
-            kappa: opt_f64(v, "kappa").unwrap_or(f64::NAN),
-            barrier_share: opt_f64(v, "barrier_share"),
+            kappa: req_nullable_f64(v, "kappa")?,
+            barrier_share: match req_nullable_f64(v, "barrier_share")? {
+                s if s.is_nan() => None,
+                s => Some(s),
+            },
+            telemetry: match v
+                .get("telemetry")
+                .ok_or("entry missing field 'telemetry' (use null when absent)")?
+            {
+                Json::Null => None,
+                t => Some(Telemetry::from_json(t)?),
+            },
         })
     }
 }
@@ -233,7 +262,8 @@ impl BenchReport {
         let version = req_u64(v, "schema_version")?;
         if version != BENCH_SCHEMA_VERSION {
             return Err(format!(
-                "schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION})"
+                "schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION}; \
+                 v1 reports predate the telemetry section — regenerate with `threefive bench`)"
             ));
         }
         let kind = req_str(v, "kind")?;
@@ -282,14 +312,26 @@ fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
 }
 
-/// `null` (how the writer encodes NaN/absent) reads back as `None`.
-fn opt_f64(v: &Json, key: &str) -> Option<f64> {
-    v.get(key).and_then(Json::as_f64)
+/// Required-but-nullable number: the key must be present (a missing key
+/// is a schema error naming the field), while `null` — how the writer
+/// encodes NaN/absent — reads back as NaN.
+fn req_nullable_f64(v: &Json, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        None => Err(format!(
+            "entry missing field '{key}' (use null when absent)"
+        )),
+        Some(Json::Null) => Ok(f64::NAN),
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| format!("field '{key}' must be a number or null")),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counters::CounterRegistry;
+    use threefive_sync::WaitHistogram;
 
     fn sample_entry() -> BenchEntry {
         BenchEntry {
@@ -308,13 +350,29 @@ mod tests {
             modeled_dram_bytes: 123456,
             kappa: 1.18,
             barrier_share: Some(0.07),
+            telemetry: None,
+        }
+    }
+
+    fn sample_telemetry() -> Telemetry {
+        let mut counters = CounterRegistry::new();
+        counters.set("mups_measured", 95.3);
+        counters.set("roofline_attainment_pct", 2.4);
+        let mut hist = WaitHistogram::default();
+        hist.record(3_000);
+        Telemetry {
+            machine: "Core i7 (Nehalem, 4C/3.2GHz)".into(),
+            counters,
+            wait_hist: Some(hist),
         }
     }
 
     #[test]
     fn report_round_trips_through_json_text() {
         let mut r = BenchReport::new("stencil");
-        r.entries.push(sample_entry());
+        let mut e1 = sample_entry();
+        e1.telemetry = Some(sample_telemetry());
+        r.entries.push(e1);
         let mut e2 = sample_entry();
         e2.variant = "scalar".into();
         e2.barrier_share = None;
@@ -326,9 +384,38 @@ mod tests {
         assert_eq!(back.schema_version, BENCH_SCHEMA_VERSION);
         assert_eq!(back.kind, "stencil");
         assert_eq!(back.entries[0], r.entries[0]);
+        assert_eq!(
+            back.entries[0].telemetry.as_ref().unwrap(),
+            &sample_telemetry()
+        );
         assert_eq!(back.entries[1].barrier_share, None);
+        assert_eq!(back.entries[1].telemetry, None);
         assert!(back.entries[1].kappa.is_nan());
         assert_eq!(back.host, r.host);
+    }
+
+    #[test]
+    fn missing_nullable_fields_are_rejected_by_name() {
+        // Dropping a required-but-nullable key must fail with the field
+        // named — under v1 a missing 'kappa' silently validated as NaN.
+        let mut r = BenchReport::new("stencil");
+        r.entries.push(sample_entry());
+        for key in ["kappa", "barrier_share", "telemetry"] {
+            let Json::Obj(mut fields) = r.entries[0].to_json() else {
+                unreachable!()
+            };
+            fields.retain(|(name, _)| name != key);
+            let mut doc = r.to_json();
+            if let Json::Obj(top) = &mut doc {
+                for (name, val) in top.iter_mut() {
+                    if name == "entries" {
+                        *val = Json::Arr(vec![Json::Obj(fields.clone())]);
+                    }
+                }
+            }
+            let err = BenchReport::from_json(&doc).unwrap_err();
+            assert!(err.contains(&format!("'{key}'")), "{key}: {err}");
+        }
     }
 
     #[test]
@@ -343,10 +430,19 @@ mod tests {
     fn missing_fields_are_rejected() {
         assert!(BenchReport::validate_str("{}").is_err());
         assert!(BenchReport::validate_str("not json").is_err());
-        let no_entries = r#"{"schema_version": 1, "kind": "stencil",
+        let no_entries = r#"{"schema_version": 2, "kind": "stencil",
             "host": {"os":"l","arch":"x","available_threads":1,"cpu":"c"}}"#;
         let err = BenchReport::validate_str(no_entries).unwrap_err();
         assert!(err.contains("entries"), "{err}");
+    }
+
+    #[test]
+    fn v1_reports_are_rejected_with_guidance() {
+        let mut r = BenchReport::new("stencil");
+        r.schema_version = 1;
+        let err = BenchReport::validate_str(&r.to_json_string()).unwrap_err();
+        assert!(err.contains("schema_version 1"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
     }
 
     #[test]

@@ -44,9 +44,14 @@ impl CacheStats {
         self.dram_read_bytes(line) + self.dram_write_bytes(line)
     }
 
-    /// Hit fraction.
+    /// Hit fraction, in `[0, 1]`; 0 when no accesses were recorded
+    /// (never NaN, same contract as `SweepTiming::barrier_share`).
     pub fn hit_rate(&self) -> f64 {
-        self.hits as f64 / self.accesses as f64
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
     }
 }
 
@@ -299,5 +304,15 @@ mod tests {
         assert_eq!(c.stats().fills, 5); // 0..4 fills, final 0 hits
         c.access(64, AccessKind::Read); // line 1 was evicted → fill again
         assert_eq!(c.stats().fills, 6);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_accesses() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(CacheSim::llc(1 << 20).stats().hit_rate(), 0.0);
+        let mut c = CacheSim::llc(1 << 20);
+        c.access(0, AccessKind::Read);
+        c.access(8, AccessKind::Read);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
     }
 }

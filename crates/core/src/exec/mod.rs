@@ -32,7 +32,7 @@ pub use blocked4d::blocked4d_sweep;
 pub use periodic::{periodic35d_sweep, reference_sweep_periodic, wrap_extend};
 pub use pipeline35::{
     blocked35d_sweep, parallel35d_sweep, temporal_sweep, try_parallel35d_sweep,
-    try_parallel35d_sweep_instrumented, Blocking35,
+    try_parallel35d_sweep_instrumented, try_parallel35d_sweep_traced, Blocking35,
 };
 pub use reference::{reference_sweep, simd_sweep};
 pub use tile_parallel::tile_parallel35d_sweep;

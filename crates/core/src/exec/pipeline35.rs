@@ -41,7 +41,9 @@ use std::time::Duration;
 
 use threefive_grid::partition::even_range;
 use threefive_grid::{Dim3, DoubleGrid, Grid3, PlaneRing, Real};
-use threefive_sync::{Instrument, SharedSlice, SpinBarrier, SyncError, ThreadTeam};
+use threefive_sync::{
+    Instrument, SharedSlice, SpinBarrier, SyncError, ThreadTeam, TraceEventKind, Tracer,
+};
 
 use crate::error::ExecError;
 use crate::exec::{elem_bytes, has_interior};
@@ -195,6 +197,38 @@ pub fn try_parallel35d_sweep_instrumented<T: Real, K: StencilKernel<T>>(
     deadline: Option<Duration>,
     instr: &Instrument,
 ) -> Result<SweepStats, ExecError> {
+    try_parallel35d_sweep_traced(
+        kernel,
+        grids,
+        steps,
+        b,
+        team,
+        deadline,
+        instr,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`try_parallel35d_sweep_instrumented`] with pipeline tracing.
+///
+/// Each team member records one [`TraceEventKind::Plane`] span per
+/// streamed Z plane × time level it processes and one
+/// [`TraceEventKind::Barrier`] span per barrier episode (entry to exit)
+/// into `tracer`; snapshot with [`Tracer::snapshot`] after the call and
+/// export with the bench crate's Perfetto writer. A disabled tracer
+/// ([`Tracer::disabled`]) never reads the clock, so the sweep stays
+/// bit-identical to the untraced fast path.
+#[allow(clippy::too_many_arguments)]
+pub fn try_parallel35d_sweep_traced<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    steps: usize,
+    b: Blocking35,
+    team: &ThreadTeam,
+    deadline: Option<Duration>,
+    instr: &Instrument,
+    tracer: &Tracer,
+) -> Result<SweepStats, ExecError> {
     Blocking35::try_new(b.dim_x, b.dim_y, b.dim_t)?;
     let dim = grids.dim();
     let r = kernel.radius();
@@ -219,6 +253,7 @@ pub fn try_parallel35d_sweep_instrumented<T: Real, K: StencilKernel<T>>(
                 if geom.has_commit() {
                     tile_pipeline(
                         kernel, src, &dst_view, dst_dim, &geom, team, &barrier, deadline, instr,
+                        tracer,
                     )?;
                     stats = stats + geom.stats::<T>();
                 }
@@ -472,6 +507,7 @@ fn tile_pipeline<T: Real, K: StencilKernel<T>>(
     barrier: &SpinBarrier,
     deadline: Option<Duration>,
     instr: &Instrument,
+    tracer: &Tracer,
 ) -> Result<(), ExecError> {
     let (r, c) = (geom.r, geom.c);
     let (lx, ly) = (geom.lx(), geom.ly());
@@ -506,6 +542,7 @@ fn tile_pipeline<T: Real, K: StencilKernel<T>>(
                 }
                 let z = s - lag;
                 if z < geom.dim.nz {
+                    let span0 = tracer.now_ns();
                     process_level(
                         kernel,
                         src,
@@ -518,13 +555,26 @@ fn tile_pipeline<T: Real, K: StencilKernel<T>>(
                         &my_rows,
                         &mut planes_buf,
                     );
+                    if let Some(t0) = span0 {
+                        let t1 = tracer.now_ns().unwrap_or(t0);
+                        let kind = TraceEventKind::Plane {
+                            z: z as u32,
+                            level: t as u32,
+                        };
+                        tracer.record(tid, kind, t0, t1);
+                    }
                 }
             }
             planes_buf.clear();
             if let Some(t0) = compute_start {
                 instr.add_compute_ns(tid, t0.elapsed().as_nanos() as u64);
             }
+            let bar0 = tracer.now_ns();
             let wait = barrier.checked_wait_instrumented(deadline, instr, tid);
+            if let Some(t0) = bar0 {
+                let t1 = tracer.now_ns().unwrap_or(t0);
+                tracer.record(tid, TraceEventKind::Barrier { step: s as u32 }, t0, t1);
+            }
             compute_start = instr.now();
             if let Err(e) = wait {
                 // Cooperative exit: the barrier is poisoned (by a panicked
@@ -868,6 +918,85 @@ mod tests {
         .unwrap();
         assert!(instr.timing().per_thread.is_empty());
         assert_eq!(instr.timing().barrier_share(), 0.0);
+    }
+
+    #[test]
+    fn traced_sweep_is_bit_exact_and_spans_every_plane_level() {
+        use threefive_sync::TraceEventKind;
+        let d = Dim3::cube(12);
+        let k = SevenPoint::new(0.3f32, 0.1);
+        let (steps, dim_t, threads) = (4usize, 2usize, 2usize);
+        let mut want = init::<f32>(d);
+        reference_sweep(&k, &mut want, steps);
+        let team = ThreadTeam::new(threads);
+        let instr = Instrument::enabled(threads);
+        let tracer = Tracer::enabled(threads);
+        let mut got = init::<f32>(d);
+        try_parallel35d_sweep_traced(
+            &k,
+            &mut got,
+            steps,
+            Blocking35::new(d.nx, d.ny, dim_t), // one tile: exact span accounting
+            &team,
+            None,
+            &instr,
+            &tracer,
+        )
+        .unwrap();
+        assert_eq!(got.src().as_slice(), want.src().as_slice());
+        let snap = tracer.snapshot();
+        assert_eq!(snap.threads.len(), threads);
+        assert_eq!(snap.total_dropped(), 0);
+        let chunks = steps / dim_t;
+        let outer = d.nz + 2 * (dim_t - 1);
+        for tt in &snap.threads {
+            let planes = tt
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, TraceEventKind::Plane { .. }))
+                .count();
+            // One span per (plane, time level) per chunk on every thread.
+            assert_eq!(planes, d.nz * dim_t * chunks);
+            let barriers = tt
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, TraceEventKind::Barrier { .. }))
+                .count();
+            assert_eq!(barriers, outer * chunks);
+            // Recording order gives monotonic per-thread start times.
+            let starts: Vec<u64> = tt.events.iter().map(|e| e.start_ns).collect();
+            assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // The instrument now also carries the wait histogram.
+        assert_eq!(
+            instr.timing().wait_hist.total() as usize,
+            outer * chunks * threads
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_keeps_sweep_bit_identical() {
+        let d = Dim3::new(11, 9, 10);
+        let k = SevenPoint::new(0.3f64, 0.1);
+        let team = ThreadTeam::new(3);
+        let b = Blocking35::new(5, 6, 2);
+        let mut plain = init::<f64>(d);
+        try_parallel35d_sweep(&k, &mut plain, 4, b, &team, None).unwrap();
+        let mut traced = init::<f64>(d);
+        let tracer = Tracer::disabled();
+        try_parallel35d_sweep_traced(
+            &k,
+            &mut traced,
+            4,
+            b,
+            &team,
+            None,
+            &Instrument::disabled(),
+            &tracer,
+        )
+        .unwrap();
+        assert_eq!(plain.src().as_slice(), traced.src().as_slice());
+        assert_eq!(tracer.snapshot().total_events(), 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::fmt;
 
 use threefive_grid::partition::even_range;
 use threefive_grid::{Dim3, PlaneRing, Real, SoaGrid};
-use threefive_sync::{Instrument, SharedSlice, SpinBarrier, ThreadTeam};
+use threefive_sync::{Instrument, SharedSlice, SpinBarrier, ThreadTeam, TraceEventKind, Tracer};
 
 use crate::model::Q;
 use crate::step::{row_update, PullSource};
@@ -148,6 +148,24 @@ pub fn lbm35d_sweep_instrumented<T: Real>(
     team: Option<&ThreadTeam>,
     instr: &Instrument,
 ) -> u64 {
+    lbm35d_sweep_traced(lat, steps, b, team, instr, &Tracer::disabled())
+}
+
+/// [`lbm35d_sweep_instrumented`] with pipeline tracing.
+///
+/// Each team member records one [`TraceEventKind::Plane`] span per
+/// streamed Z plane × time level and one [`TraceEventKind::Barrier`]
+/// span per barrier episode into `tracer`, exactly like the stencil
+/// pipeline. A disabled tracer never reads the clock and leaves the
+/// lattice bit-identical to the untraced fast path.
+pub fn lbm35d_sweep_traced<T: Real>(
+    lat: &mut Lattice<T>,
+    steps: usize,
+    b: LbmBlocking,
+    team: Option<&ThreadTeam>,
+    instr: &Instrument,
+    tracer: &Tracer,
+) -> u64 {
     let fallback;
     let team = match team {
         Some(t) => t,
@@ -173,7 +191,7 @@ pub fn lbm35d_sweep_instrumented<T: Real>(
                 let ox1 = (ox + b.dim_x).min(dim.nx);
                 let geom = LGeom::new(dim, chunk, ox, ox1, oy, oy1);
                 tile_pipeline(
-                    src, &dst_views, flags, simple, omega, &geom, team, &barrier, instr,
+                    src, &dst_views, flags, simple, omega, &geom, team, &barrier, instr, tracer,
                 );
                 ox = ox1;
             }
@@ -315,6 +333,7 @@ fn tile_pipeline<T: Real>(
     team: &ThreadTeam,
     barrier: &SpinBarrier,
     instr: &Instrument,
+    tracer: &Tracer,
 ) {
     let c = geom.c;
     let (lx, ly) = (geom.lx(), geom.ly());
@@ -342,106 +361,126 @@ fn tile_pipeline<T: Real>(
                 if z >= dim.nz {
                     continue;
                 }
-                let is_final = t == c;
-                let z_boundary = z < R || z >= dim.nz - R;
+                let span0 = tracer.now_ns();
+                // Level body as a closure so its early exits still reach
+                // the span record below.
+                let mut level_body = || {
+                    let is_final = t == c;
+                    let z_boundary = z < R || z >= dim.nz - R;
 
-                if z_boundary {
-                    // Non-fluid planes: propagate the time-invariant source
-                    // values to wherever the consumer will read them.
-                    if !is_final {
-                        for row in my_rows.clone() {
-                            let y = geom.gy0 + row;
-                            for q in 0..Q {
-                                // SAFETY: this thread owns `row`.
-                                let dst =
-                                    unsafe { ring_views[t - 1].row_mut(q, z, y, geom.gx0, lx) };
-                                let i = dim.idx(geom.gx0, y, z);
-                                dst.copy_from_slice(&src.comp(q)[i..i + lx]);
+                    if z_boundary {
+                        // Non-fluid planes: propagate the time-invariant
+                        // source values to wherever the consumer will read
+                        // them.
+                        if !is_final {
+                            for row in my_rows.clone() {
+                                let y = geom.gy0 + row;
+                                for q in 0..Q {
+                                    // SAFETY: this thread owns `row`.
+                                    let dst =
+                                        unsafe { ring_views[t - 1].row_mut(q, z, y, geom.gx0, lx) };
+                                    let i = dim.idx(geom.gx0, y, z);
+                                    dst.copy_from_slice(&src.comp(q)[i..i + lx]);
+                                }
+                            }
+                        } else {
+                            let xs = geom.valid_x(c);
+                            if xs.is_empty() {
+                                return;
+                            }
+                            for row in my_rows.clone() {
+                                let y = geom.gy0 + row;
+                                if !geom.valid_y(c).contains(&y) {
+                                    continue;
+                                }
+                                for (q, view) in dst_views.iter().enumerate() {
+                                    let i = dim.idx(xs.start, y, z);
+                                    // SAFETY: this thread owns row `y` of the
+                                    // destination for this tile's X range.
+                                    let dst = unsafe { view.slice_mut(i, xs.len()) };
+                                    dst.copy_from_slice(&src.comp(q)[i..i + xs.len()]);
+                                }
                             }
                         }
-                    } else {
-                        let xs = geom.valid_x(c);
-                        if xs.is_empty() {
-                            continue;
-                        }
-                        for row in my_rows.clone() {
-                            let y = geom.gy0 + row;
-                            if !geom.valid_y(c).contains(&y) {
-                                continue;
-                            }
-                            for (q, view) in dst_views.iter().enumerate() {
+                        return;
+                    }
+
+                    let xs = geom.valid_x(t);
+                    let ys = geom.valid_y(t);
+                    if xs.is_empty() {
+                        return;
+                    }
+                    let row_lo = ys.start.max(geom.gy0 + my_rows.start);
+                    let row_hi = ys.end.min(geom.gy0 + my_rows.end);
+                    for y in row_lo..row_hi {
+                        out_rows.clear();
+                        if is_final {
+                            for view in dst_views {
                                 let i = dim.idx(xs.start, y, z);
                                 // SAFETY: this thread owns row `y` of the
                                 // destination for this tile's X range.
-                                let dst = unsafe { view.slice_mut(i, xs.len()) };
-                                dst.copy_from_slice(&src.comp(q)[i..i + xs.len()]);
+                                out_rows.push(unsafe { view.slice_mut(i, xs.len()) });
+                            }
+                        } else {
+                            for q in 0..Q {
+                                // SAFETY: this thread owns row `y`.
+                                out_rows.push(unsafe {
+                                    ring_views[t - 1].row_mut(q, z, y, xs.start, xs.len())
+                                });
                             }
                         }
-                    }
-                    continue;
-                }
-
-                let xs = geom.valid_x(t);
-                let ys = geom.valid_y(t);
-                if xs.is_empty() {
-                    continue;
-                }
-                let row_lo = ys.start.max(geom.gy0 + my_rows.start);
-                let row_hi = ys.end.min(geom.gy0 + my_rows.end);
-                for y in row_lo..row_hi {
-                    out_rows.clear();
-                    if is_final {
-                        for view in dst_views {
-                            let i = dim.idx(xs.start, y, z);
-                            // SAFETY: this thread owns row `y` of the
-                            // destination for this tile's X range.
-                            out_rows.push(unsafe { view.slice_mut(i, xs.len()) });
+                        if t == 1 {
+                            row_update(
+                                &src,
+                                src,
+                                flags,
+                                simple,
+                                omega,
+                                y,
+                                z,
+                                xs.clone(),
+                                &mut out_rows,
+                                true,
+                            );
+                        } else {
+                            let rsrc = RingSrc {
+                                rv: &ring_views[t - 2],
+                            };
+                            row_update(
+                                &rsrc,
+                                src,
+                                flags,
+                                simple,
+                                omega,
+                                y,
+                                z,
+                                xs.clone(),
+                                &mut out_rows,
+                                true,
+                            );
                         }
-                    } else {
-                        for q in 0..Q {
-                            // SAFETY: this thread owns row `y`.
-                            out_rows.push(unsafe {
-                                ring_views[t - 1].row_mut(q, z, y, xs.start, xs.len())
-                            });
-                        }
                     }
-                    if t == 1 {
-                        row_update(
-                            &src,
-                            src,
-                            flags,
-                            simple,
-                            omega,
-                            y,
-                            z,
-                            xs.clone(),
-                            &mut out_rows,
-                            true,
-                        );
-                    } else {
-                        let rsrc = RingSrc {
-                            rv: &ring_views[t - 2],
-                        };
-                        row_update(
-                            &rsrc,
-                            src,
-                            flags,
-                            simple,
-                            omega,
-                            y,
-                            z,
-                            xs.clone(),
-                            &mut out_rows,
-                            true,
-                        );
-                    }
+                };
+                level_body();
+                if let Some(t0) = span0 {
+                    let t1 = tracer.now_ns().unwrap_or(t0);
+                    let kind = TraceEventKind::Plane {
+                        z: z as u32,
+                        level: t as u32,
+                    };
+                    tracer.record(tid, kind, t0, t1);
                 }
             }
             if let Some(t0) = compute_start {
                 instr.add_compute_ns(tid, t0.elapsed().as_nanos() as u64);
             }
             let t1 = instr.now();
+            let bar0 = tracer.now_ns();
             barrier.wait();
+            if let Some(t0) = bar0 {
+                let end = tracer.now_ns().unwrap_or(t0);
+                tracer.record(tid, TraceEventKind::Barrier { step: s as u32 }, t0, end);
+            }
             if let Some(t1) = t1 {
                 instr.add_barrier_ns(tid, t1.elapsed().as_nanos() as u64);
             }
@@ -562,6 +601,48 @@ mod tests {
             lbm35d_sweep(&mut got, steps, LbmBlocking::new(4, 3, 3), None);
             assert_lattices_equal(&want, &got, &format!("steps {steps}"));
         }
+    }
+
+    #[test]
+    fn traced_sweep_matches_naive_and_spans_every_plane_level() {
+        let d = Dim3::cube(9);
+        let (steps, dim_t, threads) = (4usize, 2usize, 2usize);
+        let mut want = scenarios::closed_box::<f32>(d, 1.3);
+        perturb(&mut want);
+        lbm_naive_sweep(&mut want, steps, LbmMode::Simd, None);
+        let team = ThreadTeam::new(threads);
+        let instr = Instrument::enabled(threads);
+        let tracer = Tracer::enabled(threads);
+        let mut got = scenarios::closed_box::<f32>(d, 1.3);
+        perturb(&mut got);
+        lbm35d_sweep_traced(
+            &mut got,
+            steps,
+            LbmBlocking::new(d.nx, d.ny, dim_t), // one tile: exact span accounting
+            Some(&team),
+            &instr,
+            &tracer,
+        );
+        assert_lattices_equal(&want, &got, "traced");
+        let snap = tracer.snapshot();
+        assert_eq!(snap.threads.len(), threads);
+        let chunks = steps / dim_t;
+        let outer = d.nz + 2 * R * (dim_t - 1);
+        for tt in &snap.threads {
+            let planes = tt
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, TraceEventKind::Plane { .. }))
+                .count();
+            assert_eq!(planes, d.nz * dim_t * chunks);
+            let barriers = tt
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, TraceEventKind::Barrier { .. }))
+                .count();
+            assert_eq!(barriers, outer * chunks);
+        }
+        assert!(instr.timing().total_compute_ns() > 0);
     }
 
     #[test]

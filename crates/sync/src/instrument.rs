@@ -19,11 +19,65 @@ use std::time::Instant;
 
 use crate::CachePadded;
 
-/// One thread's timing slot: nanoseconds computing vs. waiting.
+/// Number of buckets in a [`WaitHistogram`].
+pub const WAIT_HIST_BUCKETS: usize = 12;
+
+/// Histogram of barrier-wait episode durations.
+///
+/// Bucket `i` counts waits with `duration_ns ≤ 2^(10 + 2i)` (1 µs, 4 µs,
+/// 16 µs, … ~268 ms); the last bucket is unbounded. Log-spaced buckets
+/// separate the healthy case (sub-µs spins) from load imbalance (tens of
+/// µs) and stragglers (ms and up) at a glance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaitHistogram {
+    /// Per-bucket episode counts.
+    pub counts: [u64; WAIT_HIST_BUCKETS],
+}
+
+impl WaitHistogram {
+    /// The bucket a wait of `ns` nanoseconds falls into.
+    pub fn bucket_index(ns: u64) -> usize {
+        let mut edge = 1u64 << 10;
+        for i in 0..WAIT_HIST_BUCKETS - 1 {
+            if ns <= edge {
+                return i;
+            }
+            edge <<= 2;
+        }
+        WAIT_HIST_BUCKETS - 1
+    }
+
+    /// Upper edge of bucket `i` in nanoseconds; `None` for the unbounded
+    /// last bucket.
+    pub fn bucket_upper_ns(i: usize) -> Option<u64> {
+        (i < WAIT_HIST_BUCKETS - 1).then(|| 1u64 << (10 + 2 * i))
+    }
+
+    /// Counts one wait episode of `ns` nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket_index(ns)] += 1;
+    }
+
+    /// Total episodes recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// One thread's timing slot: nanoseconds computing vs. waiting, plus the
+/// wait-episode histogram.
 #[derive(Debug, Default)]
 struct Slot {
     compute_ns: AtomicU64,
     barrier_ns: AtomicU64,
+    wait_hist: [AtomicU64; WAIT_HIST_BUCKETS],
 }
 
 /// Handle enabling (or not) per-thread compute/barrier-wait timing.
@@ -76,27 +130,37 @@ impl Instrument {
         }
     }
 
-    /// Adds `ns` of barrier-wait time to thread `tid`'s slot.
+    /// Adds one barrier-wait episode of `ns` to thread `tid`'s slot —
+    /// both the running total and the wait histogram.
     #[inline]
     pub fn add_barrier_ns(&self, tid: usize, ns: u64) {
         if let Some(slot) = self.slots.as_ref().and_then(|s| s.get(tid)) {
             slot.barrier_ns.fetch_add(ns, Ordering::Relaxed);
+            slot.wait_hist[WaitHistogram::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Snapshots the accumulated counters.
     pub fn timing(&self) -> SweepTiming {
-        SweepTiming {
-            per_thread: self
-                .slots
-                .as_deref()
-                .unwrap_or(&[])
-                .iter()
-                .map(|s| ThreadTiming {
+        let mut wait_hist = WaitHistogram::default();
+        let per_thread = self
+            .slots
+            .as_deref()
+            .unwrap_or(&[])
+            .iter()
+            .map(|s| {
+                for (i, c) in s.wait_hist.iter().enumerate() {
+                    wait_hist.counts[i] += c.load(Ordering::Relaxed);
+                }
+                ThreadTiming {
                     compute_ns: s.compute_ns.load(Ordering::Relaxed),
                     barrier_ns: s.barrier_ns.load(Ordering::Relaxed),
-                })
-                .collect(),
+                }
+            })
+            .collect();
+        SweepTiming {
+            per_thread,
+            wait_hist,
         }
     }
 
@@ -105,6 +169,9 @@ impl Instrument {
         for s in self.slots.as_deref().unwrap_or(&[]) {
             s.compute_ns.store(0, Ordering::Relaxed);
             s.barrier_ns.store(0, Ordering::Relaxed);
+            for c in &s.wait_hist {
+                c.store(0, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -114,6 +181,8 @@ impl Instrument {
 pub struct SweepTiming {
     /// One entry per team member, indexed by `tid`.
     pub per_thread: Vec<ThreadTiming>,
+    /// Distribution of individual barrier-wait episodes across the team.
+    pub wait_hist: WaitHistogram,
 }
 
 /// One thread's split of wall-clock time inside the parallel region.
@@ -123,6 +192,19 @@ pub struct ThreadTiming {
     pub compute_ns: u64,
     /// Nanoseconds spent waiting at the per-Z-step barrier.
     pub barrier_ns: u64,
+}
+
+impl ThreadTiming {
+    /// This thread's fraction of in-region time spent waiting, in
+    /// `[0, 1]`; 0 when nothing was recorded (never NaN).
+    pub fn barrier_share(&self) -> f64 {
+        let total = self.compute_ns + self.barrier_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.barrier_ns as f64 / total as f64
+        }
+    }
 }
 
 impl SweepTiming {
@@ -194,7 +276,48 @@ mod tests {
                 compute_ns: 10,
                 barrier_ns: 0,
             }],
+            ..Default::default()
         };
         assert_eq!(t.barrier_share(), 0.0);
+    }
+
+    #[test]
+    fn per_thread_share_is_zero_without_samples() {
+        assert_eq!(ThreadTiming::default().barrier_share(), 0.0);
+        let t = ThreadTiming {
+            compute_ns: 100,
+            barrier_ns: 300,
+        };
+        assert!((t.barrier_share() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_histogram_buckets_and_merge() {
+        assert_eq!(WaitHistogram::bucket_index(0), 0);
+        assert_eq!(WaitHistogram::bucket_index(1024), 0);
+        assert_eq!(WaitHistogram::bucket_index(1025), 1);
+        assert_eq!(WaitHistogram::bucket_index(u64::MAX), WAIT_HIST_BUCKETS - 1);
+        assert_eq!(WaitHistogram::bucket_upper_ns(0), Some(1 << 10));
+        assert_eq!(WaitHistogram::bucket_upper_ns(WAIT_HIST_BUCKETS - 1), None);
+        let mut a = WaitHistogram::default();
+        a.record(100);
+        a.record(2_000_000);
+        let mut b = WaitHistogram::default();
+        b.record(100);
+        b.merge(&a);
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.counts[0], 2);
+    }
+
+    #[test]
+    fn instrument_collects_wait_histogram() {
+        let i = Instrument::enabled(2);
+        i.add_barrier_ns(0, 500);
+        i.add_barrier_ns(1, 2_000_000);
+        let t = i.timing();
+        assert_eq!(t.wait_hist.total(), 2);
+        assert_eq!(t.wait_hist.counts[0], 1);
+        i.reset();
+        assert_eq!(i.timing().wait_hist.total(), 0);
     }
 }

@@ -19,7 +19,10 @@
 //!   partitioning guarantees;
 //! * [`Instrument`] / [`SweepTiming`] — zero-cost-when-disabled per-thread
 //!   compute vs. barrier-wait timing, the observability layer the
-//!   benchmark harness reports through.
+//!   benchmark harness reports through;
+//! * [`Tracer`] / [`TraceSnapshot`] — zero-cost-when-disabled per-thread
+//!   span/event recording (one cache-padded ring per team member) at
+//!   pipeline-stage granularity, exported to Perfetto by the bench crate.
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -31,11 +34,15 @@ mod pad;
 mod shared;
 mod team;
 mod tournament;
+mod trace;
 
 pub use barrier::SpinBarrier;
 pub use error::SyncError;
-pub use instrument::{Instrument, SweepTiming, ThreadTiming};
+pub use instrument::{Instrument, SweepTiming, ThreadTiming, WaitHistogram, WAIT_HIST_BUCKETS};
 pub use pad::CachePadded;
 pub use shared::SharedSlice;
 pub use team::ThreadTeam;
 pub use tournament::{TournamentBarrier, TournamentWaiter};
+pub use trace::{
+    ThreadTrace, TraceEvent, TraceEventKind, TraceSnapshot, Tracer, TRACE_DEFAULT_CAPACITY,
+};

@@ -1,0 +1,424 @@
+//! Pipeline tracing: per-thread span/event recording, zero-cost when off.
+//!
+//! [`Instrument`](crate::Instrument) reduces a whole sweep to two numbers
+//! per thread; a [`Tracer`] keeps the *timeline* — one span per streamed
+//! Z plane × time level of the 3.5-D pipeline, a span per barrier wait
+//! (entry to exit), and instant events for team quarantine/heal and
+//! fallback-ladder transitions. The snapshot exports to Chrome
+//! trace-event JSON (see the bench crate) and loads in Perfetto.
+//!
+//! Design:
+//!
+//! * **One ring buffer per team member**, each behind a
+//!   [`CachePadded`] so concurrent writers never share a line. A record
+//!   is only ever written by its owning thread; readers snapshot after
+//!   the parallel region quiesces (and a release/acquire pair on the
+//!   ring length keeps even a mid-run snapshot sound).
+//! * **Lock-free and allocation-free on the hot path**: recording is a
+//!   relaxed length load, four relaxed stores, and one release store.
+//!   When the ring is full the record is dropped and counted — tracing
+//!   never blocks the pipeline.
+//! * **Zero-cost when disabled**, exactly like `Instrument`: a disabled
+//!   handle carries no buffers and [`Tracer::now_ns`] returns `None`, so
+//!   the executors never read the clock and the swept grids stay
+//!   bit-identical to the untraced fast path.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::CachePadded;
+
+/// Default ring capacity per thread (records). At one span per plane ×
+/// time level plus one barrier span per outer step, a 512³ sweep with
+/// `dim_T = 4` stays well under this.
+pub const TRACE_DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// What one trace record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// One streamed Z plane processed at one time level (a span).
+    Plane {
+        /// Global Z index of the plane.
+        z: u32,
+        /// Time level within the temporal block, `1..=dim_T`.
+        level: u32,
+    },
+    /// One barrier episode: the span runs from entry to exit.
+    Barrier {
+        /// Outer pipeline step the barrier closes.
+        step: u32,
+    },
+    /// A team member was quarantined by the watchdog (instant).
+    Quarantine {
+        /// The quarantined member.
+        tid: u32,
+    },
+    /// A quarantined member drained and the team healed (instant).
+    Heal {
+        /// The healed member.
+        tid: u32,
+    },
+    /// The fallback ladder moved to a lower rung (instant).
+    Fallback {
+        /// Rung being abandoned (ladder index).
+        from: u32,
+        /// Rung being tried next (ladder index).
+        to: u32,
+    },
+}
+
+impl TraceEventKind {
+    fn encode(self) -> (u64, u64) {
+        let (tag, a, b) = match self {
+            Self::Plane { z, level } => (0u64, z, level),
+            Self::Barrier { step } => (1, step, 0),
+            Self::Quarantine { tid } => (2, tid, 0),
+            Self::Heal { tid } => (3, tid, 0),
+            Self::Fallback { from, to } => (4, from, to),
+        };
+        (tag, ((a as u64) << 32) | b as u64)
+    }
+
+    fn decode(tag: u64, args: u64) -> Option<Self> {
+        let a = (args >> 32) as u32;
+        let b = args as u32;
+        match tag {
+            0 => Some(Self::Plane { z: a, level: b }),
+            1 => Some(Self::Barrier { step: a }),
+            2 => Some(Self::Quarantine { tid: a }),
+            3 => Some(Self::Heal { tid: a }),
+            4 => Some(Self::Fallback { from: a, to: b }),
+            _ => None,
+        }
+    }
+
+    /// Short label for exporters and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Plane { .. } => "plane",
+            Self::Barrier { .. } => "barrier",
+            Self::Quarantine { .. } => "quarantine",
+            Self::Heal { .. } => "heal",
+            Self::Fallback { .. } => "fallback",
+        }
+    }
+}
+
+/// One record: `[tag, packed args, start, end]`, all written relaxed by
+/// the owning thread, published by a release store of the ring length.
+#[derive(Debug)]
+struct Record {
+    tag: AtomicU64,
+    args: AtomicU64,
+    start_ns: AtomicU64,
+    end_ns: AtomicU64,
+}
+
+impl Record {
+    fn zeroed() -> Self {
+        Self {
+            tag: AtomicU64::new(0),
+            args: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            end_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One thread's ring: records `[0, len)` are valid, the rest spare.
+#[derive(Debug)]
+struct ThreadBuf {
+    len: AtomicUsize,
+    dropped: AtomicU64,
+    records: Vec<Record>,
+}
+
+impl ThreadBuf {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            records: (0..capacity).map(|_| Record::zeroed()).collect(),
+        }
+    }
+
+    fn push(&self, kind: TraceEventKind, start_ns: u64, end_ns: u64) {
+        let n = self.len.load(Ordering::Relaxed);
+        let Some(r) = self.records.get(n) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let (tag, args) = kind.encode();
+        r.tag.store(tag, Ordering::Relaxed);
+        r.args.store(args, Ordering::Relaxed);
+        r.start_ns.store(start_ns, Ordering::Relaxed);
+        r.end_ns.store(end_ns, Ordering::Relaxed);
+        self.len.store(n + 1, Ordering::Release);
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    /// All timestamps are nanoseconds since this epoch.
+    epoch: Instant,
+    threads: Vec<CachePadded<ThreadBuf>>,
+}
+
+/// Handle enabling (or not) per-thread pipeline tracing.
+///
+/// Like [`Instrument`](crate::Instrument), the executors borrow it and
+/// the harness owns it; a disabled handle makes every call a no-op.
+#[derive(Debug)]
+pub struct Tracer {
+    inner: Option<TracerInner>,
+}
+
+impl Tracer {
+    /// A disabled handle: no buffers, no clock reads, no atomics.
+    pub const fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle with [`TRACE_DEFAULT_CAPACITY`] records per
+    /// team member.
+    pub fn enabled(threads: usize) -> Self {
+        Self::with_capacity(threads, TRACE_DEFAULT_CAPACITY)
+    }
+
+    /// An enabled handle with `capacity` records per team member.
+    pub fn with_capacity(threads: usize, capacity: usize) -> Self {
+        Self {
+            inner: Some(TracerInner {
+                epoch: Instant::now(),
+                threads: (0..threads)
+                    .map(|_| CachePadded::new(ThreadBuf::with_capacity(capacity)))
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Whether events are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Nanoseconds since the trace epoch, iff enabled — the only way the
+    /// executors obtain trace timestamps, so a disabled handle provably
+    /// never reads the clock.
+    #[inline]
+    pub fn now_ns(&self) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .map(|i| i.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Records a span for thread `tid`.
+    ///
+    /// No-op when disabled or `tid` is out of range; when the ring is
+    /// full the record is dropped and counted, never blocking.
+    #[inline]
+    pub fn record(&self, tid: usize, kind: TraceEventKind, start_ns: u64, end_ns: u64) {
+        if let Some(buf) = self.inner.as_ref().and_then(|i| i.threads.get(tid)) {
+            buf.push(kind, start_ns, end_ns);
+        }
+    }
+
+    /// Records an instant event (zero-duration span) for thread `tid`.
+    #[inline]
+    pub fn instant(&self, tid: usize, kind: TraceEventKind, ts_ns: u64) {
+        self.record(tid, kind, ts_ns, ts_ns);
+    }
+
+    /// Snapshots every thread's ring into plain owned data.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let threads = self
+            .inner
+            .as_ref()
+            .map(|i| i.threads.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|buf| {
+                let n = buf.len.load(Ordering::Acquire);
+                ThreadTrace {
+                    events: buf.records[..n]
+                        .iter()
+                        .filter_map(|r| {
+                            TraceEventKind::decode(
+                                r.tag.load(Ordering::Relaxed),
+                                r.args.load(Ordering::Relaxed),
+                            )
+                            .map(|kind| TraceEvent {
+                                kind,
+                                start_ns: r.start_ns.load(Ordering::Relaxed),
+                                end_ns: r.end_ns.load(Ordering::Relaxed),
+                            })
+                        })
+                        .collect(),
+                    dropped: buf.dropped.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        TraceSnapshot { threads }
+    }
+
+    /// Empties the rings (between benchmark repetitions).
+    pub fn reset(&self) {
+        for buf in self
+            .inner
+            .as_ref()
+            .map(|i| i.threads.as_slice())
+            .unwrap_or(&[])
+        {
+            buf.len.store(0, Ordering::Release);
+            buf.dropped.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One recorded span/event, timestamps in ns since the trace epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// When it started.
+    pub start_ns: u64,
+    /// When it ended (equals `start_ns` for instant events).
+    pub end_ns: u64,
+}
+
+impl TraceEvent {
+    /// Span duration in nanoseconds (0 for instant events).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// One thread's recorded timeline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadTrace {
+    /// Events in recording order (monotonic `start_ns` per thread).
+    pub events: Vec<TraceEvent>,
+    /// Records dropped because the ring was full.
+    pub dropped: u64,
+}
+
+/// Owned snapshot of a whole team's timelines, indexed by `tid`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// One timeline per team member.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl TraceSnapshot {
+    /// Total recorded events across the team.
+    pub fn total_events(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total records dropped to full rings across the team.
+    pub fn total_dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Histogram of barrier-wait span durations across the team.
+    pub fn barrier_wait_hist(&self) -> crate::WaitHistogram {
+        let mut h = crate::WaitHistogram::default();
+        for t in &self.threads {
+            for e in &t.events {
+                if matches!(e.kind, TraceEventKind::Barrier { .. }) {
+                    h.record(e.duration_ns());
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_never_reads_the_clock() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        assert!(t.now_ns().is_none());
+        t.record(0, TraceEventKind::Barrier { step: 1 }, 0, 10);
+        let s = t.snapshot();
+        assert!(s.threads.is_empty());
+        assert_eq!(s.total_events(), 0);
+        assert_eq!(s.total_dropped(), 0);
+    }
+
+    #[test]
+    fn enabled_tracer_round_trips_every_kind() {
+        let t = Tracer::enabled(2);
+        assert!(t.is_enabled());
+        assert!(t.now_ns().is_some());
+        let kinds = [
+            TraceEventKind::Plane { z: 7, level: 3 },
+            TraceEventKind::Barrier { step: 42 },
+            TraceEventKind::Quarantine { tid: 1 },
+            TraceEventKind::Heal { tid: 1 },
+            TraceEventKind::Fallback { from: 0, to: 1 },
+        ];
+        for (i, k) in kinds.iter().enumerate() {
+            t.record(0, *k, i as u64 * 10, i as u64 * 10 + 5);
+        }
+        t.instant(1, TraceEventKind::Heal { tid: 0 }, 99);
+        t.record(9, TraceEventKind::Barrier { step: 0 }, 0, 1); // out of range: ignored
+        let s = t.snapshot();
+        assert_eq!(s.threads.len(), 2);
+        assert_eq!(s.threads[0].events.len(), kinds.len());
+        for (i, k) in kinds.iter().enumerate() {
+            let e = s.threads[0].events[i];
+            assert_eq!(e.kind, *k);
+            assert_eq!(e.start_ns, i as u64 * 10);
+            assert_eq!(e.duration_ns(), 5);
+        }
+        assert_eq!(s.threads[1].events[0].duration_ns(), 0);
+        assert_eq!(s.total_events(), kinds.len() + 1);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts_instead_of_blocking() {
+        let t = Tracer::with_capacity(1, 2);
+        for i in 0..5 {
+            t.record(0, TraceEventKind::Barrier { step: i }, 0, 1);
+        }
+        let s = t.snapshot();
+        assert_eq!(s.threads[0].events.len(), 2);
+        assert_eq!(s.threads[0].dropped, 3);
+        assert_eq!(s.total_dropped(), 3);
+        t.reset();
+        let s = t.snapshot();
+        assert_eq!(s.total_events(), 0);
+        assert_eq!(s.total_dropped(), 0);
+    }
+
+    #[test]
+    fn barrier_wait_hist_counts_only_barrier_spans() {
+        let t = Tracer::enabled(1);
+        t.record(0, TraceEventKind::Plane { z: 0, level: 1 }, 0, 1_000_000);
+        t.record(0, TraceEventKind::Barrier { step: 0 }, 0, 500);
+        t.record(0, TraceEventKind::Barrier { step: 1 }, 0, 2_000_000);
+        let h = t.snapshot().barrier_wait_hist();
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_per_thread_by_construction() {
+        let t = Tracer::enabled(1);
+        let mut last = 0;
+        for i in 0..100 {
+            let now = t.now_ns().unwrap();
+            assert!(now >= last);
+            last = now;
+            t.record(0, TraceEventKind::Plane { z: i, level: 1 }, now, now + 1);
+        }
+        let s = t.snapshot();
+        let starts: Vec<u64> = s.threads[0].events.iter().map(|e| e.start_ns).collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -19,6 +19,8 @@ use std::fmt;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use threefive::bench::counters::{lbm_telemetry, stencil_telemetry, Telemetry};
+use threefive::bench::perfetto::{trace_to_chrome_json, validate_trace_str};
 use threefive::bench::report::{BenchEntry, BenchReport};
 use threefive::bench::{
     measure_lbm, measure_seven_point, BenchConfig, Measurement, LBM_VARIANTS, STENCIL_VARIANTS,
@@ -93,6 +95,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "lbm" => cmd_lbm(&opts),
         "bench" => cmd_bench(&opts),
+        "trace" => cmd_trace(&opts),
         "gpu" => cmd_gpu(&opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
@@ -131,6 +134,10 @@ USAGE:
                   [--tile T] [--dimt K] [--threads N]
                   [--precision sp|dp|both] [--out DIR]
   threefive bench --validate FILE
+  threefive trace [--nx X --ny Y --nz Z | --n N] [--dimt K] [--steps S]
+                  [--tile T] [--threads N] [--workload stencil|lbm]
+                  [--out DIR]
+  threefive trace --validate FILE
   threefive gpu   [--n 96] [--steps 2]
   threefive info"
     );
@@ -364,6 +371,7 @@ fn bench_entry(
     steps: usize,
     threads: usize,
     cfg: &BenchConfig,
+    telemetry: Option<Telemetry>,
 ) -> BenchEntry {
     BenchEntry {
         variant: m.label.to_string(),
@@ -381,6 +389,7 @@ fn bench_entry(
         modeled_dram_bytes: m.stats.dram_bytes(),
         kappa: m.kappa,
         barrier_share: m.barrier_share,
+        telemetry,
     }
 }
 
@@ -388,14 +397,30 @@ fn print_bench_entry(e: &BenchEntry) {
     let barrier = e
         .barrier_share
         .map_or("     -".to_string(), |s| format!("{:5.1}%", s * 100.0));
+    // Attainment vs the paper's reference machine (see bench::counters).
+    let attain = e
+        .telemetry
+        .as_ref()
+        .and_then(|t| t.counters.get("roofline_attainment_pct"))
+        .map_or("     -".to_string(), |a| format!("{a:5.1}%"));
     println!(
-        "  {:4} {:20} {:>9.3} ms {:>8.1} MUPS  κ {:>5.3}  barrier {barrier}",
+        "  {:4} {:20} {:>9.3} ms {:>8.1} MUPS  κ {:>5.3}  barrier {barrier}  attain {attain}",
         e.precision,
         e.variant,
         e.median_secs * 1e3,
         e.mups,
         e.kappa
     );
+    if let Some(t) = &e.telemetry {
+        if let Some(sim) = t.counters.get("cachesim_dram_bytes") {
+            println!(
+                "       {:20} modeled DRAM {:>7.2} MB vs cachesim {:>7.2} MB",
+                "",
+                e.modeled_dram_bytes as f64 / (1 << 20) as f64,
+                sim / (1 << 20) as f64
+            );
+        }
+    }
 }
 
 fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
@@ -446,13 +471,19 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
     let mut stencil = BenchReport::new("stencil");
     println!("\n7-point stencil:");
     for &prec in precisions {
+        let p = if prec == "dp" {
+            Precision::Dp
+        } else {
+            Precision::Sp
+        };
         for &variant in STENCIL_VARIANTS {
             let m = if prec == "dp" {
                 measure_seven_point::<f64>(&cfg, variant, dim, steps, tile, dim_t, Some(&team))?
             } else {
                 measure_seven_point::<f32>(&cfg, variant, dim, steps, tile, dim_t, Some(&team))?
             };
-            let e = bench_entry(&m, prec, grid, steps, threads, &cfg);
+            let tel = stencil_telemetry(p, &m, dim, steps, tile, dim_t);
+            let e = bench_entry(&m, prec, grid, steps, threads, &cfg, Some(tel));
             print_bench_entry(&e);
             stencil.entries.push(e);
         }
@@ -461,13 +492,19 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
     let mut lbm = BenchReport::new("lbm");
     println!("\nD3Q19 LBM (lid-driven cavity):");
     for &prec in precisions {
+        let p = if prec == "dp" {
+            Precision::Dp
+        } else {
+            Precision::Sp
+        };
         for &variant in LBM_VARIANTS {
             let m = if prec == "dp" {
                 measure_lbm::<f64>(&cfg, variant, n, steps, tile, dim_t, Some(&team))?
             } else {
                 measure_lbm::<f32>(&cfg, variant, n, steps, tile, dim_t, Some(&team))?
             };
-            let e = bench_entry(&m, prec, grid, steps, threads, &cfg);
+            let tel = lbm_telemetry(p, &m, n, tile, dim_t);
+            let e = bench_entry(&m, prec, grid, steps, threads, &cfg, Some(tel));
             print_bench_entry(&e);
             lbm.entries.push(e);
         }
@@ -483,6 +520,178 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
             report.entries.len()
         );
     }
+    Ok(())
+}
+
+/// Prints the per-thread timeline summary of a trace snapshot.
+fn print_trace_summary(snapshot: &TraceSnapshot) {
+    println!("\nper-thread timeline:");
+    println!(
+        "  {:>3} {:>8} {:>12} {:>12} {:>8} {:>8}",
+        "tid", "events", "compute ms", "barrier ms", "share", "dropped"
+    );
+    for (tid, tt) in snapshot.threads.iter().enumerate() {
+        let mut plane_ns = 0u64;
+        let mut barrier_ns = 0u64;
+        for e in &tt.events {
+            match e.kind {
+                TraceEventKind::Plane { .. } => plane_ns += e.duration_ns(),
+                TraceEventKind::Barrier { .. } => barrier_ns += e.duration_ns(),
+                _ => {}
+            }
+        }
+        let total = plane_ns + barrier_ns;
+        let share = if total > 0 {
+            barrier_ns as f64 / total as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {tid:>3} {:>8} {:>12.3} {:>12.3} {:>7.1}% {:>8}",
+            tt.events.len(),
+            plane_ns as f64 / 1e6,
+            barrier_ns as f64 / 1e6,
+            share * 100.0,
+            tt.dropped
+        );
+    }
+}
+
+/// Prints the attainment/κ/DRAM counter table of a telemetry block.
+fn print_attainment_table(tel: &Telemetry) {
+    println!("\nattainment vs {} (reference machine):", tel.machine);
+    for (name, value) in tel.counters.iter() {
+        println!("  {name:28} {value:>16.3}");
+    }
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), CmdError> {
+    if let Some(path) = opts.get("validate") {
+        let text = std::fs::read_to_string(path)?;
+        let s = validate_trace_str(&text)
+            .map_err(|e| CmdError::Msg(format!("{path}: invalid trace: {e}")))?;
+        println!(
+            "{path}: valid Chrome trace ({} events: {} spans, {} instants, {} threads)",
+            s.events, s.spans, s.instants, s.threads
+        );
+        return Ok(());
+    }
+
+    let n: usize = cli::get(opts, "n", 64)?;
+    let nx: usize = cli::get(opts, "nx", n)?;
+    let ny: usize = cli::get(opts, "ny", n)?;
+    let nz: usize = cli::get(opts, "nz", n)?;
+    let dim_t: usize = cli::get(opts, "dimt", 4)?;
+    // One dim_T chunk by default: exactly one span per (plane, level).
+    let steps: usize = cli::get(opts, "steps", dim_t.max(1))?;
+    let tile: usize = cli::get(opts, "tile", nx.max(ny))?;
+    let threads: usize = cli::get(opts, "threads", host_threads())?;
+    let workload = cli::getstr(opts, "workload", "stencil");
+    let out_dir = std::path::PathBuf::from(cli::getstr(opts, "out", "."));
+    let dim = Dim3::new(nx, ny, nz);
+    let team = ThreadTeam::new(threads);
+    let tracer = Tracer::enabled(threads);
+    let instr = Instrument::enabled(threads);
+
+    let (file_name, measurement, telemetry) = match workload.as_str() {
+        "stencil" => {
+            let b = Blocking35::try_new(tile.min(nx), tile.min(ny), dim_t)?;
+            let kernel = SevenPoint::<f32>::heat(0.125);
+            let initial =
+                Grid3::<f32>::from_fn(dim, |x, y, z| ((x * 13 + y * 7 + z * 3) % 17) as f32 * 0.1);
+            let mut grids = DoubleGrid::from_initial(initial);
+            let t0 = Instant::now();
+            let stats = try_parallel35d_sweep_traced(
+                &kernel, &mut grids, steps, b, &team, None, &instr, &tracer,
+            )?;
+            let secs = t0.elapsed().as_secs_f64();
+            let timing = instr.timing();
+            let interior = dim.interior_region(kernel.radius()).len() as u64 * steps as u64;
+            let m = Measurement::from_parts(
+                "3.5D blocking",
+                vec![secs],
+                interior,
+                stats,
+                stats.overestimation(),
+                Some(timing.barrier_share()),
+                Some(timing.wait_hist),
+            );
+            let tel = stencil_telemetry(Precision::Sp, &m, dim, steps, tile, dim_t);
+            ("TRACE_stencil.json", m, tel)
+        }
+        "lbm" => {
+            let b = LbmBlocking::try_new(tile.min(nx), tile.min(ny), dim_t)?;
+            let mut lat: Lattice<f32> = scenarios::lid_driven_cavity(dim, 1.2, 0.05);
+            let t0 = Instant::now();
+            lbm35d_sweep_traced(&mut lat, steps, b, Some(&team), &instr, &tracer);
+            let secs = t0.elapsed().as_secs_f64();
+            let timing = instr.timing();
+            // Model the traffic the way `measure_lbm` does: each dim_T
+            // chunk streams the whole lattice in and out once.
+            let q = threefive::lbm::model::Q as u64;
+            let lattice_bytes = dim.len() as u64 * q * 4;
+            let chunks = steps.div_ceil(dim_t) as u64;
+            let stats = threefive::core::stats::SweepStats {
+                stencil_updates: 0,
+                committed_points: 0,
+                dram_bytes_read: lattice_bytes * chunks,
+                dram_bytes_written: lattice_bytes * chunks,
+            };
+            let loaded_x = tile.min(nx) + 2 * dim_t;
+            let loaded_y = tile.min(ny) + 2 * dim_t;
+            let kappa = threefive::core::planner::kappa_35d(1, dim_t, loaded_x, loaded_y);
+            let interior = dim.interior_region(1).len() as u64 * steps as u64;
+            let m = Measurement::from_parts(
+                "3.5D blocking",
+                vec![secs],
+                interior,
+                stats,
+                kappa,
+                Some(timing.barrier_share()),
+                Some(timing.wait_hist),
+            );
+            let tel = lbm_telemetry(Precision::Sp, &m, nx.max(ny).max(nz), tile, dim_t);
+            ("TRACE_lbm.json", m, tel)
+        }
+        other => {
+            return Err(CmdError::Msg(format!(
+                "unknown workload '{other}' (expected stencil or lbm)"
+            )))
+        }
+    };
+
+    let snapshot = tracer.snapshot();
+    let process = format!("threefive {workload} {nx}x{ny}x{nz} dimT={dim_t}");
+    let doc = trace_to_chrome_json(&snapshot, &process);
+    let text = format!("{doc}\n");
+    // Self-check before writing: the exporter's output must satisfy the
+    // same validator CI runs on the file.
+    let summary = validate_trace_str(&text)
+        .map_err(|e| CmdError::Msg(format!("internal: exported trace invalid: {e}")))?;
+    std::fs::create_dir_all(&out_dir)?;
+    let path = out_dir.join(file_name);
+    std::fs::write(&path, &text)?;
+
+    println!(
+        "traced {workload} {nx}x{ny}x{nz}, dim_T {dim_t}, {steps} step(s), {threads} thread(s): \
+         {:.1} MUPS",
+        measurement.mups
+    );
+    println!(
+        "wrote {} ({} events: {} spans, {} instants; open at ui.perfetto.dev)",
+        path.display(),
+        summary.events,
+        summary.spans,
+        summary.instants
+    );
+    if snapshot.total_dropped() > 0 {
+        println!(
+            "note: {} event(s) dropped by full ring buffers (raise capacity or shrink the grid)",
+            snapshot.total_dropped()
+        );
+    }
+    print_trace_summary(&snapshot);
+    print_attainment_table(&telemetry);
     Ok(())
 }
 

@@ -13,7 +13,8 @@
 //!
 //! Failures never escape as panics or hangs: worker panics poison the
 //! per-Z-step barrier and drain the team (see
-//! [`try_parallel35d_sweep`]), stalls are bounded by the watchdog
+//! [`try_parallel35d_sweep`](threefive_core::exec::try_parallel35d_sweep)),
+//! stalls are bounded by the watchdog
 //! `deadline` (on by default here, unlike the raw executor API used by
 //! the benchmarks), and numerical corruption is caught by the
 //! [`check_finite`] guard after every attempt.
@@ -22,12 +23,14 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-use threefive_core::exec::{blocked25d_sweep, reference_sweep, try_parallel35d_sweep, Blocking35};
+use threefive_core::exec::{
+    blocked25d_sweep, reference_sweep, try_parallel35d_sweep_traced, Blocking35,
+};
 use threefive_core::stats::SweepStats;
 use threefive_core::verify::check_finite;
 use threefive_core::{ExecError, Plan35D, PlanError, StencilKernel};
 use threefive_grid::{DoubleGrid, Grid3, Real};
-use threefive_sync::{SyncError, ThreadTeam};
+use threefive_sync::{Instrument, SyncError, ThreadTeam, TraceEventKind, Tracer};
 
 /// One rung of the executor ladder, fastest first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +43,19 @@ pub enum Rung {
     Blocked25D,
     /// Scalar reference sweep — always applicable.
     Reference,
+}
+
+impl Rung {
+    /// Position on the ladder, fastest = 0 — the encoding used by
+    /// [`TraceEventKind::Fallback`] events.
+    pub fn ladder_index(self) -> u32 {
+        match self {
+            Rung::Parallel35D => 0,
+            Rung::Serial35D => 1,
+            Rung::Blocked25D => 2,
+            Rung::Reference => 3,
+        }
+    }
 }
 
 impl fmt::Display for Rung {
@@ -121,6 +137,27 @@ pub fn run_plan<T: Real, K: StencilKernel<T>>(
     plan: Result<Plan35D, PlanError>,
     opts: &RunOptions,
 ) -> Result<RunReport, ExecError> {
+    run_plan_traced(kernel, grids, steps, plan, opts, &Tracer::disabled())
+}
+
+/// [`run_plan`] with an observability [`Tracer`] attached.
+///
+/// When `tracer` is enabled, the parallel rung records a span per
+/// streamed plane × time level and per barrier episode, and the driver
+/// itself marks ladder transitions as instant events on thread 0:
+/// [`TraceEventKind::Fallback`] for every downgrade (encoded via
+/// [`Rung::ladder_index`]), [`TraceEventKind::Quarantine`] when a failed
+/// parallel rung left its team quarantined, and [`TraceEventKind::Heal`]
+/// when a later rung then serves the request anyway. A disabled tracer
+/// never reads the clock, so this is exactly [`run_plan`].
+pub fn run_plan_traced<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    steps: usize,
+    plan: Result<Plan35D, PlanError>,
+    opts: &RunOptions,
+    tracer: &Tracer,
+) -> Result<RunReport, ExecError> {
     if opts.verify_finite {
         // Corrupt input would fail every rung; reject it up front with the
         // offending coordinate instead of walking the whole ladder.
@@ -129,9 +166,20 @@ pub fn run_plan<T: Real, K: StencilKernel<T>>(
     let dim = grids.dim();
     let snapshot = grids.src().clone();
     let mut downgrades: Vec<Downgrade> = Vec::new();
+    let mut quarantined = false;
     let mut downgrade = |from: Rung, reason: ExecError, log: bool| {
         if log {
             eprintln!("threefive: {from} executor failed ({reason}); downgrading");
+        }
+        if let Some(ts) = tracer.now_ns() {
+            tracer.instant(
+                0,
+                TraceEventKind::Fallback {
+                    from: from.ladder_index(),
+                    to: from.ladder_index() + 1,
+                },
+                ts,
+            );
         }
         downgrades.push(Downgrade { from, reason });
     };
@@ -150,20 +198,34 @@ pub fn run_plan<T: Real, K: StencilKernel<T>>(
         }
     };
 
+    // Marks the recovery once a rung serves a request that saw an earlier
+    // team quarantine on the way down the ladder.
+    let heal_mark = |quarantined: bool| {
+        if quarantined {
+            if let Some(ts) = tracer.now_ns() {
+                tracer.instant(0, TraceEventKind::Heal { tid: 0 }, ts);
+            }
+        }
+    };
+
     if let Some(b) = blocking {
         for (rung, threads, deadline) in [
             (Rung::Parallel35D, opts.threads.max(1), opts.deadline),
             (Rung::Serial35D, 1, None),
         ] {
             let team = ThreadTeam::new(threads);
-            match try_parallel35d_sweep(kernel, grids, steps, b, &team, deadline) {
+            let instr = Instrument::disabled();
+            match try_parallel35d_sweep_traced(
+                kernel, grids, steps, b, &team, deadline, &instr, tracer,
+            ) {
                 Ok(stats) => match finite_ok(grids, opts) {
                     Ok(()) => {
+                        heal_mark(quarantined);
                         return Ok(RunReport {
                             rung,
                             stats,
                             downgrades,
-                        })
+                        });
                     }
                     Err(e) => {
                         downgrade(rung, e, opts.log);
@@ -173,6 +235,15 @@ pub fn run_plan<T: Real, K: StencilKernel<T>>(
                 Err(e) => {
                     downgrade(rung, e, opts.log);
                     restore(grids, &snapshot);
+                }
+            }
+            if team.is_quarantined() {
+                // The failed run left a stalled generation behind; the
+                // team object is dropped here, but the event records that
+                // this request ran through a quarantine.
+                quarantined = true;
+                if let Some(ts) = tracer.now_ns() {
+                    tracer.instant(0, TraceEventKind::Quarantine { tid: 0 }, ts);
                 }
             }
         }
@@ -194,11 +265,12 @@ pub fn run_plan<T: Real, K: StencilKernel<T>>(
     match attempt {
         Ok(stats) => match finite_ok(grids, opts) {
             Ok(()) => {
+                heal_mark(quarantined);
                 return Ok(RunReport {
                     rung: Rung::Blocked25D,
                     stats,
                     downgrades,
-                })
+                });
             }
             Err(e) => {
                 downgrade(Rung::Blocked25D, e, opts.log);
@@ -220,6 +292,7 @@ pub fn run_plan<T: Real, K: StencilKernel<T>>(
     // recoverable by falling further, so it surfaces as `Err`.
     let stats = reference_sweep(kernel, grids, steps);
     finite_ok(grids, opts)?;
+    heal_mark(quarantined);
     Ok(RunReport {
         rung: Rung::Reference,
         stats,

@@ -4,6 +4,7 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
+use threefive::bench::json::Json;
 use threefive::bench::report::{BenchReport, BENCH_SCHEMA_VERSION};
 
 fn threefive(args: &[&str]) -> Output {
@@ -126,6 +127,100 @@ fn bench_writes_schema_versioned_reports_that_validate() {
         assert!(out.status.success(), "{}", stderr(&out));
         assert!(stdout(&out).contains("valid BENCH report"));
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_validate_names_a_missing_schema_field() {
+    // The v1 validator's gap: deleting a required field (e.g. `kappa`)
+    // still validated. v2 must exit nonzero and name the field.
+    let dir = scratch_dir("bench_missing_field");
+    let out = threefive(&[
+        "bench",
+        "--n",
+        "12",
+        "--steps",
+        "1",
+        "--reps",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let path = dir.join("BENCH_stencil.json");
+    let text = std::fs::read_to_string(&path).expect("report written");
+    for field in ["kappa", "barrier_share", "telemetry"] {
+        // Delete the key from every entry object, then re-serialize.
+        let mut doc = Json::parse(&text).expect("report parses");
+        let Json::Obj(top) = &mut doc else {
+            panic!("report is an object")
+        };
+        let entries = top
+            .iter_mut()
+            .find(|(k, _)| k == "entries")
+            .map(|(_, v)| v)
+            .expect("entries key");
+        let Json::Arr(items) = entries else {
+            panic!("entries is an array")
+        };
+        for item in items {
+            let Json::Obj(fields) = item else {
+                panic!("entry is an object")
+            };
+            fields.retain(|(k, _)| k != field);
+        }
+        let bad = dir.join(format!("BENCH_missing_{field}.json"));
+        std::fs::write(&bad, doc.to_string()).unwrap();
+
+        let out = threefive(&["bench", "--validate", bad.to_str().unwrap()]);
+        assert!(
+            !out.status.success(),
+            "missing '{field}' must fail validation"
+        );
+        let err = stderr(&out);
+        assert!(
+            err.contains(field),
+            "error must name the missing field '{field}': {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_subcommand_writes_a_valid_perfetto_trace() {
+    let dir = scratch_dir("trace_out");
+    let out = threefive(&[
+        "trace",
+        "--nx",
+        "16",
+        "--ny",
+        "16",
+        "--nz",
+        "16",
+        "--dimt",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("wrote"), "{text}");
+    assert!(text.contains("per-thread timeline"), "{text}");
+    assert!(text.contains("roofline_attainment_pct"), "{text}");
+
+    let path = dir.join("TRACE_stencil.json");
+    assert!(path.exists(), "trace file written");
+
+    // The binary's own validator accepts what it wrote.
+    let out = threefive(&["trace", "--validate", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // And a corrupted trace is rejected.
+    let garbled = dir.join("TRACE_bad.json");
+    std::fs::write(&garbled, "{\"traceEvents\": [{\"ph\": \"X\"}]}").unwrap();
+    let out = threefive(&["trace", "--validate", garbled.to_str().unwrap()]);
+    assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,0 +1,179 @@
+//! End-to-end tests of the observability pipeline: traced sweep →
+//! Perfetto/Chrome-trace export → parse round-trip, plus the zero-cost
+//! guarantee that a disabled tracer leaves sweep results bit-identical.
+
+use proptest::prelude::*;
+use threefive::bench::json::Json;
+use threefive::bench::perfetto::{trace_to_chrome_json, validate_chrome_trace};
+use threefive::prelude::*;
+
+fn demo_grid(dim: Dim3, seed: usize) -> Grid3<f32> {
+    Grid3::from_fn(dim, |x, y, z| {
+        let h = x
+            .wrapping_mul(0x9E37)
+            .wrapping_add(y.wrapping_mul(0x79B9))
+            .wrapping_add(z.wrapping_mul(0x85EB))
+            .wrapping_add(seed);
+        ((h % 89) as f32) * 0.02 - 0.8
+    })
+}
+
+/// Runs a traced parallel 3.5-D sweep and returns the exported document.
+fn traced_sweep_doc(threads: usize) -> Json {
+    let dim = Dim3::cube(16);
+    let kernel = SevenPoint::<f32>::heat(0.125);
+    let mut grids = DoubleGrid::from_initial(demo_grid(dim, 7));
+    let team = ThreadTeam::new(threads);
+    let tracer = Tracer::enabled(threads);
+    try_parallel35d_sweep_traced(
+        &kernel,
+        &mut grids,
+        4,
+        Blocking35::new(16, 16, 2),
+        &team,
+        None,
+        &Instrument::disabled(),
+        &tracer,
+    )
+    .expect("traced sweep runs");
+    trace_to_chrome_json(&tracer.snapshot(), "trace_export test")
+}
+
+#[test]
+fn exported_trace_round_trips_through_the_parser() {
+    let doc = traced_sweep_doc(2);
+    let text = doc.to_string();
+    let reparsed = Json::parse(&text).expect("exporter emits parseable JSON");
+    let summary = validate_chrome_trace(&reparsed).expect("round-tripped trace validates");
+    assert_eq!(summary.threads, 2);
+    assert!(summary.spans > 0, "plane/barrier spans recorded");
+    // dim_T=2 over 16 planes → 32 plane spans per thread, plus barriers.
+    assert_eq!(
+        summary.events,
+        reparsed.get("traceEvents").unwrap().as_arr().unwrap().len() - 3
+    );
+}
+
+#[test]
+fn every_exported_event_carries_the_perfetto_required_keys() {
+    let doc = traced_sweep_doc(2);
+    let events = doc
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_arr()
+        .expect("traceEvents is an array");
+    assert!(!events.is_empty());
+    for e in events {
+        for key in ["ph", "name", "pid", "tid"] {
+            assert!(e.get(key).is_some(), "event missing '{key}': {e}");
+        }
+        let ph = e.get("ph").unwrap().as_str().unwrap();
+        match ph {
+            "M" => continue, // metadata events carry args.name instead of ts
+            "X" => {
+                assert!(e.get("ts").unwrap().as_f64().is_some());
+                assert!(e.get("dur").unwrap().as_f64().is_some());
+            }
+            "i" => {
+                assert!(e.get("ts").unwrap().as_f64().is_some());
+                assert_eq!(e.get("s").unwrap().as_str(), Some("t"));
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn per_thread_timestamps_are_monotonic() {
+    let doc = traced_sweep_doc(3);
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for e in events {
+        if e.get("ph").unwrap().as_str() == Some("M") {
+            continue;
+        }
+        let tid = e.get("tid").unwrap().as_u64().unwrap();
+        let ts = e.get("ts").unwrap().as_f64().unwrap();
+        if let Some(prev) = last_ts.get(&tid) {
+            assert!(ts >= *prev, "tid {tid}: ts went backwards ({prev} -> {ts})");
+        }
+        last_ts.insert(tid, ts);
+    }
+    assert_eq!(last_ts.len(), 3, "all three threads emitted events");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The zero-cost guarantee: threading a *disabled* tracer through the
+    /// traced executor never perturbs the numerics — results stay
+    /// bit-identical to the untraced executor (which itself equals the
+    /// scalar reference).
+    #[test]
+    fn disabled_tracing_leaves_sweeps_bit_identical(
+        n in 6usize..16,
+        tile in 3usize..18,
+        dim_t in 1usize..4,
+        steps in 1usize..6,
+        threads in 1usize..4,
+        seed in 0usize..500,
+    ) {
+        let dim = Dim3::cube(n);
+        let kernel = SevenPoint::<f32>::new(0.3, 0.1);
+        let init = demo_grid(dim, seed);
+
+        let mut want = DoubleGrid::from_initial(init.clone());
+        let team = ThreadTeam::new(threads);
+        parallel35d_sweep(&kernel, &mut want, steps, Blocking35::new(tile, tile, dim_t), &team);
+
+        let mut got = DoubleGrid::from_initial(init);
+        let team = ThreadTeam::new(threads);
+        try_parallel35d_sweep_traced(
+            &kernel,
+            &mut got,
+            steps,
+            Blocking35::new(tile, tile, dim_t),
+            &team,
+            None,
+            &Instrument::disabled(),
+            &Tracer::disabled(),
+        ).expect("traced executor runs");
+
+        prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
+    }
+
+    /// Tracing *enabled* also never changes results — recording is purely
+    /// observational.
+    #[test]
+    fn enabled_tracing_is_purely_observational(
+        n in 6usize..14,
+        dim_t in 1usize..4,
+        steps in 1usize..5,
+        threads in 1usize..4,
+        seed in 0usize..500,
+    ) {
+        let dim = Dim3::cube(n);
+        let kernel = SevenPoint::<f32>::new(0.25, 0.125);
+        let init = demo_grid(dim, seed);
+
+        let mut want = DoubleGrid::from_initial(init.clone());
+        reference_sweep(&kernel, &mut want, steps);
+
+        let mut got = DoubleGrid::from_initial(init);
+        let team = ThreadTeam::new(threads);
+        let tracer = Tracer::enabled(threads);
+        try_parallel35d_sweep_traced(
+            &kernel,
+            &mut got,
+            steps,
+            Blocking35::new(n, n, dim_t),
+            &team,
+            None,
+            &Instrument::disabled(),
+            &tracer,
+        ).expect("traced executor runs");
+
+        prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
+        prop_assert!(tracer.snapshot().total_events() > 0);
+    }
+}
