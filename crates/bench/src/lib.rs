@@ -35,13 +35,13 @@ use std::time::Instant;
 
 use threefive_core::exec::{
     blocked25d_sweep, blocked3d_sweep, blocked4d_sweep, reference_sweep, simd_sweep,
-    tile_parallel35d_sweep, try_parallel35d_sweep_instrumented, Blocking35,
+    tile_parallel35d_sweep, try_parallel35d_sweep, Blocking35,
 };
 use threefive_core::stats::SweepStats;
 use threefive_core::{ExecError, SevenPoint, StencilKernel};
 use threefive_grid::{Dim3, DoubleGrid, Grid3, Real};
-use threefive_lbm::{lbm35d_sweep_instrumented, lbm_naive_sweep, LbmBlocking, LbmError, LbmMode};
-use threefive_sync::{Instrument, ThreadTeam, WaitHistogram};
+use threefive_lbm::{lbm_naive_sweep, try_lbm35d_sweep, LbmBlocking, LbmError, LbmMode};
+use threefive_sync::{Instrument, Observer, ThreadTeam, WaitHistogram};
 
 pub mod counters;
 pub mod gate;
@@ -286,6 +286,7 @@ where
     } else {
         Instrument::disabled()
     };
+    let obs = Observer::with_instrument(&instr);
 
     let mut err: Option<ExecError> = None;
     let (secs, stats_per_rep) = run_reps(cfg, |is_warmup| {
@@ -307,9 +308,7 @@ where
                     dim_y: dim.ny,
                     dim_t,
                 };
-                match try_parallel35d_sweep_instrumented(
-                    &kernel, &mut grids, steps, b, team, None, &instr,
-                ) {
+                match try_parallel35d_sweep(&kernel, &mut grids, steps, b, team, None, &obs) {
                     Ok(s) => s,
                     Err(e) => {
                         err.get_or_insert(e);
@@ -324,9 +323,7 @@ where
                     dim_y: tile,
                     dim_t,
                 };
-                match try_parallel35d_sweep_instrumented(
-                    &kernel, &mut grids, steps, b, team, None, &instr,
-                ) {
+                match try_parallel35d_sweep(&kernel, &mut grids, steps, b, team, None, &obs) {
                     Ok(s) => s,
                     Err(e) => {
                         err.get_or_insert(e);
@@ -404,7 +401,9 @@ pub fn measure_lbm<T: Real>(
     } else {
         Instrument::disabled()
     };
+    let obs = Observer::with_instrument(&instr);
 
+    let mut err: Option<LbmError> = None;
     let (secs, _) = run_reps(cfg, |is_warmup| {
         if !is_warmup && instr.is_enabled() {
             instr.reset();
@@ -412,10 +411,19 @@ pub fn measure_lbm<T: Real>(
         match (variant, blocking) {
             ("scalar no-blocking", _) => lbm_naive_sweep(&mut lat, steps, LbmMode::Scalar, team),
             ("simd no-blocking", _) => lbm_naive_sweep(&mut lat, steps, LbmMode::Simd, team),
-            (_, Some(b)) => lbm35d_sweep_instrumented(&mut lat, steps, b, team, &instr),
+            (_, Some(b)) => match try_lbm35d_sweep(&mut lat, steps, b, team, None, &obs) {
+                Ok(updates) => updates,
+                Err(e) => {
+                    err.get_or_insert(e);
+                    0
+                }
+            },
             _ => unreachable!("blocking validated above"),
         }
     });
+    if let Some(e) = err {
+        return Err(e);
+    }
 
     // The lattice executors do not carry SweepStats; model the traffic:
     // each dim_T-chunk streams all 19 distribution planes in and out once

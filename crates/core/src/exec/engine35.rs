@@ -1,0 +1,618 @@
+//! The generic 3.5-D streaming engine shared by every workload.
+//!
+//! The paper's core claim is that **one** algorithm — 2.5-D XY blocking
+//! plus 1-D temporal blocking streamed along Z (§V-C–§V-E) — serves both
+//! the 7-point stencil and D3Q19 LBM. This module is that algorithm,
+//! factored out once: the chunked tile loop, the staggered Z-stream
+//! schedule, the plane rings, the per-step barrier discipline and the
+//! fault-tolerance/observability plumbing all live here, while everything
+//! workload-specific sits behind the [`PlaneKernel`] trait (what one time
+//! level does to one streamed plane) and a [`BoundaryPolicy`] choice on
+//! the unified [`TileGeom`]. Adding a new workload is a `PlaneKernel`
+//! impl, not a third copy of the pipeline.
+//!
+//! # Schedule
+//!
+//! Levels are staggered along Z by `2R` planes: at outer step `s`, level
+//! `t` (1-based) processes plane `z = s − 2R(t−1)`; a chunk of `c` levels
+//! takes `nz + 2R(c−1)` outer steps, with one barrier episode per step.
+//! Each intermediate level writes a [`PlaneRing`] of
+//! `max(2R+2, 3R+1)` slots (see the pipeline module docs for why the
+//! paper's `2R+2` is generalized for `R ≥ 2`).
+//!
+//! # Boundary policies
+//!
+//! * [`BoundaryPolicy::DirichletRim`] (stencil): compute ranges shrink by
+//!   `R` per level away from loaded edges, and stop `R` short of grid
+//!   faces — the fixed Dirichlet rim is copied, never recomputed.
+//! * [`BoundaryPolicy::FaceExtended`] (LBM): compute ranges extend all
+//!   the way to grid faces — boundary sites carry their own update rule
+//!   (bounce-back / fixed), so every site is valid to "compute".
+//!
+//! # Fault tolerance
+//!
+//! [`tile_stream`] runs under PR 1's fault model for every workload: a
+//! member panic poisons the barrier via an RAII guard, stalls are bounded
+//! by the `deadline` watchdog in [`SweepCtx`], and the first
+//! [`SyncError`] any member observes is returned after the whole team
+//! drained cooperatively.
+
+use std::ops::Range;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use threefive_grid::partition::even_range;
+use threefive_grid::{Dim3, PlaneRing, Real};
+use threefive_sync::{Observer, SharedSlice, SpinBarrier, SyncError, ThreadTeam};
+
+use crate::error::ExecError;
+use crate::exec::elem_bytes;
+use crate::faults;
+use crate::stats::SweepStats;
+
+/// 3.5-D blocking parameters: owned XY tile dims and temporal factor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Blocking35 {
+    /// Owned tile extent along X.
+    pub dim_x: usize,
+    /// Owned tile extent along Y.
+    pub dim_y: usize,
+    /// Temporal blocking factor `dim_T`.
+    pub dim_t: usize,
+}
+
+impl Blocking35 {
+    /// Creates blocking parameters.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero; see
+    /// [`try_new`](Blocking35::try_new) for the non-panicking variant.
+    pub fn new(dim_x: usize, dim_y: usize, dim_t: usize) -> Self {
+        match Self::try_new(dim_x, dim_y, dim_t) {
+            Ok(b) => b,
+            Err(_) => panic!("Blocking35: zero parameter"),
+        }
+    }
+
+    /// Creates blocking parameters, rejecting zero extents with
+    /// [`ExecError::InvalidBlocking`] instead of panicking.
+    pub fn try_new(dim_x: usize, dim_y: usize, dim_t: usize) -> Result<Self, ExecError> {
+        if dim_x == 0 || dim_y == 0 || dim_t == 0 {
+            return Err(ExecError::InvalidBlocking {
+                dim_x,
+                dim_y,
+                dim_t,
+            });
+        }
+        Ok(Self {
+            dim_x,
+            dim_y,
+            dim_t,
+        })
+    }
+}
+
+/// How a workload treats grid faces in the per-level compute ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundaryPolicy {
+    /// Dirichlet stencil: an `R`-deep rim at every grid face holds fixed
+    /// values; compute ranges stop `R` short of faces and the rim is
+    /// copied into intermediate rings instead of recomputed.
+    DirichletRim,
+    /// LBM-style self-updating boundaries: compute ranges extend to the
+    /// grid faces (boundary sites carry bounce-back / fixed rules), and
+    /// valid ranges shrink only at *internal* tile edges.
+    FaceExtended,
+}
+
+/// Geometry of one tile × chunk: owned/loaded regions and per-level
+/// compute ranges, parameterized by the workload's [`BoundaryPolicy`].
+///
+/// The loaded footprint expands the owned tile by `R·c` on each internal
+/// side (clipped at grid faces); level `t`'s valid region shrinks back by
+/// `R` per level from internal edges, so the final level exactly covers
+/// the owned tile.
+#[derive(Clone, Copy, Debug)]
+pub struct TileGeom {
+    dim: Dim3,
+    r: usize,
+    c: usize,
+    policy: BoundaryPolicy,
+    gx0: usize,
+    gx1: usize,
+    gy0: usize,
+    gy1: usize,
+}
+
+impl TileGeom {
+    /// Geometry for the owned tile `ox × oy` of a radius-`r` kernel
+    /// streaming a chunk of `c` time levels.
+    pub fn new(
+        dim: Dim3,
+        r: usize,
+        c: usize,
+        policy: BoundaryPolicy,
+        ox: Range<usize>,
+        oy: Range<usize>,
+    ) -> Self {
+        let h = r * c;
+        Self {
+            dim,
+            r,
+            c,
+            policy,
+            gx0: ox.start.saturating_sub(h),
+            gx1: (ox.end + h).min(dim.nx),
+            gy0: oy.start.saturating_sub(h),
+            gy1: (oy.end + h).min(dim.ny),
+        }
+    }
+
+    /// Full grid dimensions.
+    pub fn dim(&self) -> Dim3 {
+        self.dim
+    }
+    /// Kernel radius `R`.
+    pub fn radius(&self) -> usize {
+        self.r
+    }
+    /// Time levels `c` in this chunk.
+    pub fn levels(&self) -> usize {
+        self.c
+    }
+    /// The boundary policy the compute ranges follow.
+    pub fn policy(&self) -> BoundaryPolicy {
+        self.policy
+    }
+    /// First global X of the loaded footprint.
+    pub fn gx0(&self) -> usize {
+        self.gx0
+    }
+    /// One past the last global X of the loaded footprint.
+    pub fn gx1(&self) -> usize {
+        self.gx1
+    }
+    /// First global Y of the loaded footprint.
+    pub fn gy0(&self) -> usize {
+        self.gy0
+    }
+    /// One past the last global Y of the loaded footprint.
+    pub fn gy1(&self) -> usize {
+        self.gy1
+    }
+    /// Loaded footprint extent along X.
+    pub fn lx(&self) -> usize {
+        self.gx1 - self.gx0
+    }
+    /// Loaded footprint extent along Y.
+    pub fn ly(&self) -> usize {
+        self.gy1 - self.gy0
+    }
+
+    fn face_edges(&self, n: usize) -> (usize, usize) {
+        match self.policy {
+            BoundaryPolicy::DirichletRim => (self.r, n - self.r),
+            BoundaryPolicy::FaceExtended => (0, n),
+        }
+    }
+
+    /// Global X compute range for level `t` (1-based): shrinks by `R` per
+    /// level from internal loaded edges; at grid faces the policy decides
+    /// (Dirichlet rim of width `R`, or the face itself for LBM).
+    pub fn compute_x(&self, t: usize) -> Range<usize> {
+        let (face_lo, face_hi) = self.face_edges(self.dim.nx);
+        let lo = if self.gx0 == 0 {
+            face_lo
+        } else {
+            self.gx0 + self.r * t
+        };
+        let hi = if self.gx1 == self.dim.nx {
+            face_hi
+        } else {
+            self.gx1.saturating_sub(self.r * t)
+        };
+        lo..hi.max(lo)
+    }
+
+    /// Global Y compute range for level `t`.
+    pub fn compute_y(&self, t: usize) -> Range<usize> {
+        let (face_lo, face_hi) = self.face_edges(self.dim.ny);
+        let lo = if self.gy0 == 0 {
+            face_lo
+        } else {
+            self.gy0 + self.r * t
+        };
+        let hi = if self.gy1 == self.dim.ny {
+            face_hi
+        } else {
+            self.gy1.saturating_sub(self.r * t)
+        };
+        lo..hi.max(lo)
+    }
+
+    /// Whether the final level commits anything (owned ∩ valid region).
+    /// Always true under [`BoundaryPolicy::FaceExtended`] since the valid
+    /// region then covers at least the owned tile.
+    pub fn has_commit(&self) -> bool {
+        !self.compute_x(self.c).is_empty() && !self.compute_y(self.c).is_empty()
+    }
+
+    /// Interior Z planes (the ones actually stenciled).
+    pub fn interior_z(&self) -> Range<usize> {
+        self.r..self.dim.nz - self.r
+    }
+
+    /// Analytic work/traffic accounting for this tile × chunk, under the
+    /// Dirichlet stencil cost model (one `T` per point per pass).
+    pub(crate) fn stats<T: Real>(&self) -> SweepStats {
+        let nz_int = self.interior_z().len() as u64;
+        let mut updates = 0u64;
+        for t in 1..=self.c {
+            updates += (self.compute_x(t).len() * self.compute_y(t).len()) as u64 * nz_int;
+        }
+        let commit = (self.compute_x(self.c).len() * self.compute_y(self.c).len()) as u64 * nz_int;
+        let e = elem_bytes::<T>();
+        SweepStats {
+            stencil_updates: updates,
+            committed_points: commit * self.c as u64,
+            // Level 1 streams the loaded footprint in once per chunk; the
+            // committed region streams out (with write-allocate).
+            dram_bytes_read: (self.lx() * self.ly() * self.dim.nz) as u64 * e + commit * e,
+            dram_bytes_written: commit * e,
+        }
+    }
+}
+
+/// Shared views over the intermediate-level plane rings of one tile.
+///
+/// Ring `i` (0-based) holds the output planes of level `i + 1`; the final
+/// level writes the destination grid instead and has no ring. Planes are
+/// stored with `comps` components each (`1` for scalar stencils, `Q` for
+/// LBM), each component a contiguous `lx × ly` local tile plane.
+pub struct Rings<'a, T> {
+    views: Vec<SharedSlice<'a, T>>,
+    slots: usize,
+    comps: usize,
+    plane_area: usize,
+    lx: usize,
+}
+
+impl<'a, T: Real> Rings<'a, T> {
+    fn new(
+        rings: &'a mut [PlaneRing<T>],
+        slots: usize,
+        comps: usize,
+        lx: usize,
+        ly: usize,
+    ) -> Self {
+        Self {
+            views: rings
+                .iter_mut()
+                .map(|rg| SharedSlice::new(rg.as_mut_slice()))
+                .collect(),
+            slots,
+            comps,
+            plane_area: lx * ly,
+            lx,
+        }
+    }
+
+    /// Local-tile row length (X extent) of every ring plane.
+    pub fn lx(&self) -> usize {
+        self.lx
+    }
+
+    fn base(&self, z: usize, q: usize) -> usize {
+        (z % self.slots) * self.comps * self.plane_area + q * self.plane_area
+    }
+
+    /// Shared read of component `q` of the plane stored for global Z
+    /// index `z` in ring `ring`.
+    ///
+    /// # Safety
+    /// No thread may be writing this plane concurrently (guaranteed by
+    /// the engine's slot-disjointness and per-step barriers).
+    pub unsafe fn plane(&self, ring: usize, z: usize, q: usize) -> &[T] {
+        // SAFETY: forwarded contract.
+        unsafe { self.views[ring].slice(self.base(z, q), self.plane_area) }
+    }
+
+    /// Mutable access to `len` cells starting at local column `x0` of
+    /// local row `row`, component `q`, of ring `ring`'s plane for `z`.
+    ///
+    /// # Safety
+    /// The caller must own this row range exclusively for the current
+    /// step (guaranteed by the per-thread row partition).
+    // Interior mutability through SharedSlice; exclusivity is the contract.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row_mut(
+        &self,
+        ring: usize,
+        z: usize,
+        q: usize,
+        row: usize,
+        x0: usize,
+        len: usize,
+    ) -> &mut [T] {
+        // SAFETY: forwarded contract.
+        unsafe { self.views[ring].slice_mut(self.base(z, q) + row * self.lx + x0, len) }
+    }
+}
+
+/// One workload's per-time-level plane update, plugged into the engine.
+///
+/// Implementors hold the workload's borrowed source/destination views for
+/// the current chunk; the engine owns scheduling, rings, barriers, faults
+/// and observability. `process_level` is called once per
+/// (outer step, level, thread) with `z < nz`, and must restrict all
+/// writes to this thread's `my_rows` band of local rows (rings) / the
+/// matching global rows (destination) — that disjointness is what makes
+/// the engine's shared views sound.
+pub trait PlaneKernel<T: Real>: Sync {
+    /// Stencil radius `R` in the L∞ norm.
+    fn radius(&self) -> usize;
+
+    /// How compute ranges behave at grid faces.
+    fn boundary(&self) -> BoundaryPolicy;
+
+    /// Components per grid point (1 for scalar stencils, `Q` for LBM).
+    fn components(&self) -> usize {
+        1
+    }
+
+    /// Executes level `t`'s work (1-based, final level = `geom.levels()`)
+    /// for global plane `z`, restricted to this thread's `my_rows` band
+    /// of local tile rows. Intermediate levels write ring `t − 1`'s plane
+    /// for `z` and read ring `t − 2` (level 1 reads the workload's source
+    /// grid); the final level writes the workload's destination.
+    fn process_level(
+        &self,
+        geom: &TileGeom,
+        rings: &Rings<'_, T>,
+        t: usize,
+        z: usize,
+        my_rows: &Range<usize>,
+    );
+}
+
+/// Everything a sweep needs besides the kernel and geometry: the team,
+/// the shared per-step barrier, the watchdog deadline and the
+/// observability bundle. Bundling these keeps every engine entry point
+/// within the repo-wide `clippy::too_many_arguments` budget.
+pub struct SweepCtx<'a> {
+    /// The persistent worker team executing the tile.
+    pub team: &'a ThreadTeam,
+    /// Barrier separating consecutive outer steps, shared across chunks.
+    pub barrier: &'a SpinBarrier,
+    /// Watchdog deadline per barrier episode; `None` disables it.
+    pub deadline: Option<Duration>,
+    /// Timing/tracing sinks (zero-cost when disabled).
+    pub obs: &'a Observer<'a>,
+}
+
+/// Poisons the barrier if dropped while armed — i.e. during the unwind of
+/// a panicking team member — so the surviving members drain at their next
+/// [`SpinBarrier::checked_wait`] episode instead of spinning forever on an
+/// arrival that will never come.
+struct PoisonOnPanic<'a> {
+    barrier: &'a SpinBarrier,
+    armed: bool,
+}
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.barrier.poison();
+        }
+    }
+}
+
+/// Ring slots required for a radius-`r` pipeline; see the module docs.
+fn ring_slots(r: usize) -> usize {
+    (2 * r + 2).max(3 * r + 1)
+}
+
+/// Streams one tile × chunk through Z on the team.
+///
+/// Every thread owns a fixed band of local Y rows of every sub-plane at
+/// every time level (the paper's flexible load-balancing scheme, §V-D);
+/// one barrier separates consecutive outer steps. Failure paths: a member
+/// panic surfaces as [`SyncError::TeamPanicked`]; a poisoned/timed-out
+/// barrier surfaces as the first [`SyncError`] any member observed.
+/// Either way every member has finished (drained cooperatively) before
+/// this returns.
+pub fn tile_stream<T: Real, K: PlaneKernel<T>>(
+    kernel: &K,
+    geom: &TileGeom,
+    ctx: &SweepCtx<'_>,
+) -> Result<(), SyncError> {
+    let (r, c) = (geom.radius(), geom.levels());
+    let (lx, ly) = (geom.lx(), geom.ly());
+    let comps = kernel.components();
+    let slots = ring_slots(r);
+    let mut ring_bufs: Vec<PlaneRing<T>> = (1..c)
+        .map(|_| PlaneRing::new(slots, comps * lx * ly))
+        .collect();
+    let rings = Rings::new(&mut ring_bufs, slots, comps, lx, ly);
+
+    let n_threads = ctx.team.threads();
+    let outer_steps = geom.dim().nz + 2 * r * (c - 1);
+    let first_err: Mutex<Option<SyncError>> = Mutex::new(None);
+    let obs = ctx.obs;
+
+    let run_res = ctx.team.try_run(|tid| {
+        let mut guard = PoisonOnPanic {
+            barrier: ctx.barrier,
+            armed: true,
+        };
+        let my_rows = even_range(ly, n_threads, tid);
+        // `None` when instrumentation is disabled: the loop then performs
+        // no clock reads at all (the zero-cost contract).
+        let mut compute_start = obs.now();
+        for s in 0..outer_steps {
+            faults::fault_point(tid, s);
+            for t in 1..=c {
+                let lag = 2 * r * (t - 1);
+                if s < lag {
+                    continue;
+                }
+                let z = s - lag;
+                if z < geom.dim().nz {
+                    let span0 = obs.span_start();
+                    kernel.process_level(geom, &rings, t, z, &my_rows);
+                    obs.plane_span(tid, z, t, span0);
+                }
+            }
+            if let Some(t0) = compute_start {
+                obs.add_compute_ns(tid, t0.elapsed().as_nanos() as u64);
+            }
+            let bar0 = obs.span_start();
+            let wait = obs.barrier_wait(ctx.barrier, ctx.deadline, tid);
+            obs.barrier_span(tid, s, bar0);
+            compute_start = obs.now();
+            if let Err(e) = wait {
+                // Cooperative exit: the barrier is poisoned (by a panicked
+                // peer's guard or by a timeout), so every member breaks
+                // out here and the generation drains in bounded time.
+                first_err.lock().unwrap().get_or_insert(e);
+                break;
+            }
+        }
+        guard.armed = false;
+    });
+    run_res?;
+    match first_err.into_inner().unwrap() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Streams one tile × chunk entirely on the calling thread (no barriers,
+/// no fault points) — the building block of the tile-level-parallel
+/// scheduling ablation, where parallelism is across tiles instead of
+/// across rows.
+pub fn tile_stream_serial<T: Real, K: PlaneKernel<T>>(kernel: &K, geom: &TileGeom) {
+    if !geom.has_commit() {
+        return;
+    }
+    let (r, c) = (geom.radius(), geom.levels());
+    let (lx, ly) = (geom.lx(), geom.ly());
+    let comps = kernel.components();
+    let slots = ring_slots(r);
+    let mut ring_bufs: Vec<PlaneRing<T>> = (1..c)
+        .map(|_| PlaneRing::new(slots, comps * lx * ly))
+        .collect();
+    let rings = Rings::new(&mut ring_bufs, slots, comps, lx, ly);
+    let my_rows = 0..ly;
+    let outer_steps = geom.dim().nz + 2 * r * (c - 1);
+    for s in 0..outer_steps {
+        for t in 1..=c {
+            let lag = 2 * r * (t - 1);
+            if s < lag {
+                continue;
+            }
+            let z = s - lag;
+            if z < geom.dim().nz {
+                kernel.process_level(geom, &rings, t, z, &my_rows);
+            }
+        }
+    }
+}
+
+/// Runs one chunk of `chunk ≤ b.dim_t` time levels over every owned tile
+/// of the XY plane, calling `on_tile` after each tile that committed
+/// (for the caller's stats accounting).
+///
+/// The caller swaps its double buffer between chunks; the engine is
+/// oblivious to what "source" and "destination" mean — they live inside
+/// the [`PlaneKernel`] impl built per chunk.
+pub fn stream_chunk<T: Real, K: PlaneKernel<T>>(
+    kernel: &K,
+    dim: Dim3,
+    b: Blocking35,
+    chunk: usize,
+    ctx: &SweepCtx<'_>,
+    mut on_tile: impl FnMut(&TileGeom),
+) -> Result<(), SyncError> {
+    let r = kernel.radius();
+    let policy = kernel.boundary();
+    let mut oy = 0usize;
+    while oy < dim.ny {
+        let oy1 = (oy + b.dim_y).min(dim.ny);
+        let mut ox = 0usize;
+        while ox < dim.nx {
+            let ox1 = (ox + b.dim_x).min(dim.nx);
+            let geom = TileGeom::new(dim, r, chunk, policy, ox..ox1, oy..oy1);
+            if geom.has_commit() {
+                tile_stream(kernel, &geom, ctx)?;
+                on_tile(&geom);
+            }
+            ox = ox1;
+        }
+        oy = oy1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirichlet_rim_stops_r_short_of_faces() {
+        let d = Dim3::cube(16);
+        // Whole-plane tile, R=1, c=2: every level computes the interior.
+        let g = TileGeom::new(d, 1, 2, BoundaryPolicy::DirichletRim, 0..16, 0..16);
+        assert_eq!(g.compute_x(1), 1..15);
+        assert_eq!(g.compute_x(2), 1..15);
+        assert_eq!(g.compute_y(2), 1..15);
+        assert_eq!(g.interior_z(), 1..15);
+        assert!(g.has_commit());
+    }
+
+    #[test]
+    fn face_extended_reaches_the_faces() {
+        let d = Dim3::cube(16);
+        let g = TileGeom::new(d, 1, 2, BoundaryPolicy::FaceExtended, 0..16, 0..16);
+        assert_eq!(g.compute_x(1), 0..16);
+        assert_eq!(g.compute_x(2), 0..16);
+        assert_eq!(g.compute_y(2), 0..16);
+        assert!(g.has_commit());
+    }
+
+    #[test]
+    fn internal_edges_shrink_identically_under_both_policies() {
+        // An interior tile never touches a face, so the policies agree:
+        // valid ranges shrink by R per level from the loaded edges back
+        // to exactly the owned tile at the final level.
+        let d = Dim3::new(32, 32, 16);
+        for policy in [BoundaryPolicy::DirichletRim, BoundaryPolicy::FaceExtended] {
+            let g = TileGeom::new(d, 1, 3, policy, 8..16, 8..16);
+            assert_eq!(g.gx0(), 5);
+            assert_eq!(g.gx1(), 19);
+            assert_eq!(g.compute_x(1), 6..18, "{policy:?}");
+            assert_eq!(g.compute_x(2), 7..17, "{policy:?}");
+            assert_eq!(g.compute_x(3), 8..16, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn rim_only_tile_commits_nothing_under_dirichlet_but_commits_under_lbm() {
+        // A 1-wide tile hugging the X face: its owned points are all rim
+        // points for the stencil (nothing to commit), but LBM boundary
+        // sites update themselves.
+        let d = Dim3::new(16, 16, 8);
+        let dirichlet = TileGeom::new(d, 1, 1, BoundaryPolicy::DirichletRim, 0..1, 4..8);
+        assert!(!dirichlet.has_commit());
+        let lbm = TileGeom::new(d, 1, 1, BoundaryPolicy::FaceExtended, 0..1, 4..8);
+        assert!(lbm.has_commit());
+        assert_eq!(lbm.compute_x(1), 0..1);
+    }
+
+    #[test]
+    fn higher_radius_needs_more_ring_slots() {
+        assert_eq!(ring_slots(1), 4); // 2R+2 = 3R+1 = 4 at R=1
+        assert_eq!(ring_slots(2), 7); // 3R+1 > 2R+2 from R=2 on
+        assert_eq!(ring_slots(3), 10);
+    }
+}

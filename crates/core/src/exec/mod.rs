@@ -21,6 +21,7 @@
 mod blocked25d;
 mod blocked3d;
 mod blocked4d;
+pub mod engine35;
 mod periodic;
 mod pipeline35;
 mod reference;
@@ -29,11 +30,12 @@ mod tile_parallel;
 pub use blocked25d::blocked25d_sweep;
 pub use blocked3d::blocked3d_sweep;
 pub use blocked4d::blocked4d_sweep;
-pub use periodic::{periodic35d_sweep, reference_sweep_periodic, wrap_extend};
-pub use pipeline35::{
-    blocked35d_sweep, parallel35d_sweep, temporal_sweep, try_parallel35d_sweep,
-    try_parallel35d_sweep_instrumented, try_parallel35d_sweep_traced, Blocking35,
+pub use engine35::{
+    stream_chunk, tile_stream, tile_stream_serial, Blocking35, BoundaryPolicy, PlaneKernel, Rings,
+    SweepCtx, TileGeom,
 };
+pub use periodic::{periodic35d_sweep, reference_sweep_periodic, wrap_extend};
+pub use pipeline35::{blocked35d_sweep, parallel35d_sweep, temporal_sweep, try_parallel35d_sweep};
 pub use reference::{reference_sweep, simd_sweep};
 pub use tile_parallel::tile_parallel35d_sweep;
 

@@ -34,64 +34,24 @@
 //! performing identical DRAM traffic and flops; one barrier separates
 //! consecutive outer steps. The serial executor is the same code run by a
 //! one-member team.
+//!
+//! Since the engine refactor the Z-stream schedule, rings, barriers and
+//! fault handling all live in [`engine35`](crate::exec::engine35); this
+//! module contributes the Dirichlet stencil [`PlaneKernel`] impl
+//! ([`StencilPlanes`]) and the public sweep entry points.
 
 use std::ops::Range;
-use std::sync::Mutex;
 use std::time::Duration;
 
-use threefive_grid::partition::even_range;
-use threefive_grid::{Dim3, DoubleGrid, Grid3, PlaneRing, Real};
-use threefive_sync::{
-    Instrument, SharedSlice, SpinBarrier, SyncError, ThreadTeam, TraceEventKind, Tracer,
-};
+use threefive_grid::{DoubleGrid, Grid3, Real};
+use threefive_sync::{Observer, SharedSlice, SpinBarrier, ThreadTeam};
 
 use crate::error::ExecError;
-use crate::exec::{elem_bytes, has_interior};
-use crate::faults;
+use crate::exec::engine35::{stream_chunk, BoundaryPolicy, PlaneKernel, Rings, SweepCtx, TileGeom};
+use crate::exec::has_interior;
+use crate::exec::Blocking35;
 use crate::kernel::StencilKernel;
 use crate::stats::SweepStats;
-
-/// 3.5-D blocking parameters: owned XY tile dims and temporal factor.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Blocking35 {
-    /// Owned tile extent along X.
-    pub dim_x: usize,
-    /// Owned tile extent along Y.
-    pub dim_y: usize,
-    /// Temporal blocking factor `dim_T`.
-    pub dim_t: usize,
-}
-
-impl Blocking35 {
-    /// Creates blocking parameters.
-    ///
-    /// # Panics
-    /// Panics if any parameter is zero; see
-    /// [`try_new`](Blocking35::try_new) for the non-panicking variant.
-    pub fn new(dim_x: usize, dim_y: usize, dim_t: usize) -> Self {
-        match Self::try_new(dim_x, dim_y, dim_t) {
-            Ok(b) => b,
-            Err(_) => panic!("Blocking35: zero parameter"),
-        }
-    }
-
-    /// Creates blocking parameters, rejecting zero extents with
-    /// [`ExecError::InvalidBlocking`] instead of panicking.
-    pub fn try_new(dim_x: usize, dim_y: usize, dim_t: usize) -> Result<Self, ExecError> {
-        if dim_x == 0 || dim_y == 0 || dim_t == 0 {
-            return Err(ExecError::InvalidBlocking {
-                dim_x,
-                dim_y,
-                dim_t,
-            });
-        }
-        Ok(Self {
-            dim_x,
-            dim_y,
-            dim_t,
-        })
-    }
-}
 
 /// Serial 3.5-D blocked sweep. Result ends in `grids.src()`; bit-exact
 /// with [`reference_sweep`](crate::exec::reference_sweep).
@@ -133,13 +93,14 @@ pub fn parallel35d_sweep<T: Real, K: StencilKernel<T>>(
     b: Blocking35,
     team: &ThreadTeam,
 ) -> SweepStats {
-    match try_parallel35d_sweep(kernel, grids, steps, b, team, None) {
+    match try_parallel35d_sweep(kernel, grids, steps, b, team, None, &Observer::disabled()) {
         Ok(stats) => stats,
         Err(e) => panic!("parallel35d_sweep: {e}"),
     }
 }
 
-/// Fault-tolerant parallel 3.5-D blocked sweep.
+/// Fault-tolerant, observable parallel 3.5-D blocked sweep — the single
+/// entry point behind every stencil executor variant.
 ///
 /// Behaves like [`parallel35d_sweep`], but failures inside the parallel
 /// region surface as [`ExecError`] instead of panics or hangs:
@@ -147,16 +108,25 @@ pub fn parallel35d_sweep<T: Real, K: StencilKernel<T>>(
 /// * a member **panic** poisons the per-Z-step barrier (via an RAII guard)
 ///   so the remaining members drain at their next barrier episode instead
 ///   of spinning forever, and the call returns
-///   [`SyncError::TeamPanicked`] wrapped in [`ExecError::Sync`];
+///   [`SyncError`](threefive_sync::SyncError)`::TeamPanicked` wrapped in
+///   [`ExecError::Sync`];
 /// * with `deadline: Some(d)`, a member **stall** longer than `d` trips
 ///   the barrier watchdog: the waiting members poison the barrier and
-///   drain, and the call returns [`SyncError::BarrierTimeout`]. The call
+///   drain, and the call returns
+///   [`SyncError`](threefive_sync::SyncError)`::BarrierTimeout`. The call
 ///   itself still joins the stalled member (the closure borrows the
 ///   caller's grids, so abandoning it would be unsound); the deadline
 ///   bounds how long *healthy* members are held hostage, and the facade's
 ///   ladder runs retries on a fresh team;
 /// * `deadline: None` disables the watchdog (benchmark configuration) —
 ///   panic poisoning stays active.
+///
+/// Observability composes through `obs` instead of dedicated entry
+/// points: [`Observer::with_instrument`] accumulates per-thread
+/// compute/barrier-wait timing, [`Observer::with_tracer`] records one
+/// plane span per streamed Z plane × time level and one barrier span per
+/// episode, and [`Observer::disabled`] never reads the clock — the hot
+/// loop is bit-identical to the unobserved fast path.
 ///
 /// On `Err` the grid contents are unspecified (a chunk may be partially
 /// committed); callers that need rollback must snapshot first, as
@@ -168,66 +138,7 @@ pub fn try_parallel35d_sweep<T: Real, K: StencilKernel<T>>(
     b: Blocking35,
     team: &ThreadTeam,
     deadline: Option<Duration>,
-) -> Result<SweepStats, ExecError> {
-    try_parallel35d_sweep_instrumented(
-        kernel,
-        grids,
-        steps,
-        b,
-        team,
-        deadline,
-        &Instrument::disabled(),
-    )
-}
-
-/// [`try_parallel35d_sweep`] with per-thread compute/barrier-wait timing.
-///
-/// Each team member accumulates nanoseconds of compute (between barriers)
-/// and barrier wait into `instr`; snapshot with
-/// [`Instrument::timing`] after the call. A disabled handle
-/// ([`Instrument::disabled`]) never reads the clock, so the hot loop is
-/// identical to the uninstrumented sweep — this is the entry point the
-/// benchmark harness uses to report barrier-wait share.
-pub fn try_parallel35d_sweep_instrumented<T: Real, K: StencilKernel<T>>(
-    kernel: &K,
-    grids: &mut DoubleGrid<T>,
-    steps: usize,
-    b: Blocking35,
-    team: &ThreadTeam,
-    deadline: Option<Duration>,
-    instr: &Instrument,
-) -> Result<SweepStats, ExecError> {
-    try_parallel35d_sweep_traced(
-        kernel,
-        grids,
-        steps,
-        b,
-        team,
-        deadline,
-        instr,
-        &Tracer::disabled(),
-    )
-}
-
-/// [`try_parallel35d_sweep_instrumented`] with pipeline tracing.
-///
-/// Each team member records one [`TraceEventKind::Plane`] span per
-/// streamed Z plane × time level it processes and one
-/// [`TraceEventKind::Barrier`] span per barrier episode (entry to exit)
-/// into `tracer`; snapshot with [`Tracer::snapshot`] after the call and
-/// export with the bench crate's Perfetto writer. A disabled tracer
-/// ([`Tracer::disabled`]) never reads the clock, so the sweep stays
-/// bit-identical to the untraced fast path.
-#[allow(clippy::too_many_arguments)]
-pub fn try_parallel35d_sweep_traced<T: Real, K: StencilKernel<T>>(
-    kernel: &K,
-    grids: &mut DoubleGrid<T>,
-    steps: usize,
-    b: Blocking35,
-    team: &ThreadTeam,
-    deadline: Option<Duration>,
-    instr: &Instrument,
-    tracer: &Tracer,
+    obs: &Observer<'_>,
 ) -> Result<SweepStats, ExecError> {
     Blocking35::try_new(b.dim_x, b.dim_y, b.dim_t)?;
     let dim = grids.dim();
@@ -241,466 +152,147 @@ pub fn try_parallel35d_sweep_traced<T: Real, K: StencilKernel<T>>(
     while remaining > 0 {
         let chunk = remaining.min(b.dim_t);
         let (src, dst) = grids.pair_mut();
-        let dst_dim = dim;
         let dst_view = SharedSlice::new(dst.as_mut_slice());
-        let mut oy = 0usize;
-        while oy < dim.ny {
-            let oy1 = (oy + b.dim_y).min(dim.ny);
-            let mut ox = 0usize;
-            while ox < dim.nx {
-                let ox1 = (ox + b.dim_x).min(dim.nx);
-                let geom = TileGeom::new(dim, r, chunk, ox, ox1, oy, oy1);
-                if geom.has_commit() {
-                    tile_pipeline(
-                        kernel, src, &dst_view, dst_dim, &geom, team, &barrier, deadline, instr,
-                        tracer,
-                    )?;
-                    stats = stats + geom.stats::<T>();
-                }
-                ox = ox1;
-            }
-            oy = oy1;
-        }
+        let planes = StencilPlanes {
+            kernel,
+            src,
+            dst: &dst_view,
+        };
+        let ctx = SweepCtx {
+            team,
+            barrier: &barrier,
+            deadline,
+            obs,
+        };
+        stream_chunk(&planes, dim, b, chunk, &ctx, |geom| {
+            stats = stats + geom.stats::<T>();
+        })?;
         grids.swap();
         remaining -= chunk;
     }
     Ok(stats)
 }
 
-/// Geometry of one tile × chunk: owned/loaded regions and per-level
-/// compute ranges.
-pub(crate) struct TileGeom {
-    dim: Dim3,
-    r: usize,
-    c: usize,
-    gx0: usize,
-    gx1: usize,
-    gy0: usize,
-    gy1: usize,
+/// The Dirichlet stencil workload as a [`PlaneKernel`]: level 1 reads the
+/// source grid, intermediate levels read/write the plane rings, the final
+/// level writes the destination grid, and the fixed boundary rim is
+/// copied into intermediate rings so deeper levels see correct values.
+pub(crate) struct StencilPlanes<'a, T: Real, K: StencilKernel<T>> {
+    pub(crate) kernel: &'a K,
+    pub(crate) src: &'a Grid3<T>,
+    pub(crate) dst: &'a SharedSlice<'a, T>,
 }
 
-impl TileGeom {
-    fn new(dim: Dim3, r: usize, c: usize, ox0: usize, ox1: usize, oy0: usize, oy1: usize) -> Self {
-        let h = r * c;
-        Self {
-            dim,
-            r,
-            c,
-            gx0: ox0.saturating_sub(h),
-            gx1: (ox1 + h).min(dim.nx),
-            gy0: oy0.saturating_sub(h),
-            gy1: (oy1 + h).min(dim.ny),
-        }
+impl<T: Real, K: StencilKernel<T>> PlaneKernel<T> for StencilPlanes<'_, T, K> {
+    fn radius(&self) -> usize {
+        self.kernel.radius()
     }
 
-    fn lx(&self) -> usize {
-        self.gx1 - self.gx0
-    }
-    fn ly(&self) -> usize {
-        self.gy1 - self.gy0
+    fn boundary(&self) -> BoundaryPolicy {
+        BoundaryPolicy::DirichletRim
     }
 
-    /// Global X compute range for level `t` (1-based): shrinks by `R` per
-    /// level from loaded edges, except at grid faces where the Dirichlet
-    /// rim is fixed at `R`.
-    fn compute_x(&self, t: usize) -> Range<usize> {
-        let lo = if self.gx0 == 0 {
-            self.r
-        } else {
-            self.gx0 + self.r * t
-        };
-        let hi = if self.gx1 == self.dim.nx {
-            self.dim.nx - self.r
-        } else {
-            self.gx1.saturating_sub(self.r * t)
-        };
-        lo..hi.max(lo)
-    }
+    fn process_level(
+        &self,
+        geom: &TileGeom,
+        rings: &Rings<'_, T>,
+        t: usize,
+        z: usize,
+        my_rows: &Range<usize>,
+    ) {
+        let (r, c) = (geom.radius(), geom.levels());
+        let dim = geom.dim();
+        let (gx0, gx1, gy0) = (geom.gx0(), geom.gx1(), geom.gy0());
+        let lx = geom.lx();
+        let is_final = t == c;
+        let z_boundary = z < r || z >= dim.nz - r;
 
-    /// Global Y compute range for level `t`.
-    fn compute_y(&self, t: usize) -> Range<usize> {
-        let lo = if self.gy0 == 0 {
-            self.r
-        } else {
-            self.gy0 + self.r * t
-        };
-        let hi = if self.gy1 == self.dim.ny {
-            self.dim.ny - self.r
-        } else {
-            self.gy1.saturating_sub(self.r * t)
-        };
-        lo..hi.max(lo)
-    }
-
-    /// Whether the final level commits anything (owned ∩ interior).
-    pub(crate) fn has_commit(&self) -> bool {
-        !self.compute_x(self.c).is_empty() && !self.compute_y(self.c).is_empty()
-    }
-
-    /// Interior Z planes.
-    fn interior_z(&self) -> Range<usize> {
-        self.r..self.dim.nz - self.r
-    }
-
-    /// Analytic work/traffic accounting for this tile × chunk.
-    pub(crate) fn stats<T: Real>(&self) -> SweepStats {
-        let nz_int = self.interior_z().len() as u64;
-        let mut updates = 0u64;
-        for t in 1..=self.c {
-            updates += (self.compute_x(t).len() * self.compute_y(t).len()) as u64 * nz_int;
-        }
-        let commit = (self.compute_x(self.c).len() * self.compute_y(self.c).len()) as u64 * nz_int;
-        let e = elem_bytes::<T>();
-        SweepStats {
-            stencil_updates: updates,
-            committed_points: commit * self.c as u64,
-            // Level 1 streams the loaded footprint in once per chunk; the
-            // committed region streams out (with write-allocate).
-            dram_bytes_read: (self.lx() * self.ly() * self.dim.nz) as u64 * e + commit * e,
-            dram_bytes_written: commit * e,
-        }
-    }
-}
-
-/// Builds the tile geometry (used by the scheduling-ablation executor).
-pub(crate) fn tile_geometry(
-    dim: Dim3,
-    r: usize,
-    c: usize,
-    ox0: usize,
-    ox1: usize,
-    oy0: usize,
-    oy1: usize,
-) -> TileGeom {
-    TileGeom::new(dim, r, c, ox0, ox1, oy0, oy1)
-}
-
-/// Runs one tile's pipeline entirely on the calling thread (no barriers) —
-/// the building block of the tile-level-parallel scheduling ablation.
-pub(crate) fn tile_pipeline_serial<T: Real, K: StencilKernel<T>>(
-    kernel: &K,
-    src: &Grid3<T>,
-    dst_view: &SharedSlice<'_, T>,
-    dst_dim: Dim3,
-    geom: &TileGeom,
-) {
-    if !geom.has_commit() {
-        return;
-    }
-    let (r, c) = (geom.r, geom.c);
-    let (lx, ly) = (geom.lx(), geom.ly());
-    let slots = (2 * r + 2).max(3 * r + 1);
-    let mut rings: Vec<PlaneRing<T>> = (1..c).map(|_| PlaneRing::new(slots, lx * ly)).collect();
-    let ring_views: Vec<RingView<'_, T>> =
-        rings.iter_mut().map(|rg| RingView::new(rg, lx)).collect();
-    let my_rows = 0..ly;
-    let mut planes_buf: Vec<&[T]> = Vec::with_capacity(2 * r + 1);
-    let outer_steps = geom.dim.nz + 2 * r * (c - 1);
-    for s in 0..outer_steps {
-        for t in 1..=c {
-            let lag = 2 * r * (t - 1);
-            if s < lag {
-                continue;
-            }
-            let z = s - lag;
-            if z < geom.dim.nz {
-                process_level(
-                    kernel,
-                    src,
-                    dst_view,
-                    dst_dim,
-                    geom,
-                    &ring_views,
-                    t,
-                    z,
-                    &my_rows,
-                    &mut planes_buf,
-                );
-            }
-        }
-        planes_buf.clear();
-    }
-}
-
-/// View over one time level's plane ring shared across the team.
-struct RingView<'a, T> {
-    view: SharedSlice<'a, T>,
-    slots: usize,
-    plane_len: usize,
-    lx: usize,
-}
-
-impl<'a, T: Real> RingView<'a, T> {
-    fn new(ring: &'a mut PlaneRing<T>, lx: usize) -> Self {
-        let slots = ring.slots();
-        let plane_len = ring.plane_len();
-        Self {
-            view: SharedSlice::new(ring.as_mut_slice()),
-            slots,
-            plane_len,
-            lx,
-        }
-    }
-
-    fn base(&self, z: usize) -> usize {
-        (z % self.slots) * self.plane_len
-    }
-
-    /// Shared read of the plane stored for global Z index `z`.
-    ///
-    /// # Safety
-    /// No thread may be writing this plane concurrently (guaranteed by the
-    /// pipeline's slot-disjointness and per-step barriers).
-    unsafe fn plane(&self, z: usize) -> &[T] {
-        // SAFETY: forwarded contract.
-        unsafe { self.view.slice(self.base(z), self.plane_len) }
-    }
-
-    /// Mutable access to local columns `[x0, x1)` of local row `row` of the
-    /// plane for `z`.
-    ///
-    /// # Safety
-    /// The caller must own this row range exclusively for the current step
-    /// (guaranteed by the per-thread row partition).
-    // Interior mutability through SharedSlice; exclusivity is the contract.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn row_mut(&self, z: usize, row: usize, x0: usize, x1: usize) -> &mut [T] {
-        // SAFETY: forwarded contract.
-        unsafe {
-            self.view
-                .slice_mut(self.base(z) + row * self.lx + x0, x1 - x0)
-        }
-    }
-}
-
-/// Poisons the barrier if dropped while armed — i.e. during the unwind of
-/// a panicking team member — so the surviving members drain at their next
-/// [`SpinBarrier::checked_wait`] episode instead of spinning forever on an
-/// arrival that will never come.
-struct PoisonOnPanic<'a> {
-    barrier: &'a SpinBarrier,
-    armed: bool,
-}
-
-impl Drop for PoisonOnPanic<'_> {
-    fn drop(&mut self) {
-        if self.armed {
-            self.barrier.poison();
-        }
-    }
-}
-
-/// Runs the full pipeline for one tile × chunk on the team.
-///
-/// Failure paths: a member panic surfaces as
-/// [`SyncError::TeamPanicked`]; a poisoned/timed-out barrier surfaces as
-/// the first [`SyncError`] any member observed. Either way every member
-/// has finished (drained cooperatively) before this returns.
-#[allow(clippy::too_many_arguments)]
-fn tile_pipeline<T: Real, K: StencilKernel<T>>(
-    kernel: &K,
-    src: &Grid3<T>,
-    dst_view: &SharedSlice<T>,
-    dst_dim: Dim3,
-    geom: &TileGeom,
-    team: &ThreadTeam,
-    barrier: &SpinBarrier,
-    deadline: Option<Duration>,
-    instr: &Instrument,
-    tracer: &Tracer,
-) -> Result<(), ExecError> {
-    let (r, c) = (geom.r, geom.c);
-    let (lx, ly) = (geom.lx(), geom.ly());
-    // max(2R+2, 3R+1) slots: see module docs.
-    let slots = (2 * r + 2).max(3 * r + 1);
-    let mut rings: Vec<PlaneRing<T>> = (1..c).map(|_| PlaneRing::new(slots, lx * ly)).collect();
-    let ring_views: Vec<RingView<'_, T>> =
-        rings.iter_mut().map(|rg| RingView::new(rg, lx)).collect();
-
-    let n_threads = team.threads();
-    let outer_steps = geom.dim.nz + 2 * r * (c - 1);
-    let first_err: Mutex<Option<SyncError>> = Mutex::new(None);
-
-    let run_res = team.try_run(|tid| {
-        let mut guard = PoisonOnPanic {
-            barrier,
-            armed: true,
-        };
-        // The flexible load-balancing scheme: this thread owns a fixed band
-        // of local rows at every level and plane.
-        let my_rows = even_range(ly, n_threads, tid);
-        let mut planes_buf: Vec<&[T]> = Vec::with_capacity(2 * r + 1);
-        // `None` when instrumentation is disabled: the loop then performs
-        // no clock reads at all (the zero-cost contract).
-        let mut compute_start = instr.now();
-        for s in 0..outer_steps {
-            faults::fault_point(tid, s);
-            for t in 1..=c {
-                let lag = 2 * r * (t - 1);
-                if s < lag {
-                    continue;
+        if z_boundary {
+            if !is_final {
+                // Dirichlet Z plane: intermediate levels must hold it so the
+                // next level's reads see boundary values; the final level's
+                // destination grid already carries them.
+                for row in my_rows.clone() {
+                    let y = gy0 + row;
+                    // SAFETY: this thread owns `row` of every ring plane.
+                    let dst = unsafe { rings.row_mut(t - 1, z, 0, row, 0, lx) };
+                    dst.copy_from_slice(&self.src.row(y, z)[gx0..gx1]);
                 }
-                let z = s - lag;
-                if z < geom.dim.nz {
-                    let span0 = tracer.now_ns();
-                    process_level(
-                        kernel,
-                        src,
-                        dst_view,
-                        dst_dim,
-                        geom,
-                        &ring_views,
-                        t,
-                        z,
-                        &my_rows,
-                        &mut planes_buf,
-                    );
-                    if let Some(t0) = span0 {
-                        let t1 = tracer.now_ns().unwrap_or(t0);
-                        let kind = TraceEventKind::Plane {
-                            z: z as u32,
-                            level: t as u32,
-                        };
-                        tracer.record(tid, kind, t0, t1);
+            }
+            return;
+        }
+
+        let xs = geom.compute_x(t);
+        let ys = geom.compute_y(t);
+
+        // Stencil rows this thread owns.
+        let row_lo = ys.start.max(gy0 + my_rows.start);
+        let row_hi = ys.end.min(gy0 + my_rows.end);
+
+        if row_lo < row_hi && !xs.is_empty() {
+            let mut planes: Vec<&[T]> = Vec::with_capacity(2 * r + 1);
+            if t == 1 {
+                // Level 1 reads the source grid directly (global stride).
+                for zz in z - r..=z + r {
+                    planes.push(self.src.plane(zz));
+                }
+            } else {
+                // Deeper levels read the previous level's ring (local stride).
+                for zz in z - r..=z + r {
+                    // SAFETY: those planes were completed at earlier outer
+                    // steps (barrier-separated) and their slots are disjoint
+                    // from any plane written in this step.
+                    planes.push(unsafe { rings.plane(t - 2, zz, 0) });
+                }
+            }
+            let (nx, x_off, y_off) = if t == 1 {
+                (dim.nx, 0usize, 0usize)
+            } else {
+                (lx, gx0, gy0)
+            };
+
+            for y in row_lo..row_hi {
+                let out: &mut [T] = if is_final {
+                    // SAFETY: this thread owns row `y` of the destination.
+                    unsafe { self.dst.slice_mut(dim.idx(xs.start, y, z), xs.len()) }
+                } else {
+                    // SAFETY: this thread owns this local row of the ring.
+                    unsafe { rings.row_mut(t - 1, z, 0, y - gy0, xs.start - gx0, xs.len()) }
+                };
+                self.kernel.apply_row(
+                    &planes,
+                    nx,
+                    y - y_off,
+                    xs.start - x_off..xs.end - x_off,
+                    out,
+                );
+
+                if !is_final {
+                    // Dirichlet X rim inside the loaded footprint, so deeper
+                    // levels read correct boundary values.
+                    if gx0 == 0 && r > 0 {
+                        // SAFETY: same row ownership as above.
+                        let rim = unsafe { rings.row_mut(t - 1, z, 0, y - gy0, 0, r) };
+                        rim.copy_from_slice(&self.src.row(y, z)[0..r]);
+                    }
+                    if gx1 == dim.nx && r > 0 {
+                        // SAFETY: same row ownership as above.
+                        let rim = unsafe { rings.row_mut(t - 1, z, 0, y - gy0, lx - r, r) };
+                        rim.copy_from_slice(&self.src.row(y, z)[dim.nx - r..dim.nx]);
                     }
                 }
             }
-            planes_buf.clear();
-            if let Some(t0) = compute_start {
-                instr.add_compute_ns(tid, t0.elapsed().as_nanos() as u64);
-            }
-            let bar0 = tracer.now_ns();
-            let wait = barrier.checked_wait_instrumented(deadline, instr, tid);
-            if let Some(t0) = bar0 {
-                let t1 = tracer.now_ns().unwrap_or(t0);
-                tracer.record(tid, TraceEventKind::Barrier { step: s as u32 }, t0, t1);
-            }
-            compute_start = instr.now();
-            if let Err(e) = wait {
-                // Cooperative exit: the barrier is poisoned (by a panicked
-                // peer's guard or by a timeout), so every member breaks
-                // out here and the generation drains in bounded time.
-                first_err.lock().unwrap().get_or_insert(e);
-                break;
-            }
         }
-        guard.armed = false;
-    });
-    run_res.map_err(ExecError::from)?;
-    match first_err.into_inner().unwrap() {
-        Some(e) => Err(e.into()),
-        None => Ok(()),
-    }
-}
 
-/// Executes level `t`'s work for global plane `z`, restricted to this
-/// thread's local rows.
-#[allow(clippy::too_many_arguments)]
-fn process_level<'a, T: Real, K: StencilKernel<T>>(
-    kernel: &K,
-    src: &'a Grid3<T>,
-    dst_view: &SharedSlice<T>,
-    dst_dim: Dim3,
-    geom: &TileGeom,
-    rings: &'a [RingView<'a, T>],
-    t: usize,
-    z: usize,
-    my_rows: &Range<usize>,
-    planes_buf: &mut Vec<&'a [T]>,
-) {
-    let (r, c) = (geom.r, geom.c);
-    let dim = geom.dim;
-    let is_final = t == c;
-    let z_boundary = z < r || z >= dim.nz - r;
-
-    if z_boundary {
         if !is_final {
-            // Dirichlet Z plane: intermediate levels must hold it so the
-            // next level's reads see boundary values; the final level's
-            // destination grid already carries them.
+            // Dirichlet Y rows (grid faces) inside the loaded footprint.
             for row in my_rows.clone() {
-                let y = geom.gy0 + row;
-                // SAFETY: this thread owns `row` of every ring plane.
-                let dst = unsafe { rings[t - 1].row_mut(z, row, 0, geom.lx()) };
-                dst.copy_from_slice(&src.row(y, z)[geom.gx0..geom.gx1]);
-            }
-        }
-        return;
-    }
-
-    let xs = geom.compute_x(t);
-    let ys = geom.compute_y(t);
-
-    // Stencil rows this thread owns.
-    let row_lo = ys.start.max(geom.gy0 + my_rows.start);
-    let row_hi = ys.end.min(geom.gy0 + my_rows.end);
-
-    if row_lo < row_hi && !xs.is_empty() {
-        planes_buf.clear();
-        if t == 1 {
-            // Level 1 reads the source grid directly (global stride).
-            for zz in z - r..=z + r {
-                planes_buf.push(src.plane(zz));
-            }
-        } else {
-            // Deeper levels read the previous level's ring (local stride).
-            for zz in z - r..=z + r {
-                // SAFETY: those planes were completed at earlier outer
-                // steps (barrier-separated) and their slots are disjoint
-                // from any plane written in this step.
-                planes_buf.push(unsafe { rings[t - 2].plane(zz) });
-            }
-        }
-        let (nx, x_off, y_off) = if t == 1 {
-            (dim.nx, 0usize, 0usize)
-        } else {
-            (geom.lx(), geom.gx0, geom.gy0)
-        };
-
-        for y in row_lo..row_hi {
-            let out: &mut [T] = if is_final {
-                // SAFETY: this thread owns row `y` of the destination.
-                unsafe { dst_view.slice_mut(dst_dim.idx(xs.start, y, z), xs.len()) }
-            } else {
-                // SAFETY: this thread owns this local row of the ring.
-                unsafe {
-                    rings[t - 1].row_mut(z, y - geom.gy0, xs.start - geom.gx0, xs.end - geom.gx0)
+                let y = gy0 + row;
+                if y < r || y >= dim.ny - r {
+                    // SAFETY: this thread owns `row` of every ring plane.
+                    let dst = unsafe { rings.row_mut(t - 1, z, 0, row, 0, lx) };
+                    dst.copy_from_slice(&self.src.row(y, z)[gx0..gx1]);
                 }
-            };
-            kernel.apply_row(
-                planes_buf,
-                nx,
-                y - y_off,
-                xs.start - x_off..xs.end - x_off,
-                out,
-            );
-
-            if !is_final {
-                // Dirichlet X rim inside the loaded footprint, so deeper
-                // levels read correct boundary values.
-                if geom.gx0 == 0 && r > 0 {
-                    // SAFETY: same row ownership as above.
-                    let rim = unsafe { rings[t - 1].row_mut(z, y - geom.gy0, 0, r) };
-                    rim.copy_from_slice(&src.row(y, z)[0..r]);
-                }
-                if geom.gx1 == dim.nx && r > 0 {
-                    let lx = geom.lx();
-                    // SAFETY: same row ownership as above.
-                    let rim = unsafe { rings[t - 1].row_mut(z, y - geom.gy0, lx - r, lx) };
-                    rim.copy_from_slice(&src.row(y, z)[dim.nx - r..dim.nx]);
-                }
-            }
-        }
-    }
-
-    if !is_final {
-        // Dirichlet Y rows (grid faces) inside the loaded footprint.
-        for row in my_rows.clone() {
-            let y = geom.gy0 + row;
-            if y < r || y >= dim.ny - r {
-                // SAFETY: this thread owns `row` of every ring plane.
-                let dst = unsafe { rings[t - 1].row_mut(z, row, 0, geom.lx()) };
-                dst.copy_from_slice(&src.row(y, z)[geom.gx0..geom.gx1]);
             }
         }
     }
@@ -712,6 +304,8 @@ mod tests {
     use crate::exec::reference_sweep;
     use crate::kernel::{GenericStar, SevenPoint, TwentySevenPoint};
     use crate::planner::kappa_35d;
+    use threefive_grid::Dim3;
+    use threefive_sync::{Instrument, Tracer};
 
     fn init<T: Real>(d: Dim3) -> DoubleGrid<T> {
         DoubleGrid::from_initial(Grid3::from_fn(d, |x, y, z| {
@@ -879,14 +473,14 @@ mod tests {
         let team = ThreadTeam::new(3);
         let instr = Instrument::enabled(team.threads());
         let mut got = init::<f32>(d);
-        let stats = try_parallel35d_sweep_instrumented(
+        let stats = try_parallel35d_sweep(
             &k,
             &mut got,
             4,
             Blocking35::new(6, 6, 2),
             &team,
             None,
-            &instr,
+            &Observer::with_instrument(&instr),
         )
         .unwrap();
         assert_eq!(got.src().as_slice(), want.src().as_slice());
@@ -906,14 +500,14 @@ mod tests {
         let team = ThreadTeam::new(2);
         let instr = Instrument::disabled();
         let mut g = init::<f32>(d);
-        try_parallel35d_sweep_instrumented(
+        try_parallel35d_sweep(
             &k,
             &mut g,
             2,
             Blocking35::new(4, 4, 2),
             &team,
             None,
-            &instr,
+            &Observer::with_instrument(&instr),
         )
         .unwrap();
         assert!(instr.timing().per_thread.is_empty());
@@ -932,15 +526,14 @@ mod tests {
         let instr = Instrument::enabled(threads);
         let tracer = Tracer::enabled(threads);
         let mut got = init::<f32>(d);
-        try_parallel35d_sweep_traced(
+        try_parallel35d_sweep(
             &k,
             &mut got,
             steps,
             Blocking35::new(d.nx, d.ny, dim_t), // one tile: exact span accounting
             &team,
             None,
-            &instr,
-            &tracer,
+            &Observer::new(&instr, &tracer),
         )
         .unwrap();
         assert_eq!(got.src().as_slice(), want.src().as_slice());
@@ -975,24 +568,23 @@ mod tests {
     }
 
     #[test]
-    fn disabled_tracer_keeps_sweep_bit_identical() {
+    fn disabled_observer_keeps_sweep_bit_identical() {
         let d = Dim3::new(11, 9, 10);
         let k = SevenPoint::new(0.3f64, 0.1);
         let team = ThreadTeam::new(3);
         let b = Blocking35::new(5, 6, 2);
         let mut plain = init::<f64>(d);
-        try_parallel35d_sweep(&k, &mut plain, 4, b, &team, None).unwrap();
+        try_parallel35d_sweep(&k, &mut plain, 4, b, &team, None, &Observer::disabled()).unwrap();
         let mut traced = init::<f64>(d);
         let tracer = Tracer::disabled();
-        try_parallel35d_sweep_traced(
+        try_parallel35d_sweep(
             &k,
             &mut traced,
             4,
             b,
             &team,
             None,
-            &Instrument::disabled(),
-            &tracer,
+            &Observer::with_tracer(&tracer),
         )
         .unwrap();
         assert_eq!(plain.src().as_slice(), traced.src().as_slice());

@@ -15,8 +15,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use threefive_grid::{DoubleGrid, Real};
 use threefive_sync::{SharedSlice, ThreadTeam};
 
+use crate::exec::engine35::{tile_stream_serial, Blocking35, BoundaryPolicy, TileGeom};
 use crate::exec::has_interior;
-use crate::exec::pipeline35::{tile_geometry, tile_pipeline_serial, Blocking35};
+use crate::exec::pipeline35::StencilPlanes;
 use crate::kernel::StencilKernel;
 use crate::stats::SweepStats;
 
@@ -58,6 +59,11 @@ pub fn tile_parallel35d_sweep<T: Real, K: StencilKernel<T>>(
 
         let (src, dst) = grids.pair_mut();
         let dst_view = SharedSlice::new(dst.as_mut_slice());
+        let planes = StencilPlanes {
+            kernel,
+            src,
+            dst: &dst_view,
+        };
         let next = AtomicUsize::new(0);
         // Per-tile destination rows are disjoint across tiles, so a simple
         // work queue is race-free; each thread runs a serial pipeline.
@@ -66,11 +72,25 @@ pub fn tile_parallel35d_sweep<T: Real, K: StencilKernel<T>>(
             let Some(&(ox, ox1, oy, oy1)) = tiles.get(i) else {
                 break;
             };
-            let geom = tile_geometry(dim, r, chunk, ox, ox1, oy, oy1);
-            tile_pipeline_serial(kernel, src, &dst_view, dim, &geom);
+            let geom = TileGeom::new(
+                dim,
+                r,
+                chunk,
+                BoundaryPolicy::DirichletRim,
+                ox..ox1,
+                oy..oy1,
+            );
+            tile_stream_serial(&planes, &geom);
         });
         for &(ox, ox1, oy, oy1) in &tiles {
-            let geom = tile_geometry(dim, r, chunk, ox, ox1, oy, oy1);
+            let geom = TileGeom::new(
+                dim,
+                r,
+                chunk,
+                BoundaryPolicy::DirichletRim,
+                ox..ox1,
+                oy..oy1,
+            );
             if geom.has_commit() {
                 stats = stats + geom.stats::<T>();
             }

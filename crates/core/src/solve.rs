@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use threefive_grid::{DoubleGrid, Real};
-use threefive_sync::ThreadTeam;
+use threefive_sync::{Observer, ThreadTeam};
 
 use crate::error::ExecError;
 use crate::exec::{try_parallel35d_sweep, Blocking35};
@@ -106,7 +106,15 @@ pub fn try_solve_steady<T: Real, K: StencilKernel<T>>(
     let mut last_delta = f64::INFINITY;
     while steps < max_steps {
         let batch = check_every.min(max_steps - steps);
-        try_parallel35d_sweep(kernel, grids, batch, blocking, team, deadline)?;
+        try_parallel35d_sweep(
+            kernel,
+            grids,
+            batch,
+            blocking,
+            team,
+            deadline,
+            &Observer::disabled(),
+        )?;
         steps += batch;
         last_delta = grids.src().max_abs_diff(&snapshot, &full) / batch as f64;
         if last_delta <= tol {

@@ -30,8 +30,5 @@ mod step;
 
 pub use lattice::{Lattice, Macroscopic};
 pub use periodic::{lbm_periodic_reference, lbm_periodic_sweep, periodic_lattice};
-pub use pipeline::{
-    lbm35d_sweep, lbm35d_sweep_instrumented, lbm35d_sweep_traced, lbm_temporal_sweep, LbmBlocking,
-    LbmError,
-};
+pub use pipeline::{lbm35d_sweep, lbm_temporal_sweep, try_lbm35d_sweep, LbmBlocking, LbmError};
 pub use step::{lbm_naive_sweep, LbmMode};

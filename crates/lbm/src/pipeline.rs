@@ -1,14 +1,24 @@
 //! 3.5-D blocking for the lattice Boltzmann method (paper §VI-B).
 //!
-//! Same pipeline structure as the stencil executor
-//! (`threefive_core::exec::parallel35d_sweep`): XY tiles stream through Z;
+//! Since the engine refactor this module no longer carries its own copy
+//! of the pipeline: the chunked tile loop, Z-stream schedule, plane
+//! rings, barriers and fault handling come from
+//! [`threefive_core::exec::engine35`], and this module contributes the
+//! D3Q19 workload as a [`PlaneKernel`] impl ([`LbmPlanes`]) plus the
+//! public sweep entry points. Running on the engine also puts the LBM
+//! under the fault-tolerance layer: [`try_lbm35d_sweep`] honors a
+//! watchdog `deadline` and surfaces member panics / poisoned barriers as
+//! [`LbmError::Sync`] instead of hanging.
+//!
+//! Structure (same as the stencil pipeline): XY tiles stream through Z;
 //! time level 1 pulls from the source lattice, intermediate levels live in
 //! tile-local plane rings (19 distribution planes per ring slot), the last
 //! level writes the destination lattice. Every thread owns a band of rows
 //! of every sub-plane at every level, with one barrier per outer Z step.
 //!
 //! Differences from the scalar-stencil pipeline, both induced by the
-//! lattice's flag semantics:
+//! lattice's flag semantics and captured by
+//! [`BoundaryPolicy::FaceExtended`]:
 //!
 //! * valid ranges extend to the grid faces (face sites are non-fluid by
 //!   construction and are *copied* from the time-invariant source, which
@@ -21,10 +31,14 @@
 //! `max(2R+2, 3R+1) = 4` sub-planes per level, matching the paper.
 
 use std::fmt;
+use std::ops::Range;
+use std::time::Duration;
 
-use threefive_grid::partition::even_range;
-use threefive_grid::{Dim3, PlaneRing, Real, SoaGrid};
-use threefive_sync::{Instrument, SharedSlice, SpinBarrier, ThreadTeam, TraceEventKind, Tracer};
+use threefive_core::exec::engine35::{
+    stream_chunk, Blocking35, BoundaryPolicy, PlaneKernel, Rings, SweepCtx, TileGeom,
+};
+use threefive_grid::{CellFlags, Real, SoaGrid};
+use threefive_sync::{Observer, SharedSlice, SpinBarrier, SyncError, ThreadTeam};
 
 use crate::model::Q;
 use crate::step::{row_update, PullSource};
@@ -77,7 +91,7 @@ impl LbmBlocking {
 }
 
 /// Typed errors for the lattice executors' fallible entry points.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum LbmError {
     /// A blocking parameter was zero; the 3.5-D geometry is undefined.
     InvalidBlocking {
@@ -87,6 +101,18 @@ pub enum LbmError {
         dim_y: usize,
         /// Requested temporal factor.
         dim_t: usize,
+    },
+    /// The parallel substrate failed: a member panicked, the barrier was
+    /// poisoned, or a watchdog deadline expired.
+    Sync(SyncError),
+    /// A distribution value went non-finite (NaN/∞).
+    NonFinite {
+        /// Distribution component `q` containing the value.
+        comp: usize,
+        /// Lattice site `(x, y, z)` of the value.
+        at: (usize, usize, usize),
+        /// The offending value.
+        value: f64,
     },
 }
 
@@ -102,11 +128,30 @@ impl fmt::Display for LbmError {
                 "invalid LBM 3.5-D blocking {dim_x}x{dim_y} dimT={dim_t}: \
                  every parameter must be positive"
             ),
+            LbmError::Sync(e) => write!(f, "LBM parallel sweep failed: {e}"),
+            LbmError::NonFinite { comp, at, value } => write!(
+                f,
+                "non-finite distribution f[{comp}] = {value} at ({}, {}, {})",
+                at.0, at.1, at.2
+            ),
         }
     }
 }
 
-impl std::error::Error for LbmError {}
+impl std::error::Error for LbmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LbmError::Sync(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SyncError> for LbmError {
+    fn from(e: SyncError) -> Self {
+        LbmError::Sync(e)
+    }
+}
 
 /// Temporal-only blocking: tile = the whole XY plane (paper's
 /// "only temporal blocking" bars, which help only when the plane rings fit
@@ -126,46 +171,50 @@ pub fn lbm_temporal_sweep<T: Real>(
 /// Bit-exact with [`lbm_naive_sweep`](crate::lbm_naive_sweep) in SIMD mode
 /// for every tiling, temporal factor and team size. Returns the number of
 /// site updates.
+///
+/// # Panics
+/// Panics if the parallel substrate fails; see [`try_lbm35d_sweep`] for
+/// the non-panicking, watchdogged variant.
 pub fn lbm35d_sweep<T: Real>(
     lat: &mut Lattice<T>,
     steps: usize,
     b: LbmBlocking,
     team: Option<&ThreadTeam>,
 ) -> u64 {
-    lbm35d_sweep_instrumented(lat, steps, b, team, &Instrument::disabled())
+    match try_lbm35d_sweep(lat, steps, b, team, None, &Observer::disabled()) {
+        Ok(updates) => updates,
+        Err(e) => panic!("lbm35d_sweep: {e}"),
+    }
 }
 
-/// [`lbm35d_sweep`] with per-thread compute/barrier-wait timing.
+/// Fault-tolerant, observable 3.5-D LBM sweep — the single entry point
+/// behind every lattice executor variant.
 ///
-/// Identical results and (with a disabled handle) identical hot loop; an
-/// enabled [`Instrument`] accumulates each team member's nanoseconds of
-/// compute vs. barrier wait, which the benchmark harness reports as the
-/// barrier-wait share.
-pub fn lbm35d_sweep_instrumented<T: Real>(
+/// Behaves like [`lbm35d_sweep`], but failures inside the parallel
+/// region surface as [`LbmError`] instead of panics or hangs, exactly as
+/// [`try_parallel35d_sweep`](threefive_core::exec::try_parallel35d_sweep)
+/// does for the stencil: a member panic poisons the per-Z-step barrier
+/// and drains the team ([`LbmError::Sync`] /
+/// [`SyncError::TeamPanicked`]), and `deadline: Some(d)` bounds how long
+/// healthy members wait on a stalled one
+/// ([`SyncError::BarrierTimeout`]). Observability composes through
+/// `obs`: [`Observer::with_instrument`] accumulates per-thread
+/// compute/barrier-wait timing, [`Observer::with_tracer`] records one
+/// plane span per streamed Z plane × time level and one barrier span per
+/// episode, and [`Observer::disabled`] never reads the clock.
+///
+/// On `Err` the lattice contents are unspecified (a chunk may be
+/// partially committed); callers that need rollback must snapshot first,
+/// as the facade's `run_lbm_plan` ladder does.
+pub fn try_lbm35d_sweep<T: Real>(
     lat: &mut Lattice<T>,
     steps: usize,
     b: LbmBlocking,
     team: Option<&ThreadTeam>,
-    instr: &Instrument,
-) -> u64 {
-    lbm35d_sweep_traced(lat, steps, b, team, instr, &Tracer::disabled())
-}
-
-/// [`lbm35d_sweep_instrumented`] with pipeline tracing.
-///
-/// Each team member records one [`TraceEventKind::Plane`] span per
-/// streamed Z plane × time level and one [`TraceEventKind::Barrier`]
-/// span per barrier episode into `tracer`, exactly like the stencil
-/// pipeline. A disabled tracer never reads the clock and leaves the
-/// lattice bit-identical to the untraced fast path.
-pub fn lbm35d_sweep_traced<T: Real>(
-    lat: &mut Lattice<T>,
-    steps: usize,
-    b: LbmBlocking,
-    team: Option<&ThreadTeam>,
-    instr: &Instrument,
-    tracer: &Tracer,
-) -> u64 {
+    deadline: Option<Duration>,
+    obs: &Observer<'_>,
+) -> Result<u64, LbmError> {
+    LbmBlocking::try_new(b.dim_x, b.dim_y, b.dim_t)?;
     let fallback;
     let team = match team {
         Some(t) => t,
@@ -177,316 +226,196 @@ pub fn lbm35d_sweep_traced<T: Real>(
     let dim = lat.dim();
     let omega = lat.omega;
     let barrier = SpinBarrier::new(team.threads());
+    // The engine's blocking type mirrors the LBM one field-for-field.
+    let eb = Blocking35 {
+        dim_x: b.dim_x,
+        dim_y: b.dim_y,
+        dim_t: b.dim_t,
+    };
     let mut remaining = steps;
     while remaining > 0 {
         let chunk = remaining.min(b.dim_t);
         let (flags, simple, src, dst) = lat.split_step();
         let dst_views: Vec<SharedSlice<'_, T>> =
             dst.comps_mut().into_iter().map(SharedSlice::new).collect();
-        let mut oy = 0usize;
-        while oy < dim.ny {
-            let oy1 = (oy + b.dim_y).min(dim.ny);
-            let mut ox = 0usize;
-            while ox < dim.nx {
-                let ox1 = (ox + b.dim_x).min(dim.nx);
-                let geom = LGeom::new(dim, chunk, ox, ox1, oy, oy1);
-                tile_pipeline(
-                    src, &dst_views, flags, simple, omega, &geom, team, &barrier, instr, tracer,
-                );
-                ox = ox1;
-            }
-            oy = oy1;
-        }
+        let planes = LbmPlanes {
+            src,
+            dst: &dst_views,
+            flags,
+            simple,
+            omega,
+        };
+        let ctx = SweepCtx {
+            team,
+            barrier: &barrier,
+            deadline,
+            obs,
+        };
+        stream_chunk(&planes, dim, eb, chunk, &ctx, |_| {})?;
         lat.swap();
         remaining -= chunk;
     }
-    dim.len() as u64 * steps as u64
+    Ok(dim.len() as u64 * steps as u64)
 }
 
-/// Tile geometry with the lattice's face-extended valid ranges.
-struct LGeom {
-    dim: Dim3,
-    c: usize,
-    gx0: usize,
-    gx1: usize,
-    gy0: usize,
-    gy1: usize,
+/// The D3Q19 workload as a [`PlaneKernel`]: level 1 pulls from the source
+/// lattice, intermediate levels read/write 19-component plane rings, the
+/// final level writes the destination lattice. Non-fluid Z-boundary
+/// planes are copied from the time-invariant source — into rings for
+/// intermediate levels, into the destination for the final level.
+struct LbmPlanes<'a, T: Real> {
+    src: &'a SoaGrid<T>,
+    dst: &'a [SharedSlice<'a, T>],
+    flags: &'a CellFlags,
+    simple: &'a [u8],
+    omega: T,
 }
 
-impl LGeom {
-    fn new(dim: Dim3, c: usize, ox0: usize, ox1: usize, oy0: usize, oy1: usize) -> Self {
-        let h = R * c;
-        Self {
-            dim,
-            c,
-            gx0: ox0.saturating_sub(h),
-            gx1: (ox1 + h).min(dim.nx),
-            gy0: oy0.saturating_sub(h),
-            gy1: (oy1 + h).min(dim.ny),
+impl<T: Real> PlaneKernel<T> for LbmPlanes<'_, T> {
+    fn radius(&self) -> usize {
+        R
+    }
+
+    fn boundary(&self) -> BoundaryPolicy {
+        BoundaryPolicy::FaceExtended
+    }
+
+    fn components(&self) -> usize {
+        Q
+    }
+
+    fn process_level(
+        &self,
+        geom: &TileGeom,
+        rings: &Rings<'_, T>,
+        t: usize,
+        z: usize,
+        my_rows: &Range<usize>,
+    ) {
+        let c = geom.levels();
+        let dim = geom.dim();
+        let (gx0, gy0, lx) = (geom.gx0(), geom.gy0(), geom.lx());
+        let is_final = t == c;
+        let z_boundary = z < R || z >= dim.nz - R;
+
+        if z_boundary {
+            // Non-fluid planes: propagate the time-invariant source values
+            // to wherever the consumer will read them.
+            if !is_final {
+                for row in my_rows.clone() {
+                    let y = gy0 + row;
+                    let i = dim.idx(gx0, y, z);
+                    for q in 0..Q {
+                        // SAFETY: this thread owns `row`.
+                        let dst = unsafe { rings.row_mut(t - 1, z, q, row, 0, lx) };
+                        dst.copy_from_slice(&self.src.comp(q)[i..i + lx]);
+                    }
+                }
+            } else {
+                let xs = geom.compute_x(c);
+                if xs.is_empty() {
+                    return;
+                }
+                let ys = geom.compute_y(c);
+                for row in my_rows.clone() {
+                    let y = gy0 + row;
+                    if !ys.contains(&y) {
+                        continue;
+                    }
+                    let i = dim.idx(xs.start, y, z);
+                    for (q, view) in self.dst.iter().enumerate() {
+                        // SAFETY: this thread owns row `y` of the
+                        // destination for this tile's X range.
+                        let dst = unsafe { view.slice_mut(i, xs.len()) };
+                        dst.copy_from_slice(&self.src.comp(q)[i..i + xs.len()]);
+                    }
+                }
+            }
+            return;
+        }
+
+        let xs = geom.compute_x(t);
+        let ys = geom.compute_y(t);
+        if xs.is_empty() {
+            return;
+        }
+        let row_lo = ys.start.max(gy0 + my_rows.start);
+        let row_hi = ys.end.min(gy0 + my_rows.end);
+        let mut out_rows: Vec<&mut [T]> = Vec::with_capacity(Q);
+        for y in row_lo..row_hi {
+            out_rows.clear();
+            if is_final {
+                let i = dim.idx(xs.start, y, z);
+                for view in self.dst {
+                    // SAFETY: this thread owns row `y` of the destination
+                    // for this tile's X range.
+                    out_rows.push(unsafe { view.slice_mut(i, xs.len()) });
+                }
+            } else {
+                for q in 0..Q {
+                    // SAFETY: this thread owns row `y`.
+                    out_rows.push(unsafe {
+                        rings.row_mut(t - 1, z, q, y - gy0, xs.start - gx0, xs.len())
+                    });
+                }
+            }
+            if t == 1 {
+                row_update(
+                    &self.src,
+                    self.src,
+                    self.flags,
+                    self.simple,
+                    self.omega,
+                    y,
+                    z,
+                    xs.clone(),
+                    &mut out_rows,
+                    true,
+                );
+            } else {
+                let rsrc = RingSrc {
+                    rings,
+                    ring: t - 2,
+                    gx0,
+                    gy0,
+                    lx,
+                };
+                row_update(
+                    &rsrc,
+                    self.src,
+                    self.flags,
+                    self.simple,
+                    self.omega,
+                    y,
+                    z,
+                    xs.clone(),
+                    &mut out_rows,
+                    true,
+                );
+            }
         }
     }
-
-    fn lx(&self) -> usize {
-        self.gx1 - self.gx0
-    }
-    fn ly(&self) -> usize {
-        self.gy1 - self.gy0
-    }
-
-    /// Valid X range at level `t`: shrink `R·t` from tile-interior sides,
-    /// extend to the face at grid faces (face sites are copied, not
-    /// computed, by the row routine).
-    fn valid_x(&self, t: usize) -> std::ops::Range<usize> {
-        let lo = if self.gx0 == 0 { 0 } else { self.gx0 + R * t };
-        let hi = if self.gx1 == self.dim.nx {
-            self.dim.nx
-        } else {
-            self.gx1.saturating_sub(R * t)
-        };
-        lo..hi.max(lo)
-    }
-
-    /// Valid Y range at level `t`.
-    fn valid_y(&self, t: usize) -> std::ops::Range<usize> {
-        let lo = if self.gy0 == 0 { 0 } else { self.gy0 + R * t };
-        let hi = if self.gy1 == self.dim.ny {
-            self.dim.ny
-        } else {
-            self.gy1.saturating_sub(R * t)
-        };
-        lo..hi.max(lo)
-    }
 }
 
-/// Shared view of one intermediate level's ring: each slot stores 19
-/// component planes of `lx × ly`, component-major.
-struct RingView<'a, T> {
-    view: SharedSlice<'a, T>,
-    slots: usize,
-    lx: usize,
-    gx0: usize,
-    gy0: usize,
-}
-
-impl<'a, T: Real> RingView<'a, T> {
-    fn new(ring: &'a mut PlaneRing<T>, geom: &LGeom) -> Self {
-        let slots = ring.slots();
-        Self {
-            view: SharedSlice::new(ring.as_mut_slice()),
-            slots,
-            lx: geom.lx(),
-            gx0: geom.gx0,
-            gy0: geom.gy0,
-        }
-    }
-
-    #[inline]
-    fn base(&self, z: usize, q: usize, plane_area: usize) -> usize {
-        ((z % self.slots) * Q + q) * plane_area
-    }
-
-    #[inline]
-    fn plane_area(&self) -> usize {
-        self.view.len() / (self.slots * Q)
-    }
-
-    /// Mutable row segment (global coords) of component `q`, plane `z`.
-    ///
-    /// # Safety
-    /// The calling thread must own row `y` for this step.
-    #[inline]
-    // Interior mutability through SharedSlice; exclusivity is the contract.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn row_mut(&self, q: usize, z: usize, y: usize, x0: usize, len: usize) -> &mut [T] {
-        let off = self.base(z, q, self.plane_area()) + (y - self.gy0) * self.lx + (x0 - self.gx0);
-        // SAFETY: forwarded contract; bounds checked by SharedSlice.
-        unsafe { self.view.slice_mut(off, len) }
-    }
-}
-
-/// Pull source backed by a ring (global-coordinate adapter).
+/// Pull source backed by an engine ring (global-coordinate adapter).
 struct RingSrc<'b, 'a, T> {
-    rv: &'b RingView<'a, T>,
+    rings: &'b Rings<'a, T>,
+    ring: usize,
+    gx0: usize,
+    gy0: usize,
+    lx: usize,
 }
 
 impl<T: Real> PullSource<T> for RingSrc<'_, '_, T> {
     #[inline(always)]
     fn row(&self, q: usize, x0: usize, y: usize, z: usize, len: usize) -> &[T] {
-        let rv = self.rv;
-        let off = rv.base(z, q, rv.plane_area()) + (y - rv.gy0) * rv.lx + (x0 - rv.gx0);
         // SAFETY: the pipeline only reads planes completed in earlier
         // barrier-separated steps, and ring slots written this step are
         // disjoint from slots read this step.
-        unsafe { rv.view.slice(off, len) }
+        let plane = unsafe { self.rings.plane(self.ring, z, q) };
+        let off = (y - self.gy0) * self.lx + (x0 - self.gx0);
+        &plane[off..off + len]
     }
-}
-
-/// Runs the pipeline for one tile × chunk on the team.
-#[allow(clippy::too_many_arguments)]
-fn tile_pipeline<T: Real>(
-    src: &SoaGrid<T>,
-    dst_views: &[SharedSlice<'_, T>],
-    flags: &threefive_grid::CellFlags,
-    simple: &[u8],
-    omega: T,
-    geom: &LGeom,
-    team: &ThreadTeam,
-    barrier: &SpinBarrier,
-    instr: &Instrument,
-    tracer: &Tracer,
-) {
-    let c = geom.c;
-    let (lx, ly) = (geom.lx(), geom.ly());
-    let slots = (2 * R + 2).max(3 * R + 1);
-    let mut rings: Vec<PlaneRing<T>> = (1..c).map(|_| PlaneRing::new(slots, Q * lx * ly)).collect();
-    let ring_views: Vec<RingView<'_, T>> =
-        rings.iter_mut().map(|rg| RingView::new(rg, geom)).collect();
-
-    let dim = geom.dim;
-    let n_threads = team.threads();
-    let outer_steps = dim.nz + 2 * R * (c - 1);
-
-    team.run(|tid| {
-        let my_rows = even_range(ly, n_threads, tid);
-        let mut out_rows: Vec<&mut [T]> = Vec::with_capacity(Q);
-        // `None` when instrumentation is disabled: no clock reads at all.
-        let mut compute_start = instr.now();
-        for s in 0..outer_steps {
-            for t in 1..=c {
-                let lag = 2 * R * (t - 1);
-                if s < lag {
-                    continue;
-                }
-                let z = s - lag;
-                if z >= dim.nz {
-                    continue;
-                }
-                let span0 = tracer.now_ns();
-                // Level body as a closure so its early exits still reach
-                // the span record below.
-                let mut level_body = || {
-                    let is_final = t == c;
-                    let z_boundary = z < R || z >= dim.nz - R;
-
-                    if z_boundary {
-                        // Non-fluid planes: propagate the time-invariant
-                        // source values to wherever the consumer will read
-                        // them.
-                        if !is_final {
-                            for row in my_rows.clone() {
-                                let y = geom.gy0 + row;
-                                for q in 0..Q {
-                                    // SAFETY: this thread owns `row`.
-                                    let dst =
-                                        unsafe { ring_views[t - 1].row_mut(q, z, y, geom.gx0, lx) };
-                                    let i = dim.idx(geom.gx0, y, z);
-                                    dst.copy_from_slice(&src.comp(q)[i..i + lx]);
-                                }
-                            }
-                        } else {
-                            let xs = geom.valid_x(c);
-                            if xs.is_empty() {
-                                return;
-                            }
-                            for row in my_rows.clone() {
-                                let y = geom.gy0 + row;
-                                if !geom.valid_y(c).contains(&y) {
-                                    continue;
-                                }
-                                for (q, view) in dst_views.iter().enumerate() {
-                                    let i = dim.idx(xs.start, y, z);
-                                    // SAFETY: this thread owns row `y` of the
-                                    // destination for this tile's X range.
-                                    let dst = unsafe { view.slice_mut(i, xs.len()) };
-                                    dst.copy_from_slice(&src.comp(q)[i..i + xs.len()]);
-                                }
-                            }
-                        }
-                        return;
-                    }
-
-                    let xs = geom.valid_x(t);
-                    let ys = geom.valid_y(t);
-                    if xs.is_empty() {
-                        return;
-                    }
-                    let row_lo = ys.start.max(geom.gy0 + my_rows.start);
-                    let row_hi = ys.end.min(geom.gy0 + my_rows.end);
-                    for y in row_lo..row_hi {
-                        out_rows.clear();
-                        if is_final {
-                            for view in dst_views {
-                                let i = dim.idx(xs.start, y, z);
-                                // SAFETY: this thread owns row `y` of the
-                                // destination for this tile's X range.
-                                out_rows.push(unsafe { view.slice_mut(i, xs.len()) });
-                            }
-                        } else {
-                            for q in 0..Q {
-                                // SAFETY: this thread owns row `y`.
-                                out_rows.push(unsafe {
-                                    ring_views[t - 1].row_mut(q, z, y, xs.start, xs.len())
-                                });
-                            }
-                        }
-                        if t == 1 {
-                            row_update(
-                                &src,
-                                src,
-                                flags,
-                                simple,
-                                omega,
-                                y,
-                                z,
-                                xs.clone(),
-                                &mut out_rows,
-                                true,
-                            );
-                        } else {
-                            let rsrc = RingSrc {
-                                rv: &ring_views[t - 2],
-                            };
-                            row_update(
-                                &rsrc,
-                                src,
-                                flags,
-                                simple,
-                                omega,
-                                y,
-                                z,
-                                xs.clone(),
-                                &mut out_rows,
-                                true,
-                            );
-                        }
-                    }
-                };
-                level_body();
-                if let Some(t0) = span0 {
-                    let t1 = tracer.now_ns().unwrap_or(t0);
-                    let kind = TraceEventKind::Plane {
-                        z: z as u32,
-                        level: t as u32,
-                    };
-                    tracer.record(tid, kind, t0, t1);
-                }
-            }
-            if let Some(t0) = compute_start {
-                instr.add_compute_ns(tid, t0.elapsed().as_nanos() as u64);
-            }
-            let t1 = instr.now();
-            let bar0 = tracer.now_ns();
-            barrier.wait();
-            if let Some(t0) = bar0 {
-                let end = tracer.now_ns().unwrap_or(t0);
-                tracer.record(tid, TraceEventKind::Barrier { step: s as u32 }, t0, end);
-            }
-            if let Some(t1) = t1 {
-                instr.add_barrier_ns(tid, t1.elapsed().as_nanos() as u64);
-            }
-            compute_start = instr.now();
-        }
-    });
 }
 
 #[cfg(test)]
@@ -494,6 +423,8 @@ mod tests {
     use super::*;
     use crate::scenarios;
     use crate::step::{lbm_naive_sweep, LbmMode};
+    use threefive_grid::Dim3;
+    use threefive_sync::{Instrument, TraceEventKind, Tracer};
 
     fn assert_lattices_equal<T: Real>(a: &Lattice<T>, b: &Lattice<T>, what: &str) {
         for q in 0..Q {
@@ -604,6 +535,19 @@ mod tests {
     }
 
     #[test]
+    fn invalid_blocking_is_a_typed_error() {
+        let d = Dim3::cube(8);
+        let mut lat = scenarios::closed_box::<f32>(d, 1.2);
+        let b = LbmBlocking {
+            dim_x: 4,
+            dim_y: 4,
+            dim_t: 0,
+        };
+        let err = try_lbm35d_sweep(&mut lat, 2, b, None, None, &Observer::disabled()).unwrap_err();
+        assert!(matches!(err, LbmError::InvalidBlocking { dim_t: 0, .. }));
+    }
+
+    #[test]
     fn traced_sweep_matches_naive_and_spans_every_plane_level() {
         let d = Dim3::cube(9);
         let (steps, dim_t, threads) = (4usize, 2usize, 2usize);
@@ -615,14 +559,15 @@ mod tests {
         let tracer = Tracer::enabled(threads);
         let mut got = scenarios::closed_box::<f32>(d, 1.3);
         perturb(&mut got);
-        lbm35d_sweep_traced(
+        try_lbm35d_sweep(
             &mut got,
             steps,
             LbmBlocking::new(d.nx, d.ny, dim_t), // one tile: exact span accounting
             Some(&team),
-            &instr,
-            &tracer,
-        );
+            None,
+            &Observer::new(&instr, &tracer),
+        )
+        .unwrap();
         assert_lattices_equal(&want, &got, "traced");
         let snap = tracer.snapshot();
         assert_eq!(snap.threads.len(), threads);

@@ -152,29 +152,6 @@ impl SpinBarrier {
         }
     }
 
-    /// [`checked_wait`](SpinBarrier::checked_wait) with the wait time
-    /// attributed to thread `tid` of `instr`.
-    ///
-    /// With a disabled [`Instrument`](crate::Instrument) this compiles down to a plain
-    /// `checked_wait` — no clock read, no atomic traffic — so the
-    /// instrumented executors keep their uninstrumented fast path.
-    #[inline]
-    pub fn checked_wait_instrumented(
-        &self,
-        deadline: Option<Duration>,
-        instr: &crate::Instrument,
-        tid: usize,
-    ) -> Result<bool, SyncError> {
-        match instr.now() {
-            None => self.checked_wait(deadline),
-            Some(t0) => {
-                let res = self.checked_wait(deadline);
-                instr.add_barrier_ns(tid, t0.elapsed().as_nanos() as u64);
-                res
-            }
-        }
-    }
-
     /// Marks the barrier dead and bumps the generation so current
     /// spinners drain. Checked waiters observe the poison and return
     /// [`SyncError::BarrierPoisoned`]; the executor's panic guard calls

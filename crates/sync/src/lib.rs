@@ -22,7 +22,10 @@
 //!   benchmark harness reports through;
 //! * [`Tracer`] / [`TraceSnapshot`] — zero-cost-when-disabled per-thread
 //!   span/event recording (one cache-padded ring per team member) at
-//!   pipeline-stage granularity, exported to Perfetto by the bench crate.
+//!   pipeline-stage granularity, exported to Perfetto by the bench crate;
+//! * [`Observer`] — the composable bundle of [`Instrument`] + [`Tracer`]
+//!   that the sweep entry points take, replacing the per-combination
+//!   executor variants that used to exist.
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@
 mod barrier;
 mod error;
 mod instrument;
+mod observer;
 mod pad;
 mod shared;
 mod team;
@@ -39,6 +43,7 @@ mod trace;
 pub use barrier::SpinBarrier;
 pub use error::SyncError;
 pub use instrument::{Instrument, SweepTiming, ThreadTiming, WaitHistogram, WAIT_HIST_BUCKETS};
+pub use observer::Observer;
 pub use pad::CachePadded;
 pub use shared::SharedSlice;
 pub use team::ThreadTeam;

@@ -1,0 +1,226 @@
+//! The composable observability bundle handed to the sweep executors.
+//!
+//! Before this module existed every executor grew a ladder of entry
+//! points (plain, timing-only, timing-plus-spans), one per
+//! combination of [`Instrument`] and [`Tracer`]. An [`Observer`] bundles
+//! both handles behind one borrow, so each workload exposes exactly one
+//! entry point taking `&Observer` and the caller composes what it wants
+//! observed:
+//!
+//! * [`Observer::disabled`] — the fast path; no clock is ever read;
+//! * [`Observer::with_instrument`] — aggregate compute/barrier timing;
+//! * [`Observer::with_tracer`] — per-plane/per-barrier timeline spans;
+//! * [`Observer::new`] — both.
+//!
+//! The zero-cost guarantee is inherited, not re-implemented: every
+//! clock read goes through [`Instrument::now`] or [`Tracer::now_ns`],
+//! both of which return `None` on disabled handles, so a disabled
+//! observer provably never syscalls and swept grids stay bit-identical
+//! to the unobserved fast path.
+
+use std::time::{Duration, Instant};
+
+use crate::barrier::SpinBarrier;
+use crate::error::SyncError;
+use crate::instrument::Instrument;
+use crate::trace::{TraceEventKind, Tracer};
+
+static DISABLED_INSTRUMENT: Instrument = Instrument::disabled();
+static DISABLED_TRACER: Tracer = Tracer::disabled();
+
+/// Borrowed bundle of the two observability handles.
+///
+/// Cloneless and cheap (two references); executors take `&Observer` and
+/// the harness owns the underlying [`Instrument`] / [`Tracer`].
+#[derive(Clone, Copy, Debug)]
+pub struct Observer<'a> {
+    instr: &'a Instrument,
+    tracer: &'a Tracer,
+}
+
+impl<'a> Observer<'a> {
+    /// A fully disabled observer: no timing, no tracing, no clock reads.
+    pub const fn disabled() -> Observer<'static> {
+        Observer {
+            instr: &DISABLED_INSTRUMENT,
+            tracer: &DISABLED_TRACER,
+        }
+    }
+
+    /// An observer recording into both handles.
+    pub const fn new(instr: &'a Instrument, tracer: &'a Tracer) -> Self {
+        Self { instr, tracer }
+    }
+
+    /// Aggregate timing only; tracing stays off.
+    pub const fn with_instrument(instr: &'a Instrument) -> Self {
+        Self {
+            instr,
+            tracer: &DISABLED_TRACER,
+        }
+    }
+
+    /// Timeline tracing only; aggregate timing stays off.
+    pub const fn with_tracer(tracer: &'a Tracer) -> Self {
+        Self {
+            instr: &DISABLED_INSTRUMENT,
+            tracer,
+        }
+    }
+
+    /// The wrapped timing handle.
+    #[inline]
+    pub fn instrument(&self) -> &'a Instrument {
+        self.instr
+    }
+
+    /// The wrapped tracing handle.
+    #[inline]
+    pub fn tracer(&self) -> &'a Tracer {
+        self.tracer
+    }
+
+    /// Whether either handle is collecting anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.instr.is_enabled() || self.tracer.is_enabled()
+    }
+
+    /// Reads the wall clock iff timing is enabled (see
+    /// [`Instrument::now`]).
+    #[inline]
+    pub fn now(&self) -> Option<Instant> {
+        self.instr.now()
+    }
+
+    /// Adds `ns` of compute time to thread `tid`'s timing slot.
+    #[inline]
+    pub fn add_compute_ns(&self, tid: usize, ns: u64) {
+        self.instr.add_compute_ns(tid, ns);
+    }
+
+    /// Trace timestamp for the start of a span, iff tracing is enabled
+    /// (see [`Tracer::now_ns`]).
+    #[inline]
+    pub fn span_start(&self) -> Option<u64> {
+        self.tracer.now_ns()
+    }
+
+    /// Closes a plane span opened by [`Observer::span_start`]: one
+    /// streamed Z plane `z` processed at time level `level`.
+    #[inline]
+    pub fn plane_span(&self, tid: usize, z: usize, level: usize, start: Option<u64>) {
+        if let Some(t0) = start {
+            let end = self.tracer.now_ns().unwrap_or(t0);
+            self.tracer.record(
+                tid,
+                TraceEventKind::Plane {
+                    z: z as u32,
+                    level: level as u32,
+                },
+                t0,
+                end,
+            );
+        }
+    }
+
+    /// Closes a barrier span opened by [`Observer::span_start`]: one
+    /// barrier episode at outer pipeline step `step`.
+    #[inline]
+    pub fn barrier_span(&self, tid: usize, step: usize, start: Option<u64>) {
+        if let Some(t0) = start {
+            let end = self.tracer.now_ns().unwrap_or(t0);
+            self.tracer
+                .record(tid, TraceEventKind::Barrier { step: step as u32 }, t0, end);
+        }
+    }
+
+    /// Records an instant event on thread `tid` iff tracing is enabled.
+    #[inline]
+    pub fn instant(&self, tid: usize, kind: TraceEventKind) {
+        if let Some(ts) = self.tracer.now_ns() {
+            self.tracer.instant(tid, kind, ts);
+        }
+    }
+
+    /// [`SpinBarrier::checked_wait`] with the wait duration recorded in
+    /// thread `tid`'s timing slot (total and wait histogram).
+    ///
+    /// When timing is disabled this is exactly `checked_wait`: no clock
+    /// read surrounds the barrier, preserving the fast path.
+    #[inline]
+    pub fn barrier_wait(
+        &self,
+        barrier: &SpinBarrier,
+        deadline: Option<Duration>,
+        tid: usize,
+    ) -> Result<bool, SyncError> {
+        match self.instr.now() {
+            None => barrier.checked_wait(deadline),
+            Some(t0) => {
+                let res = barrier.checked_wait(deadline);
+                self.instr
+                    .add_barrier_ns(tid, t0.elapsed().as_nanos() as u64);
+                res
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_never_reads_the_clock() {
+        let obs = Observer::disabled();
+        assert!(!obs.is_enabled());
+        assert!(obs.now().is_none());
+        assert!(obs.span_start().is_none());
+        obs.plane_span(0, 3, 1, None);
+        obs.barrier_span(0, 2, None);
+        obs.instant(0, TraceEventKind::Heal { tid: 0 });
+        assert!(obs.instrument().timing().per_thread.is_empty());
+        assert_eq!(obs.tracer().snapshot().total_events(), 0);
+    }
+
+    #[test]
+    fn composed_observer_routes_to_both_handles() {
+        let instr = Instrument::enabled(1);
+        let tracer = Tracer::enabled(1);
+        let obs = Observer::new(&instr, &tracer);
+        assert!(obs.is_enabled());
+        obs.add_compute_ns(0, 100);
+        let t0 = obs.span_start();
+        assert!(t0.is_some());
+        obs.plane_span(0, 5, 2, t0);
+        obs.barrier_span(0, 1, obs.span_start());
+        obs.instant(0, TraceEventKind::Quarantine { tid: 0 });
+        assert_eq!(instr.timing().total_compute_ns(), 100);
+        assert_eq!(tracer.snapshot().total_events(), 3);
+    }
+
+    #[test]
+    fn barrier_wait_records_an_episode_iff_timing_enabled() {
+        let barrier = SpinBarrier::new(1);
+        let instr = Instrument::enabled(1);
+        let obs = Observer::with_instrument(&instr);
+        assert!(obs.barrier_wait(&barrier, None, 0).expect("wait succeeds"));
+        assert_eq!(instr.timing().wait_hist.total(), 1);
+
+        let off = Observer::disabled();
+        assert!(off.barrier_wait(&barrier, None, 0).expect("wait succeeds"));
+        assert!(off.instrument().timing().per_thread.is_empty());
+    }
+
+    #[test]
+    fn partial_observers_keep_the_other_handle_disabled() {
+        let instr = Instrument::enabled(1);
+        let obs = Observer::with_instrument(&instr);
+        assert!(obs.span_start().is_none());
+        let tracer = Tracer::enabled(1);
+        let obs = Observer::with_tracer(&tracer);
+        assert!(obs.now().is_none());
+        assert!(obs.is_enabled());
+    }
+}

@@ -55,7 +55,10 @@
 pub mod cli;
 pub mod run;
 
-pub use run::{run_plan, run_plan_traced, Downgrade, RunOptions, RunReport, Rung};
+pub use run::{
+    run_lbm_plan, run_plan, run_plan_observed, Downgrade, LbmDowngrade, LbmRunReport, LbmRung,
+    RunOptions, RunReport, Rung,
+};
 
 pub use threefive_bench as bench;
 pub use threefive_cachesim as cachesim;
@@ -69,13 +72,16 @@ pub use threefive_sync as sync;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::run::{run_plan, run_plan_traced, RunOptions, RunReport, Rung};
+    pub use crate::run::{
+        run_lbm_plan, run_plan, run_plan_observed, LbmRunReport, LbmRung, RunOptions, RunReport,
+        Rung,
+    };
+    pub use threefive_core::exec::try_parallel35d_sweep;
     pub use threefive_core::exec::{
         blocked25d_sweep, blocked35d_sweep, blocked3d_sweep, blocked4d_sweep, parallel35d_sweep,
         periodic35d_sweep, reference_sweep, reference_sweep_periodic, simd_sweep, temporal_sweep,
         tile_parallel35d_sweep, Blocking35,
     };
-    pub use threefive_core::exec::{try_parallel35d_sweep, try_parallel35d_sweep_traced};
     pub use threefive_core::{
         check_finite, plan_35d, plan_35d_forced, plan_35d_optimal, solve_steady, try_solve_steady,
         verify_executor, ExecError, GenericStar, Plan35D, PlanError, SevenPoint, SteadyState,
@@ -85,13 +91,14 @@ pub mod prelude {
         CellFlags, CellKind, Dim3, DoubleGrid, Grid3, Real, Region3, SoaGrid,
     };
     pub use threefive_lbm::{
-        lbm35d_sweep, lbm35d_sweep_traced, lbm_naive_sweep, lbm_temporal_sweep, Lattice,
-        LbmBlocking, LbmMode,
+        lbm35d_sweep, lbm_naive_sweep, lbm_temporal_sweep, try_lbm35d_sweep, Lattice, LbmBlocking,
+        LbmError, LbmMode,
     };
     pub use threefive_machine::{
         core_i7, gtx285, lbm_traffic, seven_point_traffic, Machine, Precision,
     };
     pub use threefive_sync::{
-        Instrument, SpinBarrier, SyncError, ThreadTeam, TraceEventKind, TraceSnapshot, Tracer,
+        Instrument, Observer, SpinBarrier, SyncError, ThreadTeam, TraceEventKind, TraceSnapshot,
+        Tracer,
     };
 }

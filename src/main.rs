@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use threefive::bench::counters::{lbm_telemetry, stencil_telemetry, Telemetry};
 use threefive::bench::perfetto::{trace_to_chrome_json, validate_trace_str};
@@ -31,7 +31,7 @@ use threefive::gpu::kernels::{
 };
 use threefive::gpu::timing::throughput_gtx285;
 use threefive::gpu::Device;
-use threefive::lbm::{lbm_temporal_sweep, scenarios, LbmError};
+use threefive::lbm::{scenarios, LbmError};
 use threefive::machine::fermi;
 use threefive::machine::roofline::{GPU_ALU_EFF, GPU_ALU_EFF_TUNED};
 use threefive::machine::twenty_seven_point_traffic;
@@ -130,6 +130,7 @@ USAGE:
   threefive lbm   --scenario box|cavity|channel
                   --variant scalar|simd|temporal|35d
                   [--n 48] [--steps 60] [--tile T] [--dimt K] [--threads N]
+                  [--timing] [--trace] [--out DIR] [--deadline MS]
   threefive bench [--n 64] [--steps 4] [--reps 3] [--warmup 1]
                   [--tile T] [--dimt K] [--threads N]
                   [--precision sp|dp|both] [--out DIR]
@@ -314,33 +315,62 @@ fn cmd_lbm(opts: &Opts) -> Result<(), CmdError> {
             )))
         }
     };
-    let sweep = |lat: &mut Lattice<f64>, s: usize| match variant.as_str() {
-        "scalar" => {
-            lbm_naive_sweep(lat, s, LbmMode::Scalar, Some(&team));
+    // Observability, same knobs as `threefive trace`: `--timing` prints the
+    // per-thread barrier-wait share, `--trace` additionally exports a
+    // Chrome trace; both route through the 3.5-D pipeline's Observer entry
+    // point. `--deadline MS` arms the watchdog on barrier episodes.
+    let timing: bool = cli::get(opts, "timing", false)?;
+    let trace: bool = cli::get(opts, "trace", false)?;
+    let deadline_ms: u64 = cli::get(opts, "deadline", 0)?;
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    if (timing || trace || deadline.is_some()) && blocking.is_none() {
+        return Err(CmdError::Msg(format!(
+            "--timing/--trace/--deadline require a 3.5-D variant (temporal or 35d), \
+             not '{variant}'"
+        )));
+    }
+    let instr = if timing || trace {
+        Instrument::enabled(threads)
+    } else {
+        Instrument::disabled()
+    };
+    let tracer = if trace {
+        Tracer::enabled(threads)
+    } else {
+        Tracer::disabled()
+    };
+    let obs = Observer::new(&instr, &tracer);
+    let sweep = |lat: &mut Lattice<f64>, s: usize, obs: &Observer<'_>| -> Result<(), CmdError> {
+        match variant.as_str() {
+            "scalar" => {
+                lbm_naive_sweep(lat, s, LbmMode::Scalar, Some(&team));
+            }
+            "simd" => {
+                lbm_naive_sweep(lat, s, LbmMode::Simd, Some(&team));
+            }
+            // `temporal` is the whole-plane special case of the same
+            // blocking, so both 3.5-D variants share one entry point.
+            "temporal" | "35d" => {
+                let b = blocking.expect("validated above");
+                try_lbm35d_sweep(lat, s, b, Some(&team), deadline, obs)?;
+            }
+            _ => unreachable!("validated above"),
         }
-        "simd" => {
-            lbm_naive_sweep(lat, s, LbmMode::Simd, Some(&team));
-        }
-        "temporal" => {
-            lbm_temporal_sweep(lat, s, dim_t, Some(&team));
-        }
-        "35d" => {
-            lbm35d_sweep(lat, s, blocking.expect("validated above"), Some(&team));
-        }
-        _ => unreachable!("validated above"),
+        Ok(())
     };
     // The first step is run untimed: it absorbs the first-touch page
     // faults on the never-written destination buffer without changing the
-    // physics (the state still advances exactly `steps` steps).
+    // physics (the state still advances exactly `steps` steps). It is also
+    // kept out of the trace/timing so they reflect warm-cache behavior.
     let timed_steps = if steps > 1 {
-        sweep(&mut lat, 1);
+        sweep(&mut lat, 1, &Observer::disabled())?;
         steps - 1
     } else {
         steps
     };
     let t0 = Instant::now();
     if timed_steps > 0 {
-        sweep(&mut lat, timed_steps);
+        sweep(&mut lat, timed_steps, &obs)?;
     }
     let secs = t0.elapsed().as_secs_f64();
     // MLUPS over interior sites only — the bounce-back rim is not a
@@ -361,6 +391,25 @@ fn cmd_lbm(opts: &Opts) -> Result<(), CmdError> {
         probe.u[1].to_f64(),
         probe.u[2].to_f64()
     );
+    if instr.is_enabled() {
+        println!(
+            "  barrier-wait share {:.1}%",
+            instr.timing().barrier_share() * 100.0
+        );
+    }
+    if tracer.is_enabled() {
+        let snapshot = tracer.snapshot();
+        let process = format!("threefive lbm {scenario} {dim} dimT={dim_t}");
+        let text = format!("{}\n", trace_to_chrome_json(&snapshot, &process));
+        validate_trace_str(&text)
+            .map_err(|e| CmdError::Msg(format!("internal: exported trace invalid: {e}")))?;
+        let out_dir = std::path::PathBuf::from(cli::getstr(opts, "out", "."));
+        std::fs::create_dir_all(&out_dir)?;
+        let path = out_dir.join("TRACE_lbm_run.json");
+        std::fs::write(&path, &text)?;
+        println!("wrote {} (open at ui.perfetto.dev)", path.display());
+        print_trace_summary(&snapshot);
+    }
     Ok(())
 }
 
@@ -601,8 +650,14 @@ fn cmd_trace(opts: &Opts) -> Result<(), CmdError> {
                 Grid3::<f32>::from_fn(dim, |x, y, z| ((x * 13 + y * 7 + z * 3) % 17) as f32 * 0.1);
             let mut grids = DoubleGrid::from_initial(initial);
             let t0 = Instant::now();
-            let stats = try_parallel35d_sweep_traced(
-                &kernel, &mut grids, steps, b, &team, None, &instr, &tracer,
+            let stats = try_parallel35d_sweep(
+                &kernel,
+                &mut grids,
+                steps,
+                b,
+                &team,
+                None,
+                &Observer::new(&instr, &tracer),
             )?;
             let secs = t0.elapsed().as_secs_f64();
             let timing = instr.timing();
@@ -623,7 +678,14 @@ fn cmd_trace(opts: &Opts) -> Result<(), CmdError> {
             let b = LbmBlocking::try_new(tile.min(nx), tile.min(ny), dim_t)?;
             let mut lat: Lattice<f32> = scenarios::lid_driven_cavity(dim, 1.2, 0.05);
             let t0 = Instant::now();
-            lbm35d_sweep_traced(&mut lat, steps, b, Some(&team), &instr, &tracer);
+            try_lbm35d_sweep(
+                &mut lat,
+                steps,
+                b,
+                Some(&team),
+                None,
+                &Observer::new(&instr, &tracer),
+            )?;
             let secs = t0.elapsed().as_secs_f64();
             let timing = instr.timing();
             // Model the traffic the way `measure_lbm` does: each dim_T

@@ -11,26 +11,29 @@
 //! **the result is bit-identical no matter which rung finally serves the
 //! request**; only throughput degrades.
 //!
+//! [`run_lbm_plan`] drives the same protocol for the lattice Boltzmann
+//! workload, whose pipeline runs on the same streaming engine: parallel
+//! 3.5-D → serial 3.5-D → naive SIMD → naive scalar, with per-attempt
+//! lattice snapshots and the same bit-identical rollback guarantee.
+//!
 //! Failures never escape as panics or hangs: worker panics poison the
 //! per-Z-step barrier and drain the team (see
-//! [`try_parallel35d_sweep`](threefive_core::exec::try_parallel35d_sweep)),
-//! stalls are bounded by the watchdog
-//! `deadline` (on by default here, unlike the raw executor API used by
-//! the benchmarks), and numerical corruption is caught by the
-//! [`check_finite`] guard after every attempt.
+//! [`try_parallel35d_sweep`] and [`try_lbm35d_sweep`]), stalls are
+//! bounded by the watchdog `deadline` (on by default here, unlike the raw
+//! executor API used by the benchmarks), and numerical corruption is
+//! caught by the [`check_finite`] guard after every attempt.
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-use threefive_core::exec::{
-    blocked25d_sweep, reference_sweep, try_parallel35d_sweep_traced, Blocking35,
-};
+use threefive_core::exec::{blocked25d_sweep, reference_sweep, try_parallel35d_sweep, Blocking35};
 use threefive_core::stats::SweepStats;
 use threefive_core::verify::check_finite;
 use threefive_core::{ExecError, Plan35D, PlanError, StencilKernel};
 use threefive_grid::{DoubleGrid, Grid3, Real};
-use threefive_sync::{Instrument, SyncError, ThreadTeam, TraceEventKind, Tracer};
+use threefive_lbm::{lbm_naive_sweep, try_lbm35d_sweep, Lattice, LbmBlocking, LbmError, LbmMode};
+use threefive_sync::{Observer, SyncError, ThreadTeam, TraceEventKind};
 
 /// One rung of the executor ladder, fastest first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,7 +93,7 @@ pub struct RunReport {
     pub downgrades: Vec<Downgrade>,
 }
 
-/// Knobs for [`run_plan`].
+/// Knobs for [`run_plan`] and [`run_lbm_plan`].
 #[derive(Clone, Debug)]
 pub struct RunOptions {
     /// Team size for the parallel rung.
@@ -137,26 +140,26 @@ pub fn run_plan<T: Real, K: StencilKernel<T>>(
     plan: Result<Plan35D, PlanError>,
     opts: &RunOptions,
 ) -> Result<RunReport, ExecError> {
-    run_plan_traced(kernel, grids, steps, plan, opts, &Tracer::disabled())
+    run_plan_observed(kernel, grids, steps, plan, opts, &Observer::disabled())
 }
 
-/// [`run_plan`] with an observability [`Tracer`] attached.
+/// [`run_plan`] with an [`Observer`] attached.
 ///
-/// When `tracer` is enabled, the parallel rung records a span per
-/// streamed plane × time level and per barrier episode, and the driver
-/// itself marks ladder transitions as instant events on thread 0:
+/// The observer's handles are threaded into the 3.5-D rungs (per-plane and
+/// per-barrier spans, per-thread timing), and the driver itself marks
+/// ladder transitions as instant events on thread 0:
 /// [`TraceEventKind::Fallback`] for every downgrade (encoded via
 /// [`Rung::ladder_index`]), [`TraceEventKind::Quarantine`] when a failed
 /// parallel rung left its team quarantined, and [`TraceEventKind::Heal`]
-/// when a later rung then serves the request anyway. A disabled tracer
+/// when a later rung then serves the request anyway. A disabled observer
 /// never reads the clock, so this is exactly [`run_plan`].
-pub fn run_plan_traced<T: Real, K: StencilKernel<T>>(
+pub fn run_plan_observed<T: Real, K: StencilKernel<T>>(
     kernel: &K,
     grids: &mut DoubleGrid<T>,
     steps: usize,
     plan: Result<Plan35D, PlanError>,
     opts: &RunOptions,
-    tracer: &Tracer,
+    obs: &Observer<'_>,
 ) -> Result<RunReport, ExecError> {
     if opts.verify_finite {
         // Corrupt input would fail every rung; reject it up front with the
@@ -171,16 +174,13 @@ pub fn run_plan_traced<T: Real, K: StencilKernel<T>>(
         if log {
             eprintln!("threefive: {from} executor failed ({reason}); downgrading");
         }
-        if let Some(ts) = tracer.now_ns() {
-            tracer.instant(
-                0,
-                TraceEventKind::Fallback {
-                    from: from.ladder_index(),
-                    to: from.ladder_index() + 1,
-                },
-                ts,
-            );
-        }
+        obs.instant(
+            0,
+            TraceEventKind::Fallback {
+                from: from.ladder_index(),
+                to: from.ladder_index() + 1,
+            },
+        );
         downgrades.push(Downgrade { from, reason });
     };
 
@@ -202,9 +202,7 @@ pub fn run_plan_traced<T: Real, K: StencilKernel<T>>(
     // team quarantine on the way down the ladder.
     let heal_mark = |quarantined: bool| {
         if quarantined {
-            if let Some(ts) = tracer.now_ns() {
-                tracer.instant(0, TraceEventKind::Heal { tid: 0 }, ts);
-            }
+            obs.instant(0, TraceEventKind::Heal { tid: 0 });
         }
     };
 
@@ -214,10 +212,7 @@ pub fn run_plan_traced<T: Real, K: StencilKernel<T>>(
             (Rung::Serial35D, 1, None),
         ] {
             let team = ThreadTeam::new(threads);
-            let instr = Instrument::disabled();
-            match try_parallel35d_sweep_traced(
-                kernel, grids, steps, b, &team, deadline, &instr, tracer,
-            ) {
+            match try_parallel35d_sweep(kernel, grids, steps, b, &team, deadline, obs) {
                 Ok(stats) => match finite_ok(grids, opts) {
                     Ok(()) => {
                         heal_mark(quarantined);
@@ -242,9 +237,7 @@ pub fn run_plan_traced<T: Real, K: StencilKernel<T>>(
                 // team object is dropped here, but the event records that
                 // this request ran through a quarantine.
                 quarantined = true;
-                if let Some(ts) = tracer.now_ns() {
-                    tracer.instant(0, TraceEventKind::Quarantine { tid: 0 }, ts);
-                }
+                obs.instant(0, TraceEventKind::Quarantine { tid: 0 });
             }
         }
     }
@@ -312,4 +305,225 @@ fn finite_ok<T: Real>(grids: &DoubleGrid<T>, opts: &RunOptions) -> Result<(), Ex
 /// exactly the input the failed rung saw (the bit-identical guarantee).
 fn restore<T: Real>(grids: &mut DoubleGrid<T>, snapshot: &Grid3<T>) {
     *grids = DoubleGrid::from_initial(snapshot.clone());
+}
+
+/// One rung of the lattice-Boltzmann executor ladder, fastest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LbmRung {
+    /// Parallel 3.5-D pipeline on a thread team.
+    Parallel35D,
+    /// Serial 3.5-D pipeline (one-member team).
+    Serial35D,
+    /// No-blocking SIMD sweep.
+    NaiveSimd,
+    /// No-blocking scalar sweep — always applicable.
+    NaiveScalar,
+}
+
+impl LbmRung {
+    /// Position on the ladder, fastest = 0 — the encoding used by
+    /// [`TraceEventKind::Fallback`] events.
+    pub fn ladder_index(self) -> u32 {
+        match self {
+            LbmRung::Parallel35D => 0,
+            LbmRung::Serial35D => 1,
+            LbmRung::NaiveSimd => 2,
+            LbmRung::NaiveScalar => 3,
+        }
+    }
+}
+
+impl fmt::Display for LbmRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LbmRung::Parallel35D => "parallel 3.5-D LBM",
+            LbmRung::Serial35D => "serial 3.5-D LBM",
+            LbmRung::NaiveSimd => "naive SIMD LBM",
+            LbmRung::NaiveScalar => "naive scalar LBM",
+        })
+    }
+}
+
+/// Record of one abandoned LBM rung.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LbmDowngrade {
+    /// The rung that failed.
+    pub from: LbmRung,
+    /// Why it could not serve the request.
+    pub reason: LbmError,
+}
+
+/// Outcome of a successful [`run_lbm_plan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LbmRunReport {
+    /// The rung that produced the final lattice contents.
+    pub rung: LbmRung,
+    /// Site updates performed by that rung.
+    pub updates: u64,
+    /// Every downgrade taken on the way, in order.
+    pub downgrades: Vec<LbmDowngrade>,
+}
+
+/// Advances the lattice `steps` time steps under `blocking`, degrading
+/// down the LBM executor ladder on any failure — the lattice counterpart
+/// of [`run_plan`], enabled by both workloads sharing one streaming
+/// engine.
+///
+/// Rungs: parallel 3.5-D (team of `opts.threads`, watchdog
+/// `opts.deadline`) → serial 3.5-D (one-member team, no deadline) → naive
+/// SIMD → naive scalar. The lattice's source distributions are
+/// snapshotted before the first attempt and restored before each retry,
+/// and every rung is bit-exact with the naive scalar sweep, so the final
+/// lattice is bit-identical regardless of the serving rung. Ladder
+/// transitions are marked on `obs` exactly as in [`run_plan_observed`]
+/// (Fallback / Quarantine / Heal instants, encoded via
+/// [`LbmRung::ladder_index`]).
+///
+/// `Err` is reserved for unrecoverable states: non-finite input
+/// distributions, or a scalar sweep that itself produced non-finite
+/// values.
+pub fn run_lbm_plan<T: Real>(
+    lat: &mut Lattice<T>,
+    steps: usize,
+    blocking: LbmBlocking,
+    opts: &RunOptions,
+    obs: &Observer<'_>,
+) -> Result<LbmRunReport, LbmError> {
+    if opts.verify_finite {
+        lbm_finite_ok(lat)?;
+    }
+    let snapshot: Vec<Vec<T>> = (0..threefive_lbm::model::Q)
+        .map(|q| lat.src().comp(q).to_vec())
+        .collect();
+    let mut downgrades: Vec<LbmDowngrade> = Vec::new();
+    let mut quarantined = false;
+    let mut downgrade = |from: LbmRung, reason: LbmError, log: bool| {
+        if log {
+            eprintln!("threefive: {from} executor failed ({reason}); downgrading");
+        }
+        obs.instant(
+            0,
+            TraceEventKind::Fallback {
+                from: from.ladder_index(),
+                to: from.ladder_index() + 1,
+            },
+        );
+        downgrades.push(LbmDowngrade { from, reason });
+    };
+    let heal_mark = |quarantined: bool| {
+        if quarantined {
+            obs.instant(0, TraceEventKind::Heal { tid: 0 });
+        }
+    };
+
+    for (rung, threads, deadline) in [
+        (LbmRung::Parallel35D, opts.threads.max(1), opts.deadline),
+        (LbmRung::Serial35D, 1, None),
+    ] {
+        let team = ThreadTeam::new(threads);
+        match try_lbm35d_sweep(lat, steps, blocking, Some(&team), deadline, obs) {
+            Ok(updates) => match finite_or_restore(lat, opts) {
+                Ok(()) => {
+                    heal_mark(quarantined);
+                    return Ok(LbmRunReport {
+                        rung,
+                        updates,
+                        downgrades,
+                    });
+                }
+                Err(e) => {
+                    downgrade(rung, e, opts.log);
+                    restore_lattice(lat, &snapshot);
+                }
+            },
+            Err(e) => {
+                downgrade(rung, e, opts.log);
+                restore_lattice(lat, &snapshot);
+            }
+        }
+        if team.is_quarantined() {
+            quarantined = true;
+            obs.instant(0, TraceEventKind::Quarantine { tid: 0 });
+        }
+    }
+
+    // No-blocking SIMD sweep: no team, no rings. A panic here (it shares
+    // the collision kernel with every other rung, so this is defensive)
+    // degrades to the scalar baseline.
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        lbm_naive_sweep(lat, steps, LbmMode::Simd, None)
+    }));
+    match attempt {
+        Ok(updates) => match finite_or_restore(lat, opts) {
+            Ok(()) => {
+                heal_mark(quarantined);
+                return Ok(LbmRunReport {
+                    rung: LbmRung::NaiveSimd,
+                    updates,
+                    downgrades,
+                });
+            }
+            Err(e) => {
+                downgrade(LbmRung::NaiveSimd, e, opts.log);
+                restore_lattice(lat, &snapshot);
+            }
+        },
+        Err(_) => {
+            downgrade(
+                LbmRung::NaiveSimd,
+                LbmError::Sync(SyncError::TeamPanicked { generation: 0 }),
+                opts.log,
+            );
+            restore_lattice(lat, &snapshot);
+        }
+    }
+
+    let updates = lbm_naive_sweep(lat, steps, LbmMode::Scalar, None);
+    if opts.verify_finite {
+        lbm_finite_ok(lat)?;
+    }
+    heal_mark(quarantined);
+    Ok(LbmRunReport {
+        rung: LbmRung::NaiveScalar,
+        updates,
+        downgrades,
+    })
+}
+
+fn finite_or_restore<T: Real>(lat: &Lattice<T>, opts: &RunOptions) -> Result<(), LbmError> {
+    if opts.verify_finite {
+        lbm_finite_ok(lat)
+    } else {
+        Ok(())
+    }
+}
+
+/// NaN/∞ guard over every distribution component of the source lattice.
+fn lbm_finite_ok<T: Real>(lat: &Lattice<T>) -> Result<(), LbmError> {
+    let dim = lat.dim();
+    for q in 0..threefive_lbm::model::Q {
+        for (i, &v) in lat.src().comp(q).iter().enumerate() {
+            let v = v.to_f64();
+            if !v.is_finite() {
+                return Err(LbmError::NonFinite {
+                    comp: q,
+                    at: dim.coords(i),
+                    value: v,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rolls the lattice back to the pre-attempt snapshot. Restoring the
+/// source distributions is sufficient for bit-identical retries: every
+/// rung writes all 19 components of every site of the destination each
+/// step (non-fluid sites are copied from the time-invariant source), so
+/// stale values in the other buffer cannot survive into the result.
+fn restore_lattice<T: Real>(lat: &mut Lattice<T>, snapshot: &[Vec<T>]) {
+    for (q, comp) in snapshot.iter().enumerate() {
+        lat.dst_mut().comp_mut(q).copy_from_slice(comp);
+    }
+    lat.swap();
 }

@@ -14,7 +14,7 @@ use threefive::core::faults::{self, FaultKind, FaultPlan};
 use threefive::core::verify::verification_grid;
 use threefive::core::{ExecError, PlanError, SevenPoint};
 use threefive::grid::{Dim3, DoubleGrid};
-use threefive::sync::{SyncError, ThreadTeam};
+use threefive::sync::{Observer, SyncError, ThreadTeam};
 use threefive::{run_plan, RunOptions, Rung};
 
 static HARNESS: Mutex<()> = Mutex::new(());
@@ -53,7 +53,16 @@ fn injected_panic_surfaces_as_error_and_team_recovers() {
             kind: FaultKind::Panic,
         });
         let mut g = problem(12);
-        try_parallel35d_sweep(&k, &mut g, 4, b, &team, Some(Duration::from_secs(5))).unwrap_err()
+        try_parallel35d_sweep(
+            &k,
+            &mut g,
+            4,
+            b,
+            &team,
+            Some(Duration::from_secs(5)),
+            &Observer::disabled(),
+        )
+        .unwrap_err()
     };
     assert!(
         matches!(err, ExecError::Sync(SyncError::TeamPanicked { .. })),
@@ -66,7 +75,16 @@ fn injected_panic_surfaces_as_error_and_team_recovers() {
 
     // Same team, fault disarmed: bit-exact results.
     let mut g = problem(12);
-    try_parallel35d_sweep(&k, &mut g, 4, b, &team, Some(Duration::from_secs(5))).unwrap();
+    try_parallel35d_sweep(
+        &k,
+        &mut g,
+        4,
+        b,
+        &team,
+        Some(Duration::from_secs(5)),
+        &Observer::disabled(),
+    )
+    .unwrap();
     assert_eq!(g.src().as_slice(), reference_result(12, 4).src().as_slice());
 }
 
@@ -88,7 +106,16 @@ fn injected_stall_trips_watchdog_without_hanging() {
             kind: FaultKind::Stall(Duration::from_millis(400)),
         });
         let mut g = problem(12);
-        try_parallel35d_sweep(&k, &mut g, 4, b, &team, Some(Duration::from_millis(50))).unwrap_err()
+        try_parallel35d_sweep(
+            &k,
+            &mut g,
+            4,
+            b,
+            &team,
+            Some(Duration::from_millis(50)),
+            &Observer::disabled(),
+        )
+        .unwrap_err()
     };
     assert!(
         matches!(
@@ -102,7 +129,16 @@ fn injected_stall_trips_watchdog_without_hanging() {
     assert!(t0.elapsed() < Duration::from_secs(10), "no deadlock");
 
     let mut g = problem(12);
-    try_parallel35d_sweep(&k, &mut g, 4, b, &team, Some(Duration::from_secs(5))).unwrap();
+    try_parallel35d_sweep(
+        &k,
+        &mut g,
+        4,
+        b,
+        &team,
+        Some(Duration::from_secs(5)),
+        &Observer::disabled(),
+    )
+    .unwrap();
     assert_eq!(g.src().as_slice(), reference_result(12, 4).src().as_slice());
 }
 
@@ -125,6 +161,7 @@ fn injected_caller_panic_is_reported() {
         Blocking35::new(5, 5, 2),
         &team,
         Some(Duration::from_secs(5)),
+        &Observer::disabled(),
     )
     .unwrap_err();
     assert!(matches!(
@@ -310,4 +347,165 @@ fn try_solve_steady_propagates_typed_errors() {
         err,
         ExecError::Sync(SyncError::TeamPanicked { .. })
     ));
+}
+
+fn lbm_problem(n: usize) -> threefive::lbm::Lattice<f32> {
+    threefive::lbm::scenarios::lid_driven_cavity(Dim3::cube(n), 1.15, 0.06)
+}
+
+fn lbm_reference(n: usize, steps: usize) -> threefive::lbm::Lattice<f32> {
+    use threefive::lbm::{lbm_naive_sweep, LbmMode};
+    let mut lat = lbm_problem(n);
+    lbm_naive_sweep(&mut lat, steps, LbmMode::Simd, None);
+    lat
+}
+
+fn assert_lbm_equal(a: &threefive::lbm::Lattice<f32>, b: &threefive::lbm::Lattice<f32>) {
+    for q in 0..threefive::lbm::model::Q {
+        assert_eq!(a.src().comp(q), b.src().comp(q), "distribution comp {q}");
+    }
+}
+
+/// The LBM pipeline runs on the same engine, so the same injected panic
+/// must surface as a typed error — and the team must recover.
+#[test]
+fn lbm_injected_panic_surfaces_as_typed_error() {
+    use threefive::lbm::{try_lbm35d_sweep, LbmBlocking, LbmError};
+    let _h = serial();
+    let team = ThreadTeam::new(3);
+    let b = LbmBlocking::new(6, 6, 2);
+    let err = {
+        let _fault = faults::inject(FaultPlan {
+            tid: 1,
+            step: 2,
+            kind: FaultKind::Panic,
+        });
+        let mut lat = lbm_problem(12);
+        try_lbm35d_sweep(
+            &mut lat,
+            4,
+            b,
+            Some(&team),
+            Some(Duration::from_secs(5)),
+            &Observer::disabled(),
+        )
+        .unwrap_err()
+    };
+    assert!(
+        matches!(err, LbmError::Sync(SyncError::TeamPanicked { .. })),
+        "wrong error: {err:?}"
+    );
+    // Same team, fault disarmed: bit-exact results.
+    let mut lat = lbm_problem(12);
+    try_lbm35d_sweep(
+        &mut lat,
+        4,
+        b,
+        Some(&team),
+        Some(Duration::from_secs(5)),
+        &Observer::disabled(),
+    )
+    .unwrap();
+    assert_lbm_equal(&lat, &lbm_reference(12, 4));
+}
+
+/// A stalled LBM worker trips the same barrier watchdog in bounded time.
+#[test]
+fn lbm_injected_stall_trips_watchdog_without_hanging() {
+    use threefive::lbm::{try_lbm35d_sweep, LbmBlocking, LbmError};
+    let _h = serial();
+    let team = ThreadTeam::new(3);
+    let t0 = Instant::now();
+    let err = {
+        let _fault = faults::inject(FaultPlan {
+            tid: 2,
+            step: 1,
+            kind: FaultKind::Stall(Duration::from_millis(400)),
+        });
+        let mut lat = lbm_problem(12);
+        try_lbm35d_sweep(
+            &mut lat,
+            4,
+            LbmBlocking::new(6, 6, 2),
+            Some(&team),
+            Some(Duration::from_millis(50)),
+            &Observer::disabled(),
+        )
+        .unwrap_err()
+    };
+    assert!(
+        matches!(
+            err,
+            LbmError::Sync(SyncError::BarrierTimeout { .. } | SyncError::BarrierPoisoned)
+        ),
+        "wrong error: {err:?}"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(10), "no deadlock");
+}
+
+/// A fault during the parallel LBM rung downgrades to the serial rung with
+/// a bit-identical rollback — the lattice counterpart of
+/// `runtime_fault_downgrades_and_stays_bit_identical`.
+#[test]
+fn lbm_runtime_fault_downgrades_and_stays_bit_identical() {
+    use threefive::lbm::{LbmBlocking, LbmError};
+    use threefive::{run_lbm_plan, LbmRung};
+    let _h = serial();
+    let mut lat = lbm_problem(12);
+    let opts = RunOptions {
+        threads: 3,
+        deadline: Some(Duration::from_secs(5)),
+        verify_finite: true,
+        log: false,
+    };
+    let report = {
+        // tid 1 only exists on the parallel rung (serial teams have just
+        // the caller), so exactly the first rung fails.
+        let _fault = faults::inject(FaultPlan {
+            tid: 1,
+            step: 2,
+            kind: FaultKind::Panic,
+        });
+        run_lbm_plan(
+            &mut lat,
+            3,
+            LbmBlocking::new(6, 6, 2),
+            &opts,
+            &Observer::disabled(),
+        )
+        .unwrap()
+    };
+    assert_eq!(report.rung, LbmRung::Serial35D, "one downgrade taken");
+    assert_eq!(report.downgrades.len(), 1);
+    assert_eq!(report.downgrades[0].from, LbmRung::Parallel35D);
+    assert!(matches!(
+        report.downgrades[0].reason,
+        LbmError::Sync(SyncError::TeamPanicked { .. })
+    ));
+    assert_lbm_equal(&lat, &lbm_reference(12, 3));
+}
+
+/// Healthy LBM path: the parallel rung serves, no downgrades, bit-exact.
+#[test]
+fn lbm_healthy_run_uses_parallel_rung() {
+    use threefive::lbm::LbmBlocking;
+    use threefive::{run_lbm_plan, LbmRung};
+    let _h = serial();
+    let mut lat = lbm_problem(12);
+    let opts = RunOptions {
+        threads: 3,
+        log: false,
+        ..RunOptions::default()
+    };
+    let report = run_lbm_plan(
+        &mut lat,
+        4,
+        LbmBlocking::new(6, 6, 2),
+        &opts,
+        &Observer::disabled(),
+    )
+    .unwrap();
+    assert_eq!(report.rung, LbmRung::Parallel35D);
+    assert!(report.downgrades.is_empty());
+    assert_lbm_equal(&lat, &lbm_reference(12, 4));
 }

@@ -69,6 +69,50 @@ proptest! {
         }
     }
 
+    /// The unified engine must stay bit-identical to the reference for
+    /// higher-radius star stencils too: R = 2 and R = 3 exercise the
+    /// deeper ring (`max(2R+2, 3R+1)` slots), wider halos (`R·dim_T`) and
+    /// thicker Z-boundary bands, across non-divisible tiles and team
+    /// sizes 1/2/4.
+    #[test]
+    fn random_higher_radius_star_equivalence(
+        r in 2usize..4,
+        nx in 9usize..18,
+        ny in 9usize..18,
+        nz in 9usize..15,
+        tile_x in 4usize..13,
+        tile_y in 4usize..13,
+        dim_t in 1usize..4,
+        steps in 1usize..5,
+        team_pick in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let dim = Dim3::new(nx, ny, nz);
+        let kernel = GenericStar::<f32>::smoothing(r);
+        let init = Grid3::from_fn(dim, |x, y, z| {
+            let h = x
+                .wrapping_mul(0x9E37)
+                .wrapping_add(y.wrapping_mul(0x79B9))
+                .wrapping_add(z.wrapping_mul(0x85EB))
+                .wrapping_add(seed as usize);
+            ((h % 89) as f32) * 0.02 - 0.9
+        });
+        let mut want = DoubleGrid::from_initial(init.clone());
+        reference_sweep(&kernel, &mut want, steps);
+
+        let b = Blocking35::new(tile_x, tile_y, dim_t);
+        let mut got = DoubleGrid::from_initial(init.clone());
+        blocked35d_sweep(&kernel, &mut got, steps, b);
+        prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
+
+        let threads = [1usize, 2, 4][team_pick];
+        let team = ThreadTeam::new(threads);
+        let mut got = DoubleGrid::from_initial(init);
+        try_parallel35d_sweep(&kernel, &mut got, steps, b, &team, None, &Observer::disabled())
+            .expect("engine sweep runs");
+        prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
+    }
+
     #[test]
     fn random_4d_blocking_equivalence(
         n in 5usize..14,

@@ -25,15 +25,14 @@ fn traced_sweep_doc(threads: usize) -> Json {
     let mut grids = DoubleGrid::from_initial(demo_grid(dim, 7));
     let team = ThreadTeam::new(threads);
     let tracer = Tracer::enabled(threads);
-    try_parallel35d_sweep_traced(
+    try_parallel35d_sweep(
         &kernel,
         &mut grids,
         4,
         Blocking35::new(16, 16, 2),
         &team,
         None,
-        &Instrument::disabled(),
-        &tracer,
+        &Observer::with_tracer(&tracer),
     )
     .expect("traced sweep runs");
     trace_to_chrome_json(&tracer.snapshot(), "trace_export test")
@@ -128,16 +127,15 @@ proptest! {
 
         let mut got = DoubleGrid::from_initial(init);
         let team = ThreadTeam::new(threads);
-        try_parallel35d_sweep_traced(
+        try_parallel35d_sweep(
             &kernel,
             &mut got,
             steps,
             Blocking35::new(tile, tile, dim_t),
             &team,
             None,
-            &Instrument::disabled(),
-            &Tracer::disabled(),
-        ).expect("traced executor runs");
+            &Observer::disabled(),
+        ).expect("observed executor runs");
 
         prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
     }
@@ -162,16 +160,15 @@ proptest! {
         let mut got = DoubleGrid::from_initial(init);
         let team = ThreadTeam::new(threads);
         let tracer = Tracer::enabled(threads);
-        try_parallel35d_sweep_traced(
+        try_parallel35d_sweep(
             &kernel,
             &mut got,
             steps,
             Blocking35::new(n, n, dim_t),
             &team,
             None,
-            &Instrument::disabled(),
-            &tracer,
-        ).expect("traced executor runs");
+            &Observer::with_tracer(&tracer),
+        ).expect("observed executor runs");
 
         prop_assert_eq!(got.src().as_slice(), want.src().as_slice());
         prop_assert!(tracer.snapshot().total_events() > 0);
