@@ -1,0 +1,321 @@
+//! Schema-versioned `ANALYZE.json` report: lint findings + schedule
+//! verdict in one machine-readable document.
+//!
+//! Mirrors the `BENCH_*.json` discipline from `threefive-bench`: the
+//! report is hand-validated (no serde) and [`AnalyzeReport::validate_str`]
+//! is the single source of truth for well-formedness, exercised by the
+//! round-trip tests and by CI before archiving the artifact.
+
+use crate::schedule::RaceViolation;
+use threefive_bench::json::Json;
+
+/// Version stamped into every report; bump on breaking schema changes.
+pub const ANALYZE_SCHEMA_VERSION: u64 = 1;
+
+/// One lint finding at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (e.g. `safety-comment`, `hot-path-alloc`).
+    pub rule: String,
+    /// Path of the offending file, relative to the analysis root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `None` if the finding counts against `--deny-findings`; otherwise
+    /// how it was silenced (`"inline"` or `"baseline"`).
+    pub suppressed: Option<String>,
+}
+
+impl Finding {
+    /// `file:line` prefix used in terminal output.
+    pub fn locus(&self) -> String {
+        format!("{}:{}", self.file, self.line)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rule".into(), Json::str(&*self.rule)),
+            ("file".into(), Json::str(&*self.file)),
+            ("line".into(), Json::Num(self.line as f64)),
+            ("message".into(), Json::str(&*self.message)),
+            (
+                "suppressed".into(),
+                match &self.suppressed {
+                    Some(s) => Json::str(&**s),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let suppressed = match v.get("suppressed") {
+            Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err("finding.suppressed: expected string or null".into()),
+            None => return Err("finding: missing 'suppressed'".into()),
+        };
+        Ok(Self {
+            rule: req_str(v, "rule")?,
+            file: req_str(v, "file")?,
+            line: req_u64(v, "line")? as usize,
+            message: req_str(v, "message")?,
+            suppressed,
+        })
+    }
+}
+
+/// The complete output of one `threefive analyze` run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyzeReport {
+    /// Schema version ([`ANALYZE_SCHEMA_VERSION`] when freshly produced).
+    pub schema_version: u64,
+    /// Number of `.rs` files the lint walked.
+    pub files_scanned: usize,
+    /// Every lint finding, suppressed or not, in walk order.
+    pub findings: Vec<Finding>,
+    /// Number of (R, dim_t, threads, nz, ly) schedule configs checked.
+    pub configs_checked: usize,
+    /// Schedule-checker counterexamples (empty ⇔ certified race-free).
+    pub violations: Vec<RaceViolation>,
+}
+
+impl AnalyzeReport {
+    /// Findings that count against `--deny-findings`.
+    pub fn active_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// `true` iff the tree is clean: no unsuppressed lint finding and a
+    /// race-free schedule verdict.
+    pub fn is_clean(&self) -> bool {
+        self.active_findings().next().is_none() && self.violations.is_empty()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("tool".into(), Json::str("threefive-analyze")),
+            (
+                "lint".into(),
+                Json::Obj(vec![
+                    ("files_scanned".into(), Json::Num(self.files_scanned as f64)),
+                    (
+                        "findings".into(),
+                        Json::Arr(self.findings.iter().map(Finding::to_json).collect()),
+                    ),
+                ]),
+            ),
+            (
+                "schedule".into(),
+                Json::Obj(vec![
+                    (
+                        "configs_checked".into(),
+                        Json::Num(self.configs_checked as f64),
+                    ),
+                    ("race_free".into(), Json::Bool(self.violations.is_empty())),
+                    (
+                        "violations".into(),
+                        Json::Arr(self.violations.iter().map(RaceViolation::to_json).collect()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Serializes to the `ANALYZE.json` wire format.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parses and schema-checks JSON text — the validation entry point.
+    pub fn validate_str(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| format!("parse error: {e}"))?;
+        let schema_version = req_u64(&doc, "schema_version")?;
+        if schema_version != ANALYZE_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {schema_version} != {ANALYZE_SCHEMA_VERSION}"
+            ));
+        }
+        let tool = req_str(&doc, "tool")?;
+        if tool != "threefive-analyze" {
+            return Err(format!("unexpected tool '{tool}'"));
+        }
+        let lint = doc.get("lint").ok_or("missing 'lint'")?;
+        let findings = lint
+            .get("findings")
+            .and_then(Json::as_arr)
+            .ok_or("lint: missing 'findings' array")?
+            .iter()
+            .map(Finding::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let schedule = doc.get("schedule").ok_or("missing 'schedule'")?;
+        let race_free = match schedule.get("race_free") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("schedule: missing bool 'race_free'".into()),
+        };
+        let violations = schedule
+            .get("violations")
+            .and_then(Json::as_arr)
+            .ok_or("schedule: missing 'violations' array")?
+            .iter()
+            .map(RaceViolation::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if race_free != violations.is_empty() {
+            return Err("schedule: 'race_free' contradicts 'violations'".into());
+        }
+        Ok(Self {
+            schema_version,
+            files_scanned: req_u64(lint, "files_scanned")? as usize,
+            findings,
+            configs_checked: req_u64(schedule, "configs_checked")? as usize,
+            violations,
+        })
+    }
+}
+
+/// One `ANALYZE_baseline.json` entry: accept up to `allowed` findings of
+/// `rule` in `file` as pre-existing (count-based, so unrelated line churn
+/// does not invalidate the baseline).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule identifier the exception applies to.
+    pub rule: String,
+    /// Path relative to the analysis root.
+    pub file: String,
+    /// Maximum number of findings of this (rule, file) to suppress.
+    pub allowed: usize,
+}
+
+/// Parses `ANALYZE_baseline.json` text.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("baseline parse error: {e}"))?;
+    let version = req_u64(&doc, "schema_version")?;
+    if version != ANALYZE_SCHEMA_VERSION {
+        return Err(format!("baseline schema_version {version} unsupported"));
+    }
+    doc.get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("baseline: missing 'entries' array")?
+        .iter()
+        .map(|e| {
+            Ok(BaselineEntry {
+                rule: req_str(e, "rule")?,
+                file: req_str(e, "file")?,
+                allowed: req_u64(e, "allowed")? as usize,
+            })
+        })
+        .collect()
+}
+
+/// Marks up to `allowed` findings per baseline (rule, file) pair as
+/// `suppressed: "baseline"`, first-come in walk order.
+pub fn apply_baseline(findings: &mut [Finding], baseline: &[BaselineEntry]) {
+    let mut budget: Vec<(usize, usize)> = baseline.iter().map(|b| (0, b.allowed)).collect();
+    for f in findings.iter_mut() {
+        if f.suppressed.is_some() {
+            continue;
+        }
+        for (b, (used, allowed)) in baseline.iter().zip(budget.iter_mut()) {
+            if *used < *allowed && b.rule == f.rule && b.file == f.file {
+                f.suppressed = Some("baseline".into());
+                *used += 1;
+                break;
+            }
+        }
+    }
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string '{key}'"))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer '{key}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line: 7,
+            message: "m".into(),
+            suppressed: None,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let report = AnalyzeReport {
+            schema_version: ANALYZE_SCHEMA_VERSION,
+            files_scanned: 42,
+            findings: vec![
+                finding("safety-comment", "crates/x/src/lib.rs"),
+                Finding {
+                    suppressed: Some("inline".into()),
+                    ..finding("hot-path-alloc", "crates/y/src/lib.rs")
+                },
+            ],
+            configs_checked: 9,
+            violations: Vec::new(),
+        };
+        let text = report.to_json_string();
+        let back = AnalyzeReport::validate_str(&text).expect("schema-valid");
+        assert_eq!(back, report);
+        assert_eq!(back.active_findings().count(), 1);
+        assert!(!back.is_clean());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(AnalyzeReport::validate_str("{}").is_err());
+        assert!(AnalyzeReport::validate_str("not json").is_err());
+        // race_free must agree with the violations list.
+        let lie = r#"{"schema_version":1,"tool":"threefive-analyze",
+            "lint":{"files_scanned":1,"findings":[]},
+            "schedule":{"configs_checked":1,"race_free":false,"violations":[]}}"#;
+        assert!(AnalyzeReport::validate_str(lie).is_err());
+    }
+
+    #[test]
+    fn baseline_suppresses_by_count() {
+        let mut fs = vec![
+            finding("hot-path-sync", "a.rs"),
+            finding("hot-path-sync", "a.rs"),
+            finding("hot-path-sync", "b.rs"),
+        ];
+        let baseline = vec![BaselineEntry {
+            rule: "hot-path-sync".into(),
+            file: "a.rs".into(),
+            allowed: 1,
+        }];
+        apply_baseline(&mut fs, &baseline);
+        assert_eq!(fs[0].suppressed.as_deref(), Some("baseline"));
+        assert_eq!(fs[1].suppressed, None, "second finding exceeds budget");
+        assert_eq!(fs[2].suppressed, None, "different file unaffected");
+    }
+
+    #[test]
+    fn baseline_parses_and_rejects_bad_versions() {
+        let text = r#"{"schema_version":1,"entries":[
+            {"rule":"safety-comment","file":"x.rs","allowed":2}]}"#;
+        let entries = parse_baseline(text).expect("valid baseline");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].allowed, 2);
+        assert!(parse_baseline(r#"{"schema_version":9,"entries":[]}"#).is_err());
+    }
+}

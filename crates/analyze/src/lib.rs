@@ -1,0 +1,52 @@
+//! # threefive-analyze — in-tree static analysis
+//!
+//! The repo builds hermetically with no external dependencies, so the
+//! usual concurrency tooling (dylint, loom, TSan) is off the table; this
+//! crate is the replacement we own. Two engines (DESIGN.md §11):
+//!
+//! * [`lint`] — a zero-dependency source scanner enforcing the repo's
+//!   unsafe/concurrency discipline: SAFETY comments on every `unsafe`
+//!   site, a `transmute` allowlist, no blocking sync or heap allocation
+//!   in the hot-path modules, and justified memory orderings on the
+//!   barrier/team coordination atomics.
+//! * [`schedule`] — a symbolic race checker that interprets the 3.5-D
+//!   lag schedule over a parameter grid, using the engine's own pure
+//!   schedule arithmetic, and proves the barrier intervals free of
+//!   write/read and write/write overlap — or emits a concrete
+//!   counterexample trace.
+//!
+//! Both report through the schema-validated [`findings::AnalyzeReport`]
+//! JSON document, gated in CI by `threefive analyze --deny-findings`.
+
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(missing_docs)]
+
+pub mod findings;
+pub mod lint;
+pub mod schedule;
+
+use findings::{apply_baseline, parse_baseline, AnalyzeReport, ANALYZE_SCHEMA_VERSION};
+use std::path::Path;
+
+/// Runs both engines over the tree at `root` (lint walk of `src/` and
+/// `crates/*/src`, schedule sweep of [`schedule::default_grid`]),
+/// applying the optional `ANALYZE_baseline.json` text to the lint
+/// findings.
+pub fn analyze_tree(root: &Path, baseline_text: Option<&str>) -> Result<AnalyzeReport, String> {
+    let outcome = lint::lint_root(root)?;
+    let mut findings = outcome.findings;
+    if let Some(text) = baseline_text {
+        let baseline = parse_baseline(text)?;
+        apply_baseline(&mut findings, &baseline);
+    }
+    let grid = schedule::default_grid();
+    let verdict = schedule::check_grid(&schedule::ScheduleModel::engine(), &grid);
+    Ok(AnalyzeReport {
+        schema_version: ANALYZE_SCHEMA_VERSION,
+        files_scanned: outcome.files_scanned,
+        findings,
+        configs_checked: verdict.configs_checked,
+        violations: verdict.violations,
+    })
+}

@@ -1,0 +1,708 @@
+//! The source lint pass: a hand-rolled, zero-dependency scanner over the
+//! workspace's `.rs` files enforcing the repo's unsafe/concurrency
+//! discipline (DESIGN.md §11).
+//!
+//! The scanner works at line/token level — no rustc plumbing — on a
+//! *stripped* view of each line: a small cross-line state machine that
+//! understands `//`, nested `/* */`, `"…"` with escapes, `r#"…"#` raw
+//! strings and char literals splits every line into code text and
+//! comment text, so tokens inside strings never trip a rule and
+//! suppression markers inside string literals are never honoured.
+//!
+//! ## Rules
+//!
+//! | rule | what it enforces |
+//! |---|---|
+//! | `safety-comment` | every `unsafe` site carries a `SAFETY:` comment (or `# Safety` doc heading) on the same line or immediately above |
+//! | `transmute-allowlist` | `transmute` only in [`TRANSMUTE_ALLOWLIST`] files, and SAFETY-annotated there |
+//! | `hot-path-alloc` | no `Vec::new`/`vec!`/`Box::new`/`.to_vec`/`Vec::with_capacity` in [`HOT_PATH_FILES`] |
+//! | `hot-path-sync` | no `Mutex` / `thread::sleep` in [`HOT_PATH_FILES`] |
+//! | `relaxed-ordering` | no `Ordering::Relaxed` on the barrier/team coordination atomics in `crates/sync/src` |
+//! | `bad-suppression` | every suppression marker names a known rule and gives a reason |
+//!
+//! Any rule (except `bad-suppression` itself) can be silenced inline
+//! with an `analyze:allow(<rule>) <reason>` comment on the offending
+//! line or the line above; the reason is mandatory so exceptions stay
+//! visible and justified in-diff. `#[cfg(test)]` regions are exempt from
+//! the concurrency rules (`hot-path-*`, `relaxed-ordering`) but **not**
+//! from `safety-comment`: test code may sleep and allocate, but unsafe
+//! is unsafe everywhere.
+
+use crate::findings::Finding;
+use std::path::{Path, PathBuf};
+
+/// Every rule id the scanner can emit.
+pub const RULES: &[&str] = &[
+    "safety-comment",
+    "transmute-allowlist",
+    "hot-path-alloc",
+    "hot-path-sync",
+    "relaxed-ordering",
+    "bad-suppression",
+];
+
+/// The only files allowed to contain `transmute` (each use must still be
+/// SAFETY-annotated): the SSE lane-splat helpers and the thread-team
+/// lifetime-erasing trampoline.
+pub const TRANSMUTE_ALLOWLIST: &[&str] = &["crates/simd/src/sse.rs", "crates/sync/src/team.rs"];
+
+/// Hot-path modules where blocking sync primitives and heap allocation
+/// are banned outside `#[cfg(test)]`: the per-plane streaming loops live
+/// here, and one stray allocation per plane wrecks the roofline numbers.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/exec/engine35.rs",
+    "crates/core/src/exec/pipeline35.rs",
+    "crates/lbm/src/step.rs",
+    "crates/sync/src/barrier.rs",
+];
+
+/// Allocation call tokens banned in [`HOT_PATH_FILES`].
+const ALLOC_TOKENS: &[&str] = &[
+    "Vec::new(",
+    "vec![",
+    "Box::new(",
+    ".to_vec(",
+    "Vec::with_capacity(",
+];
+
+/// Coordination atomics of the spin barrier and thread team on which
+/// `Ordering::Relaxed` needs an explicit justification: these orderings
+/// *are* the correctness argument of the hand-rolled barrier.
+const FLAGGED_ATOMICS: &[&str] = &[
+    "poisoned",
+    "generation",
+    "count",
+    "go",
+    "done",
+    "quarantined",
+];
+
+/// Result of walking one tree: how many files were scanned, plus every
+/// finding in walk order (suppressed ones included, already marked).
+#[derive(Clone, Debug, Default)]
+pub struct LintOutcome {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, inline-suppressed ones marked.
+    pub findings: Vec<Finding>,
+}
+
+/// Scans `root/src` and `root/crates/*/src` and lints every `.rs` file.
+pub fn lint_root(root: &Path) -> Result<LintOutcome, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for krate in entries {
+            collect_rs(&krate.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = LintOutcome::default();
+    for path in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.findings.extend(lint_source(&rel, &text));
+        out.files_scanned += 1;
+    }
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one file's text; `rel` is its path relative to the analysis
+/// root (used for the per-file rule scoping). Pure — the fixture tests
+/// call this directly.
+pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
+    let lines = strip_code(text);
+    let in_test = test_regions(&lines);
+    let (allows, mut findings) = parse_suppressions(rel, &lines);
+
+    let hot = HOT_PATH_FILES.contains(&rel);
+    let transmute_ok = TRANSMUTE_ALLOWLIST.contains(&rel);
+    let sync_crate = rel.starts_with("crates/sync/src");
+    // `annotated[i]`: line i holds an `unsafe` that satisfied the SAFETY
+    // rule — lets one comment cover a contiguous run of unsafe lines
+    // (e.g. the `unsafe impl Send`/`Sync` pair).
+    let mut annotated = vec![false; lines.len()];
+
+    for i in 0..lines.len() {
+        let c = lines[i].code.as_str();
+        let line = i + 1;
+
+        if has_word(c, "unsafe") {
+            if is_safety_annotated(&lines, &annotated, i) {
+                annotated[i] = true;
+            } else {
+                findings.push(finding(
+                    "safety-comment",
+                    rel,
+                    line,
+                    "unsafe site without a preceding `SAFETY:` comment (or `# Safety` doc heading)",
+                ));
+            }
+        }
+
+        if has_word(c, "transmute") {
+            if !transmute_ok {
+                findings.push(finding(
+                    "transmute-allowlist",
+                    rel,
+                    line,
+                    "`transmute` outside the allowlisted files (crates/simd/src/sse.rs, crates/sync/src/team.rs)",
+                ));
+            } else if !is_safety_annotated(&lines, &annotated, i) {
+                findings.push(finding(
+                    "transmute-allowlist",
+                    rel,
+                    line,
+                    "allowlisted `transmute` still needs its own `SAFETY:` justification",
+                ));
+            }
+        }
+
+        if hot && !in_test[i] {
+            if let Some(tok) = ALLOC_TOKENS.iter().find(|t| has_token(c, t)) {
+                findings.push(finding(
+                    "hot-path-alloc",
+                    rel,
+                    line,
+                    &format!("heap allocation `{tok}..)` in a hot-path module"),
+                ));
+            }
+            if has_word(c, "Mutex") {
+                findings.push(finding(
+                    "hot-path-sync",
+                    rel,
+                    line,
+                    "`Mutex` in a hot-path module (use atomics or the spin barrier)",
+                ));
+            }
+            if c.contains("thread::sleep") {
+                findings.push(finding(
+                    "hot-path-sync",
+                    rel,
+                    line,
+                    "`thread::sleep` in a hot-path module (spin with `hint::spin_loop` instead)",
+                ));
+            }
+        }
+
+        if sync_crate
+            && !in_test[i]
+            && has_word(c, "Relaxed")
+            && FLAGGED_ATOMICS
+                .iter()
+                .any(|a| c.contains(&format!(".{a}.")))
+        {
+            findings.push(finding(
+                "relaxed-ordering",
+                rel,
+                line,
+                "`Ordering::Relaxed` on a barrier/team coordination atomic — justify why no ordering is needed",
+            ));
+        }
+    }
+
+    // Inline suppression: a marker on the finding's line or the line
+    // above silences it (bad-suppression itself is not silenceable: a
+    // broken suppression must never self-suppress).
+    for f in &mut findings {
+        if f.rule == "bad-suppression" {
+            continue;
+        }
+        let idx = f.line - 1;
+        let covered = allows
+            .iter()
+            .any(|(j, rule)| *rule == f.rule && (*j == idx || *j + 1 == idx));
+        if covered {
+            f.suppressed = Some("inline".into());
+        }
+    }
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+    findings
+}
+
+fn finding(rule: &str, file: &str, line: usize, message: &str) -> Finding {
+    Finding {
+        rule: rule.into(),
+        file: file.into(),
+        line,
+        message: message.into(),
+        suppressed: None,
+    }
+}
+
+/// Extracts valid `analyze:allow(<rule>) <reason>` markers — searched in
+/// comment text only, so string literals can never smuggle one in — as
+/// `(line_idx, rule)` pairs, and emits `bad-suppression` findings for
+/// malformed ones. Parenthesized text that does not look like a rule id
+/// (lowercase + dashes) is treated as prose, not a broken marker.
+fn parse_suppressions(rel: &str, lines: &[Stripped]) -> (Vec<(usize, String)>, Vec<Finding>) {
+    const MARKER: &str = "analyze:allow(";
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        let Some(pos) = l.comment.find(MARKER) else {
+            continue;
+        };
+        let rest = &l.comment[pos + MARKER.len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim();
+        if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+            continue;
+        }
+        let reason = rest[close + 1..].trim();
+        if !RULES.contains(&rule) {
+            findings.push(finding(
+                "bad-suppression",
+                rel,
+                i + 1,
+                &format!("unknown rule `{rule}` in suppression marker"),
+            ));
+        } else if reason.is_empty() {
+            findings.push(finding(
+                "bad-suppression",
+                rel,
+                i + 1,
+                &format!("suppression of `{rule}` without a reason — exceptions must be justified"),
+            ));
+        } else {
+            allows.push((i, rule.to_string()));
+        }
+    }
+    (allows, findings)
+}
+
+/// Whether the `unsafe`/`transmute` at line `i` is justified: a `SAFETY:`
+/// comment on the same line, or — walking upward over comment-only
+/// lines, attributes, blanks and already-annotated unsafe lines — a
+/// comment containing `SAFETY:` or a `# Safety` doc heading.
+fn is_safety_annotated(lines: &[Stripped], annotated: &[bool], i: usize) -> bool {
+    if lines[i].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let code = lines[j].code.trim();
+        let skippable = code.is_empty()
+            || code.starts_with("#[")
+            || code.starts_with("#![")
+            || code.contains("unsafe impl")
+            || annotated[j];
+        if !skippable {
+            return false;
+        }
+        let comment = &lines[j].comment;
+        if comment.contains("SAFETY:") || comment.contains("# Safety") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items (attribute through
+/// the matching close brace, by brace counting on stripped code).
+fn test_regions(lines: &[Stripped]) -> Vec<bool> {
+    let mut out = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            out[j] = true;
+            for ch in lines[j].code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Whether `code` contains `word` delimited by non-identifier characters
+/// (so `unsafe_op_in_unsafe_fn` never matches `unsafe`).
+fn has_word(code: &str, word: &str) -> bool {
+    find_bounded(code, word, true)
+}
+
+/// Like [`has_word`] but only the *leading* boundary is checked — for
+/// tokens ending in punctuation such as `Vec::new(` (still refusing
+/// `MyVec::new(`).
+fn has_token(code: &str, token: &str) -> bool {
+    find_bounded(code, token, false)
+}
+
+fn find_bounded(code: &str, pat: &str, check_after: bool) -> bool {
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let bytes = code.as_bytes();
+    let first_is_ident = pat.as_bytes().first().copied().map(is_ident) == Some(true);
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        let p = start + pos;
+        let before_ok = !first_is_ident || p == 0 || !is_ident(bytes[p - 1]);
+        let end = p + pat.len();
+        let after_ok = !check_after || end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = p + 1;
+    }
+    false
+}
+
+/// One source line split into code text and comment text; string and
+/// char literal contents belong to neither.
+struct Stripped {
+    code: String,
+    comment: String,
+}
+
+/// Splits every line into code and comments, preserving line structure.
+/// A small state machine carries `/* */` nesting, multi-line `"…"`
+/// strings and `r##"…"##` raw strings across line boundaries.
+fn strip_code(text: &str) -> Vec<Stripped> {
+    #[derive(Clone, Copy)]
+    enum S {
+        Code,
+        Block(u32),
+        Str,
+        Raw(usize),
+    }
+    let mut state = S::Code;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let b = line.as_bytes();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < b.len() {
+            match state {
+                S::Block(depth) => {
+                    let open = line[i..].find("/*").map(|p| i + p);
+                    let close = line[i..].find("*/").map(|p| i + p);
+                    let until = match (open, close) {
+                        (Some(o), Some(c)) if o < c => {
+                            state = S::Block(depth + 1);
+                            o + 2
+                        }
+                        (_, Some(c)) => {
+                            state = if depth > 1 {
+                                S::Block(depth - 1)
+                            } else {
+                                S::Code
+                            };
+                            c + 2
+                        }
+                        (Some(o), None) => {
+                            state = S::Block(depth + 1);
+                            o + 2
+                        }
+                        (None, None) => b.len(),
+                    };
+                    comment.push_str(&line[i..until]);
+                    i = until;
+                }
+                S::Str => {
+                    if b[i] == b'\\' {
+                        i = (i + 2).min(b.len());
+                    } else if b[i] == b'"' {
+                        state = S::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                S::Raw(hashes) => {
+                    let terminator: String = std::iter::once('"')
+                        .chain("#".repeat(hashes).chars())
+                        .collect();
+                    match line[i..].find(&terminator) {
+                        Some(p) => {
+                            state = S::Code;
+                            i += p + terminator.len();
+                        }
+                        None => i = b.len(),
+                    }
+                }
+                S::Code => {
+                    if line[i..].starts_with("//") {
+                        comment.push_str(&line[i..]);
+                        i = b.len();
+                    } else if line[i..].starts_with("/*") {
+                        state = S::Block(1);
+                        i += 2;
+                    } else if let Some(h) = raw_string_open(line, i) {
+                        state = S::Raw(h);
+                        // Skip past `r`/`br`, the hashes and the quote.
+                        let prefix = if b[i] == b'b' { 2 } else { 1 };
+                        i += prefix + h + 1;
+                    } else if b[i] == b'"' {
+                        state = S::Str;
+                        i += 1;
+                    } else if b[i] == b'\'' {
+                        i = skip_char_or_lifetime(line, i);
+                    } else {
+                        let ch_len = utf8_len(b[i]);
+                        code.push_str(&line[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+            }
+        }
+        out.push(Stripped { code, comment });
+    }
+    out
+}
+
+/// If a raw string literal (`r"…"`, `r#"…"#`, `br"…"`) opens at byte `i`,
+/// returns its hash count.
+fn raw_string_open(line: &str, i: usize) -> Option<usize> {
+    let b = line.as_bytes();
+    let mut j = i;
+    if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+        j += 1;
+    }
+    if b[j] != b'r' {
+        return None;
+    }
+    // The `r` must start its identifier, else any ident ending in `r`
+    // followed by `"` would be misread.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return None;
+    }
+    let mut k = j + 1;
+    let mut hashes = 0;
+    while k < b.len() && b[k] == b'#' {
+        hashes += 1;
+        k += 1;
+    }
+    (k < b.len() && b[k] == b'"').then_some(hashes)
+}
+
+/// Skips a char literal (`'x'`, `'\n'`) starting at byte `i`; for a
+/// lifetime only the quote is skipped (the identifier stays in code).
+fn skip_char_or_lifetime(line: &str, i: usize) -> usize {
+    let b = line.as_bytes();
+    if i + 1 >= b.len() {
+        return i + 1;
+    }
+    if b[i + 1] == b'\\' {
+        // Escaped char literal: close at the next quote after the escape.
+        match line[i + 2..].find('\'') {
+            Some(p) => i + 2 + p + 1,
+            None => b.len(),
+        }
+    } else {
+        let ch_len = utf8_len(b[i + 1]);
+        if i + 1 + ch_len < b.len() && b[i + 1 + ch_len] == b'\'' {
+            i + 1 + ch_len + 1
+        } else {
+            i + 1
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(fs: &[Finding]) -> Vec<&str> {
+        fs.iter()
+            .filter(|f| f.suppressed.is_none())
+            .map(|f| f.rule.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn unannotated_unsafe_is_flagged_with_location() {
+        let src = "fn f() {\n    let x = unsafe { g() };\n}\n";
+        let fs = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(rules_of(&fs), ["safety-comment"]);
+        assert_eq!(fs[0].line, 2);
+        assert_eq!(fs[0].locus(), "crates/x/src/lib.rs:2");
+    }
+
+    #[test]
+    fn safety_comment_same_line_or_above_satisfies() {
+        let above =
+            "fn f() {\n    // SAFETY: g upholds its contract\n    let x = unsafe { g() };\n}\n";
+        assert!(rules_of(&lint_source("a.rs", above)).is_empty());
+        let same = "fn f() {\n    let x = unsafe { g() }; // SAFETY: trivially in-bounds\n}\n";
+        assert!(rules_of(&lint_source("a.rs", same)).is_empty());
+    }
+
+    #[test]
+    fn safety_in_a_string_literal_does_not_satisfy() {
+        let src = "fn f() {\n    let s = \"SAFETY: not a comment\"; let x = unsafe { g() };\n}\n";
+        assert_eq!(rules_of(&lint_source("a.rs", src)), ["safety-comment"]);
+    }
+
+    #[test]
+    fn safety_walkup_skips_attributes_and_doc_headings() {
+        let src = "/// Reads a lane.\n///\n/// # Safety\n/// `i` must be in bounds.\n#[inline]\npub unsafe fn lane(i: usize) -> f32 {\n    0.0\n}\n";
+        assert!(rules_of(&lint_source("a.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn one_safety_comment_covers_unsafe_impl_pair_and_runs() {
+        let pair = "// SAFETY: raw pointer is never aliased mutably\nunsafe impl Send for T {}\nunsafe impl Sync for T {}\n";
+        assert!(rules_of(&lint_source("a.rs", pair)).is_empty());
+        let run =
+            "// SAFETY: both lanes in bounds\nlet a = unsafe { x() };\nlet b = unsafe { y() };\n";
+        assert!(rules_of(&lint_source("a.rs", run)).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_comments_and_attributes_is_ignored() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n// unsafe in a comment\nlet s = \"unsafe { }\";\nlet r = r#\"unsafe\"#;\n";
+        assert!(rules_of(&lint_source("a.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn multiline_raw_string_contents_do_not_leak_into_code() {
+        let src = "let s = r#\"first\nunsafe { Mutex vec![ }\ntransmute\"#;\nlet after = 1;\n";
+        assert!(rules_of(&lint_source("crates/core/src/exec/engine35.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn transmute_allowed_only_in_allowlisted_files() {
+        let src = "// SAFETY: same layout\nlet y = unsafe { std::mem::transmute::<A, B>(x) };\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/lib.rs", src)),
+            ["transmute-allowlist"]
+        );
+        assert!(rules_of(&lint_source("crates/simd/src/sse.rs", src)).is_empty());
+        // Allowlisted but unannotated: still flagged.
+        let bare = "let y = unsafe { core::mem::transmute::<A, B>(x) };\n";
+        let fs = lint_source("crates/sync/src/team.rs", bare);
+        assert!(rules_of(&fs).contains(&"transmute-allowlist"));
+    }
+
+    #[test]
+    fn hot_path_rules_fire_only_in_hot_files_and_outside_tests() {
+        let src = "fn setup() {\n    let v = Vec::with_capacity(8);\n    let m = std::sync::Mutex::new(0);\n    std::thread::sleep(d);\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let v = vec![1]; std::thread::sleep(d); }\n}\n";
+        let fs = lint_source("crates/core/src/exec/engine35.rs", src);
+        assert_eq!(
+            rules_of(&fs),
+            ["hot-path-alloc", "hot-path-sync", "hot-path-sync"]
+        );
+        assert!(rules_of(&lint_source("crates/core/src/plan.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_flags_coordination_atomics_only() {
+        let bad = "self.poisoned.store(true, Ordering::Relaxed);\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/sync/src/barrier.rs", bad)),
+            ["relaxed-ordering"]
+        );
+        // Unflagged atomic name: fine.
+        let ok = "self.epoch.store(1, Ordering::Relaxed);\n";
+        assert!(rules_of(&lint_source("crates/sync/src/barrier.rs", ok)).is_empty());
+        // Outside crates/sync: out of scope.
+        assert!(rules_of(&lint_source("crates/core/src/lib.rs", bad)).is_empty());
+    }
+
+    #[test]
+    fn inline_suppression_silences_and_requires_reason() {
+        let ok = "// analyze:allow(hot-path-alloc) one-time setup before the stream loop\nlet v = Vec::with_capacity(8);\n";
+        let fs = lint_source("crates/core/src/exec/engine35.rs", ok);
+        assert!(rules_of(&fs).is_empty());
+        assert_eq!(fs.len(), 1, "suppressed finding still recorded");
+        assert_eq!(fs[0].suppressed.as_deref(), Some("inline"));
+
+        let no_reason = "// analyze:allow(hot-path-alloc)\nlet v = Vec::with_capacity(8);\n";
+        let fs = lint_source("crates/core/src/exec/engine35.rs", no_reason);
+        assert_eq!(rules_of(&fs), ["bad-suppression", "hot-path-alloc"]);
+
+        let unknown = "// analyze:allow(no-such-rule) because\nlet v = 1;\n";
+        assert_eq!(rules_of(&lint_source("a.rs", unknown)), ["bad-suppression"]);
+    }
+
+    #[test]
+    fn suppression_in_a_string_literal_is_not_honoured() {
+        let src = "let s = \"analyze:allow(hot-path-alloc) smuggled\";\nlet v = Vec::new();\n";
+        let fs = lint_source("crates/core/src/exec/pipeline35.rs", src);
+        assert_eq!(rules_of(&fs), ["hot-path-alloc"]);
+    }
+
+    #[test]
+    fn suppression_only_covers_its_own_rule_and_adjacent_line() {
+        let wrong_rule = "// analyze:allow(hot-path-sync) reason here\nlet v = Vec::new();\n";
+        let fs = lint_source("crates/core/src/exec/pipeline35.rs", wrong_rule);
+        assert_eq!(rules_of(&fs), ["hot-path-alloc"]);
+        let too_far =
+            "// analyze:allow(hot-path-alloc) reason here\nlet a = 1;\nlet v = Vec::new();\n";
+        let fs = lint_source("crates/core/src/exec/pipeline35.rs", too_far);
+        assert_eq!(rules_of(&fs), ["hot-path-alloc"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail_stripping() {
+        let src = "fn f<'a>(x: &'a str) -> char {\n    let q = '\"';\n    let n = '\\n';\n    unsafe { g() }\n}\n";
+        let fs = lint_source("a.rs", src);
+        assert_eq!(rules_of(&fs), ["safety-comment"]);
+        assert_eq!(fs[0].line, 4, "quote char literal must not open a string");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "/* outer /* nested unsafe */\nstill comment unsafe\n*/\nlet x = 1;\n";
+        assert!(rules_of(&lint_source("a.rs", src)).is_empty());
+    }
+}

@@ -31,6 +31,9 @@
 //! Grid sizes default to a laptop-friendly subset; set `THREEFIVE_FULL=1`
 //! to run the paper's full 64³/256³/512³ sweep.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::time::Instant;
 
 use threefive_core::exec::{

@@ -16,6 +16,8 @@
 //! same ring addressing) through it, counting real line fills and
 //! write-backs.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 

@@ -38,7 +38,7 @@
 //! drained cooperatively.
 
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use threefive_grid::partition::even_range;
@@ -49,6 +49,53 @@ use crate::error::ExecError;
 use crate::exec::elem_bytes;
 use crate::faults;
 use crate::stats::SweepStats;
+
+/// Z-plane lag of time level `t` (1-based) behind the leading level, in
+/// planes: `2R(t − 1)`.
+///
+/// This is the paper's staggered schedule (§V-C): the extra `R` beyond the
+/// `R` strictly required by the data dependence is what lets all levels run
+/// concurrently inside one barrier-separated step. This function — not a
+/// copy of its arithmetic — is what both [`tile_stream`] and the symbolic
+/// race checker in `threefive-analyze` evaluate, so the checker's model
+/// cannot drift from the shipped schedule.
+#[inline]
+pub fn level_lag(r: usize, t: usize) -> usize {
+    2 * r * (t - 1)
+}
+
+/// The global Z plane level `t` (1-based) processes at outer step `s`, or
+/// `None` while the level is still warming up (`s < lag`) or already
+/// drained past the grid (`z ≥ nz`).
+#[inline]
+pub fn plane_for_level(s: usize, r: usize, t: usize, nz: usize) -> Option<usize> {
+    let lag = level_lag(r, t);
+    if s < lag {
+        return None;
+    }
+    let z = s - lag;
+    (z < nz).then_some(z)
+}
+
+/// Outer steps one tile × chunk takes to stream `nz` planes through `c`
+/// staggered levels: `nz + 2R(c − 1)` (one barrier episode per step).
+#[inline]
+pub fn outer_steps(nz: usize, r: usize, c: usize) -> usize {
+    nz + level_lag(r, c)
+}
+
+/// Ring slots required for a radius-`r` pipeline: `max(2R+2, 3R+1)`.
+///
+/// With the `2R` lag a level's ring must simultaneously retain the
+/// producer's current plane `z` and the consumer's read window
+/// `[z−3R, z−R]`, i.e. `3R+1` distinct planes — which equals the paper's
+/// `2R+2` at `R = 1` but exceeds it for `R ≥ 2`. Shared with the symbolic
+/// race checker, whose ring-reuse proof quantifies over exactly this slot
+/// count.
+#[inline]
+pub fn ring_slots(r: usize) -> usize {
+    (2 * r + 2).max(3 * r + 1)
+}
 
 /// 3.5-D blocking parameters: owned XY tile dims and temporal factor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -407,11 +454,6 @@ impl Drop for PoisonOnPanic<'_> {
     }
 }
 
-/// Ring slots required for a radius-`r` pipeline; see the module docs.
-fn ring_slots(r: usize) -> usize {
-    (2 * r + 2).max(3 * r + 1)
-}
-
 /// Streams one tile × chunk through Z on the team.
 ///
 /// Every thread owns a fixed band of local Y rows of every sub-plane at
@@ -436,8 +478,10 @@ pub fn tile_stream<T: Real, K: PlaneKernel<T>>(
     let rings = Rings::new(&mut ring_bufs, slots, comps, lx, ly);
 
     let n_threads = ctx.team.threads();
-    let outer_steps = geom.dim().nz + 2 * r * (c - 1);
-    let first_err: Mutex<Option<SyncError>> = Mutex::new(None);
+    let steps = outer_steps(geom.dim().nz, r, c);
+    // Lock-free first-error slot: `OnceLock::set` races are benign (first
+    // writer wins), and the healthy fast path never touches it.
+    let first_err: OnceLock<SyncError> = OnceLock::new();
     let obs = ctx.obs;
 
     let run_res = ctx.team.try_run(|tid| {
@@ -449,15 +493,10 @@ pub fn tile_stream<T: Real, K: PlaneKernel<T>>(
         // `None` when instrumentation is disabled: the loop then performs
         // no clock reads at all (the zero-cost contract).
         let mut compute_start = obs.now();
-        for s in 0..outer_steps {
+        for s in 0..steps {
             faults::fault_point(tid, s);
             for t in 1..=c {
-                let lag = 2 * r * (t - 1);
-                if s < lag {
-                    continue;
-                }
-                let z = s - lag;
-                if z < geom.dim().nz {
+                if let Some(z) = plane_for_level(s, r, t, geom.dim().nz) {
                     let span0 = obs.span_start();
                     kernel.process_level(geom, &rings, t, z, &my_rows);
                     obs.plane_span(tid, z, t, span0);
@@ -474,14 +513,14 @@ pub fn tile_stream<T: Real, K: PlaneKernel<T>>(
                 // Cooperative exit: the barrier is poisoned (by a panicked
                 // peer's guard or by a timeout), so every member breaks
                 // out here and the generation drains in bounded time.
-                first_err.lock().unwrap().get_or_insert(e);
+                let _ = first_err.set(e);
                 break;
             }
         }
         guard.armed = false;
     });
     run_res?;
-    match first_err.into_inner().unwrap() {
+    match first_err.into_inner() {
         Some(e) => Err(e),
         None => Ok(()),
     }
@@ -504,15 +543,9 @@ pub fn tile_stream_serial<T: Real, K: PlaneKernel<T>>(kernel: &K, geom: &TileGeo
         .collect();
     let rings = Rings::new(&mut ring_bufs, slots, comps, lx, ly);
     let my_rows = 0..ly;
-    let outer_steps = geom.dim().nz + 2 * r * (c - 1);
-    for s in 0..outer_steps {
+    for s in 0..outer_steps(geom.dim().nz, r, c) {
         for t in 1..=c {
-            let lag = 2 * r * (t - 1);
-            if s < lag {
-                continue;
-            }
-            let z = s - lag;
-            if z < geom.dim().nz {
+            if let Some(z) = plane_for_level(s, r, t, geom.dim().nz) {
                 kernel.process_level(geom, &rings, t, z, &my_rows);
             }
         }

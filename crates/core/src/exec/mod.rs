@@ -31,8 +31,8 @@ pub use blocked25d::blocked25d_sweep;
 pub use blocked3d::blocked3d_sweep;
 pub use blocked4d::blocked4d_sweep;
 pub use engine35::{
-    stream_chunk, tile_stream, tile_stream_serial, Blocking35, BoundaryPolicy, PlaneKernel, Rings,
-    SweepCtx, TileGeom,
+    level_lag, outer_steps, plane_for_level, ring_slots, stream_chunk, tile_stream,
+    tile_stream_serial, Blocking35, BoundaryPolicy, PlaneKernel, Rings, SweepCtx, TileGeom,
 };
 pub use periodic::{periodic35d_sweep, reference_sweep_periodic, wrap_extend};
 pub use pipeline35::{blocked35d_sweep, parallel35d_sweep, temporal_sweep, try_parallel35d_sweep};

@@ -230,21 +230,34 @@ impl<T: Real, K: StencilKernel<T>> PlaneKernel<T> for StencilPlanes<'_, T, K> {
         let row_hi = ys.end.min(gy0 + my_rows.end);
 
         if row_lo < row_hi && !xs.is_empty() {
-            let mut planes: Vec<&[T]> = Vec::with_capacity(2 * r + 1);
+            // The plane window is 2R+1 references; stage them on the stack
+            // so the per-plane hot path never touches the allocator. Radii
+            // past the in-tree kernels' range take a cold heap spill.
+            const MAX_WIN: usize = 9;
+            let mut stack: [&[T]; MAX_WIN] = [&[]; MAX_WIN];
+            // analyze:allow(hot-path-alloc) cold spill path, only taken when R > 4
+            let mut spill: Vec<&[T]> = Vec::new();
+            let planes: &mut [&[T]] = if 2 * r < MAX_WIN {
+                &mut stack[..2 * r + 1]
+            } else {
+                spill.resize(2 * r + 1, &[]);
+                &mut spill
+            };
             if t == 1 {
                 // Level 1 reads the source grid directly (global stride).
-                for zz in z - r..=z + r {
-                    planes.push(self.src.plane(zz));
+                for (i, zz) in (z - r..=z + r).enumerate() {
+                    planes[i] = self.src.plane(zz);
                 }
             } else {
                 // Deeper levels read the previous level's ring (local stride).
-                for zz in z - r..=z + r {
+                for (i, zz) in (z - r..=z + r).enumerate() {
                     // SAFETY: those planes were completed at earlier outer
                     // steps (barrier-separated) and their slots are disjoint
                     // from any plane written in this step.
-                    planes.push(unsafe { rings.plane(t - 2, zz, 0) });
+                    planes[i] = unsafe { rings.plane(t - 2, zz, 0) };
                 }
             }
+            let planes: &[&[T]] = planes;
             let (nx, x_off, y_off) = if t == 1 {
                 (dim.nx, 0usize, 0usize)
             } else {
@@ -259,13 +272,8 @@ impl<T: Real, K: StencilKernel<T>> PlaneKernel<T> for StencilPlanes<'_, T, K> {
                     // SAFETY: this thread owns this local row of the ring.
                     unsafe { rings.row_mut(t - 1, z, 0, y - gy0, xs.start - gx0, xs.len()) }
                 };
-                self.kernel.apply_row(
-                    &planes,
-                    nx,
-                    y - y_off,
-                    xs.start - x_off..xs.end - x_off,
-                    out,
-                );
+                self.kernel
+                    .apply_row(planes, nx, y - y_off, xs.start - x_off..xs.end - x_off, out);
 
                 if !is_final {
                     // Dirichlet X rim inside the loaded footprint, so deeper

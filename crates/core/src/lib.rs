@@ -35,6 +35,7 @@
 //! initial values forever, matching the paper's "z₀ (boundary condition)
 //! does not change with time".
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 

@@ -8,6 +8,8 @@
 //! statistics, plots, or baselines — swap the workspace dependency back to
 //! the real `criterion` for publication-quality numbers.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 use std::fmt;

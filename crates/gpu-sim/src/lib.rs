@@ -25,6 +25,8 @@
 //! [`timing::throughput`] converts their counters into MUPS using the
 //! GTX 285 machine model.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 

@@ -17,6 +17,7 @@
 //!   (or any index range) evenly across threads so every thread performs
 //!   the same amount of DRAM traffic and compute.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 

@@ -18,6 +18,7 @@
 //! The per-site cost matches the paper's accounting: ~220 flops plus
 //! 20 reads and 19 writes ⇒ 259 ops, bytes/op 0.88 (SP) / 1.75 (DP).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 

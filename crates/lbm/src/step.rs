@@ -167,6 +167,7 @@ pub fn lbm_naive_sweep<T: Real>(
         let n_threads = team.threads();
         team.run(|tid| {
             let rows = threefive_grid::partition::even_range(dim.ny * dim.nz, n_threads, tid);
+            // analyze:allow(hot-path-alloc) once per team dispatch, hoisted out of the row loop
             let mut out_rows: Vec<&mut [T]> = Vec::with_capacity(Q);
             for row in rows {
                 let (y, z) = (row % dim.ny, row / dim.ny);

@@ -20,6 +20,8 @@
 //! by roughly what factor, and where blocking stops helping (small grids,
 //! tiny shared memories, already-compute-bound kernels).
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 

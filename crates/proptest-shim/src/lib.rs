@@ -19,6 +19,8 @@
 //! Swap the workspace dependency back to the real `proptest` (same import
 //! paths) when building in a networked environment.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 use std::fmt;

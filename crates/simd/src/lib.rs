@@ -22,6 +22,7 @@
 //! `mul_add` and use explicit `a * b + c`, which is bit-exact across all
 //! implementations.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 

@@ -78,6 +78,7 @@ impl SpinBarrier {
             // Last arrival: reset for the next episode, then release.
             // Spinners cannot touch `count` again until they observe the
             // new generation, so the reset cannot race with re-arrivals.
+            // analyze:allow(relaxed-ordering) published by the Release generation store below
             self.count.store(0, Ordering::Relaxed);
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
@@ -114,6 +115,7 @@ impl SpinBarrier {
         let start = deadline.map(|_| Instant::now());
         let gen = self.generation.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // analyze:allow(relaxed-ordering) published by the Release generation store below
             self.count.store(0, Ordering::Relaxed);
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
@@ -174,6 +176,7 @@ impl SpinBarrier {
     /// about to arrive at) the barrier — e.g. after `ThreadTeam::run`
     /// has returned, all members have drained by construction.
     pub fn reset(&self) {
+        // analyze:allow(relaxed-ordering) caller guarantees quiescence; no concurrent waiters exist
         self.count.store(0, Ordering::Relaxed);
         self.poisoned.store(false, Ordering::Release);
     }

@@ -27,6 +27,7 @@
 //!   that the sweep entry points take, replacing the per-combination
 //!   executor variants that used to exist.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 

@@ -177,10 +177,11 @@ impl ThreadTeam {
     pub fn try_run<F: Fn(usize) + Sync>(&self, f: F) -> Result<(), SyncError> {
         let sh = &*self.shared;
         self.heal()?;
-        // Erase the closure: workers only use the pointer while we block
-        // below, so `f` outlives every dereference.
-        let data = &f as *const F as usize;
+        // SAFETY: erase the closure — workers only use the pointer while
+        // we block below, so `f` outlives every dereference (taking the
+        // addresses here is itself safe; `unsafe` only names the fn type).
         let tramp = trampoline::<F> as unsafe fn(*const (), usize) as usize;
+        let data = &f as *const F as usize;
         let gen = self.publish(data, tramp);
 
         // The caller is member 0.
@@ -200,6 +201,7 @@ impl ThreadTeam {
         // The Acquire reads above ordered every worker's `poisoned` store
         // (Relaxed, but sequenced before its Release `done` increment)
         // before this load.
+        // analyze:allow(relaxed-ordering) ordered by the Acquire `done` loop above
         if caller_panic || sh.poisoned.load(Ordering::Relaxed) {
             return Err(SyncError::TeamPanicked { generation: gen });
         }
@@ -255,6 +257,7 @@ impl ThreadTeam {
         // Healthy drain: drop the job slot so the closure's captures free
         // deterministically.
         *sh.static_job.lock().unwrap() = None;
+        // analyze:allow(relaxed-ordering) ordered by the Acquire `done` loop above
         if caller_panic || sh.poisoned.load(Ordering::Relaxed) {
             return Err(SyncError::TeamPanicked { generation: gen });
         }
@@ -297,7 +300,9 @@ impl ThreadTeam {
     /// wait loops and the quarantine gate).
     fn publish(&self, data: usize, tramp: usize) -> usize {
         let sh = &*self.shared;
+        // analyze:allow(relaxed-ordering) sequenced before the Release `go` bump that publishes them
         sh.poisoned.store(false, Ordering::Relaxed);
+        // analyze:allow(relaxed-ordering) same publication argument as the line above
         sh.done.store(0, Ordering::Relaxed);
         sh.job[0].store(data, Ordering::Relaxed);
         sh.job[1].store(tramp, Ordering::Relaxed);
@@ -362,15 +367,15 @@ fn worker_loop(sh: &TeamShared, tid: usize) {
             }
         } else {
             let data = sh.job[0].load(Ordering::Relaxed) as *const ();
-            let call: unsafe fn(*const (), usize) =
-                // SAFETY: the slot holds a `trampoline::<F>` function pointer
-                // written by `run` for this generation.
-                unsafe { std::mem::transmute(tramp) };
+            // SAFETY: the slot holds a `trampoline::<F>` function pointer
+            // written by `run` for this generation.
+            let call: unsafe fn(*const (), usize) = unsafe { std::mem::transmute(tramp) };
             // SAFETY: the `run` caller keeps the closure alive until `done`
             // reaches n-1, which happens only after this call returns.
             catch_unwind(AssertUnwindSafe(|| unsafe { call(data, tid) })).is_err()
         };
         if panicked {
+            // analyze:allow(relaxed-ordering) sequenced before the Release `done` increment that publishes it
             sh.poisoned.store(true, Ordering::Relaxed);
         }
         // Progress before `done`: once the caller's Acquire load of `done`

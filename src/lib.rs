@@ -52,6 +52,9 @@
 //! assert!(grids.src().get(32, 32, 32) < 100.0); // heat spread out
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cli;
 pub mod run;
 
@@ -60,6 +63,7 @@ pub use run::{
     RunOptions, RunReport, Rung,
 };
 
+pub use threefive_analyze as analyze;
 pub use threefive_bench as bench;
 pub use threefive_cachesim as cachesim;
 pub use threefive_core as core;

@@ -19,6 +19,7 @@ use std::fmt;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use threefive::analyze::findings::AnalyzeReport;
 use threefive::bench::counters::{lbm_telemetry, stencil_telemetry, Telemetry};
 use threefive::bench::perfetto::{trace_to_chrome_json, validate_trace_str};
 use threefive::bench::report::{BenchEntry, BenchReport};
@@ -96,6 +97,7 @@ fn main() -> ExitCode {
         "lbm" => cmd_lbm(&opts),
         "bench" => cmd_bench(&opts),
         "trace" => cmd_trace(&opts),
+        "analyze" => cmd_analyze(&opts),
         "gpu" => cmd_gpu(&opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
@@ -139,6 +141,9 @@ USAGE:
                   [--tile T] [--threads N] [--workload stencil|lbm]
                   [--out DIR]
   threefive trace --validate FILE
+  threefive analyze [--root DIR] [--deny-findings] [--out DIR]
+                  [--baseline FILE]
+  threefive analyze --validate FILE
   threefive gpu   [--n 96] [--steps 2]
   threefive info"
     );
@@ -754,6 +759,85 @@ fn cmd_trace(opts: &Opts) -> Result<(), CmdError> {
     }
     print_trace_summary(&snapshot);
     print_attainment_table(&telemetry);
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), CmdError> {
+    if let Some(path) = opts.get("validate") {
+        let text = std::fs::read_to_string(path)?;
+        let report = AnalyzeReport::validate_str(&text)
+            .map_err(|e| CmdError::Msg(format!("{path}: invalid ANALYZE report: {e}")))?;
+        println!(
+            "{path}: valid ANALYZE report (schema v{}, {} finding(s), {} schedule config(s))",
+            report.schema_version,
+            report.findings.len(),
+            report.configs_checked
+        );
+        return Ok(());
+    }
+
+    let root = std::path::PathBuf::from(cli::getstr(opts, "root", "."));
+    let deny: bool = cli::get(opts, "deny-findings", false)?;
+    // The baseline defaults to the repo's checked-in suppression file;
+    // an explicitly named one must exist, the default may be absent.
+    let baseline_text = match opts.get("baseline") {
+        Some(path) => Some(std::fs::read_to_string(path)?),
+        None => std::fs::read_to_string(root.join("ANALYZE_baseline.json")).ok(),
+    };
+    let report =
+        threefive::analyze::analyze_tree(&root, baseline_text.as_deref()).map_err(CmdError::Msg)?;
+    // Self-check before writing: the emitted document must satisfy the
+    // same validator CI runs on the artifact.
+    let text = format!("{}\n", report.to_json_string());
+    AnalyzeReport::validate_str(&text)
+        .map_err(|e| CmdError::Msg(format!("internal: emitted report invalid: {e}")))?;
+
+    let active = report.active_findings().count();
+    let suppressed = report.findings.len() - active;
+    println!(
+        "lint: {} file(s) scanned, {} finding(s) ({suppressed} suppressed)",
+        report.files_scanned, active
+    );
+    for f in report.findings.iter().filter(|f| f.suppressed.is_none()) {
+        println!("  {}: [{}] {}", f.locus(), f.rule, f.message);
+    }
+    println!(
+        "schedule: {} config(s) checked: {}",
+        report.configs_checked,
+        if report.violations.is_empty() {
+            "race-free".to_string()
+        } else {
+            format!("{} violation(s)", report.violations.len())
+        }
+    );
+    for v in &report.violations {
+        println!(
+            "  step {} ring {} slot {} (R={} dim_T={} threads={} nz={} ly={}): {}",
+            v.step,
+            v.ring,
+            v.slot,
+            v.config.r,
+            v.config.c,
+            v.config.threads,
+            v.config.nz,
+            v.config.ly,
+            v.detail
+        );
+    }
+
+    if let Some(dir) = opts.get("out") {
+        let out_dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&out_dir)?;
+        let path = out_dir.join("ANALYZE.json");
+        std::fs::write(&path, &text)?;
+        println!("wrote {}", path.display());
+    }
+    if deny && !report.is_clean() {
+        return Err(CmdError::Msg(format!(
+            "analysis failed: {active} active finding(s), {} schedule violation(s)",
+            report.violations.len()
+        )));
+    }
     Ok(())
 }
 
