@@ -53,6 +53,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/exec/engine35.rs",
     "crates/core/src/exec/pipeline35.rs",
     "crates/lbm/src/step.rs",
+    "crates/serve/src/dispatch.rs",
     "crates/sync/src/barrier.rs",
 ];
 

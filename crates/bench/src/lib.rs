@@ -51,6 +51,7 @@ pub mod gate;
 pub mod json;
 pub mod perfetto;
 pub mod report;
+pub mod service;
 
 /// Whether to run the paper's full grid sizes.
 pub fn full_run() -> bool {

@@ -54,7 +54,8 @@ impl HostInfo {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// Serializes to the JSON tree (shared with the service report).
+    pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("os".into(), Json::str(&*self.os)),
             ("arch".into(), Json::str(&*self.arch)),
@@ -66,7 +67,8 @@ impl HostInfo {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    /// Deserializes and schema-checks (shared with the service report).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
         Ok(Self {
             os: req_str(v, "os")?,
             arch: req_str(v, "arch")?,

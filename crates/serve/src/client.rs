@@ -1,0 +1,91 @@
+//! Synchronous client for the solver service.
+//!
+//! One outstanding request per connection: each helper writes one frame
+//! and blocks for one response frame. The load generator opens one
+//! client per worker thread, which keeps request/response matching
+//! trivial (and is exactly the multi-tenant pattern the daemon is built
+//! to isolate).
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use threefive_bench::json::Json;
+
+use crate::job::JobSpec;
+use crate::protocol::{
+    decode_response, encode_chaos, encode_solve, read_frame, write_frame, ChaosCmd, Response,
+    WireError,
+};
+
+/// A connected tenant.
+pub struct ServiceClient {
+    stream: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Bounds how long any single call may block on the daemon; `None`
+    /// restores indefinite blocking.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn roundtrip(&mut self, doc: &Json) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, doc)?;
+        let resp = read_frame(&mut self.stream)?;
+        decode_response(&resp)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        match self.roundtrip(&Json::Obj(vec![("cmd".into(), Json::str("ping"))]))? {
+            Response::Ok(_) => Ok(()),
+            other => Err(WireError::Malformed(format!(
+                "unexpected ping response {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits a solve and blocks until its final response (done, failed
+    /// or rejected). The block spans queue wait plus execution, so size
+    /// any read timeout to the job's deadline plus slack.
+    pub fn solve(&mut self, spec: &JobSpec) -> Result<Response, WireError> {
+        self.roundtrip(&encode_solve(spec))
+    }
+
+    /// Snapshot of the daemon's counters and gauges.
+    pub fn stats(&mut self) -> Result<Json, WireError> {
+        match self.roundtrip(&Json::Obj(vec![("cmd".into(), Json::str("stats"))]))? {
+            Response::Ok(doc) => Ok(doc),
+            other => Err(WireError::Malformed(format!(
+                "unexpected stats response {other:?}"
+            ))),
+        }
+    }
+
+    /// Arms (or disarms) fault injection inside the daemon process.
+    pub fn chaos(&mut self, cmd: &ChaosCmd) -> Result<(), WireError> {
+        match self.roundtrip(&encode_chaos(cmd))? {
+            Response::Ok(_) => Ok(()),
+            other => Err(WireError::Malformed(format!(
+                "unexpected chaos response {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests a graceful drain (equivalent to SIGTERM).
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        match self.roundtrip(&Json::Obj(vec![("cmd".into(), Json::str("shutdown"))]))? {
+            Response::Ok(_) => Ok(()),
+            other => Err(WireError::Malformed(format!(
+                "unexpected shutdown response {other:?}"
+            ))),
+        }
+    }
+}

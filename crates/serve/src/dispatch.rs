@@ -1,0 +1,337 @@
+//! The dispatch loop: queue → team lease → runner → routed response.
+//!
+//! This file is on the service's hot path (one iteration per admitted
+//! job, concurrent with every other dispatcher) and is held to the
+//! in-tree `hot-path-alloc` / `hot-path-sync` lint rules: no locks and no
+//! container allocation in the loop itself. The queue and pool own their
+//! blocking internals behind their APIs; responses leave through the
+//! caller-supplied [`ReplySink`].
+
+use std::time::{Duration, Instant};
+
+use threefive_sync::{TeamPool, ThreadTeam};
+
+use crate::job::{Completed, JobFailure, JobId, JobSpec};
+use crate::protocol::Response;
+use crate::queue::{AdmissionQueue, Popped, QueuedJob};
+use crate::stats::ServiceStats;
+
+/// How long a dispatcher blocks on an empty queue before re-checking for
+/// drain; also the granularity at which a drain request is noticed.
+pub const POP_POLL: Duration = Duration::from_millis(50);
+
+/// What a [`JobRunner`] reports back for one job.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Completion or typed failure, as sent to the tenant.
+    pub result: Result<Completed, JobFailure>,
+    /// Whether the team that ran the job should be health-probed before
+    /// re-entering the pool (set after panics, stalls, or any executor
+    /// error that could leave workers wedged).
+    pub team_suspect: bool,
+}
+
+/// Executes one admitted job on a leased team within a deadline budget.
+///
+/// Implemented by the facade crate (which owns the degradation ladder);
+/// the service crate only knows this interface, keeping the dependency
+/// arrow pointing from the binary down into the service, never back.
+pub trait JobRunner: Send + Sync {
+    /// Runs `spec` on `team`, spending at most `remaining`, tagging any
+    /// telemetry it emits with `job_id`. Must not panic: executor panics
+    /// are to be captured into the outcome (`team_suspect = true`).
+    fn run(
+        &self,
+        spec: &JobSpec,
+        team: &ThreadTeam,
+        remaining: Duration,
+        job_id: JobId,
+    ) -> RunOutcome;
+}
+
+/// Where finished-job responses go. The server implements this with its
+/// per-connection channels; tests implement it with a collector.
+pub trait ReplySink: Send + Sync {
+    /// Routes `resp` for job `job_id` back to the connection identified
+    /// by `reply_to`. A vanished connection is not an error: the result
+    /// is dropped but still counted in the stats.
+    fn send(&self, reply_to: u64, job_id: JobId, resp: Response);
+}
+
+/// Runs one dispatcher until the queue reports
+/// [`Closed`](crate::queue::Popped::Closed) (drain complete). Each
+/// iteration serves exactly one job end to end, so joining every
+/// dispatcher thread is the server's proof that all admitted jobs were
+/// served before exit.
+pub fn run_dispatcher(
+    queue: &AdmissionQueue,
+    pool: &TeamPool,
+    runner: &dyn JobRunner,
+    stats: &ServiceStats,
+    replies: &dyn ReplySink,
+) {
+    loop {
+        match queue.pop(POP_POLL) {
+            Popped::Closed => return,
+            Popped::Empty => continue,
+            Popped::Job(job) => serve_one(job, pool, runner, stats, replies),
+        }
+    }
+}
+
+fn serve_one(
+    job: QueuedJob,
+    pool: &TeamPool,
+    runner: &dyn JobRunner,
+    stats: &ServiceStats,
+    replies: &dyn ReplySink,
+) {
+    let deadline_ms = job.spec.deadline.as_millis() as u64;
+    // Deadline check 1: the job may have aged out while queued. Expired
+    // jobs are answered with a typed failure without touching a team.
+    let Some(budget) = job.remaining(Instant::now()) else {
+        ServiceStats::bump(&stats.timed_out);
+        replies.send(
+            job.reply_to,
+            job.id,
+            Response::Failed {
+                job_id: job.id,
+                failure: JobFailure::DeadlineExpired { deadline_ms },
+            },
+        );
+        return;
+    };
+    // The checkout wait is bounded by the job's remaining budget, so a
+    // starved pool converts into a typed per-job failure, not a wedge.
+    let Some(lease) = pool.checkout(budget) else {
+        ServiceStats::bump(&stats.timed_out);
+        replies.send(
+            job.reply_to,
+            job.id,
+            Response::Failed {
+                job_id: job.id,
+                failure: JobFailure::PoolExhausted,
+            },
+        );
+        return;
+    };
+    // Deadline check 2: re-measure after the (possibly long) checkout so
+    // the runner receives the budget that is actually left.
+    let Some(budget) = job.remaining(Instant::now()) else {
+        ServiceStats::bump(&stats.timed_out);
+        replies.send(
+            job.reply_to,
+            job.id,
+            Response::Failed {
+                job_id: job.id,
+                failure: JobFailure::DeadlineExpired { deadline_ms },
+            },
+        );
+        return;
+    };
+    let mut lease = lease;
+    let outcome = runner.run(&job.spec, lease.team(), budget, job.id);
+    if outcome.team_suspect {
+        // Checkin will health-probe (and quarantine if needed) instead
+        // of handing a possibly-wedged team to the next tenant.
+        lease.mark_suspect();
+    }
+    let resp = match outcome.result {
+        Ok(completed) => {
+            ServiceStats::bump(&stats.completed);
+            Response::Done {
+                job_id: job.id,
+                completed,
+            }
+        }
+        Err(failure) => {
+            match failure {
+                JobFailure::DeadlineExpired { .. } | JobFailure::PoolExhausted => {
+                    ServiceStats::bump(&stats.timed_out)
+                }
+                JobFailure::Failed { .. } => ServiceStats::bump(&stats.failed),
+            }
+            Response::Failed {
+                job_id: job.id,
+                failure,
+            }
+        }
+    };
+    drop(lease);
+    replies.send(job.reply_to, job.id, resp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Workload;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    struct Collector {
+        got: Mutex<Vec<(u64, JobId, Response)>>,
+    }
+
+    impl ReplySink for Collector {
+        fn send(&self, reply_to: u64, job_id: JobId, resp: Response) {
+            self.got.lock().unwrap().push((reply_to, job_id, resp));
+        }
+    }
+
+    struct FakeRunner {
+        ran: AtomicU64,
+        suspect: bool,
+    }
+
+    impl JobRunner for FakeRunner {
+        fn run(
+            &self,
+            _spec: &JobSpec,
+            team: &ThreadTeam,
+            _remaining: Duration,
+            job_id: JobId,
+        ) -> RunOutcome {
+            // Prove the lease hands us a live team.
+            team.run(|_tid| {});
+            self.ran.fetch_add(1, Ordering::Relaxed);
+            RunOutcome {
+                result: Ok(Completed {
+                    rung: "fake".into(),
+                    downgrades: 0,
+                    checksum: job_id,
+                    barrier_share: None,
+                    exec_ms: 0.1,
+                }),
+                team_suspect: self.suspect,
+            }
+        }
+    }
+
+    fn queued(id: JobId, deadline: Duration) -> QueuedJob {
+        QueuedJob {
+            id,
+            spec: JobSpec {
+                workload: Workload::Stencil,
+                n: 8,
+                steps: 2,
+                dim_t: 2,
+                tile: 8,
+                deadline,
+                priority: 0,
+            },
+            admitted_at: Instant::now(),
+            reply_to: 42,
+        }
+    }
+
+    #[test]
+    fn dispatcher_serves_jobs_then_exits_on_close() {
+        let queue = AdmissionQueue::new(8);
+        let pool = TeamPool::new(1, 2);
+        let runner = FakeRunner {
+            ran: AtomicU64::new(0),
+            suspect: false,
+        };
+        let stats = ServiceStats::default();
+        let sink = Collector {
+            got: Mutex::new(Vec::new()),
+        };
+        queue.push(queued(1, Duration::from_secs(5))).unwrap();
+        queue.push(queued(2, Duration::from_secs(5))).unwrap();
+        queue.close();
+        run_dispatcher(&queue, &pool, &runner, &stats, &sink);
+        assert_eq!(runner.ran.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 2);
+        let got = sink.got.lock().unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got
+            .iter()
+            .all(|(to, _, r)| *to == 42 && matches!(r, Response::Done { .. })));
+        assert_eq!(pool.idle(), 1, "lease returned to the pool");
+    }
+
+    #[test]
+    fn queue_aged_job_fails_typed_without_touching_a_team() {
+        let queue = AdmissionQueue::new(8);
+        let pool = TeamPool::new(1, 2);
+        let runner = FakeRunner {
+            ran: AtomicU64::new(0),
+            suspect: false,
+        };
+        let stats = ServiceStats::default();
+        let sink = Collector {
+            got: Mutex::new(Vec::new()),
+        };
+        let mut job = queued(9, Duration::from_millis(1));
+        job.admitted_at = Instant::now() - Duration::from_secs(1);
+        queue.push(job).unwrap();
+        queue.close();
+        run_dispatcher(&queue, &pool, &runner, &stats, &sink);
+        assert_eq!(runner.ran.load(Ordering::Relaxed), 0, "must not dispatch");
+        assert_eq!(stats.timed_out.load(Ordering::Relaxed), 1);
+        let got = sink.got.lock().unwrap();
+        match &got[0].2 {
+            Response::Failed { job_id, failure } => {
+                assert_eq!(*job_id, 9);
+                assert_eq!(failure.kind(), "DeadlineExpired");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suspect_outcome_probes_team_and_keeps_pool_full() {
+        let queue = AdmissionQueue::new(8);
+        let pool = TeamPool::new(1, 2);
+        let runner = FakeRunner {
+            ran: AtomicU64::new(0),
+            suspect: true,
+        };
+        let stats = ServiceStats::default();
+        let sink = Collector {
+            got: Mutex::new(Vec::new()),
+        };
+        queue.push(queued(1, Duration::from_secs(5))).unwrap();
+        queue.close();
+        run_dispatcher(&queue, &pool, &runner, &stats, &sink);
+        // The healthy team passes its probe and returns to service.
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.quarantined(), 0);
+    }
+
+    #[test]
+    fn parallel_dispatchers_drain_shared_queue() {
+        let queue = Arc::new(AdmissionQueue::new(32));
+        let pool = Arc::new(TeamPool::new(2, 2));
+        let runner = Arc::new(FakeRunner {
+            ran: AtomicU64::new(0),
+            suspect: false,
+        });
+        let stats = Arc::new(ServiceStats::default());
+        let sink = Arc::new(Collector {
+            got: Mutex::new(Vec::new()),
+        });
+        for id in 0..16 {
+            queue.push(queued(id, Duration::from_secs(10))).unwrap();
+        }
+        queue.close();
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let (q, p, r, s, k) = (
+                    Arc::clone(&queue),
+                    Arc::clone(&pool),
+                    Arc::clone(&runner),
+                    Arc::clone(&stats),
+                    Arc::clone(&sink),
+                );
+                std::thread::spawn(move || run_dispatcher(&q, &p, r.as_ref(), &s, k.as_ref()))
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 16);
+        assert_eq!(sink.got.lock().unwrap().len(), 16);
+        assert_eq!(pool.idle(), 2);
+    }
+}

@@ -1,0 +1,371 @@
+//! Job model and admission control.
+//!
+//! A *job* is one solve request from one tenant: a workload (7-point
+//! stencil heat diffusion or a D3Q19 LBM scenario), a cubic grid edge, a
+//! step count, the 3.5-D blocking parameters, a priority class and a
+//! deadline. Admission control validates the spec **before** it can touch
+//! a thread team, and every refusal is a typed [`Rejected`] — the service
+//! never drops a request silently.
+//!
+//! Job inputs are fully determined by the spec (fixed initial conditions
+//! per workload/scenario), which is what makes the service's bit-identity
+//! guarantee *testable*: any client can recompute the scalar-reference
+//! checksum for a spec and compare it with the one the daemon returns,
+//! whichever ladder rung actually served the job.
+
+use std::fmt;
+use std::time::Duration;
+
+use threefive_core::exec::Blocking35;
+use threefive_lbm::LbmBlocking;
+
+/// Monotonically increasing per-daemon job identifier, assigned at
+/// admission and attached to every response and telemetry record.
+pub type JobId = u64;
+
+/// Which solver pipeline a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// 7-point stencil heat diffusion (fixed deterministic seed grid).
+    Stencil,
+    /// D3Q19 lattice Boltzmann on a named scenario.
+    Lbm(LbmScenario),
+}
+
+/// The LBM scenarios the service exposes (fixed parameters per name, so
+/// results are reproducible from the spec alone).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LbmScenario {
+    /// Closed box at rest.
+    ClosedBox,
+    /// Lid-driven cavity.
+    Cavity,
+    /// Channel flow around a sphere.
+    Channel,
+}
+
+impl LbmScenario {
+    /// Wire name of the scenario.
+    pub fn name(self) -> &'static str {
+        match self {
+            LbmScenario::ClosedBox => "box",
+            LbmScenario::Cavity => "cavity",
+            LbmScenario::Channel => "channel",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "box" => Some(LbmScenario::ClosedBox),
+            "cavity" => Some(LbmScenario::Cavity),
+            "channel" => Some(LbmScenario::Channel),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Workload::Stencil => f.write_str("stencil"),
+            Workload::Lbm(s) => write!(f, "lbm/{}", s.name()),
+        }
+    }
+}
+
+/// Number of priority classes; class `PRIORITIES - 1` is served first.
+pub const PRIORITIES: usize = 3;
+
+/// One tenant's solve request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Solver pipeline and (for LBM) scenario.
+    pub workload: Workload,
+    /// Cubic grid edge (the job grid is `n × n × n`).
+    pub n: usize,
+    /// Time steps to advance.
+    pub steps: usize,
+    /// Temporal blocking factor `dim_T`.
+    pub dim_t: usize,
+    /// XY tile edge (clamped to `n` at execution).
+    pub tile: usize,
+    /// End-to-end deadline measured from admission: queue wait plus
+    /// execution. Flows into the executor watchdog as the remaining
+    /// budget at dispatch.
+    pub deadline: Duration,
+    /// Priority class `0..PRIORITIES` (higher is served first).
+    pub priority: u8,
+}
+
+/// Admission limits the daemon enforces before a job may queue.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionLimits {
+    /// Maximum grid cells (`n³`) a single job may claim.
+    pub max_cells: u64,
+}
+
+impl Default for AdmissionLimits {
+    fn default() -> Self {
+        // 128³: one tenant may not blow every team's cache and the
+        // daemon's memory with a single request.
+        Self {
+            max_cells: 128 * 128 * 128,
+        }
+    }
+}
+
+/// Typed admission refusal. Every variant maps to a `status: rejected`
+/// wire response naming the reason — backpressure is explicit, never a
+/// silent drop or an unexplained disconnect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded admission queue is at capacity (backpressure).
+    QueueFull {
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The requested grid exceeds the per-job cell limit.
+    GridTooLarge {
+        /// Requested cells (`n³`).
+        cells: u64,
+        /// Configured limit.
+        max_cells: u64,
+    },
+    /// The blocking/stepping parameters cannot form a valid plan.
+    BadPlan {
+        /// Human-readable diagnosis (from the executors' own validators).
+        detail: String,
+    },
+    /// The daemon is draining for shutdown and admits no new jobs.
+    ShuttingDown,
+}
+
+impl Rejected {
+    /// Stable wire tag of the rejection reason.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Rejected::QueueFull { .. } => "QueueFull",
+            Rejected::GridTooLarge { .. } => "GridTooLarge",
+            Rejected::BadPlan { .. } => "BadPlan",
+            Rejected::ShuttingDown => "ShuttingDown",
+        }
+    }
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} jobs)")
+            }
+            Rejected::GridTooLarge { cells, max_cells } => {
+                write!(f, "grid of {cells} cells exceeds the limit of {max_cells}")
+            }
+            Rejected::BadPlan { detail } => write!(f, "invalid plan: {detail}"),
+            Rejected::ShuttingDown => f.write_str("daemon is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Typed failure of an *admitted* job. Unlike [`Rejected`] these carry a
+/// job id on the wire: the tenant's request was accepted and then could
+/// not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobFailure {
+    /// The job's deadline expired (in queue or during execution) before a
+    /// result was produced.
+    DeadlineExpired {
+        /// The job's configured deadline, milliseconds.
+        deadline_ms: u64,
+    },
+    /// No healthy team became available within the job's deadline (all
+    /// teams leased or quarantined).
+    PoolExhausted,
+    /// The whole executor ladder failed (unrecoverable error from the
+    /// final reference rung — numerically broken input, for instance).
+    Failed {
+        /// Display of the underlying ladder error.
+        detail: String,
+    },
+}
+
+impl JobFailure {
+    /// Stable wire tag of the failure kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobFailure::DeadlineExpired { .. } => "DeadlineExpired",
+            JobFailure::PoolExhausted => "PoolExhausted",
+            JobFailure::Failed { .. } => "Failed",
+        }
+    }
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobFailure::DeadlineExpired { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms expired")
+            }
+            JobFailure::PoolExhausted => f.write_str("no healthy team available"),
+            JobFailure::Failed { detail } => write!(f, "job failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+/// Successful job completion as reported to the tenant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Completed {
+    /// Ladder rung that served the request (display label).
+    pub rung: String,
+    /// Downgrades taken on the way (0 = fastest applicable rung worked).
+    pub downgrades: u32,
+    /// Bit-exact checksum of the result grid/lattice (see the facade's
+    /// checksum definition) — equal to the scalar reference's checksum
+    /// whichever rung served the job.
+    pub checksum: u64,
+    /// Barrier-wait share of the parallel rung, when instrumented.
+    pub barrier_share: Option<f64>,
+    /// Execution wall-clock milliseconds (excludes queue wait).
+    pub exec_ms: f64,
+}
+
+impl JobSpec {
+    /// Validates the spec against `limits`; `Err` is the typed refusal to
+    /// send back. Runs the executors' own plan validators so a spec that
+    /// admits cleanly can always be turned into a blocking at dispatch.
+    pub fn validate(&self, limits: &AdmissionLimits) -> Result<(), Rejected> {
+        if self.n == 0 {
+            return Err(Rejected::BadPlan {
+                detail: "grid edge n must be positive".into(),
+            });
+        }
+        if self.steps == 0 {
+            return Err(Rejected::BadPlan {
+                detail: "steps must be positive".into(),
+            });
+        }
+        if self.deadline.is_zero() {
+            return Err(Rejected::BadPlan {
+                detail: "deadline_ms must be positive".into(),
+            });
+        }
+        if usize::from(self.priority) >= PRIORITIES {
+            return Err(Rejected::BadPlan {
+                detail: format!("priority {} out of range (0..{PRIORITIES})", self.priority),
+            });
+        }
+        let cells = (self.n as u64).pow(3);
+        if cells > limits.max_cells {
+            return Err(Rejected::GridTooLarge {
+                cells,
+                max_cells: limits.max_cells,
+            });
+        }
+        let tx = self.tile.min(self.n);
+        match self.workload {
+            Workload::Stencil => Blocking35::try_new(tx, tx, self.dim_t)
+                .map(|_| ())
+                .map_err(|e| Rejected::BadPlan {
+                    detail: e.to_string(),
+                })?,
+            Workload::Lbm(_) => LbmBlocking::try_new(tx, tx, self.dim_t)
+                .map(|_| ())
+                .map_err(|e| Rejected::BadPlan {
+                    detail: e.to_string(),
+                })?,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            workload: Workload::Stencil,
+            n: 16,
+            steps: 4,
+            dim_t: 2,
+            tile: 16,
+            deadline: Duration::from_secs(5),
+            priority: 1,
+        }
+    }
+
+    #[test]
+    fn valid_spec_admits() {
+        assert_eq!(spec().validate(&AdmissionLimits::default()), Ok(()));
+    }
+
+    #[test]
+    fn oversized_grid_is_typed_rejection() {
+        let mut s = spec();
+        s.n = 200;
+        let err = s.validate(&AdmissionLimits::default()).unwrap_err();
+        assert_eq!(
+            err,
+            Rejected::GridTooLarge {
+                cells: 8_000_000,
+                max_cells: 128 * 128 * 128
+            }
+        );
+        assert_eq!(err.kind(), "GridTooLarge");
+    }
+
+    #[test]
+    fn zero_dimt_is_bad_plan_naming_the_parameter() {
+        let mut s = spec();
+        s.dim_t = 0;
+        let err = s.validate(&AdmissionLimits::default()).unwrap_err();
+        assert_eq!(err.kind(), "BadPlan");
+        assert!(err.to_string().contains("dimT=0"), "{err}");
+    }
+
+    #[test]
+    fn zero_steps_zero_n_zero_deadline_and_bad_priority_rejected() {
+        for mutate in [
+            (|s: &mut JobSpec| s.steps = 0) as fn(&mut JobSpec),
+            |s| s.n = 0,
+            |s| s.deadline = Duration::ZERO,
+            |s| s.priority = PRIORITIES as u8,
+        ] {
+            let mut s = spec();
+            mutate(&mut s);
+            assert_eq!(
+                s.validate(&AdmissionLimits::default()).unwrap_err().kind(),
+                "BadPlan"
+            );
+        }
+    }
+
+    #[test]
+    fn lbm_spec_validates_via_lbm_blocking() {
+        let mut s = spec();
+        s.workload = Workload::Lbm(LbmScenario::Cavity);
+        assert!(s.validate(&AdmissionLimits::default()).is_ok());
+        s.tile = 0;
+        assert_eq!(
+            s.validate(&AdmissionLimits::default()).unwrap_err().kind(),
+            "BadPlan"
+        );
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for sc in [
+            LbmScenario::ClosedBox,
+            LbmScenario::Cavity,
+            LbmScenario::Channel,
+        ] {
+            assert_eq!(LbmScenario::parse(sc.name()), Some(sc));
+        }
+        assert_eq!(LbmScenario::parse("vortex"), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! Multi-tenant solver service for the 3.5-D blocking engine.
+//!
+//! `threefive serve` turns the one-shot solver pipelines into a
+//! long-running daemon: tenants submit stencil/LBM jobs over a
+//! hand-rolled length-prefixed TCP protocol, admission control bounds
+//! what any one tenant can claim, a fixed [`TeamPool`](threefive_sync::TeamPool)
+//! of persistent pinned thread teams
+//! executes jobs under per-job deadlines, and the quarantine/heal
+//! machinery from the degradation ladder keeps one poisoned tenant from
+//! wedging the pool or corrupting a neighbour.
+//!
+//! Robustness invariants this crate is built around:
+//!
+//! 1. **No silent drops.** Every request gets a typed response:
+//!    `done`, `rejected` (QueueFull / GridTooLarge / BadPlan /
+//!    ShuttingDown), `failed` (DeadlineExpired / PoolExhausted /
+//!    Failed) or `bad_request`.
+//! 2. **Deadlines are end-to-end.** A job's budget covers queue wait,
+//!    pool checkout and execution; whatever remains at dispatch flows
+//!    into the executor watchdog.
+//! 3. **Fault isolation is per-team.** A panicking or stalling job marks
+//!    only its own leased team suspect; the pool health-probes it on
+//!    checkin, quarantines it if wedged, and heals it back once the
+//!    straggler drains — capacity is conserved, never leaked.
+//! 4. **Shutdown is a drain, not an abort.** SIGINT/SIGTERM (or the
+//!    `shutdown` command) closes admission with typed rejections while
+//!    every already-admitted job runs to its answer; the daemon exits 0
+//!    with all threads joined.
+//!
+//! Module map: [`job`] (specs + typed refusals), [`queue`] (bounded
+//! priority admission queue), [`protocol`] (framing + JSON codec),
+//! [`dispatch`] (the per-job hot path), [`server`] (accept loop, drain),
+//! [`signal`] (SIGINT/SIGTERM), [`client`] (synchronous tenant client),
+//! [`stats`] (service counters).
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dispatch;
+pub mod job;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod signal;
+pub mod stats;
+
+pub use client::ServiceClient;
+pub use dispatch::{JobRunner, ReplySink, RunOutcome};
+pub use job::{
+    AdmissionLimits, Completed, JobFailure, JobId, JobSpec, LbmScenario, Rejected, Workload,
+    PRIORITIES,
+};
+pub use protocol::{ChaosCmd, Request, Response, WireError};
+pub use queue::{AdmissionQueue, Popped, QueuedJob};
+pub use server::{Server, ServerConfig};
+pub use stats::ServiceStats;

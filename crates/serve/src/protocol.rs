@@ -1,0 +1,561 @@
+//! Length-prefixed JSON wire protocol.
+//!
+//! Each message is a 4-byte big-endian length followed by that many bytes
+//! of UTF-8 JSON. The JSON layer reuses the bench crate's hand-rolled
+//! tree (`threefive_bench::json::Json`) — the offline build has no serde.
+//! Frames are capped at [`MAX_FRAME`]; a peer announcing a longer frame
+//! is cut off before the daemon allocates for it.
+//!
+//! Checksums cross the wire as 16-digit lowercase hex **strings**
+//! (`{:016x}`), never as JSON numbers: JSON numbers are f64 and cannot
+//! represent every u64 bit pattern, and bit-identity is the whole point.
+//!
+//! ## Requests
+//!
+//! * `{"cmd":"ping"}` → `{"status":"ok","pong":true}`
+//! * `{"cmd":"solve","workload":"stencil"|"lbm","scenario":...,"n":...,
+//!   "steps":...,"dim_t":...,"tile":...,"deadline_ms":...,"priority":...}`
+//! * `{"cmd":"stats"}` → pool/queue/counter snapshot
+//! * `{"cmd":"chaos","tid":...,"step":...,"kind":"panic"|"stall",
+//!   "stall_ms":...}` (or `{"cmd":"chaos","kind":"off"}`) — arms fault
+//!   injection *inside the daemon process*
+//! * `{"cmd":"shutdown"}` — begin draining; equivalent to SIGTERM
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use threefive_bench::json::Json;
+
+use crate::job::{Completed, JobFailure, JobId, JobSpec, LbmScenario, Rejected, Workload};
+
+/// Maximum frame payload in bytes. Requests and responses are small
+/// JSON documents; anything near this size is a protocol violation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A protocol-level failure (I/O, framing, or malformed JSON).
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// Peer closed the connection cleanly between frames.
+    Closed,
+    /// Frame longer than [`MAX_FRAME`] or payload not valid JSON.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Closed => f.write_str("peer closed the connection"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the JSON text.
+pub fn write_frame(w: &mut impl Write, doc: &Json) -> Result<(), WireError> {
+    let payload = doc.to_string();
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(WireError::Malformed(format!(
+            "outgoing frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+            bytes.len()
+        )));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, enforcing [`MAX_FRAME`]. `Err(Closed)` means the peer
+/// hung up cleanly at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Json, WireError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Err(WireError::Closed),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Malformed(format!(
+            "announced frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| WireError::Malformed("frame is not UTF-8".into()))?;
+    Json::parse(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// A decoded client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Submit a solve job.
+    Solve(JobSpec),
+    /// Snapshot service counters.
+    Stats,
+    /// Arm (or disarm, `kind: "off"`) fault injection in the daemon.
+    Chaos(ChaosCmd),
+    /// Begin graceful drain.
+    Shutdown,
+}
+
+/// Fault-injection command carried by `cmd: chaos`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosCmd {
+    /// Disarm any active fault plan.
+    Off,
+    /// Panic on worker `tid` at pipeline step `step` of the next run.
+    Panic {
+        /// Target worker thread id.
+        tid: usize,
+        /// Pipeline step ordinal.
+        step: usize,
+    },
+    /// Stall worker `tid` at `step` for `stall` before proceeding.
+    Stall {
+        /// Target worker thread id.
+        tid: usize,
+        /// Pipeline step ordinal.
+        step: usize,
+        /// Stall duration.
+        stall: Duration,
+    },
+}
+
+fn get_usize(doc: &Json, key: &str) -> Result<usize, WireError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .map(|v| v as usize)
+        .ok_or_else(|| WireError::Malformed(format!("missing or non-integer field '{key}'")))
+}
+
+/// Decodes a request document. Unknown commands and missing fields are
+/// `Malformed` — the server answers those with a typed error response
+/// rather than dropping the connection.
+pub fn decode_request(doc: &Json) -> Result<Request, WireError> {
+    let cmd = doc
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::Malformed("missing string field 'cmd'".into()))?;
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "chaos" => {
+            let kind = doc
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError::Malformed("missing string field 'kind'".into()))?;
+            match kind {
+                "off" => Ok(Request::Chaos(ChaosCmd::Off)),
+                "panic" => Ok(Request::Chaos(ChaosCmd::Panic {
+                    tid: get_usize(doc, "tid")?,
+                    step: get_usize(doc, "step")?,
+                })),
+                "stall" => Ok(Request::Chaos(ChaosCmd::Stall {
+                    tid: get_usize(doc, "tid")?,
+                    step: get_usize(doc, "step")?,
+                    stall: Duration::from_millis(get_usize(doc, "stall_ms")? as u64),
+                })),
+                other => Err(WireError::Malformed(format!(
+                    "unknown chaos kind '{other}' (expected off, panic or stall)"
+                ))),
+            }
+        }
+        "solve" => {
+            let workload = match doc.get("workload").and_then(Json::as_str) {
+                Some("stencil") => Workload::Stencil,
+                Some("lbm") => {
+                    let name = doc.get("scenario").and_then(Json::as_str).ok_or_else(|| {
+                        WireError::Malformed("lbm solve requires string field 'scenario'".into())
+                    })?;
+                    let sc = LbmScenario::parse(name).ok_or_else(|| {
+                        WireError::Malformed(format!(
+                            "unknown scenario '{name}' (expected box, cavity or channel)"
+                        ))
+                    })?;
+                    Workload::Lbm(sc)
+                }
+                Some(other) => {
+                    return Err(WireError::Malformed(format!(
+                        "unknown workload '{other}' (expected stencil or lbm)"
+                    )))
+                }
+                None => {
+                    return Err(WireError::Malformed(
+                        "missing string field 'workload'".into(),
+                    ))
+                }
+            };
+            Ok(Request::Solve(JobSpec {
+                workload,
+                n: get_usize(doc, "n")?,
+                steps: get_usize(doc, "steps")?,
+                dim_t: get_usize(doc, "dim_t")?,
+                tile: get_usize(doc, "tile")?,
+                deadline: Duration::from_millis(get_usize(doc, "deadline_ms")? as u64),
+                priority: get_usize(doc, "priority")? as u8,
+            }))
+        }
+        other => Err(WireError::Malformed(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Encodes a solve request (the client side of [`decode_request`]).
+pub fn encode_solve(spec: &JobSpec) -> Json {
+    let mut fields = vec![("cmd".into(), Json::str("solve"))];
+    match spec.workload {
+        Workload::Stencil => fields.push(("workload".into(), Json::str("stencil"))),
+        Workload::Lbm(sc) => {
+            fields.push(("workload".into(), Json::str("lbm")));
+            fields.push(("scenario".into(), Json::str(sc.name())));
+        }
+    }
+    fields.push(("n".into(), Json::num(spec.n as f64)));
+    fields.push(("steps".into(), Json::num(spec.steps as f64)));
+    fields.push(("dim_t".into(), Json::num(spec.dim_t as f64)));
+    fields.push(("tile".into(), Json::num(spec.tile as f64)));
+    fields.push((
+        "deadline_ms".into(),
+        Json::num(spec.deadline.as_millis() as f64),
+    ));
+    fields.push(("priority".into(), Json::num(f64::from(spec.priority))));
+    Json::Obj(fields)
+}
+
+/// Encodes a chaos request.
+pub fn encode_chaos(cmd: &ChaosCmd) -> Json {
+    let mut fields = vec![("cmd".into(), Json::str("chaos"))];
+    match cmd {
+        ChaosCmd::Off => fields.push(("kind".into(), Json::str("off"))),
+        ChaosCmd::Panic { tid, step } => {
+            fields.push(("kind".into(), Json::str("panic")));
+            fields.push(("tid".into(), Json::num(*tid as f64)));
+            fields.push(("step".into(), Json::num(*step as f64)));
+        }
+        ChaosCmd::Stall { tid, step, stall } => {
+            fields.push(("kind".into(), Json::str("stall")));
+            fields.push(("tid".into(), Json::num(*tid as f64)));
+            fields.push(("step".into(), Json::num(*step as f64)));
+            fields.push(("stall_ms".into(), Json::num(stall.as_millis() as f64)));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// A decoded server response to a solve (or other) request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Generic success (ping/chaos/shutdown acks, stats payloads ride in
+    /// the raw document).
+    Ok(Json),
+    /// The job completed; checksum is bit-exact.
+    Done {
+        /// Daemon-assigned job id.
+        job_id: JobId,
+        /// Completion details.
+        completed: Completed,
+    },
+    /// Admission refused the request (no job id was assigned).
+    Rejected(Rejected),
+    /// An admitted job failed with a typed reason.
+    Failed {
+        /// Daemon-assigned job id.
+        job_id: JobId,
+        /// Why the job could not be served.
+        failure: JobFailure,
+    },
+    /// Protocol-level error (unknown command, bad fields).
+    BadRequest {
+        /// Diagnosis echoed to the peer.
+        detail: String,
+    },
+}
+
+/// Encodes a response document.
+pub fn encode_response(resp: &Response) -> Json {
+    match resp {
+        Response::Ok(doc) => {
+            let mut fields = vec![("status".into(), Json::str("ok"))];
+            if let Json::Obj(extra) = doc {
+                fields.extend(extra.iter().cloned());
+            }
+            Json::Obj(fields)
+        }
+        Response::Done { job_id, completed } => Json::Obj(vec![
+            ("status".into(), Json::str("done")),
+            ("job_id".into(), Json::num(*job_id as f64)),
+            ("rung".into(), Json::str(completed.rung.clone())),
+            (
+                "downgrades".into(),
+                Json::num(f64::from(completed.downgrades)),
+            ),
+            // Hex string, not a number: u64 does not fit in f64.
+            (
+                "checksum".into(),
+                Json::str(format!("{:016x}", completed.checksum)),
+            ),
+            (
+                "barrier_share".into(),
+                completed.barrier_share.map_or(Json::Null, Json::num),
+            ),
+            ("exec_ms".into(), Json::num(completed.exec_ms)),
+        ]),
+        Response::Rejected(r) => {
+            let mut fields = vec![
+                ("status".into(), Json::str("rejected")),
+                ("reason".into(), Json::str(r.kind())),
+                ("detail".into(), Json::str(r.to_string())),
+            ];
+            match r {
+                Rejected::QueueFull { capacity } => {
+                    fields.push(("capacity".into(), Json::num(*capacity as f64)));
+                }
+                Rejected::GridTooLarge { cells, max_cells } => {
+                    fields.push(("cells".into(), Json::num(*cells as f64)));
+                    fields.push(("max_cells".into(), Json::num(*max_cells as f64)));
+                }
+                Rejected::BadPlan { .. } | Rejected::ShuttingDown => {}
+            }
+            Json::Obj(fields)
+        }
+        Response::Failed { job_id, failure } => {
+            let mut fields = vec![
+                ("status".into(), Json::str("failed")),
+                ("job_id".into(), Json::num(*job_id as f64)),
+                ("reason".into(), Json::str(failure.kind())),
+                ("detail".into(), Json::str(failure.to_string())),
+            ];
+            if let JobFailure::DeadlineExpired { deadline_ms } = failure {
+                fields.push(("deadline_ms".into(), Json::num(*deadline_ms as f64)));
+            }
+            Json::Obj(fields)
+        }
+        Response::BadRequest { detail } => Json::Obj(vec![
+            ("status".into(), Json::str("bad_request")),
+            ("detail".into(), Json::str(detail.clone())),
+        ]),
+    }
+}
+
+/// Decodes a response document (the client side of [`encode_response`]).
+pub fn decode_response(doc: &Json) -> Result<Response, WireError> {
+    let status = doc
+        .get("status")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::Malformed("missing string field 'status'".into()))?;
+    let detail = || {
+        doc.get("detail")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
+    match status {
+        "ok" => Ok(Response::Ok(doc.clone())),
+        "bad_request" => Ok(Response::BadRequest { detail: detail() }),
+        "done" => {
+            let job_id = doc
+                .get("job_id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| WireError::Malformed("done response missing 'job_id'".into()))?;
+            let checksum_hex = doc
+                .get("checksum")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError::Malformed("done response missing 'checksum'".into()))?;
+            let checksum = u64::from_str_radix(checksum_hex, 16)
+                .map_err(|_| WireError::Malformed("checksum is not 16-digit hex".into()))?;
+            Ok(Response::Done {
+                job_id,
+                completed: Completed {
+                    rung: doc
+                        .get("rung")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    downgrades: doc
+                        .get("downgrades")
+                        .and_then(Json::as_u64)
+                        .unwrap_or_default() as u32,
+                    checksum,
+                    barrier_share: doc.get("barrier_share").and_then(Json::as_f64),
+                    exec_ms: doc.get("exec_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                },
+            })
+        }
+        "rejected" => {
+            let reason = doc
+                .get("reason")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError::Malformed("rejected response missing 'reason'".into()))?;
+            let rejected = match reason {
+                "QueueFull" => Rejected::QueueFull {
+                    capacity: doc.get("capacity").and_then(Json::as_u64).unwrap_or(0) as usize,
+                },
+                "GridTooLarge" => Rejected::GridTooLarge {
+                    cells: doc.get("cells").and_then(Json::as_u64).unwrap_or(0),
+                    max_cells: doc.get("max_cells").and_then(Json::as_u64).unwrap_or(0),
+                },
+                "ShuttingDown" => Rejected::ShuttingDown,
+                _ => Rejected::BadPlan { detail: detail() },
+            };
+            Ok(Response::Rejected(rejected))
+        }
+        "failed" => {
+            let job_id = doc
+                .get("job_id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| WireError::Malformed("failed response missing 'job_id'".into()))?;
+            let reason = doc.get("reason").and_then(Json::as_str).unwrap_or("Failed");
+            let failure = match reason {
+                "DeadlineExpired" => JobFailure::DeadlineExpired {
+                    deadline_ms: doc.get("deadline_ms").and_then(Json::as_u64).unwrap_or(0),
+                },
+                "PoolExhausted" => JobFailure::PoolExhausted,
+                _ => JobFailure::Failed { detail: detail() },
+            };
+            Ok(Response::Failed { job_id, failure })
+        }
+        other => Err(WireError::Malformed(format!(
+            "unknown response status '{other}'"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            workload: Workload::Lbm(LbmScenario::Cavity),
+            n: 24,
+            steps: 6,
+            dim_t: 3,
+            tile: 16,
+            deadline: Duration::from_millis(750),
+            priority: 2,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let doc = encode_solve(&spec());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &doc).unwrap();
+        // Two frames back to back must both decode.
+        write_frame(
+            &mut buf,
+            &Json::Obj(vec![("cmd".into(), Json::str("ping"))]),
+        )
+        .unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), doc);
+        assert_eq!(
+            decode_request(&read_frame(&mut r).unwrap()).unwrap(),
+            Request::Ping
+        );
+        assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn solve_request_round_trips() {
+        let s = spec();
+        let decoded = decode_request(&encode_solve(&s)).unwrap();
+        assert_eq!(decoded, Request::Solve(s));
+    }
+
+    #[test]
+    fn oversized_announced_frame_is_refused_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_and_missing_fields_are_malformed() {
+        let doc = Json::Obj(vec![("cmd".into(), Json::str("explode"))]);
+        assert!(decode_request(&doc).is_err());
+        let doc = Json::Obj(vec![
+            ("cmd".into(), Json::str("solve")),
+            ("workload".into(), Json::str("stencil")),
+        ]);
+        let err = decode_request(&doc).unwrap_err();
+        assert!(err.to_string().contains("'n'"), "{err}");
+    }
+
+    #[test]
+    fn checksum_survives_as_hex_string() {
+        // A value f64 cannot represent exactly: 2^63 + 1.
+        let checksum = (1u64 << 63) + 1;
+        let resp = Response::Done {
+            job_id: 7,
+            completed: Completed {
+                rung: "parallel35d".into(),
+                downgrades: 1,
+                checksum,
+                barrier_share: Some(0.25),
+                exec_ms: 12.5,
+            },
+        };
+        let doc = Json::parse(&encode_response(&resp).to_string()).unwrap();
+        match decode_response(&doc).unwrap() {
+            Response::Done { completed, .. } => assert_eq!(completed.checksum, checksum),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejection_responses_carry_reason_kind() {
+        for r in [
+            Rejected::QueueFull { capacity: 4 },
+            Rejected::GridTooLarge {
+                cells: 1,
+                max_cells: 0,
+            },
+            Rejected::BadPlan {
+                detail: "dimT=0".into(),
+            },
+            Rejected::ShuttingDown,
+        ] {
+            let doc = encode_response(&Response::Rejected(r.clone()));
+            assert_eq!(doc.get("reason").unwrap().as_str().unwrap(), r.kind());
+            match decode_response(&doc).unwrap() {
+                Response::Rejected(back) => assert_eq!(back.kind(), r.kind()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_commands_round_trip() {
+        for cmd in [
+            ChaosCmd::Off,
+            ChaosCmd::Panic { tid: 1, step: 2 },
+            ChaosCmd::Stall {
+                tid: 0,
+                step: 3,
+                stall: Duration::from_millis(40),
+            },
+        ] {
+            let decoded = decode_request(&encode_chaos(&cmd)).unwrap();
+            assert_eq!(decoded, Request::Chaos(cmd));
+        }
+    }
+}

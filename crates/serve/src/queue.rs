@@ -1,0 +1,253 @@
+//! Bounded, priority-classed admission queue.
+//!
+//! The queue is the daemon's backpressure valve: capacity is counted
+//! across **all** priority classes, and a push against a full queue fails
+//! immediately with [`Rejected::QueueFull`] — the caller (the connection
+//! handler) turns that into a typed wire response instead of buffering
+//! without bound. Dispatchers pop highest-priority-first, FIFO within a
+//! class, blocking on a condvar with a timeout so they can notice drain
+//! requests promptly.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::job::{JobId, JobSpec, Rejected, PRIORITIES};
+
+/// One admitted job waiting for a team, plus the bookkeeping dispatch
+/// needs to honor its deadline and route its response.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Daemon-assigned id.
+    pub id: JobId,
+    /// The validated spec.
+    pub spec: JobSpec,
+    /// When the job was admitted; the deadline counts from here.
+    pub admitted_at: Instant,
+    /// Connection-handler token used to route the response back to the
+    /// tenant that submitted the job.
+    pub reply_to: u64,
+}
+
+impl QueuedJob {
+    /// Deadline budget still remaining, or `None` if already expired.
+    pub fn remaining(&self, now: Instant) -> Option<Duration> {
+        self.spec
+            .deadline
+            .checked_sub(now.saturating_duration_since(self.admitted_at))
+            .filter(|d| !d.is_zero())
+    }
+}
+
+/// Result of a [`AdmissionQueue::pop`] attempt.
+#[derive(Debug)]
+pub enum Popped {
+    /// A job, highest priority class first.
+    Job(QueuedJob),
+    /// Timed out with the queue open but empty.
+    Empty,
+    /// The queue is closed and fully drained; dispatchers should exit.
+    Closed,
+}
+
+struct Classes {
+    // One FIFO lane per priority class; index == class.
+    lanes: [VecDeque<QueuedJob>; PRIORITIES],
+    len: usize,
+    closed: bool,
+}
+
+/// Bounded multi-priority queue between admission and dispatch.
+pub struct AdmissionQueue {
+    inner: Mutex<Classes>,
+    nonempty: Condvar,
+    cap: usize,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue holding at most `capacity` jobs across all
+    /// priority classes.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(Classes {
+                lanes: std::array::from_fn(|_| VecDeque::new()),
+                len: 0,
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            cap: capacity,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Jobs currently queued (all classes).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// Whether the queue holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits a job, or refuses with a typed rejection: `ShuttingDown`
+    /// once [`close`](Self::close) was called, `QueueFull` at capacity.
+    pub fn push(&self, job: QueuedJob) -> Result<(), Rejected> {
+        let mut q = self.inner.lock().unwrap();
+        if q.closed {
+            return Err(Rejected::ShuttingDown);
+        }
+        if q.len >= self.cap {
+            return Err(Rejected::QueueFull { capacity: self.cap });
+        }
+        let class = usize::from(job.spec.priority).min(PRIORITIES - 1);
+        q.lanes[class].push_back(job);
+        q.len += 1;
+        drop(q);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Pops the next job, waiting up to `timeout` for one to arrive.
+    /// Highest class first, FIFO within a class. After
+    /// [`close`](Self::close), already-queued jobs continue to pop (drain) until
+    /// the queue is empty, then every waiter gets [`Popped::Closed`].
+    pub fn pop(&self, timeout: Duration) -> Popped {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if q.len > 0 {
+                for lane in q.lanes.iter_mut().rev() {
+                    if let Some(job) = lane.pop_front() {
+                        q.len -= 1;
+                        return Popped::Job(job);
+                    }
+                }
+                unreachable!("len > 0 but every lane empty");
+            }
+            if q.closed {
+                return Popped::Closed;
+            }
+            let now = Instant::now();
+            let Some(wait) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Popped::Empty;
+            };
+            let (guard, result) = self.nonempty.wait_timeout(q, wait).unwrap();
+            q = guard;
+            if result.timed_out() && q.len == 0 {
+                return if q.closed {
+                    Popped::Closed
+                } else {
+                    Popped::Empty
+                };
+            }
+        }
+    }
+
+    /// Closes admission: subsequent pushes fail with `ShuttingDown`,
+    /// queued jobs keep draining, and blocked poppers wake.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Workload;
+    use std::sync::Arc;
+
+    fn job(id: JobId, priority: u8) -> QueuedJob {
+        QueuedJob {
+            id,
+            spec: JobSpec {
+                workload: Workload::Stencil,
+                n: 8,
+                steps: 2,
+                dim_t: 2,
+                tile: 8,
+                deadline: Duration::from_secs(1),
+                priority,
+            },
+            admitted_at: Instant::now(),
+            reply_to: 0,
+        }
+    }
+
+    fn pop_id(q: &AdmissionQueue) -> JobId {
+        match q.pop(Duration::from_millis(100)) {
+            Popped::Job(j) => j.id,
+            other => panic!("expected a job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_within_class_priority_across_classes() {
+        let q = AdmissionQueue::new(8);
+        q.push(job(1, 0)).unwrap();
+        q.push(job(2, 2)).unwrap();
+        q.push(job(3, 1)).unwrap();
+        q.push(job(4, 2)).unwrap();
+        assert_eq!(pop_id(&q), 2);
+        assert_eq!(pop_id(&q), 4);
+        assert_eq!(pop_id(&q), 3);
+        assert_eq!(pop_id(&q), 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_capacity() {
+        let q = AdmissionQueue::new(2);
+        q.push(job(1, 0)).unwrap();
+        q.push(job(2, 0)).unwrap();
+        assert_eq!(
+            q.push(job(3, 0)).unwrap_err(),
+            Rejected::QueueFull { capacity: 2 }
+        );
+        // Popping frees a slot; admission resumes.
+        pop_id(&q);
+        q.push(job(3, 0)).unwrap();
+    }
+
+    #[test]
+    fn empty_pop_times_out() {
+        let q = AdmissionQueue::new(2);
+        assert!(matches!(q.pop(Duration::from_millis(10)), Popped::Empty));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = AdmissionQueue::new(4);
+        q.push(job(1, 0)).unwrap();
+        q.close();
+        assert_eq!(q.push(job(2, 0)).unwrap_err(), Rejected::ShuttingDown);
+        assert_eq!(pop_id(&q), 1);
+        assert!(matches!(q.pop(Duration::from_millis(10)), Popped::Closed));
+    }
+
+    #[test]
+    fn close_wakes_blocked_popper() {
+        let q = Arc::new(AdmissionQueue::new(2));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert!(matches!(h.join().unwrap(), Popped::Closed));
+    }
+
+    #[test]
+    fn remaining_budget_counts_from_admission() {
+        let j = job(1, 0);
+        assert!(j.remaining(Instant::now()).is_some());
+        let late = Instant::now() + Duration::from_secs(2);
+        assert!(j.remaining(late).is_none());
+    }
+}

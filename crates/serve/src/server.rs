@@ -1,0 +1,461 @@
+//! The daemon: accept loop, connection handlers, dispatcher threads and
+//! the graceful-drain state machine.
+//!
+//! Thread layout per running server:
+//!
+//! * the accept loop (caller's thread, inside [`Server::run`]);
+//! * `dispatchers` dispatcher threads running
+//!   [`run_dispatcher`];
+//! * one reader + one writer thread per live connection, joined on exit.
+//!
+//! Drain protocol: a SIGINT/SIGTERM (or the `shutdown` command) sets the
+//! process-wide flag; the accept loop closes the admission queue — from
+//! that instant new solves get a typed `ShuttingDown` rejection while
+//! already-admitted jobs keep draining. The accept loop keeps serving
+//! connections (so tenants can still collect results and rejections)
+//! until every dispatcher has exited, which is the proof that every
+//! admitted job was answered; then connection threads are stopped and
+//! joined and [`Server::run`] returns `Ok(())`.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use threefive_bench::json::Json;
+use threefive_core::faults::{self, FaultGuard, FaultKind, FaultPlan};
+use threefive_sync::TeamPool;
+
+use crate::dispatch::{run_dispatcher, JobRunner, ReplySink};
+use crate::job::{AdmissionLimits, JobId, Rejected};
+use crate::protocol::{
+    decode_request, encode_response, write_frame, ChaosCmd, Request, Response, WireError, MAX_FRAME,
+};
+use crate::queue::{AdmissionQueue, QueuedJob};
+use crate::signal;
+use crate::stats::ServiceStats;
+
+/// Tuning knobs for one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7535` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Teams in the pool (= jobs that can execute concurrently).
+    pub teams: usize,
+    /// Worker threads per team.
+    pub threads_per_team: usize,
+    /// Admission queue capacity across all priority classes.
+    pub queue_capacity: usize,
+    /// Dispatcher threads (usually == `teams`).
+    pub dispatchers: usize,
+    /// Per-job admission limits.
+    pub limits: AdmissionLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            teams: 2,
+            threads_per_team: 2,
+            queue_capacity: 64,
+            dispatchers: 2,
+            limits: AdmissionLimits::default(),
+        }
+    }
+}
+
+/// Routes dispatcher responses back to the connection that submitted the
+/// job. A connection that vanished mid-job simply loses its response —
+/// the counters still record the outcome.
+struct Router {
+    routes: Mutex<HashMap<u64, mpsc::Sender<Json>>>,
+}
+
+impl Router {
+    fn register(&self, conn: u64, tx: mpsc::Sender<Json>) {
+        self.routes.lock().unwrap().insert(conn, tx);
+    }
+
+    fn deregister(&self, conn: u64) {
+        self.routes.lock().unwrap().remove(&conn);
+    }
+}
+
+impl ReplySink for Router {
+    fn send(&self, reply_to: u64, _job_id: JobId, resp: Response) {
+        let doc = encode_response(&resp);
+        let routes = self.routes.lock().unwrap();
+        if let Some(tx) = routes.get(&reply_to) {
+            // A closed channel means the tenant hung up; nothing to do.
+            let _ = tx.send(doc);
+        }
+    }
+}
+
+struct Inner {
+    pool: TeamPool,
+    queue: AdmissionQueue,
+    stats: ServiceStats,
+    router: Router,
+    runner: Arc<dyn JobRunner>,
+    limits: AdmissionLimits,
+    next_job_id: AtomicU64,
+    next_conn_id: AtomicU64,
+    live_dispatchers: AtomicUsize,
+    /// Set once every dispatcher and the accept loop are done; readers
+    /// and writers poll it to exit.
+    stopped: std::sync::atomic::AtomicBool,
+    /// The currently armed chaos fault, if any. Replacing it disarms the
+    /// previous plan first (`faults::inject` forbids double-arming).
+    chaos: Mutex<Option<FaultGuard>>,
+}
+
+impl Inner {
+    fn arm_chaos(&self, cmd: &ChaosCmd) {
+        let mut slot = self.chaos.lock().unwrap();
+        // Drop (disarm) any previous plan before arming the next one.
+        *slot = None;
+        let plan = match cmd {
+            ChaosCmd::Off => return,
+            ChaosCmd::Panic { tid, step } => FaultPlan {
+                tid: *tid,
+                step: *step,
+                kind: FaultKind::Panic,
+            },
+            ChaosCmd::Stall { tid, step, stall } => FaultPlan {
+                tid: *tid,
+                step: *step,
+                kind: FaultKind::Stall(*stall),
+            },
+        };
+        *slot = Some(faults::inject(plan));
+    }
+
+    fn stats_doc(&self) -> Json {
+        let mut fields = self.stats.to_json();
+        fields.push(("queue_len".into(), Json::num(self.queue.len() as f64)));
+        fields.push((
+            "queue_capacity".into(),
+            Json::num(self.queue.capacity() as f64),
+        ));
+        fields.push((
+            "pool_capacity".into(),
+            Json::num(self.pool.capacity() as f64),
+        ));
+        fields.push(("pool_idle".into(), Json::num(self.pool.idle() as f64)));
+        fields.push((
+            "pool_quarantined".into(),
+            Json::num(self.pool.quarantined() as f64),
+        ));
+        fields.push(("pool_leased".into(), Json::num(self.pool.leased() as f64)));
+        fields.push((
+            "pool_isolations".into(),
+            Json::num(self.pool.isolation_count() as f64),
+        ));
+        fields.push((
+            "pool_heals".into(),
+            Json::num(self.pool.heal_count() as f64),
+        ));
+        fields.push(("draining".into(), Json::Bool(signal::shutdown_requested())));
+        Json::Obj(fields)
+    }
+}
+
+/// A bound (not yet running) daemon.
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+    dispatchers: usize,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the team pool (workers spawn
+    /// here, once, and persist for the daemon's lifetime).
+    pub fn bind(config: ServerConfig, runner: Arc<dyn JobRunner>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            pool: TeamPool::new(config.teams, config.threads_per_team),
+            queue: AdmissionQueue::new(config.queue_capacity),
+            stats: ServiceStats::default(),
+            router: Router {
+                routes: Mutex::new(HashMap::new()),
+            },
+            runner,
+            limits: config.limits,
+            next_job_id: AtomicU64::new(1),
+            next_conn_id: AtomicU64::new(1),
+            live_dispatchers: AtomicUsize::new(0),
+            stopped: std::sync::atomic::AtomicBool::new(false),
+            chaos: Mutex::new(None),
+        });
+        Ok(Self {
+            listener,
+            inner,
+            dispatchers: config.dispatchers.max(1),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the daemon until a graceful shutdown completes. Returns
+    /// `Ok(())` only after every dispatcher and connection thread has
+    /// been joined — no detached threads survive this call.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut dispatcher_handles = Vec::new();
+        for i in 0..self.dispatchers {
+            let inner = Arc::clone(&self.inner);
+            inner.live_dispatchers.fetch_add(1, Ordering::SeqCst);
+            dispatcher_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dispatch-{i}"))
+                    .spawn(move || {
+                        run_dispatcher(
+                            &inner.queue,
+                            &inner.pool,
+                            inner.runner.as_ref(),
+                            &inner.stats,
+                            &inner.router,
+                        );
+                        inner.live_dispatchers.fetch_sub(1, Ordering::SeqCst);
+                    })?,
+            );
+        }
+
+        let mut conn_handles = Vec::new();
+        let mut draining = false;
+        loop {
+            if !draining && signal::shutdown_requested() {
+                draining = true;
+                // From here on `queue.push` answers `ShuttingDown`;
+                // already-admitted jobs keep draining.
+                self.inner.queue.close();
+            }
+            if draining && self.inner.live_dispatchers.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let inner = Arc::clone(&self.inner);
+                    let id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                    conn_handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("conn-{id}"))
+                            .spawn(move || handle_connection(inner, stream, id))?,
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        for h in dispatcher_handles {
+            let _ = h.join();
+        }
+        // Dispatchers are gone, so all responses are in the connection
+        // channels; now stop the connection threads and flush.
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        for h in conn_handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Reads length-prefixed requests from one tenant connection; immediate
+/// responses and dispatcher results share the connection's outbound
+/// channel, serialized by a dedicated writer thread.
+fn handle_connection(inner: Arc<Inner>, stream: TcpStream, conn_id: u64) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let (tx, rx) = mpsc::channel::<Json>();
+    inner.router.register(conn_id, tx.clone());
+
+    let writer_inner = Arc::clone(&inner);
+    let writer = std::thread::spawn(move || {
+        let mut out = write_half;
+        loop {
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(doc) => {
+                    if write_frame(&mut out, &doc).is_err() {
+                        return;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if writer_inner.stopped.load(Ordering::SeqCst) {
+                        // Flush anything already queued, then exit.
+                        while let Ok(doc) = rx.try_recv() {
+                            if write_frame(&mut out, &doc).is_err() {
+                                return;
+                            }
+                        }
+                        return;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    });
+
+    let mut read_half = stream;
+    loop {
+        match read_frame_polling(&mut read_half, &inner) {
+            Ok(Some(doc)) => {
+                if let Some(resp) = process_request(&inner, &doc, conn_id) {
+                    let _ = tx.send(encode_response(&resp));
+                }
+            }
+            // Stop requested between frames.
+            Ok(None) => break,
+            Err(WireError::Malformed(detail)) => {
+                // The stream may be desynchronized after a framing
+                // error: answer, then drop the connection.
+                let _ = tx.send(encode_response(&Response::BadRequest { detail }));
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    inner.router.deregister(conn_id);
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Reads one frame from a socket with a read timeout, returning
+/// `Ok(None)` if the server stopped while waiting **between** frames.
+/// Once a frame has started, timeouts keep polling so a slow sender is
+/// not misread as a desync.
+fn read_frame_polling(stream: &mut TcpStream, inner: &Inner) -> Result<Option<Json>, WireError> {
+    let mut len_buf = [0u8; 4];
+    read_exact_polling(stream, &mut len_buf, true, inner)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Malformed(format!(
+            "announced frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_polling(stream, &mut payload, false, inner)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| WireError::Malformed("frame is not UTF-8".into()))?;
+    Json::parse(text)
+        .map(Some)
+        .map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// `read_exact` over a socket with a read timeout. `interruptible` is
+/// true only before the first byte of a frame: that is the safe point to
+/// give up when the server is stopping.
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    interruptible: bool,
+    inner: &Inner,
+) -> Result<(), WireError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return Err(WireError::Closed),
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if interruptible && got == 0 && inner.stopped.load(Ordering::SeqCst) {
+                    return Err(WireError::Closed);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+// A sentinel for "stop requested, close quietly" would complicate the
+// WireError enum; instead read_frame_polling maps it to `Closed`, which
+// the reader loop treats identically (deregister + join writer).
+
+/// Handles one decoded request; `None` means the response will arrive
+/// later through the router (an admitted solve).
+fn process_request(inner: &Arc<Inner>, doc: &Json, conn_id: u64) -> Option<Response> {
+    let req = match decode_request(doc) {
+        Ok(req) => req,
+        Err(e) => {
+            return Some(Response::BadRequest {
+                detail: e.to_string(),
+            })
+        }
+    };
+    match req {
+        Request::Ping => Some(Response::Ok(Json::Obj(vec![(
+            "pong".into(),
+            Json::Bool(true),
+        )]))),
+        Request::Stats => Some(Response::Ok(inner.stats_doc())),
+        Request::Shutdown => {
+            signal::request_shutdown();
+            Some(Response::Ok(Json::Obj(vec![(
+                "draining".into(),
+                Json::Bool(true),
+            )])))
+        }
+        Request::Chaos(cmd) => {
+            ServiceStats::bump(&inner.stats.chaos_cmds);
+            inner.arm_chaos(&cmd);
+            let kind = match cmd {
+                ChaosCmd::Off => "off",
+                ChaosCmd::Panic { .. } => "panic",
+                ChaosCmd::Stall { .. } => "stall",
+            };
+            Some(Response::Ok(Json::Obj(vec![(
+                "chaos".into(),
+                Json::str(kind),
+            )])))
+        }
+        Request::Solve(spec) => {
+            ServiceStats::bump(&inner.stats.offered);
+            if signal::shutdown_requested() {
+                ServiceStats::bump(&inner.stats.rejected);
+                return Some(Response::Rejected(Rejected::ShuttingDown));
+            }
+            if let Err(rejected) = spec.validate(&inner.limits) {
+                ServiceStats::bump(&inner.stats.rejected);
+                return Some(Response::Rejected(rejected));
+            }
+            let id = inner.next_job_id.fetch_add(1, Ordering::Relaxed);
+            let job = QueuedJob {
+                id,
+                spec,
+                admitted_at: std::time::Instant::now(),
+                reply_to: conn_id,
+            };
+            match inner.queue.push(job) {
+                Ok(()) => {
+                    ServiceStats::bump(&inner.stats.accepted);
+                    None
+                }
+                Err(rejected) => {
+                    ServiceStats::bump(&inner.stats.rejected);
+                    Some(Response::Rejected(rejected))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! SIGINT/SIGTERM → graceful drain, without a libc crate.
+//!
+//! The offline build cannot add a signal-handling dependency, so this
+//! module declares the single C function it needs (`signal(2)`) directly.
+//! The handler body is async-signal-safe by construction: it stores one
+//! `AtomicBool` and returns. The server's accept loop polls the flag and
+//! begins the drain from ordinary Rust code.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown was requested (by signal or by
+/// [`request_shutdown`]).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests a graceful drain from ordinary code (the `shutdown` protocol
+/// command uses this; tests use it in place of delivering real signals).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Resets the flag. Test-only escape hatch: the flag is process-global,
+/// and integration tests start several servers in one process.
+pub fn reset_for_test() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// Installs SIGINT and SIGTERM handlers that set the shutdown flag.
+/// Safe to call more than once. No-op on non-Unix targets.
+#[cfg(unix)]
+pub fn install_handlers() {
+    // Values from the Linux/POSIX ABI; stable for the platforms the
+    // container targets.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store, no allocation, no
+        // locks, no formatting.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // `signal(2)`: sighandler_t signal(int signum, sighandler_t
+        // handler). Function pointers cross the FFI boundary as plain
+        // addresses.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    // SAFETY: `signal` is the libc function of that name (the process is
+    // always linked against libc on unix targets); the handler passed is
+    // a valid `extern "C" fn(i32)` for the lifetime of the process, and
+    // its body is async-signal-safe (one atomic store). The returned
+    // previous handler is deliberately discarded.
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// Installs SIGINT and SIGTERM handlers that set the shutdown flag.
+/// Safe to call more than once. No-op on non-Unix targets.
+#[cfg(not(unix))]
+pub fn install_handlers() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reset_toggle_the_flag() {
+        reset_for_test();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_test();
+        assert!(!shutdown_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn handlers_install_without_crashing() {
+        install_handlers();
+        install_handlers();
+    }
+}

@@ -1,0 +1,71 @@
+//! Service-wide counters, exported over the `stats` protocol command.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use threefive_bench::json::Json;
+
+/// Monotonic counters for the daemon's lifetime. All loads/stores are
+/// relaxed: these are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Solve requests received (before admission).
+    pub offered: AtomicU64,
+    /// Jobs admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Typed admission refusals (all reasons).
+    pub rejected: AtomicU64,
+    /// Jobs that completed with a checksum.
+    pub completed: AtomicU64,
+    /// Admitted jobs that failed for a non-deadline reason.
+    pub failed: AtomicU64,
+    /// Admitted jobs whose deadline expired before a result.
+    pub timed_out: AtomicU64,
+    /// Chaos commands processed.
+    pub chaos_cmds: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as a JSON object fragment (merged into the `stats`
+    /// response alongside pool and queue gauges).
+    pub fn to_json(&self) -> Vec<(String, Json)> {
+        let read = |c: &AtomicU64| Json::num(c.load(Ordering::Relaxed) as f64);
+        vec![
+            ("offered".into(), read(&self.offered)),
+            ("accepted".into(), read(&self.accepted)),
+            ("rejected".into(), read(&self.rejected)),
+            ("completed".into(), read(&self.completed)),
+            ("failed".into(), read(&self.failed)),
+            ("timed_out".into(), read(&self.timed_out)),
+            ("chaos_cmds".into(), read(&self.chaos_cmds)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_export_as_json() {
+        let s = ServiceStats::default();
+        ServiceStats::bump(&s.offered);
+        ServiceStats::bump(&s.offered);
+        ServiceStats::bump(&s.completed);
+        let fields = s.to_json();
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(name, _)| name == k)
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap()
+        };
+        assert_eq!(get("offered"), 2.0);
+        assert_eq!(get("completed"), 1.0);
+        assert_eq!(get("rejected"), 0.0);
+    }
+}

@@ -27,6 +27,16 @@ pub enum SyncError {
         /// Team generation (run index) in which the panic occurred.
         generation: usize,
     },
+    /// A watchdogged run was requested with a deadline that had already
+    /// expired (zero remaining time). Nothing was dispatched: the team
+    /// never saw the job, no member ran, and the team is not quarantined.
+    /// Callers computing a *remaining* deadline (e.g. a service dequeuing
+    /// a job admitted long ago) get an immediate typed timeout instead of
+    /// paying for a doomed dispatch.
+    DeadlineExpired {
+        /// The (already elapsed) deadline as given.
+        deadline: Duration,
+    },
     /// The watchdog deadline elapsed with at least one member still
     /// running. `tid` names the first straggler; the team is quarantined
     /// until that member finishes.
@@ -55,6 +65,12 @@ impl fmt::Display for SyncError {
             }
             SyncError::TeamPanicked { generation } => {
                 write!(f, "a team member panicked in generation {generation}")
+            }
+            SyncError::DeadlineExpired { deadline } => {
+                write!(
+                    f,
+                    "deadline of {deadline:?} already expired before dispatch"
+                )
             }
             SyncError::TeamStalled { tid, phase } => {
                 write!(f, "team member {tid} stalled in generation {phase}")

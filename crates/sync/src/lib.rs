@@ -14,6 +14,10 @@
 //! * [`ThreadTeam`] — a pool of persistent workers that repeatedly execute
 //!   borrowed closures (`run(|tid| …)`), so the executor pays thread spawn
 //!   cost once per run, not once per time step;
+//! * [`TeamPool`] — a fixed set of persistent teams behind RAII
+//!   checkout/checkin leases, with health probing, quarantine of stalled
+//!   teams and heal accounting — the serving layer's isolation boundary
+//!   between tenants;
 //! * [`SharedSlice`] — the unsafe-but-audited escape hatch that lets team
 //!   members write disjoint regions of one buffer in parallel, as the row
 //!   partitioning guarantees;
@@ -36,6 +40,7 @@ mod error;
 mod instrument;
 mod observer;
 mod pad;
+mod pool;
 mod shared;
 mod team;
 mod tournament;
@@ -46,6 +51,7 @@ pub use error::SyncError;
 pub use instrument::{Instrument, SweepTiming, ThreadTiming, WaitHistogram, WAIT_HIST_BUCKETS};
 pub use observer::Observer;
 pub use pad::CachePadded;
+pub use pool::{TeamLease, TeamPool, DEFAULT_PROBE_DEADLINE};
 pub use shared::SharedSlice;
 pub use team::ThreadTeam;
 pub use tournament::{TournamentBarrier, TournamentWaiter};

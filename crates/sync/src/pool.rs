@@ -1,0 +1,408 @@
+//! Persistent team pool: checkout/checkin with quarantine and heal
+//! accounting.
+//!
+//! A long-running solver service keeps its pinned [`ThreadTeam`]s hot
+//! across jobs instead of spawning threads per request. [`TeamPool`] owns
+//! a fixed set of teams and hands them out one job at a time through RAII
+//! [`TeamLease`]s; fault isolation between tenants is the pool's job:
+//!
+//! * a lease marked **suspect** (its job failed with a sync error) is
+//!   health-probed at checkin with a trivial watchdogged no-op run
+//!   ([`ThreadTeam::try_run_for`]). A probe that times out means a
+//!   straggler from the failed job is still wedged inside the team — the
+//!   team is moved to the **quarantined** side list instead of back into
+//!   circulation, so the next tenant can never be dispatched on top of a
+//!   stalled generation;
+//! * quarantined teams are **re-probed on every checkout**: once the
+//!   straggler drains, [`ThreadTeam::try_run_for`]'s internal heal re-arms
+//!   the team and the pool returns it to the idle set, bumping the heal
+//!   counter. The pool never drops a quarantined team and never creates
+//!   replacements, so the total team count is a hard invariant:
+//!   `idle + quarantined + leased == capacity` at all times — repeated
+//!   poison→heal cycles can neither leak teams nor inflate the pool.
+//!
+//! The pool is a cold-path allocator of execution contexts; all fast-path
+//! work happens inside the leased team. Checkout blocks (bounded) on a
+//! condvar rather than spinning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::{SyncError, ThreadTeam};
+
+/// Default watchdog deadline for the checkin/checkout health probes.
+pub const DEFAULT_PROBE_DEADLINE: Duration = Duration::from_millis(200);
+
+struct PoolInner {
+    /// Teams ready for checkout.
+    idle: Vec<ThreadTeam>,
+    /// Teams whose last health probe timed out; re-probed on checkout.
+    quarantined: Vec<ThreadTeam>,
+    /// Teams currently leased to jobs.
+    leased: usize,
+}
+
+/// A fixed-size pool of persistent [`ThreadTeam`]s with quarantine/heal
+/// bookkeeping (see the module docs for the isolation protocol).
+pub struct TeamPool {
+    threads_per_team: usize,
+    capacity: usize,
+    probe_deadline: Duration,
+    inner: Mutex<PoolInner>,
+    freed: Condvar,
+    /// Total quarantine entries (a suspect checkin probe timed out).
+    isolations: AtomicUsize,
+    /// Total heals (a quarantined team passed a later probe).
+    heals: AtomicUsize,
+}
+
+impl TeamPool {
+    /// Creates `teams` teams of `threads_per_team` members each, all idle.
+    ///
+    /// # Panics
+    /// Panics if `teams == 0` or `threads_per_team == 0`.
+    pub fn new(teams: usize, threads_per_team: usize) -> Self {
+        assert!(teams > 0, "TeamPool: need at least one team");
+        assert!(threads_per_team > 0, "TeamPool: need at least one thread");
+        Self {
+            threads_per_team,
+            capacity: teams,
+            probe_deadline: DEFAULT_PROBE_DEADLINE,
+            inner: Mutex::new(PoolInner {
+                idle: (0..teams)
+                    .map(|_| ThreadTeam::new(threads_per_team))
+                    .collect(),
+                quarantined: Vec::new(),
+                leased: 0,
+            }),
+            freed: Condvar::new(),
+            isolations: AtomicUsize::new(0),
+            heals: AtomicUsize::new(0),
+        }
+    }
+
+    /// Overrides the health-probe watchdog deadline (default
+    /// [`DEFAULT_PROBE_DEADLINE`]). Shorter deadlines detect wedged teams
+    /// faster at the cost of false positives on heavily loaded hosts —
+    /// harmless ones: a false quarantine heals at the next checkout probe.
+    pub fn with_probe_deadline(mut self, deadline: Duration) -> Self {
+        self.probe_deadline = deadline.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Total number of teams the pool owns (leased + idle + quarantined).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Members per team.
+    pub fn threads_per_team(&self) -> usize {
+        self.threads_per_team
+    }
+
+    /// Teams currently ready for checkout (after reclaiming any healed
+    /// quarantined teams).
+    pub fn idle(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        self.reclaim_locked(&mut inner);
+        inner.idle.len()
+    }
+
+    /// Teams currently in the quarantined side list.
+    pub fn quarantined(&self) -> usize {
+        self.inner.lock().unwrap().quarantined.len()
+    }
+
+    /// Teams currently leased out.
+    pub fn leased(&self) -> usize {
+        self.inner.lock().unwrap().leased
+    }
+
+    /// Total times a suspect team was quarantined.
+    pub fn isolation_count(&self) -> usize {
+        self.isolations.load(Ordering::Relaxed)
+    }
+
+    /// Total times a quarantined team healed and rejoined the idle set.
+    pub fn heal_count(&self) -> usize {
+        self.heals.load(Ordering::Relaxed)
+    }
+
+    /// Checks out a team, blocking up to `timeout` for one to free up.
+    ///
+    /// Returns `None` if no team became available in time — every team is
+    /// leased or quarantined. The caller decides the policy (reject the
+    /// job, retry, …); the pool never over-allocates.
+    pub fn checkout(&self, timeout: Duration) -> Option<TeamLease<'_>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            self.reclaim_locked(&mut inner);
+            if let Some(team) = inner.idle.pop() {
+                inner.leased += 1;
+                return Some(TeamLease {
+                    pool: self,
+                    team: Some(team),
+                    suspect: false,
+                });
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.freed.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Re-probes every quarantined team; healed ones rejoin the idle set.
+    ///
+    /// [`ThreadTeam::is_quarantined`] turning false means the straggler
+    /// drained; the probe run then heals (re-arms) the team. Must be
+    /// called with the pool lock held.
+    fn reclaim_locked(&self, inner: &mut PoolInner) {
+        let mut still_quarantined = Vec::new();
+        for team in inner.quarantined.drain(..) {
+            if !team.is_quarantined() && probe(&team, self.probe_deadline) {
+                self.heals.fetch_add(1, Ordering::Relaxed);
+                inner.idle.push(team);
+            } else {
+                still_quarantined.push(team);
+            }
+        }
+        inner.quarantined = still_quarantined;
+    }
+
+    /// Returns a leased team to the pool (called by [`TeamLease::drop`]).
+    fn checkin(&self, team: ThreadTeam, suspect: bool) {
+        let healthy = if suspect {
+            // The job failed with a sync error: a member may still be
+            // wedged inside the team. One watchdogged no-op run decides —
+            // drained teams come back clean, stalled ones are isolated.
+            !team.is_quarantined() && probe(&team, self.probe_deadline)
+        } else {
+            true
+        };
+        let mut inner = self.inner.lock().unwrap();
+        inner.leased -= 1;
+        if healthy {
+            inner.idle.push(team);
+        } else {
+            self.isolations.fetch_add(1, Ordering::Relaxed);
+            inner.quarantined.push(team);
+        }
+        drop(inner);
+        self.freed.notify_all();
+    }
+}
+
+/// One watchdogged no-op dispatch; `true` means every member answered
+/// within the deadline (and any earlier quarantine was healed on entry).
+fn probe(team: &ThreadTeam, deadline: Duration) -> bool {
+    matches!(
+        team.try_run_for(Arc::new(|_tid: usize| {}), deadline),
+        Ok(()) | Err(SyncError::TeamPanicked { .. })
+    )
+}
+
+/// RAII lease on one pooled team; checked back in on drop.
+///
+/// Call [`TeamLease::mark_suspect`] when the job running on this team
+/// failed with a sync error (panic, barrier timeout, stall) so checkin
+/// health-probes the team instead of trusting it.
+pub struct TeamLease<'a> {
+    pool: &'a TeamPool,
+    team: Option<ThreadTeam>,
+    suspect: bool,
+}
+
+impl TeamLease<'_> {
+    /// The leased team.
+    pub fn team(&self) -> &ThreadTeam {
+        self.team.as_ref().expect("lease is live until drop")
+    }
+
+    /// Flags the team for a health probe at checkin.
+    pub fn mark_suspect(&mut self) {
+        self.suspect = true;
+    }
+}
+
+impl std::ops::Deref for TeamLease<'_> {
+    type Target = ThreadTeam;
+    fn deref(&self) -> &ThreadTeam {
+        self.team()
+    }
+}
+
+impl Drop for TeamLease<'_> {
+    fn drop(&mut self) {
+        let team = self.team.take().expect("double drop is impossible");
+        self.pool.checkin(team, self.suspect);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn checkout_runs_and_checkin_recycles() {
+        let pool = TeamPool::new(2, 3);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let lease = pool.checkout(Duration::from_secs(5)).expect("idle team");
+            lease
+                .try_run(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+        }
+        assert_eq!(hits.into_inner(), 30);
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.leased(), 0);
+        assert_eq!(pool.quarantined(), 0);
+    }
+
+    #[test]
+    fn exhausted_pool_times_out_instead_of_overallocating() {
+        let pool = TeamPool::new(1, 2);
+        let lease = pool.checkout(Duration::from_millis(10)).unwrap();
+        assert!(pool.checkout(Duration::from_millis(30)).is_none());
+        drop(lease);
+        assert!(pool.checkout(Duration::from_millis(100)).is_some());
+    }
+
+    #[test]
+    fn panicked_job_does_not_quarantine_the_team() {
+        // A member panic drains the generation; the team stays usable and
+        // the suspect probe must pass.
+        let pool = TeamPool::new(1, 2);
+        {
+            let mut lease = pool.checkout(Duration::from_secs(5)).unwrap();
+            let err = lease
+                .try_run(|tid| {
+                    if tid == 1 {
+                        panic!("injected");
+                    }
+                })
+                .unwrap_err();
+            assert!(matches!(err, SyncError::TeamPanicked { .. }));
+            lease.mark_suspect();
+        }
+        assert_eq!(pool.quarantined(), 0);
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.isolation_count(), 0);
+    }
+
+    /// A job whose worker `tid == 1` wedges until `release` goes true.
+    fn wedge_job(release: &Arc<AtomicBool>) -> Arc<impl Fn(usize) + Send + Sync + 'static> {
+        let release = Arc::clone(release);
+        Arc::new(move |tid: usize| {
+            if tid == 1 {
+                while !release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn stalled_job_quarantines_and_heals() {
+        let pool = TeamPool::new(1, 2).with_probe_deadline(Duration::from_millis(20));
+        let release = Arc::new(AtomicBool::new(false));
+        {
+            let mut lease = pool.checkout(Duration::from_secs(5)).unwrap();
+            let err = lease
+                .team()
+                .try_run_for(wedge_job(&release), Duration::from_millis(20))
+                .unwrap_err();
+            assert!(matches!(err, SyncError::TeamStalled { .. }));
+            lease.mark_suspect();
+        }
+        assert_eq!(pool.quarantined(), 1);
+        assert_eq!(pool.isolation_count(), 1);
+        // The only team is wedged: checkout must fail, not hang or
+        // hand out the poisoned team.
+        assert!(pool.checkout(Duration::from_millis(50)).is_none());
+        // Straggler drains -> the next checkout reclaims the team.
+        release.store(true, Ordering::Release);
+        let lease = wait_checkout(&pool);
+        assert_eq!(pool.heal_count(), 1);
+        drop(lease);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    fn wait_checkout(pool: &TeamPool) -> TeamLease<'_> {
+        for _ in 0..400 {
+            if let Some(l) = pool.checkout(Duration::from_millis(25)) {
+                return l;
+            }
+        }
+        panic!("pool never healed");
+    }
+
+    #[test]
+    fn repeated_quarantine_heal_cycles_keep_pool_size_stable() {
+        // Regression (satellite): N poison->heal rounds must neither leak
+        // quarantined teams nor lose heal counts — the team population is
+        // exactly `capacity` throughout, and every quarantine is matched
+        // by a heal once the straggler drains.
+        const ROUNDS: usize = 8;
+        let pool = TeamPool::new(2, 2).with_probe_deadline(Duration::from_millis(20));
+        for round in 1..=ROUNDS {
+            let release = Arc::new(AtomicBool::new(false));
+            {
+                let mut lease = pool.checkout(Duration::from_secs(5)).unwrap();
+                let err = lease
+                    .team()
+                    .try_run_for(wedge_job(&release), Duration::from_millis(15))
+                    .unwrap_err();
+                assert!(matches!(err, SyncError::TeamStalled { .. }), "{err:?}");
+                lease.mark_suspect();
+            }
+            assert_eq!(pool.isolation_count(), round, "round {round}");
+            // Population invariant holds mid-quarantine...
+            assert_eq!(pool.idle() + pool.quarantined() + pool.leased(), 2);
+            release.store(true, Ordering::Release);
+            // ...and the team heals back into circulation.
+            let healed = std::iter::repeat_with(|| {
+                std::thread::sleep(Duration::from_millis(5));
+                pool.idle() == 2
+            })
+            .take(400)
+            .any(|h| h);
+            assert!(healed, "round {round}: pool never healed to full size");
+            assert_eq!(pool.heal_count(), round, "round {round}");
+            assert_eq!(pool.quarantined(), 0, "round {round}");
+        }
+        // After all rounds: full capacity idle, zero leaked teams.
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.leased(), 0);
+        assert_eq!(pool.isolation_count(), ROUNDS);
+        assert_eq!(pool.heal_count(), ROUNDS);
+    }
+
+    #[test]
+    fn concurrent_checkouts_share_the_pool() {
+        let pool = Arc::new(TeamPool::new(2, 2));
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        let lease = pool.checkout(Duration::from_secs(10)).expect("team");
+                        lease.try_run(|_| {}).unwrap();
+                        drop(lease);
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(done.into_inner(), 120);
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.leased(), 0);
+    }
+}

@@ -226,12 +226,23 @@ impl ThreadTeam {
     /// The deadline also covers the caller's own `f(0)`, but a stall *in*
     /// `f(0)` blocks the calling thread itself; the watchdog can only
     /// detect worker stalls.
+    ///
+    /// An **already-expired** deadline (`Duration::ZERO`) returns
+    /// [`SyncError::DeadlineExpired`] immediately *without dispatching*:
+    /// no member runs `f`, and the team is neither poisoned nor
+    /// quarantined. Callers that compute a remaining deadline
+    /// (`total.saturating_sub(elapsed)`) therefore get a typed timeout
+    /// for jobs that ran out of time while queued, instead of paying for
+    /// a dispatch that is guaranteed to be flagged as stalled.
     pub fn try_run_for<F>(&self, f: Arc<F>, deadline: Duration) -> Result<(), SyncError>
     where
         F: Fn(usize) + Send + Sync + 'static,
     {
         let sh = &*self.shared;
         self.heal()?;
+        if deadline.is_zero() {
+            return Err(SyncError::DeadlineExpired { deadline });
+        }
         *sh.static_job.lock().unwrap() = Some(f.clone() as SharedJob);
         let start = Instant::now();
         let gen = self.publish(0, STATIC_JOB);
@@ -551,6 +562,36 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.into_inner(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_refuses_without_dispatching() {
+        // Regression: an already-expired deadline used to dispatch the job
+        // anyway (the caller even executed f(0) in full) and only then
+        // notice the timeout. It must refuse up front: nothing runs, and
+        // the team is immediately reusable.
+        let team = ThreadTeam::new(3);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let job = {
+            let ran = Arc::clone(&ran);
+            Arc::new(move |_tid: usize| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let err = team
+            .try_run_for(Arc::clone(&job), Duration::ZERO)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SyncError::DeadlineExpired {
+                deadline: Duration::ZERO
+            }
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "job must not have run");
+        assert!(!team.is_quarantined());
+        // A healthy follow-up run works on the first try.
+        team.try_run_for(job, Duration::from_secs(5)).unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
     }
 
     #[test]

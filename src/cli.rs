@@ -26,6 +26,14 @@ pub enum CliError {
         /// The value as given.
         value: String,
     },
+    /// A flag the subcommand does not define (see [`ensure_known`]) — a
+    /// typo like `--deadlien` is diagnosed, never silently ignored.
+    UnknownFlag {
+        /// The offending flag, without the `--` prefix.
+        flag: String,
+        /// The flags the subcommand accepts.
+        expected: Vec<&'static str>,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -33,6 +41,16 @@ impl fmt::Display for CliError {
         match self {
             CliError::InvalidValue { flag, value } => {
                 write!(f, "invalid value '{value}' for --{flag}")
+            }
+            CliError::UnknownFlag { flag, expected } => {
+                write!(f, "unknown flag --{flag} (expected ")?;
+                for (i, e) in expected.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "--{e}")?;
+                }
+                f.write_str(")")
             }
         }
     }
@@ -88,6 +106,26 @@ pub fn getstr(opts: &HashMap<String, String>, key: &str, default: &str) -> Strin
     opts.get(key)
         .cloned()
         .unwrap_or_else(|| default.to_string())
+}
+
+/// Rejects any parsed flag not in `known` with
+/// [`CliError::UnknownFlag`] naming both the flag and the accepted set.
+/// Subcommands with a closed flag set call this right after
+/// [`parse_opts`], so a misspelled option is an error instead of a
+/// silently applied default.
+pub fn ensure_known(
+    opts: &HashMap<String, String>,
+    known: &'static [&'static str],
+) -> Result<(), CliError> {
+    for flag in opts.keys() {
+        if !known.contains(&flag.as_str()) {
+            return Err(CliError::UnknownFlag {
+                flag: flag.clone(),
+                expected: known.to_vec(),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -149,6 +187,30 @@ mod tests {
         // job (Blocking35::try_new), not the parser's.
         let opts = parse_opts(&args(&["--dimt", "0"]));
         assert_eq!(get(&opts, "dimt", 2usize), Ok(0));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error_naming_flag_and_expectations() {
+        let opts = parse_opts(&args(&["--deadlien", "500", "--n", "16"]));
+        let err = ensure_known(&opts, &["n", "deadline"]).unwrap_err();
+        match &err {
+            CliError::UnknownFlag { flag, expected } => {
+                assert_eq!(flag, "deadlien");
+                assert_eq!(expected, &["n", "deadline"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains("--deadlien") && msg.contains("--deadline"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn known_flags_pass_ensure_known() {
+        let opts = parse_opts(&args(&["--n", "16", "--chaos"]));
+        assert_eq!(ensure_known(&opts, &["n", "chaos", "steps"]), Ok(()));
     }
 
     #[test]

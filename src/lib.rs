@@ -56,12 +56,15 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cli;
+pub mod loadgen;
 pub mod run;
+pub mod serve_runner;
 
 pub use run::{
-    run_lbm_plan, run_plan, run_plan_observed, Downgrade, LbmDowngrade, LbmRunReport, LbmRung,
-    RunOptions, RunReport, Rung,
+    run_lbm_plan, run_lbm_plan_on_team, run_plan, run_plan_observed, run_plan_on_team, Downgrade,
+    LbmDowngrade, LbmRunReport, LbmRung, RunOptions, RunReport, Rung,
 };
+pub use serve_runner::SolverRunner;
 
 pub use threefive_analyze as analyze;
 pub use threefive_bench as bench;
@@ -71,6 +74,7 @@ pub use threefive_gpu_sim as gpu;
 pub use threefive_grid as grid;
 pub use threefive_lbm as lbm;
 pub use threefive_machine as machine;
+pub use threefive_serve as serve;
 pub use threefive_simd as simd;
 pub use threefive_sync as sync;
 

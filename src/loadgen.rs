@@ -1,0 +1,392 @@
+//! Multi-tenant load generator for the solver service.
+//!
+//! Drives a running `threefive serve` daemon with N concurrent tenant
+//! connections, measures client-observed latency and throughput at
+//! saturation, and emits a schema-versioned
+//! [`ServiceReport`]. Optional
+//! `--verify` recomputes the scalar-reference checksum for every spec
+//! locally and compares it against the daemon's answer — bit-identity
+//! across process boundaries. Optional `--chaos` arms the daemon's fault
+//! injection mid-load through the protocol, so the run also exercises
+//! quarantine, healing and per-job fault isolation under pressure.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use threefive_bench::report::HostInfo;
+use threefive_bench::service::{LatencyMs, ServiceReport, ServiceTotals, SERVICE_SCHEMA_VERSION};
+use threefive_serve::{
+    ChaosCmd, JobSpec, LbmScenario, Response, ServiceClient, Workload, PRIORITIES,
+};
+
+use crate::serve_runner::reference_checksum;
+
+/// Which workloads the generated jobs use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadMix {
+    /// Stencil heat diffusion only.
+    Stencil,
+    /// LBM only (rotating through the three scenarios).
+    Lbm,
+    /// Alternating stencil and LBM jobs.
+    Mix,
+}
+
+impl WorkloadMix {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "stencil" => Some(WorkloadMix::Stencil),
+            "lbm" => Some(WorkloadMix::Lbm),
+            "mix" => Some(WorkloadMix::Mix),
+            _ => None,
+        }
+    }
+}
+
+/// One load-generation run's parameters.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Daemon address, e.g. `127.0.0.1:7435`.
+    pub addr: String,
+    /// Concurrent tenant connections.
+    pub tenants: usize,
+    /// Total jobs to offer across all tenants.
+    pub jobs: usize,
+    /// Cubic grid edge per job.
+    pub n: usize,
+    /// Time steps per job.
+    pub steps: usize,
+    /// Temporal blocking factor.
+    pub dim_t: usize,
+    /// XY tile edge.
+    pub tile: usize,
+    /// Per-job end-to-end deadline.
+    pub deadline: Duration,
+    /// Workload selection.
+    pub mix: WorkloadMix,
+    /// Arm fault injection inside the daemon mid-run.
+    pub chaos: bool,
+    /// Recompute reference checksums locally and compare.
+    pub verify: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7435".into(),
+            tenants: 8,
+            jobs: 64,
+            n: 16,
+            steps: 4,
+            dim_t: 2,
+            tile: 16,
+            deadline: Duration::from_secs(10),
+            mix: WorkloadMix::Mix,
+            chaos: false,
+            verify: false,
+        }
+    }
+}
+
+/// Workload of the `k`-th job: round-robin over the mix so stencil and
+/// every LBM scenario appear under load, deterministically.
+fn workload_for(mix: WorkloadMix, k: usize) -> Workload {
+    const LBM: [LbmScenario; 3] = [
+        LbmScenario::ClosedBox,
+        LbmScenario::Cavity,
+        LbmScenario::Channel,
+    ];
+    match mix {
+        WorkloadMix::Stencil => Workload::Stencil,
+        WorkloadMix::Lbm => Workload::Lbm(LBM[k % LBM.len()]),
+        WorkloadMix::Mix => {
+            if k.is_multiple_of(2) {
+                Workload::Stencil
+            } else {
+                Workload::Lbm(LBM[(k / 2) % LBM.len()])
+            }
+        }
+    }
+}
+
+fn spec_for(cfg: &LoadgenConfig, k: usize) -> JobSpec {
+    JobSpec {
+        workload: workload_for(cfg.mix, k),
+        n: cfg.n,
+        steps: cfg.steps,
+        dim_t: cfg.dim_t,
+        tile: cfg.tile,
+        deadline: cfg.deadline,
+        priority: (k % PRIORITIES) as u8,
+    }
+}
+
+/// Per-tenant outcome tallies, merged after join.
+#[derive(Default)]
+struct Tally {
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    timed_out: u64,
+    verified: u64,
+    mismatched: u64,
+    latencies_ms: Vec<f64>,
+    wire_errors: Vec<String>,
+}
+
+/// Reference checksums are expensive (a scalar sweep per distinct
+/// workload); tenants share one lazily-filled cache. Keyed by workload
+/// only — every job in a run shares `n`/`steps`.
+struct RefCache {
+    inner: Mutex<HashMap<String, u64>>,
+}
+
+impl RefCache {
+    fn lookup(&self, spec: &JobSpec) -> u64 {
+        let key = spec.workload.to_string();
+        if let Some(&v) = self.inner.lock().expect("ref cache lock").get(&key) {
+            return v;
+        }
+        // Compute outside the lock: a cold miss costs a reference sweep
+        // and must not serialize every other tenant behind it. Two
+        // tenants may race the same key; both compute the same value.
+        let v = reference_checksum(spec);
+        self.inner.lock().expect("ref cache lock").insert(key, v);
+        v
+    }
+}
+
+fn tenant_loop(
+    cfg: &LoadgenConfig,
+    next_job: &AtomicUsize,
+    refs: Option<&RefCache>,
+) -> Result<Tally, String> {
+    let mut client =
+        ServiceClient::connect(&cfg.addr).map_err(|e| format!("connect to {}: {e}", cfg.addr))?;
+    // A tenant blocks for queue wait + execution; the daemon answers
+    // within the job's deadline (typed expiry) unless it is wedged —
+    // which is exactly what the generous slack here would expose.
+    client
+        .set_timeout(Some(cfg.deadline * 4 + Duration::from_secs(10)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+
+    let mut tally = Tally::default();
+    loop {
+        let k = next_job.fetch_add(1, Ordering::Relaxed);
+        if k >= cfg.jobs {
+            break;
+        }
+        let spec = spec_for(cfg, k);
+        let t0 = Instant::now();
+        match client.solve(&spec) {
+            Ok(Response::Done { completed, .. }) => {
+                tally.completed += 1;
+                tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                if let Some(refs) = refs {
+                    if completed.checksum == refs.lookup(&spec) {
+                        tally.verified += 1;
+                    } else {
+                        tally.mismatched += 1;
+                    }
+                }
+            }
+            Ok(Response::Rejected(_)) => tally.rejected += 1,
+            Ok(Response::Failed { failure, .. }) => match failure {
+                threefive_serve::JobFailure::DeadlineExpired { .. }
+                | threefive_serve::JobFailure::PoolExhausted => tally.timed_out += 1,
+                threefive_serve::JobFailure::Failed { .. } => tally.failed += 1,
+            },
+            Ok(other) => {
+                tally
+                    .wire_errors
+                    .push(format!("job {k}: unexpected response {other:?}"));
+            }
+            Err(e) => {
+                tally.wire_errors.push(format!("job {k}: {e}"));
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// Background chaos driver: alternates panic and stall fault plans inside
+/// the daemon while tenants are running, then disarms. Each `chaos`
+/// command replaces the previous plan, so faults keep re-arming as jobs
+/// consume them.
+fn chaos_loop(addr: &str, done: &AtomicBool) -> Result<u64, String> {
+    let mut client =
+        ServiceClient::connect(addr).map_err(|e| format!("chaos connect to {addr}: {e}"))?;
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("chaos set timeout: {e}"))?;
+    let mut armed = 0u64;
+    let mut flip = false;
+    while !done.load(Ordering::Relaxed) {
+        let cmd = if flip {
+            ChaosCmd::Stall {
+                tid: 1,
+                step: 2,
+                stall: Duration::from_millis(30),
+            }
+        } else {
+            ChaosCmd::Panic { tid: 0, step: 1 }
+        };
+        flip = !flip;
+        client.chaos(&cmd).map_err(|e| format!("arm chaos: {e}"))?;
+        armed += 1;
+        thread::sleep(Duration::from_millis(40));
+    }
+    client
+        .chaos(&ChaosCmd::Off)
+        .map_err(|e| format!("disarm chaos: {e}"))?;
+    Ok(armed)
+}
+
+/// Runs one load-generation campaign against a live daemon and assembles
+/// the validated report. `Err` means the *measurement* broke (connection
+/// refused, wire error, response to nobody) — job-level failures and
+/// rejections are data, not errors.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServiceReport, String> {
+    if cfg.tenants == 0 || cfg.jobs == 0 {
+        return Err("tenants and jobs must be positive".into());
+    }
+    let next_job = Arc::new(AtomicUsize::new(0));
+    let refs = cfg.verify.then(|| {
+        Arc::new(RefCache {
+            inner: Mutex::new(HashMap::new()),
+        })
+    });
+    let done = Arc::new(AtomicBool::new(false));
+
+    let t0 = Instant::now();
+    let chaos_handle = cfg.chaos.then(|| {
+        let addr = cfg.addr.clone();
+        let done = Arc::clone(&done);
+        thread::spawn(move || chaos_loop(&addr, &done))
+    });
+
+    let mut handles = Vec::with_capacity(cfg.tenants);
+    for _ in 0..cfg.tenants {
+        let cfg = cfg.clone();
+        let next_job = Arc::clone(&next_job);
+        let refs = refs.clone();
+        handles.push(thread::spawn(move || {
+            tenant_loop(&cfg, &next_job, refs.as_deref())
+        }));
+    }
+
+    let mut merged = Tally::default();
+    for h in handles {
+        let t = h.join().map_err(|_| "tenant thread panicked")??;
+        merged.completed += t.completed;
+        merged.rejected += t.rejected;
+        merged.failed += t.failed;
+        merged.timed_out += t.timed_out;
+        merged.verified += t.verified;
+        merged.mismatched += t.mismatched;
+        merged.latencies_ms.extend(t.latencies_ms);
+        merged.wire_errors.extend(t.wire_errors);
+    }
+    done.store(true, Ordering::Relaxed);
+    if let Some(h) = chaos_handle {
+        h.join().map_err(|_| "chaos thread panicked")??;
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    if !merged.wire_errors.is_empty() {
+        return Err(format!(
+            "{} request(s) got no typed answer: {}",
+            merged.wire_errors.len(),
+            merged.wire_errors.join("; ")
+        ));
+    }
+
+    let accepted = merged.completed + merged.failed + merged.timed_out;
+    let offered = accepted + merged.rejected;
+    debug_assert_eq!(offered, cfg.jobs as u64, "every job answered exactly once");
+    let latency_ms = LatencyMs::from_samples(&mut merged.latencies_ms);
+    Ok(ServiceReport {
+        schema_version: SERVICE_SCHEMA_VERSION,
+        host: HostInfo::detect(),
+        tenants: cfg.tenants,
+        chaos: cfg.chaos,
+        totals: ServiceTotals {
+            offered,
+            accepted,
+            completed: merged.completed,
+            rejected: merged.rejected,
+            failed: merged.failed,
+            timed_out: merged.timed_out,
+            verified: merged.verified,
+            mismatched: merged.mismatched,
+        },
+        latency_ms,
+        wall_secs,
+        completed_per_sec: merged.completed as f64 / wall_secs.max(1e-9),
+        offered_per_sec: offered as f64 / wall_secs.max(1e-9),
+        rejection_rate: if offered == 0 {
+            0.0
+        } else {
+            merged.rejected as f64 / offered as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_round_robin_covers_all_scenarios() {
+        let kinds: Vec<Workload> = (0..8).map(|k| workload_for(WorkloadMix::Mix, k)).collect();
+        assert!(kinds.contains(&Workload::Stencil));
+        for sc in [
+            LbmScenario::ClosedBox,
+            LbmScenario::Cavity,
+            LbmScenario::Channel,
+        ] {
+            assert!(kinds.contains(&Workload::Lbm(sc)), "{}", sc.name());
+        }
+        assert!((0..6)
+            .map(|k| workload_for(WorkloadMix::Lbm, k))
+            .all(|w| matches!(w, Workload::Lbm(_))));
+        assert!((0..6)
+            .map(|k| workload_for(WorkloadMix::Stencil, k))
+            .all(|w| w == Workload::Stencil));
+    }
+
+    #[test]
+    fn specs_rotate_priorities_within_range() {
+        let cfg = LoadgenConfig::default();
+        for k in 0..10 {
+            let s = spec_for(&cfg, k);
+            assert!(usize::from(s.priority) < PRIORITIES);
+        }
+    }
+
+    #[test]
+    fn loadgen_against_no_daemon_is_a_measurement_error() {
+        // Port 1 is never a solver daemon; the error must name the addr.
+        let cfg = LoadgenConfig {
+            addr: "127.0.0.1:1".into(),
+            tenants: 1,
+            jobs: 1,
+            ..LoadgenConfig::default()
+        };
+        let err = run_loadgen(&cfg).unwrap_err();
+        assert!(err.contains("127.0.0.1:1"), "{err}");
+    }
+
+    #[test]
+    fn zero_tenants_rejected() {
+        let cfg = LoadgenConfig {
+            tenants: 0,
+            ..LoadgenConfig::default()
+        };
+        assert!(run_loadgen(&cfg).is_err());
+    }
+}

@@ -17,12 +17,14 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use threefive::analyze::findings::AnalyzeReport;
 use threefive::bench::counters::{lbm_telemetry, stencil_telemetry, Telemetry};
 use threefive::bench::perfetto::{trace_to_chrome_json, validate_trace_str};
 use threefive::bench::report::{BenchEntry, BenchReport};
+use threefive::bench::service::ServiceReport;
 use threefive::bench::{
     measure_lbm, measure_seven_point, BenchConfig, Measurement, LBM_VARIANTS, STENCIL_VARIANTS,
 };
@@ -33,10 +35,13 @@ use threefive::gpu::kernels::{
 use threefive::gpu::timing::throughput_gtx285;
 use threefive::gpu::Device;
 use threefive::lbm::{scenarios, LbmError};
+use threefive::loadgen::{run_loadgen, LoadgenConfig, WorkloadMix};
 use threefive::machine::fermi;
 use threefive::machine::roofline::{GPU_ALU_EFF, GPU_ALU_EFF_TUNED};
 use threefive::machine::twenty_seven_point_traffic;
 use threefive::prelude::*;
+use threefive::serve::{signal, AdmissionLimits, Server, ServerConfig};
+use threefive::serve_runner::SolverRunner;
 
 type Opts = HashMap<String, String>;
 
@@ -98,6 +103,8 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&opts),
         "trace" => cmd_trace(&opts),
         "analyze" => cmd_analyze(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         "gpu" => cmd_gpu(&opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
@@ -144,6 +151,13 @@ USAGE:
   threefive analyze [--root DIR] [--deny-findings] [--out DIR]
                   [--baseline FILE]
   threefive analyze --validate FILE
+  threefive serve [--addr 127.0.0.1:7435] [--teams 2] [--threads N]
+                  [--queue 64] [--dispatchers 2] [--max-n 128] [--quiet]
+  threefive loadgen [--addr 127.0.0.1:7435] [--tenants 8] [--jobs 64]
+                  [--workload stencil|lbm|mix] [--n 16] [--steps 4]
+                  [--tile T] [--dimt K] [--deadline MS]
+                  [--chaos] [--verify] [--out DIR]
+  threefive loadgen --validate FILE
   threefive gpu   [--n 96] [--steps 2]
   threefive info"
     );
@@ -836,6 +850,156 @@ fn cmd_analyze(opts: &Opts) -> Result<(), CmdError> {
         return Err(CmdError::Msg(format!(
             "analysis failed: {active} active finding(s), {} schedule violation(s)",
             report.violations.len()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), CmdError> {
+    // A long-running daemon must not silently ignore a typo'd flag, so
+    // the flag set is closed.
+    cli::ensure_known(
+        opts,
+        &[
+            "addr",
+            "teams",
+            "threads",
+            "queue",
+            "dispatchers",
+            "max-n",
+            "quiet",
+        ],
+    )?;
+    let teams: usize = cli::get(opts, "teams", 2)?;
+    let threads: usize = cli::get(opts, "threads", (host_threads() / teams.max(1)).max(1))?;
+    let max_n: u64 = cli::get(opts, "max-n", 128)?;
+    let config = ServerConfig {
+        addr: cli::getstr(opts, "addr", "127.0.0.1:7435"),
+        teams,
+        threads_per_team: threads,
+        queue_capacity: cli::get(opts, "queue", 64)?,
+        dispatchers: cli::get(opts, "dispatchers", teams)?,
+        limits: AdmissionLimits {
+            max_cells: max_n.pow(3),
+        },
+    };
+    let quiet: bool = cli::get(opts, "quiet", false)?;
+    if config.teams == 0 || config.threads_per_team == 0 || config.queue_capacity == 0 {
+        return Err(CmdError::Msg(
+            "--teams, --threads and --queue must be positive".into(),
+        ));
+    }
+
+    signal::install_handlers();
+    let server = Server::bind(config.clone(), Arc::new(SolverRunner::new(!quiet)))?;
+    eprintln!(
+        "threefive serve: listening on {} ({} team(s) x {} thread(s), queue {}, max grid {}^3); \
+         SIGINT/SIGTERM drains and exits",
+        server.local_addr()?,
+        config.teams,
+        config.threads_per_team,
+        config.queue_capacity,
+        max_n
+    );
+    server.run()?;
+    eprintln!("threefive serve: drained, all threads joined");
+    Ok(())
+}
+
+fn cmd_loadgen(opts: &Opts) -> Result<(), CmdError> {
+    if let Some(path) = opts.get("validate") {
+        let text = std::fs::read_to_string(path)?;
+        let report = ServiceReport::validate_str(&text)
+            .map_err(|e| CmdError::Msg(format!("{path}: invalid SERVICE report: {e}")))?;
+        println!(
+            "{path}: valid SERVICE report (schema v{}, {} offered, {} completed, {} mismatched)",
+            report.schema_version,
+            report.totals.offered,
+            report.totals.completed,
+            report.totals.mismatched
+        );
+        if report.totals.mismatched > 0 {
+            return Err(CmdError::Msg(format!(
+                "{path}: {} completed job(s) returned a checksum that does not match the \
+                 scalar reference",
+                report.totals.mismatched
+            )));
+        }
+        return Ok(());
+    }
+
+    cli::ensure_known(
+        opts,
+        &[
+            "addr", "tenants", "jobs", "workload", "n", "steps", "tile", "dimt", "deadline",
+            "chaos", "verify", "out", "validate",
+        ],
+    )?;
+    let workload = cli::getstr(opts, "workload", "mix");
+    let n: usize = cli::get(opts, "n", 16)?;
+    let cfg = LoadgenConfig {
+        addr: cli::getstr(opts, "addr", "127.0.0.1:7435"),
+        tenants: cli::get(opts, "tenants", 8)?,
+        jobs: cli::get(opts, "jobs", 64)?,
+        n,
+        steps: cli::get(opts, "steps", 4)?,
+        dim_t: cli::get(opts, "dimt", 2)?,
+        tile: cli::get(opts, "tile", n)?,
+        deadline: Duration::from_millis(cli::get(opts, "deadline", 10_000u64)?),
+        mix: WorkloadMix::parse(&workload).ok_or_else(|| {
+            CmdError::Msg(format!(
+                "unknown workload '{workload}' (expected stencil, lbm or mix)"
+            ))
+        })?,
+        chaos: cli::get(opts, "chaos", false)?,
+        verify: cli::get(opts, "verify", false)?,
+    };
+
+    eprintln!(
+        "threefive loadgen: {} job(s) from {} tenant(s) against {} (workload {workload}, \
+         {n}^3, chaos {}, verify {})",
+        cfg.jobs, cfg.tenants, cfg.addr, cfg.chaos, cfg.verify
+    );
+    let report = run_loadgen(&cfg).map_err(CmdError::Msg)?;
+    let text = report.to_json_string();
+    // Self-check before writing: the emitted document must satisfy the
+    // same validator CI runs on the artifact.
+    ServiceReport::validate_str(&text)
+        .map_err(|e| CmdError::Msg(format!("internal: emitted report invalid: {e}")))?;
+
+    let t = &report.totals;
+    println!(
+        "offered {} | accepted {} | completed {} | rejected {} | failed {} | timed out {}",
+        t.offered, t.accepted, t.completed, t.rejected, t.failed, t.timed_out
+    );
+    println!(
+        "latency p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+        report.latency_ms.p50, report.latency_ms.p90, report.latency_ms.p99, report.latency_ms.max
+    );
+    println!(
+        "throughput {:.1} completed/s of {:.1} offered/s over {:.2} s; rejection rate {:.1}%",
+        report.completed_per_sec,
+        report.offered_per_sec,
+        report.wall_secs,
+        report.rejection_rate * 100.0
+    );
+    if cfg.verify {
+        println!(
+            "verification: {} bit-identical to the scalar reference, {} mismatched",
+            t.verified, t.mismatched
+        );
+    }
+    if let Some(dir) = opts.get("out") {
+        let out_dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&out_dir)?;
+        let path = out_dir.join("SERVICE_load.json");
+        std::fs::write(&path, &text)?;
+        println!("wrote {}", path.display());
+    }
+    if t.mismatched > 0 {
+        return Err(CmdError::Msg(format!(
+            "{} completed job(s) returned a checksum that does not match the scalar reference",
+            t.mismatched
         )));
     }
     Ok(())

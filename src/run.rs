@@ -161,6 +161,29 @@ pub fn run_plan_observed<T: Real, K: StencilKernel<T>>(
     opts: &RunOptions,
     obs: &Observer<'_>,
 ) -> Result<RunReport, ExecError> {
+    run_plan_on_team(kernel, grids, steps, plan, opts, None, obs)
+}
+
+/// [`run_plan_observed`] with the parallel rung scoped to a **borrowed**
+/// team.
+///
+/// The solver service leases persistent teams from a
+/// [`TeamPool`](threefive_sync::TeamPool) instead of spawning one per
+/// request; passing `Some(team)` makes the parallel rung run on that
+/// lease (its size wins over `opts.threads`) so a failure poisons only
+/// the caller's team, which the pool then health-probes on checkin. The
+/// serial rung always gets a fresh one-member team: it is the retry path
+/// after the borrowed team may have been wedged, so it must not share
+/// fate with it. `None` reproduces [`run_plan_observed`] exactly.
+pub fn run_plan_on_team<T: Real, K: StencilKernel<T>>(
+    kernel: &K,
+    grids: &mut DoubleGrid<T>,
+    steps: usize,
+    plan: Result<Plan35D, PlanError>,
+    opts: &RunOptions,
+    parallel_team: Option<&ThreadTeam>,
+    obs: &Observer<'_>,
+) -> Result<RunReport, ExecError> {
     if opts.verify_finite {
         // Corrupt input would fail every rung; reject it up front with the
         // offending coordinate instead of walking the whole ladder.
@@ -211,8 +234,18 @@ pub fn run_plan_observed<T: Real, K: StencilKernel<T>>(
             (Rung::Parallel35D, opts.threads.max(1), opts.deadline),
             (Rung::Serial35D, 1, None),
         ] {
-            let team = ThreadTeam::new(threads);
-            match try_parallel35d_sweep(kernel, grids, steps, b, &team, deadline, obs) {
+            let owned;
+            let team: &ThreadTeam = match (rung, parallel_team) {
+                // The caller's lease serves the parallel rung; the serial
+                // retry never reuses it (it may be wedged — that can be
+                // why we are retrying).
+                (Rung::Parallel35D, Some(t)) => t,
+                _ => {
+                    owned = ThreadTeam::new(threads);
+                    &owned
+                }
+            };
+            match try_parallel35d_sweep(kernel, grids, steps, b, team, deadline, obs) {
                 Ok(stats) => match finite_ok(grids, opts) {
                     Ok(()) => {
                         heal_mark(quarantined);
@@ -389,6 +422,22 @@ pub fn run_lbm_plan<T: Real>(
     opts: &RunOptions,
     obs: &Observer<'_>,
 ) -> Result<LbmRunReport, LbmError> {
+    run_lbm_plan_on_team(lat, steps, blocking, opts, None, obs)
+}
+
+/// [`run_lbm_plan`] with the parallel rung scoped to a **borrowed** team
+/// — the lattice counterpart of [`run_plan_on_team`], with the same
+/// contract: `Some(team)` confines parallel-rung failures to the
+/// caller's lease, the serial retry always runs on a fresh one-member
+/// team, and `None` reproduces [`run_lbm_plan`] exactly.
+pub fn run_lbm_plan_on_team<T: Real>(
+    lat: &mut Lattice<T>,
+    steps: usize,
+    blocking: LbmBlocking,
+    opts: &RunOptions,
+    parallel_team: Option<&ThreadTeam>,
+    obs: &Observer<'_>,
+) -> Result<LbmRunReport, LbmError> {
     if opts.verify_finite {
         lbm_finite_ok(lat)?;
     }
@@ -420,8 +469,15 @@ pub fn run_lbm_plan<T: Real>(
         (LbmRung::Parallel35D, opts.threads.max(1), opts.deadline),
         (LbmRung::Serial35D, 1, None),
     ] {
-        let team = ThreadTeam::new(threads);
-        match try_lbm35d_sweep(lat, steps, blocking, Some(&team), deadline, obs) {
+        let owned;
+        let team: &ThreadTeam = match (rung, parallel_team) {
+            (LbmRung::Parallel35D, Some(t)) => t,
+            _ => {
+                owned = ThreadTeam::new(threads);
+                &owned
+            }
+        };
+        match try_lbm35d_sweep(lat, steps, blocking, Some(team), deadline, obs) {
             Ok(updates) => match finite_or_restore(lat, opts) {
                 Ok(()) => {
                     heal_mark(quarantined);

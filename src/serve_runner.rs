@@ -1,0 +1,342 @@
+//! The facade's [`JobRunner`]: service job specs → degradation ladder.
+//!
+//! The serve crate cannot depend on this crate (the dependency arrow
+//! points binary → service → executors), so it defines the
+//! [`JobRunner`] trait and this module implements it. A job's inputs are
+//! a pure function of its spec — a fixed seed pattern for the stencil,
+//! fixed scenario parameters for LBM — which makes every result
+//! *independently checkable*: anyone can recompute the scalar-reference
+//! checksum for a spec ([`reference_checksum`]) and compare it with the
+//! daemon's answer, whichever ladder rung actually served the job.
+//!
+//! Checksums fold the exact bit patterns (`f32::to_bits`) of every cell
+//! through FNV-1a, so they are equal **iff** the result is bit-identical
+//! — the same guarantee the ladder itself makes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use threefive_bench::json::Json;
+use threefive_core::planner::kappa_35d;
+use threefive_core::{Plan35D, SevenPoint};
+use threefive_grid::{Dim3, DoubleGrid, Grid3};
+use threefive_lbm::{lbm_naive_sweep, scenarios, Lattice, LbmMode};
+use threefive_serve::LbmScenario;
+use threefive_serve::{Completed, JobFailure, JobId, JobRunner, JobSpec, RunOutcome, Workload};
+use threefive_sync::{Instrument, Observer, ThreadTeam, Tracer};
+
+use crate::run::{run_lbm_plan_on_team, run_plan_on_team, LbmRung, RunOptions, Rung};
+
+/// Diffusion coefficient every stencil job uses (fixed: results must be
+/// reproducible from the spec alone).
+pub const STENCIL_ALPHA: f32 = 0.125;
+
+/// The deterministic seed grid for stencil jobs of edge `n` (the same
+/// pattern the `trace` subcommand uses).
+pub fn job_grid(n: usize) -> Grid3<f32> {
+    Grid3::from_fn(Dim3::cube(n), |x, y, z| {
+        ((x * 13 + y * 7 + z * 3) % 17) as f32 * 0.1
+    })
+}
+
+/// The deterministic initial lattice for LBM jobs: fixed scenario
+/// parameters per wire name (matching the `lbm` subcommand's defaults).
+pub fn job_lattice(scenario: LbmScenario, n: usize) -> Lattice<f32> {
+    let dim = Dim3::cube(n);
+    match scenario {
+        LbmScenario::ClosedBox => scenarios::closed_box(dim, 1.2),
+        LbmScenario::Cavity => scenarios::lid_driven_cavity(dim, 1.2, 0.08),
+        LbmScenario::Channel => scenarios::channel_with_sphere(dim, 1.1, 0.05, n as f64 / 8.0),
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut hash: u64, values: &[f32]) -> u64 {
+    for v in values {
+        // Bit pattern, not numeric value: 0.0 and -0.0 hash differently,
+        // which is exactly what a bit-identity check wants.
+        for b in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+/// FNV-1a over the bit patterns of every cell.
+pub fn grid_checksum(grid: &Grid3<f32>) -> u64 {
+    fnv_fold(FNV_OFFSET, grid.as_slice())
+}
+
+/// FNV-1a over the bit patterns of all 19 distribution components of the
+/// source (current-state) buffer.
+pub fn lattice_checksum(lat: &Lattice<f32>) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for q in 0..threefive_lbm::model::Q {
+        hash = fnv_fold(hash, lat.src().comp(q));
+    }
+    hash
+}
+
+/// Computes the scalar-reference checksum for `spec` — the value every
+/// ladder rung must reproduce bit-exactly. This is the verifier the
+/// chaos tests and `loadgen --verify` compare daemon responses against.
+pub fn reference_checksum(spec: &JobSpec) -> u64 {
+    match spec.workload {
+        Workload::Stencil => {
+            let kernel = SevenPoint::<f32>::heat(STENCIL_ALPHA);
+            let mut grids = DoubleGrid::from_initial(job_grid(spec.n));
+            threefive_core::exec::reference_sweep(&kernel, &mut grids, spec.steps);
+            grid_checksum(grids.src())
+        }
+        Workload::Lbm(sc) => {
+            let mut lat = job_lattice(sc, spec.n);
+            lbm_naive_sweep(&mut lat, spec.steps, LbmMode::Scalar, None);
+            lattice_checksum(&lat)
+        }
+    }
+}
+
+/// Builds the forced 3.5-D plan a job's `tile`/`dim_t` ask for. The spec
+/// was validated at admission, so the blocking constructors accept it;
+/// the plan metadata (κ, buffers) is filled in honestly for telemetry.
+fn forced_plan(spec: &JobSpec) -> Plan35D {
+    let dim_xy = spec.tile.clamp(1, spec.n.max(1));
+    let dim_t = spec.dim_t.max(1);
+    let loaded = dim_xy + 2 * dim_t;
+    Plan35D {
+        radius: 1,
+        dim_t,
+        dim_xy,
+        kappa: kappa_35d(1, dim_t, loaded, loaded),
+        buffer_bytes: 4 * (2 + 2) * dim_t * dim_xy * dim_xy,
+        effective_gamma: 0.0,
+    }
+}
+
+/// Executes service jobs through the graceful-degradation ladder on a
+/// leased team.
+pub struct SolverRunner {
+    /// Emit one JSONL telemetry line per job to stderr, tagged with the
+    /// job id.
+    pub log: bool,
+}
+
+impl SolverRunner {
+    /// A runner with telemetry logging on (the daemon default).
+    pub fn new(log: bool) -> Self {
+        Self { log }
+    }
+
+    fn emit(&self, job_id: JobId, spec: &JobSpec, completed: &Completed) {
+        if !self.log {
+            return;
+        }
+        let doc = Json::Obj(vec![
+            ("job".into(), Json::num(job_id as f64)),
+            ("workload".into(), Json::str(spec.workload.to_string())),
+            ("n".into(), Json::num(spec.n as f64)),
+            ("steps".into(), Json::num(spec.steps as f64)),
+            ("rung".into(), Json::str(completed.rung.clone())),
+            (
+                "downgrades".into(),
+                Json::num(f64::from(completed.downgrades)),
+            ),
+            (
+                "checksum".into(),
+                Json::str(format!("{:016x}", completed.checksum)),
+            ),
+            (
+                "barrier_share".into(),
+                completed.barrier_share.map_or(Json::Null, Json::num),
+            ),
+            ("exec_ms".into(), Json::num(completed.exec_ms)),
+        ]);
+        eprintln!("threefive-serve: {}", compact(&doc));
+    }
+}
+
+/// One-line rendering (the JSON writer pretty-prints; telemetry lines
+/// must stay single-line for line-oriented consumers).
+fn compact(doc: &Json) -> String {
+    doc.to_string()
+        .lines()
+        .map(str::trim)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl JobRunner for SolverRunner {
+    fn run(
+        &self,
+        spec: &JobSpec,
+        team: &ThreadTeam,
+        remaining: Duration,
+        job_id: JobId,
+    ) -> RunOutcome {
+        let t0 = Instant::now();
+        let opts = RunOptions {
+            threads: team.threads(),
+            deadline: Some(remaining),
+            verify_finite: true,
+            log: false,
+        };
+        let instr = Instrument::enabled(team.threads().max(1));
+        let tracer = Tracer::disabled();
+        let obs = Observer::new(&instr, &tracer);
+
+        // The ladder already converts member panics into downgrades; this
+        // outer guard covers everything else (setup, checksumming), so a
+        // poisoned job can never unwind into the dispatch loop.
+        let attempt = catch_unwind(AssertUnwindSafe(|| match spec.workload {
+            Workload::Stencil => {
+                let kernel = SevenPoint::<f32>::heat(STENCIL_ALPHA);
+                let mut grids = DoubleGrid::from_initial(job_grid(spec.n));
+                let report = run_plan_on_team(
+                    &kernel,
+                    &mut grids,
+                    spec.steps,
+                    Ok(forced_plan(spec)),
+                    &opts,
+                    Some(team),
+                    &obs,
+                )
+                .map_err(|e| e.to_string())?;
+                let parallel_failed = report
+                    .downgrades
+                    .iter()
+                    .any(|d| d.from == Rung::Parallel35D);
+                Ok((
+                    report.rung.to_string(),
+                    report.downgrades.len() as u32,
+                    grid_checksum(grids.src()),
+                    report.rung == Rung::Parallel35D,
+                    parallel_failed,
+                ))
+            }
+            Workload::Lbm(sc) => {
+                let mut lat = job_lattice(sc, spec.n);
+                let blocking = threefive_lbm::LbmBlocking::try_new(
+                    spec.tile.clamp(1, spec.n.max(1)),
+                    spec.tile.clamp(1, spec.n.max(1)),
+                    spec.dim_t.max(1),
+                )
+                .map_err(|e| e.to_string())?;
+                let report =
+                    run_lbm_plan_on_team(&mut lat, spec.steps, blocking, &opts, Some(team), &obs)
+                        .map_err(|e| e.to_string())?;
+                let parallel_failed = report
+                    .downgrades
+                    .iter()
+                    .any(|d| d.from == LbmRung::Parallel35D);
+                Ok((
+                    report.rung.to_string(),
+                    report.downgrades.len() as u32,
+                    lattice_checksum(&lat),
+                    report.rung == LbmRung::Parallel35D,
+                    parallel_failed,
+                ))
+            }
+        }));
+
+        let exec_ms = t0.elapsed().as_secs_f64() * 1e3;
+        match attempt {
+            Ok(Ok((rung, downgrades, checksum, parallel_served, parallel_failed))) => {
+                let completed = Completed {
+                    rung,
+                    downgrades,
+                    checksum,
+                    // The barrier share is only meaningful when the
+                    // leased team's parallel rung served the job.
+                    barrier_share: parallel_served.then(|| instr.timing().barrier_share()),
+                    exec_ms,
+                };
+                self.emit(job_id, spec, &completed);
+                RunOutcome {
+                    result: Ok(completed),
+                    // The leased team is probed whenever its rung failed
+                    // (panic, stall, non-finite), even though a lower
+                    // rung rescued the job — isolation over optimism.
+                    team_suspect: parallel_failed || team.is_quarantined(),
+                }
+            }
+            Ok(Err(detail)) => RunOutcome {
+                result: Err(JobFailure::Failed { detail }),
+                team_suspect: team.is_quarantined(),
+            },
+            Err(_) => RunOutcome {
+                result: Err(JobFailure::Failed {
+                    detail: "job setup or checksum panicked".into(),
+                }),
+                team_suspect: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(workload: Workload) -> JobSpec {
+        JobSpec {
+            workload,
+            n: 12,
+            steps: 3,
+            dim_t: 2,
+            tile: 12,
+            deadline: Duration::from_secs(10),
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn stencil_job_matches_scalar_reference_bit_exactly() {
+        let s = spec(Workload::Stencil);
+        let team = ThreadTeam::new(2);
+        let runner = SolverRunner::new(false);
+        let out = runner.run(&s, &team, Duration::from_secs(10), 1);
+        let completed = out.result.expect("job should complete");
+        assert_eq!(completed.checksum, reference_checksum(&s));
+        assert!(!out.team_suspect);
+    }
+
+    #[test]
+    fn lbm_job_matches_scalar_reference_bit_exactly() {
+        for sc in [
+            LbmScenario::ClosedBox,
+            LbmScenario::Cavity,
+            LbmScenario::Channel,
+        ] {
+            let s = spec(Workload::Lbm(sc));
+            let team = ThreadTeam::new(2);
+            let runner = SolverRunner::new(false);
+            let out = runner.run(&s, &team, Duration::from_secs(10), 2);
+            let completed = out.result.expect("job should complete");
+            assert_eq!(
+                completed.checksum,
+                reference_checksum(&s),
+                "scenario {}",
+                sc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_is_bit_sensitive() {
+        let a = job_grid(8);
+        let mut b = job_grid(8);
+        let v = b.get(1, 1, 1);
+        b.set(1, 1, 1, v + 1e-7);
+        assert_ne!(grid_checksum(&a), grid_checksum(&b));
+        assert_eq!(grid_checksum(&a), grid_checksum(&job_grid(8)));
+    }
+
+    #[test]
+    fn deterministic_inputs_reproduce() {
+        let s = spec(Workload::Lbm(LbmScenario::Cavity));
+        assert_eq!(reference_checksum(&s), reference_checksum(&s));
+    }
+}
