@@ -13,8 +13,11 @@
 //!
 //! ```text
 //! compare --baseline results/BENCH_stencil_baseline.json \
-//!         --current BENCH_stencil.json [--min-ratio 0.5]
+//!         --current BENCH_stencil.json [--min-ratio 0.5] [--cross-host]
 //! ```
+//!
+//! The gate refuses to compare reports from different host fingerprints
+//! unless `--cross-host` is given (ratios across machines are noise).
 
 use std::process::ExitCode;
 
@@ -58,6 +61,7 @@ fn parse_gate_args(args: &[String]) -> Result<Option<(String, String, GateThresh
                     .parse()
                     .map_err(|e| format!("--max-barrier-growth: {e}"))?;
             }
+            "--cross-host" => t.require_same_host = false,
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -117,7 +121,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: compare [--baseline FILE --current FILE \
-                 [--min-ratio R] [--max-barrier-growth G]]"
+                 [--min-ratio R] [--max-barrier-growth G] [--cross-host]]"
             );
             return ExitCode::FAILURE;
         }

@@ -23,6 +23,11 @@ pub struct GateThresholds {
     pub min_mups_ratio: f64,
     /// Maximum allowed absolute increase of `barrier_share`.
     pub max_barrier_share_increase: f64,
+    /// Refuse to compare reports whose host fingerprints differ.
+    /// Throughput ratios against a different machine's numbers are
+    /// meaningless, so this defaults to `true`; pass `--cross-host` to
+    /// the `compare` binary to override for tripwire-only gating.
+    pub require_same_host: bool,
 }
 
 impl Default for GateThresholds {
@@ -33,6 +38,7 @@ impl Default for GateThresholds {
             // fell back to the scalar path.
             min_mups_ratio: 0.5,
             max_barrier_share_increase: 0.25,
+            require_same_host: true,
         }
     }
 }
@@ -99,6 +105,15 @@ pub fn gate_reports(
         return Err(format!(
             "cannot gate a '{}' report against a '{}' baseline",
             current.kind, baseline.kind
+        ));
+    }
+    if t.require_same_host && baseline.host.fingerprint != current.host.fingerprint {
+        return Err(format!(
+            "host fingerprint mismatch: baseline was measured on '{}' but the current \
+             report comes from '{}'; throughput ratios across machines are meaningless. \
+             Re-run `threefive bench` (and `threefive tune`) on this host to regenerate \
+             the baseline, or pass --cross-host to gate as a collapse tripwire only",
+            baseline.host.fingerprint, current.host.fingerprint
         ));
     }
     let mut out = GateOutcome::default();
@@ -237,5 +252,24 @@ mod tests {
         lbm.kind = "lbm".into();
         let stencil = report(vec![]);
         assert!(gate_reports(&lbm, &stencil, &GateThresholds::default()).is_err());
+    }
+
+    #[test]
+    fn cross_host_comparison_is_refused_by_default() {
+        let base = report(vec![entry("scalar", 100.0, None)]);
+        let mut cur = report(vec![entry("scalar", 98.0, None)]);
+        cur.host.fingerprint = "other-arch-64t-deadbeef".into();
+        let err = gate_reports(&base, &cur, &GateThresholds::default()).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        assert!(err.contains(&base.host.fingerprint), "{err}");
+        assert!(err.contains("other-arch-64t-deadbeef"), "{err}");
+        assert!(err.contains("--cross-host"), "{err}");
+        // The explicit override still gates.
+        let t = GateThresholds {
+            require_same_host: false,
+            ..GateThresholds::default()
+        };
+        let out = gate_reports(&base, &cur, &t).unwrap();
+        assert!(out.passed());
     }
 }

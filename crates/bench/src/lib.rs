@@ -50,6 +50,7 @@ pub mod counters;
 pub mod gate;
 pub mod json;
 pub mod perfetto;
+pub mod probe;
 pub mod report;
 pub mod service;
 

@@ -14,12 +14,17 @@
 //! in every entry (`null` is fine, absence is not), so a truncated or
 //! hand-edited report fails `--validate` with the field named instead of
 //! silently reading back as NaN.
+//!
+//! **Schema v3** adds a required `host.fingerprint` — a short stable
+//! identifier of the measuring machine (os/arch/cpu-model/thread-count
+//! hash). The `compare` regression gate uses it to refuse cross-host
+//! comparisons, and `TUNE.json` keys tuned plans by it.
 
 use crate::counters::Telemetry;
 use crate::json::Json;
 
 /// Version stamped into every report; bump on breaking schema changes.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Best-effort description of the measuring host.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,6 +37,12 @@ pub struct HostInfo {
     pub available_threads: usize,
     /// CPU model string from `/proc/cpuinfo`, or `"unknown"`.
     pub cpu: String,
+    /// Stable short identifier of this host (see [`HostInfo::fingerprint_of`]).
+    ///
+    /// Stored rather than recomputed on load: a report's fingerprint
+    /// describes the machine that *produced* it, which is exactly what
+    /// the cross-host gate and the tuning database need to compare.
+    pub fingerprint: String,
 }
 
 impl HostInfo {
@@ -46,12 +57,34 @@ impl HostInfo {
                     .map(|s| s.trim().to_string())
             })
             .unwrap_or_else(|| "unknown".to_string());
+        let os = std::env::consts::OS.to_string();
+        let arch = std::env::consts::ARCH.to_string();
+        let available_threads = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let fingerprint = Self::fingerprint_of(&os, &arch, available_threads, &cpu);
         Self {
-            os: std::env::consts::OS.to_string(),
-            arch: std::env::consts::ARCH.to_string(),
-            available_threads: std::thread::available_parallelism().map_or(1, |c| c.get()),
+            os,
+            arch,
+            available_threads,
             cpu,
+            fingerprint,
         }
+    }
+
+    /// Computes the canonical fingerprint for a host description:
+    /// `<os>-<arch>-<threads>t-<hash>` where the hash is FNV-1a over all
+    /// four fields (so a CPU-model change alone changes the fingerprint
+    /// even when os/arch/threads match).
+    pub fn fingerprint_of(os: &str, arch: &str, threads: usize, cpu: &str) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in [os, arch, cpu, &threads.to_string()] {
+            for &b in part.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= 0x7c; // field separator so "ab"+"c" != "a"+"bc"
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{os}-{arch}-{threads}t-{:08x}", (h >> 32) as u32 ^ h as u32)
     }
 
     /// Serializes to the JSON tree (shared with the service report).
@@ -64,6 +97,7 @@ impl HostInfo {
                 Json::Num(self.available_threads as f64),
             ),
             ("cpu".into(), Json::str(&*self.cpu)),
+            ("fingerprint".into(), Json::str(&*self.fingerprint)),
         ])
     }
 
@@ -74,6 +108,7 @@ impl HostInfo {
             arch: req_str(v, "arch")?,
             available_threads: req_u64(v, "available_threads")? as usize,
             cpu: req_str(v, "cpu")?,
+            fingerprint: req_str(v, "fingerprint")?,
         })
     }
 }
@@ -265,7 +300,8 @@ impl BenchReport {
         if version != BENCH_SCHEMA_VERSION {
             return Err(format!(
                 "schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION}; \
-                 v1 reports predate the telemetry section — regenerate with `threefive bench`)"
+                 v1 reports predate the telemetry section, v2 reports predate the host \
+                 fingerprint — regenerate with `threefive bench`)"
             ));
         }
         let kind = req_str(v, "kind")?;
@@ -432,19 +468,44 @@ mod tests {
     fn missing_fields_are_rejected() {
         assert!(BenchReport::validate_str("{}").is_err());
         assert!(BenchReport::validate_str("not json").is_err());
-        let no_entries = r#"{"schema_version": 2, "kind": "stencil",
-            "host": {"os":"l","arch":"x","available_threads":1,"cpu":"c"}}"#;
+        let no_entries = r#"{"schema_version": 3, "kind": "stencil",
+            "host": {"os":"l","arch":"x","available_threads":1,"cpu":"c",
+                     "fingerprint":"l-x-1t-0"}}"#;
         let err = BenchReport::validate_str(no_entries).unwrap_err();
         assert!(err.contains("entries"), "{err}");
+        // A v2-era host object (no fingerprint) names the missing field.
+        let no_fp = r#"{"schema_version": 3, "kind": "stencil",
+            "host": {"os":"l","arch":"x","available_threads":1,"cpu":"c"},
+            "entries": []}"#;
+        let err = BenchReport::validate_str(no_fp).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
     }
 
     #[test]
-    fn v1_reports_are_rejected_with_guidance() {
-        let mut r = BenchReport::new("stencil");
-        r.schema_version = 1;
-        let err = BenchReport::validate_str(&r.to_json_string()).unwrap_err();
-        assert!(err.contains("schema_version 1"), "{err}");
-        assert!(err.contains("regenerate"), "{err}");
+    fn old_schema_versions_are_rejected_with_guidance() {
+        for old in [1u64, 2] {
+            let mut r = BenchReport::new("stencil");
+            r.schema_version = old;
+            let err = BenchReport::validate_str(&r.to_json_string()).unwrap_err();
+            assert!(err.contains(&format!("schema_version {old}")), "{err}");
+            assert!(err.contains("regenerate"), "{err}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let a = HostInfo::fingerprint_of("linux", "x86_64", 8, "Xeon");
+        assert_eq!(a, HostInfo::fingerprint_of("linux", "x86_64", 8, "Xeon"));
+        assert!(a.starts_with("linux-x86_64-8t-"), "{a}");
+        // Every input field participates in the hash.
+        assert_ne!(a, HostInfo::fingerprint_of("linux", "x86_64", 8, "EPYC"));
+        assert_ne!(a, HostInfo::fingerprint_of("linux", "x86_64", 4, "Xeon"));
+        // detect() stamps its own fingerprint consistently.
+        let h = HostInfo::detect();
+        assert_eq!(
+            h.fingerprint,
+            HostInfo::fingerprint_of(&h.os, &h.arch, h.available_threads, &h.cpu)
+        );
     }
 
     #[test]

@@ -12,7 +12,8 @@ use crate::json::Json;
 use crate::report::HostInfo;
 
 /// Version stamped into every service report; bump on breaking changes.
-pub const SERVICE_SCHEMA_VERSION: u64 = 1;
+/// v2: the shared `host` object gained a required `fingerprint` field.
+pub const SERVICE_SCHEMA_VERSION: u64 = 2;
 
 /// Counted job outcomes over one load-generation run. The identity
 /// `offered == accepted + rejected` and
@@ -311,7 +312,7 @@ mod tests {
     fn wrong_version_and_kind_rejected() {
         let text = report()
             .to_json_string()
-            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+            .replace("\"schema_version\": 2", "\"schema_version\": 99");
         assert!(ServiceReport::validate_str(&text).is_err());
         let text = report()
             .to_json_string()

@@ -37,6 +37,26 @@ pub enum PlanError {
         /// Minimum usable edge (`2R·dimT + 1`).
         required: usize,
     },
+    /// Eq. 4 (plus the SIMD-friendly rounding) produced a *degenerate*
+    /// block edge — zero, or no interior even at `dim_T = 1` (edge ≤
+    /// `2R`). Unlike [`PlanError::BlockTooSmall`], which says "this
+    /// `dim_T` does not fit", this says the storage budget cannot hold
+    /// any usable block for this radius at all.
+    DegenerateBlock {
+        /// The degenerate edge Eq. 4 produced.
+        dim_xy: usize,
+        /// Stencil radius `R` (the edge must exceed `2R`).
+        radius: usize,
+    },
+    /// γ or Γ was not a positive finite number — garbage in (a NaN from
+    /// an upstream division, a zero-bandwidth machine model) is diagnosed
+    /// instead of flowing through `ceil()`/`sqrt()` into a bogus plan.
+    InvalidInput {
+        /// Kernel bytes/op as given.
+        gamma: f64,
+        /// Machine peak bytes/op as given.
+        big_gamma: f64,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -51,11 +71,58 @@ impl fmt::Display for PlanError {
                 f,
                 "fast storage too small: block edge {dim_xy} < required {required}"
             ),
+            PlanError::DegenerateBlock { dim_xy, radius } => write!(
+                f,
+                "degenerate block: edge {dim_xy} has no interior for radius {radius} \
+                 (needs > {}); the storage budget cannot hold any usable block",
+                2 * radius
+            ),
+            PlanError::InvalidInput { gamma, big_gamma } => write!(
+                f,
+                "invalid planner input: γ = {gamma} and Γ = {big_gamma} must be positive \
+                 finite numbers"
+            ),
         }
     }
 }
 
 impl std::error::Error for PlanError {}
+
+/// Where a plan's parameters came from: the paper's closed-form model or
+/// a measured tuning campaign. Carried through `TUNE.json` and printed by
+/// the CLI so a surprising blocking choice is always attributable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlanSource {
+    /// Eqs. 1–4 against a machine model (the paper's §V-C planner).
+    Analytical,
+    /// Measured on the host by `threefive tune` and persisted.
+    Tuned,
+}
+
+impl PlanSource {
+    /// Stable serialization name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanSource::Analytical => "analytical",
+            PlanSource::Tuned => "tuned",
+        }
+    }
+
+    /// Parses a serialization name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "analytical" => Some(PlanSource::Analytical),
+            "tuned" => Some(PlanSource::Tuned),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PlanSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A complete 3.5-D blocking plan.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -167,17 +234,48 @@ pub fn plan_35d(
     elem_bytes: usize,
     r: usize,
 ) -> Result<Plan35D, PlanError> {
+    check_ratios(gamma, big_gamma)?;
     if gamma <= big_gamma {
         return Err(PlanError::AlreadyComputeBound { gamma, big_gamma });
     }
     let dim_t = dim_t_min(gamma, big_gamma).max(2);
+    finish_plan(gamma, dim_t, cache_bytes, elem_bytes, r)
+}
+
+/// Rejects non-finite / non-positive byte-per-op ratios up front.
+fn check_ratios(gamma: f64, big_gamma: f64) -> Result<(), PlanError> {
+    if !(gamma.is_finite() && gamma > 0.0 && big_gamma.is_finite() && big_gamma > 0.0) {
+        return Err(PlanError::InvalidInput { gamma, big_gamma });
+    }
+    Ok(())
+}
+
+/// Shared tail of every planner entry point: Eq. 4 edge, rounding, and
+/// the validity checks that make an emitted plan *usable by construction*
+/// — a non-degenerate edge (`> 2R`), an interior at this `dim_T`
+/// (`≥ 2R·dimT + 1`, which also keeps κ finite), and buffers within the
+/// Eq. 1 budget.
+fn finish_plan(
+    gamma: f64,
+    dim_t: usize,
+    cache_bytes: usize,
+    elem_bytes: usize,
+    r: usize,
+) -> Result<Plan35D, PlanError> {
     let raw = dim_xy_max(cache_bytes, elem_bytes, r, dim_t);
     let dim_xy = round_block_edge(raw);
+    // Degenerate before too-small: an edge with no interior even at
+    // dim_T = 1 means no temporal depth can ever fit this budget/radius,
+    // which is a more useful diagnosis than "this dim_T doesn't fit".
+    if dim_xy <= 2 * r {
+        return Err(PlanError::DegenerateBlock { dim_xy, radius: r });
+    }
     let required = 2 * r * dim_t + 1;
     if dim_xy < required {
         return Err(PlanError::BlockTooSmall { dim_xy, required });
     }
     let kappa = kappa_35d(r, dim_t, dim_xy, dim_xy);
+    debug_assert!(kappa.is_finite(), "interior checked above");
     Ok(Plan35D {
         radius: r,
         dim_t,
@@ -202,31 +300,65 @@ pub fn plan_35d_optimal(
     elem_bytes: usize,
     r: usize,
 ) -> Result<Plan35D, PlanError> {
+    check_ratios(gamma, big_gamma)?;
     if gamma <= big_gamma {
         return Err(PlanError::AlreadyComputeBound { gamma, big_gamma });
     }
     let start = dim_t_min(gamma, big_gamma).max(2);
     let mut best: Option<Plan35D> = None;
+    let mut first_err: Option<PlanError> = None;
     // Search from the shallowest useful factor: when the cache cannot fit
     // the Eq. 3 minimum, a shallower dim_T still buys a partial reduction.
     for dim_t in 2..=start + 16 {
-        let Ok(plan) = plan_35d_forced(gamma, dim_t, cache_bytes, elem_bytes, r) else {
-            break; // deeper blocking no longer fits the fast storage
-        };
-        if dim_t >= start && plan.effective_gamma <= big_gamma {
-            return Ok(plan);
-        }
-        if best
-            .as_ref()
-            .is_none_or(|b| plan.effective_gamma < b.effective_gamma)
-        {
-            best = Some(plan);
+        match plan_35d_forced(gamma, dim_t, cache_bytes, elem_bytes, r) {
+            Ok(plan) => {
+                if dim_t >= start && plan.effective_gamma <= big_gamma {
+                    return Ok(plan);
+                }
+                if best
+                    .as_ref()
+                    .is_none_or(|b| plan.effective_gamma < b.effective_gamma)
+                {
+                    best = Some(plan);
+                }
+            }
+            Err(e) => {
+                // Deeper blocking no longer fits the fast storage; keep
+                // the typed reason (degenerate vs too-small) for the
+                // nothing-fits verdict below.
+                first_err = Some(e);
+                break;
+            }
         }
     }
-    best.ok_or(PlanError::BlockTooSmall {
-        dim_xy: dim_xy_max(cache_bytes, elem_bytes, r, 2),
-        required: 4 * r + 1,
+    best.ok_or_else(|| {
+        first_err.unwrap_or(PlanError::BlockTooSmall {
+            dim_xy: dim_xy_max(cache_bytes, elem_bytes, r, 2),
+            required: 4 * r + 1,
+        })
     })
+}
+
+/// Enumerates the analytical *candidate* plans the autotuner seeds its
+/// search from: one maximal-tile plan per temporal factor from the
+/// shallowest useful `dim_T = 1` up to `extra_depth` past the Eq. 3
+/// minimum. Infeasible depths are simply absent — the list is every plan
+/// the closed-form model considers valid, ordered by `dim_T`.
+pub fn candidate_plans(
+    gamma: f64,
+    big_gamma: f64,
+    cache_bytes: usize,
+    elem_bytes: usize,
+    r: usize,
+    extra_depth: usize,
+) -> Vec<Plan35D> {
+    if check_ratios(gamma, big_gamma).is_err() {
+        return Vec::new();
+    }
+    let start = dim_t_min(gamma, big_gamma).max(2);
+    (1..=start + extra_depth)
+        .map_while(|dim_t| plan_35d_forced(gamma, dim_t, cache_bytes, elem_bytes, r).ok())
+        .collect()
 }
 
 /// Like [`plan_35d`] but with the temporal factor fixed by the caller —
@@ -241,21 +373,13 @@ pub fn plan_35d_forced(
     r: usize,
 ) -> Result<Plan35D, PlanError> {
     assert!(dim_t >= 1, "plan_35d_forced: dim_t must be at least 1");
-    let raw = dim_xy_max(cache_bytes, elem_bytes, r, dim_t);
-    let dim_xy = round_block_edge(raw);
-    let required = 2 * r * dim_t + 1;
-    if dim_xy < required {
-        return Err(PlanError::BlockTooSmall { dim_xy, required });
+    if !(gamma.is_finite() && gamma > 0.0) {
+        return Err(PlanError::InvalidInput {
+            gamma,
+            big_gamma: f64::NAN,
+        });
     }
-    let kappa = kappa_35d(r, dim_t, dim_xy, dim_xy);
-    Ok(Plan35D {
-        radius: r,
-        dim_t,
-        dim_xy,
-        kappa,
-        buffer_bytes: elem_bytes * (2 * r + 2) * dim_t * dim_xy * dim_xy,
-        effective_gamma: gamma * kappa / dim_t as f64,
-    })
+    finish_plan(gamma, dim_t, cache_bytes, elem_bytes, r)
 }
 
 /// Rounds a block edge down to a SIMD/warp-friendly multiple when the lost
@@ -356,14 +480,17 @@ mod tests {
         // 16 KB shared memory, ℰ = 160 B... paper quotes ℰ = 160 (SP uses
         // 80 but they quote the full two-copy footprint); with dimT = 6.1
         // required, even dimT = 2 gives dimX ≤ 4 — blocking impossible.
+        // At the Eq. 3 minimum dim_T = 7 the edge collapses to 1, which
+        // has no interior for any temporal depth: a degenerate block.
         let err = plan_35d(0.88, 0.43 / 3.0, 16 * 1024, 160, 1).unwrap_err();
         match err {
-            PlanError::BlockTooSmall { dim_xy, required } => {
-                assert!(dim_xy <= 4, "{dim_xy}");
-                assert!(required >= 5);
+            PlanError::DegenerateBlock { dim_xy, radius } => {
+                assert!(dim_xy <= 2, "{dim_xy}");
+                assert_eq!(radius, 1);
             }
             other => panic!("unexpected: {other:?}"),
         }
+        assert!(err.to_string().contains("degenerate block"), "{err}");
     }
 
     #[test]
@@ -461,5 +588,119 @@ mod tests {
         let plan = plan_35d(0.5, 0.29, 4 * MB, 4, 1).unwrap();
         let expect = 0.5 * plan.kappa / plan.dim_t as f64;
         assert!((plan.effective_gamma - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_budget_scan_never_emits_invalid_plans() {
+        // Sweep storage budgets from absurdly small up past the paper's
+        // 4 MB across radii and element sizes: every Ok plan must have a
+        // usable interior and fit the Eq. 1 budget; every failure must be
+        // one of the typed geometry errors, never a degenerate plan.
+        for r in 1..=4usize {
+            for elem in [4usize, 80, 160] {
+                for shift in 8..=22 {
+                    let cache = 1usize << shift;
+                    for dim_t in 1..=6usize {
+                        match plan_35d_forced(1.5, dim_t, cache, elem, r) {
+                            Ok(p) => {
+                                assert!(p.dim_xy > 2 * r, "edge {} r {r}", p.dim_xy);
+                                assert!(p.dim_xy > 2 * r * dim_t);
+                                assert!(p.buffer_bytes <= cache, "{} > {cache}", p.buffer_bytes);
+                                assert!(p.kappa.is_finite() && p.kappa >= 1.0, "{}", p.kappa);
+                            }
+                            Err(
+                                PlanError::DegenerateBlock { dim_xy, .. }
+                                | PlanError::BlockTooSmall { dim_xy, .. },
+                            ) => {
+                                // The rejected edge really was unusable.
+                                assert!(dim_xy <= 2 * r || dim_xy < 2 * r * dim_t + 1);
+                            }
+                            Err(other) => panic!("unexpected error: {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_edges_are_typed_errors() {
+        // R = 2 with a 5 KB budget: edge rounds to 2 ≤ 2R — no interior.
+        let err = plan_35d_forced(1.0, 1, 5 << 10, 160, 2).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlanError::DegenerateBlock {
+                    dim_xy: 2,
+                    radius: 2
+                }
+            ),
+            "{err:?}"
+        );
+        // A budget too small for even one point: edge collapses to 0.
+        let err = plan_35d_forced(1.0, 1, 100, 160, 1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlanError::DegenerateBlock {
+                    dim_xy: 0,
+                    radius: 1
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("cannot hold any usable block"));
+    }
+
+    #[test]
+    fn invalid_ratios_are_typed_errors_not_panics() {
+        for (g, bg) in [
+            (f64::NAN, 0.29),
+            (0.5, f64::NAN),
+            (0.5, 0.0),
+            (-1.0, 0.29),
+            (0.5, f64::INFINITY),
+        ] {
+            let err = plan_35d(g, bg, 4 * MB, 4, 1).unwrap_err();
+            assert!(matches!(err, PlanError::InvalidInput { .. }), "{err:?}");
+            let err = plan_35d_optimal(g, bg, 4 * MB, 4, 1).unwrap_err();
+            assert!(matches!(err, PlanError::InvalidInput { .. }), "{err:?}");
+        }
+        let err = plan_35d_forced(f64::NAN, 2, 4 * MB, 4, 1).unwrap_err();
+        assert!(matches!(err, PlanError::InvalidInput { .. }), "{err:?}");
+        assert!(err.to_string().contains("invalid planner input"));
+    }
+
+    #[test]
+    fn candidate_plans_enumerates_valid_increasing_depths() {
+        let cands = candidate_plans(0.5, 0.29, 4 * MB, 4, 1, 4);
+        assert!(cands.len() >= 3, "{}", cands.len());
+        for (i, p) in cands.iter().enumerate() {
+            assert_eq!(p.dim_t, i + 1);
+            assert!(p.dim_xy > 2 * p.radius);
+            assert!(p.buffer_bytes <= 4 * MB);
+            assert!(p.kappa.is_finite());
+        }
+        // Deeper dim_T never enlarges the block edge.
+        for w in cands.windows(2) {
+            assert!(w[1].dim_xy <= w[0].dim_xy);
+        }
+        // Bad inputs or hopeless budgets yield an empty set, not a panic.
+        assert!(candidate_plans(f64::NAN, 0.29, 4 * MB, 4, 1, 4).is_empty());
+        assert!(candidate_plans(0.88, 0.1433, 100, 160, 1, 4).is_empty());
+    }
+
+    #[test]
+    fn plan_source_round_trips() {
+        for src in [PlanSource::Analytical, PlanSource::Tuned] {
+            assert_eq!(PlanSource::parse(src.as_str()), Some(src));
+            assert_eq!(src.to_string(), src.as_str());
+        }
+        assert_eq!(
+            PlanSource::parse("analytical"),
+            Some(PlanSource::Analytical)
+        );
+        assert_eq!(PlanSource::parse("tuned"), Some(PlanSource::Tuned));
+        assert_eq!(PlanSource::parse("oracle"), None);
     }
 }

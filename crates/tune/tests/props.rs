@@ -1,0 +1,104 @@
+//! Property: every plan the tuner can emit validates.
+//!
+//! For random search spaces and random candidates, anything
+//! [`SearchSpace::valid`] admits — i.e. anything the hill-climb could
+//! ever probe, and therefore anything that could ever be persisted as a
+//! winner — must (1) fit the Eq. 1 cache budget, (2) pass the symbolic
+//! race checker, and (3) produce bit-identical results vs the scalar
+//! reference. Candidates the space rejects are exempt: they can never
+//! reach the database.
+
+use proptest::prelude::*;
+use threefive_analyze::schedule::{check_schedule, ScheduleConfig, ScheduleModel};
+use threefive_bench::probe::ProbeWorkload;
+use threefive_tune::{verify_candidate, Candidate, SearchSpace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_admissible_plan_validates(
+        n in 8usize..13,
+        tile in 1usize..16,
+        dim_t in 1usize..5,
+        threads in 1usize..5,
+        steps in 1usize..4,
+        lbm in 0u8..2,
+        cache_shift in 14u32..23,
+    ) {
+        let space = SearchSpace {
+            n,
+            max_threads: 4,
+            cache_bytes: 1usize << cache_shift,
+            elem_bytes: if lbm == 1 { 80 } else { 4 },
+            r: 1,
+        };
+        let c = Candidate { tile, dim_t, threads };
+        // (No prop_assume in the in-tree shim: skip inadmissible draws.)
+        if !space.valid(&c) {
+            return Ok(());
+        }
+
+        // Eq. 1: the loaded working set fits the budget.
+        let loaded = c.tile.min(n) + 2 * c.dim_t;
+        let bytes = space.elem_bytes * 4 * c.dim_t * loaded * loaded;
+        prop_assert!(bytes <= space.cache_bytes);
+
+        // Symbolic race checker accepts the exact schedule geometry.
+        let cfg = ScheduleConfig {
+            r: 1,
+            c: c.dim_t,
+            threads: c.threads,
+            nz: n,
+            ly: loaded,
+        };
+        prop_assert!(check_schedule(&cfg, &ScheduleModel::engine()).is_empty());
+
+        // Bit-identity vs the scalar reference on a real sweep.
+        let workload = if lbm == 1 { ProbeWorkload::Lbm } else { ProbeWorkload::Stencil };
+        let verdict = verify_candidate(workload, n, steps, false, &c);
+        prop_assert!(verdict.is_ok(), "{:?}: {:?}", c, verdict);
+    }
+
+    #[test]
+    fn no_neighbor_escapes_the_space(
+        n in 8usize..13,
+        tile in 3usize..16,
+        dim_t in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        let space = SearchSpace {
+            n,
+            max_threads: 4,
+            cache_bytes: 4 << 20,
+            elem_bytes: 4,
+            r: 1,
+        };
+        let c = Candidate { tile, dim_t, threads };
+        if !space.valid(&c) {
+            return Ok(());
+        }
+        for nb in space.neighbors(&c) {
+            prop_assert!(space.valid(&nb), "{:?} escaped via {:?}", c, nb);
+        }
+    }
+
+    #[test]
+    fn seeds_are_always_admissible(
+        n in 8usize..17,
+        cache_shift in 16u32..23,
+        lbm in 0u8..2,
+    ) {
+        let space = SearchSpace {
+            n,
+            max_threads: 4,
+            cache_bytes: 1usize << cache_shift,
+            elem_bytes: if lbm == 1 { 80 } else { 4 },
+            r: 1,
+        };
+        let (gamma, big_gamma) = if lbm == 1 { (0.88, 0.29) } else { (0.5, 0.29) };
+        for seed in space.seeds(gamma, big_gamma) {
+            prop_assert!(space.valid(&seed), "{:?}", seed);
+        }
+    }
+}

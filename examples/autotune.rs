@@ -7,6 +7,10 @@
 //! ```text
 //! cargo run --release --example autotune
 //! ```
+//!
+//! The production version of this idea is the `threefive tune`
+//! subcommand (DESIGN.md §13): a hill-climb from the analytical seed
+//! whose verified winners persist per host in `TUNE.json`.
 
 use std::time::Instant;
 

@@ -77,6 +77,7 @@ pub use threefive_machine as machine;
 pub use threefive_serve as serve;
 pub use threefive_simd as simd;
 pub use threefive_sync as sync;
+pub use threefive_tune as tune;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -90,6 +91,7 @@ pub mod prelude {
         periodic35d_sweep, reference_sweep, reference_sweep_periodic, simd_sweep, temporal_sweep,
         tile_parallel35d_sweep, Blocking35,
     };
+    pub use threefive_core::planner::PlanSource;
     pub use threefive_core::{
         check_finite, plan_35d, plan_35d_forced, plan_35d_optimal, solve_steady, try_solve_steady,
         verify_executor, ExecError, GenericStar, Plan35D, PlanError, SevenPoint, SteadyState,

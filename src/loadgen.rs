@@ -148,14 +148,27 @@ struct RefCache {
 impl RefCache {
     fn lookup(&self, spec: &JobSpec) -> u64 {
         let key = spec.workload.to_string();
-        if let Some(&v) = self.inner.lock().expect("ref cache lock").get(&key) {
+        // A poisoned mutex only means some tenant thread panicked after
+        // touching the cache; the map of already-computed checksums is
+        // still valid (worst case: a racing insert is lost and the value
+        // is recomputed), so recover the guard instead of cascading the
+        // panic into every remaining tenant.
+        if let Some(&v) = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             return v;
         }
         // Compute outside the lock: a cold miss costs a reference sweep
         // and must not serialize every other tenant behind it. Two
         // tenants may race the same key; both compute the same value.
         let v = reference_checksum(spec);
-        self.inner.lock().expect("ref cache lock").insert(key, v);
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, v);
         v
     }
 }

@@ -23,7 +23,8 @@ use std::time::{Duration, Instant};
 use threefive::analyze::findings::AnalyzeReport;
 use threefive::bench::counters::{lbm_telemetry, stencil_telemetry, Telemetry};
 use threefive::bench::perfetto::{trace_to_chrome_json, validate_trace_str};
-use threefive::bench::report::{BenchEntry, BenchReport};
+use threefive::bench::probe::ProbeWorkload;
+use threefive::bench::report::{BenchEntry, BenchReport, HostInfo};
 use threefive::bench::service::ServiceReport;
 use threefive::bench::{
     measure_lbm, measure_seven_point, BenchConfig, Measurement, LBM_VARIANTS, STENCIL_VARIANTS,
@@ -42,6 +43,10 @@ use threefive::machine::twenty_seven_point_traffic;
 use threefive::prelude::*;
 use threefive::serve::{signal, AdmissionLimits, Server, ServerConfig};
 use threefive::serve_runner::SolverRunner;
+use threefive::tune::{
+    hill_climb, verify_candidate, BenchProber, ProbeBudget, SearchSpace, TuneDb, TuneEntry,
+    TunedPlan,
+};
 
 type Opts = HashMap<String, String>;
 
@@ -101,6 +106,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "lbm" => cmd_lbm(&opts),
         "bench" => cmd_bench(&opts),
+        "tune" => cmd_tune(&opts),
         "trace" => cmd_trace(&opts),
         "analyze" => cmd_analyze(&opts),
         "serve" => cmd_serve(&opts),
@@ -135,15 +141,20 @@ USAGE:
                   [--precision sp|dp] [--cache BYTES]
   threefive run   --variant ref|simd|25d|3d|4d|temporal|35d|tile35
                   [--n 128] [--steps 8] [--tile T] [--dimt K] [--threads N]
-                  [--reps R] [--warmup W] [--precision sp|dp]
+                  [--reps R] [--warmup W] [--precision sp|dp] [--db TUNE.json]
   threefive lbm   --scenario box|cavity|channel
                   --variant scalar|simd|temporal|35d
                   [--n 48] [--steps 60] [--tile T] [--dimt K] [--threads N]
                   [--timing] [--trace] [--out DIR] [--deadline MS]
   threefive bench [--n 64] [--steps 4] [--reps 3] [--warmup 1]
                   [--tile T] [--dimt K] [--threads N]
-                  [--precision sp|dp|both] [--out DIR]
+                  [--precision sp|dp|both] [--out DIR] [--db TUNE.json]
   threefive bench --validate FILE
+  threefive tune  [--workload stencil|lbm|both] [--n 64] [--steps 2]
+                  [--probes 24] [--deadline-ms 60000] [--threads N]
+                  [--reps R] [--warmup W] [--precision sp|dp|both]
+                  [--db TUNE.json]
+  threefive tune  --validate FILE
   threefive trace [--nx X --ny Y --nz Z | --n N] [--dimt K] [--steps S]
                   [--tile T] [--threads N] [--workload stencil|lbm]
                   [--out DIR]
@@ -153,6 +164,7 @@ USAGE:
   threefive analyze --validate FILE
   threefive serve [--addr 127.0.0.1:7435] [--teams 2] [--threads N]
                   [--queue 64] [--dispatchers 2] [--max-n 128] [--quiet]
+                  [--tune-db FILE]
   threefive loadgen [--addr 127.0.0.1:7435] [--tenants 8] [--jobs 64]
                   [--workload stencil|lbm|mix] [--n 16] [--steps 4]
                   [--tile T] [--dimt K] [--deadline MS]
@@ -165,6 +177,56 @@ USAGE:
 
 fn host_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |c| c.get())
+}
+
+/// A tuned plan pulled from the `TUNE.json` database, plus a one-line
+/// provenance string for the console.
+struct TunedChoice {
+    tile: usize,
+    dim_t: usize,
+    threads: usize,
+    provenance: String,
+}
+
+/// Consults the autotuner database for (kernel, precision, `n`³) on this
+/// host. Only consulted when the user pinned none of `--tile`, `--dimt`
+/// or `--threads` — explicit flags always win — and `--db none` disables
+/// the lookup entirely. A missing database file is a plain miss (the
+/// caller falls back to the analytical plan); a present-but-invalid one
+/// is a diagnosed error, never silently ignored.
+fn tuned_lookup(
+    opts: &Opts,
+    kernel: &str,
+    dp: bool,
+    n: usize,
+) -> Result<Option<TunedChoice>, CmdError> {
+    if ["tile", "dimt", "threads"]
+        .iter()
+        .any(|k| opts.contains_key(*k))
+    {
+        return Ok(None);
+    }
+    let db_path = cli::getstr(opts, "db", "TUNE.json");
+    if db_path == "none" {
+        return Ok(None);
+    }
+    let Some(db) = TuneDb::load(std::path::Path::new(&db_path)).map_err(CmdError::Msg)? else {
+        return Ok(None);
+    };
+    let host = HostInfo::detect();
+    let precision = if dp { "dp" } else { "sp" };
+    Ok(db
+        .lookup(&host.fingerprint, kernel, precision, [n, n, n])
+        .map(|e| TunedChoice {
+            tile: e.plan.tile,
+            dim_t: e.plan.dim_t,
+            threads: e.plan.threads,
+            provenance: format!(
+                "{} plan from {db_path}: tile {} dim_T {} threads {} \
+                 ({:.1} MUPS tuned vs {:.1} scalar floor)",
+                e.plan.source, e.plan.tile, e.plan.dim_t, e.plan.threads, e.mups, e.scalar_mups
+            ),
+        }))
 }
 
 fn machine_by_name(name: &str) -> Result<Machine, CmdError> {
@@ -260,9 +322,6 @@ fn stencil_label(variant: &str) -> Result<&'static str, CmdError> {
 fn cmd_run(opts: &Opts) -> Result<(), CmdError> {
     let n: usize = cli::get(opts, "n", 128)?;
     let steps: usize = cli::get(opts, "steps", 8)?;
-    let tile: usize = cli::get(opts, "tile", n.min(360))?;
-    let dim_t: usize = cli::get(opts, "dimt", 2)?;
-    let threads: usize = cli::get(opts, "threads", host_threads())?;
     let cfg = BenchConfig {
         warmup: cli::get(opts, "warmup", 1)?,
         reps: cli::get(opts, "reps", 1)?,
@@ -270,6 +329,20 @@ fn cmd_run(opts: &Opts) -> Result<(), CmdError> {
     let variant = cli::getstr(opts, "variant", "35d");
     let label = stencil_label(&variant)?;
     let dp = cli::getstr(opts, "precision", "sp") == "dp";
+    // Blocking parameters: explicit flags beat the tuner database beats
+    // the analytical defaults.
+    let tuned = tuned_lookup(opts, "7pt", dp, n)?;
+    let (tile, dim_t, threads) = match &tuned {
+        Some(t) => {
+            println!("  {}", t.provenance);
+            (t.tile, t.dim_t, t.threads)
+        }
+        None => (
+            cli::get(opts, "tile", n.min(360))?,
+            cli::get(opts, "dimt", 2)?,
+            cli::get(opts, "threads", host_threads())?,
+        ),
+    };
     let dim = Dim3::cube(n);
     let team = ThreadTeam::new(threads);
     // Blocking parameters come straight from the user; the harness routes
@@ -370,10 +443,18 @@ fn cmd_lbm(opts: &Opts) -> Result<(), CmdError> {
             // `temporal` is the whole-plane special case of the same
             // blocking, so both 3.5-D variants share one entry point.
             "temporal" | "35d" => {
-                let b = blocking.expect("validated above");
+                let Some(b) = blocking else {
+                    return Err(CmdError::Msg(format!(
+                        "internal: no blocking constructed for 3.5-D variant '{variant}'"
+                    )));
+                };
                 try_lbm35d_sweep(lat, s, b, Some(&team), deadline, obs)?;
             }
-            _ => unreachable!("validated above"),
+            other => {
+                return Err(CmdError::Msg(format!(
+                    "internal: variant '{other}' escaped validation"
+                )))
+            }
         }
         Ok(())
     };
@@ -514,6 +595,24 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
         warmup: cli::get(opts, "warmup", 1)?,
         reps: cli::get(opts, "reps", 3)?,
     };
+    let dp0 = cli::getstr(opts, "precision", "sp") == "dp";
+    // Per-kernel tuned blocking (tile, dim_T) when no explicit flags pin
+    // it; the thread count stays bench-wide so variants compare like for
+    // like on one team.
+    let (stencil_tile, stencil_dim_t) = match tuned_lookup(opts, "7pt", dp0, n)? {
+        Some(t) => {
+            println!("stencil: {}", t.provenance);
+            (t.tile, t.dim_t)
+        }
+        None => (tile, dim_t),
+    };
+    let (lbm_tile, lbm_dim_t) = match tuned_lookup(opts, "lbm", dp0, n)? {
+        Some(t) => {
+            println!("lbm: {}", t.provenance);
+            (t.tile, t.dim_t)
+        }
+        None => (tile, dim_t),
+    };
     let precisions: &[&str] = match cli::getstr(opts, "precision", "sp").as_str() {
         "sp" => &["sp"],
         "dp" => &["dp"],
@@ -546,11 +645,27 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
         };
         for &variant in STENCIL_VARIANTS {
             let m = if prec == "dp" {
-                measure_seven_point::<f64>(&cfg, variant, dim, steps, tile, dim_t, Some(&team))?
+                measure_seven_point::<f64>(
+                    &cfg,
+                    variant,
+                    dim,
+                    steps,
+                    stencil_tile,
+                    stencil_dim_t,
+                    Some(&team),
+                )?
             } else {
-                measure_seven_point::<f32>(&cfg, variant, dim, steps, tile, dim_t, Some(&team))?
+                measure_seven_point::<f32>(
+                    &cfg,
+                    variant,
+                    dim,
+                    steps,
+                    stencil_tile,
+                    stencil_dim_t,
+                    Some(&team),
+                )?
             };
-            let tel = stencil_telemetry(p, &m, dim, steps, tile, dim_t);
+            let tel = stencil_telemetry(p, &m, dim, steps, stencil_tile, stencil_dim_t);
             let e = bench_entry(&m, prec, grid, steps, threads, &cfg, Some(tel));
             print_bench_entry(&e);
             stencil.entries.push(e);
@@ -567,11 +682,11 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
         };
         for &variant in LBM_VARIANTS {
             let m = if prec == "dp" {
-                measure_lbm::<f64>(&cfg, variant, n, steps, tile, dim_t, Some(&team))?
+                measure_lbm::<f64>(&cfg, variant, n, steps, lbm_tile, lbm_dim_t, Some(&team))?
             } else {
-                measure_lbm::<f32>(&cfg, variant, n, steps, tile, dim_t, Some(&team))?
+                measure_lbm::<f32>(&cfg, variant, n, steps, lbm_tile, lbm_dim_t, Some(&team))?
             };
-            let tel = lbm_telemetry(p, &m, n, tile, dim_t);
+            let tel = lbm_telemetry(p, &m, n, lbm_tile, lbm_dim_t);
             let e = bench_entry(&m, prec, grid, steps, threads, &cfg, Some(tel));
             print_bench_entry(&e);
             lbm.entries.push(e);
@@ -588,6 +703,194 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
             report.entries.len()
         );
     }
+    Ok(())
+}
+
+fn cmd_tune(opts: &Opts) -> Result<(), CmdError> {
+    if let Some(path) = opts.get("validate") {
+        let text = std::fs::read_to_string(path)?;
+        let db = TuneDb::validate_str(&text)
+            .map_err(|e| CmdError::Msg(format!("{path}: invalid TUNE database: {e}")))?;
+        // Schema-valid is not enough: stored plans must still pass the
+        // race checker and the never-persist-a-loser invariant today.
+        let problems = db.revalidate();
+        if !problems.is_empty() {
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            return Err(CmdError::Msg(format!(
+                "{path}: {} stored entr{} failed revalidation",
+                problems.len(),
+                if problems.len() == 1 { "y" } else { "ies" }
+            )));
+        }
+        println!(
+            "{path}: valid TUNE database ({} entr{}, all plans re-validated)",
+            db.entries.len(),
+            if db.entries.len() == 1 { "y" } else { "ies" }
+        );
+        return Ok(());
+    }
+
+    cli::ensure_known(
+        opts,
+        &[
+            "workload",
+            "n",
+            "steps",
+            "probes",
+            "deadline-ms",
+            "threads",
+            "reps",
+            "warmup",
+            "precision",
+            "db",
+            "validate",
+        ],
+    )?;
+    let n: usize = cli::get(opts, "n", 64)?;
+    let steps: usize = cli::get(opts, "steps", 2)?;
+    let probes: usize = cli::get(opts, "probes", 24)?;
+    let deadline_ms: u64 = cli::get(opts, "deadline-ms", 60_000)?;
+    let max_threads: usize = cli::get(opts, "threads", host_threads())?;
+    let cfg = BenchConfig {
+        warmup: cli::get(opts, "warmup", 1)?,
+        reps: cli::get(opts, "reps", 1)?,
+    };
+    if n == 0 || steps == 0 || probes == 0 || max_threads == 0 {
+        return Err(CmdError::Msg(
+            "--n, --steps, --probes and --threads must be positive".into(),
+        ));
+    }
+    let workloads: &[ProbeWorkload] = match cli::getstr(opts, "workload", "both").as_str() {
+        "stencil" => &[ProbeWorkload::Stencil],
+        "lbm" => &[ProbeWorkload::Lbm],
+        "both" => &[ProbeWorkload::Stencil, ProbeWorkload::Lbm],
+        other => {
+            return Err(CmdError::Msg(format!(
+                "unknown workload '{other}' (expected stencil, lbm or both)"
+            )))
+        }
+    };
+    let precisions: &[bool] = match cli::getstr(opts, "precision", "sp").as_str() {
+        "sp" => &[false],
+        "dp" => &[true],
+        "both" => &[false, true],
+        other => {
+            return Err(CmdError::Msg(format!(
+                "unknown precision '{other}' (expected sp, dp or both)"
+            )))
+        }
+    };
+    let db_path = std::path::PathBuf::from(cli::getstr(opts, "db", "TUNE.json"));
+
+    let host = HostInfo::detect();
+    // The analytical seed comes from the paper's CPU machine model — the
+    // very numbers whose blind extrapolation this command exists to
+    // correct with measurements.
+    let machine = core_i7();
+    let budget = ProbeBudget {
+        max_probes: probes,
+        max_duration: Some(Duration::from_millis(deadline_ms)),
+    };
+    let mut db = TuneDb::load(&db_path)
+        .map_err(CmdError::Msg)?
+        .unwrap_or_default();
+
+    println!(
+        "tune: host {} — {n}^3, {steps} probe step(s), {} warmup + {} rep(s) per probe, \
+         budget {probes} probe(s) / {deadline_ms} ms per campaign",
+        host.fingerprint,
+        cfg.warmup,
+        cfg.reps.max(1)
+    );
+
+    for &workload in workloads {
+        for &dp in precisions {
+            let p = if dp { Precision::Dp } else { Precision::Sp };
+            let precision = if dp { "dp" } else { "sp" };
+            let kernel = workload.kernel_name();
+            let traffic = match workload {
+                ProbeWorkload::Stencil => seven_point_traffic(),
+                ProbeWorkload::Lbm => lbm_traffic(),
+            };
+            let space = SearchSpace {
+                n,
+                max_threads,
+                cache_bytes: machine.fast_storage_bytes,
+                elem_bytes: traffic.elem_bytes(p),
+                r: traffic.radius,
+            };
+            let seeds = space.seeds(traffic.gamma(p), machine.big_gamma(p));
+            let analytical_seed = seeds.first().copied();
+            let mut prober = BenchProber {
+                cfg,
+                workload,
+                n,
+                steps,
+                dp,
+            };
+            let out = hill_climb(&space, &seeds, &mut prober, &budget).map_err(CmdError::Msg)?;
+
+            println!(
+                "\n{kernel} {precision}: scalar floor {:.1} MUPS; {} probe(s), {} candidate(s)",
+                out.scalar_mups,
+                out.probes_used,
+                out.history.len()
+            );
+            if let Some(am) = out.analytical_mups {
+                println!("  analytical seed measured at {am:.1} MUPS");
+            }
+            match out.winner {
+                Some((c, mups)) => {
+                    // Speed never shortcuts correctness: the winner must
+                    // pass the race checker and reproduce the scalar
+                    // reference bit-exactly before it may be persisted.
+                    verify_candidate(workload, n, steps, dp, &c).map_err(CmdError::Msg)?;
+                    let source = if analytical_seed == Some(c) {
+                        PlanSource::Analytical
+                    } else {
+                        PlanSource::Tuned
+                    };
+                    let entry = TuneEntry {
+                        fingerprint: host.fingerprint.clone(),
+                        kernel: kernel.to_string(),
+                        precision: precision.to_string(),
+                        grid: [n, n, n],
+                        plan: TunedPlan {
+                            tile: c.tile,
+                            dim_t: c.dim_t,
+                            threads: c.threads,
+                            source,
+                        },
+                        mups,
+                        scalar_mups: out.scalar_mups,
+                        analytical_mups: out.analytical_mups,
+                        probes: out.probes_used as u64,
+                        probe_steps: steps,
+                    };
+                    let outcome = db.record_winner(entry).map_err(CmdError::Msg)?;
+                    println!(
+                        "  winner: tile {} dim_T {} threads {} at {mups:.1} MUPS ({source}) — \
+                         {outcome}",
+                        c.tile, c.dim_t, c.threads
+                    );
+                }
+                None => println!(
+                    "  no candidate beat the scalar floor; nothing persisted (consumers fall \
+                     back to the analytical plan)"
+                ),
+            }
+        }
+    }
+
+    db.save(&db_path).map_err(CmdError::Msg)?;
+    println!(
+        "\nwrote {} ({} entr{})",
+        db_path.display(),
+        db.entries.len(),
+        if db.entries.len() == 1 { "y" } else { "ies" }
+    );
     Ok(())
 }
 
@@ -868,6 +1171,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), CmdError> {
             "dispatchers",
             "max-n",
             "quiet",
+            "tune-db",
         ],
     )?;
     let teams: usize = cli::get(opts, "teams", 2)?;
@@ -890,8 +1194,41 @@ fn cmd_serve(opts: &Opts) -> Result<(), CmdError> {
         ));
     }
 
+    // `--tune-db FILE` serves jobs with this host's tuned plans where
+    // the database has an entry for (kernel, n) — an explicit opt-in,
+    // since it overrides the per-job blocking clients ask for. Safe in
+    // the answer-sense: every rung is bit-identical, so only throughput
+    // changes. The named file must exist and re-validate.
+    let runner = match opts.get("tune-db") {
+        None => SolverRunner::new(!quiet),
+        Some(path) => {
+            let db = TuneDb::load(std::path::Path::new(path))
+                .map_err(CmdError::Msg)?
+                .ok_or_else(|| CmdError::Msg(format!("{path}: no such TUNE database")))?;
+            let problems = db.revalidate();
+            if !problems.is_empty() {
+                return Err(CmdError::Msg(format!(
+                    "{path}: refusing to serve from a database that fails revalidation: {}",
+                    problems.join("; ")
+                )));
+            }
+            let host = HostInfo::detect();
+            let tuned: HashMap<(String, usize), (usize, usize)> = db
+                .entries
+                .iter()
+                .filter(|e| e.fingerprint == host.fingerprint && e.precision == "sp")
+                .map(|e| ((e.kernel.clone(), e.grid[0]), (e.plan.tile, e.plan.dim_t)))
+                .collect();
+            eprintln!(
+                "threefive serve: {} tuned plan(s) from {path} for host {}",
+                tuned.len(),
+                host.fingerprint
+            );
+            SolverRunner::with_tuned(!quiet, tuned)
+        }
+    };
     signal::install_handlers();
-    let server = Server::bind(config.clone(), Arc::new(SolverRunner::new(!quiet)))?;
+    let server = Server::bind(config.clone(), Arc::new(runner))?;
     eprintln!(
         "threefive serve: listening on {} ({} team(s) x {} thread(s), queue {}, max grid {}^3); \
          SIGINT/SIGTERM drains and exits",

@@ -13,6 +13,7 @@
 //! through FNV-1a, so they are equal **iff** the result is bit-identical
 //! — the same guarantee the ladder itself makes.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -99,12 +100,13 @@ pub fn reference_checksum(spec: &JobSpec) -> u64 {
     }
 }
 
-/// Builds the forced 3.5-D plan a job's `tile`/`dim_t` ask for. The spec
-/// was validated at admission, so the blocking constructors accept it;
-/// the plan metadata (κ, buffers) is filled in honestly for telemetry.
-fn forced_plan(spec: &JobSpec) -> Plan35D {
-    let dim_xy = spec.tile.clamp(1, spec.n.max(1));
-    let dim_t = spec.dim_t.max(1);
+/// Builds the forced 3.5-D plan the given `tile`/`dim_t` ask for (the
+/// spec's own blocking, or a tuned override). The spec was validated at
+/// admission, so the blocking constructors accept it; the plan metadata
+/// (κ, buffers) is filled in honestly for telemetry.
+fn forced_plan(tile: usize, dim_t: usize, n: usize) -> Plan35D {
+    let dim_xy = tile.clamp(1, n.max(1));
+    let dim_t = dim_t.max(1);
     let loaded = dim_xy + 2 * dim_t;
     Plan35D {
         radius: 1,
@@ -122,15 +124,38 @@ pub struct SolverRunner {
     /// Emit one JSONL telemetry line per job to stderr, tagged with the
     /// job id.
     pub log: bool,
+    /// Host-tuned blocking overrides from a `TUNE.json` database, keyed
+    /// by (kernel wire name, grid edge) → (tile, dim_T). When a job's
+    /// (kernel, n) has an entry, the daemon serves it with the tuned
+    /// plan instead of the spec's blocking — safe because every rung is
+    /// bit-identical, so only throughput changes, never the answer.
+    tuned: HashMap<(String, usize), (usize, usize)>,
 }
 
 impl SolverRunner {
     /// A runner with telemetry logging on (the daemon default).
     pub fn new(log: bool) -> Self {
-        Self { log }
+        Self {
+            log,
+            tuned: HashMap::new(),
+        }
     }
 
-    fn emit(&self, job_id: JobId, spec: &JobSpec, completed: &Completed) {
+    /// A runner that serves jobs with host-tuned plans where available.
+    pub fn with_tuned(log: bool, tuned: HashMap<(String, usize), (usize, usize)>) -> Self {
+        Self { log, tuned }
+    }
+
+    /// The tuned (tile, dim_T) override for a job, if one is stored.
+    fn tuned_blocking(&self, spec: &JobSpec) -> Option<(usize, usize)> {
+        let kernel = match spec.workload {
+            Workload::Stencil => "7pt",
+            Workload::Lbm(_) => "lbm",
+        };
+        self.tuned.get(&(kernel.to_string(), spec.n)).copied()
+    }
+
+    fn emit(&self, job_id: JobId, spec: &JobSpec, completed: &Completed, plan_source: &str) {
         if !self.log {
             return;
         }
@@ -153,6 +178,7 @@ impl SolverRunner {
                 completed.barrier_share.map_or(Json::Null, Json::num),
             ),
             ("exec_ms".into(), Json::num(completed.exec_ms)),
+            ("plan_source".into(), Json::str(plan_source)),
         ]);
         eprintln!("threefive-serve: {}", compact(&doc));
     }
@@ -177,6 +203,9 @@ impl JobRunner for SolverRunner {
         job_id: JobId,
     ) -> RunOutcome {
         let t0 = Instant::now();
+        let tuned = self.tuned_blocking(spec);
+        let plan_source = if tuned.is_some() { "tuned" } else { "spec" };
+        let (tile, dim_t) = tuned.unwrap_or((spec.tile, spec.dim_t));
         let opts = RunOptions {
             threads: team.threads(),
             deadline: Some(remaining),
@@ -198,7 +227,7 @@ impl JobRunner for SolverRunner {
                     &kernel,
                     &mut grids,
                     spec.steps,
-                    Ok(forced_plan(spec)),
+                    Ok(forced_plan(tile, dim_t, spec.n)),
                     &opts,
                     Some(team),
                     &obs,
@@ -219,9 +248,9 @@ impl JobRunner for SolverRunner {
             Workload::Lbm(sc) => {
                 let mut lat = job_lattice(sc, spec.n);
                 let blocking = threefive_lbm::LbmBlocking::try_new(
-                    spec.tile.clamp(1, spec.n.max(1)),
-                    spec.tile.clamp(1, spec.n.max(1)),
-                    spec.dim_t.max(1),
+                    tile.clamp(1, spec.n.max(1)),
+                    tile.clamp(1, spec.n.max(1)),
+                    dim_t.max(1),
                 )
                 .map_err(|e| e.to_string())?;
                 let report =
@@ -253,7 +282,7 @@ impl JobRunner for SolverRunner {
                     barrier_share: parallel_served.then(|| instr.timing().barrier_share()),
                     exec_ms,
                 };
-                self.emit(job_id, spec, &completed);
+                self.emit(job_id, spec, &completed, plan_source);
                 RunOutcome {
                     result: Ok(completed),
                     // The leased team is probed whenever its rung failed
