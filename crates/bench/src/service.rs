@@ -62,21 +62,37 @@ pub struct LatencyMs {
 impl LatencyMs {
     /// Percentiles of a latency sample (sorted internally). Empty
     /// samples give all-zero percentiles.
+    ///
+    /// Small-N edges are well-defined, not accidental: with one sample
+    /// every percentile (and max) is that sample; with two, p50 is the
+    /// lower and p90/p99/max the upper — nearest-rank quantiles are
+    /// always actual observations, and `p50 <= p90 <= p99 <= max` holds
+    /// for every N. Non-finite samples (NaN, ±∞) are sorted to the end
+    /// and excluded instead of panicking the comparator.
     pub fn from_samples(samples: &mut [f64]) -> Self {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        samples.sort_by(|a, b| match (a.is_finite(), b.is_finite()) {
+            (true, true) => a.partial_cmp(b).unwrap(),
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => std::cmp::Ordering::Equal,
+        });
+        let finite = match samples.iter().position(|v| !v.is_finite()) {
+            Some(end) => &samples[..end],
+            None => &samples[..],
+        };
         let pick = |q: f64| -> f64 {
-            if samples.is_empty() {
+            if finite.is_empty() {
                 return 0.0;
             }
             // Nearest-rank: the q-quantile is the ⌈q·N⌉-th order statistic.
-            let rank = (q * samples.len() as f64).ceil() as usize;
-            samples[rank.clamp(1, samples.len()) - 1]
+            let rank = (q * finite.len() as f64).ceil() as usize;
+            finite[rank.clamp(1, finite.len()) - 1]
         };
         Self {
             p50: pick(0.50),
             p90: pick(0.90),
             p99: pick(0.99),
-            max: samples.last().copied().unwrap_or(0.0),
+            max: finite.last().copied().unwrap_or(0.0),
         }
     }
 }
@@ -331,5 +347,39 @@ mod tests {
         let mut empty = Vec::new();
         let l = LatencyMs::from_samples(&mut empty);
         assert_eq!(l.max, 0.0);
+    }
+
+    #[test]
+    fn one_and_two_sample_percentiles_are_well_defined() {
+        let mut one = vec![7.5];
+        let l = LatencyMs::from_samples(&mut one);
+        assert_eq!((l.p50, l.p90, l.p99, l.max), (7.5, 7.5, 7.5, 7.5));
+
+        let mut two = vec![10.0, 2.0];
+        let l = LatencyMs::from_samples(&mut two);
+        assert_eq!(l.p50, 2.0, "p50 of two samples is the lower one");
+        assert_eq!((l.p90, l.p99, l.max), (10.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_for_every_small_n() {
+        for n in 1..=12 {
+            let mut samples: Vec<f64> = (0..n).map(|v| ((v * 37) % 11) as f64).collect();
+            let l = LatencyMs::from_samples(&mut samples);
+            assert!(
+                l.p50 <= l.p90 && l.p90 <= l.p99 && l.p99 <= l.max,
+                "N={n}: {l:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_samples_are_excluded_not_fatal() {
+        let mut samples = vec![3.0, f64::NAN, 1.0, f64::INFINITY, 2.0];
+        let l = LatencyMs::from_samples(&mut samples);
+        assert_eq!((l.p50, l.max), (2.0, 3.0));
+        let mut all_nan = vec![f64::NAN, f64::NAN];
+        let l = LatencyMs::from_samples(&mut all_nan);
+        assert_eq!((l.p50, l.p90, l.p99, l.max), (0.0, 0.0, 0.0, 0.0));
     }
 }

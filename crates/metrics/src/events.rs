@@ -1,0 +1,335 @@
+//! Structured, leveled, bounded event log for the serve path.
+//!
+//! Replaces ad-hoc `eprintln!` telemetry: every event is a typed record
+//! (sequence number, wall-clock ms, level, kind, optional job id, plus
+//! free-form fields) held in a bounded ring buffer that the daemon exposes
+//! over the protocol (`events` command) and optionally echoes to stderr as
+//! one JSON object per line (JSONL). The ring is bounded, so a chatty
+//! subsystem can never grow daemon memory; old events fall off the front.
+//!
+//! The wall clock is read once per *emitted* event. Events only fire on
+//! the serving control path (admission, completion, quarantine, drain),
+//! never inside engine sweeps, so the engine-side never-reads-the-clock-
+//! when-disabled discipline is untouched.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity. Ordering is by increasing severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume detail (per-rejection, per-probe).
+    Debug,
+    /// Normal lifecycle (job completed, drain started).
+    Info,
+    /// Something degraded but handled (job failed, fallback taken).
+    Warn,
+    /// Something is broken (team lost, listener error).
+    Error,
+}
+
+impl Level {
+    /// Stable lowercase name used on the wire and in JSONL.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse a level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A typed field value, so numbers stay numbers in the JSONL output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// A string (JSON-escaped on render).
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (non-finite renders as `null`).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// JSON-escape a string into `out` (without surrounding quotes).
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl FieldValue {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            FieldValue::Str(s) => {
+                out.push('"');
+                escape_json_into(out, s);
+                out.push('"');
+            }
+            FieldValue::U64(v) => out.push_str(&v.to_string()),
+            FieldValue::F64(v) if v.is_finite() => out.push_str(&format!("{v}")),
+            FieldValue::F64(_) => out.push_str("null"),
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+}
+
+/// One structured event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic per-log sequence number (never reused; gaps mean the
+    /// ring dropped older events, not these).
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch at emit time.
+    pub ts_ms: u64,
+    /// Severity.
+    pub level: Level,
+    /// Short machine-readable kind, e.g. `job_done`, `job_failed`.
+    pub kind: String,
+    /// The job this event concerns, if any.
+    pub job_id: Option<u64>,
+    /// Free-form typed fields, in emit order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Render as a single JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"ts_ms\":");
+        out.push_str(&self.ts_ms.to_string());
+        out.push_str(",\"level\":\"");
+        out.push_str(self.level.as_str());
+        out.push_str("\",\"kind\":\"");
+        escape_json_into(&mut out, &self.kind);
+        out.push('"');
+        if let Some(id) = self.job_id {
+            out.push_str(",\"job_id\":");
+            out.push_str(&id.to_string());
+        }
+        for (key, value) in &self.fields {
+            out.push_str(",\"");
+            escape_json_into(&mut out, key);
+            out.push_str("\":");
+            value.render_into(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct LogInner {
+    next_seq: u64,
+    ring: VecDeque<Event>,
+}
+
+/// A bounded, leveled event ring buffer. Clone-free: share via `Arc`.
+pub struct EventLog {
+    cap: usize,
+    echo_stderr_min: Option<Level>,
+    inner: Mutex<LogInner>,
+}
+
+impl EventLog {
+    /// A log keeping at most `cap` events (older ones fall off).
+    pub fn new(cap: usize) -> Self {
+        EventLog {
+            cap: cap.max(1),
+            echo_stderr_min: None,
+            inner: Mutex::new(LogInner {
+                next_seq: 0,
+                ring: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Also echo events at `min` level or above to stderr as JSONL.
+    pub fn with_stderr_echo(mut self, min: Level) -> Self {
+        self.echo_stderr_min = Some(min);
+        self
+    }
+
+    /// Append an event; returns its sequence number.
+    pub fn emit(
+        &self,
+        level: Level,
+        kind: &str,
+        job_id: Option<u64>,
+        fields: Vec<(String, FieldValue)>,
+    ) -> u64 {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let event = Event {
+            seq,
+            ts_ms,
+            level,
+            kind: kind.to_string(),
+            job_id,
+            fields,
+        };
+        if let Some(min) = self.echo_stderr_min {
+            if level >= min {
+                eprintln!("{}", event.to_jsonl());
+            }
+        }
+        if inner.ring.len() == self.cap {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(event);
+        drop(inner);
+        seq
+    }
+
+    /// The most recent `limit` events at `min_level` or above, oldest
+    /// first.
+    pub fn tail(&self, limit: usize, min_level: Level) -> Vec<Event> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out: Vec<Event> = inner
+            .ring
+            .iter()
+            .rev()
+            .filter(|e| e.level >= min_level)
+            .take(limit)
+            .cloned()
+            .collect();
+        out.reverse();
+        out
+    }
+
+    /// Total events ever emitted (including ones the ring dropped).
+    pub fn total_emitted(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_seq_monotonic() {
+        let log = EventLog::new(4);
+        for i in 0..10u64 {
+            let seq = log.emit(Level::Info, "tick", Some(i), vec![]);
+            assert_eq!(seq, i);
+        }
+        assert_eq!(log.total_emitted(), 10);
+        let tail = log.tail(100, Level::Debug);
+        assert_eq!(tail.len(), 4);
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn tail_filters_by_level_and_limit() {
+        let log = EventLog::new(64);
+        log.emit(Level::Debug, "noise", None, vec![]);
+        log.emit(Level::Warn, "w1", None, vec![]);
+        log.emit(Level::Info, "i1", None, vec![]);
+        log.emit(Level::Error, "e1", None, vec![]);
+        let warns = log.tail(10, Level::Warn);
+        let kinds: Vec<&str> = warns.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, ["w1", "e1"]);
+        let last_one = log.tail(1, Level::Debug);
+        assert_eq!(last_one[0].kind, "e1");
+    }
+
+    #[test]
+    fn jsonl_escapes_and_types_fields() {
+        let log = EventLog::new(8);
+        log.emit(
+            Level::Warn,
+            "job_failed",
+            Some(42),
+            vec![
+                ("detail".to_string(), FieldValue::from("quote \" slash \\\n")),
+                ("exec_ms".to_string(), FieldValue::from(1.5)),
+                ("retries".to_string(), FieldValue::from(3u64)),
+                ("fatal".to_string(), FieldValue::from(false)),
+                ("bad".to_string(), FieldValue::F64(f64::NAN)),
+            ],
+        );
+        let line = log.tail(1, Level::Debug)[0].to_jsonl();
+        assert!(line.starts_with("{\"seq\":0,\"ts_ms\":"));
+        assert!(line.contains("\"level\":\"warn\""));
+        assert!(line.contains("\"kind\":\"job_failed\""));
+        assert!(line.contains("\"job_id\":42"));
+        assert!(line.contains("\"detail\":\"quote \\\" slash \\\\\\n\""));
+        assert!(line.contains("\"exec_ms\":1.5"));
+        assert!(line.contains("\"retries\":3"));
+        assert!(line.contains("\"fatal\":false"));
+        assert!(line.contains("\"bad\":null"));
+        assert!(line.ends_with('}'));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for level in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error > Level::Debug);
+    }
+}

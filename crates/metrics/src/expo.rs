@@ -1,0 +1,477 @@
+//! Prometheus text-format exposition (version 0.0.4) and an in-tree
+//! format checker.
+//!
+//! [`render_prometheus`] turns a registry [`Snapshot`] into the classic
+//! `# HELP` / `# TYPE` / sample-line text format. Histograms render the
+//! full cumulative-`le` convention (`_bucket`, `_sum`, `_count`) with
+//! nanosecond buckets converted to seconds, per Prometheus base-unit
+//! practice.
+//!
+//! [`validate_exposition`] re-parses an exposition string and checks the
+//! invariants a real scraper relies on: name/label syntax, escape
+//! validity, `TYPE` before samples, metric grouping, cumulative bucket
+//! monotonicity, the trailing `+Inf` bucket, and `_count` consistency.
+//! Tests, CI's `metrics-smoke` job, and `threefive stat --check` all run
+//! scrapes through it, so the format can never drift from what is
+//! validated.
+
+use crate::registry::{valid_label_key, valid_metric_name, MetricKind, MetricValue, Snapshot};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn kind_str(kind: MetricKind) -> &'static str {
+    match kind {
+        MetricKind::Counter => "counter",
+        MetricKind::Gauge => "gauge",
+        MetricKind::Histogram => "histogram",
+    }
+}
+
+/// Render a snapshot in Prometheus text format.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for metric in &snap.metrics {
+        let Some((_, first)) = metric.samples.first() else {
+            continue;
+        };
+        let kind = first.kind();
+        let _ = writeln!(out, "# HELP {} {}", metric.name, escape_help(&metric.help));
+        let _ = writeln!(out, "# TYPE {} {}", metric.name, kind_str(kind));
+        for (labels, value) in &metric.samples {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", metric.name, render_labels(labels), v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", metric.name, render_labels(labels), v);
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, count) in h.counts.iter().enumerate() {
+                        cum += count;
+                        let le = match h.spec.upper_ns(i) {
+                            Some(ns) => format!("{}", ns as f64 / 1e9),
+                            None => "+Inf".to_string(),
+                        };
+                        let mut bucket_labels = labels.clone();
+                        bucket_labels.push(("le".to_string(), le));
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            metric.name,
+                            render_labels(&bucket_labels),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        metric.name,
+                        render_labels(labels),
+                        h.sum_ns as f64 / 1e9
+                    );
+                    let _ = writeln!(out, "{}_count{} {}", metric.name, render_labels(labels), cum);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_value(token: &str) -> Option<f64> {
+    match token.to_ascii_lowercase().as_str() {
+        "+inf" | "inf" => Some(f64::INFINITY),
+        "-inf" => Some(f64::NEG_INFINITY),
+        "nan" => Some(f64::NAN),
+        _ => token.parse::<f64>().ok(),
+    }
+}
+
+/// Parse `name{k="v",...} value` / `name value`; returns a descriptive
+/// error for anything a Prometheus scraper would reject.
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let err = |what: &str| format!("line {lineno}: {what}: {line:?}");
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_ascii_whitespace())
+        .ok_or_else(|| err("sample has no value"))?;
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(err("invalid metric name"));
+    }
+    let mut labels = Vec::new();
+    let rest = if line[name_end..].starts_with('{') {
+        let body = &line[name_end + 1..];
+        let mut chars = body.char_indices().peekable();
+        let consumed;
+        loop {
+            // Closing brace ends the label list (trailing comma allowed).
+            if let Some(&(i, '}')) = chars.peek() {
+                consumed = i + 1;
+                chars.next();
+                break;
+            }
+            let key_start = chars.peek().ok_or_else(|| err("unterminated labels"))?.0;
+            let mut key_end = key_start;
+            while let Some(&(i, c)) = chars.peek() {
+                if c == '=' {
+                    key_end = i;
+                    break;
+                }
+                chars.next();
+            }
+            let key = &body[key_start..key_end];
+            if !valid_label_key(key) {
+                return Err(err("invalid label key"));
+            }
+            chars.next(); // consume '='
+            match chars.next() {
+                Some((_, '"')) => {}
+                _ => return Err(err("label value not quoted")),
+            }
+            let mut closed = false;
+            while let Some((_, c)) = chars.next() {
+                match c {
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    '\\' => match chars.next() {
+                        Some((_, '\\' | '"' | 'n')) => {}
+                        _ => return Err(err("invalid escape in label value")),
+                    },
+                    '\n' => return Err(err("raw newline in label value")),
+                    _ => {}
+                }
+            }
+            if !closed {
+                return Err(err("unterminated label value"));
+            }
+            labels.push((key.to_string(), String::new()));
+            if let Some(&(_, ',')) = chars.peek() {
+                chars.next();
+            }
+        }
+        &body[consumed..]
+    } else {
+        &line[name_end..]
+    };
+    let value_token = rest.trim();
+    if value_token.is_empty() || value_token.contains(char::is_whitespace) {
+        // A second token would be a timestamp; we never emit those, so
+        // treat any extra token as drift worth failing on.
+        return Err(err("expected exactly one value after the name"));
+    }
+    let value = parse_value(value_token).ok_or_else(|| err("unparseable sample value"))?;
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn le_of(labels: &[(String, String)]) -> Option<usize> {
+    labels.iter().position(|(k, _)| k == "le")
+}
+
+/// Validate a Prometheus text exposition. Returns `Err` with a
+/// line-numbered description of the first violation found.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    // Re-parse label values (parse_sample validates escapes but does not
+    // unescape); for the checks below only the `le` *position* and the
+    // raw value token matter, so we re-extract le values with a dedicated
+    // scan per bucket line.
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashSet<String> = HashSet::new();
+    let mut sampled: Vec<String> = Vec::new(); // grouping order of base names
+    let mut closed: HashSet<String> = HashSet::new();
+    // Per-histogram accumulation: (le tokens in order, cumulative counts,
+    // saw_sum, count_value)
+    struct HistAcc {
+        les: Vec<String>,
+        cums: Vec<f64>,
+        sum_seen: bool,
+        count: Option<f64>,
+    }
+    let mut hists: HashMap<String, HistAcc> = HashMap::new();
+
+    let base_of = |name: &str, types: &HashMap<String, String>| -> String {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(prefix) = name.strip_suffix(suffix) {
+                if types.get(prefix).map(String::as_str) == Some("histogram") {
+                    return prefix.to_string();
+                }
+            }
+        }
+        name.to_string()
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split_once(' ').map(|(n, _)| n).unwrap_or(rest);
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: invalid name in HELP: {name:?}"));
+                }
+                if !helps.insert(name.to_string()) {
+                    return Err(format!("line {lineno}: duplicate HELP for {name}"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if parts.next().is_some() || !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: malformed TYPE line"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+                }
+                if sampled.iter().any(|s| s == name) {
+                    return Err(format!(
+                        "line {lineno}: TYPE for {name} appears after its samples"
+                    ));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+            }
+            // Other comments are free-form and legal.
+            continue;
+        }
+
+        let sample = parse_sample(line, lineno)?;
+        let base = base_of(&sample.name, &types);
+        match sampled.last() {
+            Some(last) if *last == base => {}
+            _ => {
+                if closed.contains(&base) {
+                    return Err(format!(
+                        "line {lineno}: samples for {base} are not contiguous"
+                    ));
+                }
+                if let Some(last) = sampled.last() {
+                    closed.insert(last.clone());
+                }
+                sampled.push(base.clone());
+            }
+        }
+
+        let declared = types.get(&base).map(String::as_str);
+        if declared == Some("counter") && (sample.value < 0.0 || !sample.value.is_finite()) {
+            return Err(format!(
+                "line {lineno}: counter {base} has non-monotonic value {}",
+                sample.value
+            ));
+        }
+        if declared == Some("histogram") {
+            let acc = hists.entry(base.clone()).or_insert(HistAcc {
+                les: Vec::new(),
+                cums: Vec::new(),
+                sum_seen: false,
+                count: None,
+            });
+            if sample.name.ends_with("_bucket") {
+                let le_pos = le_of(&sample.labels)
+                    .ok_or_else(|| format!("line {lineno}: histogram bucket without le label"))?;
+                // Recover the raw le token: labels parsed positionally,
+                // values discarded; rescan the line for `le="..."`.
+                let token = line
+                    .split("le=\"")
+                    .nth(1)
+                    .and_then(|t| t.split('"').next())
+                    .unwrap_or("");
+                let _ = le_pos;
+                acc.les.push(token.to_string());
+                acc.cums.push(sample.value);
+            } else if sample.name.ends_with("_sum") {
+                acc.sum_seen = true;
+            } else if sample.name.ends_with("_count") {
+                acc.count = Some(sample.value);
+            } else {
+                return Err(format!(
+                    "line {lineno}: bare sample {} for histogram {base}",
+                    sample.name
+                ));
+            }
+        }
+    }
+
+    for (name, kind) in &types {
+        if kind == "histogram" {
+            let acc = hists
+                .get(name)
+                .ok_or_else(|| format!("histogram {name} declared but has no samples"))?;
+            if acc.les.is_empty() {
+                return Err(format!("histogram {name} has no buckets"));
+            }
+            let mut prev_le = f64::NEG_INFINITY;
+            let mut prev_cum = 0.0f64;
+            for (le, cum) in acc.les.iter().zip(&acc.cums) {
+                let le_val =
+                    parse_value(le).ok_or_else(|| format!("histogram {name}: bad le {le:?}"))?;
+                if le_val <= prev_le {
+                    return Err(format!("histogram {name}: le edges not increasing at {le}"));
+                }
+                if *cum < prev_cum {
+                    return Err(format!(
+                        "histogram {name}: cumulative counts decrease at le={le}"
+                    ));
+                }
+                prev_le = le_val;
+                prev_cum = *cum;
+            }
+            if acc.les.last().map(String::as_str) != Some("+Inf") {
+                return Err(format!("histogram {name}: last bucket is not le=\"+Inf\""));
+            }
+            if !acc.sum_seen {
+                return Err(format!("histogram {name}: missing _sum"));
+            }
+            match acc.count {
+                Some(c) if c == prev_cum => {}
+                Some(c) => {
+                    return Err(format!(
+                        "histogram {name}: _count {c} != +Inf bucket {prev_cum}"
+                    ))
+                }
+                None => return Err(format!("histogram {name}: missing _count")),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HistSpec;
+    use crate::registry::Registry;
+
+    fn scrape(reg: &Registry) -> String {
+        render_prometheus(&reg.snapshot())
+    }
+
+    #[test]
+    fn rendered_registry_validates() {
+        let reg = Registry::new();
+        reg.counter("threefive_jobs_total", "Jobs.").add(3);
+        reg.gauge("threefive_queue_depth", "Depth.").set(-1);
+        let fam = reg.counter_family("threefive_by_rung_total", "Per rung.", "rung");
+        fam.with("parallel-3.5d").inc();
+        fam.with("serial").add(2);
+        let h = reg.histogram("threefive_wait_seconds", "Wait.", HistSpec::LATENCY);
+        h.record_ns(70_000);
+        h.record_ns(u64::MAX);
+        let text = scrape(&reg);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("# TYPE threefive_wait_seconds histogram"));
+        assert!(text.contains("threefive_wait_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("rung=\"parallel-3.5d\""));
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_survive_validation() {
+        let reg = Registry::new();
+        let fam = reg.counter_family("threefive_odd_total", "Odd labels.", "tenant");
+        fam.with("quo\"te").inc();
+        fam.with("back\\slash").inc();
+        fam.with("new\nline").inc();
+        let text = scrape(&reg);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("tenant=\"quo\\\"te\""));
+        assert!(text.contains("tenant=\"back\\\\slash\""));
+        assert!(text.contains("tenant=\"new\\nline\""));
+    }
+
+    #[test]
+    fn checker_rejects_malformed_expositions() {
+        // Invalid metric name.
+        assert!(validate_exposition("9bad 1\n").is_err());
+        // Bad escape in a label value.
+        assert!(validate_exposition("m{l=\"a\\q\"} 1\n").is_err());
+        // Unquoted label value.
+        assert!(validate_exposition("m{l=abc} 1\n").is_err());
+        // Negative counter.
+        assert!(
+            validate_exposition("# TYPE c_total counter\nc_total -1\n").is_err()
+        );
+        // TYPE after samples.
+        assert!(validate_exposition("x 1\n# TYPE x gauge\nx 2\n").is_err());
+        // Non-contiguous metric grouping.
+        assert!(validate_exposition("a 1\nb 2\na 3\n").is_err());
+        // Missing value.
+        assert!(validate_exposition("novalue\n").is_err());
+        // Unknown type keyword.
+        assert!(validate_exposition("# TYPE t thing\n").is_err());
+    }
+
+    #[test]
+    fn checker_enforces_histogram_invariants() {
+        let ok = "# TYPE h histogram\n\
+                  h_bucket{le=\"0.1\"} 1\n\
+                  h_bucket{le=\"+Inf\"} 2\n\
+                  h_sum 0.3\n\
+                  h_count 2\n";
+        validate_exposition(ok).unwrap();
+        // Decreasing cumulative counts.
+        let bad = ok.replace("h_bucket{le=\"+Inf\"} 2", "h_bucket{le=\"+Inf\"} 0");
+        assert!(validate_exposition(&bad).is_err());
+        // Count mismatch.
+        let bad = ok.replace("h_count 2", "h_count 5");
+        assert!(validate_exposition(&bad).is_err());
+        // Missing +Inf.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_sum 0.1\nh_count 1\n";
+        assert!(validate_exposition(bad).is_err());
+        // Missing _sum.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n";
+        assert!(validate_exposition(bad).is_err());
+        // Non-increasing le edges.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"0.1\"} 1\n\
+                   h_bucket{le=\"0.1\"} 1\n\
+                   h_bucket{le=\"+Inf\"} 1\n\
+                   h_sum 0.1\nh_count 1\n";
+        assert!(validate_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn help_escaping_round_trips() {
+        let reg = Registry::new();
+        reg.counter("c_total", "line one\nline two \\ done").add(1);
+        let text = scrape(&reg);
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("# HELP c_total line one\\nline two \\\\ done"));
+    }
+}

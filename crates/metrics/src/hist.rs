@@ -1,0 +1,323 @@
+//! Log-scale histograms generalizing `threefive-sync::WaitHistogram`.
+//!
+//! `WaitHistogram` hardcodes 12 log-4 buckets starting at 1 µs; that
+//! geometry is one point ([`HistSpec::BARRIER_WAIT`]) in the family
+//! described by [`HistSpec`]: bucket `i` covers nanosecond values up to
+//! `2^(first_upper_pow2 + shift * i)`, with the final bucket unbounded.
+//! Latency histograms in the serving layer use a finer ×2 geometry
+//! ([`HistSpec::LATENCY`]) that spans ~65 µs to ~36 min.
+//!
+//! Recording is a single relaxed atomic increment plus a relaxed atomic
+//! add for the sum — statistics, not synchronization — so histograms are
+//! safe to bump from dispatcher threads without coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The geometry of a log-scale histogram: bucket `i` (of `buckets`) covers
+/// values `ns <= 2^(first_upper_pow2 + shift * i)`; the last bucket is
+/// unbounded above.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSpec {
+    /// log2 of the first bucket's upper edge in nanoseconds.
+    pub first_upper_pow2: u32,
+    /// log2 step between consecutive bucket edges (1 = ×2, 2 = ×4).
+    pub shift: u32,
+    /// Total bucket count, including the unbounded last bucket.
+    pub buckets: usize,
+}
+
+impl HistSpec {
+    /// The exact geometry of `threefive-sync::WaitHistogram`: 12 log-4
+    /// buckets, first edge 2^10 ns (~1 µs), last bounded edge 2^32 ns
+    /// (~4.3 s). Engine barrier-wait counts merge into this without
+    /// re-bucketing.
+    pub const BARRIER_WAIT: HistSpec = HistSpec {
+        first_upper_pow2: 10,
+        shift: 2,
+        buckets: 12,
+    };
+
+    /// Serving-layer latency geometry: 26 log-2 buckets, first edge
+    /// 2^16 ns (~65 µs), last bounded edge 2^41 ns (~37 min). One bucket
+    /// is a factor of two, which is the resolution loadgen's
+    /// `--verify-latency` cross-check works at.
+    pub const LATENCY: HistSpec = HistSpec {
+        first_upper_pow2: 16,
+        shift: 1,
+        buckets: 26,
+    };
+
+    /// Upper edge of bucket `i` in nanoseconds, or `None` for the
+    /// unbounded last bucket.
+    pub fn upper_ns(&self, i: usize) -> Option<u64> {
+        if i + 1 < self.buckets {
+            Some(1u64 << (self.first_upper_pow2 + self.shift * i as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Index of the bucket covering `ns`.
+    pub fn bucket_index(&self, ns: u64) -> usize {
+        let mut edge = 1u64 << self.first_upper_pow2;
+        for i in 0..self.buckets - 1 {
+            if ns <= edge {
+                return i;
+            }
+            edge <<= self.shift;
+        }
+        self.buckets - 1
+    }
+}
+
+struct HistInner {
+    spec: HistSpec,
+    counts: Vec<AtomicU64>,
+    sum_ns: AtomicU64,
+}
+
+/// An atomic log-scale histogram handle. Clones share the same buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Histogram {
+    /// Create a histogram with the given geometry.
+    pub fn new(spec: HistSpec) -> Self {
+        let counts = (0..spec.buckets).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistInner {
+                spec,
+                counts,
+                sum_ns: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The histogram's geometry.
+    pub fn spec(&self) -> HistSpec {
+        self.inner.spec
+    }
+
+    /// Record one observation of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let i = self.inner.spec.bucket_index(ns);
+        // Relaxed: these are statistics, not synchronization; readers take
+        // a best-effort snapshot.
+        self.inner.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Merge pre-bucketed counts whose geometry already matches this
+    /// histogram's spec — used to fold a `WaitHistogram` (same bucket
+    /// edges as [`HistSpec::BARRIER_WAIT`]) into the registry without
+    /// re-bucketing. `sum_ns` is the total nanoseconds those counts
+    /// represent (the source tracks it separately).
+    ///
+    /// # Panics
+    /// Panics if `counts` has a different bucket count than the spec.
+    pub fn merge_buckets(&self, counts: &[u64], sum_ns: u64) {
+        assert_eq!(
+            counts.len(),
+            self.inner.spec.buckets,
+            "bucket-count mismatch in Histogram::merge_buckets"
+        );
+        for (slot, &n) in self.inner.counts.iter().zip(counts) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if sum_ns > 0 {
+            self.inner.sum_ns.fetch_add(sum_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Take a point-in-time snapshot of the buckets and sum.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            spec: self.inner.spec,
+            counts: self
+                .inner
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum_ns: self.inner.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// The geometry the counts were bucketed with.
+    pub spec: HistSpec,
+    /// Per-bucket (non-cumulative) observation counts.
+    pub counts: Vec<u64>,
+    /// Total nanoseconds observed.
+    pub sum_ns: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot of the given geometry.
+    pub fn empty(spec: HistSpec) -> Self {
+        HistSnapshot {
+            spec,
+            counts: vec![0; spec.buckets],
+            sum_ns: 0,
+        }
+    }
+
+    /// Total observation count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Subtract an earlier snapshot of the same histogram, yielding the
+    /// histogram of just the observations in between. Counts are
+    /// monotonically non-decreasing, so saturating subtraction only guards
+    /// against torn reads.
+    ///
+    /// # Panics
+    /// Panics if the geometries differ.
+    pub fn diff_since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        assert_eq!(self.spec, earlier.spec, "HistSnapshot geometry mismatch");
+        HistSnapshot {
+            spec: self.spec,
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum_ns: self.sum_ns.saturating_sub(earlier.sum_ns),
+        }
+    }
+
+    /// Index of the bucket containing the `q`-quantile observation
+    /// (nearest-rank over the bucketed counts), or `None` if empty.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(i);
+            }
+        }
+        Some(self.spec.buckets - 1)
+    }
+
+    /// Upper-edge estimate of the `q`-quantile in nanoseconds: the upper
+    /// edge of the bucket containing the nearest-rank observation. For the
+    /// unbounded last bucket this returns its *lower* edge (a lower
+    /// bound), which is the best a bounded histogram can say. `None` if
+    /// empty.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let i = self.quantile_bucket(q)?;
+        Some(match self.spec.upper_ns(i) {
+            Some(upper) => upper,
+            // Last bucket: its lower edge is the previous bucket's upper
+            // edge (single-bucket specs have no information at all).
+            None => self.spec.upper_ns(i.wrapping_sub(1)).unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_wait_spec_matches_wait_histogram_geometry() {
+        // Must stay bit-for-bit compatible with
+        // threefive-sync::WaitHistogram: bucket i covers ns <= 2^(10+2i),
+        // last of 12 unbounded.
+        let s = HistSpec::BARRIER_WAIT;
+        assert_eq!(s.buckets, 12);
+        for i in 0..11 {
+            assert_eq!(s.upper_ns(i), Some(1u64 << (10 + 2 * i)));
+        }
+        assert_eq!(s.upper_ns(11), None);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_above() {
+        // Off-by-one sweep: each bounded edge belongs to its own bucket;
+        // edge + 1 belongs to the next.
+        for spec in [HistSpec::BARRIER_WAIT, HistSpec::LATENCY] {
+            assert_eq!(spec.bucket_index(0), 0);
+            for i in 0..spec.buckets - 1 {
+                let edge = spec.upper_ns(i).unwrap();
+                assert_eq!(spec.bucket_index(edge), i, "edge {edge} bucket {i}");
+                let next = spec.bucket_index(edge + 1);
+                assert_eq!(next, (i + 1).min(spec.buckets - 1));
+            }
+            assert_eq!(spec.bucket_index(u64::MAX), spec.buckets - 1);
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let h = Histogram::new(HistSpec::LATENCY);
+        h.record_ns(1); // bucket 0
+        h.record_ns(1 << 16); // still bucket 0 (inclusive edge)
+        h.record_ns((1 << 16) + 1); // bucket 1
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 2);
+        assert_eq!(s.counts[1], 1);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.sum_ns, 1 + (1 << 16) + (1 << 16) + 1);
+    }
+
+    #[test]
+    fn quantiles_pick_nearest_rank_bucket() {
+        let h = Histogram::new(HistSpec::LATENCY);
+        for _ in 0..9 {
+            h.record_ns(100); // bucket 0
+        }
+        h.record_ns(u64::MAX); // last, unbounded bucket
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bucket(0.5), Some(0));
+        assert_eq!(s.quantile_bucket(0.9), Some(0));
+        assert_eq!(s.quantile_bucket(0.99), Some(s.spec.buckets - 1));
+        assert_eq!(s.quantile_ns(0.5), Some(1 << 16));
+        // Unbounded bucket reports its lower edge.
+        assert_eq!(
+            s.quantile_ns(0.99),
+            Some(s.spec.upper_ns(s.spec.buckets - 2).unwrap())
+        );
+        assert_eq!(HistSnapshot::empty(HistSpec::LATENCY).quantile_ns(0.5), None);
+    }
+
+    #[test]
+    fn diff_since_isolates_a_window() {
+        let h = Histogram::new(HistSpec::LATENCY);
+        h.record_ns(100);
+        let before = h.snapshot();
+        h.record_ns(100);
+        h.record_ns(1 << 20);
+        let diff = h.snapshot().diff_since(&before);
+        assert_eq!(diff.total(), 2);
+        assert_eq!(diff.counts[0], 1);
+        assert_eq!(diff.sum_ns, 100 + (1 << 20));
+    }
+
+    #[test]
+    fn merge_buckets_matches_direct_records() {
+        let a = Histogram::new(HistSpec::BARRIER_WAIT);
+        let b = Histogram::new(HistSpec::BARRIER_WAIT);
+        for ns in [500u64, 2_000, 70_000, 5_000_000_000] {
+            a.record_ns(ns);
+        }
+        let snap = a.snapshot();
+        b.merge_buckets(&snap.counts, snap.sum_ns);
+        assert_eq!(b.snapshot(), snap);
+    }
+}

@@ -1,0 +1,97 @@
+//! Live metrics plane for the threefive daemon.
+//!
+//! Everything here is hand-rolled on `std` — no external crates — to keep
+//! the offline build hermetic. The crate provides four pieces:
+//!
+//! * [`registry`] — a process-wide [`Registry`] of atomic [`Counter`]s,
+//!   [`Gauge`]s, labeled [`CounterFamily`]s and [`Histogram`]s, plus
+//!   [`Collector`] hooks for metrics whose source of truth lives elsewhere
+//!   (e.g. the admission-accounting counters, which must be snapshotted
+//!   under one lock so the accounting identities hold at every scrape).
+//! * [`hist`] — log-scale histograms generalizing
+//!   `threefive-sync::WaitHistogram`: a [`HistSpec`] fixes the first bucket
+//!   edge, the log step, and the bucket count, so the serving layer can use
+//!   fine ×2 buckets for latencies while the engine's barrier-wait
+//!   histogram keeps the exact log-4 geometry of `WaitHistogram`.
+//! * [`expo`] — Prometheus text-format rendering of a registry
+//!   [`Snapshot`], plus [`validate_exposition`], an in-tree format checker
+//!   used by tests, CI, and `threefive stat --check`.
+//! * [`events`] — a leveled, bounded, job-id-stamped structured event log
+//!   (JSONL rendering, queryable ring buffer) replacing ad-hoc `eprintln!`
+//!   telemetry in the serve path.
+//!
+//! # Clock discipline
+//!
+//! Nothing in this crate reads a monotonic clock. Histograms take
+//! already-measured nanosecond values; whether to read the clock at all is
+//! the caller's decision, gated through [`Clock`] exactly like
+//! `threefive-sync::Instrument::now` — disabled means `None`, and `None`
+//! means no `Instant::now()` call ever happens.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod expo;
+pub mod hist;
+pub mod registry;
+
+pub use events::{Event, EventLog, FieldValue, Level};
+pub use expo::{render_prometheus, validate_exposition};
+pub use hist::{HistSnapshot, HistSpec, Histogram};
+pub use registry::{
+    Collector, Counter, CounterFamily, Gauge, MetricKind, MetricSnapshot, MetricValue, Registry,
+    Snapshot,
+};
+
+use std::time::Instant;
+
+/// A clock gate mirroring the `Instrument::now` discipline: when disabled,
+/// [`Clock::now`] returns `None` and **no clock read happens at all** —
+/// callers must put their `Instant::now()` behind this gate rather than
+/// reading the clock and discarding the value.
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    enabled: bool,
+}
+
+impl Clock {
+    /// A clock that reads the time.
+    pub const fn enabled() -> Self {
+        Clock { enabled: true }
+    }
+
+    /// A clock that never reads the time.
+    pub const fn disabled() -> Self {
+        Clock { enabled: false }
+    }
+
+    /// Whether [`Clock::now`] will read the clock.
+    pub const fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Read the monotonic clock, or `None` (without reading it) when
+    /// disabled.
+    pub fn now(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_clock_reads_nothing() {
+        // The zero-cost contract: disabled -> None, and the `enabled` flag
+        // is the *only* input, so no `Instant::now()` is reachable.
+        assert!(Clock::disabled().now().is_none());
+        assert!(!Clock::disabled().is_enabled());
+        assert!(Clock::enabled().now().is_some());
+    }
+}

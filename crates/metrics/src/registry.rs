@@ -1,0 +1,517 @@
+//! The metric registry: named atomic counters, gauges, labeled counter
+//! families, log-scale histograms, and collector hooks.
+//!
+//! Handles returned by the registration methods are cheap `Arc` clones;
+//! bumping one is a single relaxed atomic op. A [`Collector`] lets a
+//! subsystem that already owns its numbers (the admission accounting, the
+//! team pool) contribute a consistent set of samples computed at scrape
+//! time instead of mirroring state into registry atomics.
+//!
+//! Metric names are validated at registration and duplicate names are
+//! rejected by panic: both are programmer errors that would make the
+//! Prometheus exposition invalid, and all registration happens at daemon
+//! startup with literal names.
+
+use crate::hist::{HistSnapshot, HistSpec, Histogram};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Maximum distinct label values a [`CounterFamily`] will track; further
+/// values collapse into the [`OVERFLOW_LABEL`] bucket so unbounded inputs
+/// (tenant ids) cannot grow the exposition without bound.
+pub const FAMILY_MAX_CARDINALITY: usize = 32;
+
+/// Label value that absorbs family overflow past
+/// [`FAMILY_MAX_CARDINALITY`].
+pub const OVERFLOW_LABEL: &str = "_other";
+
+/// Is `name` a valid Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Is `key` a valid Prometheus label key (`[a-zA-Z_][a-zA-Z0-9_]*`)?
+pub fn valid_label_key(key: &str) -> bool {
+    let mut chars = key.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A monotonically increasing counter. Clones share the same cell.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A standalone counter (not yet registered).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. Relaxed: statistics, not synchronization.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can move both ways. Clones share the same cell.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A standalone gauge (not yet registered).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct FamilyInner {
+    label_key: String,
+    // Registration-ordered so exposition output is deterministic; linear
+    // scan is fine at <= FAMILY_MAX_CARDINALITY entries.
+    values: Mutex<Vec<(String, Counter)>>,
+}
+
+/// A counter family keyed by one label (e.g. `rung`, `kernel`, `tenant`).
+/// Cardinality is bounded: past [`FAMILY_MAX_CARDINALITY`] distinct
+/// values, bumps collapse into the [`OVERFLOW_LABEL`] bucket.
+#[derive(Clone)]
+pub struct CounterFamily {
+    inner: Arc<FamilyInner>,
+}
+
+impl CounterFamily {
+    /// A standalone family (not yet registered). Panics on an invalid
+    /// label key.
+    pub fn new(label_key: &str) -> Self {
+        assert!(
+            valid_label_key(label_key),
+            "invalid label key {label_key:?}"
+        );
+        CounterFamily {
+            inner: Arc::new(FamilyInner {
+                label_key: label_key.to_string(),
+                values: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The family's label key.
+    pub fn label_key(&self) -> &str {
+        &self.inner.label_key
+    }
+
+    /// The counter for `value`, creating it on first use (or the overflow
+    /// bucket once the cardinality cap is hit).
+    pub fn with(&self, value: &str) -> Counter {
+        let mut values = self
+            .inner
+            .values
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some((_, c)) = values.iter().find(|(v, _)| v == value) {
+            return c.clone();
+        }
+        let key = if values.len() >= FAMILY_MAX_CARDINALITY {
+            OVERFLOW_LABEL
+        } else {
+            value
+        };
+        if let Some((_, c)) = values.iter().find(|(v, _)| v == key) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        values.push((key.to_string(), c.clone()));
+        c
+    }
+
+    /// Snapshot all (label value, count) pairs in first-use order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .values
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(v, c)| (v.clone(), c.get()))
+            .collect()
+    }
+}
+
+/// What a metric is, for `# TYPE` lines and JSON rendering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Goes both ways.
+    Gauge,
+    /// Log-scale bucketed distribution.
+    Histogram,
+}
+
+/// One sample's value in a snapshot.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram buckets.
+    Histogram(HistSnapshot),
+}
+
+impl MetricValue {
+    /// The kind this value renders as.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A point-in-time copy of one metric: name, help, and one value per
+/// label set (label-less metrics have a single sample with no labels).
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    /// Metric name (`threefive_*`).
+    pub name: String,
+    /// One-line help text for `# HELP`.
+    pub help: String,
+    /// `(labels, value)` pairs; labels are `(key, value)` lists.
+    pub samples: Vec<(Vec<(String, String)>, MetricValue)>,
+}
+
+/// A subsystem that contributes samples computed at scrape time. Used
+/// where a consistent multi-metric read matters (admission accounting
+/// identities) or where the source of truth already exists (pool/queue
+/// gauges).
+pub trait Collector: Send + Sync {
+    /// Produce this collector's metrics. Called on every scrape.
+    fn collect(&self) -> Vec<MetricSnapshot>;
+}
+
+/// A full registry scrape, in registration order.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// All metrics, owned handles first, then collector output.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Find a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+enum Entry {
+    Counter {
+        name: String,
+        help: String,
+        handle: Counter,
+    },
+    Gauge {
+        name: String,
+        help: String,
+        handle: Gauge,
+    },
+    Family {
+        name: String,
+        help: String,
+        handle: CounterFamily,
+    },
+    Histogram {
+        name: String,
+        help: String,
+        handle: Histogram,
+    },
+    Collector(Box<dyn Collector>),
+}
+
+struct RegistryInner {
+    entries: Vec<Entry>,
+    names: HashSet<String>,
+}
+
+/// The metric registry. Registration happens at startup; scrapes take a
+/// point-in-time [`Snapshot`].
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Mutex::new(RegistryInner {
+                entries: Vec::new(),
+                names: HashSet::new(),
+            }),
+        }
+    }
+
+    fn claim_name(inner: &mut RegistryInner, name: &str) {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        assert!(
+            inner.names.insert(name.to_string()),
+            "duplicate metric name {name:?}"
+        );
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register and return a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut inner = self.lock();
+        Self::claim_name(&mut inner, name);
+        let handle = Counter::new();
+        inner.entries.push(Entry::Counter {
+            name: name.to_string(),
+            help: help.to_string(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Register and return a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut inner = self.lock();
+        Self::claim_name(&mut inner, name);
+        let handle = Gauge::new();
+        inner.entries.push(Entry::Gauge {
+            name: name.to_string(),
+            help: help.to_string(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Register and return a counter family keyed by `label_key`.
+    pub fn counter_family(&self, name: &str, help: &str, label_key: &str) -> CounterFamily {
+        let mut inner = self.lock();
+        Self::claim_name(&mut inner, name);
+        let handle = CounterFamily::new(label_key);
+        inner.entries.push(Entry::Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Register and return a histogram with the given geometry.
+    pub fn histogram(&self, name: &str, help: &str, spec: HistSpec) -> Histogram {
+        let mut inner = self.lock();
+        Self::claim_name(&mut inner, name);
+        let handle = Histogram::new(spec);
+        inner.entries.push(Entry::Histogram {
+            name: name.to_string(),
+            help: help.to_string(),
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Register a scrape-time collector. Its metric names are not known
+    /// until scrape time, so uniqueness is the collector's contract; the
+    /// exposition format checker catches violations in tests and CI.
+    pub fn collector(&self, c: Box<dyn Collector>) {
+        self.lock().entries.push(Entry::Collector(c));
+    }
+
+    /// Scrape everything into a point-in-time snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        let mut metrics = Vec::with_capacity(inner.entries.len());
+        for entry in &inner.entries {
+            match entry {
+                Entry::Counter { name, help, handle } => metrics.push(MetricSnapshot {
+                    name: name.clone(),
+                    help: help.clone(),
+                    samples: vec![(Vec::new(), MetricValue::Counter(handle.get()))],
+                }),
+                Entry::Gauge { name, help, handle } => metrics.push(MetricSnapshot {
+                    name: name.clone(),
+                    help: help.clone(),
+                    samples: vec![(Vec::new(), MetricValue::Gauge(handle.get()))],
+                }),
+                Entry::Family { name, help, handle } => {
+                    let samples = handle
+                        .snapshot()
+                        .into_iter()
+                        .map(|(value, count)| {
+                            (
+                                vec![(handle.label_key().to_string(), value)],
+                                MetricValue::Counter(count),
+                            )
+                        })
+                        .collect();
+                    metrics.push(MetricSnapshot {
+                        name: name.clone(),
+                        help: help.clone(),
+                        samples,
+                    });
+                }
+                Entry::Histogram { name, help, handle } => metrics.push(MetricSnapshot {
+                    name: name.clone(),
+                    help: help.clone(),
+                    samples: vec![(Vec::new(), MetricValue::Histogram(handle.snapshot()))],
+                }),
+                Entry::Collector(c) => metrics.extend(c.collect()),
+            }
+        }
+        Snapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn concurrent_bumps_are_linear() {
+        // Satellite: 8 threads x 10_000 bumps each must be counted
+        // exactly — relaxed ordering loses no increments.
+        let reg = Registry::new();
+        let c = reg.counter("t_total", "test");
+        let fam = reg.counter_family("t_by_k_total", "test", "k");
+        let g = reg.gauge("t_gauge", "test");
+        thread::scope(|s| {
+            for t in 0..8 {
+                let c = c.clone();
+                let fam = fam.clone();
+                let g = g.clone();
+                s.spawn(move || {
+                    let mine = fam.with(&format!("k{t}"));
+                    for _ in 0..10_000 {
+                        c.inc();
+                        mine.inc();
+                        fam.with("shared").inc();
+                        g.add(1);
+                        g.add(-1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(g.get(), 0);
+        let snap = fam.snapshot();
+        let shared = snap.iter().find(|(v, _)| v == "shared").unwrap().1;
+        assert_eq!(shared, 80_000);
+        let per_thread: u64 = snap
+            .iter()
+            .filter(|(v, _)| v.starts_with('k'))
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(per_thread, 80_000);
+    }
+
+    #[test]
+    fn family_cardinality_is_bounded() {
+        let fam = CounterFamily::new("tenant");
+        for i in 0..(FAMILY_MAX_CARDINALITY * 2) {
+            fam.with(&format!("tenant-{i}")).inc();
+        }
+        let snap = fam.snapshot();
+        // Cap distinct values, plus one overflow bucket holding the rest.
+        assert_eq!(snap.len(), FAMILY_MAX_CARDINALITY + 1);
+        let overflow = snap.iter().find(|(v, _)| v == OVERFLOW_LABEL).unwrap().1;
+        assert_eq!(overflow, FAMILY_MAX_CARDINALITY as u64);
+        // Existing values keep resolving to their own counter.
+        fam.with("tenant-0").inc();
+        assert_eq!(fam.snapshot()[0].1, 2);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_metric_name("threefive_jobs_total"));
+        assert!(valid_metric_name("_x:y"));
+        assert!(!valid_metric_name("9lives"));
+        assert!(!valid_metric_name("has space"));
+        assert!(!valid_metric_name(""));
+        assert!(valid_label_key("rung"));
+        assert!(!valid_label_key("le\""));
+        assert!(!valid_label_key(""));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_panic() {
+        let reg = Registry::new();
+        let _a = reg.counter("dup_total", "a");
+        let _b = reg.gauge("dup_total", "b");
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order_and_collectors() {
+        struct Fixed;
+        impl Collector for Fixed {
+            fn collect(&self) -> Vec<MetricSnapshot> {
+                vec![MetricSnapshot {
+                    name: "from_collector".into(),
+                    help: "h".into(),
+                    samples: vec![(Vec::new(), MetricValue::Gauge(7))],
+                }]
+            }
+        }
+        let reg = Registry::new();
+        let c = reg.counter("a_total", "a");
+        c.add(3);
+        reg.collector(Box::new(Fixed));
+        reg.gauge("b", "b").set(-2);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a_total", "from_collector", "b"]);
+        assert!(matches!(
+            snap.get("a_total").unwrap().samples[0].1,
+            MetricValue::Counter(3)
+        ));
+        assert!(matches!(
+            snap.get("b").unwrap().samples[0].1,
+            MetricValue::Gauge(-2)
+        ));
+    }
+}

@@ -10,11 +10,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use threefive_bench::json::Json;
+use threefive_metrics::Level;
 
 use crate::job::JobSpec;
 use crate::protocol::{
-    decode_response, encode_chaos, encode_solve, read_frame, write_frame, ChaosCmd, Response,
-    WireError,
+    decode_response, encode_chaos, encode_events, encode_metrics, encode_solve, read_frame,
+    write_frame, ChaosCmd, Response, WireError,
 };
 
 /// A connected tenant.
@@ -65,6 +66,38 @@ impl ServiceClient {
             Response::Ok(doc) => Ok(doc),
             other => Err(WireError::Malformed(format!(
                 "unexpected stats response {other:?}"
+            ))),
+        }
+    }
+
+    /// The daemon's Prometheus text-format exposition.
+    pub fn metrics_exposition(&mut self) -> Result<String, WireError> {
+        match self.roundtrip(&encode_metrics())? {
+            Response::Ok(doc) => doc
+                .get("exposition")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    WireError::Malformed("metrics response missing 'exposition'".into())
+                }),
+            other => Err(WireError::Malformed(format!(
+                "unexpected metrics response {other:?}"
+            ))),
+        }
+    }
+
+    /// The newest `limit` structured events at or above `min_level`,
+    /// oldest first, as raw JSON objects.
+    pub fn events(&mut self, limit: usize, min_level: Level) -> Result<Vec<Json>, WireError> {
+        match self.roundtrip(&encode_events(limit, min_level))? {
+            Response::Ok(doc) => match doc.get("events") {
+                Some(Json::Arr(items)) => Ok(items.clone()),
+                _ => Err(WireError::Malformed(
+                    "events response missing 'events' array".into(),
+                )),
+            },
+            other => Err(WireError::Malformed(format!(
+                "unexpected events response {other:?}"
             ))),
         }
     }

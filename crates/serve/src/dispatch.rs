@@ -3,15 +3,23 @@
 //! This file is on the service's hot path (one iteration per admitted
 //! job, concurrent with every other dispatcher) and is held to the
 //! in-tree `hot-path-alloc` / `hot-path-sync` lint rules: no locks and no
-//! container allocation in the loop itself. The queue and pool own their
-//! blocking internals behind their APIs; responses leave through the
-//! caller-supplied [`ReplySink`].
+//! container allocation in the loop itself. The queue, the pool, the
+//! stats and the metrics plane own their blocking/allocating internals
+//! behind their APIs; responses leave through the caller-supplied
+//! [`ReplySink`].
+//!
+//! Clock discipline: each iteration takes exactly the two `Instant`
+//! reads the deadline checks always took. The queue-wait histogram
+//! reuses the first read; the end-to-end latency histogram takes one
+//! extra read per job, gated through [`ServeMetrics::now`] so a disabled
+//! metrics plane adds zero clock traffic.
 
 use std::time::{Duration, Instant};
 
 use threefive_sync::{TeamPool, ThreadTeam};
 
 use crate::job::{Completed, JobFailure, JobId, JobSpec};
+use crate::metrics::ServeMetrics;
 use crate::protocol::Response;
 use crate::queue::{AdmissionQueue, Popped, QueuedJob};
 use crate::stats::ServiceStats;
@@ -68,13 +76,14 @@ pub fn run_dispatcher(
     pool: &TeamPool,
     runner: &dyn JobRunner,
     stats: &ServiceStats,
+    metrics: &ServeMetrics,
     replies: &dyn ReplySink,
 ) {
     loop {
         match queue.pop(POP_POLL) {
             Popped::Closed => return,
             Popped::Empty => continue,
-            Popped::Job(job) => serve_one(job, pool, runner, stats, replies),
+            Popped::Job(job) => serve_one(job, pool, runner, stats, metrics, replies),
         }
     }
 }
@@ -84,13 +93,20 @@ fn serve_one(
     pool: &TeamPool,
     runner: &dyn JobRunner,
     stats: &ServiceStats,
+    metrics: &ServeMetrics,
     replies: &dyn ReplySink,
 ) {
     let deadline_ms = job.spec.deadline.as_millis() as u64;
-    // Deadline check 1: the job may have aged out while queued. Expired
-    // jobs are answered with a typed failure without touching a team.
-    let Some(budget) = job.remaining(Instant::now()) else {
-        ServiceStats::bump(&stats.timed_out);
+    let kernel = job.spec.workload.kernel_label();
+    // Deadline check 1: the job may have aged out while queued. The same
+    // clock read feeds the queue-wait histogram. Expired jobs are
+    // answered with a typed failure without touching a team.
+    let popped_at = Instant::now();
+    metrics.on_queue_wait(popped_at.duration_since(job.admitted_at));
+    let Some(budget) = job.remaining(popped_at) else {
+        stats.job_timed_out();
+        metrics.on_resolved(kernel, job.reply_to);
+        metrics.on_job_failed(job.id, "DeadlineExpired", "expired while queued");
         replies.send(
             job.reply_to,
             job.id,
@@ -104,7 +120,9 @@ fn serve_one(
     // The checkout wait is bounded by the job's remaining budget, so a
     // starved pool converts into a typed per-job failure, not a wedge.
     let Some(lease) = pool.checkout(budget) else {
-        ServiceStats::bump(&stats.timed_out);
+        stats.job_timed_out();
+        metrics.on_resolved(kernel, job.reply_to);
+        metrics.on_job_failed(job.id, "PoolExhausted", "no team within budget");
         replies.send(
             job.reply_to,
             job.id,
@@ -118,7 +136,9 @@ fn serve_one(
     // Deadline check 2: re-measure after the (possibly long) checkout so
     // the runner receives the budget that is actually left.
     let Some(budget) = job.remaining(Instant::now()) else {
-        ServiceStats::bump(&stats.timed_out);
+        stats.job_timed_out();
+        metrics.on_resolved(kernel, job.reply_to);
+        metrics.on_job_failed(job.id, "DeadlineExpired", "expired at team checkout");
         replies.send(
             job.reply_to,
             job.id,
@@ -136,9 +156,15 @@ fn serve_one(
         // of handing a possibly-wedged team to the next tenant.
         lease.mark_suspect();
     }
+    metrics.on_resolved(kernel, job.reply_to);
+    // End-to-end latency (admission → response), behind the clock gate.
+    if let Some(now) = metrics.now() {
+        metrics.on_latency(now.duration_since(job.admitted_at));
+    }
     let resp = match outcome.result {
         Ok(completed) => {
-            ServiceStats::bump(&stats.completed);
+            stats.job_completed();
+            metrics.on_completed(&completed.rung, completed.downgrades, completed.exec_ms);
             Response::Done {
                 job_id: job.id,
                 completed,
@@ -147,10 +173,11 @@ fn serve_one(
         Err(failure) => {
             match failure {
                 JobFailure::DeadlineExpired { .. } | JobFailure::PoolExhausted => {
-                    ServiceStats::bump(&stats.timed_out)
+                    stats.job_timed_out()
                 }
-                JobFailure::Failed { .. } => ServiceStats::bump(&stats.failed),
+                JobFailure::Failed { .. } => stats.job_failed(),
             }
+            metrics.on_job_failed(job.id, failure.kind(), "runner-reported failure");
             Response::Failed {
                 job_id: job.id,
                 failure,
@@ -224,6 +251,12 @@ mod tests {
         }
     }
 
+    /// Admit through the stats so `in_flight` matches what the
+    /// dispatcher will resolve (as the server does).
+    fn admit(queue: &AdmissionQueue, stats: &ServiceStats, job: QueuedJob) {
+        stats.offer(|| queue.push(job)).unwrap();
+    }
+
     #[test]
     fn dispatcher_serves_jobs_then_exits_on_close() {
         let queue = AdmissionQueue::new(8);
@@ -233,21 +266,31 @@ mod tests {
             suspect: false,
         };
         let stats = ServiceStats::default();
+        let metrics = ServeMetrics::new();
         let sink = Collector {
             got: Mutex::new(Vec::new()),
         };
-        queue.push(queued(1, Duration::from_secs(5))).unwrap();
-        queue.push(queued(2, Duration::from_secs(5))).unwrap();
+        admit(&queue, &stats, queued(1, Duration::from_secs(5)));
+        admit(&queue, &stats, queued(2, Duration::from_secs(5)));
         queue.close();
-        run_dispatcher(&queue, &pool, &runner, &stats, &sink);
+        run_dispatcher(&queue, &pool, &runner, &stats, &metrics, &sink);
         assert_eq!(runner.ran.load(Ordering::Relaxed), 2);
-        assert_eq!(stats.completed.load(Ordering::Relaxed), 2);
+        let counts = stats.snapshot();
+        counts.check_identities().unwrap();
+        assert_eq!(counts.completed, 2);
+        assert_eq!(counts.in_flight, 0);
         let got = sink.got.lock().unwrap();
         assert_eq!(got.len(), 2);
         assert!(got
             .iter()
             .all(|(to, _, r)| *to == 42 && matches!(r, Response::Done { .. })));
         assert_eq!(pool.idle(), 1, "lease returned to the pool");
+        // The metrics plane saw both jobs: queue wait, kernel label, rung.
+        assert_eq!(metrics.queue_wait.snapshot().total(), 2);
+        assert_eq!(metrics.latency.snapshot().total(), 2);
+        let expo = metrics.exposition();
+        assert!(expo.contains("threefive_jobs_by_kernel_total{kernel=\"stencil\"} 2"));
+        assert!(expo.contains("threefive_jobs_by_rung_total{rung=\"fake\"} 2"));
     }
 
     #[test]
@@ -259,16 +302,19 @@ mod tests {
             suspect: false,
         };
         let stats = ServiceStats::default();
+        let metrics = ServeMetrics::new();
         let sink = Collector {
             got: Mutex::new(Vec::new()),
         };
         let mut job = queued(9, Duration::from_millis(1));
         job.admitted_at = Instant::now() - Duration::from_secs(1);
-        queue.push(job).unwrap();
+        admit(&queue, &stats, job);
         queue.close();
-        run_dispatcher(&queue, &pool, &runner, &stats, &sink);
+        run_dispatcher(&queue, &pool, &runner, &stats, &metrics, &sink);
         assert_eq!(runner.ran.load(Ordering::Relaxed), 0, "must not dispatch");
-        assert_eq!(stats.timed_out.load(Ordering::Relaxed), 1);
+        let counts = stats.snapshot();
+        counts.check_identities().unwrap();
+        assert_eq!(counts.timed_out, 1);
         let got = sink.got.lock().unwrap();
         match &got[0].2 {
             Response::Failed { job_id, failure } => {
@@ -277,6 +323,16 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        // The age-out became a warn event and a >=1s queue-wait sample.
+        let events = metrics
+            .events
+            .tail(10, threefive_metrics::Level::Warn);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "job_failed");
+        assert_eq!(events[0].job_id, Some(9));
+        let wait = metrics.queue_wait.snapshot();
+        assert_eq!(wait.total(), 1);
+        assert!(wait.quantile_ns(0.5).unwrap() >= 1_000_000_000 / 2);
     }
 
     #[test]
@@ -288,12 +344,13 @@ mod tests {
             suspect: true,
         };
         let stats = ServiceStats::default();
+        let metrics = ServeMetrics::new();
         let sink = Collector {
             got: Mutex::new(Vec::new()),
         };
-        queue.push(queued(1, Duration::from_secs(5))).unwrap();
+        admit(&queue, &stats, queued(1, Duration::from_secs(5)));
         queue.close();
-        run_dispatcher(&queue, &pool, &runner, &stats, &sink);
+        run_dispatcher(&queue, &pool, &runner, &stats, &metrics, &sink);
         // The healthy team passes its probe and returns to service.
         assert_eq!(pool.idle(), 1);
         assert_eq!(pool.quarantined(), 0);
@@ -308,30 +365,38 @@ mod tests {
             suspect: false,
         });
         let stats = Arc::new(ServiceStats::default());
+        let metrics = ServeMetrics::new();
         let sink = Arc::new(Collector {
             got: Mutex::new(Vec::new()),
         });
         for id in 0..16 {
-            queue.push(queued(id, Duration::from_secs(10))).unwrap();
+            admit(&queue, &stats, queued(id, Duration::from_secs(10)));
         }
         queue.close();
         let workers: Vec<_> = (0..2)
             .map(|_| {
-                let (q, p, r, s, k) = (
+                let (q, p, r, s, m, k) = (
                     Arc::clone(&queue),
                     Arc::clone(&pool),
                     Arc::clone(&runner),
                     Arc::clone(&stats),
+                    Arc::clone(&metrics),
                     Arc::clone(&sink),
                 );
-                std::thread::spawn(move || run_dispatcher(&q, &p, r.as_ref(), &s, k.as_ref()))
+                std::thread::spawn(move || {
+                    run_dispatcher(&q, &p, r.as_ref(), &s, &m, k.as_ref())
+                })
             })
             .collect();
         for w in workers {
             w.join().unwrap();
         }
-        assert_eq!(stats.completed.load(Ordering::Relaxed), 16);
+        let counts = stats.snapshot();
+        counts.check_identities().unwrap();
+        assert_eq!(counts.completed, 16);
+        assert_eq!(counts.in_flight, 0);
         assert_eq!(sink.got.lock().unwrap().len(), 16);
         assert_eq!(pool.idle(), 2);
+        assert_eq!(metrics.exec.snapshot().total(), 16);
     }
 }

@@ -74,6 +74,19 @@ impl fmt::Display for Workload {
     }
 }
 
+impl Workload {
+    /// Allocation-free label for per-kernel metrics (scenario included,
+    /// matching [`Display`](fmt::Display) output).
+    pub fn kernel_label(&self) -> &'static str {
+        match self {
+            Workload::Stencil => "stencil",
+            Workload::Lbm(LbmScenario::ClosedBox) => "lbm/box",
+            Workload::Lbm(LbmScenario::Cavity) => "lbm/cavity",
+            Workload::Lbm(LbmScenario::Channel) => "lbm/channel",
+        }
+    }
+}
+
 /// Number of priority classes; class `PRIORITIES - 1` is served first.
 pub const PRIORITIES: usize = 3;
 

@@ -31,7 +31,8 @@
 //! priority admission queue), [`protocol`] (framing + JSON codec),
 //! [`dispatch`] (the per-job hot path), [`server`] (accept loop, drain),
 //! [`signal`] (SIGINT/SIGTERM), [`client`] (synchronous tenant client),
-//! [`stats`] (service counters).
+//! [`stats`] (consistent admission accounting), [`metrics`] (live
+//! registry, Prometheus exposition and the structured event log).
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -39,6 +40,7 @@
 pub mod client;
 pub mod dispatch;
 pub mod job;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -51,7 +53,8 @@ pub use job::{
     AdmissionLimits, Completed, JobFailure, JobId, JobSpec, LbmScenario, Rejected, Workload,
     PRIORITIES,
 };
+pub use metrics::{ServeMetrics, EXEC_METRIC, JOB_LATENCY_METRIC, QUEUE_WAIT_METRIC};
 pub use protocol::{ChaosCmd, Request, Response, WireError};
 pub use queue::{AdmissionQueue, Popped, QueuedJob};
 pub use server::{Server, ServerConfig};
-pub use stats::ServiceStats;
+pub use stats::{Counts, ServiceStats};

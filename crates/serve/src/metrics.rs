@@ -1,0 +1,623 @@
+//! The daemon's live metrics plane: one [`ServeMetrics`] bundle owning
+//! the registry, the structured event log, and every handle the serve
+//! path bumps.
+//!
+//! Three sources feed the registry:
+//!
+//! * **Owned handles** (families, histograms, counters) bumped from the
+//!   dispatch loop and the job runner.
+//! * **The [`ServiceStats`] collector** — admission counters are
+//!   snapshotted under their own mutex at scrape time, so the accounting
+//!   identities hold in every exposition, not just eventually.
+//! * **The pool/queue collector** — `TeamPool` and `AdmissionQueue`
+//!   already own their gauges; the collector reads their getters at
+//!   scrape time instead of mirroring state.
+//!
+//! Clock discipline: the only latency measurement that needs a clock
+//! read beyond what dispatch already takes for deadlines (end-to-end
+//! latency at response time) is gated through [`ServeMetrics::now`],
+//! which returns `None` — without reading the clock — when metrics are
+//! disabled. Queue-wait reuses the deadline check's `Instant`, and the
+//! exec histogram is fed from the runner's own `exec_ms`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use threefive_bench::json::Json;
+use threefive_metrics::{
+    render_prometheus, Clock, Collector, Counter, CounterFamily, Event, EventLog, FieldValue,
+    Gauge, HistSpec, Histogram, Level, MetricSnapshot, MetricValue, Registry, Snapshot,
+};
+use threefive_sync::TeamPool;
+
+use crate::queue::AdmissionQueue;
+use crate::signal;
+use crate::stats::ServiceStats;
+
+/// Metric name of the end-to-end (admission → response) latency
+/// histogram; loadgen's `--verify-latency` cross-checks against it.
+pub const JOB_LATENCY_METRIC: &str = "threefive_job_latency_seconds";
+/// Metric name of the queue-wait histogram.
+pub const QUEUE_WAIT_METRIC: &str = "threefive_job_queue_wait_seconds";
+/// Metric name of the executor-time histogram.
+pub const EXEC_METRIC: &str = "threefive_job_exec_seconds";
+
+/// Default event-ring capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Every live-metrics handle the serving layer bumps, plus the registry
+/// and event log they feed. Shared as one `Arc` between the server, the
+/// dispatchers, and the facade's job runner.
+pub struct ServeMetrics {
+    clock: Clock,
+    /// The registry; scrape with [`Registry::snapshot`] or
+    /// [`ServeMetrics::exposition`].
+    pub registry: Registry,
+    /// Structured event ring, queryable over the `events` command.
+    pub events: EventLog,
+    events_by_level: CounterFamily,
+    /// Completed jobs by degradation-ladder rung.
+    pub jobs_by_rung: CounterFamily,
+    /// Resolved jobs (any outcome) by kernel.
+    pub jobs_by_kernel: CounterFamily,
+    /// Resolved jobs (any outcome) by tenant connection.
+    pub jobs_by_tenant: CounterFamily,
+    /// Total ladder downgrades across completed jobs.
+    pub downgrades_total: Counter,
+    /// Time jobs spent queued before dispatch.
+    pub queue_wait: Histogram,
+    /// Executor wall time (runner-measured `exec_ms`).
+    pub exec: Histogram,
+    /// End-to-end latency, admission to response.
+    pub latency: Histogram,
+    /// Tuned-plan database hits (job matched a stored plan).
+    pub tune_db_hits: Counter,
+    /// Tuned-plan database misses (analytical/spec plan used).
+    pub tune_db_misses: Counter,
+    /// Plans loaded from the tuning database at startup.
+    pub tune_db_entries: Gauge,
+    /// Engine sweeps observed (jobs that ran with instrumentation).
+    pub engine_sweeps_total: Counter,
+    /// Total engine compute nanoseconds (sum over worker threads).
+    pub engine_compute_ns_total: Counter,
+    /// Total engine barrier-wait nanoseconds (sum over worker threads).
+    pub engine_barrier_ns_total: Counter,
+    /// Barrier-wait episode histogram, same geometry as
+    /// `threefive_sync::WaitHistogram`.
+    pub barrier_wait: Histogram,
+}
+
+impl ServeMetrics {
+    /// An enabled metrics plane with the default event capacity and no
+    /// stderr echo.
+    pub fn new() -> Arc<Self> {
+        Self::with_options(true, DEFAULT_EVENT_CAPACITY, None)
+    }
+
+    /// A disabled plane: [`now`](Self::now) never reads the clock. The
+    /// registry and event log still function (scrapes see zeros).
+    pub fn disabled() -> Arc<Self> {
+        Self::with_options(false, DEFAULT_EVENT_CAPACITY, None)
+    }
+
+    /// Full-control constructor. `stderr_echo` additionally prints events
+    /// at the given level or above to stderr as JSONL.
+    pub fn with_options(
+        enabled: bool,
+        event_capacity: usize,
+        stderr_echo: Option<Level>,
+    ) -> Arc<Self> {
+        let registry = Registry::new();
+        let mut events = EventLog::new(event_capacity);
+        if let Some(min) = stderr_echo {
+            events = events.with_stderr_echo(min);
+        }
+        let events_by_level = registry.counter_family(
+            "threefive_events_total",
+            "Structured events emitted, by level.",
+            "level",
+        );
+        let jobs_by_rung = registry.counter_family(
+            "threefive_jobs_by_rung_total",
+            "Completed jobs by degradation-ladder rung actually served.",
+            "rung",
+        );
+        let jobs_by_kernel = registry.counter_family(
+            "threefive_jobs_by_kernel_total",
+            "Resolved jobs (completed, failed or timed out) by kernel.",
+            "kernel",
+        );
+        let jobs_by_tenant = registry.counter_family(
+            "threefive_jobs_by_tenant_total",
+            "Resolved jobs (completed, failed or timed out) by tenant connection.",
+            "tenant",
+        );
+        let downgrades_total = registry.counter(
+            "threefive_job_downgrades_total",
+            "Degradation-ladder downgrades summed over completed jobs.",
+        );
+        let queue_wait = registry.histogram(
+            QUEUE_WAIT_METRIC,
+            "Time admitted jobs waited in the queue before dispatch.",
+            HistSpec::LATENCY,
+        );
+        let exec = registry.histogram(
+            EXEC_METRIC,
+            "Executor wall time per completed job (runner-measured).",
+            HistSpec::LATENCY,
+        );
+        let latency = registry.histogram(
+            JOB_LATENCY_METRIC,
+            "End-to-end latency from admission to response, per resolved job.",
+            HistSpec::LATENCY,
+        );
+        let tune_db_hits = registry.counter(
+            "threefive_tune_db_hits_total",
+            "Jobs served from a stored tuned plan.",
+        );
+        let tune_db_misses = registry.counter(
+            "threefive_tune_db_misses_total",
+            "Jobs that fell back to the spec/analytical plan.",
+        );
+        let tune_db_entries = registry.gauge(
+            "threefive_tune_db_entries",
+            "Tuned plans loaded for this host at startup.",
+        );
+        let engine_sweeps_total = registry.counter(
+            "threefive_engine_sweeps_total",
+            "Instrumented engine sweeps observed.",
+        );
+        let engine_compute_ns_total = registry.counter(
+            "threefive_engine_compute_ns_total",
+            "Engine compute nanoseconds summed over worker threads.",
+        );
+        let engine_barrier_ns_total = registry.counter(
+            "threefive_engine_barrier_ns_total",
+            "Engine barrier-wait nanoseconds summed over worker threads.",
+        );
+        let barrier_wait = registry.histogram(
+            "threefive_engine_barrier_wait_seconds",
+            "Barrier-wait episodes (WaitHistogram geometry: log-4 from ~1us).",
+            HistSpec::BARRIER_WAIT,
+        );
+        Arc::new(ServeMetrics {
+            clock: if enabled {
+                Clock::enabled()
+            } else {
+                Clock::disabled()
+            },
+            registry,
+            events,
+            events_by_level,
+            jobs_by_rung,
+            jobs_by_kernel,
+            jobs_by_tenant,
+            downgrades_total,
+            queue_wait,
+            exec,
+            latency,
+            tune_db_hits,
+            tune_db_misses,
+            tune_db_entries,
+            engine_sweeps_total,
+            engine_compute_ns_total,
+            engine_barrier_ns_total,
+            barrier_wait,
+        })
+    }
+
+    /// Whether the latency clock gate is open.
+    pub fn is_enabled(&self) -> bool {
+        self.clock.is_enabled()
+    }
+
+    /// Gated clock read: `None` (with no clock access) when disabled.
+    pub fn now(&self) -> Option<std::time::Instant> {
+        self.clock.now()
+    }
+
+    /// Emit a structured event and count it by level.
+    pub fn event(
+        &self,
+        level: Level,
+        kind: &str,
+        job_id: Option<u64>,
+        fields: Vec<(String, FieldValue)>,
+    ) {
+        self.events_by_level.with(level.as_str()).inc();
+        self.events.emit(level, kind, job_id, fields);
+    }
+
+    /// Dispatch hook: an admitted job was popped after `wait` in queue.
+    pub fn on_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record_ns(wait.as_nanos() as u64);
+    }
+
+    /// Dispatch hook: a job resolved (any outcome); counts traffic by
+    /// kernel and tenant connection.
+    pub fn on_resolved(&self, kernel: &'static str, tenant_conn: u64) {
+        self.jobs_by_kernel.with(kernel).inc();
+        self.jobs_by_tenant.with(&format!("conn-{tenant_conn}")).inc();
+    }
+
+    /// Dispatch hook: a job completed on `rung` after `exec_ms`.
+    pub fn on_completed(&self, rung: &str, downgrades: u32, exec_ms: f64) {
+        self.jobs_by_rung.with(rung).inc();
+        if downgrades > 0 {
+            self.downgrades_total.add(u64::from(downgrades));
+        }
+        self.exec.record_ns((exec_ms.max(0.0) * 1e6) as u64);
+    }
+
+    /// Dispatch hook: end-to-end latency for a resolved job (only called
+    /// when the clock gate is open).
+    pub fn on_latency(&self, latency: Duration) {
+        self.latency.record_ns(latency.as_nanos() as u64);
+    }
+
+    /// Dispatch hook: a job failed or timed out; emits a warn event.
+    /// (Allocation lives here, off the dispatch hot-path file.)
+    pub fn on_job_failed(&self, job_id: u64, kind: &'static str, detail: &str) {
+        self.event(
+            Level::Warn,
+            "job_failed",
+            Some(job_id),
+            vec![
+                ("reason".to_string(), FieldValue::from(kind)),
+                ("detail".to_string(), FieldValue::from(detail)),
+            ],
+        );
+    }
+
+    /// Runner hook: fold one instrumented sweep's observer totals into
+    /// the engine counters without re-reading any clock.
+    pub fn on_engine_sweep(
+        &self,
+        compute_ns: u64,
+        barrier_ns: u64,
+        wait_hist_counts: &[u64],
+    ) {
+        self.engine_sweeps_total.inc();
+        self.engine_compute_ns_total.add(compute_ns);
+        self.engine_barrier_ns_total.add(barrier_ns);
+        self.barrier_wait.merge_buckets(wait_hist_counts, barrier_ns);
+    }
+
+    /// Render the full registry as Prometheus text.
+    pub fn exposition(&self) -> String {
+        render_prometheus(&self.registry.snapshot())
+    }
+}
+
+/// Scrape-time collector over [`ServiceStats`]: all admission counters
+/// come from one locked snapshot, so the accounting identities hold in
+/// every exposition.
+pub struct StatsCollector {
+    stats: Arc<ServiceStats>,
+}
+
+impl StatsCollector {
+    /// Wrap the daemon's stats for registration.
+    pub fn new(stats: Arc<ServiceStats>) -> Self {
+        StatsCollector { stats }
+    }
+}
+
+fn counter_metric(name: &str, help: &str, value: u64) -> MetricSnapshot {
+    MetricSnapshot {
+        name: name.to_string(),
+        help: help.to_string(),
+        samples: vec![(Vec::new(), MetricValue::Counter(value))],
+    }
+}
+
+fn gauge_metric(name: &str, help: &str, value: i64) -> MetricSnapshot {
+    MetricSnapshot {
+        name: name.to_string(),
+        help: help.to_string(),
+        samples: vec![(Vec::new(), MetricValue::Gauge(value))],
+    }
+}
+
+impl Collector for StatsCollector {
+    fn collect(&self) -> Vec<MetricSnapshot> {
+        let c = self.stats.snapshot();
+        vec![
+            counter_metric(
+                "threefive_jobs_offered_total",
+                "Solve requests received (before admission).",
+                c.offered,
+            ),
+            counter_metric(
+                "threefive_jobs_accepted_total",
+                "Jobs admitted to the queue.",
+                c.accepted,
+            ),
+            counter_metric(
+                "threefive_jobs_rejected_total",
+                "Typed admission refusals (all reasons).",
+                c.rejected,
+            ),
+            counter_metric(
+                "threefive_jobs_completed_total",
+                "Jobs that completed with a checksum.",
+                c.completed,
+            ),
+            counter_metric(
+                "threefive_jobs_failed_total",
+                "Admitted jobs that failed for a non-deadline reason.",
+                c.failed,
+            ),
+            counter_metric(
+                "threefive_jobs_timed_out_total",
+                "Admitted jobs whose deadline expired before a result.",
+                c.timed_out,
+            ),
+            gauge_metric(
+                "threefive_jobs_in_flight",
+                "Jobs admitted but not yet resolved (queued or executing).",
+                c.in_flight as i64,
+            ),
+            counter_metric(
+                "threefive_chaos_commands_total",
+                "Chaos commands processed.",
+                c.chaos_cmds,
+            ),
+        ]
+    }
+}
+
+/// Scrape-time collector over the pool and queue gauges the daemon
+/// already owns.
+pub struct PoolQueueCollector {
+    pool: Arc<TeamPool>,
+    queue: Arc<AdmissionQueue>,
+}
+
+impl PoolQueueCollector {
+    /// Wrap the daemon's pool and queue for registration.
+    pub fn new(pool: Arc<TeamPool>, queue: Arc<AdmissionQueue>) -> Self {
+        PoolQueueCollector { pool, queue }
+    }
+}
+
+impl Collector for PoolQueueCollector {
+    fn collect(&self) -> Vec<MetricSnapshot> {
+        let states = vec![
+            (
+                vec![("state".to_string(), "idle".to_string())],
+                MetricValue::Gauge(self.pool.idle() as i64),
+            ),
+            (
+                vec![("state".to_string(), "leased".to_string())],
+                MetricValue::Gauge(self.pool.leased() as i64),
+            ),
+            (
+                vec![("state".to_string(), "quarantined".to_string())],
+                MetricValue::Gauge(self.pool.quarantined() as i64),
+            ),
+        ];
+        vec![
+            gauge_metric(
+                "threefive_queue_depth",
+                "Jobs currently queued (all priority classes).",
+                self.queue.len() as i64,
+            ),
+            gauge_metric(
+                "threefive_queue_capacity",
+                "Admission queue capacity.",
+                self.queue.capacity() as i64,
+            ),
+            MetricSnapshot {
+                name: "threefive_pool_teams".to_string(),
+                help: "Teams in the pool, by state.".to_string(),
+                samples: states,
+            },
+            gauge_metric(
+                "threefive_pool_capacity",
+                "Total teams in the pool.",
+                self.pool.capacity() as i64,
+            ),
+            counter_metric(
+                "threefive_pool_isolations_total",
+                "Teams quarantined after failing a health probe.",
+                self.pool.isolation_count() as u64,
+            ),
+            counter_metric(
+                "threefive_pool_heals_total",
+                "Quarantined teams healed back into service.",
+                self.pool.heal_count() as u64,
+            ),
+            gauge_metric(
+                "threefive_draining",
+                "1 while a graceful drain is in progress.",
+                i64::from(signal::shutdown_requested()),
+            ),
+        ]
+    }
+}
+
+/// Render a registry snapshot as a JSON object keyed by metric name:
+/// counters and gauges become numbers, families become objects keyed by
+/// label value, histograms become `{count, sum_ns, p50_ns, p90_ns,
+/// p99_ns, buckets: [{le_ns, count}, ...]}` with **non-cumulative**
+/// bucket counts (so two snapshots can be subtracted bucket-wise).
+pub fn snapshot_to_json(snap: &Snapshot) -> Json {
+    let mut fields = Vec::with_capacity(snap.metrics.len());
+    for metric in &snap.metrics {
+        let value = match metric.samples.as_slice() {
+            [(labels, single)] if labels.is_empty() => sample_to_json(single),
+            samples => Json::Obj(
+                samples
+                    .iter()
+                    .map(|(labels, v)| {
+                        let key = labels
+                            .first()
+                            .map(|(_, value)| value.clone())
+                            .unwrap_or_default();
+                        (key, sample_to_json(v))
+                    })
+                    .collect(),
+            ),
+        };
+        fields.push((metric.name.clone(), value));
+    }
+    Json::Obj(fields)
+}
+
+fn sample_to_json(value: &MetricValue) -> Json {
+    match value {
+        MetricValue::Counter(v) => Json::num(*v as f64),
+        MetricValue::Gauge(v) => Json::num(*v as f64),
+        MetricValue::Histogram(h) => {
+            let buckets = h
+                .counts
+                .iter()
+                .enumerate()
+                .map(|(i, count)| {
+                    Json::Obj(vec![
+                        (
+                            "le_ns".into(),
+                            h.spec
+                                .upper_ns(i)
+                                .map_or(Json::Null, |ns| Json::num(ns as f64)),
+                        ),
+                        ("count".into(), Json::num(*count as f64)),
+                    ])
+                })
+                .collect();
+            let quant = |q: f64| h.quantile_ns(q).map_or(Json::Null, |ns| Json::num(ns as f64));
+            Json::Obj(vec![
+                ("count".into(), Json::num(h.total() as f64)),
+                ("sum_ns".into(), Json::num(h.sum_ns as f64)),
+                ("p50_ns".into(), quant(0.5)),
+                ("p90_ns".into(), quant(0.9)),
+                ("p99_ns".into(), quant(0.99)),
+                ("buckets".into(), Json::Arr(buckets)),
+            ])
+        }
+    }
+}
+
+/// Render one event as a JSON object for the `events` protocol response.
+/// `seq`, `ts_ms` and `job_id` ride as JSON numbers (f64): they stay far
+/// below 2^53 for any realistic daemon lifetime.
+pub fn event_to_json(event: &Event) -> Json {
+    let mut fields = vec![
+        ("seq".into(), Json::num(event.seq as f64)),
+        ("ts_ms".into(), Json::num(event.ts_ms as f64)),
+        ("level".into(), Json::str(event.level.as_str())),
+        ("kind".into(), Json::str(event.kind.clone())),
+    ];
+    if let Some(id) = event.job_id {
+        fields.push(("job_id".into(), Json::num(id as f64)));
+    }
+    for (key, value) in &event.fields {
+        let v = match value {
+            FieldValue::Str(s) => Json::str(s.clone()),
+            FieldValue::U64(n) => Json::num(*n as f64),
+            FieldValue::F64(n) if n.is_finite() => Json::num(*n),
+            FieldValue::F64(_) => Json::Null,
+            FieldValue::Bool(b) => Json::Bool(*b),
+        };
+        fields.push((key.clone(), v));
+    }
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_never_read_the_clock() {
+        let m = ServeMetrics::disabled();
+        assert!(!m.is_enabled());
+        assert!(m.now().is_none(), "disabled gate must return None");
+        assert!(ServeMetrics::new().now().is_some());
+    }
+
+    #[test]
+    fn exposition_of_a_fresh_plane_validates() {
+        let m = ServeMetrics::new();
+        m.on_queue_wait(Duration::from_micros(80));
+        m.on_resolved("stencil", 3);
+        m.on_completed("parallel-3.5d", 1, 2.5);
+        m.on_latency(Duration::from_millis(3));
+        m.on_engine_sweep(1_000_000, 50_000, &[1; 12]);
+        m.on_job_failed(9, "DeadlineExpired", "budget exhausted");
+        let text = m.exposition();
+        threefive_metrics::validate_exposition(&text).unwrap();
+        assert!(text.contains("threefive_jobs_by_rung_total{rung=\"parallel-3.5d\"} 1"));
+        assert!(text.contains("threefive_events_total{level=\"warn\"} 1"));
+        assert!(text.contains("threefive_engine_sweeps_total 1"));
+    }
+
+    #[test]
+    fn stats_collector_exposes_consistent_identities() {
+        let stats = Arc::new(ServiceStats::default());
+        stats.offer(|| Ok(())).unwrap();
+        stats.offer(|| Err(crate::job::Rejected::ShuttingDown)).ok();
+        let m = ServeMetrics::new();
+        m.registry.collector(Box::new(StatsCollector::new(Arc::clone(&stats))));
+        let snap = m.registry.snapshot();
+        let get = |name: &str| match snap.get(name).unwrap().samples[0].1 {
+            MetricValue::Counter(v) => v,
+            MetricValue::Gauge(v) => v as u64,
+            _ => panic!("unexpected kind for {name}"),
+        };
+        let offered = get("threefive_jobs_offered_total");
+        let accepted = get("threefive_jobs_accepted_total");
+        let rejected = get("threefive_jobs_rejected_total");
+        let in_flight = get("threefive_jobs_in_flight");
+        assert_eq!(offered, accepted + rejected);
+        assert_eq!(accepted, in_flight);
+        threefive_metrics::validate_exposition(&m.exposition()).unwrap();
+    }
+
+    #[test]
+    fn json_snapshot_shape_for_each_metric_kind() {
+        let m = ServeMetrics::new();
+        m.on_completed("serial", 0, 1.0);
+        m.tune_db_entries.set(4);
+        let doc = snapshot_to_json(&m.registry.snapshot());
+        // Family -> object keyed by label value.
+        let rung = doc.get("threefive_jobs_by_rung_total").unwrap();
+        assert_eq!(rung.get("serial").and_then(Json::as_f64), Some(1.0));
+        // Gauge -> number.
+        assert_eq!(
+            doc.get("threefive_tune_db_entries").and_then(Json::as_f64),
+            Some(4.0)
+        );
+        // Histogram -> object with count/quantiles/buckets.
+        let exec = doc.get(EXEC_METRIC).unwrap();
+        assert_eq!(exec.get("count").and_then(Json::as_f64), Some(1.0));
+        assert!(exec.get("p50_ns").and_then(Json::as_f64).is_some());
+        match exec.get("buckets") {
+            Some(Json::Arr(b)) => assert_eq!(b.len(), HistSpec::LATENCY.buckets),
+            other => panic!("unexpected buckets {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_json_carries_typed_fields() {
+        let m = ServeMetrics::new();
+        m.event(
+            Level::Info,
+            "job_done",
+            Some(5),
+            vec![
+                ("rung".into(), FieldValue::from("serial")),
+                ("exec_ms".into(), FieldValue::from(1.25)),
+            ],
+        );
+        let events = m.events.tail(10, Level::Debug);
+        let doc = event_to_json(&events[0]);
+        assert_eq!(doc.get("job_id").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(
+            doc.get("rung").and_then(Json::as_str),
+            Some("serial")
+        );
+        assert_eq!(doc.get("exec_ms").and_then(Json::as_f64), Some(1.25));
+    }
+}

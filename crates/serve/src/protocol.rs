@@ -15,7 +15,14 @@
 //! * `{"cmd":"ping"}` → `{"status":"ok","pong":true}`
 //! * `{"cmd":"solve","workload":"stencil"|"lbm","scenario":...,"n":...,
 //!   "steps":...,"dim_t":...,"tile":...,"deadline_ms":...,"priority":...}`
-//! * `{"cmd":"stats"}` → pool/queue/counter snapshot
+//! * `{"cmd":"stats"}` → pool/queue/counter snapshot plus a nested
+//!   `metrics` object (the registry's JSON snapshot)
+//! * `{"cmd":"metrics"}` → `{"exposition": "..."}`: the Prometheus
+//!   text-format exposition as one string field
+//! * `{"cmd":"events","limit":...,"level":"debug"|"info"|"warn"|"error"}`
+//!   → `{"events":[...],"total_emitted":N}`: the newest matching entries
+//!   of the structured event ring, oldest first (both fields optional;
+//!   defaults: limit 100, level debug)
 //! * `{"cmd":"chaos","tid":...,"step":...,"kind":"panic"|"stall",
 //!   "stall_ms":...}` (or `{"cmd":"chaos","kind":"off"}`) — arms fault
 //!   injection *inside the daemon process*
@@ -25,12 +32,16 @@ use std::io::{Read, Write};
 use std::time::Duration;
 
 use threefive_bench::json::Json;
+use threefive_metrics::Level;
 
 use crate::job::{Completed, JobFailure, JobId, JobSpec, LbmScenario, Rejected, Workload};
 
 /// Maximum frame payload in bytes. Requests and responses are small
 /// JSON documents; anything near this size is a protocol violation.
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Events returned by `{"cmd":"events"}` when no `limit` is given.
+pub const DEFAULT_EVENT_LIMIT: usize = 100;
 
 /// A protocol-level failure (I/O, framing, or malformed JSON).
 #[derive(Debug)]
@@ -108,6 +119,15 @@ pub enum Request {
     Solve(JobSpec),
     /// Snapshot service counters.
     Stats,
+    /// Fetch the Prometheus text-format exposition.
+    Metrics,
+    /// Fetch the newest structured events at or above a level.
+    Events {
+        /// Maximum entries returned (newest win; rendered oldest first).
+        limit: usize,
+        /// Lowest level included.
+        min_level: Level,
+    },
     /// Arm (or disarm, `kind: "off"`) fault injection in the daemon.
     Chaos(ChaosCmd),
     /// Begin graceful drain.
@@ -155,6 +175,29 @@ pub fn decode_request(doc: &Json) -> Result<Request, WireError> {
     match cmd {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "events" => {
+            let limit = match doc.get("limit") {
+                None | Some(Json::Null) => DEFAULT_EVENT_LIMIT,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    WireError::Malformed("field 'limit' must be a non-negative integer".into())
+                })? as usize,
+            };
+            let min_level = match doc.get("level") {
+                None | Some(Json::Null) => Level::Debug,
+                Some(v) => {
+                    let name = v.as_str().ok_or_else(|| {
+                        WireError::Malformed("field 'level' must be a string".into())
+                    })?;
+                    Level::parse(name).ok_or_else(|| {
+                        WireError::Malformed(format!(
+                            "unknown level '{name}' (expected debug, info, warn or error)"
+                        ))
+                    })?
+                }
+            };
+            Ok(Request::Events { limit, min_level })
+        }
         "shutdown" => Ok(Request::Shutdown),
         "chaos" => {
             let kind = doc
@@ -236,6 +279,20 @@ pub fn encode_solve(spec: &JobSpec) -> Json {
     ));
     fields.push(("priority".into(), Json::num(f64::from(spec.priority))));
     Json::Obj(fields)
+}
+
+/// Encodes a metrics-exposition request.
+pub fn encode_metrics() -> Json {
+    Json::Obj(vec![("cmd".into(), Json::str("metrics"))])
+}
+
+/// Encodes an events query.
+pub fn encode_events(limit: usize, min_level: Level) -> Json {
+    Json::Obj(vec![
+        ("cmd".into(), Json::str("events")),
+        ("limit".into(), Json::num(limit as f64)),
+        ("level".into(), Json::str(min_level.as_str())),
+    ])
 }
 
 /// Encodes a chaos request.
@@ -541,6 +598,33 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn metrics_and_events_requests_round_trip() {
+        assert_eq!(decode_request(&encode_metrics()).unwrap(), Request::Metrics);
+        assert_eq!(
+            decode_request(&encode_events(25, Level::Warn)).unwrap(),
+            Request::Events {
+                limit: 25,
+                min_level: Level::Warn,
+            }
+        );
+        // Bare command applies the documented defaults.
+        let bare = Json::Obj(vec![("cmd".into(), Json::str("events"))]);
+        assert_eq!(
+            decode_request(&bare).unwrap(),
+            Request::Events {
+                limit: DEFAULT_EVENT_LIMIT,
+                min_level: Level::Debug,
+            }
+        );
+        // An unknown level is a typed protocol error, not a panic.
+        let bad = Json::Obj(vec![
+            ("cmd".into(), Json::str("events")),
+            ("level".into(), Json::str("loud")),
+        ]);
+        assert!(decode_request(&bad).is_err());
     }
 
     #[test]

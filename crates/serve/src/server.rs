@@ -1,12 +1,14 @@
-//! The daemon: accept loop, connection handlers, dispatcher threads and
-//! the graceful-drain state machine.
+//! The daemon: accept loop, connection handlers, dispatcher threads, the
+//! metrics scrape listener and the graceful-drain state machine.
 //!
 //! Thread layout per running server:
 //!
 //! * the accept loop (caller's thread, inside [`Server::run`]);
 //! * `dispatchers` dispatcher threads running
 //!   [`run_dispatcher`];
-//! * one reader + one writer thread per live connection, joined on exit.
+//! * one reader + one writer thread per live connection, joined on exit;
+//! * optionally one scrape thread answering plaintext `GET /metrics`
+//!   requests on a second listener ([`ServerConfig::metrics_addr`]).
 //!
 //! Drain protocol: a SIGINT/SIGTERM (or the `shutdown` command) sets the
 //! process-wide flag; the accept loop closes the admission queue — from
@@ -18,7 +20,7 @@
 //! joined and [`Server::run`] returns `Ok(())`.
 
 use std::collections::HashMap;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -26,10 +28,14 @@ use std::time::Duration;
 
 use threefive_bench::json::Json;
 use threefive_core::faults::{self, FaultGuard, FaultKind, FaultPlan};
+use threefive_metrics::{FieldValue, Level};
 use threefive_sync::TeamPool;
 
 use crate::dispatch::{run_dispatcher, JobRunner, ReplySink};
 use crate::job::{AdmissionLimits, JobId, Rejected};
+use crate::metrics::{
+    event_to_json, snapshot_to_json, PoolQueueCollector, ServeMetrics, StatsCollector,
+};
 use crate::protocol::{
     decode_request, encode_response, write_frame, ChaosCmd, Request, Response, WireError, MAX_FRAME,
 };
@@ -42,6 +48,9 @@ use crate::stats::ServiceStats;
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7535` (`:0` for an ephemeral port).
     pub addr: String,
+    /// Optional second listener answering plaintext HTTP `GET /metrics`
+    /// scrapes with the Prometheus exposition (`:0` for ephemeral).
+    pub metrics_addr: Option<String>,
     /// Teams in the pool (= jobs that can execute concurrently).
     pub teams: usize,
     /// Worker threads per team.
@@ -58,6 +67,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".into(),
+            metrics_addr: None,
             teams: 2,
             threads_per_team: 2,
             queue_capacity: 64,
@@ -96,9 +106,10 @@ impl ReplySink for Router {
 }
 
 struct Inner {
-    pool: TeamPool,
-    queue: AdmissionQueue,
-    stats: ServiceStats,
+    pool: Arc<TeamPool>,
+    queue: Arc<AdmissionQueue>,
+    stats: Arc<ServiceStats>,
+    metrics: Arc<ServeMetrics>,
     router: Router,
     runner: Arc<dyn JobRunner>,
     limits: AdmissionLimits,
@@ -135,7 +146,12 @@ impl Inner {
     }
 
     fn stats_doc(&self) -> Json {
-        let mut fields = self.stats.to_json();
+        // One locked snapshot for the flat counters, so the accounting
+        // identities hold inside every response (and are pre-checked
+        // here so scrapers get a verdict without re-deriving it).
+        let counts = self.stats.snapshot();
+        let identities = counts.check_identities();
+        let mut fields = counts.to_json();
         fields.push(("queue_len".into(), Json::num(self.queue.len() as f64)));
         fields.push((
             "queue_capacity".into(),
@@ -160,6 +176,14 @@ impl Inner {
             Json::num(self.pool.heal_count() as f64),
         ));
         fields.push(("draining".into(), Json::Bool(signal::shutdown_requested())));
+        fields.push(("identities_ok".into(), Json::Bool(identities.is_ok())));
+        if let Err(violation) = identities {
+            fields.push(("identities_err".into(), Json::str(violation)));
+        }
+        fields.push((
+            "metrics".into(),
+            snapshot_to_json(&self.metrics.registry.snapshot()),
+        ));
         Json::Obj(fields)
     }
 }
@@ -167,20 +191,52 @@ impl Inner {
 /// A bound (not yet running) daemon.
 pub struct Server {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     inner: Arc<Inner>,
     dispatchers: usize,
 }
 
 impl Server {
     /// Binds the listen socket and builds the team pool (workers spawn
-    /// here, once, and persist for the daemon's lifetime).
+    /// here, once, and persist for the daemon's lifetime) with a fresh
+    /// enabled metrics plane.
     pub fn bind(config: ServerConfig, runner: Arc<dyn JobRunner>) -> std::io::Result<Self> {
+        Self::bind_with_metrics(config, runner, ServeMetrics::new())
+    }
+
+    /// [`bind`](Self::bind) with a caller-supplied metrics plane (the
+    /// facade shares it with its job runner so engine observer totals
+    /// and tune-DB hits land in the same registry).
+    pub fn bind_with_metrics(
+        config: ServerConfig,
+        runner: Arc<dyn JobRunner>,
+        metrics: Arc<ServeMetrics>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let pool = Arc::new(TeamPool::new(config.teams, config.threads_per_team));
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let stats = Arc::new(ServiceStats::default());
+        metrics
+            .registry
+            .collector(Box::new(StatsCollector::new(Arc::clone(&stats))));
+        metrics.registry.collector(Box::new(PoolQueueCollector::new(
+            Arc::clone(&pool),
+            Arc::clone(&queue),
+        )));
         let inner = Arc::new(Inner {
-            pool: TeamPool::new(config.teams, config.threads_per_team),
-            queue: AdmissionQueue::new(config.queue_capacity),
-            stats: ServiceStats::default(),
+            pool,
+            queue,
+            stats,
+            metrics,
             router: Router {
                 routes: Mutex::new(HashMap::new()),
             },
@@ -194,6 +250,7 @@ impl Server {
         });
         Ok(Self {
             listener,
+            metrics_listener,
             inner,
             dispatchers: config.dispatchers.max(1),
         })
@@ -204,10 +261,41 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The bound scrape address, if a metrics listener was configured.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+    }
+
+    /// The daemon's metrics plane (registry + event log).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
     /// Runs the daemon until a graceful shutdown completes. Returns
-    /// `Ok(())` only after every dispatcher and connection thread has
-    /// been joined — no detached threads survive this call.
+    /// `Ok(())` only after every dispatcher, connection and scrape
+    /// thread has been joined — no detached threads survive this call.
     pub fn run(self) -> std::io::Result<()> {
+        self.inner.metrics.event(
+            Level::Info,
+            "server_started",
+            None,
+            vec![
+                (
+                    "addr".to_string(),
+                    FieldValue::from(
+                        self.local_addr()
+                            .map(|a| a.to_string())
+                            .unwrap_or_default(),
+                    ),
+                ),
+                (
+                    "dispatchers".to_string(),
+                    FieldValue::from(self.dispatchers as u64),
+                ),
+            ],
+        );
         let mut dispatcher_handles = Vec::new();
         for i in 0..self.dispatchers {
             let inner = Arc::clone(&self.inner);
@@ -221,12 +309,24 @@ impl Server {
                             &inner.pool,
                             inner.runner.as_ref(),
                             &inner.stats,
+                            &inner.metrics,
                             &inner.router,
                         );
                         inner.live_dispatchers.fetch_sub(1, Ordering::SeqCst);
                     })?,
             );
         }
+        let scrape_handle = match self.metrics_listener {
+            Some(listener) => {
+                let inner = Arc::clone(&self.inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("metrics-scrape".into())
+                        .spawn(move || serve_scrapes(listener, &inner))?,
+                )
+            }
+            None => None,
+        };
 
         let mut conn_handles = Vec::new();
         let mut draining = false;
@@ -236,6 +336,9 @@ impl Server {
                 // From here on `queue.push` answers `ShuttingDown`;
                 // already-admitted jobs keep draining.
                 self.inner.queue.close();
+                self.inner
+                    .metrics
+                    .event(Level::Info, "drain_started", None, Vec::new());
             }
             if draining && self.inner.live_dispatchers.load(Ordering::SeqCst) == 0 {
                 break;
@@ -260,13 +363,50 @@ impl Server {
         for h in dispatcher_handles {
             let _ = h.join();
         }
+        self.inner
+            .metrics
+            .event(Level::Info, "drain_complete", None, Vec::new());
         // Dispatchers are gone, so all responses are in the connection
         // channels; now stop the connection threads and flush.
         self.inner.stopped.store(true, Ordering::SeqCst);
         for h in conn_handles {
             let _ = h.join();
         }
+        if let Some(h) = scrape_handle {
+            let _ = h.join();
+        }
         Ok(())
+    }
+}
+
+/// Answers scrape connections on the metrics listener with an HTTP/1.0
+/// response carrying the Prometheus exposition. The request itself is
+/// read (to drain the socket) but not parsed: every connection gets the
+/// full exposition, which is what Prometheus' text scraper needs.
+fn serve_scrapes(listener: TcpListener, inner: &Arc<Inner>) {
+    loop {
+        if inner.stopped.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let body = inner.metrics.exposition();
+                let head = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                );
+                let _ = stream
+                    .write_all(head.as_bytes())
+                    .and_then(|()| stream.write_all(body.as_bytes()));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => return,
+        }
     }
 }
 
@@ -277,6 +417,12 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream, conn_id: u64) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    // A response frame leaves as two writes (length prefix, then body);
+    // without TCP_NODELAY, Nagle holds the body until the peer's delayed
+    // ACK and every reply stalls ~40 ms even on loopback. Found by
+    // `loadgen --verify-latency` disagreeing with the server-side
+    // end-to-end histogram by exactly that margin.
+    let _ = stream.set_nodelay(true);
     if stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .is_err()
@@ -409,6 +555,23 @@ fn process_request(inner: &Arc<Inner>, doc: &Json, conn_id: u64) -> Option<Respo
             Json::Bool(true),
         )]))),
         Request::Stats => Some(Response::Ok(inner.stats_doc())),
+        Request::Metrics => Some(Response::Ok(Json::Obj(vec![(
+            "exposition".into(),
+            Json::str(inner.metrics.exposition()),
+        )]))),
+        Request::Events { limit, min_level } => {
+            let events = inner.metrics.events.tail(limit, min_level);
+            Some(Response::Ok(Json::Obj(vec![
+                (
+                    "events".into(),
+                    Json::Arr(events.iter().map(event_to_json).collect()),
+                ),
+                (
+                    "total_emitted".into(),
+                    Json::num(inner.metrics.events.total_emitted() as f64),
+                ),
+            ])))
+        }
         Request::Shutdown => {
             signal::request_shutdown();
             Some(Response::Ok(Json::Obj(vec![(
@@ -417,42 +580,71 @@ fn process_request(inner: &Arc<Inner>, doc: &Json, conn_id: u64) -> Option<Respo
             )])))
         }
         Request::Chaos(cmd) => {
-            ServiceStats::bump(&inner.stats.chaos_cmds);
+            inner.stats.chaos_cmd();
             inner.arm_chaos(&cmd);
             let kind = match cmd {
                 ChaosCmd::Off => "off",
                 ChaosCmd::Panic { .. } => "panic",
                 ChaosCmd::Stall { .. } => "stall",
             };
+            inner.metrics.event(
+                Level::Warn,
+                "chaos_armed",
+                None,
+                vec![("kind".to_string(), FieldValue::from(kind))],
+            );
             Some(Response::Ok(Json::Obj(vec![(
                 "chaos".into(),
                 Json::str(kind),
             )])))
         }
         Request::Solve(spec) => {
-            ServiceStats::bump(&inner.stats.offered);
+            // Each refusal path records exactly one offered+rejected
+            // transition; acceptance runs `queue.push` inside the
+            // accounting lock so a scrape can never see a job the
+            // dispatcher resolved before it was counted as accepted.
             if signal::shutdown_requested() {
-                ServiceStats::bump(&inner.stats.rejected);
+                inner.stats.offer_rejected();
                 return Some(Response::Rejected(Rejected::ShuttingDown));
             }
             if let Err(rejected) = spec.validate(&inner.limits) {
-                ServiceStats::bump(&inner.stats.rejected);
+                inner.stats.offer_rejected();
+                inner.metrics.event(
+                    Level::Warn,
+                    "job_rejected",
+                    None,
+                    vec![("reason".to_string(), FieldValue::from(rejected.kind()))],
+                );
                 return Some(Response::Rejected(rejected));
             }
             let id = inner.next_job_id.fetch_add(1, Ordering::Relaxed);
+            let kernel = spec.workload.kernel_label();
             let job = QueuedJob {
                 id,
                 spec,
                 admitted_at: std::time::Instant::now(),
                 reply_to: conn_id,
             };
-            match inner.queue.push(job) {
+            match inner.stats.offer(|| inner.queue.push(job)) {
                 Ok(()) => {
-                    ServiceStats::bump(&inner.stats.accepted);
+                    inner.metrics.event(
+                        Level::Debug,
+                        "job_admitted",
+                        Some(id),
+                        vec![
+                            ("kernel".to_string(), FieldValue::from(kernel)),
+                            ("conn".to_string(), FieldValue::from(conn_id)),
+                        ],
+                    );
                     None
                 }
                 Err(rejected) => {
-                    ServiceStats::bump(&inner.stats.rejected);
+                    inner.metrics.event(
+                        Level::Warn,
+                        "job_rejected",
+                        Some(id),
+                        vec![("reason".to_string(), FieldValue::from(rejected.kind()))],
+                    );
                     Some(Response::Rejected(rejected))
                 }
             }

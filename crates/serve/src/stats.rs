@@ -1,48 +1,166 @@
-//! Service-wide counters, exported over the `stats` protocol command.
+//! Service-wide admission accounting, exported over the `stats` protocol
+//! command and the Prometheus exposition.
+//!
+//! The counters form two identities that make silent drops structurally
+//! unrepresentable:
+//!
+//! * `offered == accepted + rejected`
+//! * `accepted == completed + failed + timed_out + in_flight`
+//!
+//! PR 6 kept these as seven independent relaxed atomics, which meant the
+//! identities only held *eventually* — a scrape between `offered += 1`
+//! and the matching `accepted += 1` saw them violated. Now every state
+//! transition updates all of its counters under one short mutex, and
+//! [`ServiceStats::snapshot`] reads under the same mutex, so **the
+//! identities hold at every scrape** and are machine-checkable from a
+//! single [`Counts`] value ([`Counts::check_identities`]). The lock is
+//! held for a handful of integer additions per job — noise against the
+//! multi-millisecond solves it accounts for.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use threefive_bench::json::Json;
 
-/// Monotonic counters for the daemon's lifetime. All loads/stores are
-/// relaxed: these are statistics, not synchronization.
+use crate::job::Rejected;
+
+/// One consistent reading of the admission counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Solve requests received (before admission).
+    pub offered: u64,
+    /// Jobs admitted to the queue.
+    pub accepted: u64,
+    /// Typed admission refusals (all reasons).
+    pub rejected: u64,
+    /// Jobs that completed with a checksum.
+    pub completed: u64,
+    /// Admitted jobs that failed for a non-deadline reason.
+    pub failed: u64,
+    /// Admitted jobs whose deadline expired before a result.
+    pub timed_out: u64,
+    /// Jobs admitted but not yet resolved (queued or executing).
+    pub in_flight: u64,
+    /// Chaos commands processed.
+    pub chaos_cmds: u64,
+}
+
+impl Counts {
+    /// Verifies both accounting identities; returns a description of the
+    /// first violation.
+    pub fn check_identities(&self) -> Result<(), String> {
+        if self.offered != self.accepted + self.rejected {
+            return Err(format!(
+                "offered ({}) != accepted ({}) + rejected ({})",
+                self.offered, self.accepted, self.rejected
+            ));
+        }
+        let resolved = self.completed + self.failed + self.timed_out;
+        if self.accepted != resolved + self.in_flight {
+            return Err(format!(
+                "accepted ({}) != completed ({}) + failed ({}) + timed_out ({}) + in_flight ({})",
+                self.accepted, self.completed, self.failed, self.timed_out, self.in_flight
+            ));
+        }
+        Ok(())
+    }
+
+    /// Renders as JSON object fields (merged into the `stats` response
+    /// alongside pool and queue gauges).
+    pub fn to_json(&self) -> Vec<(String, Json)> {
+        vec![
+            ("offered".into(), Json::num(self.offered as f64)),
+            ("accepted".into(), Json::num(self.accepted as f64)),
+            ("rejected".into(), Json::num(self.rejected as f64)),
+            ("completed".into(), Json::num(self.completed as f64)),
+            ("failed".into(), Json::num(self.failed as f64)),
+            ("timed_out".into(), Json::num(self.timed_out as f64)),
+            ("in_flight".into(), Json::num(self.in_flight as f64)),
+            ("chaos_cmds".into(), Json::num(self.chaos_cmds as f64)),
+        ]
+    }
+}
+
+/// The daemon's admission accounting. All transitions are atomic with
+/// respect to [`snapshot`](Self::snapshot).
 #[derive(Debug, Default)]
 pub struct ServiceStats {
-    /// Solve requests received (before admission).
-    pub offered: AtomicU64,
-    /// Jobs admitted to the queue.
-    pub accepted: AtomicU64,
-    /// Typed admission refusals (all reasons).
-    pub rejected: AtomicU64,
-    /// Jobs that completed with a checksum.
-    pub completed: AtomicU64,
-    /// Admitted jobs that failed for a non-deadline reason.
-    pub failed: AtomicU64,
-    /// Admitted jobs whose deadline expired before a result.
-    pub timed_out: AtomicU64,
-    /// Chaos commands processed.
-    pub chaos_cmds: AtomicU64,
+    inner: Mutex<Counts>,
 }
 
 impl ServiceStats {
-    /// Bumps a counter by one.
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn lock(&self) -> std::sync::MutexGuard<'_, Counts> {
+        // Counts are plain integers: a panic between updates cannot leave
+        // them torn, so a poisoned lock is safe to keep using.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Snapshot as a JSON object fragment (merged into the `stats`
-    /// response alongside pool and queue gauges).
+    /// Runs an admission attempt (typically `queue.push`) **inside** the
+    /// accounting critical section and records the outcome as one
+    /// transition: `offered+accepted+in_flight` on success,
+    /// `offered+rejected` on refusal. Holding the lock across the push
+    /// closes the race where a dispatcher resolves the job before its
+    /// acceptance was recorded.
+    pub fn offer<F>(&self, admit: F) -> Result<(), Rejected>
+    where
+        F: FnOnce() -> Result<(), Rejected>,
+    {
+        let mut c = self.lock();
+        let result = admit();
+        c.offered += 1;
+        match &result {
+            Ok(()) => {
+                c.accepted += 1;
+                c.in_flight += 1;
+            }
+            Err(_) => c.rejected += 1,
+        }
+        result
+    }
+
+    /// Records a refusal that never reached the queue (validation
+    /// failure, draining).
+    pub fn offer_rejected(&self) {
+        let mut c = self.lock();
+        c.offered += 1;
+        c.rejected += 1;
+    }
+
+    fn resolve(&self, f: impl FnOnce(&mut Counts)) {
+        let mut c = self.lock();
+        debug_assert!(c.in_flight > 0, "resolving a job that was never accepted");
+        c.in_flight = c.in_flight.saturating_sub(1);
+        f(&mut c);
+    }
+
+    /// An admitted job completed with a checksum.
+    pub fn job_completed(&self) {
+        self.resolve(|c| c.completed += 1);
+    }
+
+    /// An admitted job failed for a non-deadline reason.
+    pub fn job_failed(&self) {
+        self.resolve(|c| c.failed += 1);
+    }
+
+    /// An admitted job ran out of deadline (queued, at checkout, or
+    /// executing).
+    pub fn job_timed_out(&self) {
+        self.resolve(|c| c.timed_out += 1);
+    }
+
+    /// A chaos command was processed.
+    pub fn chaos_cmd(&self) {
+        self.lock().chaos_cmds += 1;
+    }
+
+    /// One consistent reading of every counter.
+    pub fn snapshot(&self) -> Counts {
+        *self.lock()
+    }
+
+    /// Snapshot as JSON object fields.
     pub fn to_json(&self) -> Vec<(String, Json)> {
-        let read = |c: &AtomicU64| Json::num(c.load(Ordering::Relaxed) as f64);
-        vec![
-            ("offered".into(), read(&self.offered)),
-            ("accepted".into(), read(&self.accepted)),
-            ("rejected".into(), read(&self.rejected)),
-            ("completed".into(), read(&self.completed)),
-            ("failed".into(), read(&self.failed)),
-            ("timed_out".into(), read(&self.timed_out)),
-            ("chaos_cmds".into(), read(&self.chaos_cmds)),
-        ]
+        self.snapshot().to_json()
     }
 }
 
@@ -51,11 +169,65 @@ mod tests {
     use super::*;
 
     #[test]
+    fn transitions_keep_identities_at_every_step() {
+        let s = ServiceStats::default();
+        assert!(s.snapshot().check_identities().is_ok());
+        s.offer(|| Ok(())).unwrap();
+        assert!(s.snapshot().check_identities().is_ok());
+        assert_eq!(s.snapshot().in_flight, 1);
+        s.offer(|| Err(Rejected::ShuttingDown)).unwrap_err();
+        s.offer_rejected();
+        assert!(s.snapshot().check_identities().is_ok());
+        s.job_completed();
+        let c = s.snapshot();
+        c.check_identities().unwrap();
+        assert_eq!(
+            (c.offered, c.accepted, c.rejected, c.completed, c.in_flight),
+            (3, 1, 2, 1, 0)
+        );
+    }
+
+    #[test]
+    fn every_resolution_drains_in_flight() {
+        let s = ServiceStats::default();
+        for _ in 0..3 {
+            s.offer(|| Ok(())).unwrap();
+        }
+        s.job_completed();
+        s.job_failed();
+        s.job_timed_out();
+        let c = s.snapshot();
+        c.check_identities().unwrap();
+        assert_eq!(c.in_flight, 0);
+        assert_eq!((c.completed, c.failed, c.timed_out), (1, 1, 1));
+    }
+
+    #[test]
+    fn identity_checker_reports_violations() {
+        let c = Counts {
+            offered: 2,
+            accepted: 1,
+            rejected: 0,
+            ..Counts::default()
+        };
+        assert!(c.check_identities().unwrap_err().contains("offered"));
+        let c = Counts {
+            offered: 1,
+            accepted: 1,
+            completed: 1,
+            in_flight: 1,
+            ..Counts::default()
+        };
+        assert!(c.check_identities().unwrap_err().contains("in_flight"));
+    }
+
+    #[test]
     fn counters_export_as_json() {
         let s = ServiceStats::default();
-        ServiceStats::bump(&s.offered);
-        ServiceStats::bump(&s.offered);
-        ServiceStats::bump(&s.completed);
+        s.offer(|| Ok(())).unwrap();
+        s.offer(|| Ok(())).unwrap();
+        s.job_completed();
+        s.chaos_cmd();
         let fields = s.to_json();
         let get = |k: &str| {
             fields
@@ -66,6 +238,8 @@ mod tests {
         };
         assert_eq!(get("offered"), 2.0);
         assert_eq!(get("completed"), 1.0);
+        assert_eq!(get("in_flight"), 1.0);
         assert_eq!(get("rejected"), 0.0);
+        assert_eq!(get("chaos_cmds"), 1.0);
     }
 }

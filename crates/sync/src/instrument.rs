@@ -28,6 +28,11 @@ pub const WAIT_HIST_BUCKETS: usize = 12;
 /// 16 µs, … ~268 ms); the last bucket is unbounded. Log-spaced buckets
 /// separate the healthy case (sub-µs spins) from load imbalance (tens of
 /// µs) and stragglers (ms and up) at a glance.
+///
+/// `threefive-metrics` mirrors this geometry as `HistSpec::BARRIER_WAIT`
+/// so the daemon can merge these counts into its live registry
+/// bucket-for-bucket; a regression test over there pins the two edge
+/// functions to each other. Change one only with the other.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WaitHistogram {
     /// Per-bucket episode counts.

@@ -59,6 +59,7 @@ pub mod cli;
 pub mod loadgen;
 pub mod run;
 pub mod serve_runner;
+pub mod stat;
 
 pub use run::{
     run_lbm_plan, run_lbm_plan_on_team, run_plan, run_plan_observed, run_plan_on_team, Downgrade,
@@ -74,6 +75,7 @@ pub use threefive_gpu_sim as gpu;
 pub use threefive_grid as grid;
 pub use threefive_lbm as lbm;
 pub use threefive_machine as machine;
+pub use threefive_metrics as metrics;
 pub use threefive_serve as serve;
 pub use threefive_simd as simd;
 pub use threefive_sync as sync;

@@ -16,10 +16,13 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use threefive_bench::json::Json;
 use threefive_bench::report::HostInfo;
 use threefive_bench::service::{LatencyMs, ServiceReport, ServiceTotals, SERVICE_SCHEMA_VERSION};
+use threefive_metrics::{HistSnapshot, HistSpec};
 use threefive_serve::{
-    ChaosCmd, JobSpec, LbmScenario, Response, ServiceClient, Workload, PRIORITIES,
+    ChaosCmd, JobSpec, LbmScenario, Response, ServiceClient, Workload, JOB_LATENCY_METRIC,
+    PRIORITIES,
 };
 
 use crate::serve_runner::reference_checksum;
@@ -72,6 +75,11 @@ pub struct LoadgenConfig {
     pub chaos: bool,
     /// Recompute reference checksums locally and compare.
     pub verify: bool,
+    /// Cross-check client-observed latency percentiles against the
+    /// daemon's server-side latency histogram (scraped over `stats`
+    /// before and after the run), failing the campaign if they disagree
+    /// beyond bucket resolution.
+    pub verify_latency: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -88,6 +96,7 @@ impl Default for LoadgenConfig {
             mix: WorkloadMix::Mix,
             chaos: false,
             verify: false,
+            verify_latency: false,
         }
     }
 }
@@ -259,6 +268,82 @@ fn chaos_loop(addr: &str, done: &AtomicBool) -> Result<u64, String> {
     Ok(armed)
 }
 
+/// Scrapes the daemon's server-side end-to-end latency histogram out of
+/// one `stats` response.
+fn scrape_latency_hist(addr: &str) -> Result<HistSnapshot, String> {
+    let mut client =
+        ServiceClient::connect(addr).map_err(|e| format!("stats connect to {addr}: {e}"))?;
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("stats set timeout: {e}"))?;
+    let doc = client.stats().map_err(|e| format!("stats scrape: {e}"))?;
+    latency_hist_from_stats(&doc)
+}
+
+/// Rebuilds a [`HistSnapshot`] from the `stats` response's nested
+/// `metrics` object (per-bucket counts are non-cumulative there for
+/// exactly this diff-two-scrapes use).
+fn latency_hist_from_stats(doc: &Json) -> Result<HistSnapshot, String> {
+    let metric = doc
+        .get("metrics")
+        .and_then(|m| m.get(JOB_LATENCY_METRIC))
+        .ok_or_else(|| {
+            format!("stats response has no '{JOB_LATENCY_METRIC}' histogram (old daemon?)")
+        })?;
+    let buckets = match metric.get("buckets") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err(format!("'{JOB_LATENCY_METRIC}' has no bucket array")),
+    };
+    let spec = HistSpec::LATENCY;
+    if buckets.len() != spec.buckets {
+        return Err(format!(
+            "'{JOB_LATENCY_METRIC}' has {} buckets, expected {} — daemon/client spec mismatch",
+            buckets.len(),
+            spec.buckets
+        ));
+    }
+    let mut snap = HistSnapshot::empty(spec);
+    for (i, b) in buckets.iter().enumerate() {
+        snap.counts[i] = b.get("count").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    }
+    snap.sum_ns = metric.get("sum_ns").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    Ok(snap)
+}
+
+/// Cross-checks client-observed percentiles against the server-side
+/// histogram of the same run. The server buckets are log-2, so agreement
+/// is defined as landing within ±1 bucket: the client adds wire and
+/// framing overhead on top of the admission→response time the server
+/// measures, which must never amount to a >2x disagreement.
+fn check_latency_agreement(client: &LatencyMs, server: &HistSnapshot) -> Result<(), String> {
+    if server.total() == 0 {
+        return Err(
+            "latency verification: server-side histogram recorded no jobs for this run".into(),
+        );
+    }
+    let spec = server.spec;
+    for (q, client_ms) in [(0.5, client.p50), (0.9, client.p90), (0.99, client.p99)] {
+        let client_bucket = spec.bucket_index((client_ms * 1e6).max(0.0) as u64);
+        let server_bucket = server
+            .quantile_bucket(q)
+            .ok_or("latency verification: empty server histogram")?;
+        if client_bucket.abs_diff(server_bucket) > 1 {
+            let server_ms = server
+                .quantile_ns(q)
+                .map(|ns| ns as f64 / 1e6)
+                .unwrap_or(f64::INFINITY);
+            return Err(format!(
+                "latency verification FAILED at p{:.0}: client observed {client_ms:.2} ms \
+                 (bucket {client_bucket}) but the server-side histogram says ~{server_ms:.2} ms \
+                 (bucket {server_bucket}) over {} dispatched job(s)",
+                q * 100.0,
+                server.total()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Runs one load-generation campaign against a live daemon and assembles
 /// the validated report. `Err` means the *measurement* broke (connection
 /// refused, wire error, response to nobody) — job-level failures and
@@ -267,6 +352,12 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServiceReport, String> {
     if cfg.tenants == 0 || cfg.jobs == 0 {
         return Err("tenants and jobs must be positive".into());
     }
+    // Latency cross-checking diffs the daemon's histogram across the
+    // run, so it isolates this campaign's jobs even on a warm daemon.
+    let hist_before = cfg
+        .verify_latency
+        .then(|| scrape_latency_hist(&cfg.addr))
+        .transpose()?;
     let next_job = Arc::new(AtomicUsize::new(0));
     let refs = cfg.verify.then(|| {
         Arc::new(RefCache {
@@ -322,6 +413,16 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<ServiceReport, String> {
     let offered = accepted + merged.rejected;
     debug_assert_eq!(offered, cfg.jobs as u64, "every job answered exactly once");
     let latency_ms = LatencyMs::from_samples(&mut merged.latencies_ms);
+    if let Some(before) = hist_before {
+        let after = scrape_latency_hist(&cfg.addr)?;
+        let run_hist = after.diff_since(&before);
+        check_latency_agreement(&latency_ms, &run_hist)?;
+        eprintln!(
+            "threefive loadgen: latency verification passed — client p50/p90/p99 within one \
+             histogram bucket of the server's ({} dispatched job(s))",
+            run_hist.total()
+        );
+    }
     Ok(ServiceReport {
         schema_version: SERVICE_SCHEMA_VERSION,
         host: HostInfo::detect(),
@@ -392,6 +493,47 @@ mod tests {
         };
         let err = run_loadgen(&cfg).unwrap_err();
         assert!(err.contains("127.0.0.1:1"), "{err}");
+    }
+
+    #[test]
+    fn latency_agreement_tolerates_one_bucket_and_no_more() {
+        let spec = HistSpec::LATENCY;
+        let mut server = HistSnapshot::empty(spec);
+        server.counts[spec.bucket_index(2_000_000)] = 10; // ~2 ms
+        let agree = LatencyMs {
+            p50: 2.0,
+            p90: 2.0,
+            p99: 2.0,
+            max: 2.0,
+        };
+        check_latency_agreement(&agree, &server).unwrap();
+        let disagree = LatencyMs {
+            p50: 200.0,
+            p90: 200.0,
+            p99: 200.0,
+            max: 200.0,
+        };
+        let err = check_latency_agreement(&disagree, &server).unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+        let empty = HistSnapshot::empty(spec);
+        assert!(check_latency_agreement(&agree, &empty).is_err());
+    }
+
+    #[test]
+    fn latency_hist_round_trips_through_the_stats_document() {
+        use threefive_serve::ServeMetrics;
+        let m = ServeMetrics::new();
+        m.on_latency(Duration::from_millis(3));
+        m.on_latency(Duration::from_millis(5));
+        let doc = Json::Obj(vec![(
+            "metrics".into(),
+            threefive_serve::metrics::snapshot_to_json(&m.registry.snapshot()),
+        )]);
+        let snap = latency_hist_from_stats(&doc).unwrap();
+        assert_eq!(snap.total(), 2);
+        assert_eq!(snap.spec, HistSpec::LATENCY);
+        // A document without the histogram is a typed error, not a panic.
+        assert!(latency_hist_from_stats(&Json::Obj(vec![])).is_err());
     }
 
     #[test]

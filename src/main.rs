@@ -41,8 +41,10 @@ use threefive::machine::fermi;
 use threefive::machine::roofline::{GPU_ALU_EFF, GPU_ALU_EFF_TUNED};
 use threefive::machine::twenty_seven_point_traffic;
 use threefive::prelude::*;
-use threefive::serve::{signal, AdmissionLimits, Server, ServerConfig};
+use threefive::metrics::Level;
+use threefive::serve::{signal, AdmissionLimits, ServeMetrics, Server, ServerConfig};
 use threefive::serve_runner::SolverRunner;
+use threefive::stat::{run_once as stat_once, StatOptions};
 use threefive::tune::{
     hill_climb, verify_candidate, BenchProber, ProbeBudget, SearchSpace, TuneDb, TuneEntry,
     TunedPlan,
@@ -111,6 +113,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&opts),
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
+        "stat" => cmd_stat(&opts),
         "gpu" => cmd_gpu(&opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => {
@@ -162,14 +165,16 @@ USAGE:
   threefive analyze [--root DIR] [--deny-findings] [--out DIR]
                   [--baseline FILE]
   threefive analyze --validate FILE
-  threefive serve [--addr 127.0.0.1:7435] [--teams 2] [--threads N]
-                  [--queue 64] [--dispatchers 2] [--max-n 128] [--quiet]
-                  [--tune-db FILE]
+  threefive serve [--addr 127.0.0.1:7435] [--metrics-addr HOST:PORT]
+                  [--teams 2] [--threads N] [--queue 64] [--dispatchers 2]
+                  [--max-n 128] [--quiet] [--tune-db FILE]
   threefive loadgen [--addr 127.0.0.1:7435] [--tenants 8] [--jobs 64]
                   [--workload stencil|lbm|mix] [--n 16] [--steps 4]
                   [--tile T] [--dimt K] [--deadline MS]
-                  [--chaos] [--verify] [--out DIR]
+                  [--chaos] [--verify] [--verify-latency] [--out DIR]
   threefive loadgen --validate FILE
+  threefive stat  [--addr 127.0.0.1:7435] [--watch SECS] [--events N]
+                  [--level debug|info|warn|error] [--check] [--jsonl]
   threefive gpu   [--n 96] [--steps 2]
   threefive info"
     );
@@ -1165,6 +1170,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), CmdError> {
         opts,
         &[
             "addr",
+            "metrics-addr",
             "teams",
             "threads",
             "queue",
@@ -1179,6 +1185,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), CmdError> {
     let max_n: u64 = cli::get(opts, "max-n", 128)?;
     let config = ServerConfig {
         addr: cli::getstr(opts, "addr", "127.0.0.1:7435"),
+        metrics_addr: opts.get("metrics-addr").cloned(),
         teams,
         threads_per_team: threads,
         queue_capacity: cli::get(opts, "queue", 64)?,
@@ -1199,6 +1206,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), CmdError> {
     // since it overrides the per-job blocking clients ask for. Safe in
     // the answer-sense: every rung is bit-identical, so only throughput
     // changes. The named file must exist and re-validate.
+    // The metrics plane: per-job telemetry lands in the structured event
+    // ring (echoed to stderr as JSONL at info+ unless --quiet) and in
+    // the Prometheus registry served over `stats`/`metrics` and the
+    // optional --metrics-addr scrape listener.
+    let metrics = ServeMetrics::with_options(true, 1024, (!quiet).then_some(Level::Info));
     let runner = match opts.get("tune-db") {
         None => SolverRunner::new(!quiet),
         Some(path) => {
@@ -1224,11 +1236,13 @@ fn cmd_serve(opts: &Opts) -> Result<(), CmdError> {
                 tuned.len(),
                 host.fingerprint
             );
+            metrics.tune_db_entries.set(tuned.len() as i64);
             SolverRunner::with_tuned(!quiet, tuned)
         }
     };
+    let runner = runner.with_metrics(Arc::clone(&metrics));
     signal::install_handlers();
-    let server = Server::bind(config.clone(), Arc::new(runner))?;
+    let server = Server::bind_with_metrics(config.clone(), Arc::new(runner), metrics)?;
     eprintln!(
         "threefive serve: listening on {} ({} team(s) x {} thread(s), queue {}, max grid {}^3); \
          SIGINT/SIGTERM drains and exits",
@@ -1238,6 +1252,9 @@ fn cmd_serve(opts: &Opts) -> Result<(), CmdError> {
         config.queue_capacity,
         max_n
     );
+    if let Some(addr) = server.metrics_local_addr() {
+        eprintln!("threefive serve: metrics exposition on http://{addr}/metrics");
+    }
     server.run()?;
     eprintln!("threefive serve: drained, all threads joined");
     Ok(())
@@ -1269,7 +1286,7 @@ fn cmd_loadgen(opts: &Opts) -> Result<(), CmdError> {
         opts,
         &[
             "addr", "tenants", "jobs", "workload", "n", "steps", "tile", "dimt", "deadline",
-            "chaos", "verify", "out", "validate",
+            "chaos", "verify", "verify-latency", "out", "validate",
         ],
     )?;
     let workload = cli::getstr(opts, "workload", "mix");
@@ -1290,6 +1307,7 @@ fn cmd_loadgen(opts: &Opts) -> Result<(), CmdError> {
         })?,
         chaos: cli::get(opts, "chaos", false)?,
         verify: cli::get(opts, "verify", false)?,
+        verify_latency: cli::get(opts, "verify-latency", false)?,
     };
 
     eprintln!(
@@ -1340,6 +1358,41 @@ fn cmd_loadgen(opts: &Opts) -> Result<(), CmdError> {
         )));
     }
     Ok(())
+}
+
+fn cmd_stat(opts: &Opts) -> Result<(), CmdError> {
+    cli::ensure_known(
+        opts,
+        &["addr", "watch", "events", "level", "check", "jsonl"],
+    )?;
+    let level_str = cli::getstr(opts, "level", "info");
+    let stat = StatOptions {
+        addr: cli::getstr(opts, "addr", "127.0.0.1:7435"),
+        events: cli::get(opts, "events", 8)?,
+        level: Level::parse(&level_str).ok_or_else(|| {
+            CmdError::Msg(format!(
+                "unknown level '{level_str}' (expected debug, info, warn or error)"
+            ))
+        })?,
+        check: cli::get(opts, "check", false)?,
+        jsonl: cli::get(opts, "jsonl", false)?,
+    };
+    let watch_secs: u64 = cli::get(opts, "watch", 0)?;
+    if watch_secs == 0 {
+        println!("{}", stat_once(&stat).map_err(CmdError::Msg)?);
+        return Ok(());
+    }
+    // --watch: redraw in place until the daemon goes away or the user
+    // interrupts us. A scrape failure ends the loop with the error so a
+    // daemon shutdown is visible rather than a frozen last frame.
+    loop {
+        let frame = stat_once(&stat).map_err(CmdError::Msg)?;
+        // ANSI clear-screen + home, like `watch(1)`.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        std::io::stdout().flush()?;
+        std::thread::sleep(Duration::from_secs(watch_secs));
+    }
 }
 
 fn cmd_gpu(opts: &Opts) -> Result<(), CmdError> {

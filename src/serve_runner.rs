@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use threefive_bench::json::Json;
@@ -22,8 +23,11 @@ use threefive_core::planner::kappa_35d;
 use threefive_core::{Plan35D, SevenPoint};
 use threefive_grid::{Dim3, DoubleGrid, Grid3};
 use threefive_lbm::{lbm_naive_sweep, scenarios, Lattice, LbmMode};
+use threefive_metrics::{FieldValue, Level};
 use threefive_serve::LbmScenario;
-use threefive_serve::{Completed, JobFailure, JobId, JobRunner, JobSpec, RunOutcome, Workload};
+use threefive_serve::{
+    Completed, JobFailure, JobId, JobRunner, JobSpec, RunOutcome, ServeMetrics, Workload,
+};
 use threefive_sync::{Instrument, Observer, ThreadTeam, Tracer};
 
 use crate::run::{run_lbm_plan_on_team, run_plan_on_team, LbmRung, RunOptions, Rung};
@@ -130,6 +134,14 @@ pub struct SolverRunner {
     /// plan instead of the spec's blocking — safe because every rung is
     /// bit-identical, so only throughput changes, never the answer.
     tuned: HashMap<(String, usize), (usize, usize)>,
+    /// Whether a tuning database was loaded at all; hit/miss counters
+    /// only tick when there is a database to hit.
+    db_loaded: bool,
+    /// The daemon's metrics plane. When present, per-job telemetry goes
+    /// through the structured event log (stderr echo is the event log's
+    /// job) and engine observer totals land in the registry; the legacy
+    /// `eprintln!` JSONL path only remains for metrics-less embedding.
+    metrics: Option<Arc<ServeMetrics>>,
 }
 
 impl SolverRunner {
@@ -138,12 +150,25 @@ impl SolverRunner {
         Self {
             log,
             tuned: HashMap::new(),
+            db_loaded: false,
+            metrics: None,
         }
     }
 
     /// A runner that serves jobs with host-tuned plans where available.
     pub fn with_tuned(log: bool, tuned: HashMap<(String, usize), (usize, usize)>) -> Self {
-        Self { log, tuned }
+        Self {
+            log,
+            tuned,
+            db_loaded: true,
+            metrics: None,
+        }
+    }
+
+    /// Attaches the daemon's metrics plane (builder style).
+    pub fn with_metrics(mut self, metrics: Arc<ServeMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The tuned (tile, dim_T) override for a job, if one is stored.
@@ -156,6 +181,35 @@ impl SolverRunner {
     }
 
     fn emit(&self, job_id: JobId, spec: &JobSpec, completed: &Completed, plan_source: &str) {
+        if let Some(metrics) = &self.metrics {
+            // Structured path: one leveled, job-stamped event; stderr
+            // echo (if configured) is handled by the event log itself.
+            metrics.event(
+                Level::Info,
+                "job_done",
+                Some(job_id),
+                vec![
+                    (
+                        "workload".to_string(),
+                        FieldValue::from(spec.workload.to_string()),
+                    ),
+                    ("n".to_string(), FieldValue::from(spec.n as u64)),
+                    ("steps".to_string(), FieldValue::from(spec.steps as u64)),
+                    ("rung".to_string(), FieldValue::from(completed.rung.as_str())),
+                    (
+                        "downgrades".to_string(),
+                        FieldValue::from(u64::from(completed.downgrades)),
+                    ),
+                    (
+                        "checksum".to_string(),
+                        FieldValue::from(format!("{:016x}", completed.checksum)),
+                    ),
+                    ("exec_ms".to_string(), FieldValue::from(completed.exec_ms)),
+                    ("plan_source".to_string(), FieldValue::from(plan_source)),
+                ],
+            );
+            return;
+        }
         if !self.log {
             return;
         }
@@ -205,6 +259,15 @@ impl JobRunner for SolverRunner {
         let t0 = Instant::now();
         let tuned = self.tuned_blocking(spec);
         let plan_source = if tuned.is_some() { "tuned" } else { "spec" };
+        if let Some(metrics) = &self.metrics {
+            if self.db_loaded {
+                if tuned.is_some() {
+                    metrics.tune_db_hits.inc();
+                } else {
+                    metrics.tune_db_misses.inc();
+                }
+            }
+        }
         let (tile, dim_t) = tuned.unwrap_or((spec.tile, spec.dim_t));
         let opts = RunOptions {
             threads: team.threads(),
@@ -271,6 +334,17 @@ impl JobRunner for SolverRunner {
         }));
 
         let exec_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if let Some(metrics) = &self.metrics {
+            // Fold the sweep's observer totals into the engine counters
+            // and the barrier-wait histogram — no extra clock reads, the
+            // instrumented sweep already took them.
+            let timing = instr.timing();
+            metrics.on_engine_sweep(
+                timing.total_compute_ns(),
+                timing.total_barrier_ns(),
+                &timing.wait_hist.counts,
+            );
+        }
         match attempt {
             Ok(Ok((rung, downgrades, checksum, parallel_served, parallel_failed))) => {
                 let completed = Completed {

@@ -1,0 +1,321 @@
+//! `threefive stat` — scrape a running daemon and render a dashboard.
+//!
+//! One-shot by default; `--watch SECS` redraws in place. The data comes
+//! from the daemon's `stats` protocol command (flat counters + the
+//! registry's JSON snapshot) and the `events` command (structured event
+//! ring). `--check` additionally fetches the Prometheus exposition and
+//! runs the in-tree format validator plus the accounting identities,
+//! exiting nonzero on any violation — the machine-checkable half of the
+//! observability contract, used by CI's metrics smoke job.
+
+use std::time::Duration;
+
+use threefive_bench::json::Json;
+use threefive_metrics::{validate_exposition, Level};
+use threefive_serve::ServiceClient;
+
+/// What one `threefive stat` invocation should do.
+#[derive(Clone, Debug)]
+pub struct StatOptions {
+    /// Daemon protocol address.
+    pub addr: String,
+    /// How many recent events to show (0 hides the events section).
+    pub events: usize,
+    /// Lowest event level shown.
+    pub level: Level,
+    /// Validate the exposition and the accounting identities; `Err` on
+    /// any violation.
+    pub check: bool,
+    /// Print events as raw JSONL only (for log shipping / CI artifacts)
+    /// instead of the dashboard.
+    pub jsonl: bool,
+}
+
+impl Default for StatOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7435".into(),
+            events: 8,
+            level: Level::Info,
+            check: false,
+            jsonl: false,
+        }
+    }
+}
+
+fn connect(addr: &str) -> Result<ServiceClient, String> {
+    let mut client =
+        ServiceClient::connect(addr).map_err(|e| format!("connect to {addr}: {e}"))?;
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    Ok(client)
+}
+
+/// Runs one scrape and returns the rendered output (the caller prints
+/// it; `--watch` calls this in a loop).
+pub fn run_once(opts: &StatOptions) -> Result<String, String> {
+    let mut client = connect(&opts.addr)?;
+    if opts.jsonl {
+        let events = client
+            .events(opts.events.max(1), opts.level)
+            .map_err(|e| format!("events: {e}"))?;
+        return Ok(events.iter().map(compact).collect::<Vec<_>>().join("\n"));
+    }
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let events = if opts.events > 0 {
+        client
+            .events(opts.events, opts.level)
+            .map_err(|e| format!("events: {e}"))?
+    } else {
+        Vec::new()
+    };
+    let mut out = render_dashboard(&opts.addr, &stats, &events);
+    if opts.check {
+        let expo = client
+            .metrics_exposition()
+            .map_err(|e| format!("metrics: {e}"))?;
+        validate_exposition(&expo).map_err(|e| format!("exposition INVALID: {e}"))?;
+        if stats.get("identities_ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "accounting identities VIOLATED: {}",
+                stats
+                    .get("identities_err")
+                    .and_then(Json::as_str)
+                    .unwrap_or("(daemon gave no detail)")
+            ));
+        }
+        let lines = expo.lines().count();
+        out.push_str(&format!(
+            "\ncheck     exposition valid ({lines} lines); accounting identities hold\n"
+        ));
+    }
+    Ok(out)
+}
+
+fn num(doc: &Json, key: &str) -> f64 {
+    doc.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// A histogram summary line from the registry's JSON snapshot.
+fn hist_line(metrics: &Json, name: &str) -> String {
+    let Some(h) = metrics.get(name) else {
+        return "n/a".into();
+    };
+    let count = num(h, "count");
+    if count == 0.0 {
+        return "no samples".into();
+    }
+    let q = |key: &str| match h.get(key).and_then(Json::as_f64) {
+        Some(ns) => fmt_ns(ns),
+        None => ">max".into(),
+    };
+    format!(
+        "p50 {} | p90 {} | p99 {} (n={count})",
+        q("p50_ns"),
+        q("p90_ns"),
+        q("p99_ns")
+    )
+}
+
+/// Renders nanoseconds with a readable unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// A counter-family line: `label: count` pairs in first-use order.
+fn family_line(metrics: &Json, name: &str) -> String {
+    match metrics.get(name) {
+        Some(Json::Obj(pairs)) if !pairs.is_empty() => pairs
+            .iter()
+            .map(|(label, v)| format!("{label}: {}", v.as_f64().unwrap_or(0.0)))
+            .collect::<Vec<_>>()
+            .join(" | "),
+        _ => "none yet".into(),
+    }
+}
+
+/// One-line rendering of a JSON document (events ship as JSONL).
+fn compact(doc: &Json) -> String {
+    doc.to_string()
+        .lines()
+        .map(str::trim)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders the full dashboard from one `stats` response and an event
+/// tail. Pure function of its inputs, so tests can drive it without a
+/// live daemon.
+pub fn render_dashboard(addr: &str, stats: &Json, events: &[Json]) -> String {
+    let metrics = stats.get("metrics").cloned().unwrap_or(Json::Obj(vec![]));
+    let draining = stats.get("draining").and_then(Json::as_bool).unwrap_or(false);
+    let identities_ok = stats.get("identities_ok").and_then(Json::as_bool);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "threefive daemon @ {addr}{}\n",
+        if draining { " — DRAINING" } else { "" }
+    ));
+    out.push_str(&format!(
+        "jobs      offered {} | accepted {} | rejected {} | completed {} | failed {} | \
+         timed out {} | in flight {}\n",
+        num(stats, "offered"),
+        num(stats, "accepted"),
+        num(stats, "rejected"),
+        num(stats, "completed"),
+        num(stats, "failed"),
+        num(stats, "timed_out"),
+        num(stats, "in_flight"),
+    ));
+    out.push_str(&format!(
+        "          accounting identities: {}\n",
+        match identities_ok {
+            Some(true) => "OK".to_string(),
+            Some(false) => format!(
+                "VIOLATED — {}",
+                stats
+                    .get("identities_err")
+                    .and_then(Json::as_str)
+                    .unwrap_or("(no detail)")
+            ),
+            None => "not reported (old daemon?)".to_string(),
+        }
+    ));
+    out.push_str(&format!(
+        "queue     {} of {} queued\n",
+        num(stats, "queue_len"),
+        num(stats, "queue_capacity"),
+    ));
+    out.push_str(&format!(
+        "pool      idle {} | leased {} | quarantined {} of {} team(s) | isolations {} | heals {}\n",
+        num(stats, "pool_idle"),
+        num(stats, "pool_leased"),
+        num(stats, "pool_quarantined"),
+        num(stats, "pool_capacity"),
+        num(stats, "pool_isolations"),
+        num(stats, "pool_heals"),
+    ));
+    out.push_str(&format!(
+        "latency   queue-wait {}\n          exec       {}\n          end-to-end {}\n",
+        hist_line(&metrics, "threefive_job_queue_wait_seconds"),
+        hist_line(&metrics, "threefive_job_exec_seconds"),
+        hist_line(&metrics, "threefive_job_latency_seconds"),
+    ));
+    out.push_str(&format!(
+        "rungs     {} | downgrades {}\n",
+        family_line(&metrics, "threefive_jobs_by_rung_total"),
+        num(&metrics, "threefive_job_downgrades_total"),
+    ));
+    out.push_str(&format!(
+        "kernels   {}\n",
+        family_line(&metrics, "threefive_jobs_by_kernel_total")
+    ));
+    out.push_str(&format!(
+        "tenants   {}\n",
+        family_line(&metrics, "threefive_jobs_by_tenant_total")
+    ));
+    let compute_ns = num(&metrics, "threefive_engine_compute_ns_total");
+    let barrier_ns = num(&metrics, "threefive_engine_barrier_ns_total");
+    let share = if compute_ns + barrier_ns > 0.0 {
+        barrier_ns / (compute_ns + barrier_ns) * 100.0
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "engine    sweeps {} | compute {} | barrier {} ({share:.1}% wait) | barrier-wait {}\n",
+        num(&metrics, "threefive_engine_sweeps_total"),
+        fmt_ns(compute_ns),
+        fmt_ns(barrier_ns),
+        hist_line(&metrics, "threefive_engine_barrier_wait_seconds"),
+    ));
+    out.push_str(&format!(
+        "tune      db entries {} | hits {} | misses {}\n",
+        num(&metrics, "threefive_tune_db_entries"),
+        num(&metrics, "threefive_tune_db_hits_total"),
+        num(&metrics, "threefive_tune_db_misses_total"),
+    ));
+    out.push_str(&format!(
+        "events    {}\n",
+        family_line(&metrics, "threefive_events_total")
+    ));
+    for ev in events {
+        out.push_str(&format!("  {}\n", compact(ev)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use threefive_serve::metrics::snapshot_to_json;
+    use threefive_serve::{ServeMetrics, ServiceStats};
+
+    /// A stats document like the daemon's, driven from real types.
+    fn stats_doc(m: &ServeMetrics, stats: &ServiceStats) -> Json {
+        let counts = stats.snapshot();
+        let mut fields = counts.to_json();
+        fields.push((
+            "identities_ok".into(),
+            Json::Bool(counts.check_identities().is_ok()),
+        ));
+        fields.push(("draining".into(), Json::Bool(false)));
+        fields.push(("metrics".into(), snapshot_to_json(&m.registry.snapshot())));
+        Json::Obj(fields)
+    }
+
+    #[test]
+    fn dashboard_renders_live_sections() {
+        let m = ServeMetrics::new();
+        let stats = Arc::new(ServiceStats::default());
+        stats.offer(|| Ok(())).unwrap();
+        stats.job_completed();
+        m.on_queue_wait(Duration::from_micros(120));
+        m.on_completed("parallel-3.5d", 0, 2.0);
+        m.on_resolved("stencil", 1);
+        let text = render_dashboard("127.0.0.1:7435", &stats_doc(&m, &stats), &[]);
+        assert!(text.contains("accounting identities: OK"), "{text}");
+        assert!(text.contains("parallel-3.5d: 1"), "{text}");
+        assert!(text.contains("stencil: 1"), "{text}");
+        assert!(text.contains("queue-wait p50"), "{text}");
+        assert!(!text.contains("VIOLATED"), "{text}");
+    }
+
+    #[test]
+    fn dashboard_flags_identity_violations() {
+        let doc = Json::Obj(vec![
+            ("offered".into(), Json::num(2.0)),
+            ("accepted".into(), Json::num(1.0)),
+            ("identities_ok".into(), Json::Bool(false)),
+            ("identities_err".into(), Json::str("offered (2) != ...")),
+        ]);
+        let text = render_dashboard("x", &doc, &[]);
+        assert!(text.contains("VIOLATED"), "{text}");
+    }
+
+    #[test]
+    fn fmt_ns_picks_readable_units() {
+        assert_eq!(fmt_ns(512.0), "512ns");
+        assert_eq!(fmt_ns(80_000.0), "80.0us");
+        assert_eq!(fmt_ns(3_200_000.0), "3.2ms");
+        assert_eq!(fmt_ns(2.5e9), "2.50s");
+    }
+
+    #[test]
+    fn stat_against_no_daemon_is_a_typed_error() {
+        let opts = StatOptions {
+            addr: "127.0.0.1:1".into(),
+            ..StatOptions::default()
+        };
+        let err = run_once(&opts).unwrap_err();
+        assert!(err.contains("127.0.0.1:1"), "{err}");
+    }
+}

@@ -6,14 +6,16 @@
 //! injection plan are process-wide statics, so two daemons in one test
 //! process would observe each other's state.
 
-use std::sync::{Mutex, MutexGuard};
+use std::io::{Read, Write};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use threefive::metrics::{validate_exposition, Level};
 use threefive::serve::signal;
 use threefive::serve::{
-    AdmissionLimits, ChaosCmd, JobSpec, LbmScenario, Rejected, Response, Server, ServerConfig,
-    ServiceClient, Workload,
+    AdmissionLimits, ChaosCmd, JobSpec, LbmScenario, Rejected, Response, ServeMetrics, Server,
+    ServerConfig, ServiceClient, Workload,
 };
 use threefive::serve_runner::{reference_checksum, SolverRunner};
 use threefive_bench::json::Json;
@@ -113,6 +115,143 @@ fn solve_round_trip_is_bit_identical_and_counted() {
     assert_eq!(stat_u64(&stats, "accepted"), 4);
     assert_eq!(stat_u64(&stats, "completed"), 4);
     assert_eq!(stat_u64(&stats, "rejected"), 2);
+
+    // The accounting identities are machine-checkable from this single
+    // snapshot — the daemon evaluates them under the same lock that
+    // updates the counters, and the raw fields must agree with it.
+    assert_eq!(
+        stats.get("identities_ok").and_then(Json::as_bool),
+        Some(true),
+        "identities violated: {stats}"
+    );
+    assert_eq!(
+        stat_u64(&stats, "offered"),
+        stat_u64(&stats, "accepted") + stat_u64(&stats, "rejected"),
+        "{stats}"
+    );
+    assert_eq!(
+        stat_u64(&stats, "accepted"),
+        stat_u64(&stats, "completed")
+            + stat_u64(&stats, "failed")
+            + stat_u64(&stats, "timed_out")
+            + stat_u64(&stats, "in_flight"),
+        "{stats}"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+/// Tentpole: the live metrics plane end to end. One daemon with the
+/// runner wired into the same registry, a plaintext `GET /metrics`
+/// listener, mixed jobs through it, then every surface is scraped: the
+/// protocol `metrics`/`events` commands, the HTTP exposition, and the
+/// nested registry snapshot inside `stats` — all from one process, all
+/// internally consistent.
+#[test]
+fn metrics_plane_exposes_histograms_events_and_identities() {
+    let _guard = serial();
+    let metrics = ServeMetrics::with_options(true, 256, None);
+    let runner = SolverRunner::new(false).with_metrics(Arc::clone(&metrics));
+    let server = Server::bind_with_metrics(
+        ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        },
+        Arc::new(runner),
+        metrics,
+    )
+    .expect("bind ephemeral ports");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let scrape_addr = server
+        .metrics_local_addr()
+        .expect("metrics listener bound")
+        .to_string();
+    let handle = thread::spawn(move || server.run());
+
+    let mut client = connect(&addr);
+    for workload in MIXED {
+        let s = spec(workload);
+        match client.solve(&s).expect("solve") {
+            Response::Done { completed, .. } => {
+                assert_eq!(completed.checksum, reference_checksum(&s));
+            }
+            other => panic!("{workload}: unexpected response {other:?}"),
+        }
+    }
+
+    // Protocol scrape: the exposition passes the in-tree validator and
+    // carries non-zero job histograms and per-rung/kernel counters.
+    let expo = client.metrics_exposition().expect("metrics command");
+    validate_exposition(&expo).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{expo}"));
+    for needle in [
+        "threefive_jobs_offered_total 4",
+        "threefive_jobs_completed_total 4",
+        "threefive_jobs_in_flight 0",
+        "threefive_job_queue_wait_seconds_count 4",
+        "threefive_job_exec_seconds_count 4",
+        "threefive_job_latency_seconds_count 4",
+        "threefive_jobs_by_kernel_total{kernel=\"stencil\"} 1",
+        "threefive_engine_sweeps_total",
+        "threefive_jobs_by_rung_total{rung=",
+    ] {
+        assert!(expo.contains(needle), "exposition missing {needle:?}:\n{expo}");
+    }
+
+    // HTTP scrape: the plaintext listener serves the same document to
+    // curl/Prometheus with nothing but a socket.
+    let mut sock = std::net::TcpStream::connect(&scrape_addr).expect("connect scrape port");
+    sock.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("send request");
+    let mut http = String::new();
+    sock.read_to_string(&mut http).expect("read response");
+    assert!(http.starts_with("HTTP/1.0 200 OK\r\n"), "{http}");
+    let body = http.split("\r\n\r\n").nth(1).expect("header/body split");
+    validate_exposition(body).unwrap_or_else(|e| panic!("HTTP exposition invalid: {e}\n{body}"));
+    assert!(body.contains("threefive_jobs_completed_total 4"), "{body}");
+
+    // The stats document nests the registry snapshot with quantiles, and
+    // the identities hold at this scrape too.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("identities_ok").and_then(Json::as_bool),
+        Some(true),
+        "{stats}"
+    );
+    let latency = stats
+        .get("metrics")
+        .and_then(|m| m.get("threefive_job_latency_seconds"))
+        .expect("nested latency histogram");
+    assert_eq!(stat_u64(latency, "count"), 4, "{latency}");
+    assert!(
+        latency.get("p50_ns").and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+        "{latency}"
+    );
+
+    // The structured event log saw the lifecycle: server_started at
+    // info, per-job admission at debug, per-job completion at info —
+    // each stamped with a job id where one exists.
+    let events = client.events(256, Level::Debug).expect("events command");
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(Json::as_str))
+        .collect();
+    assert!(kinds.contains(&"server_started"), "{kinds:?}");
+    assert!(kinds.contains(&"job_admitted"), "{kinds:?}");
+    assert!(kinds.contains(&"job_done"), "{kinds:?}");
+    let done = events
+        .iter()
+        .find(|e| e.get("kind").and_then(Json::as_str) == Some("job_done"))
+        .unwrap();
+    assert!(done.get("job_id").and_then(Json::as_u64).is_some(), "{done}");
+    // Warn-level filtering drops the debug/info stream.
+    let warns = client.events(256, Level::Warn).expect("filtered events");
+    assert!(
+        warns
+            .iter()
+            .all(|e| matches!(e.get("level").and_then(Json::as_str), Some("warn" | "error"))),
+        "{warns:?}"
+    );
 
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread").expect("clean exit");
