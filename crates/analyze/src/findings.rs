@@ -10,7 +10,11 @@ use crate::schedule::RaceViolation;
 use threefive_bench::json::Json;
 
 /// Version stamped into every report; bump on breaking schema changes.
-pub const ANALYZE_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the schedule verdict covers every shipped schedule (lag35d,
+/// wavefront, diamond); `schedule.per_schedule` records the per-schedule
+/// config counts and each violation names its schedule.
+pub const ANALYZE_SCHEMA_VERSION: u64 = 2;
 
 /// One lint finding at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,8 +80,11 @@ pub struct AnalyzeReport {
     pub files_scanned: usize,
     /// Every lint finding, suppressed or not, in walk order.
     pub findings: Vec<Finding>,
-    /// Number of (R, dim_t, threads, nz, ly) schedule configs checked.
+    /// Number of (R, dim_t, threads, nz, ly) schedule configs checked,
+    /// summed over every schedule.
     pub configs_checked: usize,
+    /// Per-schedule config counts, in the canonical schedule order.
+    pub schedule_configs: Vec<(String, usize)>,
     /// Schedule-checker counterexamples (empty ⇔ certified race-free).
     pub violations: Vec<RaceViolation>,
 }
@@ -118,6 +125,15 @@ impl AnalyzeReport {
                         "configs_checked".into(),
                         Json::Num(self.configs_checked as f64),
                     ),
+                    (
+                        "per_schedule".into(),
+                        Json::Obj(
+                            self.schedule_configs
+                                .iter()
+                                .map(|(name, n)| (name.clone(), Json::Num(*n as f64)))
+                                .collect(),
+                        ),
+                    ),
                     ("race_free".into(), Json::Bool(self.violations.is_empty())),
                     (
                         "violations".into(),
@@ -155,6 +171,17 @@ impl AnalyzeReport {
             .map(Finding::from_json)
             .collect::<Result<Vec<_>, _>>()?;
         let schedule = doc.get("schedule").ok_or("missing 'schedule'")?;
+        let schedule_configs = match schedule.get("per_schedule") {
+            Some(Json::Obj(entries)) => entries
+                .iter()
+                .map(|(name, v)| {
+                    v.as_u64()
+                        .map(|n| (name.clone(), n as usize))
+                        .ok_or_else(|| format!("per_schedule.{name}: expected integer"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("schedule: missing 'per_schedule' object".into()),
+        };
         let race_free = match schedule.get("race_free") {
             Some(Json::Bool(b)) => *b,
             _ => return Err("schedule: missing bool 'race_free'".into()),
@@ -174,6 +201,7 @@ impl AnalyzeReport {
             files_scanned: req_u64(lint, "files_scanned")? as usize,
             findings,
             configs_checked: req_u64(schedule, "configs_checked")? as usize,
+            schedule_configs,
             violations,
         })
     }
@@ -271,6 +299,11 @@ mod tests {
                 },
             ],
             configs_checked: 9,
+            schedule_configs: vec![
+                ("lag35d".into(), 3),
+                ("wavefront".into(), 3),
+                ("diamond".into(), 3),
+            ],
             violations: Vec::new(),
         };
         let text = report.to_json_string();
@@ -285,10 +318,16 @@ mod tests {
         assert!(AnalyzeReport::validate_str("{}").is_err());
         assert!(AnalyzeReport::validate_str("not json").is_err());
         // race_free must agree with the violations list.
-        let lie = r#"{"schema_version":1,"tool":"threefive-analyze",
+        let lie = r#"{"schema_version":2,"tool":"threefive-analyze",
             "lint":{"files_scanned":1,"findings":[]},
-            "schedule":{"configs_checked":1,"race_free":false,"violations":[]}}"#;
+            "schedule":{"configs_checked":1,"per_schedule":{"lag35d":1},
+            "race_free":false,"violations":[]}}"#;
         assert!(AnalyzeReport::validate_str(lie).is_err());
+        // v2 requires the per-schedule config counts.
+        let missing = r#"{"schema_version":2,"tool":"threefive-analyze",
+            "lint":{"files_scanned":1,"findings":[]},
+            "schedule":{"configs_checked":1,"race_free":true,"violations":[]}}"#;
+        assert!(AnalyzeReport::validate_str(missing).is_err());
     }
 
     #[test]
@@ -311,7 +350,7 @@ mod tests {
 
     #[test]
     fn baseline_parses_and_rejects_bad_versions() {
-        let text = r#"{"schema_version":1,"entries":[
+        let text = r#"{"schema_version":2,"entries":[
             {"rule":"safety-comment","file":"x.rs","allowed":2}]}"#;
         let entries = parse_baseline(text).expect("valid baseline");
         assert_eq!(entries.len(), 1);

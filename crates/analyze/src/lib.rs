@@ -9,11 +9,12 @@
 //!   site, a `transmute` allowlist, no blocking sync or heap allocation
 //!   in the hot-path modules, and justified memory orderings on the
 //!   barrier/team coordination atomics.
-//! * [`schedule`] — a symbolic race checker that interprets the 3.5-D
-//!   lag schedule over a parameter grid, using the engine's own pure
-//!   schedule arithmetic, and proves the barrier intervals free of
+//! * [`schedule`] — a symbolic race checker that interprets every
+//!   shipped temporal-blocking schedule (3.5-D lag, wavefront,
+//!   wavefront-diamond) over a parameter grid, using each schedule's
+//!   own pure arithmetic, and proves the barrier intervals free of
 //!   write/read and write/write overlap — or emits a concrete
-//!   counterexample trace.
+//!   counterexample trace naming the schedule under test.
 //!
 //! Both report through the schema-validated [`findings::AnalyzeReport`]
 //! JSON document, gated in CI by `threefive analyze --deny-findings`.
@@ -30,9 +31,9 @@ use findings::{apply_baseline, parse_baseline, AnalyzeReport, ANALYZE_SCHEMA_VER
 use std::path::Path;
 
 /// Runs both engines over the tree at `root` (lint walk of `src/` and
-/// `crates/*/src`, schedule sweep of [`schedule::default_grid`]),
-/// applying the optional `ANALYZE_baseline.json` text to the lint
-/// findings.
+/// `crates/*/src`, schedule sweep of [`schedule::default_grid`] for
+/// every shipped [`schedule::ScheduleModel`]), applying the optional
+/// `ANALYZE_baseline.json` text to the lint findings.
 pub fn analyze_tree(root: &Path, baseline_text: Option<&str>) -> Result<AnalyzeReport, String> {
     let outcome = lint::lint_root(root)?;
     let mut findings = outcome.findings;
@@ -41,12 +42,21 @@ pub fn analyze_tree(root: &Path, baseline_text: Option<&str>) -> Result<AnalyzeR
         apply_baseline(&mut findings, &baseline);
     }
     let grid = schedule::default_grid();
-    let verdict = schedule::check_grid(&schedule::ScheduleModel::engine(), &grid);
+    let mut configs_checked = 0;
+    let mut schedule_configs = Vec::new();
+    let mut violations = Vec::new();
+    for model in schedule::ScheduleModel::all() {
+        let verdict = schedule::check_grid(&model, &grid);
+        configs_checked += verdict.configs_checked;
+        schedule_configs.push((model.name.to_string(), verdict.configs_checked));
+        violations.extend(verdict.violations);
+    }
     Ok(AnalyzeReport {
         schema_version: ANALYZE_SCHEMA_VERSION,
         files_scanned: outcome.files_scanned,
         findings,
-        configs_checked: verdict.configs_checked,
-        violations: verdict.violations,
+        configs_checked,
+        schedule_configs,
+        violations,
     })
 }

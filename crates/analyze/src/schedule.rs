@@ -1,30 +1,34 @@
-//! The symbolic race checker for the 3.5-D lag schedule.
+//! The symbolic race checker for the engine's temporal-blocking
+//! schedules — lag, wavefront and wavefront-diamond.
 //!
-//! A small abstract interpreter over the engine's plane schedule: for
+//! A small abstract interpreter over a schedule's plane arithmetic: for
 //! each outer step it computes every thread's read-set and write-set of
 //! `(ring, slot, plane, row-strip)` between consecutive barriers —
-//! using the *same* pure schedule arithmetic the runtime executes
-//! ([`level_lag`], [`plane_for_level`](threefive_core::exec::plane_for_level), [`ring_slots`] from
-//! `threefive_core::exec::engine35`, taken as function pointers so the
-//! model cannot drift from the implementation) — and verifies:
+//! using the *same* pure schedule arithmetic the runtime executes (the
+//! [`threefive_core::exec::Schedule`] statics' `level_lag` /
+//! `ring_slots` / span, taken as function pointers via
+//! [`ScheduleModel::for_kind`] so the model cannot drift from the
+//! implementation) — and verifies, per schedule:
 //!
 //! 1. **no intra-interval overlap** — no W/R or W/W overlap between two
 //!    threads on the same ring slot within one barrier interval;
 //! 2. **freshness** — every cross-time-level read finds the plane that
-//!    was written exactly `2R` planes (one level lag) earlier, not a
-//!    stale or recycled slot;
+//!    was written exactly one level lag earlier, not a stale or
+//!    recycled slot;
 //! 3. **no premature reuse** — a ring slot is only overwritten after its
 //!    last scheduled reader has run.
 //!
-//! On violation it emits a counterexample trace: the step, ring, slot
-//! and the offending `(thread, level, plane, rows)` pair. The model is
-//! deliberately conservative about rows (a writer's strip is its whole
-//! owned band, a reader's strip is the band expanded by ±R), so a
-//! "race-free" verdict is a proof over the model, not a sampling claim;
-//! see DESIGN.md §11 for what the model does and does not cover.
+//! On violation it emits a counterexample trace naming the schedule
+//! under test plus the step, ring, slot and the offending
+//! `(thread, level, plane, rows)` pair. The model is deliberately
+//! conservative about rows (a writer's strip is its whole owned band, a
+//! reader's strip is the band expanded by ±R), so a "race-free" verdict
+//! is a proof over the model, not a sampling claim; see DESIGN.md §11
+//! for what the model does and does not cover.
 
 use threefive_bench::json::Json;
-use threefive_core::exec::{level_lag, ring_slots};
+use threefive_core::exec::schedule::{DIAMOND, WAVEFRONT};
+use threefive_core::exec::{level_lag, ring_slots, Schedule, ScheduleKind};
 use threefive_grid::partition::even_range;
 
 /// Cap on recorded counterexamples per config (one is enough to fail the
@@ -33,30 +37,64 @@ const MAX_PER_CONFIG: usize = 4;
 /// Cap on counterexamples across a whole grid sweep.
 const MAX_TOTAL: usize = 64;
 
+/// Plane-lag arithmetic `(r, t) → lag`, the shape of `level_lag`.
+pub type LagFn = fn(usize, usize) -> usize;
+
+/// Ring-capacity arithmetic `r → slots`, the shape of `ring_slots`.
+pub type SlotsFn = fn(usize) -> usize;
+
 /// The schedule arithmetic under test, as function pointers so mutant
 /// models (lag off by one, undersized ring, merged barrier intervals)
-/// can be built in tests while the default binds the engine's own
-/// functions.
+/// can be built in tests while the defaults bind the engine's own
+/// schedule statics.
 #[derive(Clone, Copy)]
 pub struct ScheduleModel {
-    /// Plane lag of time level `t` (1-based): the engine's `level_lag`.
-    pub lag: fn(usize, usize) -> usize,
-    /// Ring capacity in planes for radius `r`: the engine's `ring_slots`.
-    pub slots: fn(usize) -> usize,
+    /// Name of the schedule under test, stamped into counterexamples.
+    pub name: &'static str,
+    /// Plane lag of time level `t` (1-based): the schedule's `level_lag`.
+    pub lag: LagFn,
+    /// Ring capacity in planes for radius `r`: the schedule's
+    /// `ring_slots`.
+    pub slots: SlotsFn,
+    /// Planes each level advances per outer step (the schedule's span;
+    /// level `t` processes plane `z` at step `⌊(z + lag(t)) / span⌋`).
+    pub span: usize,
     /// Outer steps between consecutive barriers (the engine runs exactly
     /// one; `> 1` models a missing barrier).
     pub steps_per_barrier: usize,
 }
 
 impl ScheduleModel {
-    /// The shipped engine's schedule, bound to the very functions
-    /// `tile_stream` executes.
+    /// The shipped engine's default (3.5-D lag) schedule, bound to the
+    /// very functions `tile_stream` executes.
     pub fn engine() -> Self {
+        Self::for_kind(ScheduleKind::Lag35d)
+    }
+
+    /// The model for one shipped schedule, bound to that schedule's own
+    /// arithmetic (the `Schedule` statics in `threefive-core`), so the
+    /// proof is over exactly what the engine runs.
+    pub fn for_kind(kind: ScheduleKind) -> Self {
+        let (lag, slots): (LagFn, SlotsFn) = match kind {
+            ScheduleKind::Lag35d => (level_lag, ring_slots),
+            ScheduleKind::Wavefront => (
+                |r, t| WAVEFRONT.level_lag(r, t),
+                |r| WAVEFRONT.ring_slots(r),
+            ),
+            ScheduleKind::Diamond => (|r, t| DIAMOND.level_lag(r, t), |r| DIAMOND.ring_slots(r)),
+        };
         Self {
-            lag: level_lag,
-            slots: ring_slots,
+            name: kind.as_str(),
+            lag,
+            slots,
+            span: kind.schedule().span(),
             steps_per_barrier: 1,
         }
+    }
+
+    /// Models for every shipped schedule, in canonical order.
+    pub fn all() -> [Self; 3] {
+        ScheduleKind::ALL.map(Self::for_kind)
     }
 }
 
@@ -125,6 +163,8 @@ pub struct AccessDesc {
 /// A concrete counterexample trace from the checker.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RaceViolation {
+    /// Name of the schedule under test when the check failed.
+    pub schedule: String,
     /// Which check failed.
     pub kind: ViolationKind,
     /// The grid point it failed at.
@@ -158,6 +198,7 @@ impl RaceViolation {
             ])
         };
         Json::Obj(vec![
+            ("schedule".into(), Json::str(&*self.schedule)),
             ("kind".into(), Json::str(self.kind.as_str())),
             (
                 "config".into(),
@@ -223,6 +264,11 @@ impl RaceViolation {
             Some(other) => Some(access(other)?),
         };
         Ok(Self {
+            schedule: v
+                .get("schedule")
+                .and_then(Json::as_str)
+                .ok_or("violation: missing 'schedule'")?
+                .to_string(),
             kind,
             config: ScheduleConfig {
                 r: num(cfg, "r")?,
@@ -342,7 +388,8 @@ pub fn check_schedule(cfg: &ScheduleConfig, model: &ScheduleModel) -> Vec<RaceVi
         ly,
     } = cfg;
     assert!(r >= 1 && c >= 1 && threads >= 1 && nz >= 1 && ly >= 1);
-    let total_steps = nz + (model.lag)(r, c);
+    let span = model.span.max(1);
+    let total_steps = (nz + (model.lag)(r, c)).div_ceil(span);
     let slots = (model.slots)(r);
     let n_rings = c - 1;
     let bands: Vec<(usize, usize)> = (0..threads)
@@ -369,52 +416,55 @@ pub fn check_schedule(cfg: &ScheduleConfig, model: &ScheduleModel) -> Vec<RaceVi
                     continue;
                 }
                 for t in 1..=c {
+                    // The schedule's plane window for (step, level):
+                    // span planes starting at span·s − lag, clipped to
+                    // the grid — the same arithmetic `planes_for_level`
+                    // derives from `level_lag` and `span`.
                     let lag = (model.lag)(r, t);
-                    if s < lag {
-                        continue;
-                    }
-                    let z = s - lag;
-                    if z >= nz {
-                        continue;
-                    }
-                    let interior = z >= r && z + r < nz;
-                    if t < c {
-                        // Level t writes ring t-1: the stencil result for
-                        // interior z, the copied source rim otherwise —
-                        // either way the thread's whole owned band.
-                        accesses.push(Access {
-                            step: s,
-                            tid,
-                            level: t,
-                            ring: t - 1,
-                            slot: z % slots,
-                            plane: z,
-                            rows: (b_lo, b_hi),
-                            write: true,
-                        });
-                    }
-                    if t >= 2 && interior {
-                        // Level t reads ring t-2, planes z±R, rows
-                        // expanded by the stencil halo.
-                        let lo = b_lo.saturating_sub(r);
-                        let hi = (b_hi + r).min(ly);
-                        for zz in z - r..=z + r {
+                    let pos = span * s;
+                    let z_hi = (pos + span).saturating_sub(lag).min(nz);
+                    let z_lo = pos.saturating_sub(lag).min(z_hi);
+                    for z in z_lo..z_hi {
+                        let interior = z >= r && z + r < nz;
+                        if t < c {
+                            // Level t writes ring t-1: the stencil result
+                            // for interior z, the copied source rim
+                            // otherwise — either way the thread's whole
+                            // owned band.
                             accesses.push(Access {
                                 step: s,
                                 tid,
                                 level: t,
-                                ring: t - 2,
-                                slot: zz % slots,
-                                plane: zz,
-                                rows: (lo, hi),
-                                write: false,
+                                ring: t - 1,
+                                slot: z % slots,
+                                plane: z,
+                                rows: (b_lo, b_hi),
+                                write: true,
                             });
                         }
+                        if t >= 2 && interior {
+                            // Level t reads ring t-2, planes z±R, rows
+                            // expanded by the stencil halo.
+                            let lo = b_lo.saturating_sub(r);
+                            let hi = (b_hi + r).min(ly);
+                            for zz in z - r..=z + r {
+                                accesses.push(Access {
+                                    step: s,
+                                    tid,
+                                    level: t,
+                                    ring: t - 2,
+                                    slot: zz % slots,
+                                    plane: zz,
+                                    rows: (lo, hi),
+                                    write: false,
+                                });
+                            }
+                        }
+                        // Level c commits to the destination grid:
+                        // threads write disjoint owned bands of a buffer
+                        // nothing reads during the chunk, so it cannot
+                        // conflict and is not modeled.
                     }
-                    // Level c commits to the destination grid: threads
-                    // write disjoint owned bands of a buffer nothing
-                    // reads during the chunk, so it cannot conflict and
-                    // is not modeled.
                 }
             }
         }
@@ -439,6 +489,7 @@ pub fn check_schedule(cfg: &ScheduleConfig, model: &ScheduleModel) -> Vec<RaceVi
                     }
                     if a.rows.0 < b.rows.1 && b.rows.0 < a.rows.1 {
                         violations.push(RaceViolation {
+                            schedule: model.name.to_string(),
                             kind: ViolationKind::IntraStepOverlap,
                             config: *cfg,
                             step: a.step.max(b.step),
@@ -447,8 +498,8 @@ pub fn check_schedule(cfg: &ScheduleConfig, model: &ScheduleModel) -> Vec<RaceVi
                             a: a.desc(),
                             b: Some(b.desc()),
                             detail: format!(
-                                "threads {} and {} overlap on ring {} slot {} (planes {} / {}) with no barrier between steps {} and {}",
-                                a.tid, b.tid, a.ring, a.slot, a.plane, b.plane, a.step, b.step
+                                "schedule {}: threads {} and {} overlap on ring {} slot {} (planes {} / {}) with no barrier between steps {} and {}",
+                                model.name, a.tid, b.tid, a.ring, a.slot, a.plane, b.plane, a.step, b.step
                             ),
                         });
                         if violations.len() >= MAX_PER_CONFIG {
@@ -461,13 +512,12 @@ pub fn check_schedule(cfg: &ScheduleConfig, model: &ScheduleModel) -> Vec<RaceVi
         }
 
         // Check 2 — freshness: every read must find exactly the plane
-        // one level lag (2R planes) behind, written in an earlier
-        // interval.
+        // one level lag behind, written in an earlier interval.
         for a in accesses.iter().filter(|a| !a.write) {
             if violations.len() >= MAX_PER_CONFIG {
                 break;
             }
-            let expect_step = a.plane + (model.lag)(r, a.level - 1);
+            let expect_step = (a.plane + (model.lag)(r, a.level - 1)) / span;
             let stale = match ring_state[a.ring][a.slot] {
                 None => Some("slot never written".to_string()),
                 Some((plane, step)) if plane != a.plane => Some(format!(
@@ -478,6 +528,7 @@ pub fn check_schedule(cfg: &ScheduleConfig, model: &ScheduleModel) -> Vec<RaceVi
             };
             if let Some(why) = stale {
                 violations.push(RaceViolation {
+                    schedule: model.name.to_string(),
                     kind: ViolationKind::StaleRead,
                     config: *cfg,
                     step: a.step,
@@ -499,6 +550,7 @@ pub fn check_schedule(cfg: &ScheduleConfig, model: &ScheduleModel) -> Vec<RaceVi
                     if let Some(last) = last_read_step(cfg, model, a.ring, old_plane) {
                         if last >= a.step {
                             violations.push(RaceViolation {
+                                schedule: model.name.to_string(),
                                 kind: ViolationKind::PrematureReuse,
                                 config: *cfg,
                                 step: a.step,
@@ -543,7 +595,7 @@ fn last_read_step(
     if z_lo > z_hi {
         return None;
     }
-    Some(z_hi + (model.lag)(cfg.r, t_reader))
+    Some((z_hi + (model.lag)(cfg.r, t_reader)) / model.span.max(1))
 }
 
 #[cfg(test)]
@@ -562,14 +614,17 @@ mod tests {
     }
 
     #[test]
-    fn engine_schedule_is_race_free_over_the_full_grid() {
-        let verdict = check_grid(&ScheduleModel::engine(), &default_grid());
-        assert!(verdict.configs_checked > 1000, "grid unexpectedly small");
-        assert!(
-            verdict.race_free(),
-            "engine schedule flagged: {:?}",
-            verdict.violations.first()
-        );
+    fn every_schedule_is_race_free_over_the_full_grid() {
+        for model in ScheduleModel::all() {
+            let verdict = check_grid(&model, &default_grid());
+            assert!(verdict.configs_checked > 1000, "grid unexpectedly small");
+            assert!(
+                verdict.race_free(),
+                "{} schedule flagged: {:?}",
+                model.name,
+                verdict.violations.first()
+            );
+        }
     }
 
     #[test]
@@ -586,6 +641,30 @@ mod tests {
             assert_eq!(10 + (m.lag)(r, 4), outer_steps(10, r, 4));
         }
         assert_eq!(m.steps_per_barrier, 1);
+    }
+
+    #[test]
+    fn models_bind_each_schedules_own_arithmetic() {
+        // Every model must use the very trait methods the engine
+        // dispatches to, so no checked schedule can drift from the
+        // shipped one.
+        for kind in ScheduleKind::ALL {
+            let m = ScheduleModel::for_kind(kind);
+            let s = kind.schedule();
+            assert_eq!(m.name, kind.as_str());
+            assert_eq!(m.span, s.span());
+            for r in 1..=3 {
+                assert_eq!((m.slots)(r), s.ring_slots(r));
+                for t in 1..=4 {
+                    assert_eq!((m.lag)(r, t), s.level_lag(r, t));
+                }
+                assert_eq!(
+                    (10 + (m.lag)(r, 4)).div_ceil(m.span),
+                    s.outer_steps(10, r, 4)
+                );
+            }
+            assert_eq!(m.steps_per_barrier, 1);
+        }
     }
 
     /// Lag off by one: level `t` lags `2R(t-1) - 1` planes instead of
@@ -673,6 +752,77 @@ mod tests {
         assert!(vs.iter().any(
             |v| v.kind == ViolationKind::StaleRead || v.kind == ViolationKind::IntraStepOverlap
         ));
+    }
+
+    /// Lag off by one breaks every schedule at R=1, where each lag
+    /// formula is tight: the reader's halo touches the plane its
+    /// upstream level writes in the same step.
+    #[test]
+    fn lag_off_by_one_is_flagged_for_every_schedule() {
+        let cases: [(ScheduleKind, LagFn); 3] = [
+            (ScheduleKind::Lag35d, |r, t| {
+                level_lag(r, t).saturating_sub(1)
+            }),
+            (ScheduleKind::Wavefront, |r, t| {
+                WAVEFRONT.level_lag(r, t).saturating_sub(1)
+            }),
+            (ScheduleKind::Diamond, |r, t| {
+                DIAMOND.level_lag(r, t).saturating_sub(1)
+            }),
+        ];
+        for (kind, mlag) in cases {
+            let model = ScheduleModel {
+                lag: mlag,
+                ..ScheduleModel::for_kind(kind)
+            };
+            let vs = check_schedule(&cfg(1, 2, 2, 12, 8), &model);
+            assert!(!vs.is_empty(), "{kind}: lag-1 mutant must be flagged");
+            assert!(
+                vs.iter().all(|v| v.schedule == kind.as_str()),
+                "{kind}: counterexamples must name the schedule under test: {vs:?}"
+            );
+        }
+    }
+
+    /// One ring slot too few breaks every schedule: the write head
+    /// recycles the slot its last scheduled reader still needs.
+    #[test]
+    fn shrunk_ring_is_flagged_for_every_schedule() {
+        let cases: [(ScheduleKind, SlotsFn); 3] = [
+            (ScheduleKind::Lag35d, |r| ring_slots(r) - 1),
+            (ScheduleKind::Wavefront, |r| WAVEFRONT.ring_slots(r) - 1),
+            (ScheduleKind::Diamond, |r| DIAMOND.ring_slots(r) - 1),
+        ];
+        for (kind, mslots) in cases {
+            let model = ScheduleModel {
+                slots: mslots,
+                ..ScheduleModel::for_kind(kind)
+            };
+            let vs = check_schedule(&cfg(1, 2, 2, 13, 8), &model);
+            assert!(
+                vs.iter().any(|v| v.kind == ViolationKind::PrematureReuse
+                    || v.kind == ViolationKind::StaleRead),
+                "{kind}: undersized ring must be flagged, got {vs:?}"
+            );
+            assert!(vs.iter().all(|v| v.schedule == kind.as_str()));
+        }
+    }
+
+    /// Merged barrier intervals break every schedule: the producer's
+    /// next-step write races the consumer's read of the previous plane.
+    #[test]
+    fn missing_barrier_is_flagged_for_every_schedule() {
+        for kind in ScheduleKind::ALL {
+            let model = ScheduleModel {
+                steps_per_barrier: 2,
+                ..ScheduleModel::for_kind(kind)
+            };
+            // nz large enough that even the span-4 diamond schedule runs
+            // several outer steps, so at least two get merged.
+            let vs = check_schedule(&cfg(1, 2, 2, 12, 8), &model);
+            assert!(!vs.is_empty(), "{kind}: merged barriers must be flagged");
+            assert!(vs.iter().all(|v| v.schedule == kind.as_str()));
+        }
     }
 
     #[test]

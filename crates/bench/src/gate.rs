@@ -79,13 +79,14 @@ impl GateOutcome {
 
 fn entry_key(kind: &str, e: &BenchEntry) -> String {
     format!(
-        "{kind} {} {} {}x{}x{} steps={} threads={}",
-        e.variant, e.precision, e.grid[0], e.grid[1], e.grid[2], e.steps, e.threads
+        "{kind} {} [{}] {} {}x{}x{} steps={} threads={}",
+        e.variant, e.schedule, e.precision, e.grid[0], e.grid[1], e.grid[2], e.steps, e.threads
     )
 }
 
 fn same_config(a: &BenchEntry, b: &BenchEntry) -> bool {
     a.variant == b.variant
+        && a.schedule == b.schedule
         && a.precision == b.precision
         && a.grid == b.grid
         && a.steps == b.steps
@@ -167,6 +168,7 @@ mod tests {
     fn entry(variant: &str, mups: f64, barrier_share: Option<f64>) -> BenchEntry {
         BenchEntry {
             variant: variant.into(),
+            schedule: "lag35d".into(),
             precision: "sp".into(),
             grid: [64, 64, 64],
             steps: 4,
@@ -244,6 +246,21 @@ mod tests {
         // Reversed: baseline fully covered → pass, extras ignored.
         let out = gate_reports(&cur, &cur, &GateThresholds::default()).unwrap();
         assert!(out.passed());
+    }
+
+    #[test]
+    fn schedule_is_part_of_the_config_key() {
+        // The same variant benched under a different schedule is a
+        // different configuration: it must not satisfy the baseline.
+        let base = report(vec![entry("3.5D blocking", 100.0, None)]);
+        let mut wavefront = entry("3.5D blocking", 120.0, None);
+        wavefront.schedule = "wavefront".into();
+        let cur = report(vec![wavefront]);
+        let out = gate_reports(&base, &cur, &GateThresholds::default()).unwrap();
+        assert!(!out.passed());
+        let f = out.failures().next().unwrap();
+        assert!(f.failure.as_ref().unwrap().contains("missing"));
+        assert!(f.key.contains("[lag35d]"), "{}", f.key);
     }
 
     #[test]

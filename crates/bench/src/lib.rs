@@ -38,7 +38,7 @@ use std::time::Instant;
 
 use threefive_core::exec::{
     blocked25d_sweep, blocked3d_sweep, blocked4d_sweep, reference_sweep, simd_sweep,
-    tile_parallel35d_sweep, try_parallel35d_sweep, Blocking35,
+    tile_parallel35d_sweep, try_parallel35d_sweep, Blocking35, ScheduleKind,
 };
 use threefive_core::stats::SweepStats;
 use threefive_core::{ExecError, SevenPoint, StencilKernel};
@@ -175,6 +175,10 @@ pub struct Measurement {
     /// Barrier-wait histogram of the last timed repetition (instrumented
     /// parallel variants only).
     pub barrier_hist: Option<WaitHistogram>,
+    /// Temporal-blocking schedule the sweep ran under — `Some` only for
+    /// variants backed by the unified engine (the no-blocking and purely
+    /// spatial variants have no schedule).
+    pub schedule: Option<ScheduleKind>,
     /// Median million interior updates per second.
     pub mups: f64,
 }
@@ -200,6 +204,7 @@ impl Measurement {
             kappa,
             barrier_share,
             barrier_hist,
+            schedule: None,
             mups: interior_updates as f64 / med / 1e6,
             secs,
         }
@@ -217,6 +222,7 @@ impl Measurement {
             kappa: 1.0,
             barrier_share: None,
             barrier_hist: None,
+            schedule: None,
             mups,
         }
     }
@@ -254,6 +260,35 @@ pub fn measure_seven_point<T: Real>(
     tile: usize,
     dim_t: usize,
     team: Option<&ThreadTeam>,
+) -> Result<Measurement, ExecError>
+where
+    SevenPoint<T>: StencilKernel<T>,
+{
+    measure_seven_point_scheduled::<T>(
+        cfg,
+        variant,
+        dim,
+        steps,
+        tile,
+        dim_t,
+        team,
+        ScheduleKind::Lag35d,
+    )
+}
+
+/// [`measure_seven_point`] with an explicit temporal-blocking schedule
+/// for the engine-backed variants (`temporal only`, `3.5D blocking`,
+/// `tile 3.5D`); the other variants ignore it.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_seven_point_scheduled<T: Real>(
+    cfg: &BenchConfig,
+    variant: &'static str,
+    dim: Dim3,
+    steps: usize,
+    tile: usize,
+    dim_t: usize,
+    team: Option<&ThreadTeam>,
+    schedule: ScheduleKind,
 ) -> Result<Measurement, ExecError>
 where
     SevenPoint<T>: StencilKernel<T>,
@@ -312,6 +347,7 @@ where
                     dim_x: dim.nx,
                     dim_y: dim.ny,
                     dim_t,
+                    schedule,
                 };
                 match try_parallel35d_sweep(&kernel, &mut grids, steps, b, team, None, &obs) {
                     Ok(s) => s,
@@ -327,6 +363,7 @@ where
                     dim_x: tile,
                     dim_y: tile,
                     dim_t,
+                    schedule,
                 };
                 match try_parallel35d_sweep(&kernel, &mut grids, steps, b, team, None, &obs) {
                     Ok(s) => s,
@@ -344,6 +381,7 @@ where
                     dim_x: tile,
                     dim_y: tile,
                     dim_t,
+                    schedule,
                 },
                 team,
             ),
@@ -359,7 +397,7 @@ where
     let timing = instr.timing();
     let barrier_share = instrumented.then(|| timing.barrier_share());
     let barrier_hist = instrumented.then_some(timing.wait_hist);
-    Ok(Measurement::from_parts(
+    let mut m = Measurement::from_parts(
         variant,
         secs,
         interior,
@@ -367,7 +405,11 @@ where
         stats.overestimation(),
         barrier_share,
         barrier_hist,
-    ))
+    );
+    if matches!(variant, "temporal only" | "3.5D blocking" | "tile 3.5D") {
+        m.schedule = Some(schedule);
+    }
+    Ok(m)
 }
 
 /// Times `steps` LBM sweeps under the given variant (one of
@@ -386,14 +428,42 @@ pub fn measure_lbm<T: Real>(
     dim_t: usize,
     team: Option<&ThreadTeam>,
 ) -> Result<Measurement, LbmError> {
+    measure_lbm_scheduled::<T>(
+        cfg,
+        variant,
+        n,
+        steps,
+        tile,
+        dim_t,
+        team,
+        ScheduleKind::Lag35d,
+    )
+}
+
+/// [`measure_lbm`] with an explicit temporal-blocking schedule for the
+/// engine-backed variants (`temporal only`, `3.5D blocking`); the
+/// no-blocking variants ignore it.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_lbm_scheduled<T: Real>(
+    cfg: &BenchConfig,
+    variant: &'static str,
+    n: usize,
+    steps: usize,
+    tile: usize,
+    dim_t: usize,
+    team: Option<&ThreadTeam>,
+    schedule: ScheduleKind,
+) -> Result<Measurement, LbmError> {
     /// D3Q19 propagation radius.
     const R: usize = 1;
     let dim = Dim3::cube(n);
     let tile = tile.min(n);
     let blocking = match variant {
         "scalar no-blocking" | "simd no-blocking" => None,
-        "temporal only" => Some(LbmBlocking::try_new(n.max(1), n.max(1), dim_t)?),
-        "3.5D blocking" => Some(LbmBlocking::try_new(tile, tile, dim_t)?),
+        "temporal only" => {
+            Some(LbmBlocking::try_new(n.max(1), n.max(1), dim_t)?.with_schedule(schedule))
+        }
+        "3.5D blocking" => Some(LbmBlocking::try_new(tile, tile, dim_t)?.with_schedule(schedule)),
         other => panic!("unknown LBM variant {other}"),
     };
 
@@ -460,7 +530,7 @@ pub fn measure_lbm<T: Real>(
     let timing = instr.timing();
     let barrier_share = instrumented.then(|| timing.barrier_share());
     let barrier_hist = instrumented.then_some(timing.wait_hist);
-    Ok(Measurement::from_parts(
+    let mut m = Measurement::from_parts(
         variant,
         secs,
         interior,
@@ -468,7 +538,11 @@ pub fn measure_lbm<T: Real>(
         kappa,
         barrier_share,
         barrier_hist,
-    ))
+    );
+    if blocking.is_some() {
+        m.schedule = Some(schedule);
+    }
+    Ok(m)
 }
 
 /// Prints one figure row.

@@ -9,9 +9,10 @@
 //! probe numbers and its eventual `threefive bench` numbers come from
 //! the same harness.
 
+use threefive_core::exec::ScheduleKind;
 use threefive_grid::Dim3;
 
-use crate::{measure_lbm, measure_seven_point, BenchConfig, Measurement};
+use crate::{measure_lbm_scheduled, measure_seven_point_scheduled, BenchConfig, Measurement};
 use threefive_sync::ThreadTeam;
 
 /// Which kernel a probe exercises.
@@ -60,6 +61,8 @@ pub struct ProbeSpec {
     pub threads: usize,
     /// Double precision when true, single otherwise.
     pub dp: bool,
+    /// Temporal-blocking schedule the blocked variant runs under.
+    pub schedule: ScheduleKind,
 }
 
 fn run_variant(
@@ -72,7 +75,7 @@ fn run_variant(
         ProbeWorkload::Stencil => {
             let dim = Dim3::cube(spec.n);
             if spec.dp {
-                measure_seven_point::<f64>(
+                measure_seven_point_scheduled::<f64>(
                     cfg,
                     variant,
                     dim,
@@ -80,9 +83,10 @@ fn run_variant(
                     spec.tile,
                     spec.dim_t,
                     team.as_ref(),
+                    spec.schedule,
                 )
             } else {
-                measure_seven_point::<f32>(
+                measure_seven_point_scheduled::<f32>(
                     cfg,
                     variant,
                     dim,
@@ -90,12 +94,13 @@ fn run_variant(
                     spec.tile,
                     spec.dim_t,
                     team.as_ref(),
+                    spec.schedule,
                 )
             }
             .map_err(|e| format!("probe {variant} n={} failed: {e}", spec.n))
         }
         ProbeWorkload::Lbm => if spec.dp {
-            measure_lbm::<f64>(
+            measure_lbm_scheduled::<f64>(
                 cfg,
                 variant,
                 spec.n,
@@ -103,9 +108,10 @@ fn run_variant(
                 spec.tile,
                 spec.dim_t,
                 team.as_ref(),
+                spec.schedule,
             )
         } else {
-            measure_lbm::<f32>(
+            measure_lbm_scheduled::<f32>(
                 cfg,
                 variant,
                 spec.n,
@@ -113,6 +119,7 @@ fn run_variant(
                 spec.tile,
                 spec.dim_t,
                 team.as_ref(),
+                spec.schedule,
             )
         }
         .map_err(|e| format!("probe {variant} n={} failed: {e}", spec.n)),
@@ -153,6 +160,23 @@ mod tests {
             dim_t: 2,
             threads: 1,
             dp: false,
+            schedule: ScheduleKind::Lag35d,
+        }
+    }
+
+    #[test]
+    fn every_schedule_probes_nonzero_throughput() {
+        let cfg = BenchConfig::quick();
+        for workload in [ProbeWorkload::Stencil, ProbeWorkload::Lbm] {
+            for schedule in ScheduleKind::ALL {
+                let s = ProbeSpec {
+                    schedule,
+                    ..spec(workload)
+                };
+                let m = probe_candidate(&cfg, &s).unwrap();
+                assert!(m.mups > 0.0, "{workload:?} {schedule}");
+                assert_eq!(m.schedule, Some(schedule));
+            }
         }
     }
 

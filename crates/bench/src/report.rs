@@ -19,12 +19,17 @@
 //! identifier of the measuring machine (os/arch/cpu-model/thread-count
 //! hash). The `compare` regression gate uses it to refuse cross-host
 //! comparisons, and `TUNE.json` keys tuned plans by it.
+//!
+//! **Schema v4** adds a required per-entry `schedule` — the
+//! temporal-blocking schedule the engine-backed variants ran under
+//! (`"lag35d"`, `"wavefront"`, `"diamond"`; `"none"` for variants with no
+//! schedule) — so head-to-head schedule comparisons carry provenance.
 
 use crate::counters::Telemetry;
 use crate::json::Json;
 
 /// Version stamped into every report; bump on breaking schema changes.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// Best-effort description of the measuring host.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -118,6 +123,9 @@ impl HostInfo {
 pub struct BenchEntry {
     /// Variant label (e.g. `"3.5D blocking"`).
     pub variant: String,
+    /// Temporal-blocking schedule name for engine-backed variants
+    /// (`"lag35d"`, `"wavefront"`, `"diamond"`), `"none"` otherwise.
+    pub schedule: String,
     /// `"sp"` or `"dp"`.
     pub precision: String,
     /// Grid extents `[nx, ny, nz]`.
@@ -165,6 +173,7 @@ impl BenchEntry {
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("variant".into(), Json::str(&*self.variant)),
+            ("schedule".into(), Json::str(&*self.schedule)),
             ("precision".into(), Json::str(&*self.precision)),
             (
                 "grid".into(),
@@ -221,6 +230,7 @@ impl BenchEntry {
         }
         Ok(Self {
             variant: req_str(v, "variant")?,
+            schedule: req_str(v, "schedule")?,
             precision: req_str(v, "precision")?,
             grid,
             steps: req_u64(v, "steps")? as usize,
@@ -301,7 +311,8 @@ impl BenchReport {
             return Err(format!(
                 "schema_version {version} unsupported (expected {BENCH_SCHEMA_VERSION}; \
                  v1 reports predate the telemetry section, v2 reports predate the host \
-                 fingerprint — regenerate with `threefive bench`)"
+                 fingerprint, v3 reports predate the schedule provenance — regenerate \
+                 with `threefive bench`)"
             ));
         }
         let kind = req_str(v, "kind")?;
@@ -374,6 +385,7 @@ mod tests {
     fn sample_entry() -> BenchEntry {
         BenchEntry {
             variant: "3.5D blocking".into(),
+            schedule: "lag35d".into(),
             precision: "sp".into(),
             grid: [64, 64, 64],
             steps: 4,
@@ -468,13 +480,13 @@ mod tests {
     fn missing_fields_are_rejected() {
         assert!(BenchReport::validate_str("{}").is_err());
         assert!(BenchReport::validate_str("not json").is_err());
-        let no_entries = r#"{"schema_version": 3, "kind": "stencil",
+        let no_entries = r#"{"schema_version": 4, "kind": "stencil",
             "host": {"os":"l","arch":"x","available_threads":1,"cpu":"c",
                      "fingerprint":"l-x-1t-0"}}"#;
         let err = BenchReport::validate_str(no_entries).unwrap_err();
         assert!(err.contains("entries"), "{err}");
         // A v2-era host object (no fingerprint) names the missing field.
-        let no_fp = r#"{"schema_version": 3, "kind": "stencil",
+        let no_fp = r#"{"schema_version": 4, "kind": "stencil",
             "host": {"os":"l","arch":"x","available_threads":1,"cpu":"c"},
             "entries": []}"#;
         let err = BenchReport::validate_str(no_fp).unwrap_err();
@@ -483,7 +495,7 @@ mod tests {
 
     #[test]
     fn old_schema_versions_are_rejected_with_guidance() {
-        for old in [1u64, 2] {
+        for old in [1u64, 2, 3] {
             let mut r = BenchReport::new("stencil");
             r.schema_version = old;
             let err = BenchReport::validate_str(&r.to_json_string()).unwrap_err();

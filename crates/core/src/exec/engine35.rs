@@ -13,12 +13,18 @@
 //!
 //! # Schedule
 //!
-//! Levels are staggered along Z by `2R` planes: at outer step `s`, level
-//! `t` (1-based) processes plane `z = s − 2R(t−1)`; a chunk of `c` levels
-//! takes `nz + 2R(c−1)` outer steps, with one barrier episode per step.
-//! Each intermediate level writes a [`PlaneRing`] of
-//! `max(2R+2, 3R+1)` slots (see the pipeline module docs for why the
-//! paper's `2R+2` is generalized for `R ≥ 2`).
+//! *When* each level touches which plane is delegated to a
+//! [`super::schedule::Schedule`] implementation chosen through
+//! [`Blocking35::schedule`]. The default is the paper's lag schedule
+//! ([`super::schedule::Lag35`]): levels staggered along Z by `2R` planes,
+//! so at outer step `s` level `t` (1-based) processes plane
+//! `z = s − 2R(t−1)`, a chunk of `c` levels takes `nz + 2R(c−1)` outer
+//! steps (one barrier episode per step), and each intermediate level
+//! writes a [`PlaneRing`] of `max(2R+2, 3R+1)` slots (see the pipeline
+//! module docs for why the paper's `2R+2` is generalized for `R ≥ 2`).
+//! The wavefront and wavefront-diamond schedules swap in different
+//! lag/ring/span arithmetic behind the same trait; the engine loop below
+//! never hardcodes any of it.
 //!
 //! # Boundary policies
 //!
@@ -47,6 +53,7 @@ use threefive_sync::{Observer, SharedSlice, SpinBarrier, SyncError, ThreadTeam};
 
 use crate::error::ExecError;
 use crate::exec::elem_bytes;
+use crate::exec::schedule::{Schedule, ScheduleKind};
 use crate::faults;
 use crate::stats::SweepStats;
 
@@ -97,7 +104,8 @@ pub fn ring_slots(r: usize) -> usize {
     (2 * r + 2).max(3 * r + 1)
 }
 
-/// 3.5-D blocking parameters: owned XY tile dims and temporal factor.
+/// 3.5-D blocking parameters: owned XY tile dims, temporal factor and
+/// the temporal-blocking schedule the engine runs them under.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Blocking35 {
     /// Owned tile extent along X.
@@ -106,10 +114,12 @@ pub struct Blocking35 {
     pub dim_y: usize,
     /// Temporal blocking factor `dim_T`.
     pub dim_t: usize,
+    /// Which lag/ring/barrier schedule streams the chunk.
+    pub schedule: ScheduleKind,
 }
 
 impl Blocking35 {
-    /// Creates blocking parameters.
+    /// Creates blocking parameters under the paper's lag schedule.
     ///
     /// # Panics
     /// Panics if any parameter is zero; see
@@ -121,8 +131,9 @@ impl Blocking35 {
         }
     }
 
-    /// Creates blocking parameters, rejecting zero extents with
-    /// [`ExecError::InvalidBlocking`] instead of panicking.
+    /// Creates blocking parameters under the paper's lag schedule,
+    /// rejecting zero extents with [`ExecError::InvalidBlocking`]
+    /// instead of panicking.
     pub fn try_new(dim_x: usize, dim_y: usize, dim_t: usize) -> Result<Self, ExecError> {
         if dim_x == 0 || dim_y == 0 || dim_t == 0 {
             return Err(ExecError::InvalidBlocking {
@@ -135,7 +146,14 @@ impl Blocking35 {
             dim_x,
             dim_y,
             dim_t,
+            schedule: ScheduleKind::Lag35d,
         })
+    }
+
+    /// The same blocking under a different temporal schedule.
+    pub fn with_schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = schedule;
+        self
     }
 }
 
@@ -454,31 +472,33 @@ impl Drop for PoisonOnPanic<'_> {
     }
 }
 
-/// Streams one tile × chunk through Z on the team.
+/// Streams one tile × chunk through Z on the team under `sched`.
 ///
 /// Every thread owns a fixed band of local Y rows of every sub-plane at
 /// every time level (the paper's flexible load-balancing scheme, §V-D);
-/// one barrier separates consecutive outer steps. Failure paths: a member
-/// panic surfaces as [`SyncError::TeamPanicked`]; a poisoned/timed-out
-/// barrier surfaces as the first [`SyncError`] any member observed.
-/// Either way every member has finished (drained cooperatively) before
-/// this returns.
+/// one barrier separates consecutive outer steps. The schedule decides
+/// which planes each level advances per step and how many ring slots
+/// keep live planes disjoint. Failure paths: a member panic surfaces as
+/// [`SyncError::TeamPanicked`]; a poisoned/timed-out barrier surfaces as
+/// the first [`SyncError`] any member observed. Either way every member
+/// has finished (drained cooperatively) before this returns.
 pub fn tile_stream<T: Real, K: PlaneKernel<T>>(
     kernel: &K,
     geom: &TileGeom,
     ctx: &SweepCtx<'_>,
+    sched: &dyn Schedule,
 ) -> Result<(), SyncError> {
     let (r, c) = (geom.radius(), geom.levels());
     let (lx, ly) = (geom.lx(), geom.ly());
     let comps = kernel.components();
-    let slots = ring_slots(r);
+    let slots = sched.ring_slots(r);
     let mut ring_bufs: Vec<PlaneRing<T>> = (1..c)
         .map(|_| PlaneRing::new(slots, comps * lx * ly))
         .collect();
     let rings = Rings::new(&mut ring_bufs, slots, comps, lx, ly);
 
     let n_threads = ctx.team.threads();
-    let steps = outer_steps(geom.dim().nz, r, c);
+    let steps = sched.outer_steps(geom.dim().nz, r, c);
     // Lock-free first-error slot: `OnceLock::set` races are benign (first
     // writer wins), and the healthy fast path never touches it.
     let first_err: OnceLock<SyncError> = OnceLock::new();
@@ -496,7 +516,7 @@ pub fn tile_stream<T: Real, K: PlaneKernel<T>>(
         for s in 0..steps {
             faults::fault_point(tid, s);
             for t in 1..=c {
-                if let Some(z) = plane_for_level(s, r, t, geom.dim().nz) {
+                for z in sched.planes_for_level(s, r, t, geom.dim().nz) {
                     let span0 = obs.span_start();
                     kernel.process_level(geom, &rings, t, z, &my_rows);
                     obs.plane_span(tid, z, t, span0);
@@ -526,26 +546,30 @@ pub fn tile_stream<T: Real, K: PlaneKernel<T>>(
     }
 }
 
-/// Streams one tile × chunk entirely on the calling thread (no barriers,
-/// no fault points) — the building block of the tile-level-parallel
-/// scheduling ablation, where parallelism is across tiles instead of
-/// across rows.
-pub fn tile_stream_serial<T: Real, K: PlaneKernel<T>>(kernel: &K, geom: &TileGeom) {
+/// Streams one tile × chunk entirely on the calling thread under `sched`
+/// (no barriers, no fault points) — the building block of the
+/// tile-level-parallel scheduling ablation, where parallelism is across
+/// tiles instead of across rows.
+pub fn tile_stream_serial<T: Real, K: PlaneKernel<T>>(
+    kernel: &K,
+    geom: &TileGeom,
+    sched: &dyn Schedule,
+) {
     if !geom.has_commit() {
         return;
     }
     let (r, c) = (geom.radius(), geom.levels());
     let (lx, ly) = (geom.lx(), geom.ly());
     let comps = kernel.components();
-    let slots = ring_slots(r);
+    let slots = sched.ring_slots(r);
     let mut ring_bufs: Vec<PlaneRing<T>> = (1..c)
         .map(|_| PlaneRing::new(slots, comps * lx * ly))
         .collect();
     let rings = Rings::new(&mut ring_bufs, slots, comps, lx, ly);
     let my_rows = 0..ly;
-    for s in 0..outer_steps(geom.dim().nz, r, c) {
+    for s in 0..sched.outer_steps(geom.dim().nz, r, c) {
         for t in 1..=c {
-            if let Some(z) = plane_for_level(s, r, t, geom.dim().nz) {
+            for z in sched.planes_for_level(s, r, t, geom.dim().nz) {
                 kernel.process_level(geom, &rings, t, z, &my_rows);
             }
         }
@@ -558,7 +582,8 @@ pub fn tile_stream_serial<T: Real, K: PlaneKernel<T>>(kernel: &K, geom: &TileGeo
 ///
 /// The caller swaps its double buffer between chunks; the engine is
 /// oblivious to what "source" and "destination" mean — they live inside
-/// the [`PlaneKernel`] impl built per chunk.
+/// the [`PlaneKernel`] impl built per chunk. The schedule rides in on
+/// `b.schedule`.
 pub fn stream_chunk<T: Real, K: PlaneKernel<T>>(
     kernel: &K,
     dim: Dim3,
@@ -569,6 +594,7 @@ pub fn stream_chunk<T: Real, K: PlaneKernel<T>>(
 ) -> Result<(), SyncError> {
     let r = kernel.radius();
     let policy = kernel.boundary();
+    let sched = b.schedule.schedule();
     let mut oy = 0usize;
     while oy < dim.ny {
         let oy1 = (oy + b.dim_y).min(dim.ny);
@@ -577,7 +603,7 @@ pub fn stream_chunk<T: Real, K: PlaneKernel<T>>(
             let ox1 = (ox + b.dim_x).min(dim.nx);
             let geom = TileGeom::new(dim, r, chunk, policy, ox..ox1, oy..oy1);
             if geom.has_commit() {
-                tile_stream(kernel, &geom, ctx)?;
+                tile_stream(kernel, &geom, ctx, sched)?;
                 on_tile(&geom);
             }
             ox = ox1;

@@ -25,6 +25,7 @@ pub mod engine35;
 mod periodic;
 mod pipeline35;
 mod reference;
+pub mod schedule;
 mod tile_parallel;
 
 pub use blocked25d::blocked25d_sweep;
@@ -37,6 +38,9 @@ pub use engine35::{
 pub use periodic::{periodic35d_sweep, reference_sweep_periodic, wrap_extend};
 pub use pipeline35::{blocked35d_sweep, parallel35d_sweep, temporal_sweep, try_parallel35d_sweep};
 pub use reference::{reference_sweep, simd_sweep};
+pub use schedule::{
+    Lag35, Schedule, ScheduleKind, WavefrontDiamond, WavefrontShared, DIAMOND_SPAN,
+};
 pub use tile_parallel::tile_parallel35d_sweep;
 
 use threefive_grid::{Dim3, Real};

@@ -10,12 +10,17 @@
 //! `dim_T` writes the destination grid (time `T + dim_T`) — so DRAM sees
 //! each point once per `dim_T` steps.
 //!
-//! Levels are staggered along Z by `2R` planes (the paper's
+//! Under the default [`ScheduleKind::Lag35d`](crate::exec::ScheduleKind)
+//! schedule, levels are staggered along Z by `2R` planes (the paper's
 //! `z_s = z + 2R(dim_T − t″)` schedule): at outer step `s`, level `t′`
 //! processes plane `z = s − 2R(t′−1)`. The extra `R` of lag (beyond the
 //! `R` strictly required by the data dependence) is what lets **all**
 //! levels execute concurrently in one barrier-separated step, giving
 //! `dim_T`-fold more parallelism than one-level-at-a-time schemes (§V-C).
+//! [`Blocking35::with_schedule`] swaps in the shared-cache wavefront or
+//! wavefront-diamond schedules instead — same kernels, same results,
+//! different lag/ring/barrier arithmetic (see
+//! [`schedule`](crate::exec::schedule)).
 //!
 //! # Ring capacity
 //!
@@ -597,6 +602,33 @@ mod tests {
         .unwrap();
         assert_eq!(plain.src().as_slice(), traced.src().as_slice());
         assert_eq!(tracer.snapshot().total_events(), 0);
+    }
+
+    #[test]
+    fn every_schedule_matches_reference_in_parallel() {
+        use crate::exec::schedule::ScheduleKind;
+        let d = Dim3::new(14, 11, 13);
+        let k = SevenPoint::new(0.3f32, 0.1);
+        let mut want = init::<f32>(d);
+        reference_sweep(&k, &mut want, 5);
+        for schedule in ScheduleKind::ALL {
+            for threads in [1usize, 3] {
+                let team = ThreadTeam::new(threads);
+                let mut got = init::<f32>(d);
+                parallel35d_sweep(
+                    &k,
+                    &mut got,
+                    5,
+                    Blocking35::new(6, 5, 2).with_schedule(schedule),
+                    &team,
+                );
+                assert_eq!(
+                    got.src().as_slice(),
+                    want.src().as_slice(),
+                    "schedule={schedule} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! Temporal-blocking schedules as a trait.
+//!
+//! PR 4 factored the 3.5-D pipeline into a geometry/storage engine
+//! ([`super::engine35`]) that is agnostic to *what* a level computes
+//! (the [`super::engine35::PlaneKernel`] trait). This module factors out
+//! the remaining hardcode: *when* each level computes which plane. A
+//! [`Schedule`] owns the lag/plane/ring/barrier arithmetic and the
+//! outer-step iteration; the engine asks it which planes each temporal
+//! level advances at each barrier-separated outer step and how many ring
+//! slots keep concurrently-live planes from colliding.
+//!
+//! Three schedules ship:
+//!
+//! * [`Lag35`] (`"lag35d"`) — the paper's 3.5-D lag schedule: level `t`
+//!   trails the stream head by `2R·(t-1)` planes so each level's reads
+//!   land `R` planes behind the previous level's freshest write
+//!   (Nguyen et al., SC 2010).
+//! * [`WavefrontShared`] (`"wavefront"`) — the shared-cache wavefront of
+//!   Wittmann/Hager/Wellein: the minimal lag `(R+1)·(t-1)` that still
+//!   separates each level's `z±R` read window from its producer's
+//!   same-step write plane. Identical to the lag schedule at `R = 1`;
+//!   for `R ≥ 2` the pipeline is shorter (less warmup/drain) and the
+//!   rings stay at `2R+2` slots where the lag schedule needs `3R+1`.
+//! * [`WavefrontDiamond`] (`"diamond"`) — a multi-plane wavefront in the
+//!   spirit of Malas et al.'s wavefront-diamond blocking: each level
+//!   advances a span of [`DIAMOND_SPAN`] planes per outer step, trading
+//!   ring footprint (`2·(B+R)` slots) for a `B×` reduction in barrier
+//!   count — the win when synchronization, not bandwidth, bounds the
+//!   sweep.
+//!
+//! Every schedule runs every `PlaneKernel` (stencil and LBM) unchanged:
+//! kernels read ring `t-2` planes `z±R` and write ring `t-1` plane `z`,
+//! and never see the lag. Race-freedom of each schedule's arithmetic is
+//! re-proved per schedule by the symbolic checker in
+//! `threefive-analyze`, which binds these same methods (a mutant lag,
+//! ring, or barrier count is flagged, not silently absorbed).
+
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+
+use super::engine35;
+
+/// Planes each [`WavefrontDiamond`] level advances per outer step.
+///
+/// Four planes amortize the barrier 4× while keeping the ring footprint
+/// (`2·(4+R)` planes per ring) within the span of fast storage the
+/// planner already budgets for the lag schedule's working set.
+pub const DIAMOND_SPAN: usize = 4;
+
+/// The temporal-blocking schedules the engine can run.
+///
+/// This is the first-class axis threaded through the planner, the
+/// tuner's search space (`TUNE.json` schema v2), `run`/`bench`/`serve`
+/// plan surfaces, and BENCH/TRACE provenance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// The paper's 3.5-D lag schedule (`lag = 2R·(t-1)`).
+    #[default]
+    Lag35d,
+    /// Shared-cache wavefront (`lag = (R+1)·(t-1)`).
+    Wavefront,
+    /// Multi-plane wavefront-diamond (`span = 4`, `lag = (4+R)·(t-1)`).
+    Diamond,
+}
+
+impl ScheduleKind {
+    /// Every schedule, in canonical (paper-first) order.
+    pub const ALL: [ScheduleKind; 3] = [
+        ScheduleKind::Lag35d,
+        ScheduleKind::Wavefront,
+        ScheduleKind::Diamond,
+    ];
+
+    /// Stable identifier used in CLI flags, JSON schemas and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScheduleKind::Lag35d => "lag35d",
+            ScheduleKind::Wavefront => "wavefront",
+            ScheduleKind::Diamond => "diamond",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lag35d" => Some(ScheduleKind::Lag35d),
+            "wavefront" => Some(ScheduleKind::Wavefront),
+            "diamond" => Some(ScheduleKind::Diamond),
+            _ => None,
+        }
+    }
+
+    /// The schedule's arithmetic, as a shared static.
+    pub fn schedule(self) -> &'static dyn Schedule {
+        match self {
+            ScheduleKind::Lag35d => &LAG35D,
+            ScheduleKind::Wavefront => &WAVEFRONT,
+            ScheduleKind::Diamond => &DIAMOND,
+        }
+    }
+}
+
+impl fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ScheduleKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ScheduleKind::parse(s)
+            .ok_or_else(|| format!("unknown schedule '{s}' (expected lag35d, wavefront, diamond)"))
+    }
+}
+
+/// The temporal-blocking schedule contract.
+///
+/// A schedule positions `c = dim_T` temporal levels along the Z stream.
+/// At outer step `s` (barrier-separated), level `t ∈ 1..=c` advances the
+/// planes [`Self::planes_for_level`] — a contiguous window derived from
+/// the level's lag and the schedule's per-step span. The engine sizes
+/// each ring at [`Self::ring_slots`] planes and runs
+/// [`Self::outer_steps`] steps so the commit level drains plane
+/// `nz - 1`.
+///
+/// The default `outer_steps`/`planes_for_level` implementations derive
+/// the iteration entirely from [`Self::level_lag`] and [`Self::span`]:
+/// level `t` processes plane `z` at the unique step
+/// `s = ⌊(z + lag(t)) / span⌋`.
+pub trait Schedule: Sync {
+    /// Which schedule this is (for provenance and dispatch).
+    fn kind(&self) -> ScheduleKind;
+
+    /// How many planes level `t` (1-based) trails the stream head by.
+    fn level_lag(&self, r: usize, t: usize) -> usize;
+
+    /// Planes each level advances per outer step (barriers per sweep
+    /// scale as `1/span`).
+    fn span(&self) -> usize {
+        1
+    }
+
+    /// Ring capacity in planes: enough to keep every concurrently-live
+    /// plane of a ring in a distinct slot.
+    fn ring_slots(&self, r: usize) -> usize;
+
+    /// Outer steps for `c` levels to stream `nz` planes (including
+    /// pipeline warmup and drain).
+    fn outer_steps(&self, nz: usize, r: usize, c: usize) -> usize {
+        (nz + self.level_lag(r, c)).div_ceil(self.span())
+    }
+
+    /// The planes level `t` advances at outer step `s`, clipped to the
+    /// grid (empty during this level's warmup/drain phases).
+    fn planes_for_level(&self, s: usize, r: usize, t: usize, nz: usize) -> Range<usize> {
+        let span = self.span();
+        let lag = self.level_lag(r, t);
+        let pos = span * s;
+        let hi = (pos + span).saturating_sub(lag).min(nz);
+        let lo = pos.saturating_sub(lag).min(hi);
+        lo..hi
+    }
+}
+
+/// The paper's 3.5-D lag schedule (shared static: [`LAG35D`]).
+///
+/// Delegates to the free functions in [`engine35`] so the symbolic
+/// checker keeps binding the engine's own arithmetic — there is exactly
+/// one definition of the lag-schedule math in the tree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lag35;
+
+/// Shared static for [`Lag35`].
+pub static LAG35D: Lag35 = Lag35;
+
+impl Schedule for Lag35 {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Lag35d
+    }
+
+    fn level_lag(&self, r: usize, t: usize) -> usize {
+        engine35::level_lag(r, t)
+    }
+
+    fn ring_slots(&self, r: usize) -> usize {
+        engine35::ring_slots(r)
+    }
+}
+
+/// Shared-cache wavefront schedule (shared static: [`WAVEFRONT`]).
+///
+/// Level `t` trails by `(R+1)·(t-1)` planes — the minimal lag keeping
+/// level `t`'s read window `z_t ± R` strictly below its producer's
+/// same-step write plane `z_t + R + 1`. Rings need `2R+2` slots: a
+/// plane's slot is recycled `2R+2` planes later, one step after its
+/// last `z+R` reader retires it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WavefrontShared;
+
+/// Shared static for [`WavefrontShared`].
+pub static WAVEFRONT: WavefrontShared = WavefrontShared;
+
+impl Schedule for WavefrontShared {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Wavefront
+    }
+
+    fn level_lag(&self, r: usize, t: usize) -> usize {
+        (r + 1) * (t - 1)
+    }
+
+    fn ring_slots(&self, r: usize) -> usize {
+        2 * r + 2
+    }
+}
+
+/// Multi-plane wavefront-diamond schedule (shared static: [`DIAMOND`]).
+///
+/// Each level advances `B = 4` planes per step with lag `(B+R)·(t-1)`.
+/// Per step, level `t` writes planes `[pos - lag(t), pos - lag(t) + B)`
+/// while its consumer reads planes at most `pos - lag(t) - 1` — the
+/// extra `R` in the lag absorbs the consumer's `+R` read reach. Rings
+/// need `2·(B+R)` slots: the widest same-step write-to-live-read
+/// distance is `2B + 2R - 1`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WavefrontDiamond;
+
+/// Shared static for [`WavefrontDiamond`].
+pub static DIAMOND: WavefrontDiamond = WavefrontDiamond;
+
+impl Schedule for WavefrontDiamond {
+    fn kind(&self) -> ScheduleKind {
+        ScheduleKind::Diamond
+    }
+
+    fn level_lag(&self, r: usize, t: usize) -> usize {
+        (DIAMOND_SPAN + r) * (t - 1)
+    }
+
+    fn span(&self) -> usize {
+        DIAMOND_SPAN
+    }
+
+    fn ring_slots(&self, r: usize) -> usize {
+        2 * (DIAMOND_SPAN + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds() -> impl Iterator<Item = &'static dyn Schedule> {
+        ScheduleKind::ALL.iter().map(|k| k.schedule())
+    }
+
+    #[test]
+    fn kind_round_trips_through_strings() {
+        for k in ScheduleKind::ALL {
+            assert_eq!(ScheduleKind::parse(k.as_str()), Some(k));
+            assert_eq!(k.as_str().parse::<ScheduleKind>(), Ok(k));
+            assert_eq!(k.schedule().kind(), k);
+        }
+        assert!(ScheduleKind::parse("trapezoid").is_none());
+        assert!("".parse::<ScheduleKind>().is_err());
+    }
+
+    #[test]
+    fn lag35_binds_the_engine_arithmetic() {
+        for r in 1..=4 {
+            assert_eq!(LAG35D.ring_slots(r), engine35::ring_slots(r));
+            for t in 1..=6 {
+                assert_eq!(LAG35D.level_lag(r, t), engine35::level_lag(r, t));
+            }
+            for c in 1..=4 {
+                for nz in [1, 7, 16] {
+                    assert_eq!(
+                        LAG35D.outer_steps(nz, r, c),
+                        engine35::outer_steps(nz, r, c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lag35_planes_match_plane_for_level() {
+        for r in 1..=3 {
+            for c in 1..=4 {
+                for nz in [1, 5, 12] {
+                    for s in 0..LAG35D.outer_steps(nz, r, c) {
+                        for t in 1..=c {
+                            let planes: Vec<usize> = LAG35D.planes_for_level(s, r, t, nz).collect();
+                            match engine35::plane_for_level(s, r, t, nz) {
+                                Some(z) => assert_eq!(planes, vec![z]),
+                                None => assert!(planes.is_empty()),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_matches_lag35_at_radius_one() {
+        for t in 1..=5 {
+            assert_eq!(WAVEFRONT.level_lag(1, t), LAG35D.level_lag(1, t));
+        }
+        assert_eq!(WAVEFRONT.ring_slots(1), LAG35D.ring_slots(1));
+    }
+
+    #[test]
+    fn wavefront_is_tighter_for_higher_radius() {
+        for r in 2..=4 {
+            assert!(WAVEFRONT.level_lag(r, 3) < LAG35D.level_lag(r, 3));
+            assert!(WAVEFRONT.ring_slots(r) < LAG35D.ring_slots(r));
+        }
+    }
+
+    /// Every schedule processes every plane of every level exactly once
+    /// across the outer steps — no plane skipped, none repeated, all in
+    /// ascending step order.
+    #[test]
+    fn planes_partition_the_stream_for_every_schedule() {
+        for sched in kinds() {
+            for r in 1..=3 {
+                for c in 1..=4 {
+                    for nz in [1, 3, 8, 13] {
+                        let steps = sched.outer_steps(nz, r, c);
+                        for t in 1..=c {
+                            let mut seen = Vec::new();
+                            for s in 0..steps {
+                                let planes = sched.planes_for_level(s, r, t, nz);
+                                // The step owning plane z is ⌊(z + lag)/span⌋.
+                                for z in planes.clone() {
+                                    let lag = sched.level_lag(r, t);
+                                    assert_eq!((z + lag) / sched.span(), s);
+                                }
+                                seen.extend(planes);
+                            }
+                            let expect: Vec<usize> = (0..nz).collect();
+                            assert_eq!(
+                                seen,
+                                expect,
+                                "schedule {} r={r} c={c} t={t} nz={nz}",
+                                sched.kind()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The span window never exceeds the advertised span, and the ring
+    /// always holds at least one step's worth of writes plus the reader
+    /// reach on both sides.
+    #[test]
+    fn ring_slots_cover_span_and_reach() {
+        for sched in kinds() {
+            for r in 1..=4 {
+                assert!(sched.ring_slots(r) >= sched.span() + 2 * r);
+                for c in 1..=4 {
+                    for nz in [4, 9] {
+                        for s in 0..sched.outer_steps(nz, r, c) {
+                            for t in 1..=c {
+                                assert!(sched.planes_for_level(s, r, t, nz).len() <= sched.span());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_quarters_the_barrier_count() {
+        let (nz, r, c) = (64, 1, 4);
+        let lag = LAG35D.outer_steps(nz, r, c);
+        let dia = DIAMOND.outer_steps(nz, r, c);
+        assert!(dia * 3 < lag, "diamond {dia} steps vs lag {lag}");
+    }
+}

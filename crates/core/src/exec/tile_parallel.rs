@@ -65,6 +65,7 @@ pub fn tile_parallel35d_sweep<T: Real, K: StencilKernel<T>>(
             dst: &dst_view,
         };
         let next = AtomicUsize::new(0);
+        let sched = b.schedule.schedule();
         // Per-tile destination rows are disjoint across tiles, so a simple
         // work queue is race-free; each thread runs a serial pipeline.
         team.run(|_tid| loop {
@@ -80,7 +81,7 @@ pub fn tile_parallel35d_sweep<T: Real, K: StencilKernel<T>>(
                 ox..ox1,
                 oy..oy1,
             );
-            tile_stream_serial(&planes, &geom);
+            tile_stream_serial(&planes, &geom, sched);
         });
         for &(ox, ox1, oy, oy1) in &tiles {
             let geom = TileGeom::new(

@@ -17,6 +17,8 @@
 
 use std::fmt;
 
+pub use crate::exec::schedule::ScheduleKind;
+
 /// Errors from the planning process.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum PlanError {
@@ -382,6 +384,42 @@ pub fn plan_35d_forced(
     finish_plan(gamma, dim_t, cache_bytes, elem_bytes, r)
 }
 
+/// Per-thread plane-slice size below which a barrier per Z-step costs a
+/// noticeable fraction of the compute it separates (spin-barrier latency
+/// vs ~1 ns/cell stencil work).
+const BARRIER_BOUND_CELLS_PER_THREAD: usize = 4096;
+
+/// The temporal-blocking schedule the analytical model prefers for a
+/// stencil of radius `r` on `threads` threads over planes of
+/// `plane_cells` points.
+///
+/// The choice follows the schedules' own arithmetic (see
+/// `exec::schedule`):
+///
+/// * **Diamond** processes `DIAMOND_SPAN` consecutive planes per barrier
+///   interval, quartering the barrier count — the right trade when the
+///   per-thread slice of a plane is so small that synchronization, not
+///   bandwidth, bounds the sweep.
+/// * **Wavefront** needs only `2R+2` ring slots and a lag of `(R+1)(t−1)`
+///   planes, against the 3.5-D lag schedule's `3R+1` slots and `2R(t−1)`
+///   lag — strictly less fast-storage and a shorter pipeline fill once
+///   `R > 1`.
+/// * **Lag35d** is the paper's schedule and the default everywhere else;
+///   at `R = 1` the wavefront degenerates to the same lag/slot counts, so
+///   nothing is gained by switching.
+///
+/// This is a seed for the autotuner's schedule axis, not a verdict: the
+/// tuner measures all three and may overrule it.
+pub fn preferred_schedule(r: usize, threads: usize, plane_cells: usize) -> ScheduleKind {
+    if threads > 1 && plane_cells / threads.max(1) < BARRIER_BOUND_CELLS_PER_THREAD {
+        return ScheduleKind::Diamond;
+    }
+    if r > 1 {
+        return ScheduleKind::Wavefront;
+    }
+    ScheduleKind::Lag35d
+}
+
 /// Rounds a block edge down to a SIMD/warp-friendly multiple when the lost
 /// area is small: to a multiple of 8 when that costs < 4% of the edge, else
 /// to a multiple of 4 when that costs < 5%. Reproduces the paper's picks:
@@ -688,6 +726,25 @@ mod tests {
         // Bad inputs or hopeless budgets yield an empty set, not a panic.
         assert!(candidate_plans(f64::NAN, 0.29, 4 * MB, 4, 1, 4).is_empty());
         assert!(candidate_plans(0.88, 0.1433, 100, 160, 1, 4).is_empty());
+    }
+
+    #[test]
+    fn preferred_schedule_follows_the_regime() {
+        // Paper regime: R = 1, big planes — the lag schedule itself.
+        assert_eq!(preferred_schedule(1, 4, 512 * 512), ScheduleKind::Lag35d);
+        // Serial runs never pay for barriers, so small planes alone do
+        // not flip the choice.
+        assert_eq!(preferred_schedule(1, 1, 16 * 16), ScheduleKind::Lag35d);
+        // Wide stencils: the wavefront's ring is strictly smaller.
+        assert_eq!(preferred_schedule(2, 4, 512 * 512), ScheduleKind::Wavefront);
+        let r = 2;
+        assert!(
+            ScheduleKind::Wavefront.schedule().ring_slots(r)
+                < ScheduleKind::Lag35d.schedule().ring_slots(r)
+        );
+        // Many threads on tiny planes: barrier-bound, span the barriers.
+        assert_eq!(preferred_schedule(1, 16, 32 * 32), ScheduleKind::Diamond);
+        assert_eq!(preferred_schedule(2, 16, 32 * 32), ScheduleKind::Diamond);
     }
 
     #[test]

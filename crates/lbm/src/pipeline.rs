@@ -27,8 +27,12 @@
 //!   initialized destination), so Z-boundary planes are copied into the
 //!   destination too.
 //!
-//! D3Q19 propagation has L∞ radius 1, so `R = 1` throughout; rings carry
-//! `max(2R+2, 3R+1) = 4` sub-planes per level, matching the paper.
+//! D3Q19 propagation has L∞ radius 1, so `R = 1` throughout; under the
+//! default lag schedule rings carry `max(2R+2, 3R+1) = 4` sub-planes per
+//! level, matching the paper. [`LbmBlocking::with_schedule`] runs the
+//! same kernel under the wavefront or wavefront-diamond schedules
+//! instead (see [`threefive_core::exec::schedule`]), which size their
+//! own rings.
 
 use std::fmt;
 use std::ops::Range;
@@ -37,6 +41,7 @@ use std::time::Duration;
 use threefive_core::exec::engine35::{
     stream_chunk, Blocking35, BoundaryPolicy, PlaneKernel, Rings, SweepCtx, TileGeom,
 };
+use threefive_core::exec::ScheduleKind;
 use threefive_grid::{CellFlags, Real, SoaGrid};
 use threefive_sync::{Observer, SharedSlice, SpinBarrier, SyncError, ThreadTeam};
 
@@ -56,10 +61,12 @@ pub struct LbmBlocking {
     pub dim_y: usize,
     /// Temporal blocking factor.
     pub dim_t: usize,
+    /// Which lag/ring/barrier schedule streams the chunk.
+    pub schedule: ScheduleKind,
 }
 
 impl LbmBlocking {
-    /// Creates blocking parameters.
+    /// Creates blocking parameters under the paper's lag schedule.
     ///
     /// # Panics
     /// Panics if any parameter is zero; see
@@ -86,7 +93,14 @@ impl LbmBlocking {
             dim_x,
             dim_y,
             dim_t,
+            schedule: ScheduleKind::Lag35d,
         })
+    }
+
+    /// The same blocking under a different temporal schedule.
+    pub fn with_schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = schedule;
+        self
     }
 }
 
@@ -231,6 +245,7 @@ pub fn try_lbm35d_sweep<T: Real>(
         dim_x: b.dim_x,
         dim_y: b.dim_y,
         dim_t: b.dim_t,
+        schedule: b.schedule,
     };
     let mut remaining = steps;
     while remaining > 0 {
@@ -542,6 +557,7 @@ mod tests {
             dim_x: 4,
             dim_y: 4,
             dim_t: 0,
+            schedule: ScheduleKind::Lag35d,
         };
         let err = try_lbm35d_sweep(&mut lat, 2, b, None, None, &Observer::disabled()).unwrap_err();
         assert!(matches!(err, LbmError::InvalidBlocking { dim_t: 0, .. }));
@@ -588,6 +604,26 @@ mod tests {
             assert_eq!(barriers, outer * chunks);
         }
         assert!(instr.timing().total_compute_ns() > 0);
+    }
+
+    #[test]
+    fn every_schedule_matches_naive() {
+        let d = Dim3::new(11, 9, 10);
+        let mut want = scenarios::lid_driven_cavity::<f32>(d, 1.2, 0.06);
+        lbm_naive_sweep(&mut want, 4, LbmMode::Simd, None);
+        for schedule in ScheduleKind::ALL {
+            for threads in [1usize, 3] {
+                let team = ThreadTeam::new(threads);
+                let mut got = scenarios::lid_driven_cavity::<f32>(d, 1.2, 0.06);
+                lbm35d_sweep(
+                    &mut got,
+                    4,
+                    LbmBlocking::new(5, 4, 2).with_schedule(schedule),
+                    Some(&team),
+                );
+                assert_lattices_equal(&want, &got, &format!("{schedule} threads {threads}"));
+            }
+        }
     }
 
     #[test]

@@ -302,7 +302,10 @@ mod tests {
             "job_failed",
             Some(42),
             vec![
-                ("detail".to_string(), FieldValue::from("quote \" slash \\\n")),
+                (
+                    "detail".to_string(),
+                    FieldValue::from("quote \" slash \\\n"),
+                ),
                 ("exec_ms".to_string(), FieldValue::from(1.5)),
                 ("retries".to_string(), FieldValue::from(3u64)),
                 ("fatal".to_string(), FieldValue::from(false)),

@@ -91,7 +91,13 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
                         render_labels(labels),
                         h.sum_ns as f64 / 1e9
                     );
-                    let _ = writeln!(out, "{}_count{} {}", metric.name, render_labels(labels), cum);
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        metric.name,
+                        render_labels(labels),
+                        cum
+                    );
                 }
             }
         }
@@ -256,7 +262,10 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
                 if parts.next().is_some() || !valid_metric_name(name) {
                     return Err(format!("line {lineno}: malformed TYPE line"));
                 }
-                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
                     return Err(format!("line {lineno}: unknown metric type {kind:?}"));
                 }
                 if sampled.iter().any(|s| s == name) {
@@ -424,9 +433,7 @@ mod tests {
         // Unquoted label value.
         assert!(validate_exposition("m{l=abc} 1\n").is_err());
         // Negative counter.
-        assert!(
-            validate_exposition("# TYPE c_total counter\nc_total -1\n").is_err()
-        );
+        assert!(validate_exposition("# TYPE c_total counter\nc_total -1\n").is_err());
         // TYPE after samples.
         assert!(validate_exposition("x 1\n# TYPE x gauge\nx 2\n").is_err());
         // Non-contiguous metric grouping.

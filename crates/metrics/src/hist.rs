@@ -293,7 +293,10 @@ mod tests {
             s.quantile_ns(0.99),
             Some(s.spec.upper_ns(s.spec.buckets - 2).unwrap())
         );
-        assert_eq!(HistSnapshot::empty(HistSpec::LATENCY).quantile_ns(0.5), None);
+        assert_eq!(
+            HistSnapshot::empty(HistSpec::LATENCY).quantile_ns(0.5),
+            None
+        );
     }
 
     #[test]

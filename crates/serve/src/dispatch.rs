@@ -324,9 +324,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // The age-out became a warn event and a >=1s queue-wait sample.
-        let events = metrics
-            .events
-            .tail(10, threefive_metrics::Level::Warn);
+        let events = metrics.events.tail(10, threefive_metrics::Level::Warn);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, "job_failed");
         assert_eq!(events[0].job_id, Some(9));
@@ -383,9 +381,7 @@ mod tests {
                     Arc::clone(&metrics),
                     Arc::clone(&sink),
                 );
-                std::thread::spawn(move || {
-                    run_dispatcher(&q, &p, r.as_ref(), &s, &m, k.as_ref())
-                })
+                std::thread::spawn(move || run_dispatcher(&q, &p, r.as_ref(), &s, &m, k.as_ref()))
             })
             .collect();
         for w in workers {

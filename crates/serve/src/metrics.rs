@@ -237,7 +237,9 @@ impl ServeMetrics {
     /// kernel and tenant connection.
     pub fn on_resolved(&self, kernel: &'static str, tenant_conn: u64) {
         self.jobs_by_kernel.with(kernel).inc();
-        self.jobs_by_tenant.with(&format!("conn-{tenant_conn}")).inc();
+        self.jobs_by_tenant
+            .with(&format!("conn-{tenant_conn}"))
+            .inc();
     }
 
     /// Dispatch hook: a job completed on `rung` after `exec_ms`.
@@ -271,16 +273,12 @@ impl ServeMetrics {
 
     /// Runner hook: fold one instrumented sweep's observer totals into
     /// the engine counters without re-reading any clock.
-    pub fn on_engine_sweep(
-        &self,
-        compute_ns: u64,
-        barrier_ns: u64,
-        wait_hist_counts: &[u64],
-    ) {
+    pub fn on_engine_sweep(&self, compute_ns: u64, barrier_ns: u64, wait_hist_counts: &[u64]) {
         self.engine_sweeps_total.inc();
         self.engine_compute_ns_total.add(compute_ns);
         self.engine_barrier_ns_total.add(barrier_ns);
-        self.barrier_wait.merge_buckets(wait_hist_counts, barrier_ns);
+        self.barrier_wait
+            .merge_buckets(wait_hist_counts, barrier_ns);
     }
 
     /// Render the full registry as Prometheus text.
@@ -486,7 +484,10 @@ fn sample_to_json(value: &MetricValue) -> Json {
                     ])
                 })
                 .collect();
-            let quant = |q: f64| h.quantile_ns(q).map_or(Json::Null, |ns| Json::num(ns as f64));
+            let quant = |q: f64| {
+                h.quantile_ns(q)
+                    .map_or(Json::Null, |ns| Json::num(ns as f64))
+            };
             Json::Obj(vec![
                 ("count".into(), Json::num(h.total() as f64)),
                 ("sum_ns".into(), Json::num(h.sum_ns as f64)),
@@ -559,7 +560,8 @@ mod tests {
         stats.offer(|| Ok(())).unwrap();
         stats.offer(|| Err(crate::job::Rejected::ShuttingDown)).ok();
         let m = ServeMetrics::new();
-        m.registry.collector(Box::new(StatsCollector::new(Arc::clone(&stats))));
+        m.registry
+            .collector(Box::new(StatsCollector::new(Arc::clone(&stats))));
         let snap = m.registry.snapshot();
         let get = |name: &str| match snap.get(name).unwrap().samples[0].1 {
             MetricValue::Counter(v) => v,
@@ -614,10 +616,7 @@ mod tests {
         let events = m.events.tail(10, Level::Debug);
         let doc = event_to_json(&events[0]);
         assert_eq!(doc.get("job_id").and_then(Json::as_f64), Some(5.0));
-        assert_eq!(
-            doc.get("rung").and_then(Json::as_str),
-            Some("serial")
-        );
+        assert_eq!(doc.get("rung").and_then(Json::as_str), Some("serial"));
         assert_eq!(doc.get("exec_ms").and_then(Json::as_f64), Some(1.25));
     }
 }

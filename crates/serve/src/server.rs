@@ -284,11 +284,7 @@ impl Server {
             vec![
                 (
                     "addr".to_string(),
-                    FieldValue::from(
-                        self.local_addr()
-                            .map(|a| a.to_string())
-                            .unwrap_or_default(),
-                    ),
+                    FieldValue::from(self.local_addr().map(|a| a.to_string()).unwrap_or_default()),
                 ),
                 (
                     "dispatchers".to_string(),

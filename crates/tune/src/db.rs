@@ -24,10 +24,16 @@ use std::path::Path;
 use threefive_analyze::schedule::{check_schedule, ScheduleConfig, ScheduleModel};
 use threefive_bench::json::Json;
 use threefive_bench::probe::ProbeWorkload;
+use threefive_core::exec::ScheduleKind;
 use threefive_core::planner::PlanSource;
 
 /// Version stamped into every database; bump on breaking schema changes.
-pub const TUNE_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 adds a per-entry `schedule` (the temporal-blocking schedule the
+/// winner was probed under). v1 databases still load — their entries
+/// default to `"lag35d"`, the only schedule that existed then — and are
+/// rewritten as v2 on the next save.
+pub const TUNE_SCHEMA_VERSION: u64 = 2;
 
 /// Stencil radius of both tunable kernels (7-point and D3Q19 LBM).
 const R: usize = 1;
@@ -41,6 +47,8 @@ pub struct TunedPlan {
     pub dim_t: usize,
     /// Team size.
     pub threads: usize,
+    /// Temporal-blocking schedule the winner runs under.
+    pub schedule: ScheduleKind,
     /// Where the plan came from ("tuned" for measured winners;
     /// "analytical" when the search kept the Eq. 1–4 seed).
     pub source: PlanSource,
@@ -137,7 +145,10 @@ impl TuneEntry {
             ));
         }
         if out.is_empty() {
-            let violations = check_schedule(&self.schedule_config(), &ScheduleModel::engine());
+            let violations = check_schedule(
+                &self.schedule_config(),
+                &ScheduleModel::for_kind(self.plan.schedule),
+            );
             if let Some(v) = violations.first() {
                 out.push(format!("{label}: schedule race: {v:?}"));
             }
@@ -157,6 +168,7 @@ impl TuneEntry {
             ("tile".into(), Json::Num(self.plan.tile as f64)),
             ("dim_t".into(), Json::Num(self.plan.dim_t as f64)),
             ("threads".into(), Json::Num(self.plan.threads as f64)),
+            ("schedule".into(), Json::str(self.plan.schedule.as_str())),
             ("source".into(), Json::str(self.plan.source.as_str())),
             ("mups".into(), Json::num(self.mups)),
             ("scalar_mups".into(), Json::num(self.scalar_mups)),
@@ -172,7 +184,7 @@ impl TuneEntry {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    fn from_json(v: &Json, version: u64) -> Result<Self, String> {
         let grid_arr = v
             .get("grid")
             .and_then(Json::as_arr)
@@ -190,6 +202,16 @@ impl TuneEntry {
         let source_s = req_str(v, "source")?;
         let source = PlanSource::parse(&source_s)
             .ok_or_else(|| format!("unknown plan source '{source_s}'"))?;
+        // v1 predates the schedule axis: its entries were all produced by
+        // the 3.5-D lag schedule, so that is what absence means.
+        let schedule = match v.get("schedule") {
+            Some(s) => {
+                let s = s.as_str().ok_or("field 'schedule' must be a string")?;
+                ScheduleKind::parse(s).ok_or_else(|| format!("unknown schedule '{s}'"))?
+            }
+            None if version < 2 => ScheduleKind::Lag35d,
+            None => return Err("entry missing field 'schedule'".into()),
+        };
         Ok(Self {
             fingerprint: req_str(v, "fingerprint")?,
             kernel: req_str(v, "kernel")?,
@@ -199,6 +221,7 @@ impl TuneEntry {
                 tile: req_u64(v, "tile")? as usize,
                 dim_t: req_u64(v, "dim_t")? as usize,
                 threads: req_u64(v, "threads")? as usize,
+                schedule,
                 source,
             },
             mups: req_f64(v, "mups")?,
@@ -341,10 +364,12 @@ impl TuneDb {
         format!("{}\n", self.to_json())
     }
 
-    /// Deserializes and schema-checks a JSON tree.
+    /// Deserializes and schema-checks a JSON tree. v1 databases are
+    /// migrated on load (entries default to the lag35d schedule) and
+    /// re-serialize as v{`TUNE_SCHEMA_VERSION`}.
     pub fn from_json(v: &Json) -> Result<Self, String> {
         let version = req_u64(v, "schema_version")?;
-        if version != TUNE_SCHEMA_VERSION {
+        if version == 0 || version > TUNE_SCHEMA_VERSION {
             return Err(format!(
                 "schema_version {version} unsupported (expected {TUNE_SCHEMA_VERSION}; \
                  regenerate with `threefive tune`)"
@@ -355,7 +380,7 @@ impl TuneDb {
             .and_then(Json::as_arr)
             .ok_or("missing 'entries' array")?
             .iter()
-            .map(TuneEntry::from_json)
+            .map(|e| TuneEntry::from_json(e, version))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { entries })
     }
@@ -421,6 +446,7 @@ mod tests {
                 tile: 32,
                 dim_t: 2,
                 threads: 2,
+                schedule: ScheduleKind::Lag35d,
                 source: PlanSource::Tuned,
             },
             mups,
@@ -530,10 +556,47 @@ mod tests {
         let db = TuneDb::new();
         let text = db
             .to_json_string()
-            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+            .replace("\"schema_version\": 2", "\"schema_version\": 99");
         let err = TuneDb::validate_str(&text).unwrap_err();
         assert!(err.contains("schema_version 99"), "{err}");
         assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn v1_databases_migrate_to_lag35d_and_resave_as_v2() {
+        // A pre-schedule (v1) database: no "schedule" key anywhere.
+        let v1 = r#"{"schema_version": 1, "entries": [{
+            "fingerprint": "linux-x86_64-4t-deadbeef",
+            "kernel": "7pt", "precision": "sp", "grid": [64, 64, 64],
+            "tile": 32, "dim_t": 2, "threads": 2, "source": "tuned",
+            "mups": 120.0, "scalar_mups": 100.0, "analytical_mups": null,
+            "probes": 12, "probe_steps": 2}]}"#;
+        let db = TuneDb::validate_str(v1).expect("v1 loads via migration");
+        assert_eq!(db.entries[0].plan.schedule, ScheduleKind::Lag35d);
+        assert!(db.revalidate().is_empty());
+        let text = db.to_json_string();
+        assert!(text.contains("\"schema_version\": 2"), "{text}");
+        assert!(text.contains("\"schedule\": \"lag35d\""), "{text}");
+        // But a v2 entry without a schedule is malformed, not defaulted.
+        let v2_missing = v1.replace("\"schema_version\": 1", "\"schema_version\": 2");
+        let err = TuneDb::validate_str(&v2_missing).unwrap_err();
+        assert!(err.contains("schedule"), "{err}");
+    }
+
+    #[test]
+    fn non_lag_schedules_persist_and_round_trip() {
+        let mut db = TuneDb::new();
+        for (i, schedule) in ScheduleKind::ALL.into_iter().enumerate() {
+            let mut e = entry(120.0, 100.0);
+            e.grid = [64, 64, 64 + i]; // distinct keys
+            e.plan.schedule = schedule;
+            db.record_winner(e).unwrap();
+        }
+        let back = TuneDb::validate_str(&db.to_json_string()).expect("schema-valid");
+        assert_eq!(back, db);
+        assert!(back.revalidate().is_empty());
+        let schedules: Vec<_> = back.entries.iter().map(|e| e.plan.schedule).collect();
+        assert_eq!(schedules, ScheduleKind::ALL.to_vec());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! 1. [`search::SearchSpace::seeds`] enumerates starting candidates from
 //!    [`threefive_core::planner::candidate_plans`] plus a cache-simulator
 //!    sweep ([`threefive_cachesim::trace::blocked35d_trace`]);
-//! 2. [`search::hill_climb`] walks (tile, dim_T, threads) neighbors with
+//! 2. [`search::hill_climb`] walks (tile, dim_T, threads, schedule)
+//!    neighbors with
 //!    short timed probes through the `threefive-bench` harness
 //!    ([`threefive_bench::probe`]), under a probe/deadline budget, with
 //!    a monotonic best-so-far invariant;

@@ -1,7 +1,7 @@
 //! The tuning search: analytical seeds, neighborhood, hill-climb.
 //!
-//! The search space is (tile, dim_T, threads) on a fixed (kernel,
-//! precision, grid). Seeds come from the paper's own machinery — every
+//! The search space is (tile, dim_T, threads, schedule) on a fixed
+//! (kernel, precision, grid). Seeds come from the paper's own machinery — every
 //! depth the planner can justify ([`candidate_plans`]) plus the tile the
 //! cache simulator predicts cheapest — so the climb starts where Eqs.
 //! 1–4 point and only *walks away* when measurements disagree. The
@@ -18,6 +18,7 @@ use threefive_bench::probe::{probe_candidate, probe_scalar, ProbeSpec, ProbeWork
 use threefive_bench::BenchConfig;
 use threefive_cachesim::trace::blocked35d_trace;
 use threefive_cachesim::CacheSim;
+use threefive_core::exec::ScheduleKind;
 use threefive_core::planner::candidate_plans;
 use threefive_grid::Dim3;
 
@@ -30,6 +31,8 @@ pub struct Candidate {
     pub dim_t: usize,
     /// Team size.
     pub threads: usize,
+    /// Temporal-blocking schedule.
+    pub schedule: ScheduleKind,
 }
 
 /// Measurement backend for the search.
@@ -64,6 +67,7 @@ impl BenchProber {
             dim_t: c.dim_t,
             threads: c.threads,
             dp: self.dp,
+            schedule: c.schedule,
         }
     }
 }
@@ -78,6 +82,7 @@ impl Prober for BenchProber {
             tile: self.n,
             dim_t: 1,
             threads: 1,
+            schedule: ScheduleKind::Lag35d,
         };
         probe_scalar(&self.cfg, &self.spec(&c)).map(|m| m.mups)
     }
@@ -96,6 +101,9 @@ pub struct SearchSpace {
     pub elem_bytes: usize,
     /// Stencil radius R.
     pub r: usize,
+    /// Pin the search to one schedule (`Some`) or let the climb explore
+    /// all of them (`None`).
+    pub schedule: Option<ScheduleKind>,
 }
 
 impl SearchSpace {
@@ -110,10 +118,15 @@ impl SearchSpace {
         if tile <= 2 * self.r || c.dim_t > self.n || c.threads > self.max_threads {
             return false;
         }
+        if self.schedule.is_some_and(|pin| pin != c.schedule) {
+            return false;
+        }
         // Eq. 1: the working set of a (loaded tile)² × dim_T chunk must
-        // fit the fast-storage budget.
+        // fit the fast-storage budget — using the candidate schedule's
+        // own ring capacity, not the lag schedule's.
         let loaded = tile + 2 * self.r * c.dim_t;
-        let bytes = self.elem_bytes * (2 * self.r + 2) * c.dim_t * loaded * loaded;
+        let slots = c.schedule.schedule().ring_slots(self.r);
+        let bytes = self.elem_bytes * slots * c.dim_t * loaded * loaded;
         if bytes > self.cache_bytes {
             return false;
         }
@@ -125,14 +138,14 @@ impl SearchSpace {
                 nz: self.n,
                 ly: loaded,
             },
-            &ScheduleModel::engine(),
+            &ScheduleModel::for_kind(c.schedule),
         )
         .is_empty()
     }
 
     /// The hill-climb neighborhood of `c`: tile halved/doubled/±8,
-    /// dim_T ± 1, threads halved/doubled — clamped to the space and
-    /// filtered through [`SearchSpace::valid`].
+    /// dim_T ± 1, threads halved/doubled, every other schedule — clamped
+    /// to the space and filtered through [`SearchSpace::valid`].
     pub fn neighbors(&self, c: &Candidate) -> Vec<Candidate> {
         let mut out = Vec::new();
         let mut push = |cand: Candidate| {
@@ -158,6 +171,9 @@ impl SearchSpace {
         for threads in [c.threads / 2, c.threads * 2] {
             push(Candidate { threads, ..*c });
         }
+        for schedule in ScheduleKind::ALL {
+            push(Candidate { schedule, ..*c });
+        }
         out
     }
 
@@ -166,6 +182,7 @@ impl SearchSpace {
     /// cheapest, plus the whole-plane (temporal-only) point. All at the
     /// full team size — the climb shrinks threads if probing says so.
     pub fn seeds(&self, gamma: f64, big_gamma: f64) -> Vec<Candidate> {
+        let schedule = self.schedule.unwrap_or_default();
         let mut out: Vec<Candidate> = Vec::new();
         let mut push = |cand: Candidate| {
             if self.valid(&cand) && !out.contains(&cand) {
@@ -184,6 +201,7 @@ impl SearchSpace {
                 tile: plan.dim_xy.min(self.n),
                 dim_t: plan.dim_t,
                 threads: self.max_threads,
+                schedule,
             });
         }
         // Cache-simulator seed: smallest predicted DRAM bytes/point over
@@ -213,6 +231,7 @@ impl SearchSpace {
                 tile,
                 dim_t: 2,
                 threads: self.max_threads,
+                schedule,
             });
         }
         // Temporal-only: whole-plane tiles at the minimum useful depth.
@@ -220,6 +239,7 @@ impl SearchSpace {
             tile: self.n,
             dim_t: 2,
             threads: self.max_threads,
+            schedule,
         });
         out
     }
@@ -350,6 +370,16 @@ mod tests {
             cache_bytes: 4 << 20,
             elem_bytes: 4,
             r: 1,
+            schedule: None,
+        }
+    }
+
+    fn cand(tile: usize, dim_t: usize, threads: usize) -> Candidate {
+        Candidate {
+            tile,
+            dim_t,
+            threads,
+            schedule: ScheduleKind::Lag35d,
         }
     }
 
@@ -474,62 +504,70 @@ mod tests {
     #[test]
     fn space_rejects_degenerate_and_overbudget_candidates() {
         let s = space();
-        assert!(!s.valid(&Candidate {
-            tile: 0,
-            dim_t: 2,
-            threads: 1
-        }));
-        assert!(!s.valid(&Candidate {
-            tile: 2,
-            dim_t: 2,
-            threads: 1
-        }));
-        assert!(!s.valid(&Candidate {
-            tile: 16,
-            dim_t: 0,
-            threads: 1
-        }));
-        assert!(!s.valid(&Candidate {
-            tile: 16,
-            dim_t: 2,
-            threads: 0
-        }));
-        assert!(!s.valid(&Candidate {
-            tile: 16,
-            dim_t: 2,
-            threads: 8
-        }));
-        assert!(s.valid(&Candidate {
-            tile: 16,
-            dim_t: 2,
-            threads: 4
-        }));
+        assert!(!s.valid(&cand(0, 2, 1)));
+        assert!(!s.valid(&cand(2, 2, 1)));
+        assert!(!s.valid(&cand(16, 0, 1)));
+        assert!(!s.valid(&cand(16, 2, 0)));
+        assert!(!s.valid(&cand(16, 2, 8)));
+        assert!(s.valid(&cand(16, 2, 4)));
         // A tiny budget rejects big tiles via Eq. 1.
         let tiny = SearchSpace {
             cache_bytes: 8 << 10,
             ..s
         };
-        assert!(!tiny.valid(&Candidate {
-            tile: 64,
-            dim_t: 2,
-            threads: 1
+        assert!(!tiny.valid(&cand(64, 2, 1)));
+    }
+
+    #[test]
+    fn every_schedule_is_admissible_and_a_pin_excludes_the_others() {
+        let s = space();
+        for schedule in ScheduleKind::ALL {
+            assert!(s.valid(&Candidate {
+                schedule,
+                ..cand(16, 2, 4)
+            }));
+        }
+        let pinned = SearchSpace {
+            schedule: Some(ScheduleKind::Wavefront),
+            ..s
+        };
+        assert!(!pinned.valid(&cand(16, 2, 4)), "lag35d rejected by pin");
+        assert!(pinned.valid(&Candidate {
+            schedule: ScheduleKind::Wavefront,
+            ..cand(16, 2, 4)
         }));
+        // Pinned seeds carry the pinned schedule.
+        for c in pinned.seeds(0.5, 0.29) {
+            assert_eq!(c.schedule, ScheduleKind::Wavefront, "{c:?}");
+        }
     }
 
     #[test]
     fn neighbors_are_valid_and_exclude_self() {
         let s = space();
-        let c = Candidate {
-            tile: 16,
-            dim_t: 2,
-            threads: 2,
-        };
+        let c = cand(16, 2, 2);
         let ns = s.neighbors(&c);
         assert!(!ns.is_empty());
         for n in &ns {
             assert_ne!(n, &c);
             assert!(s.valid(n), "{n:?}");
         }
+        // Unpinned, the neighborhood reaches the other two schedules.
+        for schedule in [ScheduleKind::Wavefront, ScheduleKind::Diamond] {
+            assert!(
+                ns.iter().any(|n| n.schedule == schedule),
+                "missing {schedule} neighbor in {ns:?}"
+            );
+        }
+        // Pinned, it reaches none of them.
+        let pinned = SearchSpace {
+            schedule: Some(ScheduleKind::Lag35d),
+            ..s
+        };
+        assert!(pinned
+            .neighbors(&c)
+            .iter()
+            .all(|n| n.schedule == ScheduleKind::Lag35d));
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn race_check(n: usize, c: &Candidate) -> Result<(), String> {
         nz: n,
         ly: c.tile.min(n) + 2 * R * c.dim_t,
     };
-    let violations = check_schedule(&cfg, &ScheduleModel::engine());
+    let violations = check_schedule(&cfg, &ScheduleModel::for_kind(c.schedule));
     match violations.first() {
         None => Ok(()),
         Some(v) => Err(format!("candidate {c:?} fails the race checker: {v:?}")),
@@ -80,6 +80,7 @@ where
         dim_x: c.tile.min(n),
         dim_y: c.tile.min(n),
         dim_t: c.dim_t,
+        schedule: c.schedule,
     };
     try_parallel35d_sweep(
         &kernel,
@@ -116,7 +117,8 @@ fn verify_lbm<T: Real>(n: usize, steps: usize, c: &Candidate) -> Result<(), Stri
     let mut tuned = threefive_lbm::scenarios::lid_driven_cavity::<T>(dim, omega, u_lid);
     let team = ThreadTeam::new(c.threads);
     let b = LbmBlocking::try_new(c.tile.min(n), c.tile.min(n), c.dim_t)
-        .map_err(|e| format!("candidate {c:?} has invalid blocking: {e}"))?;
+        .map_err(|e| format!("candidate {c:?} has invalid blocking: {e}"))?
+        .with_schedule(c.schedule);
     try_lbm35d_sweep(
         &mut tuned,
         steps,
@@ -145,16 +147,21 @@ fn verify_lbm<T: Real>(n: usize, steps: usize, c: &Candidate) -> Result<(), Stri
 mod tests {
     use super::*;
 
+    use threefive_core::exec::ScheduleKind;
+
     #[test]
     fn valid_candidates_verify_for_both_kernels() {
-        let c = Candidate {
-            tile: 8,
-            dim_t: 2,
-            threads: 2,
-        };
-        verify_candidate(ProbeWorkload::Stencil, 12, 3, false, &c).unwrap();
-        verify_candidate(ProbeWorkload::Stencil, 12, 3, true, &c).unwrap();
-        verify_candidate(ProbeWorkload::Lbm, 12, 3, false, &c).unwrap();
+        for schedule in ScheduleKind::ALL {
+            let c = Candidate {
+                tile: 8,
+                dim_t: 2,
+                threads: 2,
+                schedule,
+            };
+            verify_candidate(ProbeWorkload::Stencil, 12, 3, false, &c).unwrap();
+            verify_candidate(ProbeWorkload::Stencil, 12, 3, true, &c).unwrap();
+            verify_candidate(ProbeWorkload::Lbm, 12, 3, false, &c).unwrap();
+        }
     }
 
     #[test]
@@ -163,6 +170,7 @@ mod tests {
             tile: 8,
             dim_t: 0,
             threads: 1,
+            schedule: ScheduleKind::Lag35d,
         };
         assert!(verify_candidate(ProbeWorkload::Stencil, 12, 2, false, &c).is_err());
     }

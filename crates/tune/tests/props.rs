@@ -11,6 +11,7 @@
 use proptest::prelude::*;
 use threefive_analyze::schedule::{check_schedule, ScheduleConfig, ScheduleModel};
 use threefive_bench::probe::ProbeWorkload;
+use threefive_core::exec::ScheduleKind;
 use threefive_tune::{verify_candidate, Candidate, SearchSpace};
 
 proptest! {
@@ -25,6 +26,7 @@ proptest! {
         steps in 1usize..4,
         lbm in 0u8..2,
         cache_shift in 14u32..23,
+        sched_idx in 0usize..3,
     ) {
         let space = SearchSpace {
             n,
@@ -32,16 +34,20 @@ proptest! {
             cache_bytes: 1usize << cache_shift,
             elem_bytes: if lbm == 1 { 80 } else { 4 },
             r: 1,
+            schedule: None,
         };
-        let c = Candidate { tile, dim_t, threads };
+        let schedule = ScheduleKind::ALL[sched_idx];
+        let c = Candidate { tile, dim_t, threads, schedule };
         // (No prop_assume in the in-tree shim: skip inadmissible draws.)
         if !space.valid(&c) {
             return Ok(());
         }
 
-        // Eq. 1: the loaded working set fits the budget.
+        // Eq. 1: the loaded working set fits the budget, with the ring
+        // depth the candidate's own schedule requires.
         let loaded = c.tile.min(n) + 2 * c.dim_t;
-        let bytes = space.elem_bytes * 4 * c.dim_t * loaded * loaded;
+        let slots = schedule.schedule().ring_slots(space.r);
+        let bytes = space.elem_bytes * slots * c.dim_t * loaded * loaded;
         prop_assert!(bytes <= space.cache_bytes);
 
         // Symbolic race checker accepts the exact schedule geometry.
@@ -52,7 +58,7 @@ proptest! {
             nz: n,
             ly: loaded,
         };
-        prop_assert!(check_schedule(&cfg, &ScheduleModel::engine()).is_empty());
+        prop_assert!(check_schedule(&cfg, &ScheduleModel::for_kind(schedule)).is_empty());
 
         // Bit-identity vs the scalar reference on a real sweep.
         let workload = if lbm == 1 { ProbeWorkload::Lbm } else { ProbeWorkload::Stencil };
@@ -66,6 +72,7 @@ proptest! {
         tile in 3usize..16,
         dim_t in 1usize..5,
         threads in 1usize..5,
+        sched_idx in 0usize..3,
     ) {
         let space = SearchSpace {
             n,
@@ -73,8 +80,10 @@ proptest! {
             cache_bytes: 4 << 20,
             elem_bytes: 4,
             r: 1,
+            schedule: None,
         };
-        let c = Candidate { tile, dim_t, threads };
+        let schedule = ScheduleKind::ALL[sched_idx];
+        let c = Candidate { tile, dim_t, threads, schedule };
         if !space.valid(&c) {
             return Ok(());
         }
@@ -95,6 +104,7 @@ proptest! {
             cache_bytes: 1usize << cache_shift,
             elem_bytes: if lbm == 1 { 80 } else { 4 },
             r: 1,
+            schedule: None,
         };
         let (gamma, big_gamma) = if lbm == 1 { (0.88, 0.29) } else { (0.5, 0.29) };
         for seed in space.seeds(gamma, big_gamma) {

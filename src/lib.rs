@@ -91,7 +91,7 @@ pub mod prelude {
     pub use threefive_core::exec::{
         blocked25d_sweep, blocked35d_sweep, blocked3d_sweep, blocked4d_sweep, parallel35d_sweep,
         periodic35d_sweep, reference_sweep, reference_sweep_periodic, simd_sweep, temporal_sweep,
-        tile_parallel35d_sweep, Blocking35,
+        tile_parallel35d_sweep, Blocking35, Schedule, ScheduleKind,
     };
     pub use threefive_core::planner::PlanSource;
     pub use threefive_core::{

@@ -27,7 +27,8 @@ use threefive::bench::probe::ProbeWorkload;
 use threefive::bench::report::{BenchEntry, BenchReport, HostInfo};
 use threefive::bench::service::ServiceReport;
 use threefive::bench::{
-    measure_lbm, measure_seven_point, BenchConfig, Measurement, LBM_VARIANTS, STENCIL_VARIANTS,
+    measure_lbm_scheduled, measure_seven_point_scheduled, BenchConfig, Measurement, LBM_VARIANTS,
+    STENCIL_VARIANTS,
 };
 use threefive::cli::{self, CliError};
 use threefive::gpu::kernels::{
@@ -40,8 +41,8 @@ use threefive::loadgen::{run_loadgen, LoadgenConfig, WorkloadMix};
 use threefive::machine::fermi;
 use threefive::machine::roofline::{GPU_ALU_EFF, GPU_ALU_EFF_TUNED};
 use threefive::machine::twenty_seven_point_traffic;
-use threefive::prelude::*;
 use threefive::metrics::Level;
+use threefive::prelude::*;
 use threefive::serve::{signal, AdmissionLimits, ServeMetrics, Server, ServerConfig};
 use threefive::serve_runner::SolverRunner;
 use threefive::stat::{run_once as stat_once, StatOptions};
@@ -144,22 +145,27 @@ USAGE:
                   [--precision sp|dp] [--cache BYTES]
   threefive run   --variant ref|simd|25d|3d|4d|temporal|35d|tile35
                   [--n 128] [--steps 8] [--tile T] [--dimt K] [--threads N]
+                  [--schedule lag35d|wavefront|diamond]
                   [--reps R] [--warmup W] [--precision sp|dp] [--db TUNE.json]
   threefive lbm   --scenario box|cavity|channel
                   --variant scalar|simd|temporal|35d
                   [--n 48] [--steps 60] [--tile T] [--dimt K] [--threads N]
+                  [--schedule lag35d|wavefront|diamond]
                   [--timing] [--trace] [--out DIR] [--deadline MS]
   threefive bench [--n 64] [--steps 4] [--reps 3] [--warmup 1]
                   [--tile T] [--dimt K] [--threads N]
+                  [--schedule lag35d|wavefront|diamond]
                   [--precision sp|dp|both] [--out DIR] [--db TUNE.json]
   threefive bench --validate FILE
   threefive tune  [--workload stencil|lbm|both] [--n 64] [--steps 2]
                   [--probes 24] [--deadline-ms 60000] [--threads N]
                   [--reps R] [--warmup W] [--precision sp|dp|both]
+                  [--schedule all|lag35d|wavefront|diamond]
                   [--db TUNE.json]
   threefive tune  --validate FILE
   threefive trace [--nx X --ny Y --nz Z | --n N] [--dimt K] [--steps S]
                   [--tile T] [--threads N] [--workload stencil|lbm]
+                  [--schedule lag35d|wavefront|diamond]
                   [--out DIR]
   threefive trace --validate FILE
   threefive analyze [--root DIR] [--deny-findings] [--out DIR]
@@ -184,19 +190,31 @@ fn host_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |c| c.get())
 }
 
+/// Parses `--schedule` into a temporal-blocking schedule; defaults to the
+/// paper's 3.5-D lag schedule.
+fn parse_schedule(opts: &Opts) -> Result<ScheduleKind, CmdError> {
+    let s = cli::getstr(opts, "schedule", "lag35d");
+    ScheduleKind::parse(&s).ok_or_else(|| {
+        CmdError::Msg(format!(
+            "unknown schedule '{s}' (expected lag35d, wavefront or diamond)"
+        ))
+    })
+}
+
 /// A tuned plan pulled from the `TUNE.json` database, plus a one-line
 /// provenance string for the console.
 struct TunedChoice {
     tile: usize,
     dim_t: usize,
     threads: usize,
+    schedule: ScheduleKind,
     provenance: String,
 }
 
 /// Consults the autotuner database for (kernel, precision, `n`³) on this
-/// host. Only consulted when the user pinned none of `--tile`, `--dimt`
-/// or `--threads` — explicit flags always win — and `--db none` disables
-/// the lookup entirely. A missing database file is a plain miss (the
+/// host. Only consulted when the user pinned none of `--tile`, `--dimt`,
+/// `--threads` or `--schedule` — explicit flags always win — and
+/// `--db none` disables the lookup entirely. A missing database file is a plain miss (the
 /// caller falls back to the analytical plan); a present-but-invalid one
 /// is a diagnosed error, never silently ignored.
 fn tuned_lookup(
@@ -205,7 +223,7 @@ fn tuned_lookup(
     dp: bool,
     n: usize,
 ) -> Result<Option<TunedChoice>, CmdError> {
-    if ["tile", "dimt", "threads"]
+    if ["tile", "dimt", "threads", "schedule"]
         .iter()
         .any(|k| opts.contains_key(*k))
     {
@@ -226,10 +244,17 @@ fn tuned_lookup(
             tile: e.plan.tile,
             dim_t: e.plan.dim_t,
             threads: e.plan.threads,
+            schedule: e.plan.schedule,
             provenance: format!(
-                "{} plan from {db_path}: tile {} dim_T {} threads {} \
+                "{} plan from {db_path}: tile {} dim_T {} threads {} schedule {} \
                  ({:.1} MUPS tuned vs {:.1} scalar floor)",
-                e.plan.source, e.plan.tile, e.plan.dim_t, e.plan.threads, e.mups, e.scalar_mups
+                e.plan.source,
+                e.plan.tile,
+                e.plan.dim_t,
+                e.plan.threads,
+                e.plan.schedule,
+                e.mups,
+                e.scalar_mups
             ),
         }))
 }
@@ -337,15 +362,16 @@ fn cmd_run(opts: &Opts) -> Result<(), CmdError> {
     // Blocking parameters: explicit flags beat the tuner database beats
     // the analytical defaults.
     let tuned = tuned_lookup(opts, "7pt", dp, n)?;
-    let (tile, dim_t, threads) = match &tuned {
+    let (tile, dim_t, threads, schedule) = match &tuned {
         Some(t) => {
             println!("  {}", t.provenance);
-            (t.tile, t.dim_t, t.threads)
+            (t.tile, t.dim_t, t.threads, t.schedule)
         }
         None => (
             cli::get(opts, "tile", n.min(360))?,
             cli::get(opts, "dimt", 2)?,
             cli::get(opts, "threads", host_threads())?,
+            parse_schedule(opts)?,
         ),
     };
     let dim = Dim3::cube(n);
@@ -354,12 +380,31 @@ fn cmd_run(opts: &Opts) -> Result<(), CmdError> {
     // them through `Blocking35::try_new`, so `--dimt 0` is a diagnosed
     // error, not a panic.
     let m = if dp {
-        measure_seven_point::<f64>(&cfg, label, dim, steps, tile, dim_t, Some(&team))?
+        measure_seven_point_scheduled::<f64>(
+            &cfg,
+            label,
+            dim,
+            steps,
+            tile,
+            dim_t,
+            Some(&team),
+            schedule,
+        )?
     } else {
-        measure_seven_point::<f32>(&cfg, label, dim, steps, tile, dim_t, Some(&team))?
+        measure_seven_point_scheduled::<f32>(
+            &cfg,
+            label,
+            dim,
+            steps,
+            tile,
+            dim_t,
+            Some(&team),
+            schedule,
+        )?
     };
     println!(
-        "7-point {} on {dim}, {steps} steps, variant {variant}, {threads} threads",
+        "7-point {} on {dim}, {steps} steps, variant {variant}, schedule {schedule}, \
+         {threads} threads",
         if dp { "DP" } else { "SP" }
     );
     println!(
@@ -401,11 +446,14 @@ fn cmd_lbm(opts: &Opts) -> Result<(), CmdError> {
     };
     let team = ThreadTeam::new(threads);
     let variant = cli::getstr(opts, "variant", "35d");
+    let schedule = parse_schedule(opts)?;
     // Validate user-supplied blocking before any executor can panic.
     let blocking = match variant.as_str() {
         "scalar" | "simd" => None,
-        "temporal" => Some(LbmBlocking::try_new(n.max(1), n.max(1), dim_t)?),
-        "35d" => Some(LbmBlocking::try_new(tile, tile, dim_t)?),
+        "temporal" => {
+            Some(LbmBlocking::try_new(n.max(1), n.max(1), dim_t)?.with_schedule(schedule))
+        }
+        "35d" => Some(LbmBlocking::try_new(tile, tile, dim_t)?.with_schedule(schedule)),
         other => {
             return Err(CmdError::Msg(format!(
                 "unknown variant '{other}' (expected scalar, simd, temporal or 35d)"
@@ -487,7 +535,9 @@ fn cmd_lbm(opts: &Opts) -> Result<(), CmdError> {
         0.0
     };
     let probe = lat.macroscopic(n / 2, n / 2, n / 2);
-    println!("D3Q19 LBM {scenario} on {dim}, {steps} steps, variant {variant}");
+    println!(
+        "D3Q19 LBM {scenario} on {dim}, {steps} steps, variant {variant}, schedule {schedule}"
+    );
     println!(
         "  {secs:.3} s over {timed_steps} timed step(s), {mlups:.2} interior MLUPS; \
          center: rho = {:.4}, u = ({:+.4}, {:+.4}, {:+.4})",
@@ -504,7 +554,7 @@ fn cmd_lbm(opts: &Opts) -> Result<(), CmdError> {
     }
     if tracer.is_enabled() {
         let snapshot = tracer.snapshot();
-        let process = format!("threefive lbm {scenario} {dim} dimT={dim_t}");
+        let process = format!("threefive lbm {scenario} {dim} dimT={dim_t} sched={schedule}");
         let text = format!("{}\n", trace_to_chrome_json(&snapshot, &process));
         validate_trace_str(&text)
             .map_err(|e| CmdError::Msg(format!("internal: exported trace invalid: {e}")))?;
@@ -529,6 +579,9 @@ fn bench_entry(
 ) -> BenchEntry {
     BenchEntry {
         variant: m.label.to_string(),
+        schedule: m
+            .schedule
+            .map_or_else(|| "none".to_string(), |s| s.as_str().to_string()),
         precision: precision.to_string(),
         grid,
         steps,
@@ -558,9 +611,10 @@ fn print_bench_entry(e: &BenchEntry) {
         .and_then(|t| t.counters.get("roofline_attainment_pct"))
         .map_or("     -".to_string(), |a| format!("{a:5.1}%"));
     println!(
-        "  {:4} {:20} {:>9.3} ms {:>8.1} MUPS  κ {:>5.3}  barrier {barrier}  attain {attain}",
+        "  {:4} {:20} {:9} {:>9.3} ms {:>8.1} MUPS  κ {:>5.3}  barrier {barrier}  attain {attain}",
         e.precision,
         e.variant,
+        e.schedule,
         e.median_secs * 1e3,
         e.mups,
         e.kappa
@@ -601,22 +655,23 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
         reps: cli::get(opts, "reps", 3)?,
     };
     let dp0 = cli::getstr(opts, "precision", "sp") == "dp";
-    // Per-kernel tuned blocking (tile, dim_T) when no explicit flags pin
-    // it; the thread count stays bench-wide so variants compare like for
-    // like on one team.
-    let (stencil_tile, stencil_dim_t) = match tuned_lookup(opts, "7pt", dp0, n)? {
+    let flag_schedule = parse_schedule(opts)?;
+    // Per-kernel tuned blocking (tile, dim_T, schedule) when no explicit
+    // flags pin it; the thread count stays bench-wide so variants compare
+    // like for like on one team.
+    let (stencil_tile, stencil_dim_t, stencil_sched) = match tuned_lookup(opts, "7pt", dp0, n)? {
         Some(t) => {
             println!("stencil: {}", t.provenance);
-            (t.tile, t.dim_t)
+            (t.tile, t.dim_t, t.schedule)
         }
-        None => (tile, dim_t),
+        None => (tile, dim_t, flag_schedule),
     };
-    let (lbm_tile, lbm_dim_t) = match tuned_lookup(opts, "lbm", dp0, n)? {
+    let (lbm_tile, lbm_dim_t, lbm_sched) = match tuned_lookup(opts, "lbm", dp0, n)? {
         Some(t) => {
             println!("lbm: {}", t.provenance);
-            (t.tile, t.dim_t)
+            (t.tile, t.dim_t, t.schedule)
         }
-        None => (tile, dim_t),
+        None => (tile, dim_t, flag_schedule),
     };
     let precisions: &[&str] = match cli::getstr(opts, "precision", "sp").as_str() {
         "sp" => &["sp"],
@@ -635,7 +690,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
 
     println!(
         "bench: {n}^3, {steps} steps, {} warmup + {} timed rep(s), {threads} threads, \
-         tile {tile}, dim_T {dim_t}",
+         tile {tile}, dim_T {dim_t}, schedule {flag_schedule}",
         cfg.warmup,
         cfg.reps.max(1)
     );
@@ -650,7 +705,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
         };
         for &variant in STENCIL_VARIANTS {
             let m = if prec == "dp" {
-                measure_seven_point::<f64>(
+                measure_seven_point_scheduled::<f64>(
                     &cfg,
                     variant,
                     dim,
@@ -658,9 +713,10 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
                     stencil_tile,
                     stencil_dim_t,
                     Some(&team),
+                    stencil_sched,
                 )?
             } else {
-                measure_seven_point::<f32>(
+                measure_seven_point_scheduled::<f32>(
                     &cfg,
                     variant,
                     dim,
@@ -668,6 +724,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
                     stencil_tile,
                     stencil_dim_t,
                     Some(&team),
+                    stencil_sched,
                 )?
             };
             let tel = stencil_telemetry(p, &m, dim, steps, stencil_tile, stencil_dim_t);
@@ -687,9 +744,27 @@ fn cmd_bench(opts: &Opts) -> Result<(), CmdError> {
         };
         for &variant in LBM_VARIANTS {
             let m = if prec == "dp" {
-                measure_lbm::<f64>(&cfg, variant, n, steps, lbm_tile, lbm_dim_t, Some(&team))?
+                measure_lbm_scheduled::<f64>(
+                    &cfg,
+                    variant,
+                    n,
+                    steps,
+                    lbm_tile,
+                    lbm_dim_t,
+                    Some(&team),
+                    lbm_sched,
+                )?
             } else {
-                measure_lbm::<f32>(&cfg, variant, n, steps, lbm_tile, lbm_dim_t, Some(&team))?
+                measure_lbm_scheduled::<f32>(
+                    &cfg,
+                    variant,
+                    n,
+                    steps,
+                    lbm_tile,
+                    lbm_dim_t,
+                    Some(&team),
+                    lbm_sched,
+                )?
             };
             let tel = lbm_telemetry(p, &m, n, lbm_tile, lbm_dim_t);
             let e = bench_entry(&m, prec, grid, steps, threads, &cfg, Some(tel));
@@ -749,6 +824,7 @@ fn cmd_tune(opts: &Opts) -> Result<(), CmdError> {
             "reps",
             "warmup",
             "precision",
+            "schedule",
             "db",
             "validate",
         ],
@@ -786,6 +862,16 @@ fn cmd_tune(opts: &Opts) -> Result<(), CmdError> {
                 "unknown precision '{other}' (expected sp, dp or both)"
             )))
         }
+    };
+    // `--schedule all` (the default) searches every temporal-blocking
+    // schedule as one more hill-climb axis; a concrete name pins it.
+    let schedule_pin = match cli::getstr(opts, "schedule", "all").as_str() {
+        "all" => None,
+        s => Some(ScheduleKind::parse(s).ok_or_else(|| {
+            CmdError::Msg(format!(
+                "unknown schedule '{s}' (expected all, lag35d, wavefront or diamond)"
+            ))
+        })?),
     };
     let db_path = std::path::PathBuf::from(cli::getstr(opts, "db", "TUNE.json"));
 
@@ -825,6 +911,7 @@ fn cmd_tune(opts: &Opts) -> Result<(), CmdError> {
                 cache_bytes: machine.fast_storage_bytes,
                 elem_bytes: traffic.elem_bytes(p),
                 r: traffic.radius,
+                schedule: schedule_pin,
             };
             let seeds = space.seeds(traffic.gamma(p), machine.big_gamma(p));
             let analytical_seed = seeds.first().copied();
@@ -866,6 +953,7 @@ fn cmd_tune(opts: &Opts) -> Result<(), CmdError> {
                             tile: c.tile,
                             dim_t: c.dim_t,
                             threads: c.threads,
+                            schedule: c.schedule,
                             source,
                         },
                         mups,
@@ -876,9 +964,9 @@ fn cmd_tune(opts: &Opts) -> Result<(), CmdError> {
                     };
                     let outcome = db.record_winner(entry).map_err(CmdError::Msg)?;
                     println!(
-                        "  winner: tile {} dim_T {} threads {} at {mups:.1} MUPS ({source}) — \
-                         {outcome}",
-                        c.tile, c.dim_t, c.threads
+                        "  winner: tile {} dim_T {} threads {} schedule {} at {mups:.1} MUPS \
+                         ({source}) — {outcome}",
+                        c.tile, c.dim_t, c.threads, c.schedule
                     );
                 }
                 None => println!(
@@ -963,6 +1051,7 @@ fn cmd_trace(opts: &Opts) -> Result<(), CmdError> {
     let tile: usize = cli::get(opts, "tile", nx.max(ny))?;
     let threads: usize = cli::get(opts, "threads", host_threads())?;
     let workload = cli::getstr(opts, "workload", "stencil");
+    let schedule = parse_schedule(opts)?;
     let out_dir = std::path::PathBuf::from(cli::getstr(opts, "out", "."));
     let dim = Dim3::new(nx, ny, nz);
     let team = ThreadTeam::new(threads);
@@ -971,7 +1060,7 @@ fn cmd_trace(opts: &Opts) -> Result<(), CmdError> {
 
     let (file_name, measurement, telemetry) = match workload.as_str() {
         "stencil" => {
-            let b = Blocking35::try_new(tile.min(nx), tile.min(ny), dim_t)?;
+            let b = Blocking35::try_new(tile.min(nx), tile.min(ny), dim_t)?.with_schedule(schedule);
             let kernel = SevenPoint::<f32>::heat(0.125);
             let initial =
                 Grid3::<f32>::from_fn(dim, |x, y, z| ((x * 13 + y * 7 + z * 3) % 17) as f32 * 0.1);
@@ -1002,7 +1091,8 @@ fn cmd_trace(opts: &Opts) -> Result<(), CmdError> {
             ("TRACE_stencil.json", m, tel)
         }
         "lbm" => {
-            let b = LbmBlocking::try_new(tile.min(nx), tile.min(ny), dim_t)?;
+            let b =
+                LbmBlocking::try_new(tile.min(nx), tile.min(ny), dim_t)?.with_schedule(schedule);
             let mut lat: Lattice<f32> = scenarios::lid_driven_cavity(dim, 1.2, 0.05);
             let t0 = Instant::now();
             try_lbm35d_sweep(
@@ -1050,7 +1140,7 @@ fn cmd_trace(opts: &Opts) -> Result<(), CmdError> {
     };
 
     let snapshot = tracer.snapshot();
-    let process = format!("threefive {workload} {nx}x{ny}x{nz} dimT={dim_t}");
+    let process = format!("threefive {workload} {nx}x{ny}x{nz} dimT={dim_t} sched={schedule}");
     let doc = trace_to_chrome_json(&snapshot, &process);
     let text = format!("{doc}\n");
     // Self-check before writing: the exporter's output must satisfy the
@@ -1062,8 +1152,8 @@ fn cmd_trace(opts: &Opts) -> Result<(), CmdError> {
     std::fs::write(&path, &text)?;
 
     println!(
-        "traced {workload} {nx}x{ny}x{nz}, dim_T {dim_t}, {steps} step(s), {threads} thread(s): \
-         {:.1} MUPS",
+        "traced {workload} {nx}x{ny}x{nz}, dim_T {dim_t}, schedule {schedule}, {steps} step(s), \
+         {threads} thread(s): {:.1} MUPS",
         measurement.mups
     );
     println!(
@@ -1123,8 +1213,14 @@ fn cmd_analyze(opts: &Opts) -> Result<(), CmdError> {
     for f in report.findings.iter().filter(|f| f.suppressed.is_none()) {
         println!("  {}: [{}] {}", f.locus(), f.rule, f.message);
     }
+    let per_schedule = report
+        .schedule_configs
+        .iter()
+        .map(|(name, count)| format!("{name} {count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     println!(
-        "schedule: {} config(s) checked: {}",
+        "schedule: {} config(s) checked ({per_schedule}): {}",
         report.configs_checked,
         if report.violations.is_empty() {
             "race-free".to_string()
@@ -1134,7 +1230,8 @@ fn cmd_analyze(opts: &Opts) -> Result<(), CmdError> {
     );
     for v in &report.violations {
         println!(
-            "  step {} ring {} slot {} (R={} dim_T={} threads={} nz={} ly={}): {}",
+            "  [{}] step {} ring {} slot {} (R={} dim_T={} threads={} nz={} ly={}): {}",
+            v.schedule,
             v.step,
             v.ring,
             v.slot,
@@ -1225,11 +1322,16 @@ fn cmd_serve(opts: &Opts) -> Result<(), CmdError> {
                 )));
             }
             let host = HostInfo::detect();
-            let tuned: HashMap<(String, usize), (usize, usize)> = db
+            let tuned: HashMap<(String, usize), (usize, usize, ScheduleKind)> = db
                 .entries
                 .iter()
                 .filter(|e| e.fingerprint == host.fingerprint && e.precision == "sp")
-                .map(|e| ((e.kernel.clone(), e.grid[0]), (e.plan.tile, e.plan.dim_t)))
+                .map(|e| {
+                    (
+                        (e.kernel.clone(), e.grid[0]),
+                        (e.plan.tile, e.plan.dim_t, e.plan.schedule),
+                    )
+                })
                 .collect();
             eprintln!(
                 "threefive serve: {} tuned plan(s) from {path} for host {}",
@@ -1285,8 +1387,20 @@ fn cmd_loadgen(opts: &Opts) -> Result<(), CmdError> {
     cli::ensure_known(
         opts,
         &[
-            "addr", "tenants", "jobs", "workload", "n", "steps", "tile", "dimt", "deadline",
-            "chaos", "verify", "verify-latency", "out", "validate",
+            "addr",
+            "tenants",
+            "jobs",
+            "workload",
+            "n",
+            "steps",
+            "tile",
+            "dimt",
+            "deadline",
+            "chaos",
+            "verify",
+            "verify-latency",
+            "out",
+            "validate",
         ],
     )?;
     let workload = cli::getstr(opts, "workload", "mix");

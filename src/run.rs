@@ -27,7 +27,9 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-use threefive_core::exec::{blocked25d_sweep, reference_sweep, try_parallel35d_sweep, Blocking35};
+use threefive_core::exec::{
+    blocked25d_sweep, reference_sweep, try_parallel35d_sweep, Blocking35, ScheduleKind,
+};
 use threefive_core::stats::SweepStats;
 use threefive_core::verify::check_finite;
 use threefive_core::{ExecError, Plan35D, PlanError, StencilKernel};
@@ -106,6 +108,10 @@ pub struct RunOptions {
     pub verify_finite: bool,
     /// Log downgrades to stderr as they happen.
     pub log: bool,
+    /// Temporal-blocking schedule for the 3.5-D stencil rungs. The LBM
+    /// ladder takes its schedule from the [`LbmBlocking`] the caller
+    /// passes in instead, since that already carries the blocking.
+    pub schedule: ScheduleKind,
 }
 
 impl Default for RunOptions {
@@ -115,6 +121,7 @@ impl Default for RunOptions {
             deadline: Some(Duration::from_secs(10)),
             verify_finite: true,
             log: true,
+            schedule: ScheduleKind::Lag35d,
         }
     }
 }
@@ -208,11 +215,14 @@ pub fn run_plan_on_team<T: Real, K: StencilKernel<T>>(
     };
 
     let blocking = match plan {
-        Ok(p) => Some(Blocking35::new(
-            p.dim_xy.clamp(1, dim.nx.max(1)),
-            p.dim_xy.clamp(1, dim.ny.max(1)),
-            p.dim_t.max(1),
-        )),
+        Ok(p) => Some(
+            Blocking35::new(
+                p.dim_xy.clamp(1, dim.nx.max(1)),
+                p.dim_xy.clamp(1, dim.ny.max(1)),
+                p.dim_t.max(1),
+            )
+            .with_schedule(opts.schedule),
+        ),
         Err(e) => {
             // Planner rejection disqualifies both temporal-blocking rungs.
             downgrade(Rung::Parallel35D, ExecError::Plan(e), opts.log);

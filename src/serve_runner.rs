@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use threefive_bench::json::Json;
+use threefive_core::exec::ScheduleKind;
 use threefive_core::planner::kappa_35d;
 use threefive_core::{Plan35D, SevenPoint};
 use threefive_grid::{Dim3, DoubleGrid, Grid3};
@@ -129,11 +130,12 @@ pub struct SolverRunner {
     /// job id.
     pub log: bool,
     /// Host-tuned blocking overrides from a `TUNE.json` database, keyed
-    /// by (kernel wire name, grid edge) → (tile, dim_T). When a job's
-    /// (kernel, n) has an entry, the daemon serves it with the tuned
-    /// plan instead of the spec's blocking — safe because every rung is
-    /// bit-identical, so only throughput changes, never the answer.
-    tuned: HashMap<(String, usize), (usize, usize)>,
+    /// by (kernel wire name, grid edge) → (tile, dim_T, schedule). When a
+    /// job's (kernel, n) has an entry, the daemon serves it with the
+    /// tuned plan instead of the spec's blocking — safe because every
+    /// rung and every schedule is bit-identical, so only throughput
+    /// changes, never the answer.
+    tuned: HashMap<(String, usize), (usize, usize, ScheduleKind)>,
     /// Whether a tuning database was loaded at all; hit/miss counters
     /// only tick when there is a database to hit.
     db_loaded: bool,
@@ -156,7 +158,10 @@ impl SolverRunner {
     }
 
     /// A runner that serves jobs with host-tuned plans where available.
-    pub fn with_tuned(log: bool, tuned: HashMap<(String, usize), (usize, usize)>) -> Self {
+    pub fn with_tuned(
+        log: bool,
+        tuned: HashMap<(String, usize), (usize, usize, ScheduleKind)>,
+    ) -> Self {
         Self {
             log,
             tuned,
@@ -171,8 +176,8 @@ impl SolverRunner {
         self
     }
 
-    /// The tuned (tile, dim_T) override for a job, if one is stored.
-    fn tuned_blocking(&self, spec: &JobSpec) -> Option<(usize, usize)> {
+    /// The tuned (tile, dim_T, schedule) override for a job, if stored.
+    fn tuned_blocking(&self, spec: &JobSpec) -> Option<(usize, usize, ScheduleKind)> {
         let kernel = match spec.workload {
             Workload::Stencil => "7pt",
             Workload::Lbm(_) => "lbm",
@@ -195,7 +200,10 @@ impl SolverRunner {
                     ),
                     ("n".to_string(), FieldValue::from(spec.n as u64)),
                     ("steps".to_string(), FieldValue::from(spec.steps as u64)),
-                    ("rung".to_string(), FieldValue::from(completed.rung.as_str())),
+                    (
+                        "rung".to_string(),
+                        FieldValue::from(completed.rung.as_str()),
+                    ),
                     (
                         "downgrades".to_string(),
                         FieldValue::from(u64::from(completed.downgrades)),
@@ -268,12 +276,14 @@ impl JobRunner for SolverRunner {
                 }
             }
         }
-        let (tile, dim_t) = tuned.unwrap_or((spec.tile, spec.dim_t));
+        let (tile, dim_t, schedule) =
+            tuned.unwrap_or((spec.tile, spec.dim_t, ScheduleKind::Lag35d));
         let opts = RunOptions {
             threads: team.threads(),
             deadline: Some(remaining),
             verify_finite: true,
             log: false,
+            schedule,
         };
         let instr = Instrument::enabled(team.threads().max(1));
         let tracer = Tracer::disabled();
@@ -315,7 +325,8 @@ impl JobRunner for SolverRunner {
                     tile.clamp(1, spec.n.max(1)),
                     dim_t.max(1),
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| e.to_string())?
+                .with_schedule(schedule);
                 let report =
                     run_lbm_plan_on_team(&mut lat, spec.steps, blocking, &opts, Some(team), &obs)
                         .map_err(|e| e.to_string())?;

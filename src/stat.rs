@@ -44,8 +44,7 @@ impl Default for StatOptions {
 }
 
 fn connect(addr: &str) -> Result<ServiceClient, String> {
-    let mut client =
-        ServiceClient::connect(addr).map_err(|e| format!("connect to {addr}: {e}"))?;
+    let mut client = ServiceClient::connect(addr).map_err(|e| format!("connect to {addr}: {e}"))?;
     client
         .set_timeout(Some(Duration::from_secs(5)))
         .map_err(|e| format!("set timeout: {e}"))?;
@@ -157,7 +156,10 @@ fn compact(doc: &Json) -> String {
 /// live daemon.
 pub fn render_dashboard(addr: &str, stats: &Json, events: &[Json]) -> String {
     let metrics = stats.get("metrics").cloned().unwrap_or(Json::Obj(vec![]));
-    let draining = stats.get("draining").and_then(Json::as_bool).unwrap_or(false);
+    let draining = stats
+        .get("draining")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
     let identities_ok = stats.get("identities_ok").and_then(Json::as_bool);
     let mut out = String::new();
     out.push_str(&format!(

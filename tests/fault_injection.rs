@@ -259,6 +259,7 @@ fn runtime_fault_downgrades_and_stays_bit_identical() {
         deadline: Some(Duration::from_secs(5)),
         verify_finite: true,
         log: false,
+        ..RunOptions::default()
     };
     let report = {
         // tid 1 only exists on the parallel rung (serial teams have just
@@ -457,6 +458,7 @@ fn lbm_runtime_fault_downgrades_and_stays_bit_identical() {
         deadline: Some(Duration::from_secs(5)),
         verify_finite: true,
         log: false,
+        ..RunOptions::default()
     };
     let report = {
         // tid 1 only exists on the parallel rung (serial teams have just

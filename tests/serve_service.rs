@@ -195,14 +195,19 @@ fn metrics_plane_exposes_histograms_events_and_identities() {
         "threefive_engine_sweeps_total",
         "threefive_jobs_by_rung_total{rung=",
     ] {
-        assert!(expo.contains(needle), "exposition missing {needle:?}:\n{expo}");
+        assert!(
+            expo.contains(needle),
+            "exposition missing {needle:?}:\n{expo}"
+        );
     }
 
     // HTTP scrape: the plaintext listener serves the same document to
     // curl/Prometheus with nothing but a socket.
     let mut sock = std::net::TcpStream::connect(&scrape_addr).expect("connect scrape port");
-    sock.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-    sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("send request");
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("send request");
     let mut http = String::new();
     sock.read_to_string(&mut http).expect("read response");
     assert!(http.starts_with("HTTP/1.0 200 OK\r\n"), "{http}");
@@ -243,13 +248,17 @@ fn metrics_plane_exposes_histograms_events_and_identities() {
         .iter()
         .find(|e| e.get("kind").and_then(Json::as_str) == Some("job_done"))
         .unwrap();
-    assert!(done.get("job_id").and_then(Json::as_u64).is_some(), "{done}");
+    assert!(
+        done.get("job_id").and_then(Json::as_u64).is_some(),
+        "{done}"
+    );
     // Warn-level filtering drops the debug/info stream.
     let warns = client.events(256, Level::Warn).expect("filtered events");
     assert!(
-        warns
-            .iter()
-            .all(|e| matches!(e.get("level").and_then(Json::as_str), Some("warn" | "error"))),
+        warns.iter().all(|e| matches!(
+            e.get("level").and_then(Json::as_str),
+            Some("warn" | "error")
+        )),
         "{warns:?}"
     );
 
