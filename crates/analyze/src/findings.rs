@@ -14,7 +14,11 @@ use threefive_bench::json::Json;
 /// v2: the schedule verdict covers every shipped schedule (lag35d,
 /// wavefront, diamond); `schedule.per_schedule` records the per-schedule
 /// config counts and each violation names its schedule.
-pub const ANALYZE_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: a nullable `model_check` section records the concurrency model
+/// checker's per-model explored-state counts and the mutant-suite
+/// verdicts (null when `--model-check` was not requested).
+pub const ANALYZE_SCHEMA_VERSION: u64 = 3;
 
 /// One lint finding at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,6 +75,136 @@ impl Finding {
     }
 }
 
+/// Exploration statistics for one model-checked scenario (one entry per
+/// model in `crates/modelcheck`'s catalog).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelCheckEntry {
+    /// Model name (e.g. `barrier-wait-2x2`).
+    pub name: String,
+    /// Deadline semantics the model ran under (`never` or `nondet`).
+    pub time_mode: String,
+    /// Number of complete schedules explored.
+    pub schedules: u64,
+    /// Total scheduling decisions taken across all schedules.
+    pub steps: u64,
+    /// `true` iff the state space was exhausted within budget.
+    pub complete: bool,
+    /// `true` iff the preemption bound pruned any schedule.
+    pub bounded: bool,
+    /// `true` iff exploration found a counterexample.
+    pub counterexample: bool,
+}
+
+impl ModelCheckEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&*self.name)),
+            ("time_mode".into(), Json::str(&*self.time_mode)),
+            ("schedules".into(), Json::Num(self.schedules as f64)),
+            ("steps".into(), Json::Num(self.steps as f64)),
+            ("complete".into(), Json::Bool(self.complete)),
+            ("bounded".into(), Json::Bool(self.bounded)),
+            ("counterexample".into(), Json::Bool(self.counterexample)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            name: req_str(v, "name")?,
+            time_mode: req_str(v, "time_mode")?,
+            schedules: req_u64(v, "schedules")?,
+            steps: req_u64(v, "steps")?,
+            complete: req_bool(v, "complete")?,
+            bounded: req_bool(v, "bounded")?,
+            counterexample: req_bool(v, "counterexample")?,
+        })
+    }
+}
+
+/// One seeded-bug verdict from the model checker's mutant suite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutantEntry {
+    /// Mutation slug (e.g. `drop-poison-check`).
+    pub mutation: String,
+    /// Model the mutant ran under.
+    pub model: String,
+    /// `true` iff exploration produced a counterexample (it must).
+    pub caught: bool,
+    /// Schedules explored before the verdict.
+    pub schedules: u64,
+}
+
+impl MutantEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("mutation".into(), Json::str(&*self.mutation)),
+            ("model".into(), Json::str(&*self.model)),
+            ("caught".into(), Json::Bool(self.caught)),
+            ("schedules".into(), Json::Num(self.schedules as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            mutation: req_str(v, "mutation")?,
+            model: req_str(v, "model")?,
+            caught: req_bool(v, "caught")?,
+            schedules: req_u64(v, "schedules")?,
+        })
+    }
+}
+
+/// The `model_check` report section: per-model explored-state counts and
+/// the mutant-suite verdicts. `None` in [`AnalyzeReport`] when the run
+/// did not request `--model-check` (serialized as JSON `null`).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ModelCheckSection {
+    /// One entry per catalog model, in catalog order.
+    pub models: Vec<ModelCheckEntry>,
+    /// One entry per seeded mutant (empty when the mutant suite was
+    /// skipped).
+    pub mutants: Vec<MutantEntry>,
+}
+
+impl ModelCheckSection {
+    /// `true` iff every model explored cleanly (no counterexample) and
+    /// every mutant that ran was caught.
+    pub fn is_clean(&self) -> bool {
+        self.models.iter().all(|m| !m.counterexample) && self.mutants.iter().all(|m| m.caught)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "models".into(),
+                Json::Arr(self.models.iter().map(ModelCheckEntry::to_json).collect()),
+            ),
+            (
+                "mutants".into(),
+                Json::Arr(self.mutants.iter().map(MutantEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let models = v
+            .get("models")
+            .and_then(Json::as_arr)
+            .ok_or("model_check: missing 'models' array")?
+            .iter()
+            .map(ModelCheckEntry::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mutants = v
+            .get("mutants")
+            .and_then(Json::as_arr)
+            .ok_or("model_check: missing 'mutants' array")?
+            .iter()
+            .map(MutantEntry::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { models, mutants })
+    }
+}
+
 /// The complete output of one `threefive analyze` run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AnalyzeReport {
@@ -87,6 +221,9 @@ pub struct AnalyzeReport {
     pub schedule_configs: Vec<(String, usize)>,
     /// Schedule-checker counterexamples (empty ⇔ certified race-free).
     pub violations: Vec<RaceViolation>,
+    /// Concurrency model-checker verdicts; `None` when `--model-check`
+    /// was not requested (serialized as `null`).
+    pub model_check: Option<ModelCheckSection>,
 }
 
 impl AnalyzeReport {
@@ -95,10 +232,16 @@ impl AnalyzeReport {
         self.findings.iter().filter(|f| f.suppressed.is_none())
     }
 
-    /// `true` iff the tree is clean: no unsuppressed lint finding and a
-    /// race-free schedule verdict.
+    /// `true` iff the tree is clean: no unsuppressed lint finding, a
+    /// race-free schedule verdict, and (when the model checker ran) no
+    /// concurrency counterexample and every mutant caught.
     pub fn is_clean(&self) -> bool {
-        self.active_findings().next().is_none() && self.violations.is_empty()
+        self.active_findings().next().is_none()
+            && self.violations.is_empty()
+            && self
+                .model_check
+                .as_ref()
+                .is_none_or(ModelCheckSection::is_clean)
     }
 
     fn to_json(&self) -> Json {
@@ -140,6 +283,13 @@ impl AnalyzeReport {
                         Json::Arr(self.violations.iter().map(RaceViolation::to_json).collect()),
                     ),
                 ]),
+            ),
+            (
+                "model_check".into(),
+                match &self.model_check {
+                    Some(mc) => mc.to_json(),
+                    None => Json::Null,
+                },
             ),
         ])
     }
@@ -196,6 +346,13 @@ impl AnalyzeReport {
         if race_free != violations.is_empty() {
             return Err("schedule: 'race_free' contradicts 'violations'".into());
         }
+        // v3: the key must be present so its absence is a schema error,
+        // but null is a valid value (model checker not requested).
+        let model_check = match doc.get("model_check") {
+            Some(Json::Null) => None,
+            Some(v) => Some(ModelCheckSection::from_json(v)?),
+            None => return Err("missing 'model_check' (object or null)".into()),
+        };
         Ok(Self {
             schema_version,
             files_scanned: req_u64(lint, "files_scanned")? as usize,
@@ -203,6 +360,7 @@ impl AnalyzeReport {
             configs_checked: req_u64(schedule, "configs_checked")? as usize,
             schedule_configs,
             violations,
+            model_check,
         })
     }
 }
@@ -259,6 +417,107 @@ pub fn apply_baseline(findings: &mut [Finding], baseline: &[BaselineEntry]) {
     }
 }
 
+/// How much of one baseline entry's budget went unused in a run: the
+/// entry allows `allowed` findings but only `used` matched. Nonzero
+/// slack means the tree improved and the budget can ratchet down.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineSlack {
+    /// Rule identifier of the baseline entry.
+    pub rule: String,
+    /// File the entry applies to.
+    pub file: String,
+    /// The entry's current budget.
+    pub allowed: usize,
+    /// Findings that actually consumed the budget this run.
+    pub used: usize,
+}
+
+impl BaselineSlack {
+    /// Unused budget (`allowed - used`).
+    pub fn slack(&self) -> usize {
+        self.allowed - self.used
+    }
+}
+
+/// Reports every baseline entry whose budget exceeds the findings it
+/// suppressed in `findings` (which must already have been through
+/// [`apply_baseline`]). Empty ⇔ the baseline is tight.
+pub fn baseline_slack(findings: &[Finding], baseline: &[BaselineEntry]) -> Vec<BaselineSlack> {
+    baseline
+        .iter()
+        .filter_map(|b| {
+            let used = findings
+                .iter()
+                .filter(|f| {
+                    f.rule == b.rule
+                        && f.file == b.file
+                        && f.suppressed.as_deref() == Some("baseline")
+                })
+                .count();
+            (used < b.allowed).then(|| BaselineSlack {
+                rule: b.rule.clone(),
+                file: b.file.clone(),
+                allowed: b.allowed,
+                used,
+            })
+        })
+        .collect()
+}
+
+/// The `--write-baseline` ratchet: lowers every entry's budget to the
+/// number of findings it suppressed this run and drops entries that
+/// suppressed nothing. Budgets only ever go *down* — a new finding is
+/// never absorbed into the baseline by rewriting it, it has to be fixed
+/// or explicitly suppressed inline.
+pub fn tighten_baseline(baseline: &[BaselineEntry], findings: &[Finding]) -> Vec<BaselineEntry> {
+    baseline
+        .iter()
+        .filter_map(|b| {
+            let used = findings
+                .iter()
+                .filter(|f| {
+                    f.rule == b.rule
+                        && f.file == b.file
+                        && f.suppressed.as_deref() == Some("baseline")
+                })
+                .count();
+            let allowed = used.min(b.allowed);
+            (allowed > 0).then(|| BaselineEntry {
+                rule: b.rule.clone(),
+                file: b.file.clone(),
+                allowed,
+            })
+        })
+        .collect()
+}
+
+/// Serializes baseline entries to the `ANALYZE_baseline.json` format
+/// (round-trips through [`parse_baseline`]).
+pub fn baseline_to_json_string(entries: &[BaselineEntry]) -> String {
+    Json::Obj(vec![
+        (
+            "schema_version".into(),
+            Json::Num(ANALYZE_SCHEMA_VERSION as f64),
+        ),
+        (
+            "entries".into(),
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|b| {
+                        Json::Obj(vec![
+                            ("rule".into(), Json::str(&*b.rule)),
+                            ("file".into(), Json::str(&*b.file)),
+                            ("allowed".into(), Json::Num(b.allowed as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string()
+}
+
 fn req_str(v: &Json, key: &str) -> Result<String, String> {
     v.get(key)
         .and_then(Json::as_str)
@@ -270,6 +529,13 @@ fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("missing integer '{key}'"))
+}
+
+fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing bool '{key}'")),
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +571,7 @@ mod tests {
                 ("diamond".into(), 3),
             ],
             violations: Vec::new(),
+            model_check: None,
         };
         let text = report.to_json_string();
         let back = AnalyzeReport::validate_str(&text).expect("schema-valid");
@@ -314,20 +581,74 @@ mod tests {
     }
 
     #[test]
+    fn model_check_section_round_trips_and_gates_cleanliness() {
+        let section = ModelCheckSection {
+            models: vec![ModelCheckEntry {
+                name: "barrier-wait-2x2".into(),
+                time_mode: "never".into(),
+                schedules: 332,
+                steps: 14880,
+                complete: true,
+                bounded: true,
+                counterexample: false,
+            }],
+            mutants: vec![MutantEntry {
+                mutation: "drop-poison-check".into(),
+                model: "barrier-poison-mid".into(),
+                caught: true,
+                schedules: 17,
+            }],
+        };
+        let report = AnalyzeReport {
+            schema_version: ANALYZE_SCHEMA_VERSION,
+            files_scanned: 1,
+            findings: Vec::new(),
+            configs_checked: 1,
+            schedule_configs: vec![("lag35d".into(), 1)],
+            violations: Vec::new(),
+            model_check: Some(section),
+        };
+        let back = AnalyzeReport::validate_str(&report.to_json_string()).expect("schema-valid");
+        assert_eq!(back, report);
+        assert!(back.is_clean());
+
+        // A counterexample or an escaped mutant makes the tree dirty.
+        let mut cex = report.clone();
+        cex.model_check.as_mut().unwrap().models[0].counterexample = true;
+        assert!(!cex.is_clean());
+        let mut escaped = report.clone();
+        escaped.model_check.as_mut().unwrap().mutants[0].caught = false;
+        assert!(!escaped.is_clean());
+    }
+
+    #[test]
     fn validation_rejects_malformed_documents() {
         assert!(AnalyzeReport::validate_str("{}").is_err());
         assert!(AnalyzeReport::validate_str("not json").is_err());
         // race_free must agree with the violations list.
-        let lie = r#"{"schema_version":2,"tool":"threefive-analyze",
+        let lie = r#"{"schema_version":3,"tool":"threefive-analyze",
             "lint":{"files_scanned":1,"findings":[]},
             "schedule":{"configs_checked":1,"per_schedule":{"lag35d":1},
-            "race_free":false,"violations":[]}}"#;
+            "race_free":false,"violations":[]},"model_check":null}"#;
         assert!(AnalyzeReport::validate_str(lie).is_err());
         // v2 requires the per-schedule config counts.
-        let missing = r#"{"schema_version":2,"tool":"threefive-analyze",
+        let missing = r#"{"schema_version":3,"tool":"threefive-analyze",
             "lint":{"files_scanned":1,"findings":[]},
-            "schedule":{"configs_checked":1,"race_free":true,"violations":[]}}"#;
+            "schedule":{"configs_checked":1,"race_free":true,"violations":[]},
+            "model_check":null}"#;
         assert!(AnalyzeReport::validate_str(missing).is_err());
+        // v3 requires the model_check key (null is fine, absence is not).
+        let no_mc = r#"{"schema_version":3,"tool":"threefive-analyze",
+            "lint":{"files_scanned":1,"findings":[]},
+            "schedule":{"configs_checked":1,"per_schedule":{"lag35d":1},
+            "race_free":true,"violations":[]}}"#;
+        assert!(AnalyzeReport::validate_str(no_mc).is_err());
+        // Old schema versions are rejected outright.
+        let v2 = r#"{"schema_version":2,"tool":"threefive-analyze",
+            "lint":{"files_scanned":1,"findings":[]},
+            "schedule":{"configs_checked":1,"per_schedule":{"lag35d":1},
+            "race_free":true,"violations":[]}}"#;
+        assert!(AnalyzeReport::validate_str(v2).is_err());
     }
 
     #[test]
@@ -350,11 +671,72 @@ mod tests {
 
     #[test]
     fn baseline_parses_and_rejects_bad_versions() {
-        let text = r#"{"schema_version":2,"entries":[
+        let text = r#"{"schema_version":3,"entries":[
             {"rule":"safety-comment","file":"x.rs","allowed":2}]}"#;
         let entries = parse_baseline(text).expect("valid baseline");
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].allowed, 2);
         assert!(parse_baseline(r#"{"schema_version":9,"entries":[]}"#).is_err());
+    }
+
+    #[test]
+    fn ratchet_only_tightens_and_reports_slack() {
+        let baseline = vec![
+            BaselineEntry {
+                rule: "hot-path-sync".into(),
+                file: "a.rs".into(),
+                allowed: 3,
+            },
+            BaselineEntry {
+                rule: "safety-comment".into(),
+                file: "b.rs".into(),
+                allowed: 2,
+            },
+        ];
+        // One a.rs finding remains; b.rs is fully fixed.
+        let mut fs = vec![finding("hot-path-sync", "a.rs")];
+        apply_baseline(&mut fs, &baseline);
+        assert_eq!(fs[0].suppressed.as_deref(), Some("baseline"));
+
+        let slack = baseline_slack(&fs, &baseline);
+        assert_eq!(slack.len(), 2);
+        assert_eq!(
+            (slack[0].allowed, slack[0].used, slack[0].slack()),
+            (3, 1, 2)
+        );
+        assert_eq!((slack[1].allowed, slack[1].used), (2, 0));
+
+        // Tightening lowers a.rs to 1 and drops b.rs entirely.
+        let tight = tighten_baseline(&baseline, &fs);
+        assert_eq!(
+            tight,
+            vec![BaselineEntry {
+                rule: "hot-path-sync".into(),
+                file: "a.rs".into(),
+                allowed: 1,
+            }]
+        );
+        // Re-tightening a tight baseline is a fixpoint.
+        assert_eq!(tighten_baseline(&tight, &fs), tight);
+        // The written form round-trips through the parser.
+        let text = baseline_to_json_string(&tight);
+        assert_eq!(parse_baseline(&text).expect("round-trip"), tight);
+
+        // Budgets never go up: even if findings somehow exceeded the
+        // budget, the entry is clamped at its previous allowance.
+        let mut many = vec![
+            finding("hot-path-sync", "a.rs"),
+            finding("hot-path-sync", "a.rs"),
+            finding("hot-path-sync", "a.rs"),
+            finding("hot-path-sync", "a.rs"),
+        ];
+        let small = vec![BaselineEntry {
+            rule: "hot-path-sync".into(),
+            file: "a.rs".into(),
+            allowed: 2,
+        }];
+        apply_baseline(&mut many, &small);
+        let kept = tighten_baseline(&small, &many);
+        assert_eq!(kept[0].allowed, 2, "ratchet must never raise a budget");
     }
 }

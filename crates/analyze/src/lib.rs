@@ -58,5 +58,9 @@ pub fn analyze_tree(root: &Path, baseline_text: Option<&str>) -> Result<AnalyzeR
         configs_checked,
         schedule_configs,
         violations,
+        // The model checker lives in `threefive-modelcheck` (which this
+        // crate cannot depend on — it links the code under test); the
+        // CLI driver fills this in when `--model-check` is requested.
+        model_check: None,
     })
 }

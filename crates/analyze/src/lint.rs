@@ -18,6 +18,7 @@
 //! | `hot-path-alloc` | no `Vec::new`/`vec!`/`Box::new`/`.to_vec`/`Vec::with_capacity` in [`HOT_PATH_FILES`] |
 //! | `hot-path-sync` | no `Mutex` / `thread::sleep` in [`HOT_PATH_FILES`] |
 //! | `relaxed-ordering` | no `Ordering::Relaxed` on the barrier/team coordination atomics in `crates/sync/src` |
+//! | `ordering-comment` | every non-SeqCst atomic access in `crates/sync/src` and `crates/serve/src` carries an `ORDERING:` justification comment |
 //! | `bad-suppression` | every suppression marker names a known rule and gives a reason |
 //!
 //! Any rule (except `bad-suppression` itself) can be silenced inline
@@ -38,6 +39,7 @@ pub const RULES: &[&str] = &[
     "hot-path-alloc",
     "hot-path-sync",
     "relaxed-ordering",
+    "ordering-comment",
     "bad-suppression",
 ];
 
@@ -76,6 +78,19 @@ const FLAGGED_ATOMICS: &[&str] = &[
     "go",
     "done",
     "quarantined",
+];
+
+/// Non-SeqCst memory-ordering tokens. Every use in the sync layer
+/// (`crates/sync/src`, `crates/serve/src`) must carry an `ORDERING:`
+/// comment spelling out the happens-before edge it relies on (or why
+/// none is needed) — the model checker in `crates/modelcheck` explores
+/// exactly the reorderings these tokens permit, so the justification is
+/// what a reviewer checks the scenario catalog against.
+const WEAK_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
 ];
 
 /// Result of walking one tree: how many files were scanned, plus every
@@ -148,10 +163,13 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
     let hot = HOT_PATH_FILES.contains(&rel);
     let transmute_ok = TRANSMUTE_ALLOWLIST.contains(&rel);
     let sync_crate = rel.starts_with("crates/sync/src");
+    let sync_layer = sync_crate || rel.starts_with("crates/serve/src");
     // `annotated[i]`: line i holds an `unsafe` that satisfied the SAFETY
     // rule — lets one comment cover a contiguous run of unsafe lines
     // (e.g. the `unsafe impl Send`/`Sync` pair).
     let mut annotated = vec![false; lines.len()];
+    // Same run-coverage for `ORDERING:` comments over atomic accesses.
+    let mut ord_annotated = vec![false; lines.len()];
 
     for i in 0..lines.len() {
         let c = lines[i].code.as_str();
@@ -215,18 +233,32 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
             }
         }
 
+        if sync_layer && !in_test[i] && WEAK_ORDERINGS.iter().any(|t| c.contains(t)) {
+            if is_ordering_annotated(&lines, &ord_annotated, i) {
+                ord_annotated[i] = true;
+            } else {
+                findings.push(finding(
+                    "ordering-comment",
+                    rel,
+                    line,
+                    "non-SeqCst atomic access without an `ORDERING:` comment naming the happens-before edge it relies on",
+                ));
+            }
+        }
+
         if sync_crate
             && !in_test[i]
             && has_word(c, "Relaxed")
             && FLAGGED_ATOMICS
                 .iter()
                 .any(|a| c.contains(&format!(".{a}.")))
+            && !is_ordering_annotated(&lines, &ord_annotated, i)
         {
             findings.push(finding(
                 "relaxed-ordering",
                 rel,
                 line,
-                "`Ordering::Relaxed` on a barrier/team coordination atomic — justify why no ordering is needed",
+                "`Ordering::Relaxed` on a barrier/team coordination atomic — add an `ORDERING:` comment justifying why no ordering is needed",
             ));
         }
     }
@@ -326,6 +358,39 @@ fn is_safety_annotated(lines: &[Stripped], annotated: &[bool], i: usize) -> bool
         let comment = &lines[j].comment;
         if comment.contains("SAFETY:") || comment.contains("# Safety") {
             return true;
+        }
+    }
+    false
+}
+
+/// Whether the non-SeqCst atomic access at line `i` is justified: an
+/// `ORDERING:` comment on the same line or the line above, or — walking
+/// upward over blanks, attributes, continuation lines of the same
+/// statement, block-opener lines and already-annotated access lines — a
+/// comment containing `ORDERING:`. Continuation lines (code not ending
+/// in `;` or `}`) are skippable so a comment above a rustfmt-wrapped
+/// call still counts, and a `{`-ending opener is skippable so a comment
+/// above a wait loop covers the accesses inside it; the walk stops at
+/// the previous complete statement.
+fn is_ordering_annotated(lines: &[Stripped], annotated: &[bool], i: usize) -> bool {
+    if lines[i].comment.contains("ORDERING:") {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if lines[j].comment.contains("ORDERING:") {
+            return true;
+        }
+        let code = lines[j].code.trim();
+        let statement_end = code.ends_with(';') || code.ends_with('}');
+        let skippable = code.is_empty()
+            || code.starts_with("#[")
+            || code.starts_with("#![")
+            || !statement_end
+            || annotated[j];
+        if !skippable {
+            return false;
         }
     }
     false
@@ -650,13 +715,68 @@ mod tests {
         let bad = "self.poisoned.store(true, Ordering::Relaxed);\n";
         assert_eq!(
             rules_of(&lint_source("crates/sync/src/barrier.rs", bad)),
-            ["relaxed-ordering"]
+            ["ordering-comment", "relaxed-ordering"]
         );
-        // Unflagged atomic name: fine.
+        // Unflagged atomic name: only the ordering-comment rule fires.
         let ok = "self.epoch.store(1, Ordering::Relaxed);\n";
-        assert!(rules_of(&lint_source("crates/sync/src/barrier.rs", ok)).is_empty());
+        assert_eq!(
+            rules_of(&lint_source("crates/sync/src/barrier.rs", ok)),
+            ["ordering-comment"]
+        );
         // Outside crates/sync: out of scope.
         assert!(rules_of(&lint_source("crates/core/src/lib.rs", bad)).is_empty());
+        // An ORDERING: comment satisfies both rules at once.
+        let justified =
+            "// ORDERING: poison is published by the Release generation bump\nself.poisoned.store(true, Ordering::Relaxed);\n";
+        assert!(rules_of(&lint_source("crates/sync/src/barrier.rs", justified)).is_empty());
+    }
+
+    #[test]
+    fn ordering_comment_required_on_non_seqcst_accesses() {
+        let bare = "self.epoch.store(1, Ordering::Release);\n";
+        for file in ["crates/sync/src/team.rs", "crates/serve/src/queue.rs"] {
+            assert_eq!(rules_of(&lint_source(file, bare)), ["ordering-comment"]);
+        }
+        // SeqCst needs no justification; other crates are out of scope.
+        assert!(rules_of(&lint_source(
+            "crates/sync/src/team.rs",
+            "self.epoch.store(1, Ordering::SeqCst);\n"
+        ))
+        .is_empty());
+        assert!(rules_of(&lint_source("crates/core/src/lib.rs", bare)).is_empty());
+        // Test code is exempt, like the other concurrency rules.
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn t() { x.store(1, Ordering::Relaxed); }\n}\n";
+        assert!(rules_of(&lint_source("crates/sync/src/team.rs", in_test)).is_empty());
+    }
+
+    #[test]
+    fn ordering_comment_same_line_above_or_wrapped_call_satisfies() {
+        let same = "self.epoch.store(1, Ordering::Release); // ORDERING: publishes the new epoch\n";
+        assert!(rules_of(&lint_source("crates/sync/src/team.rs", same)).is_empty());
+        let above = "// ORDERING: pairs with the Acquire load in wait()\nself.epoch.store(1, Ordering::Release);\n";
+        assert!(rules_of(&lint_source("crates/sync/src/team.rs", above)).is_empty());
+        // rustfmt-wrapped call: the token lands on a continuation line.
+        let wrapped = "// ORDERING: pairs with the Acquire load in wait()\nself.long_field_name\n    .store(1, Ordering::Release);\n";
+        assert!(rules_of(&lint_source("crates/sync/src/team.rs", wrapped)).is_empty());
+        // One comment covers a contiguous run of accesses.
+        let run = "// ORDERING: both sequenced before the Release go bump\nself.a.store(1, Ordering::Relaxed);\nself.b.store(2, Ordering::Relaxed);\n";
+        assert!(rules_of(&lint_source("crates/sync/src/team.rs", run)).is_empty());
+        // A comment above a loop header covers the accesses inside it.
+        let in_loop = "// ORDERING: zeroed with no sweep in flight\nfor c in &s.hist {\n    c.store(0, Ordering::Relaxed);\n}\n";
+        assert!(rules_of(&lint_source("crates/sync/src/team.rs", in_loop)).is_empty());
+        // A statement between the comment and the access breaks coverage.
+        let too_far = "// ORDERING: stale\nlet x = 1;\nself.epoch.store(1, Ordering::Release);\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/sync/src/team.rs", too_far)),
+            ["ordering-comment"]
+        );
+        // ORDERING: inside a string literal never satisfies.
+        let smuggled = "let s = \"ORDERING: fake\";\nself.epoch.store(1, Ordering::Release);\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/sync/src/team.rs", smuggled)),
+            ["ordering-comment"]
+        );
     }
 
     #[test]

@@ -1,0 +1,28 @@
+use std::time::Instant;
+use threefive_modelcheck::explore::{explore, Budgets};
+use threefive_modelcheck::models::all_models;
+
+fn main() {
+    for bound in [2usize, 3] {
+        println!("== preemption bound {bound} ==");
+        for m in all_models() {
+            let b = Budgets {
+                max_schedules: 500_000,
+                max_steps: 5_000,
+                max_preemptions: Some(bound),
+            };
+            let t = Instant::now();
+            let r = explore(&m, &b);
+            println!(
+                "{:24} schedules={:7} steps={:9} complete={} bounded={} cex={} {:?}",
+                m.name,
+                r.schedules,
+                r.steps_total,
+                r.complete,
+                r.bounded,
+                r.counterexample.is_some(),
+                t.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates the checked-in replay traces under `tests/data/`.
+//!
+//! Runs the mutant suite and writes every counterexample trace to the
+//! directory given as the first argument (default `.`), one
+//! `replay_<mutation>.json` per mutant. Run after changing the scenario
+//! catalog, the scheduler's decision encoding, or the mutants
+//! themselves, then copy the barrier traces the integration test pins:
+//!
+//! ```text
+//! cargo run -p threefive-modelcheck --example record_traces -- tests/data
+//! ```
+
+use threefive_modelcheck::{run_mutants, Budgets};
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    // Mutant scenarios panic by design; keep the hook quiet.
+    std::panic::set_hook(Box::new(|_| {}));
+    for out in run_mutants(&Budgets::default()) {
+        let Some(trace) = out.trace else {
+            eprintln!("ESCAPED (no trace): {} on {}", out.mutation, out.model);
+            continue;
+        };
+        let path = dir.join(format!("replay_{}.json", out.mutation));
+        std::fs::write(&path, trace.to_text()).expect("write trace");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,232 @@
+//! Suite driver: runs the model catalog and the mutant regression
+//! suite, and replays recorded traces against current code.
+
+use crate::explore::{explore, Budgets};
+use crate::models::{all_models, ScenarioModel};
+use crate::mutants::all_mutants;
+use crate::sched::{run_one, Failure, TimeMode};
+use crate::trace::Trace;
+
+/// Exploration result for one model, as reports consume it.
+pub struct ModelOutcome {
+    /// Model name from the catalog.
+    pub name: &'static str,
+    /// Time mode the model ran under.
+    pub time_mode: TimeMode,
+    /// Schedules (full executions) explored.
+    pub schedules: usize,
+    /// Total decisions executed across all schedules.
+    pub steps: usize,
+    /// Whether the decision tree was exhausted within budget.
+    pub complete: bool,
+    /// Whether the preemption bound pruned at least one schedule.
+    pub bounded: bool,
+    /// Counterexample trace, if the model failed.
+    pub trace: Option<Trace>,
+}
+
+/// Explores one model (optionally tagging traces with a mutation slug).
+pub fn run_model(model: &ScenarioModel, mutation: Option<&str>, budgets: &Budgets) -> ModelOutcome {
+    let res = explore(model, budgets);
+    let trace = res
+        .counterexample
+        .as_ref()
+        .map(|cex| Trace::from_counterexample(model.name, mutation, model.mode, cex));
+    ModelOutcome {
+        name: model.name,
+        time_mode: model.mode,
+        schedules: res.schedules,
+        steps: res.steps_total,
+        complete: res.complete,
+        bounded: res.bounded,
+        trace,
+    }
+}
+
+/// Runs every model in the catalog against the real sync-layer code.
+pub fn run_suite(budgets: &Budgets) -> Vec<ModelOutcome> {
+    all_models()
+        .iter()
+        .map(|m| run_model(m, None, budgets))
+        .collect()
+}
+
+/// One mutant's verdict: the checker must find a counterexample.
+pub struct MutantOutcome {
+    /// Mutation slug.
+    pub mutation: &'static str,
+    /// The catching model's name.
+    pub model: &'static str,
+    /// What the seeded bug does.
+    pub seeded: &'static str,
+    /// Schedules explored before the verdict.
+    pub schedules: usize,
+    /// The counterexample trace; `None` means the mutant ESCAPED (a
+    /// checker regression).
+    pub trace: Option<Trace>,
+}
+
+impl MutantOutcome {
+    /// Whether the checker caught the seeded bug.
+    pub fn caught(&self) -> bool {
+        self.trace.is_some()
+    }
+}
+
+/// Runs the whole mutant regression suite.
+pub fn run_mutants(budgets: &Budgets) -> Vec<MutantOutcome> {
+    all_mutants()
+        .iter()
+        .map(|m| {
+            let out = run_model(&m.model, Some(m.mutation), budgets);
+            MutantOutcome {
+                mutation: m.mutation,
+                model: m.model.name,
+                seeded: m.seeded,
+                schedules: out.schedules,
+                trace: out.trace,
+            }
+        })
+        .collect()
+}
+
+/// What replaying a recorded trace produced.
+#[derive(Debug)]
+pub enum ReplayOutcome {
+    /// The schedule reproduced the recorded failure kind.
+    Reproduced { kind: String, message: String },
+    /// The execution no longer follows the recorded ops — the code under
+    /// the schedule changed since the trace was written.
+    Diverged { detail: String },
+    /// The schedule ran to completion with every property holding (the
+    /// bug the trace witnessed is gone).
+    Vanished,
+    /// The schedule failed, but differently than recorded.
+    DifferentFailure { expected: String, got: String },
+}
+
+/// Re-executes a recorded schedule step-for-step against current code.
+///
+/// The trace's `(model, mutation)` pair is resolved against the model
+/// and mutant catalogs; each replayed decision is validated against the
+/// recorded op description, so a drifted interleaving reports
+/// [`ReplayOutcome::Diverged`] instead of silently exploring something
+/// else.
+pub fn replay(trace: &Trace, max_steps: usize) -> Result<ReplayOutcome, String> {
+    let model = resolve(trace)?;
+    if model.mode != trace.time_mode {
+        return Err(format!(
+            "trace time_mode {:?} does not match model `{}` ({:?})",
+            trace.time_mode, model.name, model.mode
+        ));
+    }
+    let outcome = run_one(&model, &trace.decisions, Some(&trace.op_desc), max_steps);
+    Ok(match outcome.failure {
+        None => ReplayOutcome::Vanished,
+        Some(Failure::Divergence { detail, .. }) => ReplayOutcome::Diverged { detail },
+        Some(f) if f.kind() == trace.failure_kind => ReplayOutcome::Reproduced {
+            kind: f.kind().to_string(),
+            message: f.message(),
+        },
+        Some(f) => ReplayOutcome::DifferentFailure {
+            expected: trace.failure_kind.clone(),
+            got: format!("{}: {}", f.kind(), f.message()),
+        },
+    })
+}
+
+fn resolve(trace: &Trace) -> Result<ScenarioModel, String> {
+    match &trace.mutation {
+        None => all_models()
+            .into_iter()
+            .find(|m| m.name == trace.model)
+            .ok_or_else(|| format!("unknown model `{}`", trace.model)),
+        Some(mutation) => {
+            let m = all_mutants()
+                .into_iter()
+                .find(|m| m.mutation == *mutation)
+                .ok_or_else(|| format!("unknown mutation `{mutation}`"))?;
+            if m.model.name != trace.model {
+                return Err(format!(
+                    "mutation `{mutation}` is caught by model `{}`, trace says `{}`",
+                    m.model.name, trace.model
+                ));
+            }
+            Ok(m.model)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budgets() -> Budgets {
+        Budgets::default()
+    }
+
+    #[test]
+    fn real_code_passes_every_model() {
+        for out in run_suite(&budgets()) {
+            assert!(
+                out.trace.is_none(),
+                "model `{}` found a counterexample in the real code:\n{}",
+                out.name,
+                out.trace.unwrap().to_text()
+            );
+            assert!(
+                out.complete,
+                "model `{}` blew its budget ({} schedules, {} steps)",
+                out.name, out.schedules, out.steps
+            );
+            assert!(out.schedules > 1, "model `{}` explored nothing", out.name);
+        }
+    }
+
+    #[test]
+    fn every_mutant_is_caught_with_a_replayable_trace() {
+        let outcomes = run_mutants(&budgets());
+        assert!(outcomes.len() >= 6, "mutant suite shrank");
+        for out in outcomes {
+            let trace = out.trace.unwrap_or_else(|| {
+                panic!(
+                    "mutant `{}` ({}) ESCAPED after {} schedules",
+                    out.mutation, out.seeded, out.schedules
+                )
+            });
+            // The trace must survive the full serialize/validate/parse
+            // round trip...
+            let parsed = Trace::parse(&trace.to_text()).expect("trace round-trips");
+            assert_eq!(parsed, trace);
+            // ...and replay must reproduce the same failure kind,
+            // step-for-step, against a fresh execution.
+            let replayed = replay(&parsed, budgets().max_steps).expect("trace resolves");
+            match replayed {
+                ReplayOutcome::Reproduced { kind, .. } => {
+                    assert_eq!(kind, trace.failure_kind, "mutant `{}`", out.mutation)
+                }
+                other => panic!(
+                    "mutant `{}`: replay did not reproduce ({other:?});\ntrace:\n{}",
+                    out.mutation,
+                    trace.to_text()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn replay_of_unknown_model_is_an_error() {
+        let mut trace = Trace {
+            model: "no-such-model".into(),
+            mutation: None,
+            time_mode: TimeMode::Never,
+            decisions: vec![],
+            op_desc: vec![],
+            failure_kind: "deadlock".into(),
+            failure_message: "x".into(),
+        };
+        assert!(replay(&trace, 100).is_err());
+        trace.mutation = Some("no-such-mutation".into());
+        assert!(replay(&trace, 100).is_err());
+    }
+}

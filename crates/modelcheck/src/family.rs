@@ -1,0 +1,263 @@
+//! The checker-instrumented [`SyncFamily`]: every primitive routes its
+//! operations through the execution controller in `sched`.
+//!
+//! The real OS threads of an execution are fully serialized — the
+//! controller runs exactly one logical thread between any two
+//! scheduling points — so the *data* protected by a model mutex needs
+//! no real lock. It lives in an `UnsafeCell`, with exclusivity
+//! guaranteed by the model-level mutex ownership the controller
+//! enforces (the same construction loom uses).
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::time::Duration;
+
+use threefive_sync::shim::{
+    AtomicBoolShim, AtomicUsizeShim, CondvarShim, GuardOf, MutexShim, Ordering, SyncFamily,
+};
+
+use crate::sched::{ExecHandle, MemOrd, OpKind};
+
+thread_local! {
+    static EXECUTION: RefCell<Option<ExecHandle>> = const { RefCell::new(None) };
+    static TID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Installs (or clears) the execution handle for the calling OS thread.
+pub(crate) fn install(h: Option<ExecHandle>) {
+    EXECUTION.with(|e| *e.borrow_mut() = h);
+}
+
+/// Sets the logical thread id for the calling OS thread.
+pub(crate) fn set_tid(tid: usize) {
+    TID.with(|t| t.set(tid));
+}
+
+fn with_exec<R>(f: impl FnOnce(&ExecHandle, usize) -> R) -> R {
+    EXECUTION.with(|e| {
+        let borrow = e.borrow();
+        let h = borrow
+            .as_ref()
+            .expect("threefive-modelcheck: ModelFamily primitive used outside a model execution");
+        f(h, TID.with(|t| t.get()))
+    })
+}
+
+fn op(kind: OpKind) -> (u64, bool, bool) {
+    with_exec(|h, tid| h.op(tid, kind))
+}
+
+/// The model-checked sync family; plug into any primitive generic over
+/// [`SyncFamily`].
+pub struct ModelFamily;
+
+/// Model `AtomicUsize`: the value lives in the controller's store
+/// history, this is just the location id.
+pub struct MAtomicUsize {
+    id: usize,
+}
+
+impl AtomicUsizeShim for MAtomicUsize {
+    fn new(v: usize) -> Self {
+        Self::named(v, "atomic-usize")
+    }
+    fn named(v: usize, name: &'static str) -> Self {
+        let id = with_exec(|h, _| h.register_loc(name, v as u64));
+        MAtomicUsize { id }
+    }
+    fn load(&self, order: Ordering) -> usize {
+        let (v, _, _) = op(OpKind::Load {
+            loc: self.id,
+            ord: MemOrd::from_std(order),
+        });
+        v as usize
+    }
+    fn store(&self, v: usize, order: Ordering) {
+        op(OpKind::Store {
+            loc: self.id,
+            val: v as u64,
+            ord: MemOrd::from_std(order),
+        });
+    }
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        let (old, _, _) = op(OpKind::RmwAdd {
+            loc: self.id,
+            delta: v as u64,
+            ord: MemOrd::from_std(order),
+        });
+        old as usize
+    }
+}
+
+/// Model `AtomicBool` (0/1 in the store history).
+pub struct MAtomicBool {
+    id: usize,
+}
+
+impl AtomicBoolShim for MAtomicBool {
+    fn new(v: bool) -> Self {
+        Self::named(v, "atomic-bool")
+    }
+    fn named(v: bool, name: &'static str) -> Self {
+        let id = with_exec(|h, _| h.register_loc(name, u64::from(v)));
+        MAtomicBool { id }
+    }
+    fn load(&self, order: Ordering) -> bool {
+        let (v, _, _) = op(OpKind::Load {
+            loc: self.id,
+            ord: MemOrd::from_std(order),
+        });
+        v != 0
+    }
+    fn store(&self, v: bool, order: Ordering) {
+        op(OpKind::Store {
+            loc: self.id,
+            val: u64::from(v),
+            ord: MemOrd::from_std(order),
+        });
+    }
+}
+
+/// Model mutex: ownership is controller state; the protected data sits
+/// in an `UnsafeCell` guarded by that ownership.
+pub struct MMutex<T> {
+    id: usize,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: all access to `cell` goes through `MGuard`, which is only
+// constructed while the controller has granted this thread the
+// model-level mutex; the controller serializes execution, so at most
+// one thread can hold a live guard (forced teardown of an already
+// failed execution is single-threaded unwind while every other thread
+// stays parked).
+unsafe impl<T: Send> Send for MMutex<T> {}
+// SAFETY: see above — `&MMutex` only exposes `cell` through the
+// controller-granted guard.
+unsafe impl<T: Send> Sync for MMutex<T> {}
+
+/// RAII guard for [`MMutex`]; releases the model mutex on drop.
+pub struct MGuard<'a, T> {
+    mx: &'a MMutex<T>,
+    /// Set when a condvar wait consumed the guard: drop must not issue
+    /// a second unlock op (the wait released the mutex atomically).
+    defused: bool,
+}
+
+impl<T> std::ops::Deref for MGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard exists only while this thread holds the
+        // model-level mutex (see `MMutex` Send/Sync notes).
+        unsafe { &*self.mx.cell.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive model-level ownership.
+        unsafe { &mut *self.mx.cell.get() }
+    }
+}
+
+impl<T> Drop for MGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.defused {
+            op(OpKind::MutexUnlock { m: self.mx.id });
+        }
+    }
+}
+
+impl<T: Send> MutexShim<T> for MMutex<T> {
+    type Guard<'a>
+        = MGuard<'a, T>
+    where
+        T: 'a;
+    fn new(value: T) -> Self {
+        let id = with_exec(|h, _| h.register_mutex());
+        MMutex {
+            id,
+            cell: UnsafeCell::new(value),
+        }
+    }
+    fn lock(&self) -> MGuard<'_, T> {
+        op(OpKind::MutexLock { m: self.id });
+        MGuard {
+            mx: self,
+            defused: false,
+        }
+    }
+}
+
+/// Model condvar: waiter bookkeeping is controller state; notifies with
+/// no waiters are (correctly) lost.
+pub struct MCondvar {
+    id: usize,
+}
+
+impl CondvarShim for MCondvar {
+    type Family = ModelFamily;
+    fn new() -> Self {
+        let id = with_exec(|h, _| h.register_condvar());
+        MCondvar { id }
+    }
+    fn notify_one(&self) {
+        op(OpKind::CondNotifyOne { cv: self.id });
+    }
+    fn notify_all(&self) {
+        op(OpKind::CondNotifyAll { cv: self.id });
+    }
+    fn wait_timeout<'a, T: Send>(
+        &self,
+        guard: GuardOf<'a, ModelFamily, T>,
+        _timeout: Duration,
+    ) -> (GuardOf<'a, ModelFamily, T>, bool) {
+        let mx = guard.mx;
+        let mut guard = guard;
+        // The CondWait op releases the mutex atomically inside the
+        // controller; the guard must not unlock again.
+        guard.defused = true;
+        drop(guard);
+        let (_, timed_out, _) = op(OpKind::CondWait {
+            cv: self.id,
+            m: mx.id,
+        });
+        // The grant implies the controller reacquired the mutex for us.
+        (MGuard { mx, defused: false }, timed_out)
+    }
+}
+
+/// Armed model deadline (an id into the controller's latch table).
+#[derive(Clone, Copy)]
+pub struct MDeadline {
+    id: usize,
+}
+
+impl SyncFamily for ModelFamily {
+    type AtomicUsize = MAtomicUsize;
+    type AtomicBool = MAtomicBool;
+    type Mutex<T: Send> = MMutex<T>;
+    type Condvar = MCondvar;
+    type Deadline = MDeadline;
+
+    /// Every spin iteration yields (a schedule point) under the model.
+    const SPIN_YIELD_LIMIT: u32 = 0;
+
+    fn spin_hint() {}
+    fn yield_now() {
+        op(OpKind::Yield);
+    }
+    fn deadline(_timeout: Duration) -> MDeadline {
+        let id = with_exec(|h, _| h.register_deadline());
+        MDeadline { id }
+    }
+    fn expired(deadline: MDeadline) -> bool {
+        let (_, _, expired) = op(OpKind::DeadlineCheck { d: deadline.id });
+        expired
+    }
+    fn remaining(deadline: MDeadline) -> Option<Duration> {
+        let (_, _, expired) = op(OpKind::DeadlineCheck { d: deadline.id });
+        // The concrete duration is only ever used as a wait bound, which
+        // the model ignores.
+        (!expired).then(|| Duration::from_secs(3600))
+    }
+}

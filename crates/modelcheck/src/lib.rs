@@ -1,0 +1,41 @@
+//! Deterministic concurrency model checker for the hand-rolled sync
+//! layer (DESIGN.md §16).
+//!
+//! The sync layer (`crates/sync`, `crates/serve`) is generic over a
+//! [`SyncFamily`](threefive_sync::shim::SyncFamily): production code
+//! monomorphizes to plain `std` atomics/mutexes at zero cost, while this
+//! crate plugs in [`family::ModelFamily`], which routes every atomic
+//! load/store, mutex acquisition, condvar wait/notify and deadline check
+//! through a central controller. The controller serializes the real OS
+//! threads of a scenario and, at each scheduling point, picks which
+//! thread runs next and which value a load observes — so the explorer in
+//! [`explore`] can enumerate *every* interleaving (and every
+//! weak-memory-visible value) of the real `SpinBarrier::checked_wait`,
+//! `TeamPool` checkout/checkin/quarantine/heal and `AdmissionQueue`
+//! push/pop/close code, unmodified.
+//!
+//! Layout:
+//!
+//! * [`sched`] — the execution controller: decision points, weak-memory
+//!   store histories with vector clocks, deadlock detection, panic
+//!   capture, deterministic replay of a decision prefix.
+//! * [`family`] — the instrumented `SyncFamily` implementation.
+//! * [`explore`] — bounded-exhaustive DFS with sleep-set partial-order
+//!   reduction and an optional preemption bound.
+//! * [`models`] — the scenario catalog over the real code.
+//! * [`mutants`] — seeded-bug copies; every mutant must be caught.
+//! * [`trace`] — schema-validated JSON replay traces.
+//! * [`driver`] — suite/mutant runners and `--replay`.
+
+pub mod driver;
+pub mod explore;
+pub mod family;
+pub mod models;
+pub mod mutants;
+pub mod sched;
+pub mod trace;
+
+pub use driver::{replay, run_mutants, run_suite, ModelOutcome, MutantOutcome, ReplayOutcome};
+pub use explore::{Budgets, CheckResult, Counterexample};
+pub use sched::{Decision, Failure, Model, Scenario, TimeMode};
+pub use trace::{Trace, TRACE_KIND, TRACE_SCHEMA_VERSION};

@@ -1,0 +1,823 @@
+//! The model catalog: concurrency scenarios over the *real* sync-layer
+//! code, instantiated with the checker's [`ModelFamily`].
+//!
+//! Each scenario is written against a small SUT (system-under-test)
+//! trait — [`BarrierSut`] / [`PoolSut`] / [`QueueSut`] — implemented by
+//! the real generic types (`SpinBarrier<ModelFamily>`,
+//! `TeamPool<ModelFamily, ModelTeam>`, `AdmissionQueue<ModelFamily>`)
+//! *and* by the seeded-bug copies in `mutants`. The same scenario that
+//! proves the real code clean must produce a counterexample against
+//! every mutant; that is the checker's own regression suite.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use threefive_serve::{AdmissionQueue, JobSpec, Popped, QueuedJob, Workload};
+use threefive_sync::shim::{AtomicBoolShim, AtomicUsizeShim, Ordering};
+use threefive_sync::{SpinBarrier, SyncError, TeamPool, TeamUnit};
+
+use crate::family::{MAtomicBool, MAtomicUsize, ModelFamily};
+use crate::sched::{Model, Scenario, TimeMode};
+
+/// The real barrier under the model family.
+pub type RealBarrier = SpinBarrier<ModelFamily>;
+/// The real pool under the model family, holding scripted teams.
+pub type RealPool = TeamPool<ModelFamily, ModelTeam>;
+/// The real admission queue under the model family.
+pub type RealQueue = AdmissionQueue<ModelFamily>;
+
+// ---------------------------------------------------------------------
+// SUT traits
+// ---------------------------------------------------------------------
+
+/// Barrier operations a scenario needs.
+pub trait BarrierSut: Send + Sync + 'static {
+    fn new(n: usize) -> Self;
+    fn checked_wait(&self, deadline: Option<Duration>) -> Result<bool, SyncError>;
+    fn poison(&self);
+    fn is_poisoned(&self) -> bool;
+}
+
+impl BarrierSut for RealBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier::new_in(n)
+    }
+    fn checked_wait(&self, deadline: Option<Duration>) -> Result<bool, SyncError> {
+        SpinBarrier::checked_wait(self, deadline)
+    }
+    fn poison(&self) {
+        SpinBarrier::poison(self)
+    }
+    fn is_poisoned(&self) -> bool {
+        SpinBarrier::is_poisoned(self)
+    }
+}
+
+/// Snapshot of a pool's accounting, taken by the finale check.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolCounts {
+    pub idle: usize,
+    pub leased: usize,
+    pub quarantined: usize,
+    pub capacity: usize,
+    pub isolations: usize,
+    pub heals: usize,
+}
+
+/// Pool operations a scenario needs. `checkout_checkin` performs one
+/// full lease cycle (checkout with a 1 s model deadline, optionally mark
+/// suspect, check in) and reports whether a team was obtained.
+pub trait PoolSut: Send + Sync + 'static {
+    fn new(teams: usize) -> Self;
+    fn checkout_checkin(&self, suspect: bool) -> bool;
+    fn counts(&self) -> PoolCounts;
+}
+
+impl PoolSut for RealPool {
+    fn new(teams: usize) -> Self {
+        TeamPool::new_in(teams, 1)
+    }
+    fn checkout_checkin(&self, suspect: bool) -> bool {
+        match self.checkout(Duration::from_secs(1)) {
+            Some(mut lease) => {
+                if suspect {
+                    lease.mark_suspect();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+    fn counts(&self) -> PoolCounts {
+        PoolCounts {
+            idle: self.idle(),
+            leased: self.leased(),
+            quarantined: self.quarantined(),
+            capacity: self.capacity(),
+            isolations: self.isolation_count(),
+            heals: self.heal_count(),
+        }
+    }
+}
+
+/// Result of one queue pop, stripped to what scenarios compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopOutcome {
+    Job(u64),
+    Empty,
+    Closed,
+}
+
+/// Queue operations a scenario needs. `push` reports admission success.
+pub trait QueueSut: Send + Sync + 'static {
+    fn new(capacity: usize) -> Self;
+    fn push(&self, id: u64, priority: u8) -> bool;
+    fn pop(&self) -> PopOutcome;
+    fn close(&self);
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds a minimal valid job for queue models.
+pub fn model_job(id: u64, priority: u8) -> QueuedJob {
+    QueuedJob {
+        id,
+        spec: JobSpec {
+            workload: Workload::Stencil,
+            n: 8,
+            steps: 2,
+            dim_t: 2,
+            tile: 8,
+            deadline: Duration::from_secs(1),
+            priority,
+        },
+        admitted_at: Instant::now(),
+        reply_to: 0,
+    }
+}
+
+impl QueueSut for RealQueue {
+    fn new(capacity: usize) -> Self {
+        AdmissionQueue::new_in(capacity)
+    }
+    fn push(&self, id: u64, priority: u8) -> bool {
+        AdmissionQueue::push(self, model_job(id, priority)).is_ok()
+    }
+    fn pop(&self) -> PopOutcome {
+        match AdmissionQueue::pop(self, Duration::from_secs(1)) {
+            Popped::Job(j) => PopOutcome::Job(j.id),
+            Popped::Empty => PopOutcome::Empty,
+            Popped::Closed => PopOutcome::Closed,
+        }
+    }
+    fn close(&self) {
+        AdmissionQueue::close(self)
+    }
+    fn len(&self) -> usize {
+        AdmissionQueue::len(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scripted team
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// Wedge flags of the teams created by the execution being built on
+    /// this thread. `Scenario::build` runs inline on the controller
+    /// thread, so a thread-local keeps concurrently exploring tests
+    /// (each on its own controller thread) isolated from each other.
+    static TEAM_REGISTRY: RefCell<Vec<Arc<MAtomicBool>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drops all registered wedge handles; call at the top of every
+/// pool-scenario build so indices restart at zero.
+pub fn clear_team_registry() {
+    TEAM_REGISTRY.with(|r| r.borrow_mut().clear());
+}
+
+/// Wedge handle of the `i`-th team created since the last
+/// [`clear_team_registry`].
+pub fn team_wedge(i: usize) -> Arc<MAtomicBool> {
+    TEAM_REGISTRY.with(|r| Arc::clone(&r.borrow()[i]))
+}
+
+/// A scripted [`TeamUnit`] whose health is one model atomic: the
+/// explored schedule (via [`team_wedge`] stores) decides when the team
+/// looks wedged, exactly the nondeterminism a real straggler produces.
+pub struct ModelTeam {
+    wedged: Arc<MAtomicBool>,
+}
+
+impl TeamUnit for ModelTeam {
+    fn create(_threads: usize) -> Self {
+        let wedged = Arc::new(MAtomicBool::named(false, "team.wedged"));
+        TEAM_REGISTRY.with(|r| r.borrow_mut().push(Arc::clone(&wedged)));
+        ModelTeam { wedged }
+    }
+    fn is_quarantined(&self) -> bool {
+        // ORDERING: Acquire mirrors ThreadTeam's watchdog flag read.
+        self.wedged.load(Ordering::Acquire)
+    }
+    fn probe(&self, _deadline: Duration) -> bool {
+        // ORDERING: Acquire — the probe must observe the straggler's
+        // drain (the wedge store) before declaring the team healthy.
+        !self.wedged.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario helpers
+// ---------------------------------------------------------------------
+
+type Log<T> = Arc<StdMutex<Vec<T>>>;
+
+fn new_log<T>() -> Log<T> {
+    Arc::new(StdMutex::new(Vec::new()))
+}
+
+fn push<T>(log: &Log<T>, v: T) {
+    log.lock().unwrap().push(v);
+}
+
+/// A barrier wait collapsed to what properties compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitRes {
+    Leader,
+    Follower,
+    Poisoned,
+    Timeout,
+}
+
+fn wait_res(r: Result<bool, SyncError>) -> WaitRes {
+    match r {
+        Ok(true) => WaitRes::Leader,
+        Ok(false) => WaitRes::Follower,
+        Err(SyncError::BarrierPoisoned) => WaitRes::Poisoned,
+        Err(SyncError::BarrierTimeout { .. }) => WaitRes::Timeout,
+        Err(e) => panic!("barrier returned unexpected error {e:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Barrier scenarios
+// ---------------------------------------------------------------------
+
+/// `threads` participants run `rounds` back-to-back episodes. Property:
+/// every wait succeeds and each round elects exactly one leader.
+/// Deadlocks (e.g. a dropped count reset stranding round two) surface
+/// via the scheduler's deadlock detection.
+pub fn barrier_rounds<B: BarrierSut>(threads: usize, rounds: usize) -> Scenario {
+    let barrier = Arc::new(B::new(threads));
+    let results: Log<(usize, usize, WaitRes)> = new_log();
+    let bodies = (0..threads)
+        .map(|tid| {
+            let barrier = Arc::clone(&barrier);
+            let results = Arc::clone(&results);
+            Box::new(move || {
+                for round in 0..rounds {
+                    let r = wait_res(barrier.checked_wait(None));
+                    push(&results, (tid, round, r));
+                }
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+    Scenario {
+        threads: bodies,
+        check: Box::new(move || {
+            let results = results.lock().unwrap();
+            for round in 0..rounds {
+                let this_round: Vec<WaitRes> = results
+                    .iter()
+                    .filter(|(_, r, _)| *r == round)
+                    .map(|&(_, _, res)| res)
+                    .collect();
+                if this_round.len() != threads {
+                    return Err(format!(
+                        "round {round}: {} of {threads} waits completed",
+                        this_round.len()
+                    ));
+                }
+                let leaders = this_round.iter().filter(|r| **r == WaitRes::Leader).count();
+                if leaders != 1 {
+                    return Err(format!("round {round}: {leaders} leaders, want 1"));
+                }
+                if this_round
+                    .iter()
+                    .any(|r| matches!(r, WaitRes::Poisoned | WaitRes::Timeout))
+                {
+                    return Err(format!(
+                        "round {round}: healthy wait failed: {this_round:?}"
+                    ));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// The barrier's publication contract: a plain `Relaxed` store made
+/// before the barrier must be visible to every thread after it. This is
+/// exactly the guarantee the Release/Acquire generation handoff exists
+/// to provide — weaken it (see the `relaxed-gen-publish` mutant) and the
+/// model's weak-memory simulation finds the stale read.
+pub fn barrier_publish<B: BarrierSut>() -> Scenario {
+    let barrier = Arc::new(B::new(2));
+    let payload = Arc::new(MAtomicUsize::named(0, "payload"));
+    let seen: Log<usize> = new_log();
+    let waits: Log<WaitRes> = new_log();
+    let t0 = {
+        let barrier = Arc::clone(&barrier);
+        let payload = Arc::clone(&payload);
+        let waits = Arc::clone(&waits);
+        Box::new(move || {
+            payload.store(1, Ordering::Relaxed);
+            push(&waits, wait_res(barrier.checked_wait(None)));
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t1 = {
+        let barrier = Arc::clone(&barrier);
+        let payload = Arc::clone(&payload);
+        let seen = Arc::clone(&seen);
+        let waits = Arc::clone(&waits);
+        Box::new(move || {
+            push(&waits, wait_res(barrier.checked_wait(None)));
+            push(&seen, payload.load(Ordering::Relaxed));
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Scenario {
+        threads: vec![t0, t1],
+        check: Box::new(move || {
+            let waits = waits.lock().unwrap();
+            if waits
+                .iter()
+                .any(|r| matches!(r, WaitRes::Poisoned | WaitRes::Timeout))
+            {
+                return Err(format!("healthy barrier failed: {waits:?}"));
+            }
+            match seen.lock().unwrap().as_slice() {
+                [1] => Ok(()),
+                other => Err(format!(
+                    "pre-barrier store not published across the barrier: saw {other:?}"
+                )),
+            }
+        }),
+    }
+}
+
+/// Poison between generations: both threads complete round one, thread 1
+/// then poisons before round two. Property: both round-two waits drain
+/// with `BarrierPoisoned` — never `Ok`, never a hang.
+pub fn barrier_poison_mid<B: BarrierSut>() -> Scenario {
+    let barrier = Arc::new(B::new(2));
+    let r1: Log<(usize, WaitRes)> = new_log();
+    let r2: Log<(usize, WaitRes)> = new_log();
+    let t0 = {
+        let barrier = Arc::clone(&barrier);
+        let (r1, r2) = (Arc::clone(&r1), Arc::clone(&r2));
+        Box::new(move || {
+            push(&r1, (0, wait_res(barrier.checked_wait(None))));
+            push(&r2, (0, wait_res(barrier.checked_wait(None))));
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t1 = {
+        let barrier = Arc::clone(&barrier);
+        let (r1, r2) = (Arc::clone(&r1), Arc::clone(&r2));
+        Box::new(move || {
+            push(&r1, (1, wait_res(barrier.checked_wait(None))));
+            barrier.poison();
+            push(&r2, (1, wait_res(barrier.checked_wait(None))));
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = Arc::clone(&barrier);
+    Scenario {
+        threads: vec![t0, t1],
+        check: Box::new(move || {
+            let r1 = r1.lock().unwrap();
+            let r2 = r2.lock().unwrap();
+            // The poisoner's first wait precedes the poison: must be Ok.
+            let t1_r1 = r1.iter().find(|(t, _)| *t == 1).map(|&(_, r)| r);
+            if !matches!(t1_r1, Some(WaitRes::Leader | WaitRes::Follower)) {
+                return Err(format!("t1 round 1 was {t1_r1:?}, want Ok"));
+            }
+            // Round one elects at most one leader (t0 may instead observe
+            // the in-flight poison while draining).
+            let leaders1 = r1.iter().filter(|(_, r)| *r == WaitRes::Leader).count();
+            if leaders1 > 1 {
+                return Err(format!("round 1: {leaders1} leaders"));
+            }
+            // Both round-two waits must observe the poison.
+            for (t, r) in r2.iter() {
+                if *r != WaitRes::Poisoned {
+                    return Err(format!("t{t} round 2 was {r:?}, want Poisoned"));
+                }
+            }
+            if r2.len() != 2 {
+                return Err(format!("{} of 2 round-2 waits completed", r2.len()));
+            }
+            if !finale.is_poisoned() {
+                return Err("barrier lost its poison mark".into());
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Poison racing the only other arrival: thread 0 waits, thread 1
+/// poisons *instead of* arriving, then waits. Property: both waits drain
+/// with `BarrierPoisoned` — in particular t0, which may already be
+/// spinning inside the episode when the poison lands.
+pub fn barrier_last_arriver<B: BarrierSut>() -> Scenario {
+    let barrier = Arc::new(B::new(2));
+    let results: Log<(usize, WaitRes)> = new_log();
+    let t0 = {
+        let barrier = Arc::clone(&barrier);
+        let results = Arc::clone(&results);
+        Box::new(move || {
+            push(&results, (0, wait_res(barrier.checked_wait(None))));
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t1 = {
+        let barrier = Arc::clone(&barrier);
+        let results = Arc::clone(&results);
+        Box::new(move || {
+            barrier.poison();
+            push(&results, (1, wait_res(barrier.checked_wait(None))));
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Scenario {
+        threads: vec![t0, t1],
+        check: Box::new(move || {
+            let results = results.lock().unwrap();
+            if results.len() != 2 {
+                return Err(format!("{} of 2 waits completed", results.len()));
+            }
+            for (t, r) in results.iter() {
+                if *r != WaitRes::Poisoned {
+                    return Err(format!("t{t} drained with {r:?}, want Poisoned"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Deadline racing arrival (nondeterministic time): both threads wait
+/// with a deadline; each check may declare the deadline expired.
+/// Property: at most one leader, every error implies the barrier ended
+/// poisoned (a timeout poisons so the other side drains), and no state
+/// hangs — the scheduler flags any stranded spinner as a deadlock.
+pub fn barrier_deadline_race<B: BarrierSut>() -> Scenario {
+    let barrier = Arc::new(B::new(2));
+    let results: Log<(usize, WaitRes)> = new_log();
+    let bodies = (0..2)
+        .map(|tid| {
+            let barrier = Arc::clone(&barrier);
+            let results = Arc::clone(&results);
+            Box::new(move || {
+                let r = wait_res(barrier.checked_wait(Some(Duration::from_millis(50))));
+                push(&results, (tid, r));
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+    let finale = Arc::clone(&barrier);
+    Scenario {
+        threads: bodies,
+        check: Box::new(move || {
+            let results = results.lock().unwrap();
+            if results.len() != 2 {
+                return Err(format!("{} of 2 waits completed", results.len()));
+            }
+            let leaders = results
+                .iter()
+                .filter(|(_, r)| *r == WaitRes::Leader)
+                .count();
+            if leaders > 1 {
+                return Err(format!("{leaders} leaders in one episode"));
+            }
+            let errs = results
+                .iter()
+                .filter(|(_, r)| matches!(r, WaitRes::Poisoned | WaitRes::Timeout))
+                .count();
+            if errs > 0 && !finale.is_poisoned() {
+                return Err("a wait drained with an error but the barrier is not poisoned".into());
+            }
+            if errs == 0 && leaders != 1 {
+                return Err(format!("both waits Ok but {leaders} leaders"));
+            }
+            Ok(())
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pool scenarios
+// ---------------------------------------------------------------------
+
+/// Two tenants contend for a single healthy team. Property: both lease
+/// cycles succeed (model time never expires, so checkout must block
+/// until the checkin notify — a dropped notify is a deadlock) and the
+/// pool's accounting returns to one idle team.
+pub fn pool_contended<P: PoolSut>() -> Scenario {
+    clear_team_registry();
+    let pool = Arc::new(P::new(1));
+    let got: Log<bool> = new_log();
+    let bodies = (0..2)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let got = Arc::clone(&got);
+            Box::new(move || {
+                let ok = pool.checkout_checkin(false);
+                push(&got, ok);
+            }) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+    let finale = Arc::clone(&pool);
+    Scenario {
+        threads: bodies,
+        check: Box::new(move || {
+            let got = got.lock().unwrap();
+            if got.iter().filter(|ok| **ok).count() != 2 {
+                return Err(format!("lease cycles {got:?}, want [true, true]"));
+            }
+            check_pool_counts(&finale.counts(), 0)
+        }),
+    }
+}
+
+/// Quarantine/heal under a racing straggler drain: the single team
+/// starts wedged; tenant 0 runs a suspect lease cycle (checkin probes
+/// and may quarantine), tenant 1 drains the straggler and then leases.
+/// Property: accounting converges — no leaked or duplicated team, every
+/// isolation matched by a heal once the wedge clears.
+pub fn pool_quarantine_heal<P: PoolSut>() -> Scenario {
+    clear_team_registry();
+    let pool = Arc::new(P::new(1));
+    let wedge = team_wedge(0);
+    // The straggler from a previous job is still wedged inside the team.
+    wedge.store(true, Ordering::Release);
+    let t0 = {
+        let pool = Arc::clone(&pool);
+        Box::new(move || {
+            // The suspect path: this tenant's job failed; checkin decides
+            // between recycle and quarantine based on the probe.
+            let _ = pool.checkout_checkin(true);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let t1 = {
+        let pool = Arc::clone(&pool);
+        Box::new(move || {
+            // The straggler drains at an arbitrary point...
+            wedge.store(false, Ordering::Release);
+            // ...and a later checkout must be able to reclaim the team.
+            let _ = pool.checkout_checkin(false);
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = Arc::clone(&pool);
+    Scenario {
+        threads: vec![t0, t1],
+        check: Box::new(move || {
+            let c = finale.counts();
+            if c.isolations > 1 {
+                return Err(format!(
+                    "{} isolations from one suspect checkin",
+                    c.isolations
+                ));
+            }
+            check_pool_counts(&c, c.isolations)
+        }),
+    }
+}
+
+/// Shared finale assertions: the team population invariant
+/// `idle + quarantined + leased == capacity`, full recovery (the wedge
+/// is clear by finale time, so `idle()`'s reclaim must have healed every
+/// quarantined team), and heal/isolation bookkeeping.
+fn check_pool_counts(c: &PoolCounts, want_isolations: usize) -> Result<(), String> {
+    if c.idle + c.quarantined + c.leased != c.capacity {
+        return Err(format!(
+            "team population broken: idle {} + quarantined {} + leased {} != capacity {}",
+            c.idle, c.quarantined, c.leased, c.capacity
+        ));
+    }
+    if c.leased != 0 {
+        return Err(format!(
+            "{} teams still leased after all tenants left",
+            c.leased
+        ));
+    }
+    if c.quarantined != 0 {
+        return Err(format!(
+            "{} teams stuck in quarantine after the straggler drained",
+            c.quarantined
+        ));
+    }
+    if c.idle != c.capacity {
+        return Err(format!("idle {} != capacity {}", c.idle, c.capacity));
+    }
+    if c.isolations != want_isolations {
+        return Err(format!(
+            "isolations {} != expected {}",
+            c.isolations, want_isolations
+        ));
+    }
+    if c.heals != c.isolations {
+        return Err(format!(
+            "heals {} != isolations {}: a quarantined team never healed",
+            c.heals, c.isolations
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Queue scenarios
+// ---------------------------------------------------------------------
+
+/// Single producer, single consumer, no close: the producer pushes two
+/// jobs, the consumer pops two. Model time never expires, so the
+/// consumer's only way out of an empty queue is the producer's
+/// notify — dropping it (the `skip-notify-push` mutant) is a deadlock.
+/// Property: FIFO order and an empty queue at the end.
+pub fn queue_spsc<Q: QueueSut>() -> Scenario {
+    let queue = Arc::new(Q::new(2));
+    let pushed: Log<bool> = new_log();
+    let popped: Log<PopOutcome> = new_log();
+    let producer = {
+        let queue = Arc::clone(&queue);
+        let pushed = Arc::clone(&pushed);
+        Box::new(move || {
+            push(&pushed, queue.push(1, 0));
+            push(&pushed, queue.push(2, 0));
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let consumer = {
+        let queue = Arc::clone(&queue);
+        let popped = Arc::clone(&popped);
+        Box::new(move || {
+            push(&popped, queue.pop());
+            push(&popped, queue.pop());
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = Arc::clone(&queue);
+    Scenario {
+        threads: vec![producer, consumer],
+        check: Box::new(move || {
+            let pushed = pushed.lock().unwrap();
+            if pushed.as_slice() != [true, true] {
+                return Err(format!("pushes rejected: {pushed:?}"));
+            }
+            let popped = popped.lock().unwrap();
+            if popped.as_slice() != [PopOutcome::Job(1), PopOutcome::Job(2)] {
+                return Err(format!("pops {popped:?}, want FIFO [Job(1), Job(2)]"));
+            }
+            if finale.len() != 0 {
+                return Err(format!("{} jobs left in a drained queue", finale.len()));
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Close-side wakeup: the producer pushes one job then closes while the
+/// consumer pops until `Closed`. Property: the consumer sees exactly the
+/// job then `Closed` — close must both let queued work drain and wake a
+/// parked popper.
+pub fn queue_close_drain<Q: QueueSut>() -> Scenario {
+    let queue = Arc::new(Q::new(2));
+    let popped: Log<PopOutcome> = new_log();
+    let producer = {
+        let queue = Arc::clone(&queue);
+        Box::new(move || {
+            let ok = queue.push(1, 0);
+            assert!(ok, "push into empty open queue rejected");
+            queue.close();
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let consumer = {
+        let queue = Arc::clone(&queue);
+        let popped = Arc::clone(&popped);
+        Box::new(move || {
+            // Bounded loop: a correct queue yields Closed in ≤ 2 pops.
+            for _ in 0..3 {
+                let r = queue.pop();
+                push(&popped, r);
+                if r != PopOutcome::Job(1) {
+                    break;
+                }
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Scenario {
+        threads: vec![producer, consumer],
+        check: Box::new(move || {
+            let popped = popped.lock().unwrap();
+            if popped.as_slice() != [PopOutcome::Job(1), PopOutcome::Closed] {
+                return Err(format!("pops {popped:?}, want [Job(1), Closed]"));
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Priority drain racing close: two jobs (low then high priority) are
+/// queued before the threads start; a consumer pops both while another
+/// thread closes the queue at an arbitrary point. Property: the high
+/// class pops first and close never eats a queued job.
+pub fn queue_priority_close<Q: QueueSut>() -> Scenario {
+    let queue = Arc::new(Q::new(4));
+    assert!(queue.push(1, 0), "setup push rejected");
+    assert!(queue.push(2, 2), "setup push rejected");
+    let popped: Log<PopOutcome> = new_log();
+    let consumer = {
+        let queue = Arc::clone(&queue);
+        let popped = Arc::clone(&popped);
+        Box::new(move || {
+            push(&popped, queue.pop());
+            push(&popped, queue.pop());
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let closer = {
+        let queue = Arc::clone(&queue);
+        Box::new(move || queue.close()) as Box<dyn FnOnce() + Send>
+    };
+    Scenario {
+        threads: vec![consumer, closer],
+        check: Box::new(move || {
+            let popped = popped.lock().unwrap();
+            if popped.as_slice() != [PopOutcome::Job(2), PopOutcome::Job(1)] {
+                return Err(format!(
+                    "pops {popped:?}, want priority order [Job(2), Job(1)]"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------
+
+/// A named, time-moded scenario constructor.
+pub struct ScenarioModel {
+    pub name: &'static str,
+    pub mode: TimeMode,
+    pub build: fn() -> Scenario,
+}
+
+impl Model for ScenarioModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn time_mode(&self) -> TimeMode {
+        self.mode
+    }
+    fn build(&self) -> Scenario {
+        (self.build)()
+    }
+}
+
+/// Every model over the real sync-layer code, in report order.
+pub fn all_models() -> Vec<ScenarioModel> {
+    vec![
+        ScenarioModel {
+            name: "barrier-wait-2x2",
+            mode: TimeMode::Never,
+            build: || barrier_rounds::<RealBarrier>(2, 2),
+        },
+        ScenarioModel {
+            name: "barrier-wait-3x2",
+            mode: TimeMode::Never,
+            build: || barrier_rounds::<RealBarrier>(3, 2),
+        },
+        ScenarioModel {
+            name: "barrier-publish",
+            mode: TimeMode::Never,
+            build: barrier_publish::<RealBarrier>,
+        },
+        ScenarioModel {
+            name: "barrier-poison-mid",
+            mode: TimeMode::Never,
+            build: barrier_poison_mid::<RealBarrier>,
+        },
+        ScenarioModel {
+            name: "barrier-last-arriver",
+            mode: TimeMode::Never,
+            build: barrier_last_arriver::<RealBarrier>,
+        },
+        ScenarioModel {
+            name: "barrier-deadline-race",
+            mode: TimeMode::Nondet,
+            build: barrier_deadline_race::<RealBarrier>,
+        },
+        ScenarioModel {
+            name: "pool-contended",
+            mode: TimeMode::Never,
+            build: pool_contended::<RealPool>,
+        },
+        ScenarioModel {
+            name: "pool-quarantine-heal",
+            mode: TimeMode::Nondet,
+            build: pool_quarantine_heal::<RealPool>,
+        },
+        ScenarioModel {
+            name: "queue-spsc",
+            mode: TimeMode::Never,
+            build: queue_spsc::<RealQueue>,
+        },
+        ScenarioModel {
+            name: "queue-close-drain",
+            mode: TimeMode::Never,
+            build: queue_close_drain::<RealQueue>,
+        },
+        ScenarioModel {
+            name: "queue-priority-close",
+            mode: TimeMode::Never,
+            build: queue_priority_close::<RealQueue>,
+        },
+    ]
+}

@@ -1,0 +1,433 @@
+//! Seeded-bug copies of the sync layer: the checker's own regression
+//! suite.
+//!
+//! Each mutant is the real algorithm with exactly one concurrency bug
+//! reintroduced — a dropped poison check, a weakened ordering, a missed
+//! notify, a leaked lease count. A mutant implements the same SUT trait
+//! as the real code, so the *same scenario* that passes against the
+//! real `SpinBarrier`/`TeamPool`/`AdmissionQueue` must produce a
+//! counterexample against the mutant. `driver::run_mutants` asserts
+//! exactly that; a checker that stops catching a mutant has lost its
+//! teeth (e.g. a botched independence relation pruning real
+//! interleavings).
+//!
+//! The copies are written directly against [`ModelFamily`] (no
+//! generics): they exist only under the checker and should read as a
+//! diff against the real code in `crates/sync` / `crates/serve`.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use threefive_serve::PRIORITIES;
+use threefive_sync::shim::{
+    AtomicBoolShim, AtomicUsizeShim, CondvarShim, MutexShim, Ordering, SyncFamily,
+};
+use threefive_sync::{SyncError, TeamUnit};
+
+use crate::family::{MAtomicBool, MAtomicUsize, MCondvar, MMutex, ModelFamily};
+use crate::models::{
+    barrier_deadline_race, barrier_last_arriver, barrier_poison_mid, barrier_publish,
+    barrier_rounds, pool_contended, queue_spsc, BarrierSut, ModelTeam, PoolCounts, PoolSut,
+    PopOutcome, QueueSut, ScenarioModel,
+};
+use crate::sched::TimeMode;
+
+// Barrier mutations.
+const MUT_DROP_POISON: u8 = 0;
+const MUT_RELAXED_GEN: u8 = 1;
+const MUT_SKIP_RESET: u8 = 2;
+const MUT_TIMEOUT_NO_POISON: u8 = 3;
+// Pool mutations.
+const MUT_POOL_SKIP_NOTIFY: u8 = 0;
+const MUT_POOL_LEAK_LEASE: u8 = 1;
+// Queue mutations.
+const MUT_QUEUE_SKIP_NOTIFY: u8 = 0;
+const MUT_QUEUE_LEN_LEAK: u8 = 1;
+
+// ---------------------------------------------------------------------
+// Barrier mutants
+// ---------------------------------------------------------------------
+
+/// `SpinBarrier::checked_wait` with mutation `M` seeded.
+pub struct MutBarrier<const M: u8> {
+    n: usize,
+    count: MAtomicUsize,
+    generation: MAtomicUsize,
+    poisoned: MAtomicBool,
+}
+
+impl<const M: u8> BarrierSut for MutBarrier<M> {
+    fn new(n: usize) -> Self {
+        assert!(n > 0);
+        MutBarrier {
+            n,
+            count: MAtomicUsize::named(0, "barrier.count"),
+            generation: MAtomicUsize::named(0, "barrier.generation"),
+            poisoned: MAtomicBool::named(false, "barrier.poisoned"),
+        }
+    }
+
+    fn checked_wait(&self, deadline: Option<Duration>) -> Result<bool, SyncError> {
+        // BUG (drop-poison-check): all three poison checks removed — a
+        // poisoned barrier is entered and waited on as if healthy.
+        if M != MUT_DROP_POISON && self.poisoned.load(Ordering::Acquire) {
+            return Err(SyncError::BarrierPoisoned);
+        }
+        let armed = deadline.map(ModelFamily::deadline);
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // BUG (skip-count-reset): the leader forgets to re-arm the
+            // counter, stranding every arrival of the next episode.
+            if M != MUT_SKIP_RESET {
+                self.count.store(0, Ordering::Relaxed);
+            }
+            // BUG (relaxed-gen-publish): the generation bump no longer
+            // releases the arrivals' pre-barrier writes to the spinners.
+            let ord = if M == MUT_RELAXED_GEN {
+                Ordering::Relaxed
+            } else {
+                Ordering::Release
+            };
+            self.generation.store(gen.wrapping_add(1), ord);
+            if M != MUT_DROP_POISON && self.poisoned.load(Ordering::Acquire) {
+                return Err(SyncError::BarrierPoisoned);
+            }
+            Ok(true)
+        } else {
+            while self.generation.load(Ordering::Acquire) == gen {
+                if M != MUT_DROP_POISON && self.poisoned.load(Ordering::Acquire) {
+                    return Err(SyncError::BarrierPoisoned);
+                }
+                if let (Some(d), Some(t)) = (deadline, armed) {
+                    if ModelFamily::expired(t) {
+                        // BUG (timeout-no-poison): deadline expiry no
+                        // longer poisons the barrier, so the other side
+                        // is left waiting on a healthy-looking episode.
+                        if M != MUT_TIMEOUT_NO_POISON {
+                            self.poison();
+                        }
+                        return Err(SyncError::BarrierTimeout { deadline: d });
+                    }
+                }
+                ModelFamily::yield_now();
+            }
+            if M != MUT_DROP_POISON && self.poisoned.load(Ordering::Acquire) {
+                return Err(SyncError::BarrierPoisoned);
+            }
+            Ok(false)
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pool mutants
+// ---------------------------------------------------------------------
+
+struct MutPoolInner {
+    idle: Vec<ModelTeam>,
+    quarantined: Vec<ModelTeam>,
+    leased: usize,
+}
+
+/// `TeamPool` checkout/checkin with mutation `M` seeded.
+pub struct MutPool<const M: u8> {
+    capacity: usize,
+    inner: MMutex<MutPoolInner>,
+    freed: MCondvar,
+    isolations: MAtomicUsize,
+    heals: MAtomicUsize,
+}
+
+impl<const M: u8> MutPool<M> {
+    fn reclaim(&self, inner: &mut MutPoolInner) {
+        let mut still = Vec::new();
+        for team in inner.quarantined.drain(..) {
+            if !team.is_quarantined() && team.probe(Duration::from_millis(200)) {
+                self.heals.fetch_add(1, Ordering::Relaxed);
+                inner.idle.push(team);
+            } else {
+                still.push(team);
+            }
+        }
+        inner.quarantined = still;
+    }
+}
+
+impl<const M: u8> PoolSut for MutPool<M> {
+    fn new(teams: usize) -> Self {
+        assert!(teams > 0);
+        MutPool {
+            capacity: teams,
+            inner: MMutex::new(MutPoolInner {
+                idle: (0..teams).map(|_| ModelTeam::create(1)).collect(),
+                quarantined: Vec::new(),
+                leased: 0,
+            }),
+            freed: MCondvar::new(),
+            isolations: MAtomicUsize::named(0, "pool.isolations"),
+            heals: MAtomicUsize::named(0, "pool.heals"),
+        }
+    }
+
+    fn checkout_checkin(&self, suspect: bool) -> bool {
+        let deadline = ModelFamily::deadline(Duration::from_secs(1));
+        let mut inner = self.inner.lock();
+        let team = loop {
+            self.reclaim(&mut inner);
+            if let Some(team) = inner.idle.pop() {
+                inner.leased += 1;
+                break team;
+            }
+            let Some(wait) = ModelFamily::remaining(deadline) else {
+                return false;
+            };
+            let (guard, _) = self.freed.wait_timeout(inner, wait);
+            inner = guard;
+        };
+        drop(inner);
+
+        // Checkin.
+        let healthy = if suspect {
+            !team.is_quarantined() && team.probe(Duration::from_millis(200))
+        } else {
+            true
+        };
+        let mut inner = self.inner.lock();
+        // BUG (leak-lease-count): checkin forgets to return the lease to
+        // the books — `leased` only ever grows.
+        if M != MUT_POOL_LEAK_LEASE {
+            inner.leased -= 1;
+        }
+        if healthy {
+            inner.idle.push(team);
+        } else {
+            self.isolations.fetch_add(1, Ordering::Relaxed);
+            inner.quarantined.push(team);
+        }
+        drop(inner);
+        // BUG (skip-notify-checkin): the freed team is never announced —
+        // a blocked checkout sleeps through it (lost wakeup).
+        if M != MUT_POOL_SKIP_NOTIFY {
+            self.freed.notify_all();
+        }
+        true
+    }
+
+    fn counts(&self) -> PoolCounts {
+        let mut inner = self.inner.lock();
+        self.reclaim(&mut inner);
+        PoolCounts {
+            idle: inner.idle.len(),
+            leased: inner.leased,
+            quarantined: inner.quarantined.len(),
+            capacity: self.capacity,
+            isolations: self.isolations.load(Ordering::Relaxed),
+            heals: self.heals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Queue mutants
+// ---------------------------------------------------------------------
+
+struct MutClasses {
+    lanes: [VecDeque<u64>; PRIORITIES],
+    len: usize,
+    closed: bool,
+}
+
+/// `AdmissionQueue` push/pop/close with mutation `M` seeded.
+pub struct MutQueue<const M: u8> {
+    inner: MMutex<MutClasses>,
+    nonempty: MCondvar,
+    cap: usize,
+}
+
+impl<const M: u8> QueueSut for MutQueue<M> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        MutQueue {
+            inner: MMutex::new(MutClasses {
+                lanes: std::array::from_fn(|_| VecDeque::new()),
+                len: 0,
+                closed: false,
+            }),
+            nonempty: MCondvar::new(),
+            cap: capacity,
+        }
+    }
+
+    fn push(&self, id: u64, priority: u8) -> bool {
+        let mut q = self.inner.lock();
+        if q.closed || q.len >= self.cap {
+            return false;
+        }
+        let class = usize::from(priority).min(PRIORITIES - 1);
+        q.lanes[class].push_back(id);
+        q.len += 1;
+        drop(q);
+        // BUG (skip-notify-push): the consumer is never told — a popper
+        // parked on the condvar sleeps through the job (lost wakeup).
+        if M != MUT_QUEUE_SKIP_NOTIFY {
+            self.nonempty.notify_one();
+        }
+        true
+    }
+
+    fn pop(&self) -> PopOutcome {
+        let deadline = ModelFamily::deadline(Duration::from_secs(1));
+        let mut q = self.inner.lock();
+        loop {
+            if q.len > 0 {
+                for lane in q.lanes.iter_mut().rev() {
+                    if let Some(id) = lane.pop_front() {
+                        // BUG (len-leak): the popped job stays on the
+                        // books — `len` drifts up, eventually wedging
+                        // admission at a phantom capacity.
+                        if M != MUT_QUEUE_LEN_LEAK {
+                            q.len -= 1;
+                        }
+                        return PopOutcome::Job(id);
+                    }
+                }
+                unreachable!("len > 0 but every lane empty");
+            }
+            if q.closed {
+                return PopOutcome::Closed;
+            }
+            let Some(wait) = ModelFamily::remaining(deadline) else {
+                return PopOutcome::Empty;
+            };
+            let (guard, timed_out) = self.nonempty.wait_timeout(q, wait);
+            q = guard;
+            if timed_out && q.len == 0 {
+                return if q.closed {
+                    PopOutcome::Closed
+                } else {
+                    PopOutcome::Empty
+                };
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+/// One seeded bug plus the scenario expected to catch it.
+pub struct MutantModel {
+    /// Mutation slug (goes into the trace's `mutation` field).
+    pub mutation: &'static str,
+    /// What the seeded bug does, for reports.
+    pub seeded: &'static str,
+    /// The catching scenario, built over the mutant SUT. Its name is the
+    /// real model the scenario came from.
+    pub model: ScenarioModel,
+}
+
+/// Every seeded mutant, in report order.
+pub fn all_mutants() -> Vec<MutantModel> {
+    vec![
+        MutantModel {
+            mutation: "drop-poison-check",
+            seeded: "checked_wait no longer checks the poison flag",
+            model: ScenarioModel {
+                name: "barrier-poison-mid",
+                mode: TimeMode::Never,
+                build: barrier_poison_mid::<MutBarrier<MUT_DROP_POISON>>,
+            },
+        },
+        MutantModel {
+            mutation: "relaxed-gen-publish",
+            seeded: "generation bump demoted from Release to Relaxed",
+            model: ScenarioModel {
+                name: "barrier-publish",
+                mode: TimeMode::Never,
+                build: barrier_publish::<MutBarrier<MUT_RELAXED_GEN>>,
+            },
+        },
+        MutantModel {
+            mutation: "drop-poison-last-arriver",
+            seeded: "poison checks removed; the last arriver's poison goes unseen",
+            model: ScenarioModel {
+                name: "barrier-last-arriver",
+                mode: TimeMode::Never,
+                build: barrier_last_arriver::<MutBarrier<MUT_DROP_POISON>>,
+            },
+        },
+        MutantModel {
+            mutation: "timeout-no-poison",
+            seeded: "deadline expiry no longer poisons the barrier",
+            model: ScenarioModel {
+                name: "barrier-deadline-race",
+                mode: TimeMode::Nondet,
+                build: barrier_deadline_race::<MutBarrier<MUT_TIMEOUT_NO_POISON>>,
+            },
+        },
+        MutantModel {
+            mutation: "skip-count-reset",
+            seeded: "leader no longer resets the arrival counter",
+            model: ScenarioModel {
+                name: "barrier-wait-2x2",
+                mode: TimeMode::Never,
+                build: || barrier_rounds::<MutBarrier<MUT_SKIP_RESET>>(2, 2),
+            },
+        },
+        MutantModel {
+            mutation: "skip-notify-checkin",
+            seeded: "pool checkin no longer notifies blocked checkouts",
+            model: ScenarioModel {
+                name: "pool-contended",
+                mode: TimeMode::Never,
+                build: pool_contended::<MutPool<MUT_POOL_SKIP_NOTIFY>>,
+            },
+        },
+        MutantModel {
+            mutation: "leak-lease-count",
+            seeded: "pool checkin no longer decrements the lease count",
+            model: ScenarioModel {
+                name: "pool-contended",
+                mode: TimeMode::Never,
+                build: pool_contended::<MutPool<MUT_POOL_LEAK_LEASE>>,
+            },
+        },
+        MutantModel {
+            mutation: "skip-notify-push",
+            seeded: "queue push no longer notifies a parked popper",
+            model: ScenarioModel {
+                name: "queue-spsc",
+                mode: TimeMode::Never,
+                build: queue_spsc::<MutQueue<MUT_QUEUE_SKIP_NOTIFY>>,
+            },
+        },
+        MutantModel {
+            mutation: "len-leak",
+            seeded: "queue pop no longer decrements the shared length",
+            model: ScenarioModel {
+                name: "queue-spsc",
+                mode: TimeMode::Never,
+                build: queue_spsc::<MutQueue<MUT_QUEUE_LEN_LEAK>>,
+            },
+        },
+    ]
+}

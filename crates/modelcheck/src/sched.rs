@@ -1,0 +1,1190 @@
+//! Deterministic execution engine: one logical step at a time.
+//!
+//! A model execution runs each logical thread as a real OS thread, but
+//! only one ever makes progress: every shim operation (atomic access,
+//! mutex lock/unlock, condvar wait/notify, spin yield, deadline check)
+//! is submitted to a central controller, which executes exactly one
+//! pending operation per step against an explicit memory model and then
+//! wakes the chosen thread. All nondeterminism — which thread steps,
+//! which store a weak load observes, whether a timeout fires, which
+//! condvar waiter a notify picks — is a [`Decision`] made centrally, so
+//! an execution is fully determined by its decision sequence and can be
+//! replayed bit-for-bit from a recorded prefix (DESIGN.md §16).
+//!
+//! ## Weak memory
+//!
+//! Atomic locations keep their full store history with vector-clock
+//! metadata. A load's *readable set* contains every store not yet
+//! obsoleted for the reading thread by happens-before or read-read
+//! coherence; `Relaxed` loads never acquire the writer's clock, while
+//! `Acquire`/`SeqCst` loads of `Release`d stores do. This is what lets
+//! the checker distinguish a justified `Relaxed` from a reordering bug
+//! the line-level lint can only count. Two documented approximations:
+//! `SeqCst` is modeled as acquire/release plus latest-store-only reads
+//! (no global SC order construction), and a bounded-staleness fairness
+//! rule forces a re-read of the same location to advance past a stale
+//! store after one repeat, so spin loops terminate (eventual visibility,
+//! which real hardware provides).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Which thread steps and which variant of its pending operation runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Logical thread id.
+    pub tid: usize,
+    /// Variant index: the readable-store index for loads, the waiter
+    /// index for `notify_one`, 0/1 for deadline not-expired/expired,
+    /// 0 otherwise.
+    pub variant: u32,
+    /// `true` when this decision fires a condvar-wait timeout on a
+    /// blocked thread instead of granting its pending operation.
+    pub timeout: bool,
+}
+
+/// How the model treats time ([`crate::family::ModelFamily`] deadlines
+/// and condvar-wait timeouts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeMode {
+    /// Deadlines never expire and waits never time out. Lost wakeups
+    /// become deadlocks the scheduler detects — the strictest setting,
+    /// usable whenever the modeled protocol does not rely on timeout
+    /// polling for progress.
+    Never,
+    /// Every deadline check and every blocked wait may nondeterministically
+    /// time out (latching per deadline). Needed for protocols whose
+    /// progress legitimately relies on timeout retry (pool heal polling).
+    Nondet,
+}
+
+/// Memory-ordering strength as the model distinguishes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemOrd {
+    /// `Ordering::Relaxed`: no clock transfer.
+    Relaxed,
+    /// `Ordering::Acquire` (loads / RMW read half).
+    Acquire,
+    /// `Ordering::Release` (stores / RMW write half).
+    Release,
+    /// `Ordering::AcqRel` (RMW both halves).
+    AcqRel,
+    /// `Ordering::SeqCst`: acquire/release plus latest-store-only reads.
+    SeqCst,
+}
+
+impl MemOrd {
+    /// Whether a load with this ordering acquires the store's clock.
+    fn acquires(self) -> bool {
+        matches!(self, MemOrd::Acquire | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+    /// Whether a store with this ordering publishes the writer's clock.
+    fn releases(self) -> bool {
+        matches!(self, MemOrd::Release | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+    /// Converts from the std ordering (shim call sites pass it through).
+    pub fn from_std(o: std::sync::atomic::Ordering) -> Self {
+        use std::sync::atomic::Ordering as O;
+        match o {
+            O::Relaxed => MemOrd::Relaxed,
+            O::Acquire => MemOrd::Acquire,
+            O::Release => MemOrd::Release,
+            O::AcqRel => MemOrd::AcqRel,
+            _ => MemOrd::SeqCst,
+        }
+    }
+}
+
+impl fmt::Display for MemOrd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemOrd::Relaxed => "relaxed",
+            MemOrd::Acquire => "acquire",
+            MemOrd::Release => "release",
+            MemOrd::AcqRel => "acqrel",
+            MemOrd::SeqCst => "seqcst",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One shim operation as submitted to the controller.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpKind {
+    /// Implicit first operation of every logical thread; makes spawn
+    /// order schedulable and independent of OS startup timing.
+    Start,
+    /// Atomic load.
+    Load {
+        /// Location id.
+        loc: usize,
+        /// Ordering.
+        ord: MemOrd,
+    },
+    /// Atomic store.
+    Store {
+        /// Location id.
+        loc: usize,
+        /// Value written.
+        val: u64,
+        /// Ordering.
+        ord: MemOrd,
+    },
+    /// Atomic fetch-add (reads latest store: RMWs are mo-atomic).
+    RmwAdd {
+        /// Location id.
+        loc: usize,
+        /// Addend.
+        delta: u64,
+        /// Ordering.
+        ord: MemOrd,
+    },
+    /// Mutex acquisition; enabled only while the mutex is free.
+    MutexLock {
+        /// Mutex id.
+        m: usize,
+    },
+    /// Mutex release.
+    MutexUnlock {
+        /// Mutex id.
+        m: usize,
+    },
+    /// Condvar wait entry: atomically releases the mutex and parks.
+    CondWait {
+        /// Condvar id.
+        cv: usize,
+        /// Mutex id released while waiting.
+        m: usize,
+    },
+    /// Wake one waiter (the variant picks which); no-op when none wait.
+    CondNotifyOne {
+        /// Condvar id.
+        cv: usize,
+    },
+    /// Wake every waiter; no-op when none wait.
+    CondNotifyAll {
+        /// Condvar id.
+        cv: usize,
+    },
+    /// Spin-loop yield: parks until any store/RMW bumps the global
+    /// write version (spin-wait fairness; all-spinning = livelock,
+    /// reported as deadlock).
+    Yield,
+    /// Deadline poll: variant 1 latches the deadline expired
+    /// (only offered under [`TimeMode::Nondet`]).
+    DeadlineCheck {
+        /// Deadline id.
+        d: usize,
+    },
+    /// Internal continuation: a notified/timed-out waiter reacquiring
+    /// its mutex. Enabled only while the mutex is free.
+    Reacquire {
+        /// Mutex id.
+        m: usize,
+        /// Whether the wait reported a timeout.
+        timed_out: bool,
+    },
+}
+
+impl OpKind {
+    /// Short stable description used in schedule traces and replay
+    /// validation.
+    pub fn describe(&self, ctl: &Ctl) -> String {
+        match self {
+            OpKind::Start => "start".into(),
+            OpKind::Load { loc, ord } => format!("load {} {}", ctl.memory.locs[*loc].name, ord),
+            OpKind::Store { loc, val, ord } => {
+                format!("store {} {} {}", ctl.memory.locs[*loc].name, val, ord)
+            }
+            OpKind::RmwAdd { loc, delta, ord } => {
+                format!("rmw-add {} {} {}", ctl.memory.locs[*loc].name, delta, ord)
+            }
+            OpKind::MutexLock { m } => format!("lock m{m}"),
+            OpKind::MutexUnlock { m } => format!("unlock m{m}"),
+            OpKind::CondWait { cv, m } => format!("cond-wait cv{cv} m{m}"),
+            OpKind::CondNotifyOne { cv } => format!("notify-one cv{cv}"),
+            OpKind::CondNotifyAll { cv } => format!("notify-all cv{cv}"),
+            OpKind::Yield => "yield".into(),
+            OpKind::DeadlineCheck { d } => format!("deadline d{d}"),
+            OpKind::Reacquire { m, timed_out } => format!("reacquire m{m} timeout={timed_out}"),
+        }
+    }
+}
+
+/// Why an execution failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Failure {
+    /// No thread can make progress and not all are done (covers lost
+    /// wakeups in [`TimeMode::Never`] and all-threads-spinning livelock).
+    Deadlock {
+        /// Human-readable per-thread blocked states.
+        detail: String,
+    },
+    /// A logical thread panicked (assertion inside the modeled code).
+    Panic {
+        /// Logical thread id.
+        tid: usize,
+        /// Panic payload rendered to text.
+        message: String,
+    },
+    /// The model's end-of-execution property check failed.
+    Property {
+        /// The property violation.
+        message: String,
+    },
+    /// A replayed schedule no longer matches the code (op mismatch or
+    /// prescribed decision not enabled).
+    Divergence {
+        /// Step at which replay diverged.
+        step: usize,
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl Failure {
+    /// Stable kind tag for JSON traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Failure::Deadlock { .. } => "deadlock",
+            Failure::Panic { .. } => "panic",
+            Failure::Property { .. } => "property",
+            Failure::Divergence { .. } => "divergence",
+        }
+    }
+
+    /// Human-readable message.
+    pub fn message(&self) -> String {
+        match self {
+            Failure::Deadlock { detail } => detail.clone(),
+            Failure::Panic { tid, message } => format!("thread {tid}: {message}"),
+            Failure::Property { message } => message.clone(),
+            Failure::Divergence { step, detail } => format!("step {step}: {detail}"),
+        }
+    }
+}
+
+/// Vector clock over logical threads.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+    fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, v) in other.0.iter().enumerate() {
+            self.0[i] = self.0[i].max(*v);
+        }
+    }
+}
+
+/// Writer id of the initial store of every location (visible to all).
+const ROOT_WRITER: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Store {
+    val: u64,
+    writer: usize,
+    /// Writer's own clock component at store time (coherence stamp).
+    stamp: u64,
+    /// Release clock carried to acquiring readers; `None` for relaxed
+    /// stores.
+    clock: Option<VClock>,
+}
+
+struct Loc {
+    name: &'static str,
+    /// Modification order; index == mo position.
+    stores: Vec<Store>,
+}
+
+struct MutexState {
+    owner: Option<usize>,
+    clock: VClock,
+}
+
+struct CondvarState {
+    waiters: Vec<usize>,
+}
+
+/// How many times a deadline may nondeterministically report
+/// "not expired" before the model forces it to expire. Real time always
+/// advances, so a timeout-retry loop cannot poll forever; this bound is
+/// what makes Nondet-mode decision trees finite (DESIGN.md §16).
+const MAX_DEADLINE_POLLS: u32 = 2;
+
+#[derive(Clone, Copy)]
+struct DeadlineSt {
+    expired: bool,
+    polls: u32,
+}
+
+struct Memory {
+    locs: Vec<Loc>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CondvarState>,
+    deadlines: Vec<DeadlineSt>,
+    write_version: u64,
+}
+
+/// Where a logical thread currently stands.
+#[derive(Clone, Debug, PartialEq)]
+enum TState {
+    /// Spawned but has not yet submitted its `Start` op.
+    Starting,
+    /// Submitted an op; waiting for the controller to grant it.
+    Pending(OpKind),
+    /// Granted; executing user code between ops.
+    Running,
+    /// Parked inside a condvar wait.
+    CvWaiting {
+        cv: usize,
+        m: usize,
+    },
+    /// Parked in a spin yield until the write version advances.
+    SpinWaiting {
+        seen: u64,
+    },
+    Done,
+}
+
+/// What a granted thread receives back from the controller.
+#[derive(Clone, Copy, Debug)]
+enum Grant {
+    Proceed {
+        load_val: u64,
+        timed_out: bool,
+        expired: bool,
+    },
+    Abort,
+}
+
+struct Slot {
+    state: TState,
+    grant: Option<Grant>,
+    clock: VClock,
+    /// Read-read coherence + bounded-staleness fairness: per location,
+    /// the last mo read and how often the same mo repeated.
+    last_read: HashMap<usize, (usize, u32)>,
+    /// Locations this thread has loaded since its last yield — the
+    /// "spin read set" a park decision is judged against.
+    spin_reads: Vec<usize>,
+    panic_msg: Option<String>,
+}
+
+/// Shared controller state (public only for `OpKind::describe`).
+pub struct Ctl {
+    memory: Memory,
+    threads: Vec<Slot>,
+    /// Build/finale inline mode: ops apply immediately, deterministically.
+    inline: bool,
+    aborting: bool,
+    steps: usize,
+}
+
+/// Payload of the panic used to unwind aborted logical threads.
+pub struct ModelAbort;
+
+struct Shared {
+    ctl: Mutex<Ctl>,
+    cv: Condvar,
+    mode: TimeMode,
+}
+
+/// Handle to the running execution; the model-family shim types hold one
+/// through a thread-local (see `family`).
+#[derive(Clone)]
+pub struct ExecHandle {
+    shared: Arc<Shared>,
+}
+
+/// Registration results are plain ids; shim types store them.
+impl ExecHandle {
+    /// Registers an atomic location with its initial value.
+    pub fn register_loc(&self, name: &'static str, init: u64) -> usize {
+        let mut ctl = self.shared.ctl.lock().unwrap();
+        ctl.memory.locs.push(Loc {
+            name,
+            stores: vec![Store {
+                val: init,
+                writer: ROOT_WRITER,
+                stamp: 0,
+                clock: None,
+            }],
+        });
+        ctl.memory.locs.len() - 1
+    }
+
+    /// Registers a mutex.
+    pub fn register_mutex(&self) -> usize {
+        let mut ctl = self.shared.ctl.lock().unwrap();
+        ctl.memory.mutexes.push(MutexState {
+            owner: None,
+            clock: VClock::default(),
+        });
+        ctl.memory.mutexes.len() - 1
+    }
+
+    /// Registers a condvar.
+    pub fn register_condvar(&self) -> usize {
+        let mut ctl = self.shared.ctl.lock().unwrap();
+        ctl.memory.condvars.push(CondvarState {
+            waiters: Vec::new(),
+        });
+        ctl.memory.condvars.len() - 1
+    }
+
+    /// Registers (arms) a deadline; starts unexpired.
+    pub fn register_deadline(&self) -> usize {
+        let mut ctl = self.shared.ctl.lock().unwrap();
+        ctl.memory.deadlines.push(DeadlineSt {
+            expired: false,
+            polls: 0,
+        });
+        ctl.memory.deadlines.len() - 1
+    }
+
+    /// Submits `op` for the calling logical thread `tid` and blocks until
+    /// the controller grants it. Returns the grant payload.
+    ///
+    /// In inline mode (model build, finale property check, and any op
+    /// issued while unwinding) the op applies immediately with
+    /// deterministic latest-value semantics instead of scheduling.
+    pub fn op(&self, tid: usize, op: OpKind) -> (u64, bool, bool) {
+        let mut ctl = self.shared.ctl.lock().unwrap();
+        if ctl.inline || std::thread::panicking() {
+            let forced = std::thread::panicking();
+            return Ctl::apply_inline(&mut ctl, op, forced);
+        }
+        if ctl.aborting {
+            drop(ctl);
+            std::panic::panic_any(ModelAbort);
+        }
+        ctl.threads[tid].state = TState::Pending(op);
+        self.shared.cv.notify_all();
+        loop {
+            if let Some(grant) = ctl.threads[tid].grant.take() {
+                ctl.threads[tid].state = TState::Running;
+                return match grant {
+                    Grant::Proceed {
+                        load_val,
+                        timed_out,
+                        expired,
+                    } => (load_val, timed_out, expired),
+                    Grant::Abort => {
+                        drop(ctl);
+                        std::panic::panic_any(ModelAbort);
+                    }
+                };
+            }
+            ctl = self.shared.cv.wait(ctl).unwrap();
+        }
+    }
+
+    fn mark_done(&self, tid: usize, panic_msg: Option<String>) {
+        let mut ctl = self.shared.ctl.lock().unwrap();
+        ctl.threads[tid].state = TState::Done;
+        ctl.threads[tid].panic_msg = panic_msg;
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Ctl {
+    /// Deterministic immediate application (build / finale / unwind).
+    fn apply_inline(ctl: &mut Ctl, op: OpKind, forced: bool) -> (u64, bool, bool) {
+        match op {
+            OpKind::Load { loc, .. } => {
+                let v = ctl.memory.locs[loc].stores.last().unwrap().val;
+                (v, false, false)
+            }
+            OpKind::Store { loc, val, .. } => {
+                let stamp = ctl.memory.locs[loc].stores.len() as u64;
+                ctl.memory.locs[loc].stores.push(Store {
+                    val,
+                    writer: ROOT_WRITER,
+                    stamp,
+                    clock: None,
+                });
+                ctl.memory.write_version += 1;
+                (0, false, false)
+            }
+            OpKind::RmwAdd { loc, delta, .. } => {
+                let old = ctl.memory.locs[loc].stores.last().unwrap().val;
+                let stamp = ctl.memory.locs[loc].stores.len() as u64;
+                ctl.memory.locs[loc].stores.push(Store {
+                    val: old.wrapping_add(delta),
+                    writer: ROOT_WRITER,
+                    stamp,
+                    clock: None,
+                });
+                ctl.memory.write_version += 1;
+                (old, false, false)
+            }
+            OpKind::MutexLock { m } | OpKind::Reacquire { m, .. } => {
+                // Inline mode is single-threaded (build/finale) or
+                // best-effort teardown (unwind): force-take the lock.
+                ctl.memory.mutexes[m].owner = Some(ROOT_WRITER);
+                (0, false, false)
+            }
+            OpKind::MutexUnlock { m } => {
+                ctl.memory.mutexes[m].owner = None;
+                (0, false, false)
+            }
+            // An inline condvar wait cannot park: report it timed out so
+            // retry loops drain out.
+            OpKind::CondWait { .. } => (0, true, false),
+            // Deadlines read as expired while unwinding so bounded retry
+            // loops in Drop impls terminate; otherwise report real state.
+            OpKind::DeadlineCheck { d } => {
+                let expired = forced || ctl.memory.deadlines[d].expired;
+                (0, false, expired)
+            }
+            OpKind::Start
+            | OpKind::CondNotifyOne { .. }
+            | OpKind::CondNotifyAll { .. }
+            | OpKind::Yield => (0, false, false),
+        }
+    }
+
+    /// All threads either need a controller decision or are finished.
+    fn quiescent(&self) -> bool {
+        self.threads.iter().all(|t| {
+            matches!(
+                t.state,
+                TState::Pending(_)
+                    | TState::CvWaiting { .. }
+                    | TState::SpinWaiting { .. }
+                    | TState::Done
+            )
+        })
+    }
+
+    fn all_done(&self) -> bool {
+        self.threads.iter().all(|t| t.state == TState::Done)
+    }
+
+    /// The readable-store index set for `tid` loading `loc`.
+    fn readable(&self, tid: usize, loc: usize, ord: MemOrd) -> Vec<usize> {
+        let stores = &self.memory.locs[loc].stores;
+        let latest = stores.len() - 1;
+        if ord == MemOrd::SeqCst {
+            // Documented approximation: SeqCst loads observe only the
+            // latest store (no weaker-than-SC outcomes for SC accesses).
+            return vec![latest];
+        }
+        let slot = &self.threads[tid];
+        // Happens-before coherence: any store hb-known to the reader
+        // obsoletes all earlier stores.
+        let mut cutoff = 0usize;
+        for (mo, s) in self.memory.locs[loc].stores.iter().enumerate() {
+            let known = s.writer == ROOT_WRITER || slot.clock.get(s.writer) >= s.stamp;
+            if known {
+                cutoff = cutoff.max(mo);
+            }
+        }
+        // Read-read coherence: never go backwards in mo.
+        let (mut last_mo, repeats) = slot.last_read.get(&loc).copied().unwrap_or((0, 0));
+        if last_mo > latest {
+            last_mo = latest;
+        }
+        cutoff = cutoff.max(last_mo);
+        // Bounded staleness (fairness): after one repeated read of the
+        // same store while a newer one is readable, force progress so
+        // spin loops terminate.
+        if repeats >= 1 && cutoff < latest {
+            cutoff += 1;
+        }
+        (cutoff..=latest).collect()
+    }
+
+    /// Every decision currently possible, with the op it would run.
+    fn enabled(&self, mode: TimeMode) -> Vec<(Decision, OpKind)> {
+        let mut out = Vec::new();
+        for (tid, slot) in self.threads.iter().enumerate() {
+            match &slot.state {
+                TState::Pending(op) => match op {
+                    OpKind::Load { loc, ord } => {
+                        for (i, _) in self.readable(tid, *loc, *ord).iter().enumerate() {
+                            out.push((
+                                Decision {
+                                    tid,
+                                    variant: i as u32,
+                                    timeout: false,
+                                },
+                                op.clone(),
+                            ));
+                        }
+                    }
+                    OpKind::MutexLock { m } | OpKind::Reacquire { m, .. } => {
+                        if self.memory.mutexes[*m].owner.is_none() {
+                            out.push((
+                                Decision {
+                                    tid,
+                                    variant: 0,
+                                    timeout: false,
+                                },
+                                op.clone(),
+                            ));
+                        }
+                    }
+                    OpKind::CondNotifyOne { cv } => {
+                        let n = self.memory.condvars[*cv].waiters.len().max(1);
+                        for v in 0..n {
+                            out.push((
+                                Decision {
+                                    tid,
+                                    variant: v as u32,
+                                    timeout: false,
+                                },
+                                op.clone(),
+                            ));
+                        }
+                    }
+                    OpKind::DeadlineCheck { d } => {
+                        let dl = self.memory.deadlines[*d];
+                        let variants: &[u32] = if dl.expired || mode == TimeMode::Never {
+                            &[0]
+                        } else if dl.polls >= MAX_DEADLINE_POLLS {
+                            // Poll budget exhausted: time must advance.
+                            &[1]
+                        } else {
+                            &[0, 1]
+                        };
+                        for &v in variants {
+                            out.push((
+                                Decision {
+                                    tid,
+                                    variant: v,
+                                    timeout: false,
+                                },
+                                op.clone(),
+                            ));
+                        }
+                    }
+                    _ => out.push((
+                        Decision {
+                            tid,
+                            variant: 0,
+                            timeout: false,
+                        },
+                        op.clone(),
+                    )),
+                },
+                TState::CvWaiting { cv, m } if mode == TimeMode::Nondet => {
+                    out.push((
+                        Decision {
+                            tid,
+                            variant: 0,
+                            timeout: true,
+                        },
+                        OpKind::CondWait { cv: *cv, m: *m },
+                    ));
+                }
+                TState::SpinWaiting { seen } if self.memory.write_version > *seen => {
+                    out.push((
+                        Decision {
+                            tid,
+                            variant: 0,
+                            timeout: false,
+                        },
+                        OpKind::Yield,
+                    ));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Executes `d` against the model state; returns the op that ran.
+    fn apply(&mut self, d: Decision, _mode: TimeMode) -> OpKind {
+        self.steps += 1;
+        let tid = d.tid;
+        self.threads[tid].clock.bump(tid);
+
+        if d.timeout {
+            // Fire the wait timeout: the parked thread converts to a
+            // mutex reacquisition reporting `timed_out`.
+            let TState::CvWaiting { cv, m } = self.threads[tid].state.clone() else {
+                unreachable!("timeout decision on non-waiting thread");
+            };
+            self.memory.condvars[cv].waiters.retain(|&w| w != tid);
+            self.threads[tid].state = TState::Pending(OpKind::Reacquire { m, timed_out: true });
+            return OpKind::CondWait { cv, m };
+        }
+
+        let op = match &self.threads[tid].state {
+            TState::Pending(op) => op.clone(),
+            TState::SpinWaiting { .. } => OpKind::Yield,
+            other => unreachable!("decision on thread in state {other:?}"),
+        };
+
+        match &op {
+            OpKind::Start => self.grant(tid, 0, false, false),
+            OpKind::Load { loc, ord } => {
+                let readable = self.readable(tid, *loc, *ord);
+                let mo = readable[d.variant as usize];
+                let (val, join) = {
+                    let s = &self.memory.locs[*loc].stores[mo];
+                    (
+                        val_of(s),
+                        if ord.acquires() {
+                            s.clock.clone()
+                        } else {
+                            None
+                        },
+                    )
+                };
+                if let Some(c) = join {
+                    self.threads[tid].clock.join(&c);
+                }
+                let slot = &mut self.threads[tid];
+                let entry = slot.last_read.entry(*loc).or_insert((0, 0));
+                if entry.0 == mo {
+                    entry.1 += 1;
+                } else {
+                    *entry = (mo, 0);
+                }
+                if !slot.spin_reads.contains(loc) {
+                    slot.spin_reads.push(*loc);
+                }
+                self.grant(tid, val, false, false);
+            }
+            OpKind::Store { loc, val, ord } => {
+                let stamp = self.threads[tid].clock.get(tid);
+                let clock = ord.releases().then(|| self.threads[tid].clock.clone());
+                self.memory.locs[*loc].stores.push(Store {
+                    val: *val,
+                    writer: tid,
+                    stamp,
+                    clock,
+                });
+                let mo = self.memory.locs[*loc].stores.len() - 1;
+                self.threads[tid].last_read.insert(*loc, (mo, 0));
+                self.memory.write_version += 1;
+                self.grant(tid, 0, false, false);
+            }
+            OpKind::RmwAdd { loc, delta, ord } => {
+                // RMWs are mo-atomic: always read-modify the latest store.
+                let (old, prev_clock) = {
+                    let s = self.memory.locs[*loc].stores.last().unwrap();
+                    (s.val, s.clock.clone())
+                };
+                if ord.acquires() {
+                    if let Some(c) = &prev_clock {
+                        self.threads[tid].clock.join(c);
+                    }
+                }
+                let stamp = self.threads[tid].clock.get(tid);
+                // Release sequence for RMW chains: a releasing RMW
+                // carries its own clock, which (having joined the
+                // previous store's clock when acquiring) keeps AcqRel
+                // fetch-add chains transitive.
+                let clock = ord.releases().then(|| self.threads[tid].clock.clone());
+                self.memory.locs[*loc].stores.push(Store {
+                    val: old.wrapping_add(*delta),
+                    writer: tid,
+                    stamp,
+                    clock,
+                });
+                let mo = self.memory.locs[*loc].stores.len() - 1;
+                self.threads[tid].last_read.insert(*loc, (mo, 0));
+                self.memory.write_version += 1;
+                self.grant(tid, old, false, false);
+            }
+            OpKind::MutexLock { m } => {
+                debug_assert!(self.memory.mutexes[*m].owner.is_none());
+                self.memory.mutexes[*m].owner = Some(tid);
+                let clock = self.memory.mutexes[*m].clock.clone();
+                self.threads[tid].clock.join(&clock);
+                self.grant(tid, 0, false, false);
+            }
+            OpKind::MutexUnlock { m } => {
+                self.memory.mutexes[*m].owner = None;
+                let released = self.threads[tid].clock.clone();
+                self.memory.mutexes[*m].clock.join(&released);
+                self.grant(tid, 0, false, false);
+            }
+            OpKind::CondWait { cv, m } => {
+                // Atomically release the mutex and park; no grant — the
+                // thread wakes through notify or timeout as a Reacquire.
+                self.memory.mutexes[*m].owner = None;
+                let released = self.threads[tid].clock.clone();
+                self.memory.mutexes[*m].clock.join(&released);
+                self.memory.condvars[*cv].waiters.push(tid);
+                self.threads[tid].state = TState::CvWaiting { cv: *cv, m: *m };
+            }
+            OpKind::CondNotifyOne { cv } => {
+                let waiters = &mut self.memory.condvars[*cv].waiters;
+                if !waiters.is_empty() {
+                    let w = waiters.remove(d.variant as usize);
+                    let TState::CvWaiting { m, .. } = self.threads[w].state else {
+                        unreachable!("waiter list out of sync");
+                    };
+                    self.threads[w].state = TState::Pending(OpKind::Reacquire {
+                        m,
+                        timed_out: false,
+                    });
+                }
+                self.grant(tid, 0, false, false);
+            }
+            OpKind::CondNotifyAll { cv } => {
+                let waiters = std::mem::take(&mut self.memory.condvars[*cv].waiters);
+                for w in waiters {
+                    let TState::CvWaiting { m, .. } = self.threads[w].state else {
+                        unreachable!("waiter list out of sync");
+                    };
+                    self.threads[w].state = TState::Pending(OpKind::Reacquire {
+                        m,
+                        timed_out: false,
+                    });
+                }
+                self.grant(tid, 0, false, false);
+            }
+            OpKind::Yield => {
+                if matches!(self.threads[tid].state, TState::SpinWaiting { .. }) {
+                    // Waking from the park: return to the spin loop.
+                    self.threads[tid].grant = Some(Grant::Proceed {
+                        load_val: 0,
+                        timed_out: false,
+                        expired: false,
+                    });
+                    self.threads[tid].state = TState::Running;
+                    self.threads[tid].spin_reads.clear();
+                } else {
+                    // A spinner may only park once it has read the latest
+                    // store of every location it polled this loop pass.
+                    // Parking on a stale read would miss a release that
+                    // already happened (no further write will ever come to
+                    // advance the write version) and report a false
+                    // deadlock; a no-op yield keeps the thread runnable so
+                    // the bounded-staleness rule forces its next read
+                    // forward instead.
+                    let stale = self.threads[tid].spin_reads.iter().any(|&loc| {
+                        let latest = self.memory.locs[loc].stores.len() - 1;
+                        self.threads[tid]
+                            .last_read
+                            .get(&loc)
+                            .is_none_or(|&(mo, _)| mo < latest)
+                    });
+                    self.threads[tid].spin_reads.clear();
+                    if stale {
+                        self.grant(tid, 0, false, false);
+                    } else {
+                        // Entering the park: no grant until a write lands.
+                        self.threads[tid].state = TState::SpinWaiting {
+                            seen: self.memory.write_version,
+                        };
+                    }
+                }
+            }
+            OpKind::DeadlineCheck { d: dl } => {
+                if d.variant == 1 {
+                    self.memory.deadlines[*dl].expired = true;
+                } else {
+                    self.memory.deadlines[*dl].polls += 1;
+                }
+                let expired = self.memory.deadlines[*dl].expired;
+                self.grant(tid, 0, false, expired);
+            }
+            OpKind::Reacquire { m, timed_out } => {
+                debug_assert!(self.memory.mutexes[*m].owner.is_none());
+                self.memory.mutexes[*m].owner = Some(tid);
+                let clock = self.memory.mutexes[*m].clock.clone();
+                self.threads[tid].clock.join(&clock);
+                self.grant(tid, 0, *timed_out, false);
+            }
+        }
+        op
+    }
+
+    fn grant(&mut self, tid: usize, load_val: u64, timed_out: bool, expired: bool) {
+        self.threads[tid].grant = Some(Grant::Proceed {
+            load_val,
+            timed_out,
+            expired,
+        });
+        self.threads[tid].state = TState::Running;
+    }
+
+    fn blocked_detail(&self) -> String {
+        let states: Vec<String> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state != TState::Done)
+            .map(|(i, t)| match &t.state {
+                TState::Pending(op) => format!("t{i} blocked on {op:?}"),
+                TState::CvWaiting { cv, m } => format!("t{i} waiting on cv{cv} (mutex m{m})"),
+                TState::SpinWaiting { .. } => format!("t{i} spinning (no writer can advance it)"),
+                other => format!("t{i} in {other:?}"),
+            })
+            .collect();
+        format!("deadlock: {}", states.join("; "))
+    }
+}
+
+fn val_of(s: &Store) -> u64 {
+    s.val
+}
+
+/// One fully-built scenario instance: the logical threads to run and the
+/// end-of-execution property check.
+pub struct Scenario {
+    /// Logical thread bodies (run once each).
+    pub threads: Vec<Box<dyn FnOnce() + Send>>,
+    /// Property check run after every thread finished (inline mode, with
+    /// join-like visibility of all writes).
+    pub check: Box<dyn FnOnce() -> Result<(), String>>,
+}
+
+/// A checkable concurrency scenario: builds a fresh [`Scenario`] per
+/// execution over the model sync family.
+pub trait Model: Sync {
+    /// Stable model name (goes into reports and traces).
+    fn name(&self) -> &'static str;
+    /// How time behaves for this model.
+    fn time_mode(&self) -> TimeMode;
+    /// Builds one fresh instance (called once per explored schedule).
+    fn build(&self) -> Scenario;
+}
+
+/// Everything one execution produced, as the explorer needs it.
+pub struct RunOutcome {
+    /// The full decision sequence executed.
+    pub decisions: Vec<Decision>,
+    /// The op each decision ran (parallel to `decisions`).
+    pub ops: Vec<OpKind>,
+    /// Human-readable op descriptions (parallel to `decisions`).
+    pub op_desc: Vec<String>,
+    /// At each step, every decision that was enabled (for backtracking).
+    pub enabled: Vec<Vec<(Decision, OpKind)>>,
+    /// The failure, if the execution failed.
+    pub failure: Option<Failure>,
+    /// Steps executed.
+    pub steps: usize,
+    /// True when the step budget cut the execution short.
+    pub truncated: bool,
+}
+
+/// Runs one execution of `model`, replaying `prefix` first and then
+/// following the deterministic default policy (lowest tid, lowest
+/// variant). `strict_prefix` additionally validates each replayed step's
+/// op against `expect_ops` (replay mode).
+pub fn run_one(
+    model: &dyn Model,
+    prefix: &[Decision],
+    expect_ops: Option<&[String]>,
+    max_steps: usize,
+) -> RunOutcome {
+    let shared = Arc::new(Shared {
+        ctl: Mutex::new(Ctl {
+            memory: Memory {
+                locs: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                deadlines: Vec::new(),
+                write_version: 0,
+            },
+            threads: Vec::new(),
+            inline: true,
+            aborting: false,
+            steps: 0,
+        }),
+        cv: Condvar::new(),
+        mode: model.time_mode(),
+    });
+    let handle = ExecHandle {
+        shared: Arc::clone(&shared),
+    };
+
+    // Build the scenario with the execution installed so shim
+    // constructors register their locations (inline mode).
+    crate::family::install(Some(handle.clone()));
+    let Scenario { threads, check } = model.build();
+    let n_threads = threads.len();
+    {
+        let mut ctl = shared.ctl.lock().unwrap();
+        ctl.inline = false;
+        for _ in 0..n_threads {
+            ctl.threads.push(Slot {
+                state: TState::Starting,
+                grant: None,
+                clock: VClock::default(),
+                last_read: HashMap::new(),
+                spin_reads: Vec::new(),
+                panic_msg: None,
+            });
+        }
+    }
+
+    // Spawn the logical threads; each submits Start as its first op.
+    let mut joins = Vec::with_capacity(n_threads);
+    for (tid, body) in threads.into_iter().enumerate() {
+        let h = handle.clone();
+        joins.push(std::thread::spawn(move || {
+            crate::family::install(Some(h.clone()));
+            crate::family::set_tid(tid);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                h.op(tid, OpKind::Start);
+                body();
+            }));
+            let panic_msg = match result {
+                Ok(()) => None,
+                Err(payload) => {
+                    if payload.is::<ModelAbort>() {
+                        None
+                    } else {
+                        Some(panic_text(payload))
+                    }
+                }
+            };
+            h.mark_done(tid, panic_msg);
+            crate::family::install(None);
+        }));
+    }
+
+    // Controller loop.
+    let mut decisions = Vec::new();
+    let mut ops = Vec::new();
+    let mut op_desc = Vec::new();
+    let mut enabled_log = Vec::new();
+    let mut truncated = false;
+    let mut failure: Option<Failure> = None;
+    {
+        let mut ctl = shared.ctl.lock().unwrap();
+        loop {
+            while !ctl.quiescent() {
+                ctl = shared.cv.wait(ctl).unwrap();
+            }
+            // A thread that panicked (not aborted) ends the execution.
+            if failure.is_none() {
+                for (tid, t) in ctl.threads.iter_mut().enumerate() {
+                    if let Some(msg) = t.panic_msg.take() {
+                        failure = Some(Failure::Panic { tid, message: msg });
+                    }
+                }
+            }
+            if ctl.all_done() {
+                break;
+            }
+            if failure.is_some() || truncated {
+                // Abort the remaining threads deterministically.
+                ctl.aborting = true;
+                for t in ctl.threads.iter_mut() {
+                    if t.state != TState::Done && t.state != TState::Running {
+                        t.grant = Some(Grant::Abort);
+                        t.state = TState::Running;
+                    }
+                }
+                shared.cv.notify_all();
+                continue;
+            }
+            let enabled = ctl.enabled(shared.mode);
+            if enabled.is_empty() {
+                failure = Some(Failure::Deadlock {
+                    detail: ctl.blocked_detail(),
+                });
+                continue;
+            }
+            let step = decisions.len();
+            let d = if step < prefix.len() {
+                let want = prefix[step];
+                if !enabled.iter().any(|(e, _)| *e == want) {
+                    failure = Some(Failure::Divergence {
+                        step,
+                        detail: format!(
+                            "prescribed decision {want:?} not enabled; enabled: {:?}",
+                            enabled.iter().map(|(e, _)| e).collect::<Vec<_>>()
+                        ),
+                    });
+                    continue;
+                }
+                want
+            } else {
+                // Default policy: lowest tid, then lowest variant, ops
+                // before timeouts — deterministic.
+                let mut best = enabled[0].0;
+                for (e, _) in &enabled {
+                    if (e.tid, e.timeout, e.variant) < (best.tid, best.timeout, best.variant) {
+                        best = *e;
+                    }
+                }
+                best
+            };
+            enabled_log.push(enabled);
+            let op = ctl.apply(d, shared.mode);
+            let desc = op.describe(&ctl);
+            if let Some(expect) = expect_ops {
+                if step < expect.len() && expect[step] != desc {
+                    failure = Some(Failure::Divergence {
+                        step,
+                        detail: format!("expected op `{}`, code ran `{desc}`", expect[step]),
+                    });
+                    // Fall through: the op already applied; abort next
+                    // round.
+                }
+            }
+            decisions.push(d);
+            ops.push(op);
+            op_desc.push(desc);
+            if decisions.len() >= max_steps {
+                truncated = true;
+            }
+            shared.cv.notify_all();
+        }
+        ctl.inline = true;
+    }
+
+    for j in joins {
+        let _ = j.join();
+    }
+
+    // Finale: the property check runs inline with full visibility.
+    if failure.is_none() && !truncated {
+        let result = catch_unwind(AssertUnwindSafe(check));
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => failure = Some(Failure::Property { message: msg }),
+            Err(payload) => {
+                failure = Some(Failure::Property {
+                    message: panic_text(payload),
+                })
+            }
+        }
+    }
+    crate::family::install(None);
+
+    let steps = decisions.len();
+    RunOutcome {
+        decisions,
+        ops,
+        op_desc,
+        enabled: enabled_log,
+        failure,
+        steps,
+        truncated,
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

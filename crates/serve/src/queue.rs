@@ -7,10 +7,17 @@
 //! without bound. Dispatchers pop highest-priority-first, FIFO within a
 //! class, blocking on a condvar with a timeout so they can notice drain
 //! requests promptly.
+//!
+//! The queue is generic over a [`SyncFamily`] so the model checker can
+//! exhaustively explore push/pop/close interleavings — including the
+//! lost-wakeup window between dropping the lock and notifying — on this
+//! exact code (DESIGN.md §16). Production code uses the default
+//! [`StdFamily`] instantiation, which compiles to plain `std` types.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use threefive_sync::shim::{CondvarShim, MutexShim, StdFamily, SyncFamily};
 
 use crate::job::{JobId, JobSpec, Rejected, PRIORITIES};
 
@@ -58,24 +65,31 @@ struct Classes {
 }
 
 /// Bounded multi-priority queue between admission and dispatch.
-pub struct AdmissionQueue {
-    inner: Mutex<Classes>,
-    nonempty: Condvar,
+pub struct AdmissionQueue<F: SyncFamily = StdFamily> {
+    inner: F::Mutex<Classes>,
+    nonempty: F::Condvar,
     cap: usize,
 }
 
 impl AdmissionQueue {
     /// Creates a queue holding at most `capacity` jobs across all
-    /// priority classes.
+    /// priority classes (the production [`StdFamily`] instantiation).
     pub fn new(capacity: usize) -> Self {
+        Self::new_in(capacity)
+    }
+}
+
+impl<F: SyncFamily> AdmissionQueue<F> {
+    /// Creates a queue holding at most `capacity` jobs in family `F`.
+    pub fn new_in(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         Self {
-            inner: Mutex::new(Classes {
+            inner: F::Mutex::new(Classes {
                 lanes: std::array::from_fn(|_| VecDeque::new()),
                 len: 0,
                 closed: false,
             }),
-            nonempty: Condvar::new(),
+            nonempty: F::Condvar::new(),
             cap: capacity,
         }
     }
@@ -87,7 +101,7 @@ impl AdmissionQueue {
 
     /// Jobs currently queued (all classes).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len
+        self.inner.lock().len
     }
 
     /// Whether the queue holds no jobs.
@@ -98,7 +112,7 @@ impl AdmissionQueue {
     /// Admits a job, or refuses with a typed rejection: `ShuttingDown`
     /// once [`close`](Self::close) was called, `QueueFull` at capacity.
     pub fn push(&self, job: QueuedJob) -> Result<(), Rejected> {
-        let mut q = self.inner.lock().unwrap();
+        let mut q = self.inner.lock();
         if q.closed {
             return Err(Rejected::ShuttingDown);
         }
@@ -118,8 +132,8 @@ impl AdmissionQueue {
     /// [`close`](Self::close), already-queued jobs continue to pop (drain) until
     /// the queue is empty, then every waiter gets [`Popped::Closed`].
     pub fn pop(&self, timeout: Duration) -> Popped {
-        let deadline = Instant::now() + timeout;
-        let mut q = self.inner.lock().unwrap();
+        let deadline = F::deadline(timeout);
+        let mut q = self.inner.lock();
         loop {
             if q.len > 0 {
                 for lane in q.lanes.iter_mut().rev() {
@@ -133,16 +147,12 @@ impl AdmissionQueue {
             if q.closed {
                 return Popped::Closed;
             }
-            let now = Instant::now();
-            let Some(wait) = deadline
-                .checked_duration_since(now)
-                .filter(|d| !d.is_zero())
-            else {
+            let Some(wait) = F::remaining(deadline) else {
                 return Popped::Empty;
             };
-            let (guard, result) = self.nonempty.wait_timeout(q, wait).unwrap();
+            let (guard, timed_out) = self.nonempty.wait_timeout(q, wait);
             q = guard;
-            if result.timed_out() && q.len == 0 {
+            if timed_out && q.len == 0 {
                 return if q.closed {
                     Popped::Closed
                 } else {
@@ -155,7 +165,7 @@ impl AdmissionQueue {
     /// Closes admission: subsequent pushes fail with `ShuttingDown`,
     /// queued jobs keep draining, and blocked poppers wake.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.inner.lock().closed = true;
         self.nonempty.notify_all();
     }
 }

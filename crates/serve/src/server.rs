@@ -342,6 +342,8 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let inner = Arc::clone(&self.inner);
+                    // ORDERING: Relaxed — pure ID allocation; uniqueness
+                    // comes from RMW atomicity, no ordering needed.
                     let id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
                     conn_handles.push(
                         std::thread::Builder::new()
@@ -613,6 +615,8 @@ fn process_request(inner: &Arc<Inner>, doc: &Json, conn_id: u64) -> Option<Respo
                 );
                 return Some(Response::Rejected(rejected));
             }
+            // ORDERING: Relaxed — pure ID allocation; uniqueness comes
+            // from RMW atomicity, no ordering needed.
             let id = inner.next_job_id.fetch_add(1, Ordering::Relaxed);
             let kernel = spec.workload.kernel_label();
             let job = QueuedJob {

@@ -1,8 +1,8 @@
 //! Centralized sense-reversing spin barrier.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use crate::shim::{AtomicBoolShim, AtomicUsizeShim, Ordering, StdFamily, SyncFamily};
 use crate::SyncError;
 
 /// A spin barrier for a fixed set of `n` threads.
@@ -17,6 +17,11 @@ use crate::SyncError;
 /// syscall; waiting burns CPU, which is the right trade-off for the 3.5-D
 /// executor where the barrier separates back-to-back compute phases
 /// microseconds apart.
+///
+/// The barrier is generic over a [`SyncFamily`] so the model checker can
+/// run this exact code under a deterministic scheduler (DESIGN.md §16);
+/// production code uses the default [`StdFamily`] instantiation, which
+/// monomorphizes to plain `std` atomics.
 ///
 /// # Fault tolerance
 ///
@@ -37,25 +42,36 @@ use crate::SyncError;
 /// The zero-cost [`wait`](SpinBarrier::wait) fast path is unchanged and
 /// unaware of poisoning; mix it with the checked API only when no fault
 /// can occur between the plain waits.
-pub struct SpinBarrier {
+pub struct SpinBarrier<F: SyncFamily = StdFamily> {
     n: usize,
-    count: AtomicUsize,
-    generation: AtomicUsize,
-    poisoned: AtomicBool,
+    count: F::AtomicUsize,
+    generation: F::AtomicUsize,
+    poisoned: F::AtomicBool,
 }
 
 impl SpinBarrier {
-    /// Creates a barrier for `n` participating threads.
+    /// Creates a barrier for `n` participating threads (the production
+    /// [`StdFamily`] instantiation).
     ///
     /// # Panics
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
+        Self::new_in(n)
+    }
+}
+
+impl<F: SyncFamily> SpinBarrier<F> {
+    /// Creates a barrier for `n` participating threads in family `F`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new_in(n: usize) -> Self {
         assert!(n > 0, "SpinBarrier: need at least one thread");
         Self {
             n,
-            count: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
-            poisoned: AtomicBool::new(false),
+            count: F::AtomicUsize::named(0, "barrier.count"),
+            generation: F::AtomicUsize::named(0, "barrier.generation"),
+            poisoned: F::AtomicBool::named(false, "barrier.poisoned"),
         }
     }
 
@@ -71,29 +87,37 @@ impl SpinBarrier {
     /// arrival), mirroring `std::sync::Barrier`'s leader flag.
     #[inline]
     pub fn wait(&self) -> bool {
+        // ORDERING: Acquire pairs with the leader's Release generation
+        // store; a stale read only costs a lapped spinner an extra loop.
         let gen = self.generation.load(Ordering::Acquire);
-        // AcqRel: the increment publishes this thread's pre-barrier writes
-        // to the releasing thread and orders the release after all arrivals.
+        // ORDERING: AcqRel — the increment publishes this thread's
+        // pre-barrier writes to the releasing thread and orders the
+        // release after all arrivals.
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
             // Last arrival: reset for the next episode, then release.
             // Spinners cannot touch `count` again until they observe the
             // new generation, so the reset cannot race with re-arrivals.
-            // analyze:allow(relaxed-ordering) published by the Release generation store below
+            // ORDERING: Relaxed — published by the Release generation
+            // store below; no thread reads `count` before observing it.
             self.count.store(0, Ordering::Relaxed);
+            // ORDERING: Release publishes the count reset and every
+            // arrival's writes to the spinners' Acquire loads.
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
             true
         } else {
             let mut spins = 0u32;
+            // ORDERING: Acquire pairs with the leader's Release store so
+            // exiting the loop also acquires all pre-barrier writes.
             while self.generation.load(Ordering::Acquire) == gen {
                 // Spin locally while the release is imminent, then yield so
                 // oversubscribed configurations (threads > cores) make
                 // progress instead of burning the releasing thread's core.
-                spins += 1;
-                if spins < 1 << 12 {
-                    std::hint::spin_loop();
+                spins = spins.wrapping_add(1);
+                if spins < F::SPIN_YIELD_LIMIT {
+                    F::spin_hint();
                 } else {
-                    std::thread::yield_now();
+                    F::yield_now();
                 }
             }
             false
@@ -109,44 +133,57 @@ impl SpinBarrier {
     /// After any `Err`, the episode count is unreliable; the barrier must
     /// be [`reset`](SpinBarrier::reset) before reuse.
     pub fn checked_wait(&self, deadline: Option<Duration>) -> Result<bool, SyncError> {
+        // ORDERING: Acquire pairs with the Release in `poison()` so the
+        // poisoner's pre-poison state is visible to the draining waiter.
         if self.poisoned.load(Ordering::Acquire) {
             return Err(SyncError::BarrierPoisoned);
         }
-        let start = deadline.map(|_| Instant::now());
+        let armed = deadline.map(F::deadline);
+        // ORDERING: Acquire pairs with the leader's Release generation
+        // store (see `wait`).
         let gen = self.generation.load(Ordering::Acquire);
+        // ORDERING: AcqRel — publishes pre-barrier writes, orders the
+        // release after all arrivals (see `wait`).
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
-            // analyze:allow(relaxed-ordering) published by the Release generation store below
+            // ORDERING: Relaxed — published by the Release generation
+            // store below; no thread reads `count` before observing it.
             self.count.store(0, Ordering::Relaxed);
+            // ORDERING: Release publishes the count reset and every
+            // arrival's writes to the spinners' Acquire loads.
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
             // Release even when poisoned (so spinners drain), but report
             // the poison to the leader as well.
+            // ORDERING: Acquire pairs with the Release in `poison()`.
             if self.poisoned.load(Ordering::Acquire) {
                 return Err(SyncError::BarrierPoisoned);
             }
             Ok(true)
         } else {
             let mut spins = 0u32;
+            // ORDERING: Acquire pairs with the leader's Release store.
             while self.generation.load(Ordering::Acquire) == gen {
+                // ORDERING: Acquire pairs with the Release in `poison()`.
                 if self.poisoned.load(Ordering::Acquire) {
                     return Err(SyncError::BarrierPoisoned);
                 }
-                spins += 1;
-                if spins < 1 << 12 {
-                    std::hint::spin_loop();
+                spins = spins.wrapping_add(1);
+                if spins < F::SPIN_YIELD_LIMIT {
+                    F::spin_hint();
                 } else {
                     // Deadline checks piggyback on the slow (yielding)
                     // path: the first 4096 spins stay syscall- and
                     // clock-free, matching the fast path's latency.
-                    if let (Some(d), Some(t0)) = (deadline, start) {
-                        if t0.elapsed() > d {
+                    if let (Some(d), Some(t)) = (deadline, armed) {
+                        if F::expired(t) {
                             self.poison();
                             return Err(SyncError::BarrierTimeout { deadline: d });
                         }
                     }
-                    std::thread::yield_now();
+                    F::yield_now();
                 }
             }
+            // ORDERING: Acquire pairs with the Release in `poison()`.
             if self.poisoned.load(Ordering::Acquire) {
                 return Err(SyncError::BarrierPoisoned);
             }
@@ -159,14 +196,19 @@ impl SpinBarrier {
     /// [`SyncError::BarrierPoisoned`]; the executor's panic guard calls
     /// this so one dying worker cannot strand the rest of the team.
     pub fn poison(&self) {
+        // ORDERING: Release pairs with the waiters' Acquire poison loads
+        // so the poisoner's state is visible when the error is observed.
         self.poisoned.store(true, Ordering::Release);
         // Release current spinners; with the poison flag set they report
         // the error rather than treating this as a completed episode.
+        // ORDERING: Release publishes the poison flag store above to
+        // spinners that exit via the generation bump alone.
         self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Whether the barrier has been poisoned.
     pub fn is_poisoned(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release in `poison()`.
         self.poisoned.load(Ordering::Acquire)
     }
 
@@ -176,8 +218,11 @@ impl SpinBarrier {
     /// about to arrive at) the barrier — e.g. after `ThreadTeam::run`
     /// has returned, all members have drained by construction.
     pub fn reset(&self) {
-        // analyze:allow(relaxed-ordering) caller guarantees quiescence; no concurrent waiters exist
+        // ORDERING: Relaxed — caller guarantees quiescence; no concurrent
+        // waiters exist to observe the reset out of order.
         self.count.store(0, Ordering::Relaxed);
+        // ORDERING: Release so a subsequent checked waiter's Acquire sees
+        // a fully re-armed barrier.
         self.poisoned.store(false, Ordering::Release);
     }
 }
@@ -187,6 +232,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn single_thread_barrier_is_trivially_leader() {

@@ -131,6 +131,8 @@ impl Instrument {
     #[inline]
     pub fn add_compute_ns(&self, tid: usize, ns: u64) {
         if let Some(slot) = self.slots.as_ref().and_then(|s| s.get(tid)) {
+            // ORDERING: Relaxed — monotonic counter, each slot written by
+            // one thread; the team's barrier publishes it to `timing()`.
             slot.compute_ns.fetch_add(ns, Ordering::Relaxed);
         }
     }
@@ -140,6 +142,8 @@ impl Instrument {
     #[inline]
     pub fn add_barrier_ns(&self, tid: usize, ns: u64) {
         if let Some(slot) = self.slots.as_ref().and_then(|s| s.get(tid)) {
+            // ORDERING: Relaxed — same single-writer counter argument as
+            // `add_compute_ns`.
             slot.barrier_ns.fetch_add(ns, Ordering::Relaxed);
             slot.wait_hist[WaitHistogram::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         }
@@ -154,9 +158,12 @@ impl Instrument {
             .unwrap_or(&[])
             .iter()
             .map(|s| {
+                // ORDERING: Relaxed — snapshots are taken after the sweep's
+                // final barrier, which already ordered the workers' stores.
                 for (i, c) in s.wait_hist.iter().enumerate() {
                     wait_hist.counts[i] += c.load(Ordering::Relaxed);
                 }
+                // ORDERING: Relaxed — same post-barrier argument as above.
                 ThreadTiming {
                     compute_ns: s.compute_ns.load(Ordering::Relaxed),
                     barrier_ns: s.barrier_ns.load(Ordering::Relaxed),
@@ -172,6 +179,8 @@ impl Instrument {
     /// Zeroes the counters (between benchmark repetitions).
     pub fn reset(&self) {
         for s in self.slots.as_deref().unwrap_or(&[]) {
+            // ORDERING: Relaxed — reset happens between repetitions, with
+            // no sweep in flight; the next dispatch publishes the zeroes.
             s.compute_ns.store(0, Ordering::Relaxed);
             s.barrier_ns.store(0, Ordering::Relaxed);
             for c in &s.wait_hist {

@@ -42,6 +42,7 @@ mod observer;
 mod pad;
 mod pool;
 mod shared;
+pub mod shim;
 mod team;
 mod tournament;
 mod trace;
@@ -51,8 +52,11 @@ pub use error::SyncError;
 pub use instrument::{Instrument, SweepTiming, ThreadTiming, WaitHistogram, WAIT_HIST_BUCKETS};
 pub use observer::Observer;
 pub use pad::CachePadded;
-pub use pool::{TeamLease, TeamPool, DEFAULT_PROBE_DEADLINE};
+pub use pool::{TeamLease, TeamPool, TeamUnit, DEFAULT_PROBE_DEADLINE};
 pub use shared::SharedSlice;
+pub use shim::{
+    AtomicBoolShim, AtomicUsizeShim, CondvarShim, GuardOf, MutexShim, StdFamily, SyncFamily,
+};
 pub use team::ThreadTeam;
 pub use tournament::{TournamentBarrier, TournamentWaiter};
 pub use trace::{

@@ -24,61 +24,109 @@
 //! The pool is a cold-path allocator of execution contexts; all fast-path
 //! work happens inside the leased team. Checkout blocks (bounded) on a
 //! condvar rather than spinning.
+//!
+//! Like the barrier, the pool is generic over a [`SyncFamily`] *and* over
+//! the pooled unit ([`TeamUnit`]) so the model checker can exhaustively
+//! explore checkout/checkin/quarantine/heal against a scripted in-memory
+//! team (DESIGN.md §16). Production code uses the default
+//! `TeamPool<StdFamily, ThreadTeam>` instantiation.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
+use crate::shim::{AtomicUsizeShim, CondvarShim, MutexShim, Ordering, StdFamily, SyncFamily};
 use crate::{SyncError, ThreadTeam};
 
 /// Default watchdog deadline for the checkin/checkout health probes.
 pub const DEFAULT_PROBE_DEADLINE: Duration = Duration::from_millis(200);
 
-struct PoolInner {
+/// The pooled execution unit: what [`TeamPool`] creates, probes and
+/// quarantines. Production pools hold [`ThreadTeam`]s; the model checker
+/// substitutes a scripted team whose probe outcome the explored schedule
+/// controls.
+pub trait TeamUnit: Send {
+    /// Creates one unit with `threads` members.
+    fn create(threads: usize) -> Self;
+    /// Whether the unit is currently quarantined by its own watchdog
+    /// (a prior run left a straggler wedged inside).
+    fn is_quarantined(&self) -> bool;
+    /// One watchdogged no-op dispatch; `true` means every member answered
+    /// within `deadline` (and any earlier quarantine was healed on entry).
+    fn probe(&self, deadline: Duration) -> bool;
+}
+
+impl TeamUnit for ThreadTeam {
+    fn create(threads: usize) -> Self {
+        ThreadTeam::new(threads)
+    }
+
+    fn is_quarantined(&self) -> bool {
+        ThreadTeam::is_quarantined(self)
+    }
+
+    fn probe(&self, deadline: Duration) -> bool {
+        matches!(
+            self.try_run_for(Arc::new(|_tid: usize| {}), deadline),
+            Ok(()) | Err(SyncError::TeamPanicked { .. })
+        )
+    }
+}
+
+struct PoolInner<U> {
     /// Teams ready for checkout.
-    idle: Vec<ThreadTeam>,
+    idle: Vec<U>,
     /// Teams whose last health probe timed out; re-probed on checkout.
-    quarantined: Vec<ThreadTeam>,
+    quarantined: Vec<U>,
     /// Teams currently leased to jobs.
     leased: usize,
 }
 
 /// A fixed-size pool of persistent [`ThreadTeam`]s with quarantine/heal
 /// bookkeeping (see the module docs for the isolation protocol).
-pub struct TeamPool {
+pub struct TeamPool<F: SyncFamily = StdFamily, U: TeamUnit = ThreadTeam> {
     threads_per_team: usize,
     capacity: usize,
     probe_deadline: Duration,
-    inner: Mutex<PoolInner>,
-    freed: Condvar,
+    inner: F::Mutex<PoolInner<U>>,
+    freed: F::Condvar,
     /// Total quarantine entries (a suspect checkin probe timed out).
-    isolations: AtomicUsize,
+    isolations: F::AtomicUsize,
     /// Total heals (a quarantined team passed a later probe).
-    heals: AtomicUsize,
+    heals: F::AtomicUsize,
 }
 
 impl TeamPool {
-    /// Creates `teams` teams of `threads_per_team` members each, all idle.
+    /// Creates `teams` teams of `threads_per_team` members each, all idle
+    /// (the production [`StdFamily`]/[`ThreadTeam`] instantiation).
     ///
     /// # Panics
     /// Panics if `teams == 0` or `threads_per_team == 0`.
     pub fn new(teams: usize, threads_per_team: usize) -> Self {
+        Self::new_in(teams, threads_per_team)
+    }
+}
+
+impl<F: SyncFamily, U: TeamUnit> TeamPool<F, U> {
+    /// Creates `teams` units of `threads_per_team` members each in family
+    /// `F`, all idle.
+    ///
+    /// # Panics
+    /// Panics if `teams == 0` or `threads_per_team == 0`.
+    pub fn new_in(teams: usize, threads_per_team: usize) -> Self {
         assert!(teams > 0, "TeamPool: need at least one team");
         assert!(threads_per_team > 0, "TeamPool: need at least one thread");
         Self {
             threads_per_team,
             capacity: teams,
             probe_deadline: DEFAULT_PROBE_DEADLINE,
-            inner: Mutex::new(PoolInner {
-                idle: (0..teams)
-                    .map(|_| ThreadTeam::new(threads_per_team))
-                    .collect(),
+            inner: F::Mutex::new(PoolInner {
+                idle: (0..teams).map(|_| U::create(threads_per_team)).collect(),
                 quarantined: Vec::new(),
                 leased: 0,
             }),
-            freed: Condvar::new(),
-            isolations: AtomicUsize::new(0),
-            heals: AtomicUsize::new(0),
+            freed: F::Condvar::new(),
+            isolations: F::AtomicUsize::named(0, "pool.isolations"),
+            heals: F::AtomicUsize::named(0, "pool.heals"),
         }
     }
 
@@ -104,28 +152,31 @@ impl TeamPool {
     /// Teams currently ready for checkout (after reclaiming any healed
     /// quarantined teams).
     pub fn idle(&self) -> usize {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         self.reclaim_locked(&mut inner);
         inner.idle.len()
     }
 
     /// Teams currently in the quarantined side list.
     pub fn quarantined(&self) -> usize {
-        self.inner.lock().unwrap().quarantined.len()
+        self.inner.lock().quarantined.len()
     }
 
     /// Teams currently leased out.
     pub fn leased(&self) -> usize {
-        self.inner.lock().unwrap().leased
+        self.inner.lock().leased
     }
 
     /// Total times a suspect team was quarantined.
     pub fn isolation_count(&self) -> usize {
+        // ORDERING: Relaxed — monotonic stats counter; readers need no
+        // ordering with the pool state it summarizes.
         self.isolations.load(Ordering::Relaxed)
     }
 
     /// Total times a quarantined team healed and rejoined the idle set.
     pub fn heal_count(&self) -> usize {
+        // ORDERING: Relaxed — monotonic stats counter (see above).
         self.heals.load(Ordering::Relaxed)
     }
 
@@ -134,9 +185,9 @@ impl TeamPool {
     /// Returns `None` if no team became available in time — every team is
     /// leased or quarantined. The caller decides the policy (reject the
     /// job, retry, …); the pool never over-allocates.
-    pub fn checkout(&self, timeout: Duration) -> Option<TeamLease<'_>> {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.inner.lock().unwrap();
+    pub fn checkout(&self, timeout: Duration) -> Option<TeamLease<'_, F, U>> {
+        let deadline = F::deadline(timeout);
+        let mut inner = self.inner.lock();
         loop {
             self.reclaim_locked(&mut inner);
             if let Some(team) = inner.idle.pop() {
@@ -147,24 +198,23 @@ impl TeamPool {
                     suspect: false,
                 });
             }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            let (guard, _) = self.freed.wait_timeout(inner, deadline - now).unwrap();
+            let wait = F::remaining(deadline)?;
+            let (guard, _) = self.freed.wait_timeout(inner, wait);
             inner = guard;
         }
     }
 
     /// Re-probes every quarantined team; healed ones rejoin the idle set.
     ///
-    /// [`ThreadTeam::is_quarantined`] turning false means the straggler
+    /// [`TeamUnit::is_quarantined`] turning false means the straggler
     /// drained; the probe run then heals (re-arms) the team. Must be
     /// called with the pool lock held.
-    fn reclaim_locked(&self, inner: &mut PoolInner) {
+    fn reclaim_locked(&self, inner: &mut PoolInner<U>) {
         let mut still_quarantined = Vec::new();
         for team in inner.quarantined.drain(..) {
-            if !team.is_quarantined() && probe(&team, self.probe_deadline) {
+            if !team.is_quarantined() && team.probe(self.probe_deadline) {
+                // ORDERING: Relaxed — stats counter; the heal itself is
+                // published by the pool mutex we hold.
                 self.heals.fetch_add(1, Ordering::Relaxed);
                 inner.idle.push(team);
             } else {
@@ -175,20 +225,22 @@ impl TeamPool {
     }
 
     /// Returns a leased team to the pool (called by [`TeamLease::drop`]).
-    fn checkin(&self, team: ThreadTeam, suspect: bool) {
+    fn checkin(&self, team: U, suspect: bool) {
         let healthy = if suspect {
             // The job failed with a sync error: a member may still be
             // wedged inside the team. One watchdogged no-op run decides —
             // drained teams come back clean, stalled ones are isolated.
-            !team.is_quarantined() && probe(&team, self.probe_deadline)
+            !team.is_quarantined() && team.probe(self.probe_deadline)
         } else {
             true
         };
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.leased -= 1;
         if healthy {
             inner.idle.push(team);
         } else {
+            // ORDERING: Relaxed — stats counter; the quarantine move is
+            // published by the pool mutex we hold.
             self.isolations.fetch_add(1, Ordering::Relaxed);
             inner.quarantined.push(team);
         }
@@ -197,29 +249,20 @@ impl TeamPool {
     }
 }
 
-/// One watchdogged no-op dispatch; `true` means every member answered
-/// within the deadline (and any earlier quarantine was healed on entry).
-fn probe(team: &ThreadTeam, deadline: Duration) -> bool {
-    matches!(
-        team.try_run_for(Arc::new(|_tid: usize| {}), deadline),
-        Ok(()) | Err(SyncError::TeamPanicked { .. })
-    )
-}
-
 /// RAII lease on one pooled team; checked back in on drop.
 ///
 /// Call [`TeamLease::mark_suspect`] when the job running on this team
 /// failed with a sync error (panic, barrier timeout, stall) so checkin
 /// health-probes the team instead of trusting it.
-pub struct TeamLease<'a> {
-    pool: &'a TeamPool,
-    team: Option<ThreadTeam>,
+pub struct TeamLease<'a, F: SyncFamily = StdFamily, U: TeamUnit = ThreadTeam> {
+    pool: &'a TeamPool<F, U>,
+    team: Option<U>,
     suspect: bool,
 }
 
-impl TeamLease<'_> {
+impl<F: SyncFamily, U: TeamUnit> TeamLease<'_, F, U> {
     /// The leased team.
-    pub fn team(&self) -> &ThreadTeam {
+    pub fn team(&self) -> &U {
         self.team.as_ref().expect("lease is live until drop")
     }
 
@@ -229,14 +272,14 @@ impl TeamLease<'_> {
     }
 }
 
-impl std::ops::Deref for TeamLease<'_> {
-    type Target = ThreadTeam;
-    fn deref(&self) -> &ThreadTeam {
+impl<F: SyncFamily, U: TeamUnit> std::ops::Deref for TeamLease<'_, F, U> {
+    type Target = U;
+    fn deref(&self) -> &U {
         self.team()
     }
 }
 
-impl Drop for TeamLease<'_> {
+impl<F: SyncFamily, U: TeamUnit> Drop for TeamLease<'_, F, U> {
     fn drop(&mut self) {
         let team = self.team.take().expect("double drop is impossible");
         self.pool.checkin(team, self.suspect);
@@ -246,7 +289,7 @@ impl Drop for TeamLease<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
 
     #[test]
     fn checkout_runs_and_checkin_recycles() {

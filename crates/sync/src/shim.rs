@@ -1,0 +1,341 @@
+//! The sync-primitive shim: one generic seam between the hand-rolled
+//! concurrency layer and the deterministic model checker.
+//!
+//! Every coordination primitive in this crate (and the serve layer's
+//! admission queue) is written against the [`SyncFamily`] trait instead
+//! of concrete `std` types. In normal builds the single implementor in
+//! play is [`StdFamily`], whose associated types *are* the `std` types —
+//! no wrappers, no runtime dispatch — so after monomorphization the
+//! generic `SpinBarrier<StdFamily>` compiles to exactly the code the
+//! non-generic barrier compiled to. Under `threefive-modelcheck`, the
+//! same source instantiates with `ModelFamily`, whose types route every
+//! load, store, RMW, lock, unlock, wait and deadline check through a
+//! deterministic scheduler that exhaustively explores interleavings and
+//! weak-memory outcomes (DESIGN.md §16).
+//!
+//! The seam deliberately covers **time** as well as memory:
+//! [`SyncFamily::deadline`]/[`SyncFamily::expired`] abstract "has this
+//! wait timed out", which under the checker becomes a nondeterministic
+//! (but latching) choice — the only way to model a `checked_wait`
+//! deadline racing the last arrival without wall-clock flakiness.
+
+use std::time::{Duration, Instant};
+
+pub use std::sync::atomic::Ordering;
+
+/// Shim over `AtomicUsize`: the subset of the `std` API the sync layer
+/// uses. Implementors must make every method behave like the `std`
+/// method of the same name (the checker's implementor adds scheduling
+/// and weak-memory effects, never different semantics).
+pub trait AtomicUsizeShim: Send + Sync {
+    /// Creates the atomic holding `v`.
+    fn new(v: usize) -> Self;
+    /// Like [`AtomicUsizeShim::new`] but carries a debug label the
+    /// model checker surfaces in schedule traces. Zero-cost families
+    /// ignore the label.
+    fn named(v: usize, _name: &'static str) -> Self
+    where
+        Self: Sized,
+    {
+        Self::new(v)
+    }
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> usize;
+    /// Atomic store.
+    fn store(&self, v: usize, order: Ordering);
+    /// Atomic fetch-add, returning the previous value.
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize;
+}
+
+/// Shim over `AtomicBool` (see [`AtomicUsizeShim`]).
+pub trait AtomicBoolShim: Send + Sync {
+    /// Creates the atomic holding `v`.
+    fn new(v: bool) -> Self;
+    /// Labelled constructor for readable checker traces.
+    fn named(v: bool, _name: &'static str) -> Self
+    where
+        Self: Sized,
+    {
+        Self::new(v)
+    }
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> bool;
+    /// Atomic store.
+    fn store(&self, v: bool, order: Ordering);
+}
+
+/// Shim over `Mutex`. Lock poisoning is unwrapped inside the shim
+/// (matching the `.lock().unwrap()` idiom at every ported call site):
+/// a panic while holding the lock propagates to later lockers.
+pub trait MutexShim<T>: Send + Sync {
+    /// The RAII guard; unlocks on drop.
+    type Guard<'a>: std::ops::Deref<Target = T> + std::ops::DerefMut
+    where
+        Self: 'a,
+        T: 'a;
+    /// Creates the mutex holding `value`.
+    fn new(value: T) -> Self;
+    /// Acquires the lock, blocking until available.
+    ///
+    /// # Panics
+    /// Panics if the lock is poisoned (a holder panicked).
+    fn lock(&self) -> Self::Guard<'_>;
+}
+
+/// Shim over `Condvar`, tied to its family's mutex type so guards flow
+/// through `wait_timeout` without erasure.
+pub trait CondvarShim: Send + Sync + Sized {
+    /// The [`SyncFamily`] this condvar belongs to (fixes the guard type).
+    type Family: SyncFamily<Condvar = Self>;
+    /// Creates the condvar.
+    fn new() -> Self;
+    /// Wakes one waiter (no-op when nobody waits — condvars do not
+    /// buffer notifications, which is exactly the lost-wakeup hazard the
+    /// model checker explores).
+    fn notify_one(&self);
+    /// Wakes every waiter.
+    fn notify_all(&self);
+    /// Releases `guard`, waits for a notification or `timeout`, then
+    /// reacquires the lock. Returns the reacquired guard and whether
+    /// the wait timed out.
+    fn wait_timeout<'a, T: Send>(
+        &self,
+        guard: GuardOf<'a, Self::Family, T>,
+        timeout: Duration,
+    ) -> (GuardOf<'a, Self::Family, T>, bool);
+}
+
+/// The mutex guard type of family `F` protecting a `T`.
+pub type GuardOf<'a, F, T> = <<F as SyncFamily>::Mutex<T> as MutexShim<T>>::Guard<'a>;
+
+/// One coherent set of synchronization primitives.
+///
+/// The default everywhere is [`StdFamily`]; the model checker provides
+/// `ModelFamily`. Primitives written against this trait run unmodified
+/// under both — the trait is the *entire* surface the checker needs to
+/// control.
+pub trait SyncFamily: Sized + Send + Sync + 'static {
+    /// `AtomicUsize` of this family.
+    type AtomicUsize: AtomicUsizeShim;
+    /// `AtomicBool` of this family.
+    type AtomicBool: AtomicBoolShim;
+    /// `Mutex<T>` of this family.
+    type Mutex<T: Send>: MutexShim<T>;
+    /// `Condvar` of this family.
+    type Condvar: CondvarShim<Family = Self>;
+    /// An armed deadline produced by [`SyncFamily::deadline`].
+    type Deadline: Copy + Send;
+
+    /// Spin-loop iterations before a waiter downgrades from
+    /// [`SyncFamily::spin_hint`] to [`SyncFamily::yield_now`] (and
+    /// starts checking deadlines). The checker sets this to 0 so every
+    /// spin iteration is a schedule point with a deadline check.
+    const SPIN_YIELD_LIMIT: u32;
+
+    /// Busy-wait pause (`std::hint::spin_loop` in real builds).
+    fn spin_hint();
+    /// Cooperative yield; under the checker this parks the thread until
+    /// another thread performs a write (spin-wait fairness).
+    fn yield_now();
+    /// Arms a deadline `timeout` from now.
+    fn deadline(timeout: Duration) -> Self::Deadline;
+    /// Whether the armed deadline has elapsed. Under the checker this
+    /// is a nondeterministic *latching* choice: once a deadline reports
+    /// expired it stays expired, but the first `true` can be scheduled
+    /// at any point — including exactly between a partner's arrival and
+    /// our observation of it.
+    fn expired(deadline: Self::Deadline) -> bool;
+    /// Budget left on the armed deadline, `None` once elapsed. The
+    /// `Some` value is only ever used as a wait bound, so the checker's
+    /// dummy duration is harmless.
+    fn remaining(deadline: Self::Deadline) -> Option<Duration>;
+}
+
+/// The production family: every associated type is the `std` type
+/// itself, every method an `#[inline(always)]` passthrough, so generic
+/// primitives monomorphize to exactly their pre-shim code.
+pub struct StdFamily;
+
+impl AtomicUsizeShim for std::sync::atomic::AtomicUsize {
+    #[inline(always)]
+    fn new(v: usize) -> Self {
+        std::sync::atomic::AtomicUsize::new(v)
+    }
+    #[inline(always)]
+    fn load(&self, order: Ordering) -> usize {
+        std::sync::atomic::AtomicUsize::load(self, order)
+    }
+    #[inline(always)]
+    fn store(&self, v: usize, order: Ordering) {
+        std::sync::atomic::AtomicUsize::store(self, v, order)
+    }
+    #[inline(always)]
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        std::sync::atomic::AtomicUsize::fetch_add(self, v, order)
+    }
+}
+
+impl AtomicBoolShim for std::sync::atomic::AtomicBool {
+    #[inline(always)]
+    fn new(v: bool) -> Self {
+        std::sync::atomic::AtomicBool::new(v)
+    }
+    #[inline(always)]
+    fn load(&self, order: Ordering) -> bool {
+        std::sync::atomic::AtomicBool::load(self, order)
+    }
+    #[inline(always)]
+    fn store(&self, v: bool, order: Ordering) {
+        std::sync::atomic::AtomicBool::store(self, v, order)
+    }
+}
+
+impl<T: Send> MutexShim<T> for std::sync::Mutex<T> {
+    type Guard<'a>
+        = std::sync::MutexGuard<'a, T>
+    where
+        T: 'a;
+    #[inline(always)]
+    fn new(value: T) -> Self {
+        std::sync::Mutex::new(value)
+    }
+    #[inline(always)]
+    fn lock(&self) -> Self::Guard<'_> {
+        self.lock().unwrap()
+    }
+}
+
+impl CondvarShim for std::sync::Condvar {
+    type Family = StdFamily;
+    #[inline(always)]
+    fn new() -> Self {
+        std::sync::Condvar::new()
+    }
+    #[inline(always)]
+    fn notify_one(&self) {
+        std::sync::Condvar::notify_one(self)
+    }
+    #[inline(always)]
+    fn notify_all(&self) {
+        std::sync::Condvar::notify_all(self)
+    }
+    #[inline(always)]
+    fn wait_timeout<'a, T: Send>(
+        &self,
+        guard: GuardOf<'a, StdFamily, T>,
+        timeout: Duration,
+    ) -> (GuardOf<'a, StdFamily, T>, bool) {
+        let (guard, result) = std::sync::Condvar::wait_timeout(self, guard, timeout).unwrap();
+        (guard, result.timed_out())
+    }
+}
+
+impl SyncFamily for StdFamily {
+    type AtomicUsize = std::sync::atomic::AtomicUsize;
+    type AtomicBool = std::sync::atomic::AtomicBool;
+    type Mutex<T: Send> = std::sync::Mutex<T>;
+    type Condvar = std::sync::Condvar;
+    type Deadline = (Instant, Duration);
+
+    const SPIN_YIELD_LIMIT: u32 = 1 << 12;
+
+    #[inline(always)]
+    fn spin_hint() {
+        std::hint::spin_loop()
+    }
+    #[inline(always)]
+    fn yield_now() {
+        std::thread::yield_now()
+    }
+    #[inline(always)]
+    fn deadline(timeout: Duration) -> Self::Deadline {
+        (Instant::now(), timeout)
+    }
+    #[inline(always)]
+    fn expired((start, timeout): Self::Deadline) -> bool {
+        start.elapsed() > timeout
+    }
+    #[inline(always)]
+    fn remaining((start, timeout): Self::Deadline) -> Option<Duration> {
+        (start + timeout)
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    // The std family must behave exactly like the raw std types: these
+    // are semantic pin-downs for the passthroughs the whole sync layer
+    // now routes through.
+
+    #[test]
+    fn std_atomics_pass_through() {
+        let a = <StdFamily as SyncFamily>::AtomicUsize::named(3, "a");
+        assert_eq!(a.load(Ordering::Acquire), 3);
+        assert_eq!(a.fetch_add(2, Ordering::AcqRel), 3);
+        a.store(9, Ordering::Release);
+        assert_eq!(a.load(Ordering::Acquire), 9);
+        let b = <StdFamily as SyncFamily>::AtomicBool::named(false, "b");
+        assert!(!b.load(Ordering::Acquire));
+        b.store(true, Ordering::Release);
+        assert!(b.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn std_mutex_and_condvar_round_trip() {
+        let m = <StdFamily as SyncFamily>::Mutex::<usize>::new(1);
+        {
+            let mut g = MutexShim::lock(&m);
+            *g += 1;
+        }
+        assert_eq!(*MutexShim::lock(&m), 2);
+
+        let cv = <StdFamily as SyncFamily>::Condvar::new();
+        let g = MutexShim::lock(&m);
+        // Nobody notifies: the wait must time out and hand the lock back.
+        let (g, timed_out) = CondvarShim::wait_timeout(&cv, g, Duration::from_millis(5));
+        assert!(timed_out);
+        assert_eq!(*g, 2);
+    }
+
+    #[test]
+    fn std_condvar_notify_wakes_waiter() {
+        let pair = Arc::new((
+            <StdFamily as SyncFamily>::Mutex::<bool>::new(false),
+            <StdFamily as SyncFamily>::Condvar::new(),
+        ));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = MutexShim::lock(m);
+            let deadline = StdFamily::deadline(Duration::from_secs(10));
+            while !*g {
+                let Some(wait) = StdFamily::remaining(deadline) else {
+                    return false;
+                };
+                let (back, _) = CondvarShim::wait_timeout(cv, g, wait);
+                g = back;
+            }
+            true
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let (m, cv) = &*pair;
+        *MutexShim::lock(m) = true;
+        cv.notify_one();
+        assert!(h.join().unwrap(), "waiter saw the flag");
+    }
+
+    #[test]
+    fn std_deadline_expires_and_reports_remaining() {
+        let d = StdFamily::deadline(Duration::from_millis(10));
+        assert!(!StdFamily::expired(d));
+        assert!(StdFamily::remaining(d).is_some());
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(StdFamily::expired(d));
+        assert_eq!(StdFamily::remaining(d), None);
+    }
+}

@@ -190,6 +190,9 @@ impl ThreadTeam {
         // Wait for the n-1 workers (spin, then yield when oversubscribed).
         // No deadline: see the method docs for why this must not abandon.
         let mut spins = 0u32;
+        // ORDERING: Acquire on `done` pairs with each worker's Release
+        // increment, making every store the workers sequenced before it
+        // (poisoned, progress) visible once the count reaches n-1.
         while sh.done.load(Ordering::Acquire) < sh.n - 1 {
             spins += 1;
             if spins < 1 << 12 {
@@ -198,10 +201,9 @@ impl ThreadTeam {
                 std::thread::yield_now();
             }
         }
-        // The Acquire reads above ordered every worker's `poisoned` store
-        // (Relaxed, but sequenced before its Release `done` increment)
-        // before this load.
-        // analyze:allow(relaxed-ordering) ordered by the Acquire `done` loop above
+        // ORDERING: Relaxed is enough — every worker's `poisoned` store is
+        // sequenced before its Release `done` increment, and the Acquire
+        // loop above ordered all of those before this load.
         if caller_panic || sh.poisoned.load(Ordering::Relaxed) {
             return Err(SyncError::TeamPanicked { generation: gen });
         }
@@ -250,13 +252,19 @@ impl ThreadTeam {
         let caller_panic = catch_unwind(AssertUnwindSafe(|| f(0))).is_err();
 
         let mut spins = 0u32;
+        // ORDERING: same Acquire-on-`done` pairing as `try_run`'s wait loop.
         while sh.done.load(Ordering::Acquire) < sh.n - 1 {
             spins += 1;
             if spins < 1 << 12 {
                 std::hint::spin_loop();
             } else {
                 if start.elapsed() > deadline {
+                    // ORDERING: Release publishes the quarantined generation
+                    // to `heal`'s Acquire load before any later dispatch.
                     sh.quarantined.store(gen, Ordering::Release);
+                    // ORDERING: Acquire pairs with each worker's Release
+                    // progress store, so a straggler is never misidentified
+                    // from a stale progress value.
                     let tid = (1..sh.n)
                         .find(|&t| sh.progress[t - 1].load(Ordering::Acquire) < gen)
                         .unwrap_or(0);
@@ -268,7 +276,8 @@ impl ThreadTeam {
         // Healthy drain: drop the job slot so the closure's captures free
         // deterministically.
         *sh.static_job.lock().unwrap() = None;
-        // analyze:allow(relaxed-ordering) ordered by the Acquire `done` loop above
+        // ORDERING: Relaxed is enough — ordered by the Acquire `done` loop
+        // above, exactly as in `try_run`.
         if caller_panic || sh.poisoned.load(Ordering::Relaxed) {
             return Err(SyncError::TeamPanicked { generation: gen });
         }
@@ -279,6 +288,9 @@ impl ThreadTeam {
     /// team (a subsequent run would fail fast).
     pub fn is_quarantined(&self) -> bool {
         let sh = &*self.shared;
+        // ORDERING: Acquire on `quarantined` pairs with the watchdog's
+        // Release store; Acquire on `done` pairs with the workers' Release
+        // increments so a drained generation is observed as drained.
         sh.quarantined.load(Ordering::Acquire) != NO_QUARANTINE
             && sh.done.load(Ordering::Acquire) < sh.n - 1
     }
@@ -287,15 +299,21 @@ impl ThreadTeam {
     /// not drained; clear the quarantine once it has.
     fn heal(&self) -> Result<(), SyncError> {
         let sh = &*self.shared;
+        // ORDERING: Acquire pairs with the watchdog's Release store of the
+        // stalled generation.
         let q = sh.quarantined.load(Ordering::Acquire);
         if q == NO_QUARANTINE {
             return Ok(());
         }
+        // ORDERING: Acquire pairs with the straggler's Release `done`
+        // increment — re-arming is sound only once the drain is visible.
         if sh.done.load(Ordering::Acquire) < sh.n - 1 {
             return Err(SyncError::TeamQuarantined { phase: q });
         }
         // Straggler drained: release the retained job and re-arm.
         *sh.static_job.lock().unwrap() = None;
+        // ORDERING: Release so the re-arm is published after the job-slot
+        // clear above it.
         sh.quarantined.store(NO_QUARANTINE, Ordering::Release);
         Ok(())
     }
@@ -311,20 +329,26 @@ impl ThreadTeam {
     /// wait loops and the quarantine gate).
     fn publish(&self, data: usize, tramp: usize) -> usize {
         let sh = &*self.shared;
-        // analyze:allow(relaxed-ordering) sequenced before the Release `go` bump that publishes them
+        // ORDERING: the four Relaxed stores are sequenced before the
+        // Release `go` bump, which publishes them atomically to each
+        // worker's Acquire load of `go` (see the method docs).
         sh.poisoned.store(false, Ordering::Relaxed);
-        // analyze:allow(relaxed-ordering) same publication argument as the line above
         sh.done.store(0, Ordering::Relaxed);
         sh.job[0].store(data, Ordering::Relaxed);
         sh.job[1].store(tramp, Ordering::Relaxed);
+        // ORDERING: Release pairs with the workers' Acquire `go` loop.
         sh.go.fetch_add(1, Ordering::Release) + 1
     }
 }
 
 impl Drop for ThreadTeam {
     fn drop(&mut self) {
+        // ORDERING: Relaxed store is published by the Release `go` bump
+        // below, which workers observe with an Acquire load before they
+        // read the flag.
         self.shared.shutdown.store(true, Ordering::Relaxed);
         // Wake workers so they observe the shutdown flag.
+        // ORDERING: Release pairs with the workers' Acquire `go` loop.
         self.shared.go.fetch_add(1, Ordering::Release);
         if self.is_quarantined() {
             // A stalled worker may never exit; joining would trade a
@@ -348,6 +372,9 @@ fn worker_loop(sh: &TeamShared, tid: usize) {
         // don't burn a core forever.
         let mut spins = 0u32;
         loop {
+            // ORDERING: Acquire pairs with the caller's Release `go` bump,
+            // ordering the generation's job/poisoned/done resets (all
+            // Relaxed, sequenced before the bump) before our reads below.
             let g = sh.go.load(Ordering::Acquire);
             if g != seen {
                 seen = g;
@@ -360,9 +387,12 @@ fn worker_loop(sh: &TeamShared, tid: usize) {
                 std::thread::yield_now();
             }
         }
+        // ORDERING: Relaxed — both reads are ordered by the Acquire `go`
+        // load above, which is what published them.
         if sh.shutdown.load(Ordering::Relaxed) {
             return;
         }
+        // ORDERING: Relaxed — ordered by the same Acquire `go` load.
         let tramp = sh.job[1].load(Ordering::Relaxed);
         let panicked = if tramp == STATIC_JOB {
             // Watchdogged generation: clone the refcounted job so it stays
@@ -377,6 +407,8 @@ fn worker_loop(sh: &TeamShared, tid: usize) {
                 None => false,
             }
         } else {
+            // ORDERING: Relaxed — published by the Release `go` bump and
+            // ordered by the Acquire `go` load above.
             let data = sh.job[0].load(Ordering::Relaxed) as *const ();
             // SAFETY: the slot holds a `trampoline::<F>` function pointer
             // written by `run` for this generation.
@@ -386,11 +418,15 @@ fn worker_loop(sh: &TeamShared, tid: usize) {
             catch_unwind(AssertUnwindSafe(|| unsafe { call(data, tid) })).is_err()
         };
         if panicked {
-            // analyze:allow(relaxed-ordering) sequenced before the Release `done` increment that publishes it
+            // ORDERING: Relaxed store is sequenced before the Release
+            // `done` increment below, which publishes it to the caller's
+            // Acquire wait loop.
             sh.poisoned.store(true, Ordering::Relaxed);
         }
-        // Progress before `done`: once the caller's Acquire load of `done`
-        // observes the full count, every progress store is visible too.
+        // ORDERING: progress before `done`, both Release — once the
+        // caller's Acquire load of `done` observes the full count, every
+        // progress store is visible too, and the watchdog's Acquire
+        // progress load pairs with this store directly.
         sh.progress[tid - 1].store(seen, Ordering::Release);
         sh.done.fetch_add(1, Ordering::Release);
     }

@@ -108,11 +108,18 @@ impl TournamentWaiter<'_> {
             if tid & bit == 0 {
                 let partner = tid | bit;
                 if partner < b.n {
+                    // ORDERING: Acquire pairs with the partner's Release
+                    // arrival store, ordering everything the partner did
+                    // before this episode ahead of the winner's reads.
                     spin_until(|| b.arrive[partner].load(Ordering::Acquire) >= e);
                 }
                 won_rounds += 1;
             } else {
                 // Loser of this round: announce and block.
+                // ORDERING: Release publishes this thread's pre-barrier
+                // work to the winner's Acquire arrival load; Acquire on
+                // `release` pairs with the champion-side Release wake so
+                // post-barrier reads see every thread's episode.
                 b.arrive[tid].store(e, Ordering::Release);
                 spin_until(|| b.release[tid].load(Ordering::Acquire) >= e);
                 break;
@@ -123,6 +130,9 @@ impl TournamentWaiter<'_> {
         for r in (0..won_rounds).rev() {
             let partner = tid | (1usize << r);
             if partner < b.n {
+                // ORDERING: Release pairs with the loser's Acquire wait on
+                // `release`, handing it the champion-side view of the
+                // whole episode.
                 b.release[partner].store(e, Ordering::Release);
             }
         }

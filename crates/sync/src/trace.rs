@@ -143,12 +143,18 @@ impl ThreadBuf {
     }
 
     fn push(&self, kind: TraceEventKind, start_ns: u64, end_ns: u64) {
+        // ORDERING: Relaxed — `len` and `dropped` are written only by this
+        // ring's owning thread; cross-thread readers go through the
+        // Release store below.
         let n = self.len.load(Ordering::Relaxed);
         let Some(r) = self.records.get(n) else {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         };
         let (tag, args) = kind.encode();
+        // ORDERING: the four Relaxed record stores are sequenced before
+        // the Release `len` bump, which publishes the record atomically
+        // to `snapshot`'s Acquire load.
         r.tag.store(tag, Ordering::Relaxed);
         r.args.store(args, Ordering::Relaxed);
         r.start_ns.store(start_ns, Ordering::Relaxed);
@@ -239,6 +245,10 @@ impl Tracer {
             .unwrap_or(&[])
             .iter()
             .map(|buf| {
+                // ORDERING: Acquire on `len` pairs with the writer's
+                // Release bump, ordering the Relaxed record field reads
+                // below after the stores they observe; `dropped` is a
+                // monotonic counter where staleness only undercounts.
                 let n = buf.len.load(Ordering::Acquire);
                 ThreadTrace {
                     events: buf.records[..n]
@@ -270,6 +280,9 @@ impl Tracer {
             .map(|i| i.threads.as_slice())
             .unwrap_or(&[])
         {
+            // ORDERING: reset runs between repetitions with no writer in
+            // flight; Release on `len` keeps the truncation ordered for
+            // any snapshot that races a later sweep, `dropped` is plain.
             buf.len.store(0, Ordering::Release);
             buf.dropped.store(0, Ordering::Relaxed);
         }

@@ -76,6 +76,7 @@ pub use threefive_grid as grid;
 pub use threefive_lbm as lbm;
 pub use threefive_machine as machine;
 pub use threefive_metrics as metrics;
+pub use threefive_modelcheck as modelcheck;
 pub use threefive_serve as serve;
 pub use threefive_simd as simd;
 pub use threefive_sync as sync;

@@ -169,7 +169,10 @@ USAGE:
                   [--out DIR]
   threefive trace --validate FILE
   threefive analyze [--root DIR] [--deny-findings] [--out DIR]
-                  [--baseline FILE]
+                  [--baseline FILE] [--write-baseline]
+                  [--model-check] [--mc-schedules N] [--mc-steps N]
+                  [--mc-preemptions N|none]
+  threefive analyze --replay TRACE.json [--mc-steps N]
   threefive analyze --validate FILE
   threefive serve [--addr 127.0.0.1:7435] [--metrics-addr HOST:PORT]
                   [--teams 2] [--threads N] [--queue 64] [--dispatchers 2]
@@ -1174,6 +1177,155 @@ fn cmd_trace(opts: &Opts) -> Result<(), CmdError> {
     Ok(())
 }
 
+/// Parses the model-checker exploration budgets from `--mc-schedules`,
+/// `--mc-steps` and `--mc-preemptions` (a count, or `none` to lift the
+/// preemption bound and explore the full interleaving space).
+fn mc_budgets(opts: &Opts) -> Result<threefive::modelcheck::Budgets, CmdError> {
+    let defaults = threefive::modelcheck::Budgets::default();
+    let max_preemptions = match opts.get("mc-preemptions").map(String::as_str) {
+        None => defaults.max_preemptions,
+        Some("none") => None,
+        Some(s) => Some(s.parse::<usize>().map_err(|_| {
+            CmdError::Msg(format!(
+                "--mc-preemptions: expected a count or 'none', got '{s}'"
+            ))
+        })?),
+    };
+    Ok(threefive::modelcheck::Budgets {
+        max_schedules: cli::get(opts, "mc-schedules", defaults.max_schedules)?,
+        max_steps: cli::get(opts, "mc-steps", defaults.max_steps)?,
+        max_preemptions,
+    })
+}
+
+/// `threefive analyze --replay FILE`: re-executes a recorded schedule
+/// trace step-for-step against current code. Reproducing the recorded
+/// failure (or finding it fixed) succeeds; a diverged or different
+/// failure is an error.
+fn cmd_analyze_replay(path: &str, opts: &Opts) -> Result<(), CmdError> {
+    use threefive::modelcheck::{replay, ReplayOutcome, Trace};
+    let text = std::fs::read_to_string(path)?;
+    let trace =
+        Trace::parse(&text).map_err(|e| CmdError::Msg(format!("{path}: invalid trace: {e}")))?;
+    let max_steps = cli::get(
+        opts,
+        "mc-steps",
+        threefive::modelcheck::Budgets::default().max_steps,
+    )?;
+    let what = match &trace.mutation {
+        Some(m) => format!("model `{}` + mutation `{m}`", trace.model),
+        None => format!("model `{}`", trace.model),
+    };
+    // A reproduced panic-kind failure panics inside the replay (caught
+    // there); keep the default hook from printing its backtrace.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = replay(&trace, max_steps);
+    std::panic::set_hook(prev_hook);
+    match outcome.map_err(CmdError::Msg)? {
+        ReplayOutcome::Reproduced { kind, message } => {
+            println!("{path}: reproduced on {what}: {kind}: {message}");
+            Ok(())
+        }
+        ReplayOutcome::Vanished => {
+            println!(
+                "{path}: schedule ran clean on {what} — the recorded {} no longer reproduces",
+                trace.failure_kind
+            );
+            Ok(())
+        }
+        ReplayOutcome::Diverged { detail } => Err(CmdError::Msg(format!(
+            "{path}: replay diverged from the recorded schedule ({detail}) — \
+             the code under {what} changed; re-record the trace"
+        ))),
+        ReplayOutcome::DifferentFailure { expected, got } => Err(CmdError::Msg(format!(
+            "{path}: replay failed differently than recorded: expected {expected}, got {got}"
+        ))),
+    }
+}
+
+/// Runs the model-checker suite (and mutant suite), printing per-model
+/// explored-state counts, writing any counterexample traces under
+/// `out`, and returning the report section.
+fn run_model_check(
+    budgets: &threefive::modelcheck::Budgets,
+    out: Option<&std::path::Path>,
+) -> Result<threefive::analyze::findings::ModelCheckSection, CmdError> {
+    use threefive::analyze::findings::{ModelCheckEntry, MutantEntry};
+    use threefive::modelcheck::{run_mutants, run_suite, TimeMode};
+
+    let mode_str = |m: TimeMode| match m {
+        TimeMode::Never => "never",
+        TimeMode::Nondet => "nondet",
+    };
+    // Mutant scenarios panic by design (the checker catches and records
+    // them); silence the default hook so expected panics don't spray
+    // backtraces over the report. Restored before returning.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let started = Instant::now();
+    let suite = run_suite(budgets);
+    let mut models = Vec::new();
+    for o in &suite {
+        let verdict = match (&o.trace, o.complete) {
+            (Some(_), _) => "COUNTEREXAMPLE",
+            (None, true) => "exhaustive",
+            (None, false) => "budget exhausted (inconclusive)",
+        };
+        println!(
+            "  {} [{}]: {} schedule(s), {} step(s){}: {verdict}",
+            o.name,
+            mode_str(o.time_mode),
+            o.schedules,
+            o.steps,
+            if o.bounded {
+                ", preemption-bounded"
+            } else {
+                ""
+            },
+        );
+        if let (Some(trace), Some(dir)) = (&o.trace, out) {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("MODELCHECK_{}.json", o.name));
+            std::fs::write(&path, trace.to_text())?;
+            println!("    wrote counterexample trace to {}", path.display());
+        }
+        models.push(ModelCheckEntry {
+            name: o.name.to_string(),
+            time_mode: mode_str(o.time_mode).to_string(),
+            schedules: o.schedules as u64,
+            steps: o.steps as u64,
+            complete: o.complete,
+            bounded: o.bounded,
+            counterexample: o.trace.is_some(),
+        });
+    }
+    let mutant_suite = run_mutants(budgets);
+    std::panic::set_hook(prev_hook);
+    let caught = mutant_suite.iter().filter(|m| m.caught()).count();
+    println!(
+        "  mutants: {caught}/{} seeded bug(s) caught ({:.1}s total)",
+        mutant_suite.len(),
+        started.elapsed().as_secs_f64()
+    );
+    let mut mutants = Vec::new();
+    for m in &mutant_suite {
+        if !m.caught() {
+            println!(
+                "    ESCAPED: {} on {} ({}) after {} schedule(s)",
+                m.mutation, m.model, m.seeded, m.schedules
+            );
+        }
+        mutants.push(MutantEntry {
+            mutation: m.mutation.to_string(),
+            model: m.model.to_string(),
+            caught: m.caught(),
+            schedules: m.schedules as u64,
+        });
+    }
+    Ok(threefive::analyze::findings::ModelCheckSection { models, mutants })
+}
+
 fn cmd_analyze(opts: &Opts) -> Result<(), CmdError> {
     if let Some(path) = opts.get("validate") {
         let text = std::fs::read_to_string(path)?;
@@ -1187,17 +1339,31 @@ fn cmd_analyze(opts: &Opts) -> Result<(), CmdError> {
         );
         return Ok(());
     }
+    if let Some(path) = opts.get("replay") {
+        return cmd_analyze_replay(path, opts);
+    }
 
     let root = std::path::PathBuf::from(cli::getstr(opts, "root", "."));
     let deny: bool = cli::get(opts, "deny-findings", false)?;
     // The baseline defaults to the repo's checked-in suppression file;
     // an explicitly named one must exist, the default may be absent.
+    let baseline_path = match opts.get("baseline") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => root.join("ANALYZE_baseline.json"),
+    };
     let baseline_text = match opts.get("baseline") {
         Some(path) => Some(std::fs::read_to_string(path)?),
-        None => std::fs::read_to_string(root.join("ANALYZE_baseline.json")).ok(),
+        None => std::fs::read_to_string(&baseline_path).ok(),
     };
-    let report =
+    let mut report =
         threefive::analyze::analyze_tree(&root, baseline_text.as_deref()).map_err(CmdError::Msg)?;
+
+    if cli::get(opts, "model-check", false)? {
+        println!("model-check:");
+        let budgets = mc_budgets(opts)?;
+        let out_dir = opts.get("out").map(std::path::PathBuf::from);
+        report.model_check = Some(run_model_check(&budgets, out_dir.as_deref())?);
+    }
     // Self-check before writing: the emitted document must satisfy the
     // same validator CI runs on the artifact.
     let text = format!("{}\n", report.to_json_string());
@@ -1244,6 +1410,41 @@ fn cmd_analyze(opts: &Opts) -> Result<(), CmdError> {
         );
     }
 
+    // Baseline ratchet: report unused budget, and tighten the checked-in
+    // file on request (budgets only ever go down).
+    if let Some(btext) = baseline_text.as_deref() {
+        use threefive::analyze::findings::{
+            baseline_slack, baseline_to_json_string, parse_baseline, tighten_baseline,
+        };
+        let baseline = parse_baseline(btext).map_err(CmdError::Msg)?;
+        let slack = baseline_slack(&report.findings, &baseline);
+        for s in &slack {
+            println!(
+                "baseline: {} in {} uses {} of {} allowed ({} slack)",
+                s.rule,
+                s.file,
+                s.used,
+                s.allowed,
+                s.slack()
+            );
+        }
+        if cli::get(opts, "write-baseline", false)? {
+            let tightened = tighten_baseline(&baseline, &report.findings);
+            let dropped = baseline.len() - tightened.len();
+            std::fs::write(
+                &baseline_path,
+                format!("{}\n", baseline_to_json_string(&tightened)),
+            )?;
+            println!(
+                "wrote {} ({} entr(ies), {dropped} dropped)",
+                baseline_path.display(),
+                tightened.len()
+            );
+        } else if !slack.is_empty() {
+            println!("baseline: run with --write-baseline to ratchet the budgets down");
+        }
+    }
+
     if let Some(dir) = opts.get("out") {
         let out_dir = std::path::PathBuf::from(dir);
         std::fs::create_dir_all(&out_dir)?;
@@ -1252,9 +1453,15 @@ fn cmd_analyze(opts: &Opts) -> Result<(), CmdError> {
         println!("wrote {}", path.display());
     }
     if deny && !report.is_clean() {
+        let mc_dirty = report.model_check.as_ref().is_some_and(|mc| !mc.is_clean());
         return Err(CmdError::Msg(format!(
-            "analysis failed: {active} active finding(s), {} schedule violation(s)",
-            report.violations.len()
+            "analysis failed: {active} active finding(s), {} schedule violation(s){}",
+            report.violations.len(),
+            if mc_dirty {
+                ", model-check counterexample or escaped mutant"
+            } else {
+                ""
+            }
         )));
     }
     Ok(())

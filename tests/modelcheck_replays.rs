@@ -1,0 +1,72 @@
+//! Deterministic replay regression: the checked-in schedule traces
+//! under `tests/data/` must re-execute step-for-step against the
+//! current scenario catalog and reproduce their recorded failures.
+//!
+//! Each trace is a counterexample the model checker found against a
+//! seeded mutant — the three here pin the `SpinBarrier` poison
+//! edge cases (poison between generations, the last arriver poisoning,
+//! a deadline racing arrival). If the scheduler's decision encoding,
+//! the scenario catalog or the mutants drift, replay reports
+//! divergence instead of silently exploring something else;
+//! regenerate with:
+//!
+//! ```text
+//! cargo run -p threefive-modelcheck --example record_traces -- tests/data
+//! ```
+
+use threefive::modelcheck::{replay, Budgets, ReplayOutcome, Trace};
+
+/// The checked-in traces and the failure each must reproduce.
+const REPLAYS: &[&str] = &[
+    "replay_drop-poison-check.json",
+    "replay_drop-poison-last-arriver.json",
+    "replay_timeout-no-poison.json",
+];
+
+fn load(name: &str) -> Trace {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    Trace::parse(&text).unwrap_or_else(|e| panic!("{name}: invalid trace: {e}"))
+}
+
+#[test]
+fn checked_in_barrier_poison_traces_replay_deterministically() {
+    // Replays re-execute panics the checker catches; keep the default
+    // hook from spraying backtraces over the test output.
+    std::panic::set_hook(Box::new(|_| {}));
+    for name in REPLAYS {
+        let trace = load(name);
+        // Replay twice: the second run must take the identical schedule,
+        // which is what makes these regression tests deterministic.
+        for round in 0..2 {
+            match replay(&trace, Budgets::default().max_steps) {
+                Ok(ReplayOutcome::Reproduced { kind, .. }) => {
+                    assert_eq!(
+                        kind, trace.failure_kind,
+                        "{name} round {round}: wrong failure kind"
+                    );
+                }
+                Ok(other) => panic!("{name} round {round}: did not reproduce: {other:?}"),
+                Err(e) => panic!("{name} round {round}: replay error: {e}"),
+            }
+        }
+    }
+    let _ = std::panic::take_hook();
+}
+
+#[test]
+fn checked_in_traces_cover_the_poison_edge_cases() {
+    let models: Vec<String> = REPLAYS.iter().map(|n| load(n).model).collect();
+    for expected in [
+        "barrier-poison-mid",
+        "barrier-last-arriver",
+        "barrier-deadline-race",
+    ] {
+        assert!(
+            models.iter().any(|m| m == expected),
+            "no checked-in replay pins `{expected}` (have {models:?})"
+        );
+    }
+}
